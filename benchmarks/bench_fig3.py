@@ -1,0 +1,37 @@
+"""Benchmark F3: regenerate Fig. 3 (delay / area-delay vs tail current).
+
+Transistor-level sweep of the MCML buffer across the Iss design space:
+(a) FO1/FO4 delay curves, (b) power-delay and area-delay products.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig3
+from repro.units import uA
+
+
+def test_fig3_design_space(benchmark):
+    result = run_once(benchmark, fig3.main)
+
+    # (a) delay falls monotonically with Iss and saturates up high.
+    points = sorted(result.points, key=lambda p: p.iss)
+    delays = [p.delay_fo4 for p in points]
+    assert all(d1 >= d2 * 0.99 for d1, d2 in zip(delays, delays[1:]))
+    assert result.delay_saturation_ratio() < 1.10  # <10 % left past 250 uA
+
+    # FO4 slower than FO1 everywhere.
+    assert all(p.delay_fo4 > p.delay_fo1 for p in points)
+
+    # (b) the area-delay optimum sits at the paper's 50 uA bias point.
+    assert result.optimum_iss() == pytest.approx(uA(50), rel=0.6)
+
+    # Power-delay product grows monotonically: speed is bought linearly
+    # with current while delay saturates.
+    pdps = [p.pdp_fo4 for p in points]
+    assert pdps[-1] > pdps[0]
+
+    benchmark.extra_info["optimum_iss_ua"] = result.optimum_iss() * 1e6
+    benchmark.extra_info["fo1_delay_at_50ua_ps"] = round(
+        min(points, key=lambda p: abs(p.iss - uA(50))).delay_fo1 * 1e12, 2)
+    benchmark.extra_info["paper_fo1_delay_ps"] = 23.97

@@ -1,0 +1,50 @@
+"""Benchmark F5: regenerate Fig. 5 (gated vs ungated ISE current).
+
+The oscilloscope picture: conventional MCML flat at the full tail
+current; PG-MCML at its leakage floor except inside the sleep window
+around a SubBytes burst, with the sleep signal plotted alongside.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_waveform(benchmark):
+    result = run_once(benchmark, fig5.main)
+
+    # Conventional MCML: flat, tens of mA (paper shows ~30 mA).
+    assert result.mcml_current.swing() == 0.0
+    assert 10.0 < result.mcml_flat_ma < 400.0
+
+    # PG-MCML: reaches the MCML level when awake...
+    assert result.pg_peak_ma == pytest.approx(result.mcml_flat_ma, rel=0.05)
+    # ... and is 'almost negligible' when asleep.
+    assert result.on_off_ratio > 1e3
+
+    # The sleep signal leads the burst by the insertion delay.
+    t_on, _ = result.window
+    rise = result.sleep_signal.first_crossing(0.6, "rise")
+    assert rise == pytest.approx(t_on, abs=1e-10)
+
+    # Window length: same order as the 14.4 ns the paper annotates.
+    assert 5.0 < result.window_length_ns() < 60.0
+
+    benchmark.extra_info["mcml_flat_ma"] = round(result.mcml_flat_ma, 2)
+    benchmark.extra_info["pg_floor_ua"] = round(result.pg_floor_ua, 3)
+    benchmark.extra_info["window_ns"] = round(result.window_length_ns(), 2)
+    benchmark.extra_info["paper_window_ns"] = 14.421
+
+
+def test_fig5_full_block_timeline(benchmark):
+    """Every wake window across a whole AES block stays bounded and the
+    awake fraction matches the schedule arithmetic."""
+    result = run_once(benchmark, fig5.run, 1)
+    schedule = result.schedule
+    assert len(schedule.windows) >= 10  # one burst per AES round
+    total = schedule.windows[-1][1]
+    fraction = schedule.awake_fraction(0.0, total)
+    assert 0.0 < fraction < 0.5
+    benchmark.extra_info["n_wake_windows"] = len(schedule.windows)
+    benchmark.extra_info["awake_fraction"] = round(fraction, 4)

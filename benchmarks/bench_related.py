@@ -1,0 +1,45 @@
+"""Benchmark (extension): the §2 related-work argument, quantified.
+
+DyCML / SABL / MDPL vs CMOS / MCML / PG-MCML on the S-box ISE block:
+power at the paper's duty, idle power, area, and the two practicality
+axes (commodity EDA flow, per-gate clock).  PG-MCML must come out as
+the only DPA-resistant style that is simultaneously micro-watt idle and
+deployable with an unmodified flow — the paper's thesis.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import related
+
+
+def test_related_work_positioning(benchmark):
+    result = run_once(benchmark, related.main)
+
+    pg = result.row("pgmcml")
+    mcml = result.row("mcml")
+    sabl = result.row("sabl")
+    mdpl = result.row("mdpl")
+    dycml = result.row("dycml")
+
+    # PG-MCML idle power beats every other resistant style by >>10x.
+    for other in (mcml, sabl, mdpl, dycml):
+        assert pg.idle_power_w < other.idle_power_w / 10.0
+
+    # The precharge styles burn full-clock dynamic power forever.
+    assert sabl.power_at_duty_w > 50 * pg.power_at_duty_w
+    assert mdpl.power_at_duty_w > 50 * pg.power_at_duty_w
+
+    # DyCML is the closest competitor on power but loses the flow axes.
+    assert dycml.power_at_duty_w < mcml.power_at_duty_w
+    assert not dycml.commodity_eda
+    assert dycml.needs_gate_clock
+
+    # MDPL pays the largest area (4-5x CMOS per its paper).
+    assert mdpl.area_um2 == max(r.area_um2 for r in result.rows)
+
+    # The headline: PG-MCML wins on both axes simultaneously.
+    assert set(result.pg_wins_on()) == {"idle power", "flow practicality"}
+
+    benchmark.extra_info["idle_power_uw"] = {
+        r.style: round(r.idle_power_w * 1e6, 2) for r in result.rows}

@@ -1,0 +1,27 @@
+"""Benchmark (extension): the system-level software attack study.
+
+Instruction-level CPA on the firmware around the ISE: the protected
+unit's own cycles resist, everything the software touches in CMOS
+breaks — the precise boundary of the paper's block-level security
+claim, and the motivation for the full-core study (bench_scope.py).
+"""
+
+from conftest import run_once
+
+from repro.experiments import software_attack
+
+
+def test_system_level_attack_matrix(benchmark):
+    result = run_once(benchmark, software_attack.main)
+
+    assert result.matches_expectation()
+    sw = result.scenario("software lookup", "full")
+    protected = result.scenario("ISE, protected path", "sbox")
+    leak_back = result.scenario("ISE, protected path", "full")
+
+    assert sw.broken and sw.peak_rho > 0.8
+    assert not protected.broken and protected.rank > 10
+    assert leak_back.broken  # state moves through CMOS memory
+
+    benchmark.extra_info["ranks"] = {
+        f"{s.name}/{s.window}": s.rank for s in result.scenarios}

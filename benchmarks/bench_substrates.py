@@ -1,0 +1,86 @@
+"""Throughput benchmarks of the substrates themselves.
+
+Unlike the experiment benchmarks, these time the engines the
+reproduction is built on: the analog solver, the event-driven logic
+simulator, the CPU model, and the CPA kernel.  Useful when optimising.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    McmlCellGenerator,
+    build_cmos_library,
+    build_pg_mcml_library,
+    function,
+    solve_bias,
+)
+from repro.cpu import aes_firmware
+from repro.netlist import LogicSimulator
+from repro.sca import cpa_attack
+from repro.sca.leakage import all_guess_hypotheses
+from repro.spice import Circuit, Pulse, run_transient
+from repro.synth import build_sbox_ise, simulate_sbox_word
+from repro.units import ns, ps, uA
+
+
+def test_spice_transient_buffer(benchmark):
+    """Transistor-level transient of an MCML buffer (~800 steps)."""
+    bias = solve_bias(uA(50))
+    gen = McmlCellGenerator(sizing=bias.sizing)
+
+    def run():
+        cell = gen.build(function("BUF"), load_cap=2e-15)
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, 1.2)
+        ckt.v("vvn", cell.vn_net, bias.sizing.vn)
+        ckt.v("vvp", cell.vp_net, bias.sizing.vp)
+        hi, lo = bias.sizing.input_high(), bias.sizing.input_low()
+        p, n = cell.input_nets["A"]
+        ckt.v("vp_in", p, Pulse(lo, hi, ns(0.2), ps(10), ps(10), ns(0.4)))
+        ckt.v("vn_in", n, Pulse(hi, lo, ns(0.2), ps(10), ps(10), ns(0.4)))
+        return run_transient(ckt, tstop=ns(1), dt=ps(2))
+
+    result = benchmark(run)
+    assert result.current("vdd").average() > uA(20)
+
+
+def test_logic_sim_sbox_throughput(benchmark):
+    """Event-driven words/second through the mapped S-box ISE."""
+    ise = build_sbox_ise(build_pg_mcml_library())
+    sim = LogicSimulator(ise.netlist)
+    words = [0x00112233, 0xDEADBEEF, 0xCAFEBABE, 0x01234567]
+
+    def run():
+        return [simulate_sbox_word(ise, sim, w) for w in words]
+
+    results = benchmark(run)
+    assert len(results) == len(words)
+
+
+def test_cpu_aes_block(benchmark):
+    """Instructions/second of the processor model on one AES block."""
+    fw = aes_firmware(n_blocks=1, use_ise=True)
+    key = bytes(range(16))
+    pt = [bytes(range(16))]
+
+    def run():
+        return fw.run(key, pt)
+
+    cts, stats = benchmark(run)
+    assert stats.cycles > 1000
+
+
+def test_cpa_kernel(benchmark):
+    """The 256-guess x 256-trace x 80-sample correlation kernel."""
+    rng = np.random.default_rng(0)
+    traces = rng.normal(size=(256, 80))
+    pts = list(range(256))
+    hypotheses = all_guess_hypotheses(pts)
+    traces[:, 40] += hypotheses[0x2B]
+
+    def run():
+        return cpa_attack(traces, pts, true_key=0x2B)
+
+    result = benchmark(run)
+    assert result.succeeded

@@ -1,0 +1,16 @@
+"""Benchmark T1: regenerate Table 1 (MCML vs PG-MCML cell areas).
+
+Also checks claim X1 (§4): ~6 % mean sleep-transistor area overhead.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_areas(benchmark):
+    result = run_once(benchmark, table1.main)
+    assert result.max_abs_error_um2() < 1e-3
+    assert abs(result.mean_overhead_pct - 5.56) < 0.5
+    benchmark.extra_info["mean_overhead_pct"] = result.mean_overhead_pct
+    benchmark.extra_info["paper_overhead_pct"] = "~6"

@@ -1,0 +1,61 @@
+"""Benchmark T3: regenerate Table 3 (S-box ISE in three styles).
+
+Covers claim X2 (§6): MCML power cut by ~10^4 through gating; PG-MCML
+lands below leakage-dominated CMOS at the paper's 0.01 % ISE duty.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import table3
+from repro.experiments.table3 import PAPER_TABLE3
+
+
+def test_table3_full_pipeline(benchmark):
+    result = run_once(benchmark, table3.main, 2)
+
+    cells = {r.style: r.cells for r in result.rows}
+    areas = {r.style: r.area_um2 for r in result.rows}
+    delays = {r.style: r.delay_ns for r in result.rows}
+    power_paper_duty = {r.style: r.avg_power_at_paper_duty_w
+                        for r in result.rows}
+
+    # Cell counts: ordering and CMOS/MCML ratio.
+    assert cells["cmos"] > cells["pgmcml"] > cells["mcml"]
+    assert cells["cmos"] / cells["mcml"] == pytest.approx(
+        PAPER_TABLE3["cmos"][0] / PAPER_TABLE3["mcml"][0], abs=0.25)
+
+    # Areas: differential block ~2.5x the CMOS one; PG slightly above MCML.
+    assert areas["mcml"] / areas["cmos"] == pytest.approx(2.53, abs=0.6)
+    assert areas["pgmcml"] > areas["mcml"]
+
+    # Delays: CMOS < MCML < PG-MCML, PG overhead a few percent.
+    assert delays["cmos"] < delays["mcml"] < delays["pgmcml"]
+    assert delays["pgmcml"] / delays["mcml"] < 1.05
+
+    # Power at the paper's duty: who wins and by roughly what factor.
+    assert result.power_ratio_at_paper_duty("mcml", "pgmcml") > 1e3
+    assert power_paper_duty["pgmcml"] < power_paper_duty["cmos"]
+    assert power_paper_duty["pgmcml"] == pytest.approx(47.77e-6, rel=0.5)
+
+    benchmark.extra_info["cells"] = cells
+    benchmark.extra_info["power_uw_at_paper_duty"] = {
+        k: round(v * 1e6, 2) for k, v in power_paper_duty.items()}
+    benchmark.extra_info["measured_duty_pct"] = result.measured_duty * 100
+
+
+def test_table3_duty_sweep(benchmark):
+    """PG-MCML average power scales linearly with the ISE duty — the
+    design's whole value proposition."""
+    def sweep():
+        return [table3.run(n_blocks=1, duty_override=d)
+                for d in (1e-4, 1e-3, 1e-2)]
+
+    results = run_once(benchmark, sweep)
+    powers = [r.row("pgmcml").avg_power_w for r in results]
+    assert powers[0] < powers[1] < powers[2]
+    # An order of magnitude in duty is roughly an order in power once
+    # above the leakage floor.
+    assert powers[2] / powers[1] == pytest.approx(10.0, rel=0.4)
+    benchmark.extra_info["pg_power_uw_vs_duty"] = [
+        round(p * 1e6, 2) for p in powers]

@@ -1,0 +1,53 @@
+"""Benchmark (extension): TVLA leakage assessment per logic style.
+
+Non-specific fixed-vs-random t-test — the evaluation a modern reviewer
+would run alongside Fig. 6's CPA.  Expected: CMOS leaks hardest; the
+differential styles carry only the mismatch residual, far weaker but
+detectable (leakage is reduced, not eliminated — exactly what the later
+side-channel literature found for MCML-class logic).
+"""
+
+from conftest import run_once
+
+from repro.experiments import tvla
+from repro.sca import TVLA_THRESHOLD
+
+
+def test_tvla_styles(benchmark):
+    result = run_once(benchmark, tvla.main)
+
+    cmos = result.row("cmos")
+    mcml = result.row("mcml")
+    pg = result.row("pgmcml")
+
+    # CMOS is flagrantly leaky.
+    assert cmos.leaks
+    assert cmos.max_abs_t > TVLA_THRESHOLD
+
+    # All three styles are t-test *detectable* (mismatch is physics),
+    # but the exploitable amplitude differs by orders of magnitude.
+    assert cmos.max_abs_delta > 10.0 * mcml.max_abs_delta
+    assert cmos.max_abs_delta > 10.0 * pg.max_abs_delta
+    # PG gating does not add leakage beyond conventional MCML's ballpark.
+    assert pg.max_abs_delta < 2.0 * mcml.max_abs_delta
+
+    benchmark.extra_info["max_abs_t"] = {
+        r.style: round(r.max_abs_t, 2) for r in result.rows}
+    benchmark.extra_info["amplitude_ua"] = {
+        r.style: round(r.max_abs_delta * 1e6, 3) for r in result.rows}
+
+
+def test_tvla_detection_threshold_ordering(benchmark):
+    """CMOS must be detected with no more traces than MCML needs."""
+    from repro.cells import build_cmos_library, build_mcml_library
+
+    def thresholds():
+        return (tvla.detection_threshold(build_cmos_library),
+                tvla.detection_threshold(build_mcml_library))
+
+    t_cmos, t_mcml = run_once(benchmark, thresholds)
+    assert t_cmos is not None
+    if t_mcml is not None:
+        assert t_cmos <= t_mcml
+    benchmark.extra_info["traces_to_detection"] = {
+        "cmos": t_cmos, "mcml": t_mcml}

@@ -1,0 +1,16 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the paper-vs-measured rows (captured with ``pytest benchmarks/
+--benchmark-only -s``).  Experiments run once per benchmark (rounds=1):
+the quantity of interest is the experimental result, the timing is a
+bonus.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Extending the library: add your own PG-MCML cell.
+
+§5 notes that "an increased number of cells would positively affect our
+results".  This example walks the designer workflow for a new cell — an
+AOI21 (and-or-invert, Y = NOT(A·B + C), a favourite of synthesis
+engines):
+
+1. register the logic function,
+2. generate its PG-MCML transistor netlist from the BDD,
+3. verify the electrical truth table exhaustively at DC,
+4. characterise delay / swing / tail current and sleep leakage,
+5. estimate its layout width from the column-packing model.
+
+Run:  python examples/custom_cell.py
+"""
+
+import itertools
+
+from repro.cells import PgMcmlCellGenerator, solve_bias
+from repro.cells.characterize import characterize_mcml_cell, measure_leakage
+from repro.cells.functions import CellFunction
+from repro.cells.layout import estimate_sites, mcml_transistor_count
+from repro.spice import DC, solve_dc
+from repro.tech import TECH90
+from repro.units import format_si, uA
+
+
+def make_aoi21() -> CellFunction:
+    def evaluate(assignment):
+        return {"Y": not ((assignment["A"] and assignment["B"])
+                          or assignment["C"])}
+
+    return CellFunction(name="AOI21", inputs=("A", "B", "C"),
+                        outputs=("Y",), evaluate=evaluate,
+                        description="Y = NOT(A AND B OR C)")
+
+
+def main() -> None:
+    aoi21 = make_aoi21()
+    print(f"new cell: {aoi21.name}  ({aoi21.description})")
+    print(f"truth table (A,B,C msb-first): {aoi21.truth_table('Y')}")
+
+    bias = solve_bias(uA(50), gated=True)
+    generator = PgMcmlCellGenerator(TECH90, bias.sizing)
+    cell = generator.build(aoi21)
+    n_mosfets = sum(1 for d in cell.circuit.devices
+                    if type(d).__name__ == "Mosfet")
+    print(f"\ngenerated netlist: {n_mosfets} transistors, "
+          f"stack depth {cell.depth} (limit 4), sleep net "
+          f"{cell.sleep_net!r}")
+
+    print("\nelectrical truth table (differential output, volts):")
+    hi, lo = bias.sizing.input_high(), bias.sizing.input_low()
+    failures = 0
+    for bits in itertools.product([False, True], repeat=3):
+        test = generator.build(aoi21)
+        ckt = test.circuit
+        ckt.v("vdd", test.vdd_net, TECH90.vdd)
+        ckt.v("vvn", test.vn_net, bias.sizing.vn)
+        ckt.v("vvp", test.vp_net, bias.sizing.vp)
+        ckt.v("vslp", test.sleep_net, TECH90.vdd)
+        for pin, value in zip(aoi21.inputs, bits):
+            p, n = test.input_nets[pin]
+            ckt.v(f"v{pin}p", p, DC(hi if value else lo))
+            ckt.v(f"v{pin}n", n, DC(lo if value else hi))
+        op = solve_dc(ckt)
+        p, n = test.output_nets["Y"]
+        diff = op[p] - op[n]
+        expected = aoi21.evaluate(dict(zip(aoi21.inputs, bits)))["Y"]
+        ok = (diff > 0.15) == expected
+        failures += not ok
+        print(f"  A,B,C={tuple(int(b) for b in bits)}  "
+              f"Y_diff={diff:+.3f} V  {'ok' if ok else 'WRONG'}")
+    assert failures == 0, "electrical truth table mismatch"
+
+    meas = characterize_mcml_cell(aoi21, generator, fanout=1)
+    sleep = measure_leakage(aoi21, generator, asleep=True)
+    print(f"\ncharacterisation: delay {meas.delay * 1e12:.2f} ps, "
+          f"swing {meas.swing:.3f} V, Iss {format_si(meas.iss, 'A')}, "
+          f"sleep leak {format_si(sleep, 'A')}")
+
+    sites = estimate_sites(aoi21, "pgmcml")
+    width = sites * TECH90.site_width_pgmcml * 1e6
+    area = width * TECH90.cell_height * 1e6
+    print(f"layout estimate: {mcml_transistor_count(aoi21, True)} "
+          f"transistors -> {sites} sites = {width:.3f} um wide "
+          f"= {area:.3f} um2")
+    print("\nReady to drop into a Library as a Cell datasheet.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Mounting the Fig. 6 attack yourself — and probing its limits.
+
+Collects simulated current traces from the reduced AES (AddRoundKey +
+SubBytes) in each logic style, runs CPA with the Hamming weight of the
+S-box output over all 256 key guesses, and prints who breaks.  Then two
+follow-ups the paper invites:
+
+* classic single-bit DPA (the attack the title names) on the same data;
+* an instrument sweep on PG-MCML: what if the attacker had a much finer
+  probe than the paper's 1 uA / 1 ps setup?
+
+Run:  python examples/dpa_attack.py
+"""
+
+import numpy as np
+
+from repro.cells import (
+    build_cmos_library,
+    build_mcml_library,
+    build_pg_mcml_library,
+)
+from repro.power import MeasurementChain
+from repro.sca import AttackCampaign, mtd
+from repro.units import uA
+
+KEY = 0x2B
+
+
+def main() -> None:
+    print(f"secret key byte: {KEY:#04x}; 256 plaintexts; "
+          f"1 uA probe (the paper's resolution)\n")
+
+    campaigns = {}
+    print("=== correlation power analysis (Fig. 6) ===")
+    for build in (build_cmos_library, build_mcml_library,
+                  build_pg_mcml_library):
+        campaign = AttackCampaign(build(), KEY)
+        result = campaign.run(with_dpa=True)
+        campaigns[result.style] = result
+        print(result.summary())
+
+    print("\n=== classic difference-of-means DPA (Kocher et al.) ===")
+    for style, result in campaigns.items():
+        dpa = result.dpa
+        outcome = ("KEY RECOVERED" if dpa.succeeded
+                   else f"failed (rank {dpa.rank_of_true_key()})")
+        print(f"{style.upper():7s}: {outcome}")
+
+    print("\n=== measurements-to-disclosure on the CMOS target ===")
+    cmos = campaigns["cmos"]
+    threshold = mtd(cmos.traces, cmos.plaintexts, true_key=KEY, step=32)
+    print(f"CPA stabilises on the correct key after ~{threshold} traces")
+
+    print("\n=== what would a better probe buy the attacker? ===")
+    print(f"{'resolution':>12s} {'noise':>8s} {'rank':>5s} {'peak rho':>9s}")
+    for resolution, noise in ((uA(1.0), uA(0.5)), (uA(0.1), uA(0.1)),
+                              (uA(0.01), 0.0), (0.0, 0.0)):
+        chain = MeasurementChain(noise_sigma=noise, resolution=resolution)
+        campaign = AttackCampaign(build_pg_mcml_library(), KEY, chain=chain)
+        result = campaign.run()
+        label = "ideal" if resolution == 0.0 else f"{resolution * 1e6:g}uA"
+        print(f"{label:>12s} {noise * 1e6:7.2f}u {result.rank:5d} "
+              f"{result.cpa.peak_per_guess[KEY]:9.4f}")
+    print("\nPG-MCML resistance is quantitative: the mismatch residuals "
+          "exist, but at the paper's measurement resolution they are "
+          "unreachable.")
+
+
+if __name__ == "__main__":
+    main()

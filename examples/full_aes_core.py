@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Protecting the whole cipher: a PG-MCML AES-128 hardware core.
+
+The paper gates a 4-S-box functional unit; this example builds the
+alternative it alludes to in §2 — the complete AES-128 datapath (16
+S-boxes, bit-linear ShiftRows/MixColumns, on-the-fly key schedule,
+round counter) in all three libraries — runs a FIPS-197 vector through
+each under the clock, and compares the cost of full protection against
+the paper's ISE island.
+
+Run:  python examples/full_aes_core.py   (takes ~30 s: three 12-16k cell
+cores are built and clock-cycle simulated)
+"""
+
+from repro.aes import encrypt_block
+from repro.cells import (
+    build_cmos_library,
+    build_mcml_library,
+    build_pg_mcml_library,
+)
+from repro.netlist import LogicSimulator, static_timing
+from repro.synth import build_aes_core, encrypt_with_core, report_block
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+def main() -> None:
+    print("round-based AES-128 core, 11 clock edges per block\n")
+    reference = encrypt_block(PT, KEY)
+    for build in (build_cmos_library, build_mcml_library,
+                  build_pg_mcml_library):
+        library = build()
+        core = build_aes_core(library)
+        report = report_block(core.netlist)
+        sim = LogicSimulator(core.netlist)
+        ct = encrypt_with_core(core, sim, PT, KEY)
+        ok = "FIPS-197 OK" if ct == reference else "WRONG"
+        line = (f"{library.style.upper():7s} {report.cells:6d} cells  "
+                f"{report.core_area_um2:10,.0f} um2  "
+                f"crit {report.delay_ns:6.3f} ns  -> {ct.hex()}  [{ok}]")
+        print(line)
+        if core.sleep_tree is not None:
+            tree = core.sleep_tree
+            print(f"        sleep tree: {tree.n_buffers} buffers over "
+                  f"{tree.n_gated_cells} gated cells, insertion "
+                  f"{tree.insertion_delay * 1e9:.2f} ns")
+
+    print("\nversus the paper's approach (S-box ISE + software):")
+    from repro.experiments import scope
+    result = scope.run()
+    for row in result.rows:
+        print(f"  {row.approach:20s} {row.cells:6d} cells  "
+              f"{row.area_um2:10,.0f} um2  "
+              f"{row.avg_power_w * 1e6:6.1f} uW   ({row.protected_fraction})")
+    print(f"\nfull protection costs {result.area_ratio():.1f}x the area; "
+          f"with the sleep transistor, idle power is no longer the "
+          f"blocker the pre-PG-MCML literature assumed.")
+
+
+if __name__ == "__main__":
+    main()

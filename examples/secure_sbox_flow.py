@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The full protected-accelerator flow of §6, end to end.
+
+Synthesises the four-S-box instruction-set extension onto all three
+libraries, inserts the sleep tree into the PG-MCML build, runs the AES
+firmware on the OpenRISC-flavoured core to obtain the real ISE duty
+factor, and prints a Table 3-style comparison — including average power
+both at the measured duty and at the paper's 0.01 % operating point.
+
+Run:  python examples/secure_sbox_flow.py
+"""
+
+from repro.cells import (
+    build_cmos_library,
+    build_mcml_library,
+    build_pg_mcml_library,
+)
+from repro.cpu import aes_firmware
+from repro.experiments.table3 import CLOCK_PERIOD, PAPER_DUTY, run
+from repro.netlist import LogicSimulator
+from repro.synth import build_sbox_ise, report_block, simulate_sbox_word
+from repro.units import format_si
+
+
+def main() -> None:
+    print("=== synthesis: the S-box ISE macro in three logic styles ===")
+    for lib in (build_cmos_library(), build_mcml_library(),
+                build_pg_mcml_library()):
+        ise = build_sbox_ise(lib)
+        report = report_block(ise.netlist)
+        line = (f"{lib.style.upper():7s} {report.cells:5d} cells  "
+                f"{report.core_area_um2:10,.0f} um2  "
+                f"{report.delay_ns:6.3f} ns")
+        if ise.sleep_tree is not None:
+            line += (f"  sleep tree: {ise.sleep_tree.n_buffers} buffers, "
+                     f"t_ins {ise.sleep_tree.insertion_delay * 1e9:.2f} ns")
+        print(line)
+        if lib.style == "pgmcml":
+            # Prove the datapath still computes SubBytes.
+            sim = LogicSimulator(ise.netlist)
+            word = 0x00112233
+            print(f"        l.sbox(0x{word:08X}) = "
+                  f"0x{simulate_sbox_word(ise, sim, word):08X}")
+
+    print("\n=== firmware: AES-128 on the core, ISE duty measurement ===")
+    firmware = aes_firmware(n_blocks=2, use_ise=True)
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintexts = [bytes(range(16)), bytes(range(16, 32))]
+    ciphertexts, stats = firmware.run(key, plaintexts)
+    print(f"{stats.cycles} cycles for 2 blocks at "
+          f"{1.0 / CLOCK_PERIOD / 1e6:.0f} MHz; "
+          f"l.sbox active {stats.sbox_cycles} cycles "
+          f"-> duty {stats.ise_duty * 100:.3f}% "
+          f"(paper benchmark: {PAPER_DUTY * 100:.2f}%)")
+    print(f"first ciphertext: {ciphertexts[0].hex()}")
+
+    print("\n=== Table 3: area / delay / average power ===")
+    result = run(n_blocks=2)
+    print(f"{'style':8s} {'cells':>6s} {'area um2':>11s} {'delay ns':>9s} "
+          f"{'P@measured':>12s} {'P@0.01%':>10s}")
+    for row in result.rows:
+        print(f"{row.style:8s} {row.cells:6d} {row.area_um2:11,.0f} "
+              f"{row.delay_ns:9.3f} "
+              f"{format_si(row.avg_power_w, 'W'):>12s} "
+              f"{format_si(row.avg_power_at_paper_duty_w, 'W'):>10s}")
+    print(f"\npower gating buys "
+          f"{result.power_ratio_at_paper_duty('mcml', 'pgmcml'):,.0f}x "
+          f"over conventional MCML at the paper's duty "
+          f"(paper: ~10,000x), and PG-MCML undercuts leakage-dominated "
+          f"CMOS by "
+          f"{result.power_ratio_at_paper_duty('cmos', 'pgmcml'):.1f}x "
+          f"(paper: ~4.3x).")
+
+
+if __name__ == "__main__":
+    main()

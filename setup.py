@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable on minimal offline environments where
+the ``wheel`` package (required by PEP 660 editable installs) is absent:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a full-stack reproduction of PG-MCML (DAC 2011).
+
+Cevrero et al., *Power-Gated MOS Current Mode Logic (PG-MCML): a Power
+Aware DPA-Resistant Standard Cell Library*, DAC 2011.
+
+The package rebuilds, in pure Python, every layer the paper's evaluation
+rests on — from an EKV-based circuit simulator to a CPA attack harness:
+
+=====================  ====================================================
+``repro.spice``        SPICE-class analog simulator (DC + transient)
+``repro.tech``         generic 90 nm device models, corners, mismatch
+``repro.bdd``          ROBDD engine (MCML networks, LUT synthesis)
+``repro.cells``        CMOS / MCML / PG-MCML cell generators + libraries
+``repro.netlist``      gate-level netlists, event-driven sim, STA, VCD/SDF
+``repro.synth``        LUT mapping, fanout buffering, sleep-tree insertion
+``repro.aes``          AES-128 + the reduced side-channel target
+``repro.cpu``          OpenRISC-flavoured core with the ``l.sbox`` ISE
+``repro.power``        block current models, gating schedules, probes
+``repro.sca``          CPA / DPA attacks and evaluation metrics
+``repro.experiments``  drivers for every table and figure of the paper
+=====================  ====================================================
+
+Quick start::
+
+    from repro.cells import build_pg_mcml_library
+    from repro.sca import AttackCampaign
+
+    library = build_pg_mcml_library()
+    campaign = AttackCampaign(library, key=0x2B)
+    print(campaign.run().summary())     # -> "PGMCML: attack failed ..."
+"""
+
+__version__ = "1.0.0"
+
+from . import errors, units
+
+__all__ = ["errors", "units", "__version__"]

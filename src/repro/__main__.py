@@ -1,0 +1,87 @@
+"""Command-line entry point: regenerate any of the paper's artefacts.
+
+Usage::
+
+    python -m repro list                  # what can be regenerated
+    python -m repro table1                # print Table 1 vs the paper
+    python -m repro fig6                  # run the CPA study + ASCII plot
+    python -m repro all                   # everything (several minutes)
+    python -m repro fig3 --csv fig3.csv   # also export the series as CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _csv_writer(name: str, result, path: str) -> bool:
+    from .experiments import plotting
+
+    writers: Dict[str, Callable] = {
+        "fig3": plotting.fig3_csv,
+        "fig5": plotting.fig5_csv,
+        "fig6": plotting.fig6_csv,
+    }
+    writer = writers.get(name)
+    if writer is None:
+        return False
+    with open(path, "w", encoding="utf-8") as stream:
+        writer(result, stream)
+    return True
+
+
+def main(argv=None) -> int:
+    from . import experiments
+
+    targets: Dict[str, Callable] = {
+        "table1": experiments.table1.main,
+        "table2": experiments.table2.main,
+        "table3": experiments.table3.main,
+        "fig3": experiments.fig3.main,
+        "fig5": experiments.fig5.main,
+        "fig6": experiments.fig6.main,
+        "ablation": experiments.ablation.main,
+        "tvla": experiments.tvla.main,
+        "related": experiments.related.main,
+        "scope": experiments.scope.main,
+        "software": experiments.software_attack.main,
+    }
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the PG-MCML "
+                    "paper (DAC 2011).")
+    parser.add_argument("target", choices=[*targets, "all", "list"],
+                        help="which artefact to regenerate")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="also export the figure's data series as CSV "
+                             "(fig3/fig5/fig6 only)")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        print("available targets:")
+        for name, fn in targets.items():
+            doc = (sys.modules[fn.__module__].__doc__ or "").strip()
+            headline = doc.splitlines()[0] if doc else ""
+            print(f"  {name:10s} {headline}")
+        print("  all        run every target in sequence")
+        return 0
+
+    names = list(targets) if args.target == "all" else [args.target]
+    for name in names:
+        if len(names) > 1:
+            print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
+        result = targets[name]()
+        if args.csv and len(names) == 1:
+            if _csv_writer(name, result, args.csv):
+                print(f"\nwrote {args.csv}")
+            else:
+                print(f"\nno CSV exporter for {name}", file=sys.stderr)
+                return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""AES-128 (FIPS-197) and the reduced side-channel target.
+
+The paper evaluates on AES in two ways: the full cipher runs in software
+on the OpenRISC core (with SubBytes accelerated by the S-box ISE), and a
+*reduced* AES — one key addition followed by one S-box lookup — is the
+standard target circuit for the DPA/CPA evaluation (Fig. 6).
+
+The S-box is constructed from first principles (GF(2⁸) inversion plus
+the affine map) and checked against the FIPS-197 table.
+"""
+
+from .sbox import SBOX, INV_SBOX, sbox, inv_sbox, gf_mul, gf_inverse
+from .aes import AES128, encrypt_block, decrypt_block, expand_key
+from .reduced import ReducedAES
+
+__all__ = [
+    "SBOX",
+    "INV_SBOX",
+    "sbox",
+    "inv_sbox",
+    "gf_mul",
+    "gf_inverse",
+    "AES128",
+    "encrypt_block",
+    "decrypt_block",
+    "expand_key",
+    "ReducedAES",
+]

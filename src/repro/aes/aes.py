@@ -1,0 +1,156 @@
+"""AES-128 block cipher (FIPS-197).
+
+A straightforward, test-vector-verified implementation.  The state is a
+16-byte ``bytes`` value in the standard column-major order (byte ``i``
+sits at row ``i % 4``, column ``i // 4``).  Both directions and the full
+key schedule are provided; the CPU firmware (:mod:`repro.cpu.programs`)
+executes the same algorithm instruction by instruction, and the two are
+cross-checked in the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import ReproError
+from .sbox import SBOX, INV_SBOX, gf_mul
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+N_ROUNDS = 10
+BLOCK_BYTES = 16
+KEY_BYTES = 16
+
+
+def _check_block(data: bytes, what: str) -> bytes:
+    data = bytes(data)
+    if len(data) != BLOCK_BYTES:
+        raise ReproError(f"{what} must be {BLOCK_BYTES} bytes, got {len(data)}")
+    return data
+
+
+def expand_key(key: bytes) -> List[List[int]]:
+    """FIPS-197 key expansion: 11 round keys of 16 bytes each."""
+    key = _check_block(key, "key")
+    words: List[List[int]] = [list(key[4 * i:4 * i + 4]) for i in range(4)]
+    for i in range(4, 4 * (N_ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]                   # RotWord
+            temp = [SBOX[b] for b in temp]               # SubWord
+            temp[0] ^= RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    round_keys = []
+    for r in range(N_ROUNDS + 1):
+        rk: List[int] = []
+        for w in words[4 * r:4 * r + 4]:
+            rk.extend(w)
+        round_keys.append(rk)
+    return round_keys
+
+
+def _sub_bytes(state: List[int]) -> List[int]:
+    return [SBOX[b] for b in state]
+
+
+def _inv_sub_bytes(state: List[int]) -> List[int]:
+    return [INV_SBOX[b] for b in state]
+
+
+def _shift_rows(state: List[int]) -> List[int]:
+    out = list(state)
+    for row in range(1, 4):
+        values = [state[row + 4 * col] for col in range(4)]
+        values = values[row:] + values[:row]
+        for col in range(4):
+            out[row + 4 * col] = values[col]
+    return out
+
+
+def _inv_shift_rows(state: List[int]) -> List[int]:
+    out = list(state)
+    for row in range(1, 4):
+        values = [state[row + 4 * col] for col in range(4)]
+        values = values[-row:] + values[:-row]
+        for col in range(4):
+            out[row + 4 * col] = values[col]
+    return out
+
+
+def _mix_columns(state: List[int]) -> List[int]:
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col:4 * col + 4]
+        out[4 * col + 0] = gf_mul(a[0], 2) ^ gf_mul(a[1], 3) ^ a[2] ^ a[3]
+        out[4 * col + 1] = a[0] ^ gf_mul(a[1], 2) ^ gf_mul(a[2], 3) ^ a[3]
+        out[4 * col + 2] = a[0] ^ a[1] ^ gf_mul(a[2], 2) ^ gf_mul(a[3], 3)
+        out[4 * col + 3] = gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ gf_mul(a[3], 2)
+    return out
+
+
+def _inv_mix_columns(state: List[int]) -> List[int]:
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col:4 * col + 4]
+        out[4 * col + 0] = (gf_mul(a[0], 14) ^ gf_mul(a[1], 11) ^
+                            gf_mul(a[2], 13) ^ gf_mul(a[3], 9))
+        out[4 * col + 1] = (gf_mul(a[0], 9) ^ gf_mul(a[1], 14) ^
+                            gf_mul(a[2], 11) ^ gf_mul(a[3], 13))
+        out[4 * col + 2] = (gf_mul(a[0], 13) ^ gf_mul(a[1], 9) ^
+                            gf_mul(a[2], 14) ^ gf_mul(a[3], 11))
+        out[4 * col + 3] = (gf_mul(a[0], 11) ^ gf_mul(a[1], 13) ^
+                            gf_mul(a[2], 9) ^ gf_mul(a[3], 14))
+    return out
+
+
+def _add_round_key(state: Sequence[int], rk: Sequence[int]) -> List[int]:
+    return [s ^ k for s, k in zip(state, rk)]
+
+
+def encrypt_block(plaintext: bytes, key: bytes) -> bytes:
+    """AES-128 encryption of one block."""
+    state = list(_check_block(plaintext, "plaintext"))
+    round_keys = expand_key(key)
+    state = _add_round_key(state, round_keys[0])
+    for r in range(1, N_ROUNDS):
+        state = _sub_bytes(state)
+        state = _shift_rows(state)
+        state = _mix_columns(state)
+        state = _add_round_key(state, round_keys[r])
+    state = _sub_bytes(state)
+    state = _shift_rows(state)
+    state = _add_round_key(state, round_keys[N_ROUNDS])
+    return bytes(state)
+
+
+def decrypt_block(ciphertext: bytes, key: bytes) -> bytes:
+    """AES-128 decryption of one block."""
+    state = list(_check_block(ciphertext, "ciphertext"))
+    round_keys = expand_key(key)
+    state = _add_round_key(state, round_keys[N_ROUNDS])
+    state = _inv_shift_rows(state)
+    state = _inv_sub_bytes(state)
+    for r in range(N_ROUNDS - 1, 0, -1):
+        state = _add_round_key(state, round_keys[r])
+        state = _inv_mix_columns(state)
+        state = _inv_shift_rows(state)
+        state = _inv_sub_bytes(state)
+    state = _add_round_key(state, round_keys[0])
+    return bytes(state)
+
+
+class AES128:
+    """Object wrapper with a precomputed key schedule."""
+
+    def __init__(self, key: bytes):
+        self.key = _check_block(key, "key")
+        self.round_keys = expand_key(self.key)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return encrypt_block(plaintext, self.key)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        return decrypt_block(ciphertext, self.key)
+
+    def encrypt_many(self, blocks: Iterable[bytes]) -> List[bytes]:
+        return [self.encrypt(b) for b in blocks]

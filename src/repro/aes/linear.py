@@ -1,0 +1,98 @@
+"""Bit-level views of AES's linear layers.
+
+ShiftRows is a pure byte permutation and MixColumns is linear over
+GF(2), so a hardware datapath implements them as wiring and XOR trees
+respectively.  This module derives both from the reference byte-level
+operations, keeping the hardware generator
+(:mod:`repro.synth.aes_core`) free of hand-written constants.
+
+Bit conventions: state bit index ``8*i + b`` refers to byte ``i`` of the
+16-byte block (column-major FIPS order) and bit ``b`` counted MSB-first
+within the byte.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .aes import _mix_columns, _shift_rows
+
+STATE_BITS = 128
+
+
+def shift_rows_byte_map() -> List[int]:
+    """``out[i] = in[map[i]]`` byte permutation of ShiftRows."""
+    probe = list(range(16))
+    shifted = _shift_rows(probe)
+    # shifted[i] names the source byte index placed at position i.
+    return list(shifted)
+
+
+def shift_rows_bit_map() -> List[int]:
+    """The same permutation at bit granularity (128 entries)."""
+    byte_map = shift_rows_byte_map()
+    bits = []
+    for i in range(16):
+        src = byte_map[i]
+        for b in range(8):
+            bits.append(8 * src + b)
+    return bits
+
+
+def mix_columns_column_matrix() -> List[List[int]]:
+    """The 32x32 GF(2) matrix of MixColumns on one column.
+
+    ``matrix[out_bit]`` lists the input bit indices XORed into that
+    output bit (both indexed MSB-first across the 4-byte column).
+    """
+    matrix: List[List[int]] = [[] for _ in range(32)]
+    for in_bit in range(32):
+        column = [0, 0, 0, 0]
+        column[in_bit // 8] = 1 << (7 - (in_bit % 8))
+        state = column + [0] * 12  # one column, rest zero
+        mixed = _mix_columns(state)[:4]
+        for out_byte in range(4):
+            for b in range(8):
+                if (mixed[out_byte] >> (7 - b)) & 1:
+                    matrix[8 * out_byte + b].append(in_bit)
+    return matrix
+
+
+def mix_columns_bit_map() -> List[List[int]]:
+    """Full-state MixColumns: ``out_bit -> [input bits]`` (128 rows).
+
+    Columns are independent; the per-column matrix is replicated with
+    the appropriate offsets.
+    """
+    column = mix_columns_column_matrix()
+    rows: List[List[int]] = []
+    for col in range(4):
+        offset = 32 * col
+        for out_bit in range(32):
+            rows.append([offset + i for i in column[out_bit]])
+    return rows
+
+
+def apply_bit_linear(rows: List[List[int]], bits: List[int]) -> List[int]:
+    """Evaluate a bit-linear map on a bit vector (for cross-checks)."""
+    return [sum(bits[i] for i in row) & 1 for row in rows]
+
+
+def state_to_bits(block: bytes) -> List[int]:
+    """16 bytes -> 128 bits, MSB-first per byte."""
+    bits = []
+    for byte in block:
+        for b in range(8):
+            bits.append((byte >> (7 - b)) & 1)
+    return bits
+
+
+def bits_to_state(bits: List[int]) -> bytes:
+    """128 bits -> 16 bytes."""
+    out = bytearray(16)
+    for i in range(16):
+        value = 0
+        for b in range(8):
+            value = (value << 1) | (bits[8 * i + b] & 1)
+        out[i] = value
+    return bytes(out)

@@ -1,0 +1,48 @@
+"""The reduced AES side-channel target.
+
+§6: "we synthesized, placed and routed the commonly accepted reduced
+version of the AES algorithm composed by a key addition and a S-box
+look-up-table".  One byte of plaintext is XORed with one byte of secret
+key and pushed through the S-box — the textbook first-round CPA target,
+small enough to enumerate *all* 256×256 plaintext/key pairs as the paper
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..errors import ReproError
+from .sbox import SBOX
+
+
+class ReducedAES:
+    """AddRoundKey + SubBytes on a single byte."""
+
+    def __init__(self, key: int):
+        if not 0 <= key <= 0xFF:
+            raise ReproError(f"key byte out of range: {key}")
+        self.key = key
+
+    def intermediate(self, plaintext: int) -> int:
+        """The S-box input (after key addition)."""
+        if not 0 <= plaintext <= 0xFF:
+            raise ReproError(f"plaintext byte out of range: {plaintext}")
+        return plaintext ^ self.key
+
+    def output(self, plaintext: int) -> int:
+        """The S-box output — the attacked intermediate value."""
+        return SBOX[self.intermediate(plaintext)]
+
+    def outputs(self, plaintexts: Iterable[int]) -> List[int]:
+        return [self.output(p) for p in plaintexts]
+
+    @staticmethod
+    def all_pairs() -> List[Tuple[int, int]]:
+        """Every (plaintext, key) pair, as the paper enumerates."""
+        return [(p, k) for k in range(256) for p in range(256)]
+
+    @staticmethod
+    def hypothesis(plaintext: int, key_guess: int) -> int:
+        """Predicted S-box output under a key guess (the attacker view)."""
+        return SBOX[(plaintext ^ key_guess) & 0xFF]

@@ -1,0 +1,103 @@
+"""The AES S-box, built from its algebraic definition.
+
+FIPS-197 defines SubBytes as multiplicative inversion in
+GF(2⁸) = GF(2)[x]/(x⁸+x⁴+x³+x+1) followed by an affine transformation
+over GF(2).  We construct the table that way (rather than pasting the
+byte table) so the unit tests can cross-check construction against the
+published vectors, and so the GF helpers are available to MixColumns.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ReproError
+
+#: The AES irreducible polynomial x^8 + x^4 + x^3 + x + 1.
+AES_POLY = 0x11B
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Carry-less multiply modulo the AES polynomial."""
+    if not (0 <= a <= 0xFF and 0 <= b <= 0xFF):
+        raise ReproError("gf_mul operands must be bytes")
+    result = 0
+    x, y = a, b
+    while y:
+        if y & 1:
+            result ^= x
+        y >>= 1
+        x <<= 1
+        if x & 0x100:
+            x ^= AES_POLY
+    return result
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Exponentiation in GF(2⁸) by square-and-multiply."""
+    result = 1
+    base = a
+    e = exponent
+    while e:
+        if e & 1:
+            result = gf_mul(result, base)
+        base = gf_mul(base, base)
+        e >>= 1
+    return result
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2⁸); 0 maps to 0 (AES convention)."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254 is the inverse in GF(2^8).
+    return gf_pow(a, 254)
+
+
+def _affine(b: int) -> int:
+    """The AES affine map: b XOR rot(b,4,5,6,7) XOR 0x63."""
+    result = 0
+    for i in range(8):
+        bit = ((b >> i) ^ (b >> ((i + 4) % 8)) ^ (b >> ((i + 5) % 8)) ^
+               (b >> ((i + 6) % 8)) ^ (b >> ((i + 7) % 8)) ^ (0x63 >> i)) & 1
+        result |= bit << i
+    return result
+
+
+def _build_sbox() -> List[int]:
+    return [_affine(gf_inverse(x)) for x in range(256)]
+
+
+def _invert_table(table: List[int]) -> List[int]:
+    inverse = [0] * 256
+    for i, v in enumerate(table):
+        inverse[v] = i
+    return inverse
+
+
+SBOX: List[int] = _build_sbox()
+INV_SBOX: List[int] = _invert_table(SBOX)
+
+# Cross-check a few FIPS-197 anchor values at import time: a wrong S-box
+# would silently invalidate every security experiment downstream.
+_ANCHORS = {0x00: 0x63, 0x01: 0x7C, 0x53: 0xED, 0xFF: 0x16, 0xC9: 0xDD}
+for _in, _out in _ANCHORS.items():
+    if SBOX[_in] != _out:
+        raise ReproError(
+            f"S-box construction broken: S[{_in:#04x}] = {SBOX[_in]:#04x}, "
+            f"expected {_out:#04x}")
+
+
+def sbox(value: int) -> int:
+    """Forward S-box lookup."""
+    return SBOX[value & 0xFF]
+
+
+def inv_sbox(value: int) -> int:
+    """Inverse S-box lookup."""
+    return INV_SBOX[value & 0xFF]
+
+
+def xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2⁸) — the MixColumns primitive."""
+    return gf_mul(a, 2)

@@ -1,0 +1,16 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+The paper uses BDDs in two places, and so do we:
+
+* §3: "The logic function is realized by a NMOS network that implements
+  the corresponding binary decision diagram" — the MCML cell generator
+  (:mod:`repro.cells.mcml`) turns a function's BDD directly into a stack
+  of source-coupled differential pairs.
+* §6: the S-box ISE is an 8×8 look-up table; the synthesis flow
+  (:mod:`repro.synth`) decomposes each LUT output through a shared BDD
+  and maps every node onto a MUX2 standard cell.
+"""
+
+from .bdd import BDD, Manager, ZERO_INDEX, ONE_INDEX
+
+__all__ = ["BDD", "Manager", "ZERO_INDEX", "ONE_INDEX"]

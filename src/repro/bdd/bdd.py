@@ -1,0 +1,372 @@
+"""A hash-consed ROBDD implementation.
+
+Nodes live in a :class:`Manager` as ``(level, low, high)`` triples,
+identified by integer indices.  Index 0 is the FALSE terminal and index 1
+the TRUE terminal.  Reduction invariants (no node with ``low == high``,
+full sharing via the unique table) hold by construction, so two
+equivalent functions under the same manager always have the same index —
+which is what makes the LUT decomposition share logic across the eight
+S-box output bits.
+
+The recursive ``ite`` depth is bounded by the variable count (at most 8
+for the S-box, and tiny for cell functions), so plain recursion is safe.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import BDDError
+
+ZERO_INDEX = 0
+ONE_INDEX = 1
+
+_TERMINAL_LEVEL = sys.maxsize
+
+
+class Manager:
+    """Owns the node store, unique table, and operation caches."""
+
+    def __init__(self, variables: Optional[Sequence[str]] = None):
+        # Parallel arrays: level / low / high per node index.
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: List[int] = [ZERO_INDEX, ONE_INDEX]
+        self._high: List[int] = [ZERO_INDEX, ONE_INDEX]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self.variables: List[str] = []
+        self._var_index: Dict[str, int] = {}
+        for name in variables or ():
+            self.add_variable(name)
+
+    # -- variables -----------------------------------------------------------
+
+    def add_variable(self, name: str) -> "BDD":
+        """Register a new variable at the bottom of the current order."""
+        if name in self._var_index:
+            raise BDDError(f"variable {name!r} already declared")
+        self._var_index[name] = len(self.variables)
+        self.variables.append(name)
+        return self.var(name)
+
+    def var(self, name: str) -> "BDD":
+        """The projection function of an existing variable."""
+        try:
+            level = self._var_index[name]
+        except KeyError:
+            raise BDDError(f"unknown variable {name!r}; declared: "
+                           f"{self.variables}") from None
+        return BDD(self, self._mk(level, ZERO_INDEX, ONE_INDEX))
+
+    def var_name(self, level: int) -> str:
+        if not 0 <= level < len(self.variables):
+            raise BDDError(f"no variable at level {level}")
+        return self.variables[level]
+
+    @property
+    def false(self) -> "BDD":
+        return BDD(self, ZERO_INDEX)
+
+    @property
+    def true(self) -> "BDD":
+        return BDD(self, ONE_INDEX)
+
+    def constant(self, value: bool) -> "BDD":
+        return self.true if value else self.false
+
+    # -- node store ----------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        index = len(self._level)
+        self._level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = index
+        return index
+
+    def node(self, index: int) -> Tuple[int, int, int]:
+        """The ``(level, low, high)`` triple of a node index."""
+        return self._level[index], self._low[index], self._high[index]
+
+    def is_terminal(self, index: int) -> bool:
+        return index in (ZERO_INDEX, ONE_INDEX)
+
+    def __len__(self) -> int:
+        return len(self._level)
+
+    # -- core algorithm --------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the one operator every Boolean op reduces to."""
+        if f == ONE_INDEX:
+            return g
+        if f == ZERO_INDEX:
+            return h
+        if g == h:
+            return g
+        if g == ONE_INDEX and h == ZERO_INDEX:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, index: int, level: int) -> Tuple[int, int]:
+        if self._level[index] == level:
+            return self._low[index], self._high[index]
+        return index, index
+
+    # -- traversal -------------------------------------------------------------
+
+    def reachable(self, roots: Iterable[int]) -> List[int]:
+        """Non-terminal nodes reachable from ``roots``, children first."""
+        order: List[int] = []
+        seen: Set[int] = set()
+
+        def visit(index: int) -> None:
+            if index in seen or self.is_terminal(index):
+                return
+            seen.add(index)
+            visit(self._low[index])
+            visit(self._high[index])
+            order.append(index)
+
+        for root in roots:
+            visit(root)
+        return order
+
+    # -- construction helpers ----------------------------------------------------
+
+    def from_truth_table(self, bits: Sequence[int],
+                         var_names: Sequence[str]) -> "BDD":
+        """Build the function whose truth table is ``bits``.
+
+        ``bits[i]`` is the output for the input assignment whose binary
+        encoding is ``i``, with ``var_names[0]`` as the *most significant*
+        bit.  Missing variables are declared in order.
+        """
+        n = len(var_names)
+        if len(bits) != (1 << n):
+            raise BDDError(
+                f"truth table of {len(bits)} entries does not match "
+                f"{n} variables (need {1 << n})")
+        for name in var_names:
+            if name not in self._var_index:
+                self.add_variable(name)
+        levels = [self._var_index[name] for name in var_names]
+        if levels != sorted(levels):
+            raise BDDError("var_names must respect the manager ordering")
+        memo: Dict[Tuple[int, ...], int] = {}
+
+        def build(segment: Tuple[int, ...], depth: int) -> int:
+            if depth == n:
+                return ONE_INDEX if segment[0] else ZERO_INDEX
+            cached = memo.get(segment)
+            if cached is not None:
+                return cached
+            half = len(segment) // 2
+            # MSB-first: table index i has var_names[depth] = 1 exactly when
+            # i falls in the upper half of the current segment.
+            low = build(segment[:half], depth + 1)
+            high = build(segment[half:], depth + 1)
+            result = self._mk(levels[depth], low, high)
+            memo[segment] = result
+            return result
+
+        return BDD(self, build(tuple(int(b) & 1 for b in bits), 0))
+
+
+class BDD:
+    """A function handle: a manager plus a node index."""
+
+    __slots__ = ("manager", "index")
+
+    def __init__(self, manager: Manager, index: int):
+        self.manager = manager
+        self.index = index
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.manager.is_terminal(self.index)
+
+    @property
+    def is_true(self) -> bool:
+        return self.index == ONE_INDEX
+
+    @property
+    def is_false(self) -> bool:
+        return self.index == ZERO_INDEX
+
+    @property
+    def var(self) -> str:
+        """Top variable name (terminal nodes have no variable)."""
+        if self.is_terminal:
+            raise BDDError("terminal node has no variable")
+        level, _, _ = self.manager.node(self.index)
+        return self.manager.var_name(level)
+
+    @property
+    def low(self) -> "BDD":
+        if self.is_terminal:
+            raise BDDError("terminal node has no cofactors")
+        _, low, _ = self.manager.node(self.index)
+        return BDD(self.manager, low)
+
+    @property
+    def high(self) -> "BDD":
+        if self.is_terminal:
+            raise BDDError("terminal node has no cofactors")
+        _, _, high = self.manager.node(self.index)
+        return BDD(self.manager, high)
+
+    def _coerce(self, other) -> "BDD":
+        if isinstance(other, BDD):
+            if other.manager is not self.manager:
+                raise BDDError("cannot combine BDDs from different managers")
+            return other
+        if isinstance(other, (bool, int)):
+            return self.manager.constant(bool(other))
+        raise BDDError(f"cannot combine BDD with {type(other).__name__}")
+
+    # -- operators ------------------------------------------------------------
+
+    def __and__(self, other) -> "BDD":
+        o = self._coerce(other)
+        return BDD(self.manager, self.manager.ite(self.index, o.index, ZERO_INDEX))
+
+    def __or__(self, other) -> "BDD":
+        o = self._coerce(other)
+        return BDD(self.manager, self.manager.ite(self.index, ONE_INDEX, o.index))
+
+    def __xor__(self, other) -> "BDD":
+        o = self._coerce(other)
+        not_o = self.manager.ite(o.index, ZERO_INDEX, ONE_INDEX)
+        return BDD(self.manager, self.manager.ite(self.index, not_o, o.index))
+
+    def __invert__(self) -> "BDD":
+        return BDD(self.manager, self.manager.ite(self.index, ZERO_INDEX, ONE_INDEX))
+
+    __rand__ = __and__
+    __ror__ = __or__
+    __rxor__ = __xor__
+
+    def ite(self, then_f, else_f) -> "BDD":
+        """``self ? then_f : else_f``."""
+        t = self._coerce(then_f)
+        e = self._coerce(else_f)
+        return BDD(self.manager, self.manager.ite(self.index, t.index, e.index))
+
+    def equiv(self, other) -> bool:
+        """Structural (= semantic, thanks to canonicity) equality."""
+        return self._coerce(other).index == self.index
+
+    def __eq__(self, other) -> bool:  # type: ignore[override]
+        if isinstance(other, BDD):
+            return self.manager is other.manager and self.index == other.index
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.index))
+
+    # -- queries ----------------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a (complete for the support) assignment."""
+        manager = self.manager
+        index = self.index
+        while not manager.is_terminal(index):
+            level, low, high = manager.node(index)
+            name = manager.var_name(level)
+            try:
+                value = assignment[name]
+            except KeyError:
+                raise BDDError(f"assignment missing variable {name!r}") from None
+            index = high if value else low
+        return index == ONE_INDEX
+
+    def support(self) -> Set[str]:
+        """Variables the function actually depends on."""
+        names: Set[str] = set()
+        for idx in self.manager.reachable([self.index]):
+            level, _, _ = self.manager.node(idx)
+            names.add(self.manager.var_name(level))
+        return names
+
+    def node_count(self) -> int:
+        """Number of internal (non-terminal) nodes."""
+        return len(self.manager.reachable([self.index]))
+
+    def sat_count(self, n_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``n_vars`` variables."""
+        manager = self.manager
+        total_vars = n_vars if n_vars is not None else len(manager.variables)
+        if total_vars < len(manager.variables):
+            raise BDDError("n_vars smaller than the number of declared variables")
+        memo: Dict[Tuple[int, int], int] = {}
+
+        def count(index: int, level: int) -> int:
+            """Satisfying assignments of the subfunction, over the
+            remaining ``total_vars - level`` variables."""
+            if index == ZERO_INDEX:
+                return 0
+            if index == ONE_INDEX:
+                return 1 << (total_vars - level)
+            key = (index, level)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            node_level, low, high = manager.node(index)
+            skip = node_level - level
+            below = count(low, node_level + 1) + count(high, node_level + 1)
+            result = below << skip
+            memo[key] = result
+            return result
+
+        return count(self.index, 0)
+
+    def truth_table(self, var_names: Sequence[str]) -> List[int]:
+        """Exhaustive evaluation, MSB-first over ``var_names``."""
+        n = len(var_names)
+        table: List[int] = []
+        for i in range(1 << n):
+            assignment = {
+                name: bool((i >> (n - 1 - k)) & 1)
+                for k, name in enumerate(var_names)
+            }
+            table.append(int(self.evaluate(assignment)))
+        return table
+
+    def __repr__(self) -> str:
+        if self.is_false:
+            return "BDD(FALSE)"
+        if self.is_true:
+            return "BDD(TRUE)"
+        return f"BDD({self.var!r}@{self.index}, {self.node_count()} nodes)"
+
+
+def build_function(manager: Manager, expr: Callable[..., "BDD"],
+                   var_names: Sequence[str]) -> "BDD":
+    """Apply ``expr`` to the projection functions of ``var_names``."""
+    for name in var_names:
+        if name not in manager._var_index:
+            manager.add_variable(name)
+    args = [manager.var(name) for name in var_names]
+    return expr(*args)

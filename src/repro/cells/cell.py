@@ -1,0 +1,153 @@
+"""Cell datasheets: the library view of one standard cell.
+
+A :class:`Cell` bundles what downstream tools need to know: pins and
+function (from :mod:`repro.cells.functions`), layout area, a linear delay
+model, and a style-specific power model.  This mirrors what a Liberty
+file provides to synthesis and what the power simulator needs per
+instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import CellError
+from .functions import CellFunction
+
+STYLES = ("cmos", "mcml", "pgmcml")
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Linear delay model ``d(Cload) = intrinsic + drive_res * Cload``.
+
+    ``intrinsic`` covers the unloaded (parasitic) delay; ``drive_res`` is
+    the effective output resistance.  For MCML, ``drive_res`` is the load
+    resistance R = swing / Iss — the RC at the output is what limits the
+    cell, and a higher tail current buys speed linearly (Fig. 3).
+    """
+
+    intrinsic: float
+    drive_res: float
+
+    def __post_init__(self) -> None:
+        if self.intrinsic < 0.0 or self.drive_res < 0.0:
+            raise CellError("delay model parameters must be non-negative")
+
+    def delay(self, cload: float) -> float:
+        if cload < 0.0:
+            raise CellError("load capacitance must be non-negative")
+        return self.intrinsic + self.drive_res * cload
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Style-specific power characteristics.
+
+    CMOS cells dissipate ``energy_toggle`` per output transition plus a
+    static ``leak`` current.  MCML cells draw a constant ``iss`` whenever
+    powered; their data dependence is reduced to a residual of standard
+    deviation ``residual_sigma`` (device mismatch — see
+    :class:`repro.tech.MismatchModel`).  PG-MCML adds a sleep mode with
+    leakage ``sleep_leak`` and a wake time constant.
+    """
+
+    style: str
+    leak: float = 0.0
+    energy_toggle: float = 0.0
+    iss: float = 0.0
+    residual_sigma: float = 0.0
+    sleep_leak: float = 0.0
+    wake_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.style not in STYLES:
+            raise CellError(f"unknown style {self.style!r}; known: {STYLES}")
+        for name in ("leak", "energy_toggle", "iss", "residual_sigma",
+                     "sleep_leak", "wake_time"):
+            if getattr(self, name) < 0.0:
+                raise CellError(f"power model field {name} must be >= 0")
+        if self.style in ("mcml", "pgmcml") and self.iss <= 0.0:
+            raise CellError(f"{self.style} cells need a positive tail current")
+        if self.style == "pgmcml" and self.sleep_leak >= self.iss:
+            raise CellError("sleep leakage must be below the tail current")
+
+    @property
+    def has_sleep(self) -> bool:
+        return self.style == "pgmcml"
+
+    def static_current(self, asleep: bool = False) -> float:
+        """Quiescent supply current in the given mode."""
+        if self.style == "cmos":
+            return self.leak
+        if asleep:
+            if not self.has_sleep:
+                raise CellError(f"{self.style} cells have no sleep mode")
+            return self.sleep_leak
+        return self.iss
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell datasheet."""
+
+    name: str
+    function: CellFunction
+    style: str
+    sites: int
+    area_um2: float
+    input_cap: float
+    delay_model: DelayModel
+    power: PowerModel
+    drive: float = 1.0
+    source: str = "paper"
+    #: Pseudo cells (differential rail swaps) occupy no silicon: they are
+    #: excluded from cell counts, area, and power, but participate in
+    #: logic simulation so mapped netlists stay logically exact.
+    pseudo: bool = False
+
+    def __post_init__(self) -> None:
+        if self.style not in STYLES:
+            raise CellError(f"unknown style {self.style!r}")
+        if self.power.style != self.style and not self.pseudo:
+            raise CellError(
+                f"{self.name}: power model style {self.power.style!r} does "
+                f"not match cell style {self.style!r}")
+        if self.sites <= 0 or self.area_um2 <= 0.0:
+            raise CellError(f"{self.name}: geometry must be positive")
+        if self.input_cap <= 0.0:
+            raise CellError(f"{self.name}: input capacitance must be positive")
+        if self.drive <= 0.0:
+            raise CellError(f"{self.name}: drive strength must be positive")
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.function.sequential
+
+    @property
+    def inputs(self):
+        return self.function.inputs
+
+    @property
+    def outputs(self):
+        return self.function.outputs
+
+    def delay(self, cload: Optional[float] = None) -> float:
+        """Propagation delay driving ``cload`` (default: one own input)."""
+        load = self.input_cap if cload is None else cload
+        return self.delay_model.delay(load)
+
+    def fo4_delay(self) -> float:
+        """Delay driving four copies of the cell's own input."""
+        return self.delay_model.delay(4.0 * self.input_cap)
+
+    def with_measurement(self, delay_model: DelayModel,
+                         power: PowerModel) -> "Cell":
+        """Datasheet updated from a characterisation run."""
+        return replace(self, delay_model=delay_model, power=power,
+                       source="characterized")
+
+    def __repr__(self) -> str:
+        return (f"Cell({self.name}/{self.style}, {self.area_um2:.4g} um2, "
+                f"d0={self.delay_model.intrinsic * 1e12:.3g}ps)")

@@ -1,0 +1,192 @@
+"""Cell characterisation by transistor-level simulation.
+
+Reproduces what the authors did with HSPICE on every library cell:
+stimulate one input with a differential pulse while holding the others at
+sensitising values, simulate the transient, and measure the differential
+propagation delay, output swing, and supply current — plus DC leakage in
+active and sleep modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import CharacterizationError
+from ..spice import (
+    DC,
+    Pulse,
+    differential_delay,
+    run_transient,
+    solve_dc,
+)
+from ..tech import Technology, TECH90
+from ..units import ns, ps
+from .functions import CellFunction
+from .mcml import McmlCellGenerator
+
+
+@dataclass(frozen=True)
+class CellMeasurement:
+    """What one characterisation run produced."""
+
+    cell_name: str
+    delay: float
+    swing: float
+    iss: float
+    toggled_pin: str
+    sleep_leak: Optional[float] = None
+
+    def __repr__(self) -> str:
+        base = (f"CellMeasurement({self.cell_name}: d={self.delay * 1e12:.4g}ps, "
+                f"swing={self.swing:.3g}V, iss={self.iss * 1e6:.4g}uA")
+        if self.sleep_leak is not None:
+            base += f", sleep={self.sleep_leak * 1e9:.3g}nA"
+        return base + ")"
+
+
+def sensitising_assignment(fn: CellFunction) -> Tuple[str, Dict[str, bool], str]:
+    """Find a pin and side-input assignment that toggles an output.
+
+    Returns ``(pin, side_values, output)`` such that flipping ``pin``
+    under ``side_values`` flips ``output`` — the boolean-difference
+    condition every delay measurement needs.
+    """
+    if fn.sequential:
+        raise CharacterizationError(
+            f"{fn.name}: use latch-specific stimuli for sequential cells")
+    others_of = {pin: [x for x in fn.inputs if x != pin] for pin in fn.inputs}
+    for pin in fn.inputs:
+        others = others_of[pin]
+        for code in range(1 << len(others)):
+            side = {
+                other: bool((code >> k) & 1)
+                for k, other in enumerate(others)
+            }
+            low = fn.evaluate({**side, pin: False})
+            high = fn.evaluate({**side, pin: True})
+            for out in fn.outputs:
+                if low[out] != high[out]:
+                    return pin, side, out
+    raise CharacterizationError(
+        f"{fn.name}: no input toggles any output (constant function?)")
+
+
+#: Routing capacitance per output rail: a stub plus one fat-wire branch
+#: per fanout destination.  Unlike the destination gate capacitance this
+#: does NOT scale with the cell's own bias current, which is what makes
+#: the Fig. 3 delay saturate at high Iss.
+WIRE_CAP_BASE = 0.8e-15
+WIRE_CAP_PER_FANOUT = 0.7e-15
+
+
+def characterize_mcml_cell(fn: CellFunction, generator: McmlCellGenerator,
+                           fanout: int = 1, tech: Technology = TECH90,
+                           dt: float = ps(0.5),
+                           window: float = ns(0.8)) -> CellMeasurement:
+    """Measure delay/swing/current of a generated MCML or PG-MCML cell.
+
+    The toggling input gets a differential pulse; each output rail is
+    loaded with ``fanout`` buffer inputs plus the routing capacitance.
+    """
+    pin, side, out = sensitising_assignment(fn)
+    sizing = generator.sizing
+    load = (fanout * generator.input_capacitance()
+            + WIRE_CAP_BASE + WIRE_CAP_PER_FANOUT * fanout)
+    cell = generator.build(fn, load_cap=load)
+    ckt = cell.circuit
+
+    vhi, vlo = sizing.input_high(tech), sizing.input_low(tech)
+    ckt.v("vdd", cell.vdd_net, tech.vdd)
+    ckt.v("vvn", cell.vn_net, sizing.vn)
+    ckt.v("vvp", cell.vp_net, sizing.vp)
+    if cell.has_sleep:
+        ckt.v("vsleep", cell.sleep_net, tech.vdd)
+
+    edge = ps(10)
+    half = window / 2
+    in_p, in_n = cell.input_nets[pin]
+    ckt.v("vstim_p", in_p, Pulse(vlo, vhi, half, edge, edge, window, 0.0))
+    ckt.v("vstim_n", in_n, Pulse(vhi, vlo, half, edge, edge, window, 0.0))
+    for other, value in side.items():
+        o_p, o_n = cell.input_nets[other]
+        ckt.v(f"vside_{other.lower()}_p", o_p, DC(vhi if value else vlo))
+        ckt.v(f"vside_{other.lower()}_n", o_n, DC(vlo if value else vhi))
+
+    result = run_transient(ckt, tstop=window, dt=dt,
+                           record=[in_p, in_n, *cell.output_nets[out],
+                                   cell.vdd_net])
+    out_p, out_n = cell.output_nets[out]
+    delay = differential_delay(result, in_p, in_n, out_p, out_n,
+                               after=half * 0.9)
+    diff = result.differential(out_p, out_n)
+    swing = diff.settle_value(0.1)
+    iss = result.current("vdd").average(t0=window * 0.75)
+    return CellMeasurement(cell_name=fn.name, delay=delay, swing=abs(swing),
+                           iss=iss, toggled_pin=pin)
+
+
+def characterize_mcml_dff(generator: McmlCellGenerator,
+                          tech: Technology = TECH90, dt: float = ps(0.5),
+                          window: float = ns(1.6)) -> CellMeasurement:
+    """Clock-to-Q measurement of the master-slave CML flip-flop.
+
+    D is held high throughout; CK rises mid-window; the measurement is
+    the differential CK crossing to the differential Q crossing.
+    """
+    from .functions import function  # local import avoids a cycle
+
+    fn = function("DFF")
+    sizing = generator.sizing
+    load = generator.input_capacitance()
+    cell = generator.build(fn, load_cap=load)
+    ckt = cell.circuit
+
+    vhi, vlo = sizing.input_high(tech), sizing.input_low(tech)
+    ckt.v("vdd", cell.vdd_net, tech.vdd)
+    ckt.v("vvn", cell.vn_net, sizing.vn)
+    ckt.v("vvp", cell.vp_net, sizing.vp)
+    if cell.has_sleep:
+        ckt.v("vsleep", cell.sleep_net, tech.vdd)
+
+    d_p, d_n = cell.input_nets["D"]
+    ckt.v("vd_p", d_p, DC(vhi))
+    ckt.v("vd_n", d_n, DC(vlo))
+    edge = ps(10)
+    half = window / 2
+    ck_p, ck_n = cell.input_nets["CK"]
+    ckt.v("vck_p", ck_p, Pulse(vlo, vhi, half, edge, edge, window, 0.0))
+    ckt.v("vck_n", ck_n, Pulse(vhi, vlo, half, edge, edge, window, 0.0))
+
+    q_p, q_n = cell.output_nets["Q"]
+    result = run_transient(ckt, tstop=window, dt=dt,
+                           record=[ck_p, ck_n, q_p, q_n, cell.vdd_net])
+    delay = differential_delay(result, ck_p, ck_n, q_p, q_n,
+                               after=half * 0.9)
+    swing = abs(result.differential(q_p, q_n).settle_value(0.1))
+    iss = result.current("vdd").average(t0=window * 0.75)
+    return CellMeasurement(cell_name="DFF", delay=delay, swing=swing,
+                           iss=iss, toggled_pin="CK")
+
+
+def measure_leakage(fn: CellFunction, generator: McmlCellGenerator,
+                    asleep: bool, tech: Technology = TECH90) -> float:
+    """DC supply current with static inputs, optionally in sleep mode."""
+    sizing = generator.sizing
+    cell = generator.build(fn)
+    ckt = cell.circuit
+    ckt.v("vdd", cell.vdd_net, tech.vdd)
+    ckt.v("vvn", cell.vn_net, sizing.vn)
+    ckt.v("vvp", cell.vp_net, sizing.vp)
+    if cell.has_sleep:
+        ckt.v("vsleep", cell.sleep_net, 0.0 if asleep else tech.vdd)
+    elif asleep:
+        raise CharacterizationError(
+            f"{fn.name}: conventional MCML has no sleep mode")
+    vhi, vlo = sizing.input_high(tech), sizing.input_low(tech)
+    for pin in fn.inputs:
+        in_p, in_n = cell.input_nets[pin]
+        ckt.v(f"vin_{pin.lower()}_p", in_p, DC(vhi))
+        ckt.v(f"vin_{pin.lower()}_n", in_n, DC(vlo))
+    op = solve_dc(ckt)
+    return op.current("vdd")

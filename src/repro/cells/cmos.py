@@ -1,0 +1,181 @@
+"""Static CMOS reference gates at transistor level.
+
+The paper's baseline is a commercial 90 nm CMOS library.  For the
+comparisons that need real electrical behaviour (delay cross-checks,
+leakage, and the data-dependent supply current that makes CMOS attackable
+in Fig. 6) we generate the classic complementary topologies: INV, NAND,
+NOR, and a transmission-gate MUX2.  Everything larger is composed from
+these during synthesis, exactly as a commercial library's compound cells
+would be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import CellError
+from ..spice import Circuit
+from ..tech import Technology, TECH90
+from ..units import um
+from .functions import CellFunction, function
+
+
+@dataclass(frozen=True)
+class CmosSizing:
+    """Unit device sizes (drive 1); PMOS widened for mobility."""
+
+    wn: float = um(0.30)
+    wp: float = um(0.60)
+    l: float = um(0.10)
+    nmos_flavor: str = "nmos_lvt"
+    pmos_flavor: str = "pmos_lvt"
+
+    def scaled(self, drive: float) -> "CmosSizing":
+        if drive <= 0:
+            raise CellError("drive strength must be positive")
+        return CmosSizing(self.wn * drive, self.wp * drive, self.l,
+                          self.nmos_flavor, self.pmos_flavor)
+
+
+@dataclass
+class CmosCellCircuit:
+    """A generated CMOS cell netlist plus pin bindings."""
+
+    circuit: Circuit
+    function: CellFunction
+    input_nets: Dict[str, str]
+    output_nets: Dict[str, str]
+    vdd_net: str
+
+
+class CmosCellGenerator:
+    """Generates static CMOS gate netlists."""
+
+    style = "cmos"
+
+    def __init__(self, tech: Technology = TECH90,
+                 sizing: Optional[CmosSizing] = None):
+        self.tech = tech
+        self.sizing = sizing or CmosSizing()
+
+    def build(self, fn_name: str, circuit: Optional[Circuit] = None,
+              prefix: str = "", load_cap: float = 0.0) -> CmosCellCircuit:
+        fn = function(fn_name)
+        own = circuit is None
+        ckt = circuit or Circuit(f"cmos_{fn_name.lower()}")
+        p = "" if own and not prefix else f"{prefix}{fn_name.lower()}_"
+        vdd = "vdd" if own else f"{p}vdd"
+
+        builders = {
+            "INV": self._inv,
+            "BUF": self._buf,
+            "NAND2": self._nand,
+            "NAND3": self._nand,
+            "NAND4": self._nand,
+            "NOR2": self._nor,
+            "NOR3": self._nor,
+            "MUX2": self._mux2,
+        }
+        try:
+            builder = builders[fn_name]
+        except KeyError:
+            raise CellError(
+                f"no transistor-level CMOS template for {fn_name!r}; "
+                f"compose it from INV/NAND/NOR/MUX2") from None
+        input_nets, output_nets = builder(ckt, fn, p, vdd)
+
+        if load_cap > 0.0:
+            for out, net in output_nets.items():
+                ckt.capacitor(f"{p}cl_{out.lower()}", net, "0", load_cap)
+        return CmosCellCircuit(ckt, fn, input_nets, output_nets, vdd)
+
+    # -- device helpers --------------------------------------------------------
+
+    def _nmos(self, ckt: Circuit, name: str, d: str, g: str, s: str,
+              width_scale: float = 1.0) -> None:
+        sz = self.sizing
+        ckt.mosfet(name, d, g, s, "0", self.tech.flavor(sz.nmos_flavor),
+                   w=sz.wn * width_scale, l=sz.l,
+                   temp_vt=self.tech.vt_thermal)
+
+    def _pmos(self, ckt: Circuit, name: str, d: str, g: str, s: str,
+              vdd: str, width_scale: float = 1.0) -> None:
+        sz = self.sizing
+        ckt.mosfet(name, d, g, s, vdd, self.tech.flavor(sz.pmos_flavor),
+                   w=sz.wp * width_scale, l=sz.l,
+                   temp_vt=self.tech.vt_thermal)
+
+    # -- topologies --------------------------------------------------------------
+
+    def _inv(self, ckt: Circuit, fn: CellFunction, p: str, vdd: str):
+        a, y = f"{p}a", f"{p}y"
+        self._nmos(ckt, f"{p}mn", y, a, "0")
+        self._pmos(ckt, f"{p}mp", y, a, vdd, vdd)
+        return {"A": a}, {"Y": y}
+
+    def _buf(self, ckt: Circuit, fn: CellFunction, p: str, vdd: str):
+        a, mid, y = f"{p}a", f"{p}mid", f"{p}y"
+        self._nmos(ckt, f"{p}mn1", mid, a, "0")
+        self._pmos(ckt, f"{p}mp1", mid, a, vdd, vdd)
+        self._nmos(ckt, f"{p}mn2", y, mid, "0", 2.0)
+        self._pmos(ckt, f"{p}mp2", y, mid, vdd, vdd, 2.0)
+        return {"A": a}, {"Y": y}
+
+    def _nand(self, ckt: Circuit, fn: CellFunction, p: str, vdd: str):
+        n = len(fn.inputs)
+        nets = {pin: f"{p}{pin.lower()}" for pin in fn.inputs}
+        y = f"{p}y"
+        # Series NMOS stack, widened to compensate the stack.
+        node = "0"
+        for i, pin in enumerate(reversed(fn.inputs)):
+            drain = y if i == n - 1 else f"{p}sn{i}"
+            self._nmos(ckt, f"{p}mn{i}", drain, nets[pin], node, float(n))
+            node = drain
+        for i, pin in enumerate(fn.inputs):
+            self._pmos(ckt, f"{p}mp{i}", y, nets[pin], vdd, vdd)
+        return nets, {"Y": y}
+
+    def _nor(self, ckt: Circuit, fn: CellFunction, p: str, vdd: str):
+        n = len(fn.inputs)
+        nets = {pin: f"{p}{pin.lower()}" for pin in fn.inputs}
+        y = f"{p}y"
+        node = vdd
+        for i, pin in enumerate(fn.inputs):
+            drain = y if i == n - 1 else f"{p}sp{i}"
+            self._pmos(ckt, f"{p}mp{i}", drain, nets[pin], node, vdd, float(n))
+            node = drain
+        for i, pin in enumerate(fn.inputs):
+            self._nmos(ckt, f"{p}mn{i}", y, nets[pin], "0")
+        return nets, {"Y": y}
+
+    def _mux2(self, ckt: Circuit, fn: CellFunction, p: str, vdd: str):
+        s, d0, d1, y = f"{p}s", f"{p}d0", f"{p}d1", f"{p}y"
+        sb = f"{p}sb"
+        # Select inverter.
+        self._nmos(ckt, f"{p}mni", sb, s, "0")
+        self._pmos(ckt, f"{p}mpi", sb, s, vdd, vdd)
+        # Transmission gates onto an internal node, then output inverter
+        # pair to restore drive (commercial MUX cells buffer the output).
+        mid = f"{p}mid"
+        self._nmos(ckt, f"{p}mn0", mid, sb, d0)
+        self._pmos(ckt, f"{p}mp0", mid, s, d0, vdd)
+        self._nmos(ckt, f"{p}mn1", mid, s, d1)
+        self._pmos(ckt, f"{p}mp1", mid, sb, d1, vdd)
+        inv1 = f"{p}yb"
+        self._nmos(ckt, f"{p}mn2", inv1, mid, "0")
+        self._pmos(ckt, f"{p}mp2", inv1, mid, vdd, vdd)
+        self._nmos(ckt, f"{p}mn3", y, inv1, "0", 2.0)
+        self._pmos(ckt, f"{p}mp3", y, inv1, vdd, vdd, 2.0)
+        return {"S": s, "D0": d0, "D1": d1}, {"Y": y}
+
+    # -- electrical estimates -------------------------------------------------------
+
+    def input_capacitance(self) -> float:
+        """Gate capacitance of one unit inverter input."""
+        sz = self.sizing
+        n = self.tech.flavor(sz.nmos_flavor)
+        pm = self.tech.flavor(sz.pmos_flavor)
+        cap_n = n.cox * sz.wn * sz.l + 2 * n.cov * sz.wn
+        cap_p = pm.cox * sz.wp * sz.l + 2 * pm.cov * sz.wp
+        return cap_n + cap_p

@@ -1,0 +1,253 @@
+"""Logic functions implemented by the standard cells.
+
+A :class:`CellFunction` describes *what* a cell computes, independently of
+the logic style that implements it.  It provides:
+
+* pin lists (inputs, outputs; sequential cells also name their state),
+* a Python evaluator used by the gate-level logic simulator,
+* a BDD builder used by the MCML netlist generator and the synthesiser.
+
+The registry covers the paper's 16-cell PG-MCML library (Table 2) plus
+the static-CMOS-only helpers (INV, NAND/NOR) needed by the reference
+flow.  In fully differential logic inversion is free (swap the rails), so
+the MCML library needs no INV cell — the paper's Table 2 indeed has none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import BDD, Manager
+from ..errors import CellError
+
+Assignment = Dict[str, bool]
+Evaluator = Callable[[Assignment], Dict[str, bool]]
+
+
+@dataclass(frozen=True)
+class CellFunction:
+    """A named logic function with pins and evaluators.
+
+    ``evaluate`` maps an input assignment to output values.  Sequential
+    functions also define ``next_state``: given inputs and the current
+    state, return the new state; their outputs may depend on the state
+    (passed in the assignment under the state name).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    evaluate: Evaluator
+    sequential: bool = False
+    state_pins: Tuple[str, ...] = ()
+    next_state: Optional[Callable[[Assignment, Dict[str, bool]], Dict[str, bool]]] = None
+    clock_pin: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.inputs and not self.sequential:
+            raise CellError(f"{self.name}: combinational cell needs inputs")
+        if not self.outputs:
+            raise CellError(f"{self.name}: cell needs at least one output")
+        if self.sequential and self.next_state is None:
+            raise CellError(f"{self.name}: sequential cell needs next_state")
+
+    def bdds(self, manager: Manager,
+             pin_map: Optional[Dict[str, str]] = None) -> Dict[str, BDD]:
+        """Build one BDD per output over the cell's input variables.
+
+        Only valid for combinational functions.  ``pin_map`` renames pins
+        to external net names before variables are declared.
+        """
+        if self.sequential:
+            raise CellError(f"{self.name}: sequential cells have no static BDD")
+        rename = pin_map or {}
+        var_of: Dict[str, BDD] = {}
+        for pin in self.inputs:
+            var_name = rename.get(pin, pin)
+            if var_name not in manager.variables:
+                manager.add_variable(var_name)
+            var_of[pin] = manager.var(var_name)
+        results: Dict[str, BDD] = {}
+        for out in self.outputs:
+            acc = manager.false
+            n = len(self.inputs)
+            for code in range(1 << n):
+                assignment = {
+                    pin: bool((code >> (n - 1 - k)) & 1)
+                    for k, pin in enumerate(self.inputs)
+                }
+                if self.evaluate(assignment)[out]:
+                    term = manager.true
+                    for pin in self.inputs:
+                        term = term & (var_of[pin] if assignment[pin]
+                                       else ~var_of[pin])
+                    acc = acc | term
+            results[out] = acc
+        return results
+
+    def truth_table(self, output: str) -> List[int]:
+        """Exhaustive table of one output, inputs MSB-first."""
+        if output not in self.outputs:
+            raise CellError(f"{self.name}: no output {output!r}")
+        n = len(self.inputs)
+        table = []
+        for code in range(1 << n):
+            assignment = {
+                pin: bool((code >> (n - 1 - k)) & 1)
+                for k, pin in enumerate(self.inputs)
+            }
+            table.append(int(self.evaluate(assignment)[output]))
+        return table
+
+
+def _comb(name: str, inputs: Sequence[str], out_expr: Dict[str, Callable],
+          description: str = "") -> CellFunction:
+    def evaluate(assignment: Assignment) -> Dict[str, bool]:
+        return {out: bool(fn(assignment)) for out, fn in out_expr.items()}
+
+    return CellFunction(
+        name=name,
+        inputs=tuple(inputs),
+        outputs=tuple(out_expr),
+        evaluate=evaluate,
+        description=description,
+    )
+
+
+def _majority3(a: bool, b: bool, c: bool) -> bool:
+    return (a and b) or (a and c) or (b and c)
+
+
+FUNCTIONS: Dict[str, CellFunction] = {}
+
+
+def _register(fn: CellFunction) -> CellFunction:
+    if fn.name in FUNCTIONS:
+        raise CellError(f"duplicate function {fn.name!r}")
+    FUNCTIONS[fn.name] = fn
+    return fn
+
+
+def function(name: str) -> CellFunction:
+    """Look up a registered cell function by name."""
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(FUNCTIONS))
+        raise CellError(f"unknown cell function {name!r}; known: {known}") from None
+
+
+# -- combinational -----------------------------------------------------------
+
+_register(_comb("BUF", ["A"], {"Y": lambda s: s["A"]},
+                "Buffer (MCML buffer/inverter: inversion is a rail swap)"))
+_register(_comb("INV", ["A"], {"Y": lambda s: not s["A"]},
+                "Static CMOS inverter"))
+_register(_comb("DIFF2SINGLE", ["A"], {"Y": lambda s: s["A"]},
+                "Differential-to-single-ended converter (MCML boundary cell)"))
+_register(_comb("SINGLE2DIFF", ["A"], {"Y": lambda s: s["A"]},
+                "Single-ended-to-differential converter (MCML boundary cell)"))
+
+for _n in (2, 3, 4):
+    _names = ["A", "B", "C", "D"][:_n]
+    _register(_comb(f"AND{_n}", _names,
+                    {"Y": lambda s, ns=tuple(_names): all(s[x] for x in ns)}))
+    _register(_comb(f"NAND{_n}", _names,
+                    {"Y": lambda s, ns=tuple(_names): not all(s[x] for x in ns)}))
+    _register(_comb(f"OR{_n}", _names,
+                    {"Y": lambda s, ns=tuple(_names): any(s[x] for x in ns)}))
+    _register(_comb(f"NOR{_n}", _names,
+                    {"Y": lambda s, ns=tuple(_names): not any(s[x] for x in ns)}))
+    _register(_comb(
+        f"XOR{_n}", _names,
+        {"Y": lambda s, ns=tuple(_names): bool(sum(s[x] for x in ns) % 2)}))
+
+_register(_comb("XNOR2", ["A", "B"],
+                {"Y": lambda s: s["A"] == s["B"]}))
+
+_register(_comb("MUX2", ["S", "D0", "D1"],
+                {"Y": lambda s: s["D1"] if s["S"] else s["D0"]},
+                "2:1 multiplexer"))
+
+_register(_comb(
+    "MUX4", ["S0", "S1", "D0", "D1", "D2", "D3"],
+    {"Y": lambda s: s[f"D{(2 if s['S1'] else 0) + (1 if s['S0'] else 0)}"]},
+    "4:1 multiplexer, S1 is the MSB select"))
+
+_register(_comb("MAJ32", ["A", "B", "C"],
+                {"Y": lambda s: _majority3(s["A"], s["B"], s["C"])},
+                "3-input majority (carry) gate"))
+
+_register(_comb(
+    "FA", ["A", "B", "CI"],
+    {
+        "S": lambda s: bool((s["A"] + s["B"] + s["CI"]) % 2),
+        "CO": lambda s: _majority3(s["A"], s["B"], s["CI"]),
+    },
+    "Full adder"))
+
+_register(_comb("TIEH", ["A"], {"Y": lambda s: True}, "Constant one"))
+_register(_comb("TIEL", ["A"], {"Y": lambda s: False}, "Constant zero"))
+_register(_comb("RAILSWAP", ["A"], {"Y": lambda s: not s["A"]},
+                "Differential rail swap: logical inversion at zero cost"))
+_register(_comb("SLEEPBUF", ["A"], {"Y": lambda s: s["A"]},
+                "CMOS single-ended buffer at MCML row height, used by the "
+                "sleep-signal distribution tree (§5)"))
+
+
+# -- sequential ---------------------------------------------------------------
+
+def _make_dlatch() -> CellFunction:
+    def evaluate(assignment: Assignment) -> Dict[str, bool]:
+        # Transparent when EN is high.
+        if assignment["EN"]:
+            return {"Q": assignment["D"]}
+        return {"Q": assignment.get("Q_state", False)}
+
+    def next_state(assignment: Assignment, state: Dict[str, bool]):
+        if assignment["EN"]:
+            return {"Q_state": assignment["D"]}
+        return dict(state)
+
+    return CellFunction(
+        name="DLATCH", inputs=("D", "EN"), outputs=("Q",),
+        evaluate=evaluate, sequential=True, state_pins=("Q_state",),
+        next_state=next_state, clock_pin="EN",
+        description="Level-sensitive D latch (transparent high)")
+
+
+def _make_dff(with_reset: bool, with_enable: bool, name: str,
+              description: str) -> CellFunction:
+    inputs: List[str] = ["D", "CK"]
+    if with_reset:
+        inputs.append("RN")
+    if with_enable:
+        inputs.append("E")
+
+    def evaluate(assignment: Assignment) -> Dict[str, bool]:
+        if with_reset and not assignment["RN"]:
+            return {"Q": False}
+        return {"Q": assignment.get("Q_state", False)}
+
+    def next_state(assignment: Assignment, state: Dict[str, bool]):
+        # Called by the simulator on the active (rising) clock edge.
+        if with_reset and not assignment["RN"]:
+            return {"Q_state": False}
+        if with_enable and not assignment["E"]:
+            return dict(state)
+        return {"Q_state": assignment["D"]}
+
+    return CellFunction(
+        name=name, inputs=tuple(inputs), outputs=("Q",),
+        evaluate=evaluate, sequential=True, state_pins=("Q_state",),
+        next_state=next_state, clock_pin="CK", description=description)
+
+
+_register(_make_dlatch())
+_register(_make_dff(False, False, "DFF", "Rising-edge D flip-flop"))
+_register(_make_dff(True, False, "DFFR",
+                    "Rising-edge D flip-flop with async active-low reset"))
+_register(_make_dff(False, True, "EDFF",
+                    "Rising-edge D flip-flop with clock enable"))

@@ -1,0 +1,128 @@
+"""Library serialisation: a JSON stand-in for Liberty/LEF.
+
+Real flows exchange cell libraries as Liberty (timing/power) plus LEF
+(geometry).  This module round-trips a :class:`Library` through a plain
+JSON document carrying the same information — datasheet values, pin
+lists resolved by function name, geometry, and power models — so
+characterised libraries can be saved, diffed, versioned, and reloaded
+without re-running SPICE.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO, Union
+
+from ..errors import CellError
+from ..tech import Technology, TECH90
+from .cell import Cell, DelayModel, PowerModel
+from .functions import function
+from .library import Library
+
+FORMAT_VERSION = 1
+
+
+def cell_to_dict(cell: Cell) -> Dict[str, Any]:
+    """One cell datasheet as plain data."""
+    return {
+        "name": cell.name,
+        "function": cell.function.name,
+        "style": cell.style,
+        "sites": cell.sites,
+        "area_um2": cell.area_um2,
+        "input_cap": cell.input_cap,
+        "drive": cell.drive,
+        "source": cell.source,
+        "pseudo": cell.pseudo,
+        "delay": {
+            "intrinsic": cell.delay_model.intrinsic,
+            "drive_res": cell.delay_model.drive_res,
+        },
+        "power": {
+            "style": cell.power.style,
+            "leak": cell.power.leak,
+            "energy_toggle": cell.power.energy_toggle,
+            "iss": cell.power.iss,
+            "residual_sigma": cell.power.residual_sigma,
+            "sleep_leak": cell.power.sleep_leak,
+            "wake_time": cell.power.wake_time,
+        },
+    }
+
+
+def cell_from_dict(data: Dict[str, Any]) -> Cell:
+    """Rebuild a cell datasheet; raises :class:`CellError` on bad data."""
+    try:
+        delay = DelayModel(intrinsic=float(data["delay"]["intrinsic"]),
+                           drive_res=float(data["delay"]["drive_res"]))
+        p = data["power"]
+        power = PowerModel(
+            style=p["style"], leak=float(p["leak"]),
+            energy_toggle=float(p["energy_toggle"]), iss=float(p["iss"]),
+            residual_sigma=float(p["residual_sigma"]),
+            sleep_leak=float(p["sleep_leak"]),
+            wake_time=float(p["wake_time"]))
+        return Cell(
+            name=data["name"], function=function(data["function"]),
+            style=data["style"], sites=int(data["sites"]),
+            area_um2=float(data["area_um2"]),
+            input_cap=float(data["input_cap"]),
+            delay_model=delay, power=power,
+            drive=float(data.get("drive", 1.0)),
+            source=data.get("source", "loaded"),
+            pseudo=bool(data.get("pseudo", False)))
+    except KeyError as exc:
+        raise CellError(f"cell record missing field {exc}") from None
+
+
+def library_to_dict(library: Library) -> Dict[str, Any]:
+    """The whole library as plain data."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": library.name,
+        "style": library.style,
+        "technology": library.tech.name,
+        "vdd": library.tech.vdd,
+        "cells": [cell_to_dict(c)
+                  for c in sorted(library.cells.values(),
+                                  key=lambda c: c.name)],
+    }
+
+
+def library_from_dict(data: Dict[str, Any],
+                      tech: Technology = TECH90) -> Library:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CellError(
+            f"unsupported library format version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    cells = {}
+    for record in data["cells"]:
+        cell = cell_from_dict(record)
+        if cell.name in cells:
+            raise CellError(f"duplicate cell {cell.name!r} in library file")
+        cells[cell.name] = cell
+    return Library(name=data["name"], style=data["style"], cells=cells,
+                   tech=tech)
+
+
+def save_library(stream_or_path: Union[str, TextIO],
+                 library: Library) -> None:
+    """Write a library as JSON (path or open text stream)."""
+    data = library_to_dict(library)
+    if isinstance(stream_or_path, str):
+        with open(stream_or_path, "w", encoding="utf-8") as stream:
+            json.dump(data, stream, indent=2, sort_keys=True)
+    else:
+        json.dump(data, stream_or_path, indent=2, sort_keys=True)
+
+
+def load_library(stream_or_path: Union[str, TextIO],
+                 tech: Technology = TECH90) -> Library:
+    """Read a library previously written by :func:`save_library`."""
+    if isinstance(stream_or_path, str):
+        with open(stream_or_path, "r", encoding="utf-8") as stream:
+            data = json.load(stream)
+    else:
+        data = json.load(stream_or_path)
+    return library_from_dict(data, tech)

@@ -1,0 +1,126 @@
+"""Liberty (.lib) export.
+
+Writes a cell library in the Synopsys Liberty text format — the lingua
+franca every synthesis and timing tool reads — so the PG-MCML datasheets
+can be inspected with standard tooling or fed to an external flow.  The
+writer emits the scalar (non-table) subset: pin directions and
+functions, capacitances, linear delay as ``intrinsic_rise/fall`` plus
+``rise/fall_resistance``, leakage power, and the cell footprint.  The
+sleep behaviour is recorded via the ``switch_cell_type`` /
+``dont_touch`` attributes real power-gating libraries use.
+
+Writer only: the JSON format of :mod:`repro.cells.io` is the
+round-tripping representation; Liberty is for interchange with the
+world outside this package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO
+
+from ..errors import CellError
+from .cell import Cell
+from .functions import CellFunction
+from .library import Library
+
+#: Liberty unit declarations matching our internal SI conventions.
+_HEADER_UNITS = """\
+  time_unit : "1ns";
+  voltage_unit : "1V";
+  current_unit : "1uA";
+  pulling_resistance_unit : "1kohm";
+  leakage_power_unit : "1nW";
+  capacitive_load_unit (1, ff);
+"""
+
+def _pin_function(fn: CellFunction, output: str) -> str:
+    """A Liberty boolean expression for simple functions.
+
+    Arbitrary functions fall back to a sum-of-products over the truth
+    table; the common cells get their idiomatic short forms.
+    """
+    idioms: Dict[str, str] = {
+        "BUF": "A", "SLEEPBUF": "A", "DIFF2SINGLE": "A",
+        "SINGLE2DIFF": "A",
+        "INV": "(!A)", "RAILSWAP": "(!A)",
+        "AND2": "(A & B)", "AND3": "(A & B & C)",
+        "AND4": "(A & B & C & D)",
+        "NAND2": "(!(A & B))", "NAND3": "(!(A & B & C))",
+        "NAND4": "(!(A & B & C & D))",
+        "OR2": "(A | B)", "OR3": "(A | B | C)", "OR4": "(A | B | C | D)",
+        "NOR2": "(!(A | B))", "NOR3": "(!(A | B | C))",
+        "XOR2": "(A ^ B)", "XOR3": "(A ^ B ^ C)",
+        "XOR4": "(A ^ B ^ C ^ D)", "XNOR2": "(!(A ^ B))",
+        "MUX2": "((!S & D0) | (S & D1))",
+        "MAJ32": "((A & B) | (A & C) | (B & C))",
+        "TIEH": "1", "TIEL": "0",
+    }
+    if fn.name in idioms and output == fn.outputs[0]:
+        return idioms[fn.name]
+    # Sum of products from the truth table.
+    n = len(fn.inputs)
+    terms: List[str] = []
+    for code in range(1 << n):
+        env = {pin: bool((code >> (n - 1 - k)) & 1)
+               for k, pin in enumerate(fn.inputs)}
+        if fn.evaluate(env)[output]:
+            literals = [pin if env[pin] else f"!{pin}" for pin in fn.inputs]
+            terms.append("(" + " & ".join(literals) + ")")
+    return "(" + " | ".join(terms) + ")" if terms else "0"
+
+
+def _write_cell(stream: TextIO, cell: Cell) -> None:
+    fn = cell.function
+    stream.write(f"  cell ({cell.name}) {{\n")
+    stream.write(f"    area : {cell.area_um2:.6g};\n")
+    if cell.pseudo:
+        stream.write("    dont_use : true;\n")
+        stream.write("    dont_touch : true;\n")
+    if cell.power.has_sleep:
+        stream.write("    switch_cell_type : fine_grain;\n")
+    leak_nw = cell.power.static_current(
+        asleep=False) * 1.2 * 1e9 if cell.style != "cmos" else \
+        cell.power.leak * 1.2 * 1e9
+    stream.write(f"    cell_leakage_power : {leak_nw:.6g};\n")
+    cap_ff = cell.input_cap * 1e15
+    for pin in fn.inputs:
+        stream.write(f"    pin ({pin}) {{\n")
+        stream.write("      direction : input;\n")
+        stream.write(f"      capacitance : {cap_ff:.6g};\n")
+        if fn.sequential and pin == fn.clock_pin:
+            stream.write("      clock : true;\n")
+        stream.write("    }\n")
+    intrinsic_ns = cell.delay_model.intrinsic * 1e9
+    res_kohm = cell.delay_model.drive_res / 1e3
+    for out in fn.outputs:
+        stream.write(f"    pin ({out}) {{\n")
+        stream.write("      direction : output;\n")
+        if not fn.sequential:
+            stream.write(f'      function : "{_pin_function(fn, out)}";\n')
+        for edge in ("rise", "fall"):
+            stream.write(f"      intrinsic_{edge} : {intrinsic_ns:.6g};\n")
+            stream.write(f"      {edge}_resistance : {res_kohm:.6g};\n")
+        stream.write("    }\n")
+    if fn.sequential:
+        state = fn.state_pins[0] if fn.state_pins else "IQ"
+        stream.write(f'    ff ({state}, {state}N) {{\n')
+        stream.write(f'      clocked_on : "{fn.clock_pin}";\n')
+        stream.write('      next_state : "D";\n')
+        stream.write("    }\n")
+    stream.write("  }\n")
+
+
+def write_liberty(stream: TextIO, library: Library) -> None:
+    """Serialise ``library`` as a Liberty document."""
+    if not len(library):
+        raise CellError("cannot export an empty library")
+    stream.write(f"library ({library.name}) {{\n")
+    stream.write('  delay_model : "generic_cmos";\n')
+    stream.write(_HEADER_UNITS)
+    stream.write(f"  nom_voltage : {library.tech.vdd:g};\n")
+    stream.write(f"  nom_temperature : {library.tech.temp_k - 273.15:g};\n")
+    stream.write(f'  comment : "style={library.style}; generated by the '
+                 f'PG-MCML reproduction";\n\n')
+    for cell in sorted(library.cells.values(), key=lambda c: c.name):
+        _write_cell(stream, cell)
+    stream.write("}\n")

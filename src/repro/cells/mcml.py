@@ -1,0 +1,404 @@
+"""MCML transistor-level cell generation.
+
+An MCML gate (§3, Fig. 1) is generated structurally from the function's
+BDD:
+
+* one *differential pair* per BDD node — the pair's common source is the
+  node's circuit net, its two drains climb to the nets of the node's
+  high/low children (or to an output rail for terminals), and its gates
+  are the true/complement rails of the node's variable;
+* the TRUE terminal maps to the **negative** output rail: when the
+  function evaluates to 1, the selected path steers the tail current
+  through the ``out_n`` load, dropping it by ``Iss·R`` while ``out_p``
+  stays at Vdd;
+* a PMOS *active load* (low-Vt, biased in triode by Vp) per output rail;
+* a high-Vt NMOS *tail source* (biased by Vn) per output tree.
+
+Multi-output functions (the full adder) get one tree per output; BDD
+nodes are deliberately not shared across trees because each tree carries
+its own tail current.
+
+Sizing follows §5: high-Vt for the NMOS network and tail (leakage),
+low-Vt for the PMOS loads (area/speed), device widths scaled with the
+target tail current, and the exact Vn/load width refined by
+:mod:`repro.cells.bias`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..bdd import Manager, ONE_INDEX, ZERO_INDEX
+from ..errors import CellError
+from ..spice import Circuit
+from ..tech import Technology, TECH90
+from ..units import um
+from .functions import CellFunction
+
+#: Maximum differential-pair stack depth the 1.2 V supply can support.
+MAX_STACK_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class McmlSizing:
+    """Device sizes and bias voltages for one tail-current target.
+
+    The defaults implement the first-order hand sizing described in the
+    module docstring for ``iss``; :func:`repro.cells.bias.solve_bias`
+    produces refined values (exact Vn, load width for the target swing).
+    """
+
+    iss: float = 50e-6
+    swing: float = 0.40
+    vn: float = 0.70
+    vp: float = 0.0
+    w_pair: float = um(0.75)
+    l_pair: float = um(0.10)
+    w_tail: float = um(0.81)
+    l_tail: float = um(0.20)
+    w_load: float = um(0.17)
+    l_load: float = um(0.10)
+    w_sleep: float = um(0.81)   # same channel width as the tail (§5)
+    l_sleep: float = um(0.10)
+    pair_flavor: str = "nmos_hvt"
+    tail_flavor: str = "nmos_hvt"
+    sleep_flavor: str = "nmos_hvt"
+    load_flavor: str = "pmos_lvt"
+
+    def __post_init__(self) -> None:
+        if self.iss <= 0.0:
+            raise CellError("tail current must be positive")
+        if not 0.0 < self.swing < 1.2:
+            raise CellError("swing must be in (0, Vdd)")
+
+    @staticmethod
+    def for_current(iss: float, swing: float = 0.40,
+                    tech: Technology = TECH90) -> "McmlSizing":
+        """First-order sizing for a target tail current.
+
+        Pair and tail widths scale linearly with the current; the load
+        width scales so the triode resistance keeps ``R = swing / iss``.
+        """
+        if iss <= 0.0:
+            raise CellError("tail current must be positive")
+        scale = iss / 50e-6
+        wmin = tech.flavor("nmos_hvt").wmin
+        w_pair = max(um(0.75) * scale, wmin)
+        w_tail = max(um(0.81) * scale, wmin)
+        w_load = max(um(0.17) * scale * (0.40 / swing), tech.flavor("pmos_lvt").wmin)
+        return McmlSizing(iss=iss, swing=swing, w_pair=w_pair, w_tail=w_tail,
+                          w_load=w_load, w_sleep=w_tail)
+
+    def input_high(self, tech: Technology = TECH90) -> float:
+        """Logic-high input level (Vdd)."""
+        return tech.vdd
+
+    def input_low(self, tech: Technology = TECH90) -> float:
+        """Logic-low input level (Vdd - swing)."""
+        return tech.vdd - self.swing
+
+
+@dataclass
+class McmlCellCircuit:
+    """A generated cell netlist plus its pin bindings."""
+
+    circuit: Circuit
+    function: CellFunction
+    sizing: McmlSizing
+    #: pin -> (positive net, negative net)
+    input_nets: Dict[str, Tuple[str, str]]
+    output_nets: Dict[str, Tuple[str, str]]
+    vdd_net: str
+    vn_net: str
+    vp_net: str
+    sleep_net: Optional[str] = None
+    #: number of stacked pair levels (for headroom checks)
+    depth: int = 0
+    n_pairs: int = 0
+
+    @property
+    def has_sleep(self) -> bool:
+        return self.sleep_net is not None
+
+
+class McmlCellGenerator:
+    """Generates conventional (non-gated) MCML cell netlists.
+
+    When a :class:`~repro.tech.MismatchModel` is supplied, every
+    generated transistor draws its own Pelgrom-distributed parameters —
+    one Monte-Carlo instance of the cell — which is how the library's
+    residual data-dependent current is derived from physics
+    (:mod:`repro.cells.montecarlo`).
+    """
+
+    style = "mcml"
+
+    def __init__(self, tech: Technology = TECH90,
+                 sizing: Optional[McmlSizing] = None,
+                 mismatch=None):
+        self.tech = tech
+        self.sizing = sizing or McmlSizing()
+        self.mismatch = mismatch
+
+    def _params(self, flavor_name: str, w: float, l: float):
+        params = self.tech.flavor(flavor_name)
+        if self.mismatch is not None:
+            params = self.mismatch.sample(params, w, l)
+        return params
+
+    # -- public API -----------------------------------------------------------
+
+    def build(self, fn: CellFunction, circuit: Optional[Circuit] = None,
+              prefix: str = "", load_cap: float = 0.0) -> McmlCellCircuit:
+        """Generate the transistor netlist of ``fn``.
+
+        When ``circuit`` is given the devices are added to it (with
+        ``prefix`` namespacing every net and device); otherwise a fresh
+        circuit is created.  ``load_cap`` attaches an identical capacitor
+        to each output rail.
+        """
+        if fn.sequential:
+            return self._build_latch(fn, circuit, prefix, load_cap)
+        own = circuit is None
+        ckt = circuit or Circuit(f"{self.style}_{fn.name.lower()}")
+        p = f"{prefix}{fn.name.lower()}_" if prefix or not own else ""
+
+        manager = Manager()
+        roots = fn.bdds(manager)
+
+        input_nets = {pin: (f"{p}{pin.lower()}_p", f"{p}{pin.lower()}_n")
+                      for pin in fn.inputs}
+        output_nets = {out: (f"{p}{out.lower()}_p", f"{p}{out.lower()}_n")
+                       for out in fn.outputs}
+        vdd, vn, vp = f"{p}vdd", f"{p}vn", f"{p}vp"
+        if own:
+            vdd, vn, vp = "vdd", "vn", "vp"
+
+        max_depth = 0
+        total_pairs = 0
+        for out in fn.outputs:
+            depth, pairs = self._build_tree(
+                ckt, manager, roots[out].index, out, input_nets,
+                output_nets[out], vdd, vn, vp, p, tail_bottom="0")
+            max_depth = max(max_depth, depth)
+            total_pairs += pairs
+
+        if load_cap > 0.0:
+            for out, (net_p, net_n) in output_nets.items():
+                ckt.capacitor(f"{p}cl_{out.lower()}_p", net_p, "0", load_cap)
+                ckt.capacitor(f"{p}cl_{out.lower()}_n", net_n, "0", load_cap)
+
+        return McmlCellCircuit(
+            circuit=ckt, function=fn, sizing=self.sizing,
+            input_nets=input_nets, output_nets=output_nets,
+            vdd_net=vdd, vn_net=vn, vp_net=vp, depth=max_depth,
+            n_pairs=total_pairs)
+
+    # -- internals -------------------------------------------------------------
+
+    def _add_tail(self, ckt: Circuit, name: str, top: str, bottom: str,
+                  vn: str) -> None:
+        s = self.sizing
+        ckt.mosfet(name, top, vn, bottom, "0",
+                   self._params(s.tail_flavor, s.w_tail, s.l_tail),
+                   w=s.w_tail, l=s.l_tail, temp_vt=self.tech.vt_thermal)
+
+    def _add_load(self, ckt: Circuit, name: str, out: str, vdd: str,
+                  vp: str) -> None:
+        s = self.sizing
+        ckt.mosfet(name, out, vp, vdd, vdd,
+                   self._params(s.load_flavor, s.w_load, s.l_load),
+                   w=s.w_load, l=s.l_load, temp_vt=self.tech.vt_thermal)
+
+    def _build_tree(self, ckt: Circuit, manager: Manager, root: int,
+                    out: str, input_nets: Dict[str, Tuple[str, str]],
+                    out_nets: Tuple[str, str], vdd: str, vn: str, vp: str,
+                    p: str, tail_bottom: str) -> Tuple[int, int]:
+        """One output tree: loads, BDD pair network, tail. Returns depth/pairs."""
+        out_p, out_n = out_nets
+        o = out.lower()
+        self._add_load(ckt, f"{p}mload_{o}_p", out_p, vdd, vp)
+        self._add_load(ckt, f"{p}mload_{o}_n", out_n, vdd, vp)
+        cs_top = f"{p}cs_{o}"
+
+        if manager.is_terminal(root):
+            # Constant function: the tail current permanently loads one rail.
+            target = out_n if root == ONE_INDEX else out_p
+            ckt.resistor(f"{p}rtie_{o}", target, cs_top, 1.0)
+        else:
+            nodes = manager.reachable([root])
+            net_of: Dict[int, str] = {root: cs_top}
+            for idx in nodes:
+                if idx not in net_of:
+                    net_of[idx] = f"{p}n{o}_{idx}"
+
+            def drain_net(idx: int) -> str:
+                if idx == ONE_INDEX:
+                    return out_n
+                if idx == ZERO_INDEX:
+                    return out_p
+                return net_of[idx]
+
+            s = self.sizing
+            for idx in nodes:
+                level, low, high = manager.node(idx)
+                var = manager.var_name(level)
+                in_p, in_n = input_nets[var]
+                src = net_of[idx]
+                ckt.mosfet(f"{p}m{o}_{idx}h", drain_net(high), in_p, src, "0",
+                           self._params(s.pair_flavor, s.w_pair, s.l_pair),
+                           w=s.w_pair, l=s.l_pair,
+                           temp_vt=self.tech.vt_thermal)
+                ckt.mosfet(f"{p}m{o}_{idx}l", drain_net(low), in_n, src, "0",
+                           self._params(s.pair_flavor, s.w_pair, s.l_pair),
+                           w=s.w_pair, l=s.l_pair,
+                           temp_vt=self.tech.vt_thermal)
+
+        self._add_tail(ckt, f"{p}mtail_{o}", cs_top, tail_bottom, vn)
+
+        depth = self._tree_depth(manager, root)
+        if depth > MAX_STACK_DEPTH:
+            raise CellError(
+                f"{out}: BDD stack depth {depth} exceeds the "
+                f"{MAX_STACK_DEPTH}-level headroom of a 1.2 V supply; "
+                f"decompose the function instead")
+        pairs = 0 if manager.is_terminal(root) else len(manager.reachable([root]))
+        return depth, pairs
+
+    @staticmethod
+    def _tree_depth(manager: Manager, root: int) -> int:
+        memo: Dict[int, int] = {}
+
+        def depth(idx: int) -> int:
+            if manager.is_terminal(idx):
+                return 0
+            if idx in memo:
+                return memo[idx]
+            _, low, high = manager.node(idx)
+            result = 1 + max(depth(low), depth(high))
+            memo[idx] = result
+            return result
+
+        return depth(root)
+
+    # -- sequential ------------------------------------------------------------
+
+    def _build_latch(self, fn: CellFunction, circuit: Optional[Circuit],
+                     prefix: str, load_cap: float) -> McmlCellCircuit:
+        """MCML D-latch: clocked pair steering between a track pair and a
+        cross-coupled hold pair (the textbook CML latch)."""
+        if fn.name == "DFF":
+            return self._build_dff(fn, circuit, prefix, load_cap)
+        if fn.name != "DLATCH":
+            raise CellError(
+                f"transistor-level generation implemented for DLATCH and "
+                f"DFF; {fn.name} is characterised from its latch "
+                f"composition")
+        own = circuit is None
+        ckt = circuit or Circuit(f"{self.style}_dlatch")
+        p = f"{prefix}dlatch_" if prefix or not own else ""
+        vdd, vn, vp = ("vdd", "vn", "vp") if own else (
+            f"{p}vdd", f"{p}vn", f"{p}vp")
+
+        input_nets = {"D": (f"{p}d_p", f"{p}d_n"),
+                      "EN": (f"{p}en_p", f"{p}en_n")}
+        output_nets = {"Q": (f"{p}q_p", f"{p}q_n")}
+        self._latch_stage(ckt, p, "q", input_nets["D"], input_nets["EN"],
+                          output_nets["Q"], vdd, vn, vp)
+        q_p, q_n = output_nets["Q"]
+        if load_cap > 0.0:
+            ckt.capacitor(f"{p}cl_q_p", q_p, "0", load_cap)
+            ckt.capacitor(f"{p}cl_q_n", q_n, "0", load_cap)
+
+        return McmlCellCircuit(
+            circuit=ckt, function=fn, sizing=self.sizing,
+            input_nets=input_nets, output_nets=output_nets,
+            vdd_net=vdd, vn_net=vn, vp_net=vp, depth=2, n_pairs=3)
+
+    def _latch_stage(self, ckt: Circuit, p: str, tag: str,
+                     d_nets: Tuple[str, str], en_nets: Tuple[str, str],
+                     out_nets: Tuple[str, str], vdd: str, vn: str,
+                     vp: str) -> None:
+        """One CML latch: loads, clocked track/hold pairs, tail.
+
+        Transparent (tracking) while the ``en_nets`` differential input
+        is high; regenerating (holding) while it is low.
+        """
+        s = self.sizing
+        out_p, out_n = out_nets
+        self._add_load(ckt, f"{p}mload_{tag}_p", out_p, vdd, vp)
+        self._add_load(ckt, f"{p}mload_{tag}_n", out_n, vdd, vp)
+        cs = f"{p}cs_{tag}"
+        trk, hld = f"{p}track_{tag}", f"{p}hold_{tag}"
+        # Clock pair: EN high selects the track pair, EN low the hold pair.
+        ckt.mosfet(f"{p}mck_{tag}_h", trk, en_nets[0], cs, "0",
+                   self._params(s.pair_flavor, s.w_pair, s.l_pair),
+                   w=s.w_pair, l=s.l_pair, temp_vt=self.tech.vt_thermal)
+        ckt.mosfet(f"{p}mck_{tag}_l", hld, en_nets[1], cs, "0",
+                   self._params(s.pair_flavor, s.w_pair, s.l_pair),
+                   w=s.w_pair, l=s.l_pair, temp_vt=self.tech.vt_thermal)
+        # Track pair: steers by D; D=1 pulls out_n low (Q=1).
+        ckt.mosfet(f"{p}mtrk_{tag}_h", out_n, d_nets[0], trk, "0",
+                   self._params(s.pair_flavor, s.w_pair, s.l_pair),
+                   w=s.w_pair, l=s.l_pair, temp_vt=self.tech.vt_thermal)
+        ckt.mosfet(f"{p}mtrk_{tag}_l", out_p, d_nets[1], trk, "0",
+                   self._params(s.pair_flavor, s.w_pair, s.l_pair),
+                   w=s.w_pair, l=s.l_pair, temp_vt=self.tech.vt_thermal)
+        # Hold pair: cross-coupled regeneration.
+        ckt.mosfet(f"{p}mhld_{tag}_h", out_n, out_p, hld, "0",
+                   self._params(s.pair_flavor, s.w_pair, s.l_pair),
+                   w=s.w_pair, l=s.l_pair, temp_vt=self.tech.vt_thermal)
+        ckt.mosfet(f"{p}mhld_{tag}_l", out_p, out_n, hld, "0",
+                   self._params(s.pair_flavor, s.w_pair, s.l_pair),
+                   w=s.w_pair, l=s.l_pair, temp_vt=self.tech.vt_thermal)
+        self._add_tail(ckt, f"{p}mtail_{tag}", cs, "0", vn)
+
+    def _build_dff(self, fn: CellFunction, circuit: Optional[Circuit],
+                   prefix: str, load_cap: float) -> McmlCellCircuit:
+        """Master-slave CML flip-flop: two latches on opposite clock
+        phases (swap the differential clock rails — inversion is free).
+
+        The master is transparent while CK is low and the slave while CK
+        is high, so Q updates on the rising edge; two tail currents, as
+        the library datasheet (TAILS_PER_CELL) records.
+        """
+        own = circuit is None
+        ckt = circuit or Circuit(f"{self.style}_dff")
+        p = f"{prefix}dff_" if prefix or not own else ""
+        vdd, vn, vp = ("vdd", "vn", "vp") if own else (
+            f"{p}vdd", f"{p}vn", f"{p}vp")
+
+        input_nets = {"D": (f"{p}d_p", f"{p}d_n"),
+                      "CK": (f"{p}ck_p", f"{p}ck_n")}
+        output_nets = {"Q": (f"{p}q_p", f"{p}q_n")}
+        ck_p, ck_n = input_nets["CK"]
+        master = (f"{p}m_p", f"{p}m_n")
+        # Master: transparent on CK low -> enable rails swapped.
+        self._latch_stage(ckt, p, "m", input_nets["D"], (ck_n, ck_p),
+                          master, vdd, vn, vp)
+        # Slave: transparent on CK high.
+        self._latch_stage(ckt, p, "s", master, (ck_p, ck_n),
+                          output_nets["Q"], vdd, vn, vp)
+
+        q_p, q_n = output_nets["Q"]
+        if load_cap > 0.0:
+            ckt.capacitor(f"{p}cl_q_p", q_p, "0", load_cap)
+            ckt.capacitor(f"{p}cl_q_n", q_n, "0", load_cap)
+
+        return McmlCellCircuit(
+            circuit=ckt, function=fn, sizing=self.sizing,
+            input_nets=input_nets, output_nets=output_nets,
+            vdd_net=vdd, vn_net=vn, vp_net=vp, depth=2, n_pairs=6)
+
+    # -- electrical estimates ----------------------------------------------------
+
+    def input_capacitance(self) -> float:
+        """Gate capacitance presented by one differential input rail."""
+        s = self.sizing
+        params = self.tech.flavor(s.pair_flavor)
+        return params.cox * s.w_pair * s.l_pair + 2.0 * params.cov * s.w_pair
+
+    def load_resistance(self) -> float:
+        """Target output load resistance R = swing / Iss."""
+        return self.sizing.swing / self.sizing.iss

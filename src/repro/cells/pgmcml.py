@@ -1,0 +1,211 @@
+"""PG-MCML: power-gated MCML cell generation.
+
+Implements the four candidate power-gating topologies of Fig. 2 so the
+paper's §4 design-space argument can be replayed quantitatively
+(``benchmarks/bench_ablation.py``):
+
+* **(a) bias pulldown** — an NMOS discharges the (resistively
+  distributed) Vn bias line during sleep.  Cheap, but waking requires
+  recharging the whole bias line through its source resistance: slow
+  without a wide-bandwidth source follower.
+* **(b) bias switch + pulldown** — adds a series PMOS in the bias path;
+  faster off, but two extra transistors per cell.
+* **(c) body bias** — the tail gate is driven by an ON signal and the
+  tail *bulk* is tied to the bias line; sleep raises the threshold via
+  the body effect.  Needs a bias range impractical on chip and a
+  separate well (area).
+* **(d) series sleep transistor** — the adopted solution: a high-Vt
+  NMOS stacked *on top of* the current source.  During power-down the
+  off sleep device takes the whole stack voltage and the cell current
+  collapses to its subthreshold leakage; when the Vn bias line is gated
+  off together with the cluster, the intermediate node floats up and
+  the sleep device additionally gains a negative VGS (the stacking
+  effect the paper highlights in §4).
+
+Topology (d) is what :func:`build` emits for every library cell; the
+others are available through ``PowerGateTopology`` for the ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..errors import CellError
+from ..spice import Circuit
+from ..tech import Technology, TECH90
+from ..units import um
+from .functions import CellFunction
+from .mcml import McmlCellCircuit, McmlCellGenerator, McmlSizing
+
+
+class PowerGateTopology(Enum):
+    """The four candidate topologies of Fig. 2."""
+
+    BIAS_PULLDOWN = "a"
+    BIAS_SWITCH = "b"
+    BODY_BIAS = "c"
+    SERIES_SLEEP = "d"
+
+
+#: Effective source resistance of the Vn bias distribution network seen
+#: by one cell, ohms (topologies (a)/(b)); what makes them slow to wake.
+BIAS_SOURCE_RESISTANCE = 200e3
+
+#: Decoupling capacitance on the local bias node, farads.
+BIAS_NODE_CAP = 20e-15
+
+
+class PgMcmlCellGenerator(McmlCellGenerator):
+    """Generates power-gated MCML cells (topology (d) by default).
+
+    The ``sleep`` net carries a full-swing CMOS-level control: **high =
+    active**, **low = sleep** (it is the buffered output of the sleep
+    signal tree built by :mod:`repro.synth.sleep`).
+    """
+
+    style = "pgmcml"
+
+    def __init__(self, tech: Technology = TECH90,
+                 sizing: Optional[McmlSizing] = None,
+                 topology: PowerGateTopology = PowerGateTopology.SERIES_SLEEP,
+                 mismatch=None):
+        super().__init__(tech, sizing, mismatch=mismatch)
+        self.topology = topology
+
+    def build(self, fn: CellFunction, circuit: Optional[Circuit] = None,
+              prefix: str = "", load_cap: float = 0.0) -> McmlCellCircuit:
+        cell = super().build(fn, circuit, prefix, load_cap)
+        p = self._net_prefix(fn, prefix, circuit is None)
+        sleep_net = "sleep" if circuit is None else f"{p}sleep"
+        self._insert_power_gate(cell, sleep_net, p)
+        cell.sleep_net = sleep_net
+        return cell
+
+    def _net_prefix(self, fn: CellFunction, prefix: str, own: bool) -> str:
+        if own and not prefix:
+            return ""
+        name = "dlatch" if fn.sequential else fn.name.lower()
+        return f"{prefix}{name}_"
+
+    # -- topology implementations ------------------------------------------------
+
+    def _insert_power_gate(self, cell: McmlCellCircuit, sleep_net: str,
+                           p: str) -> None:
+        topo = self.topology
+        if topo is PowerGateTopology.SERIES_SLEEP:
+            self._series_sleep(cell, sleep_net, p)
+        elif topo is PowerGateTopology.BIAS_PULLDOWN:
+            self._bias_pulldown(cell, sleep_net, p, with_switch=False)
+        elif topo is PowerGateTopology.BIAS_SWITCH:
+            self._bias_pulldown(cell, sleep_net, p, with_switch=True)
+        elif topo is PowerGateTopology.BODY_BIAS:
+            self._body_bias(cell, sleep_net, p)
+        else:  # pragma: no cover - exhaustive enum
+            raise CellError(f"unknown topology {topo!r}")
+
+    def _tail_devices(self, cell: McmlCellCircuit):
+        return [d for d in cell.circuit.devices
+                if "mtail" in d.name and not d.name.endswith(("_sleep", "_pg"))]
+
+    def _series_sleep(self, cell: McmlCellCircuit, sleep_net: str,
+                      p: str) -> None:
+        """Topology (d): re-wire each tail under a series sleep device.
+
+        The sleep transistor sits between the differential network bottom
+        (``cs`` node) and the tail drain, i.e. *on top of* the current
+        source, giving it a negative VGS when gated off.
+        """
+        s = self.sizing
+        ckt = cell.circuit
+        for tail in self._tail_devices(cell):
+            cs_top = tail.terminals[0]
+            mid = f"{tail.name}_pg"
+            tail.terminals = (mid,) + tail.terminals[1:]
+            ckt.mosfet(f"{tail.name}_sleep", cs_top, sleep_net, mid, "0",
+                       self._params(s.sleep_flavor, s.w_sleep, s.l_sleep),
+                       w=s.w_sleep, l=s.l_sleep,
+                       temp_vt=self.tech.vt_thermal)
+
+    def _bias_pulldown(self, cell: McmlCellCircuit, sleep_net: str, p: str,
+                       with_switch: bool) -> None:
+        """Topologies (a)/(b): gate the local Vn bias node.
+
+        The cell's tails are re-pointed at a local bias node ``vn_loc``
+        fed from the global Vn line through the distribution resistance;
+        an NMOS discharges ``vn_loc`` when the cell sleeps.  The control
+        sense is inverted relative to (d) — the pulldown must conduct
+        *during* sleep — so the generated cell exposes the same
+        active-high ``sleep`` net and derives the pulldown gate from an
+        on-cell inverter modelled behaviourally as ``sleep_b``.
+        """
+        s = self.sizing
+        ckt = cell.circuit
+        vn_loc = f"{p}vn_loc"
+        sleep_b = f"{p}sleep_b"  # complement rail, driven by the testbench
+        ckt.resistor(f"{p}rbias", cell.vn_net, vn_loc, BIAS_SOURCE_RESISTANCE)
+        ckt.capacitor(f"{p}cbias", vn_loc, "0", BIAS_NODE_CAP)
+        pulldown = self.tech.flavor("nmos_hvt")
+        ckt.mosfet(f"{p}mpd", vn_loc, sleep_b, "0", "0", pulldown,
+                   w=um(0.3), l=um(0.1), temp_vt=self.tech.vt_thermal)
+        if with_switch:
+            pswitch = self.tech.flavor("pmos_lvt")
+            vn_sw = f"{p}vn_sw"
+            # Series PMOS in the bias path, on when sleep_b is low (active).
+            for dev in list(ckt.devices):
+                if dev.name == f"{p}rbias":
+                    dev.terminals = (cell.vn_net, vn_sw)
+            ckt.mosfet(f"{p}msw", vn_loc, sleep_b, vn_sw, cell.vdd_net,
+                       pswitch, w=um(0.3), l=um(0.1),
+                       temp_vt=self.tech.vt_thermal)
+        for tail in self._tail_devices(cell):
+            # Re-point the tail gate at the gated local bias.
+            d, _, src, b = tail.terminals
+            tail.terminals = (d, vn_loc, src, b)
+
+    def _body_bias(self, cell: McmlCellCircuit, sleep_net: str,
+                   p: str) -> None:
+        """Topology (c): ON signal on the tail gate, bulk tied to Vn.
+
+        The tail gate is driven directly by the (CMOS-level) sleep/ON
+        net and the tail bulk by the bias line, which therefore must
+        range widely (the paper quotes -0.5 V..1 V) to keep the current
+        constant across corners — the reason the option was rejected.
+        """
+        for tail in self._tail_devices(cell):
+            d, _, src, _ = tail.terminals
+            tail.terminals = (d, sleep_net, src, cell.vn_net)
+
+
+@dataclass(frozen=True)
+class SleepTransistorReport:
+    """Static summary of what power gating added to a cell."""
+
+    topology: PowerGateTopology
+    extra_transistors: int
+    extra_sites: int
+    wake_path: str
+
+
+def gating_overhead(topology: PowerGateTopology) -> SleepTransistorReport:
+    """The §4 qualitative comparison, as data."""
+    table = {
+        PowerGateTopology.BIAS_PULLDOWN: SleepTransistorReport(
+            topology, 1, 1,
+            "recharge Vn line through bias source resistance (slow; needs "
+            "a wide-band source follower to settle in one cycle)"),
+        PowerGateTopology.BIAS_SWITCH: SleepTransistorReport(
+            topology, 2, 2,
+            "local bias node recharges through series switch (two devices "
+            "per cell)"),
+        PowerGateTopology.BODY_BIAS: SleepTransistorReport(
+            topology, 0, 3,
+            "threshold modulation via bulk; needs -0.5 V..1 V bias range "
+            "and a separate well per current source"),
+        PowerGateTopology.SERIES_SLEEP: SleepTransistorReport(
+            topology, 1, 1,
+            "series high-Vt device on top of the tail; negative VGS in "
+            "sleep, turn-on in a fraction of a clock cycle"),
+    }
+    return table[topology]

@@ -1,0 +1,37 @@
+"""An OpenRISC-flavoured 32-bit embedded processor with the S-box ISE.
+
+§6 augments an OpenRISC 1000 core with a custom functional unit of four
+parallel S-boxes and runs a software AES on it to measure how rarely the
+protected logic is active (0.01 % in the paper's benchmark) — the number
+that makes fine-grain power gating pay off.
+
+This package provides the pieces of that experiment: a 32-bit RISC ISA
+subset with the custom ``l.sbox`` instruction (:mod:`repro.cpu.isa`), a
+two-pass assembler (:mod:`repro.cpu.assembler`), a cycle-counting
+simulator with ISE activity tracking (:mod:`repro.cpu.core`), and AES-128
+firmware generators in pure-software and ISE variants
+(:mod:`repro.cpu.programs`).
+
+Simplifications vs the real OR1200 (documented, none affect the duty
+measurement): no branch delay slots, single-cycle memory, no caches or
+exceptions.
+"""
+
+from .isa import Instruction, OPCODES, encode, decode, disassemble
+from .assembler import assemble, AssemblerError
+from .core import CPU, ExecutionStats
+from .programs import aes_firmware, AESFirmware
+
+__all__ = [
+    "Instruction",
+    "OPCODES",
+    "encode",
+    "decode",
+    "disassemble",
+    "assemble",
+    "AssemblerError",
+    "CPU",
+    "ExecutionStats",
+    "aes_firmware",
+    "AESFirmware",
+]

@@ -1,0 +1,243 @@
+"""A two-pass assembler for the :mod:`repro.cpu.isa` instruction set.
+
+Syntax (one statement per line, ``#`` or ``;`` comments):
+
+.. code-block:: text
+
+    .org 0x100            # set location counter (bytes)
+    .word 0xdeadbeef, 12  # literal data words
+    .byte 1, 2, 3         # literal bytes
+    .space 16             # zero fill
+    start:                # label
+        l.movhi r1, hi(state)
+        l.ori   r1, r1, lo(state)
+        l.lwz   r2, 0(r1)
+        l.sbox  r3, r2
+        l.bf    done
+        l.j     start
+    done:
+        l.nop
+
+``hi(sym)``/``lo(sym)`` split a label address into halves for the movhi/
+ori idiom; branch/jump targets take labels directly (PC-relative word
+offsets are computed by the assembler).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..errors import AssemblerError
+from .isa import OPCODES, Instruction, encode
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_RE = re.compile(r"^(?P<off>[^()]*)\((?P<reg>r\d+)\)$")
+
+
+def _strip(line: str) -> str:
+    for marker in ("#", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    token = token.strip()
+    if not token.startswith("r"):
+        raise AssemblerError(f"line {line_no}: expected register, got {token!r}")
+    try:
+        reg = int(token[1:])
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad register {token!r}") from None
+    if not 0 <= reg <= 31:
+        raise AssemblerError(f"line {line_no}: register out of range {token!r}")
+    return reg
+
+
+class _Statement:
+    """One pending instruction or datum from pass 1."""
+
+    def __init__(self, kind: str, addr: int, line_no: int, payload):
+        self.kind = kind          # "inst" | "word" | "byte"
+        self.addr = addr
+        self.line_no = line_no
+        self.payload = payload
+
+
+def assemble(source: str, base: int = 0) -> Dict[int, int]:
+    """Assemble to a ``{byte address: byte value}`` image.
+
+    Returns a sparse byte image (big-endian words) so programs can place
+    code and data anywhere.
+    """
+    labels: Dict[str, int] = {}
+    statements: List[_Statement] = []
+    location = base
+
+    # ---- pass 1: layout + label collection --------------------------------
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = location
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        head = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if head == ".org":
+            location = _eval_int(rest, labels, line_no, allow_labels=False)
+            if location % 4 and "l." in rest:
+                raise AssemblerError(f"line {line_no}: misaligned .org")
+        elif head == ".space":
+            count = _eval_int(rest, labels, line_no, allow_labels=False)
+            statements.append(_Statement("byte", location, line_no,
+                                         ["0"] * count))
+            location += count
+        elif head == ".word":
+            values = [v.strip() for v in rest.split(",") if v.strip()]
+            if location % 4:
+                raise AssemblerError(f"line {line_no}: misaligned .word")
+            statements.append(_Statement("word", location, line_no, values))
+            location += 4 * len(values)
+        elif head == ".byte":
+            values = [v.strip() for v in rest.split(",") if v.strip()]
+            statements.append(_Statement("byte", location, line_no, values))
+            location += len(values)
+        elif head.startswith("l."):
+            if head not in OPCODES:
+                raise AssemblerError(f"line {line_no}: unknown mnemonic {head!r}")
+            if location % 4:
+                raise AssemblerError(f"line {line_no}: misaligned instruction")
+            statements.append(_Statement("inst", location, line_no,
+                                         (head, rest)))
+            location += 4
+        else:
+            raise AssemblerError(f"line {line_no}: cannot parse {line!r}")
+
+    # ---- pass 2: encoding --------------------------------------------------
+    image: Dict[int, int] = {}
+
+    def emit_word(addr: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        for i in range(4):
+            image[addr + i] = (value >> (24 - 8 * i)) & 0xFF
+
+    for stmt in statements:
+        if stmt.kind == "word":
+            for i, text in enumerate(stmt.payload):
+                emit_word(stmt.addr + 4 * i,
+                          _eval_int(text, labels, stmt.line_no))
+        elif stmt.kind == "byte":
+            for i, text in enumerate(stmt.payload):
+                value = _eval_int(text, labels, stmt.line_no)
+                if not -128 <= value <= 255:
+                    raise AssemblerError(
+                        f"line {stmt.line_no}: byte out of range {value}")
+                image[stmt.addr + i] = value & 0xFF
+        else:
+            mnemonic, operands = stmt.payload
+            inst = _parse_instruction(mnemonic, operands, stmt.addr, labels,
+                                      stmt.line_no)
+            emit_word(stmt.addr, encode(inst))
+    return image
+
+
+def _eval_int(text: str, labels: Dict[str, int], line_no: int,
+              allow_labels: bool = True) -> int:
+    text = text.strip()
+    if not text:
+        raise AssemblerError(f"line {line_no}: missing value")
+    for fn, transform in (("hi(", lambda v: (v >> 16) & 0xFFFF),
+                          ("lo(", lambda v: v & 0xFFFF)):
+        if text.lower().startswith(fn) and text.endswith(")"):
+            inner = text[len(fn):-1]
+            return transform(_eval_int(inner, labels, line_no))
+    if allow_labels and text in labels:
+        return labels[text]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: undefined symbol or bad number {text!r}"
+        ) from None
+
+
+def _parse_instruction(mnemonic: str, operands: str, addr: int,
+                       labels: Dict[str, int], line_no: int) -> Instruction:
+    _, _, fmt = OPCODES[mnemonic]
+    ops = [o.strip() for o in operands.split(",")] if operands.strip() else []
+
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} expects {n} operands, "
+                f"got {len(ops)}")
+
+    if fmt == "N":
+        if len(ops) > 1:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} takes at most one operand")
+        imm = _eval_int(ops[0], labels, line_no) if ops else 0
+        return Instruction(mnemonic, imm=imm)
+    if fmt == "J":
+        need(1)
+        target = _eval_int(ops[0], labels, line_no)
+        offset = (target - addr) // 4
+        return Instruction(mnemonic, imm=offset)
+    if fmt == "IH":
+        need(2)
+        return Instruction(mnemonic, rd=_parse_reg(ops[0], line_no),
+                           imm=_eval_int(ops[1], labels, line_no) & 0xFFFF)
+    if fmt in ("I", "IU", "SHI"):
+        need(3)
+        return Instruction(mnemonic, rd=_parse_reg(ops[0], line_no),
+                           ra=_parse_reg(ops[1], line_no),
+                           imm=_eval_int(ops[2], labels, line_no))
+    if fmt == "LD":
+        need(2)
+        match = _MEM_RE.match(ops[1])
+        if not match:
+            raise AssemblerError(
+                f"line {line_no}: expected off(reg), got {ops[1]!r}")
+        return Instruction(mnemonic, rd=_parse_reg(ops[0], line_no),
+                           ra=_parse_reg(match.group("reg"), line_no),
+                           imm=_eval_int(match.group("off") or "0", labels,
+                                         line_no))
+    if fmt == "ST":
+        need(2)
+        match = _MEM_RE.match(ops[0])
+        if not match:
+            raise AssemblerError(
+                f"line {line_no}: expected off(reg), got {ops[0]!r}")
+        return Instruction(mnemonic,
+                           ra=_parse_reg(match.group("reg"), line_no),
+                           rb=_parse_reg(ops[1], line_no),
+                           imm=_eval_int(match.group("off") or "0", labels,
+                                         line_no))
+    if fmt == "R":
+        need(3)
+        return Instruction(mnemonic, rd=_parse_reg(ops[0], line_no),
+                           ra=_parse_reg(ops[1], line_no),
+                           rb=_parse_reg(ops[2], line_no))
+    if fmt == "SF":
+        need(2)
+        return Instruction(mnemonic, ra=_parse_reg(ops[0], line_no),
+                           rb=_parse_reg(ops[1], line_no))
+    if fmt == "RB":
+        need(1)
+        return Instruction(mnemonic, rb=_parse_reg(ops[0], line_no))
+    if fmt == "RA":
+        need(2)
+        return Instruction(mnemonic, rd=_parse_reg(ops[0], line_no),
+                           ra=_parse_reg(ops[1], line_no))
+    raise AssemblerError(f"line {line_no}: unhandled format {fmt!r}")

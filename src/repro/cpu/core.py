@@ -1,0 +1,241 @@
+"""The processor simulator.
+
+A functional, cycle-counting model: one cycle per instruction (loads and
+stores included — the OR1200's tightly-coupled memories behave this
+way), big-endian memory, r0 hard-wired to zero, no delay slots.
+
+What the power experiments need from this model is the *activity
+timeline* of the custom functional unit: which cycles executed
+``l.sbox`` and what operands it saw.  :class:`ExecutionStats` captures
+exactly that, yielding the ISE duty factor of §6 (0.01 % in the paper's
+benchmark) and the operand stream that drives the transistor-level
+power simulation of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..aes.sbox import SBOX
+from ..errors import CPUError
+from .isa import (
+    Instruction,
+    decode,
+)
+
+WORD_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class ExecutionStats:
+    """What happened during a run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    opcode_counts: Dict[str, int] = field(default_factory=dict)
+    #: (cycle, operand, result) per l.sbox execution
+    sbox_events: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def sbox_cycles(self) -> int:
+        return len(self.sbox_events)
+
+    @property
+    def ise_duty(self) -> float:
+        """Fraction of cycles in which the S-box ISE was active (§6)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.sbox_cycles / self.cycles
+
+    def __repr__(self) -> str:
+        return (f"ExecutionStats({self.instructions} instr, "
+                f"{self.cycles} cycles, ISE duty "
+                f"{self.ise_duty * 100:.4g}%)")
+
+
+class CPU:
+    """The OpenRISC-flavoured core with the S-box ISE port."""
+
+    def __init__(self, memory_size: int = 1 << 20):
+        if memory_size % 4:
+            raise CPUError("memory size must be word aligned")
+        self.memory = bytearray(memory_size)
+        self.regs: List[int] = [0] * 32
+        self.pc = 0
+        self.flag = False
+        self.halted = False
+        self.stats = ExecutionStats()
+        #: optional hook called as hook(cpu, instruction) before execution
+        self.trace_hook: Optional[Callable[["CPU", Instruction], None]] = None
+        self._decode_cache: Dict[int, Instruction] = {}
+
+    # -- memory -------------------------------------------------------------
+
+    def load_image(self, image: Dict[int, int]) -> None:
+        """Load a sparse byte image (from :func:`repro.cpu.assemble`)."""
+        for addr, value in image.items():
+            if not 0 <= addr < len(self.memory):
+                raise CPUError(f"image byte at {addr:#x} outside memory")
+            self.memory[addr] = value & 0xFF
+
+    def read_word(self, addr: int) -> int:
+        if addr % 4 or not 0 <= addr <= len(self.memory) - 4:
+            raise CPUError(f"bad word read at {addr:#x}")
+        b = self.memory
+        return (b[addr] << 24) | (b[addr + 1] << 16) | (b[addr + 2] << 8) | \
+            b[addr + 3]
+
+    def write_word(self, addr: int, value: int) -> None:
+        if addr % 4 or not 0 <= addr <= len(self.memory) - 4:
+            raise CPUError(f"bad word write at {addr:#x}")
+        value &= WORD_MASK
+        self.memory[addr] = value >> 24
+        self.memory[addr + 1] = (value >> 16) & 0xFF
+        self.memory[addr + 2] = (value >> 8) & 0xFF
+        self.memory[addr + 3] = value & 0xFF
+
+    def read_byte(self, addr: int) -> int:
+        if not 0 <= addr < len(self.memory):
+            raise CPUError(f"bad byte read at {addr:#x}")
+        return self.memory[addr]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        if not 0 <= addr < len(self.memory):
+            raise CPUError(f"bad byte write at {addr:#x}")
+        self.memory[addr] = value & 0xFF
+
+    # -- registers -----------------------------------------------------------
+
+    def set_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & WORD_MASK
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns the decoded instruction."""
+        if self.halted:
+            raise CPUError("CPU is halted")
+        word = self.read_word(self.pc)
+        inst = self._decode_cache.get(word)
+        if inst is None:
+            inst = decode(word)
+            self._decode_cache[word] = inst
+        if self.trace_hook is not None:
+            self.trace_hook(self, inst)
+        next_pc = self.pc + 4
+        mn = inst.mnemonic
+        regs = self.regs
+
+        if mn == "l.nop":
+            # l.nop with a nonzero immediate is the simulator's halt hook
+            # (mirrors the OR1K l.nop NOP_EXIT convention).
+            pass
+        elif mn == "l.add":
+            self.set_reg(inst.rd, regs[inst.ra] + regs[inst.rb])
+        elif mn == "l.sub":
+            self.set_reg(inst.rd, regs[inst.ra] - regs[inst.rb])
+        elif mn == "l.and":
+            self.set_reg(inst.rd, regs[inst.ra] & regs[inst.rb])
+        elif mn == "l.or":
+            self.set_reg(inst.rd, regs[inst.ra] | regs[inst.rb])
+        elif mn == "l.xor":
+            self.set_reg(inst.rd, regs[inst.ra] ^ regs[inst.rb])
+        elif mn == "l.mul":
+            self.set_reg(inst.rd, regs[inst.ra] * regs[inst.rb])
+        elif mn == "l.sll":
+            self.set_reg(inst.rd, regs[inst.ra] << (regs[inst.rb] & 31))
+        elif mn == "l.srl":
+            self.set_reg(inst.rd, regs[inst.ra] >> (regs[inst.rb] & 31))
+        elif mn == "l.sra":
+            value = regs[inst.ra]
+            if value & 0x80000000:
+                value -= 1 << 32
+            self.set_reg(inst.rd, value >> (regs[inst.rb] & 31))
+        elif mn == "l.addi":
+            self.set_reg(inst.rd, regs[inst.ra] + inst.imm)
+        elif mn == "l.muli":
+            self.set_reg(inst.rd, regs[inst.ra] * inst.imm)
+        elif mn == "l.andi":
+            self.set_reg(inst.rd, regs[inst.ra] & (inst.imm & 0xFFFF))
+        elif mn == "l.ori":
+            self.set_reg(inst.rd, regs[inst.ra] | (inst.imm & 0xFFFF))
+        elif mn == "l.xori":
+            self.set_reg(inst.rd, regs[inst.ra] ^ (inst.imm & 0xFFFF))
+        elif mn == "l.slli":
+            self.set_reg(inst.rd, regs[inst.ra] << inst.imm)
+        elif mn == "l.srli":
+            self.set_reg(inst.rd, regs[inst.ra] >> inst.imm)
+        elif mn == "l.srai":
+            value = regs[inst.ra]
+            if value & 0x80000000:
+                value -= 1 << 32
+            self.set_reg(inst.rd, value >> inst.imm)
+        elif mn == "l.movhi":
+            self.set_reg(inst.rd, (inst.imm & 0xFFFF) << 16)
+        elif mn == "l.lwz":
+            self.set_reg(inst.rd, self.read_word(regs[inst.ra] + inst.imm))
+        elif mn == "l.lbz":
+            self.set_reg(inst.rd, self.read_byte(regs[inst.ra] + inst.imm))
+        elif mn == "l.sw":
+            self.write_word(regs[inst.ra] + inst.imm, regs[inst.rb])
+        elif mn == "l.sb":
+            self.write_byte(regs[inst.ra] + inst.imm, regs[inst.rb])
+        elif mn == "l.j":
+            next_pc = self.pc + 4 * inst.imm
+        elif mn == "l.jal":
+            self.set_reg(9, self.pc + 4)  # link register, OR1K convention
+            next_pc = self.pc + 4 * inst.imm
+        elif mn == "l.jr" or mn == "l.jalr":
+            if mn == "l.jalr":
+                self.set_reg(9, self.pc + 4)
+            next_pc = regs[inst.rb]
+        elif mn == "l.bf":
+            if self.flag:
+                next_pc = self.pc + 4 * inst.imm
+        elif mn == "l.bnf":
+            if not self.flag:
+                next_pc = self.pc + 4 * inst.imm
+        elif mn == "l.sfeq":
+            self.flag = regs[inst.ra] == regs[inst.rb]
+        elif mn == "l.sfne":
+            self.flag = regs[inst.ra] != regs[inst.rb]
+        elif mn == "l.sfgtu":
+            self.flag = regs[inst.ra] > regs[inst.rb]
+        elif mn == "l.sfgeu":
+            self.flag = regs[inst.ra] >= regs[inst.rb]
+        elif mn == "l.sfltu":
+            self.flag = regs[inst.ra] < regs[inst.rb]
+        elif mn == "l.sfleu":
+            self.flag = regs[inst.ra] <= regs[inst.rb]
+        elif mn == "l.sbox":
+            operand = regs[inst.ra]
+            result = 0
+            for shift in (24, 16, 8, 0):
+                result |= SBOX[(operand >> shift) & 0xFF] << shift
+            self.set_reg(inst.rd, result)
+            self.stats.sbox_events.append(
+                (self.stats.cycles, operand, result))
+        else:  # pragma: no cover - decode is exhaustive
+            raise CPUError(f"unimplemented mnemonic {mn!r}")
+
+        self.stats.instructions += 1
+        self.stats.cycles += 1
+        self.stats.opcode_counts[mn] = self.stats.opcode_counts.get(mn, 0) + 1
+        if mn == "l.nop" and inst.imm:
+            self.halted = True
+        self.pc = next_pc & WORD_MASK
+        return inst
+
+    def run(self, max_instructions: int = 10_000_000,
+            until_halt: bool = True) -> ExecutionStats:
+        """Run until the halt NOP (``l.nop 1``) or the instruction budget."""
+        for _ in range(max_instructions):
+            if self.halted:
+                return self.stats
+            self.step()
+        if until_halt and not self.halted:
+            raise CPUError(
+                f"program did not halt within {max_instructions} instructions")
+        return self.stats

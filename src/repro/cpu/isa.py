@@ -1,0 +1,277 @@
+"""Instruction set: an OpenRISC-flavoured 32-bit RISC subset.
+
+Encodings use a 6-bit major opcode in bits [31:26], in the spirit of the
+ORBIS32 encoding (exact bit compatibility with OR1K is not a goal — the
+paper's measurements depend on instruction *behaviour* and cycle counts,
+not on binary encodings).
+
+Formats
+-------
+* R-type: ``|op|rd|ra|rb|0...|subop(4)|`` — register ALU ops.
+* I-type: ``|op|rd|ra|imm16|`` — immediates, loads; stores use
+  ``|op|imm_hi5|ra|rb|imm_lo11|``.
+* J-type: ``|op|off26|`` — jumps/branches, PC-relative in words.
+
+The custom instruction ``l.sbox rd, ra`` applies the AES S-box to each
+of the four bytes of ``ra`` — the four-S-box functional unit of §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import CPUError
+
+WORD_MASK = 0xFFFFFFFF
+
+# Major opcodes.
+OP_J = 0x00
+OP_JAL = 0x01
+OP_BNF = 0x03
+OP_BF = 0x04
+OP_NOP = 0x05
+OP_MOVHI = 0x06
+OP_JR = 0x11
+OP_JALR = 0x12
+OP_LWZ = 0x21
+OP_LBZ = 0x23
+OP_ADDI = 0x27
+OP_ANDI = 0x29
+OP_ORI = 0x2A
+OP_XORI = 0x2B
+OP_MULI = 0x2C
+OP_SHIFTI = 0x2E
+OP_SW = 0x35
+OP_SB = 0x36
+OP_ALU = 0x38
+OP_SF = 0x39
+OP_SBOX = 0x3C
+
+# ALU sub-opcodes (OP_ALU).
+ALU_ADD = 0x0
+ALU_SUB = 0x2
+ALU_AND = 0x3
+ALU_OR = 0x4
+ALU_XOR = 0x5
+ALU_MUL = 0x6
+ALU_SLL = 0x8
+ALU_SRL = 0x9
+ALU_SRA = 0xA
+
+# Shift-immediate sub-opcodes (OP_SHIFTI, bits [7:6]).
+SHI_SLL = 0x0
+SHI_SRL = 0x1
+SHI_SRA = 0x2
+
+# Set-flag sub-opcodes (OP_SF, in the rd field).
+SF_EQ = 0x0
+SF_NE = 0x1
+SF_GTU = 0x2
+SF_GEU = 0x3
+SF_LTU = 0x4
+SF_LEU = 0x5
+
+#: mnemonic -> (major opcode, sub-opcode or None, format)
+OPCODES: Dict[str, Tuple[int, Optional[int], str]] = {
+    "l.j": (OP_J, None, "J"),
+    "l.jal": (OP_JAL, None, "J"),
+    "l.bnf": (OP_BNF, None, "J"),
+    "l.bf": (OP_BF, None, "J"),
+    "l.nop": (OP_NOP, None, "N"),
+    "l.movhi": (OP_MOVHI, None, "IH"),
+    "l.jr": (OP_JR, None, "RB"),
+    "l.jalr": (OP_JALR, None, "RB"),
+    "l.lwz": (OP_LWZ, None, "LD"),
+    "l.lbz": (OP_LBZ, None, "LD"),
+    "l.addi": (OP_ADDI, None, "I"),
+    "l.andi": (OP_ANDI, None, "IU"),
+    "l.ori": (OP_ORI, None, "IU"),
+    "l.xori": (OP_XORI, None, "IU"),
+    "l.muli": (OP_MULI, None, "I"),
+    "l.slli": (OP_SHIFTI, SHI_SLL, "SHI"),
+    "l.srli": (OP_SHIFTI, SHI_SRL, "SHI"),
+    "l.srai": (OP_SHIFTI, SHI_SRA, "SHI"),
+    "l.sw": (OP_SW, None, "ST"),
+    "l.sb": (OP_SB, None, "ST"),
+    "l.add": (OP_ALU, ALU_ADD, "R"),
+    "l.sub": (OP_ALU, ALU_SUB, "R"),
+    "l.and": (OP_ALU, ALU_AND, "R"),
+    "l.or": (OP_ALU, ALU_OR, "R"),
+    "l.xor": (OP_ALU, ALU_XOR, "R"),
+    "l.mul": (OP_ALU, ALU_MUL, "R"),
+    "l.sll": (OP_ALU, ALU_SLL, "R"),
+    "l.srl": (OP_ALU, ALU_SRL, "R"),
+    "l.sra": (OP_ALU, ALU_SRA, "R"),
+    "l.sfeq": (OP_SF, SF_EQ, "SF"),
+    "l.sfne": (OP_SF, SF_NE, "SF"),
+    "l.sfgtu": (OP_SF, SF_GTU, "SF"),
+    "l.sfgeu": (OP_SF, SF_GEU, "SF"),
+    "l.sfltu": (OP_SF, SF_LTU, "SF"),
+    "l.sfleu": (OP_SF, SF_LEU, "SF"),
+    "l.sbox": (OP_SBOX, None, "RA"),
+}
+
+_BY_OPCODE: Dict[int, str] = {}
+for _mn, (_op, _sub, _fmt) in OPCODES.items():
+    _BY_OPCODE.setdefault(_op, _mn)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0  # sign-extended where the format says so
+
+    def __repr__(self) -> str:
+        return f"Instruction({disassemble_fields(self)})"
+
+
+def _check_reg(r: int, what: str) -> None:
+    if not 0 <= r <= 31:
+        raise CPUError(f"{what} register out of range: {r}")
+
+
+def _signed16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def _signed26(value: int) -> int:
+    value &= 0x3FFFFFF
+    return value - 0x4000000 if value & 0x2000000 else value
+
+
+def encode(inst: Instruction) -> int:
+    """Encode an :class:`Instruction` to its 32-bit word."""
+    try:
+        op, sub, fmt = OPCODES[inst.mnemonic]
+    except KeyError:
+        raise CPUError(f"unknown mnemonic {inst.mnemonic!r}") from None
+    _check_reg(inst.rd, "rd")
+    _check_reg(inst.ra, "ra")
+    _check_reg(inst.rb, "rb")
+    word = op << 26
+    if fmt == "J":
+        if not -(1 << 25) <= inst.imm < (1 << 25):
+            raise CPUError(f"jump offset out of range: {inst.imm}")
+        word |= inst.imm & 0x3FFFFFF
+    elif fmt == "N":
+        # l.nop carries an informational immediate (OR1K convention;
+        # l.nop 1 is the simulator's halt request).
+        if not 0 <= inst.imm < (1 << 16):
+            raise CPUError(f"nop immediate out of range: {inst.imm}")
+        word |= inst.imm & 0xFFFF
+    elif fmt in ("I", "IU", "LD", "IH"):
+        if fmt in ("I", "LD"):
+            if not -(1 << 15) <= inst.imm < (1 << 15):
+                raise CPUError(f"immediate out of range: {inst.imm}")
+        else:
+            if not 0 <= inst.imm < (1 << 16):
+                raise CPUError(f"unsigned immediate out of range: {inst.imm}")
+        word |= (inst.rd << 21) | (inst.ra << 16) | (inst.imm & 0xFFFF)
+    elif fmt == "ST":
+        if not -(1 << 15) <= inst.imm < (1 << 15):
+            raise CPUError(f"store offset out of range: {inst.imm}")
+        imm = inst.imm & 0xFFFF
+        word |= ((imm >> 11) << 21) | (inst.ra << 16) | (inst.rb << 11) | (
+            imm & 0x7FF)
+    elif fmt == "R":
+        word |= (inst.rd << 21) | (inst.ra << 16) | (inst.rb << 11) | sub
+    elif fmt == "SHI":
+        if not 0 <= inst.imm < 32:
+            raise CPUError(f"shift amount out of range: {inst.imm}")
+        word |= (inst.rd << 21) | (inst.ra << 16) | (sub << 6) | inst.imm
+    elif fmt == "SF":
+        word |= (sub << 21) | (inst.ra << 16) | (inst.rb << 11)
+    elif fmt == "RB":
+        word |= inst.rb << 11
+    elif fmt == "RA":
+        word |= (inst.rd << 21) | (inst.ra << 16)
+    else:  # pragma: no cover - formats are exhaustive
+        raise CPUError(f"unhandled format {fmt!r}")
+    return word & WORD_MASK
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word to an :class:`Instruction`."""
+    word &= WORD_MASK
+    op = word >> 26
+    rd = (word >> 21) & 0x1F
+    ra = (word >> 16) & 0x1F
+    rb = (word >> 11) & 0x1F
+    imm16 = word & 0xFFFF
+
+    if op in (OP_J, OP_JAL, OP_BF, OP_BNF):
+        return Instruction(_BY_OPCODE[op], imm=_signed26(word))
+    if op == OP_NOP:
+        return Instruction("l.nop", imm=imm16)
+    if op == OP_MOVHI:
+        return Instruction("l.movhi", rd=rd, imm=imm16)
+    if op in (OP_JR, OP_JALR):
+        return Instruction(_BY_OPCODE[op], rb=rb)
+    if op in (OP_LWZ, OP_LBZ):
+        return Instruction(_BY_OPCODE[op], rd=rd, ra=ra, imm=_signed16(imm16))
+    if op == OP_ADDI or op == OP_MULI:
+        return Instruction(_BY_OPCODE[op], rd=rd, ra=ra, imm=_signed16(imm16))
+    if op in (OP_ANDI, OP_ORI, OP_XORI):
+        return Instruction(_BY_OPCODE[op], rd=rd, ra=ra, imm=imm16)
+    if op == OP_SHIFTI:
+        sub = (word >> 6) & 0x3
+        for mn, (mop, msub, mfmt) in OPCODES.items():
+            if mop == OP_SHIFTI and msub == sub:
+                return Instruction(mn, rd=rd, ra=ra, imm=word & 0x1F)
+        raise CPUError(f"bad shift sub-opcode {sub}")
+    if op in (OP_SW, OP_SB):
+        imm = ((rd << 11) | (word & 0x7FF))
+        return Instruction(_BY_OPCODE[op], ra=ra, rb=rb, imm=_signed16(imm))
+    if op == OP_ALU:
+        sub = word & 0xF
+        for mn, (mop, msub, mfmt) in OPCODES.items():
+            if mop == OP_ALU and msub == sub:
+                return Instruction(mn, rd=rd, ra=ra, rb=rb)
+        raise CPUError(f"bad ALU sub-opcode {sub:#x}")
+    if op == OP_SF:
+        for mn, (mop, msub, mfmt) in OPCODES.items():
+            if mop == OP_SF and msub == rd:
+                return Instruction(mn, ra=ra, rb=rb)
+        raise CPUError(f"bad set-flag sub-opcode {rd:#x}")
+    if op == OP_SBOX:
+        return Instruction("l.sbox", rd=rd, ra=ra)
+    raise CPUError(f"unknown opcode {op:#04x} in word {word:#010x}")
+
+
+def disassemble_fields(inst: Instruction) -> str:
+    op, sub, fmt = OPCODES[inst.mnemonic]
+    if fmt == "J":
+        return f"{inst.mnemonic} {inst.imm}"
+    if fmt == "N":
+        return f"{inst.mnemonic} {inst.imm}" if inst.imm else inst.mnemonic
+    if fmt == "IH":
+        return f"{inst.mnemonic} r{inst.rd}, {inst.imm:#x}"
+    if fmt in ("I", "IU"):
+        return f"{inst.mnemonic} r{inst.rd}, r{inst.ra}, {inst.imm}"
+    if fmt == "LD":
+        return f"{inst.mnemonic} r{inst.rd}, {inst.imm}(r{inst.ra})"
+    if fmt == "ST":
+        return f"{inst.mnemonic} {inst.imm}(r{inst.ra}), r{inst.rb}"
+    if fmt == "R":
+        return f"{inst.mnemonic} r{inst.rd}, r{inst.ra}, r{inst.rb}"
+    if fmt == "SHI":
+        return f"{inst.mnemonic} r{inst.rd}, r{inst.ra}, {inst.imm}"
+    if fmt == "SF":
+        return f"{inst.mnemonic} r{inst.ra}, r{inst.rb}"
+    if fmt == "RB":
+        return f"{inst.mnemonic} r{inst.rb}"
+    if fmt == "RA":
+        return f"{inst.mnemonic} r{inst.rd}, r{inst.ra}"
+    return inst.mnemonic
+
+
+def disassemble(word: int) -> str:
+    """Decode and pretty-print one instruction word."""
+    return disassemble_fields(decode(word))

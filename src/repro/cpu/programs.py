@@ -1,0 +1,300 @@
+"""AES-128 firmware for the OpenRISC-flavoured core.
+
+Two variants of §6's benchmark software:
+
+* ``use_ise=False`` — pure software AES: SubBytes through a 256-byte
+  S-box table in memory, the reference a designer would run on the
+  unmodified core;
+* ``use_ise=True`` — the protected build: SubBytes executes on the
+  custom functional unit via four ``l.sbox`` word instructions per round
+  (4 bytes per instruction x 4 words = the 16-byte state), everything
+  else identical.
+
+The round keys are expanded host-side and loaded as data — key schedule
+runs once per key while the paper's benchmark encrypts 5000 blocks, so
+moving it off the measured loop matches the experimental setup.  Rounds
+are generated fully unrolled (straight-line code); the outer block loop
+uses real compare-and-branch instructions.
+
+The firmware's cycle count and the cycles at which ``l.sbox`` executes
+are the inputs to the ISE duty factor and the Fig. 5 gating timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aes import SBOX, expand_key
+from ..aes.sbox import xtime
+from ..errors import CPUError
+from .assembler import assemble
+from .core import CPU, ExecutionStats
+
+# Memory map (byte addresses).
+CODE_BASE = 0x0000
+STATE = 0x8000
+ROUND_KEYS = 0x8010
+SBOX_TABLE = 0x8100
+XTIME_TABLE = 0x8200
+SCRATCH = 0x8300
+RCON_TABLE = 0x8400
+N_BLOCKS_WORD = 0x8FF0
+PLAINTEXT = 0x9000
+CIPHERTEXT = 0xC000
+
+#: FIPS-197 round constants (first byte of each Rcon word).
+RCON_BYTES = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+_R = {
+    "state": 1, "rk": 2, "sbox": 3, "xt": 4, "scratch": 5,
+    "pt": 16, "ct": 17, "blocks": 18,
+}
+_T = [6, 7, 8, 9, 10, 11, 12, 13, 14, 15]  # temporaries
+
+
+@dataclass
+class AESFirmware:
+    """Generated firmware plus its memory-map symbols."""
+
+    source: str
+    use_ise: bool
+    n_blocks: int
+    expand_key_on_core: bool = False
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def assemble_image(self) -> Dict[int, int]:
+        return assemble(self.source)
+
+    def run(self, key: bytes, plaintexts: Sequence[bytes],
+            cpu: Optional[CPU] = None) -> Tuple[List[bytes], ExecutionStats]:
+        """Assemble, load, execute; returns (ciphertexts, stats)."""
+        if len(plaintexts) != self.n_blocks:
+            raise CPUError(
+                f"firmware built for {self.n_blocks} blocks, "
+                f"got {len(plaintexts)} plaintexts")
+        cpu = cpu or CPU()
+        cpu.load_image(self.assemble_image())
+        # Round keys: either expanded host-side or just the cipher key
+        # (the firmware's own key schedule fills the rest).
+        if self.expand_key_on_core:
+            flat = list(key)
+        else:
+            flat = [b for rk in expand_key(key) for b in rk]
+        for i, byte in enumerate(flat):
+            cpu.write_byte(ROUND_KEYS + i, byte)
+        # Plaintexts.
+        for b, block in enumerate(plaintexts):
+            if len(block) != 16:
+                raise CPUError("plaintext blocks must be 16 bytes")
+            for i, byte in enumerate(block):
+                cpu.write_byte(PLAINTEXT + 16 * b + i, byte)
+        cpu.write_word(N_BLOCKS_WORD, self.n_blocks)
+        cpu.pc = CODE_BASE
+        stats = cpu.run(max_instructions=40_000_000)
+        ciphertexts = [
+            bytes(cpu.read_byte(CIPHERTEXT + 16 * b + i) for i in range(16))
+            for b in range(self.n_blocks)
+        ]
+        return ciphertexts, stats
+
+
+def _emit_load_address(lines: List[str], reg: int, value: int) -> None:
+    lines.append(f"    l.movhi r{reg}, {value >> 16}")
+    lines.append(f"    l.ori r{reg}, r{reg}, {value & 0xFFFF}")
+
+
+def _emit_add_round_key(lines: List[str], round_index: int) -> None:
+    s, rk = _R["state"], _R["rk"]
+    t0, t1 = _T[0], _T[1]
+    for col in range(4):
+        lines.append(f"    l.lwz r{t0}, {4 * col}(r{s})")
+        lines.append(f"    l.lwz r{t1}, {16 * round_index + 4 * col}(r{rk})")
+        lines.append(f"    l.xor r{t0}, r{t0}, r{t1}")
+        lines.append(f"    l.sw {4 * col}(r{s}), r{t0}")
+
+
+def _emit_sub_shift_sw(lines: List[str]) -> None:
+    """SubBytes+ShiftRows fused, via the in-memory S-box table."""
+    s, tbl, scr = _R["state"], _R["sbox"], _R["scratch"]
+    t0, t1 = _T[0], _T[1]
+    for row in range(4):
+        for col in range(4):
+            src = row + 4 * ((col + row) % 4)
+            dst = row + 4 * col
+            lines.append(f"    l.lbz r{t0}, {src}(r{s})")
+            lines.append(f"    l.add r{t1}, r{tbl}, r{t0}")
+            lines.append(f"    l.lbz r{t0}, 0(r{t1})")
+            lines.append(f"    l.sb {dst}(r{scr}), r{t0}")
+    _emit_copy_scratch_to_state(lines)
+
+
+def _emit_sub_shift_ise(lines: List[str]) -> None:
+    """SubBytes on the custom functional unit, then ShiftRows."""
+    s, scr = _R["state"], _R["scratch"]
+    t0 = _T[0]
+    for col in range(4):
+        lines.append(f"    l.lwz r{t0}, {4 * col}(r{s})")
+        lines.append(f"    l.sbox r{t0}, r{t0}")
+        lines.append(f"    l.sw {4 * col}(r{s}), r{t0}")
+    for row in range(4):
+        for col in range(4):
+            src = row + 4 * ((col + row) % 4)
+            dst = row + 4 * col
+            lines.append(f"    l.lbz r{t0}, {src}(r{s})")
+            lines.append(f"    l.sb {dst}(r{scr}), r{t0}")
+    _emit_copy_scratch_to_state(lines)
+
+
+def _emit_copy_scratch_to_state(lines: List[str]) -> None:
+    s, scr = _R["state"], _R["scratch"]
+    t0 = _T[0]
+    for col in range(4):
+        lines.append(f"    l.lwz r{t0}, {4 * col}(r{scr})")
+        lines.append(f"    l.sw {4 * col}(r{s}), r{t0}")
+
+
+def _emit_mix_columns(lines: List[str]) -> None:
+    """out_i = a_i ^ t ^ xtime(a_i ^ a_(i+1)), t = a0^a1^a2^a3."""
+    s, xt = _R["state"], _R["xt"]
+    a = _T[0:4]          # a0..a3
+    t_all = _T[4]        # running xor of the column
+    u = _T[5]
+    addr = _T[6]
+    for col in range(4):
+        base = 4 * col
+        for i in range(4):
+            lines.append(f"    l.lbz r{a[i]}, {base + i}(r{s})")
+        lines.append(f"    l.xor r{t_all}, r{a[0]}, r{a[1]}")
+        lines.append(f"    l.xor r{t_all}, r{t_all}, r{a[2]}")
+        lines.append(f"    l.xor r{t_all}, r{t_all}, r{a[3]}")
+        for i in range(4):
+            nxt = a[(i + 1) % 4]
+            lines.append(f"    l.xor r{u}, r{a[i]}, r{nxt}")
+            lines.append(f"    l.add r{addr}, r{xt}, r{u}")
+            lines.append(f"    l.lbz r{u}, 0(r{addr})")
+            lines.append(f"    l.xor r{u}, r{u}, r{t_all}")
+            lines.append(f"    l.xor r{u}, r{u}, r{a[i]}")
+            lines.append(f"    l.sb {base + i}(r{s}), r{u}")
+
+
+def _emit_key_schedule(lines: List[str], use_ise: bool) -> None:
+    """FIPS-197 key expansion in a real loop (44 words, branches).
+
+    Registers r20-r26 are used; the ISE build performs SubWord with a
+    single ``l.sbox`` (the instruction applies the S-box to all four
+    bytes — exactly SubWord), the software build does four table
+    lookups.
+    """
+    rk, sbox = _R["rk"], _R["sbox"]
+    i_reg, addr, temp, limit, scratch1, scratch2, rcon = \
+        20, 21, 22, 23, 24, 25, 26
+    lines.append(f"    l.addi r{i_reg}, r0, 4")
+    lines.append(f"    l.addi r{limit}, r0, 44")
+    _emit_load_address(lines, rcon, RCON_TABLE)
+    lines.append("ks_loop:")
+    # addr = rk + 4*i ; temp = word[i-1]
+    lines.append(f"    l.slli r{addr}, r{i_reg}, 2")
+    lines.append(f"    l.add r{addr}, r{addr}, r{rk}")
+    lines.append(f"    l.lwz r{temp}, -4(r{addr})")
+    # every 4th word: temp = SubWord(RotWord(temp)) XOR Rcon[i/4 - 1]
+    lines.append(f"    l.andi r{scratch1}, r{i_reg}, 3")
+    lines.append(f"    l.sfeq r{scratch1}, r0")
+    lines.append("    l.bnf ks_no_rot")
+    # RotWord: left-rotate by 8.
+    lines.append(f"    l.slli r{scratch1}, r{temp}, 8")
+    lines.append(f"    l.srli r{scratch2}, r{temp}, 24")
+    lines.append(f"    l.or r{temp}, r{scratch1}, r{scratch2}")
+    if use_ise:
+        lines.append(f"    l.sbox r{temp}, r{temp}")
+    else:
+        # SubWord: four byte lookups through the in-memory table.
+        lines.append(f"    l.sw 0(r{_R['scratch']}), r{temp}")
+        for byte in range(4):
+            lines.append(f"    l.lbz r{scratch1}, {byte}(r{_R['scratch']})")
+            lines.append(f"    l.add r{scratch2}, r{sbox}, r{scratch1}")
+            lines.append(f"    l.lbz r{scratch1}, 0(r{scratch2})")
+            lines.append(f"    l.sb {byte}(r{_R['scratch']}), r{scratch1}")
+        lines.append(f"    l.lwz r{temp}, 0(r{_R['scratch']})")
+    # Rcon: table byte (i/4 - 1) into the top byte.
+    lines.append(f"    l.srli r{scratch1}, r{i_reg}, 2")
+    lines.append(f"    l.addi r{scratch1}, r{scratch1}, -1")
+    lines.append(f"    l.add r{scratch1}, r{rcon}, r{scratch1}")
+    lines.append(f"    l.lbz r{scratch1}, 0(r{scratch1})")
+    lines.append(f"    l.slli r{scratch1}, r{scratch1}, 24")
+    lines.append(f"    l.xor r{temp}, r{temp}, r{scratch1}")
+    lines.append("ks_no_rot:")
+    # word[i] = word[i-4] XOR temp
+    lines.append(f"    l.lwz r{scratch1}, -16(r{addr})")
+    lines.append(f"    l.xor r{temp}, r{temp}, r{scratch1}")
+    lines.append(f"    l.sw 0(r{addr}), r{temp}")
+    lines.append(f"    l.addi r{i_reg}, r{i_reg}, 1")
+    lines.append(f"    l.sfltu r{i_reg}, r{limit}")
+    lines.append("    l.bf ks_loop")
+
+
+def aes_firmware(n_blocks: int = 1, use_ise: bool = False,
+                 expand_key_on_core: bool = False) -> AESFirmware:
+    """Generate the AES-128 encryption firmware.
+
+    With ``expand_key_on_core`` the firmware receives only the 16-byte
+    cipher key and runs the FIPS-197 key schedule itself before the
+    encryption loop (one-time cost, exactly like a real deployment).
+    """
+    if n_blocks < 1:
+        raise CPUError("need at least one block")
+    lines: List[str] = [f".org {CODE_BASE:#x}", "start:"]
+    for name, addr in (("state", STATE), ("rk", ROUND_KEYS),
+                       ("sbox", SBOX_TABLE), ("xt", XTIME_TABLE),
+                       ("scratch", SCRATCH), ("pt", PLAINTEXT),
+                       ("ct", CIPHERTEXT)):
+        _emit_load_address(lines, _R[name], addr)
+    t0 = _T[0]
+    _emit_load_address(lines, t0, N_BLOCKS_WORD)
+    lines.append(f"    l.lwz r{_R['blocks']}, 0(r{t0})")
+    if expand_key_on_core:
+        _emit_key_schedule(lines, use_ise)
+
+    lines.append("block_loop:")
+    # Load plaintext into the state.
+    for col in range(4):
+        lines.append(f"    l.lwz r{t0}, {4 * col}(r{_R['pt']})")
+        lines.append(f"    l.sw {4 * col}(r{_R['state']}), r{t0}")
+    _emit_add_round_key(lines, 0)
+    sub_shift = _emit_sub_shift_ise if use_ise else _emit_sub_shift_sw
+    for rnd in range(1, 10):
+        sub_shift(lines)
+        _emit_mix_columns(lines)
+        _emit_add_round_key(lines, rnd)
+    sub_shift(lines)
+    _emit_add_round_key(lines, 10)
+    # Store ciphertext, advance pointers, loop.
+    for col in range(4):
+        lines.append(f"    l.lwz r{t0}, {4 * col}(r{_R['state']})")
+        lines.append(f"    l.sw {4 * col}(r{_R['ct']}), r{t0}")
+    lines.append(f"    l.addi r{_R['pt']}, r{_R['pt']}, 16")
+    lines.append(f"    l.addi r{_R['ct']}, r{_R['ct']}, 16")
+    lines.append(f"    l.addi r{_R['blocks']}, r{_R['blocks']}, -1")
+    lines.append(f"    l.sfeq r{_R['blocks']}, r0")
+    lines.append("    l.bnf block_loop")
+    lines.append("    l.nop 1   # halt")
+
+    # Tables (only the software build dereferences the S-box table, but
+    # both carry it — the unprotected core's memory image is identical).
+    lines.append(f".org {SBOX_TABLE:#x}")
+    lines.append(".byte " + ", ".join(str(v) for v in SBOX))
+    lines.append(f".org {XTIME_TABLE:#x}")
+    lines.append(".byte " + ", ".join(str(xtime(v)) for v in range(256)))
+    lines.append(f".org {RCON_TABLE:#x}")
+    lines.append(".byte " + ", ".join(str(v) for v in RCON_BYTES))
+
+    symbols = {
+        "STATE": STATE, "ROUND_KEYS": ROUND_KEYS, "SBOX_TABLE": SBOX_TABLE,
+        "XTIME_TABLE": XTIME_TABLE, "SCRATCH": SCRATCH,
+        "RCON_TABLE": RCON_TABLE, "PLAINTEXT": PLAINTEXT,
+        "CIPHERTEXT": CIPHERTEXT, "N_BLOCKS_WORD": N_BLOCKS_WORD,
+    }
+    return AESFirmware(source="\n".join(lines) + "\n", use_ise=use_ise,
+                       n_blocks=n_blocks,
+                       expand_key_on_core=expand_key_on_core,
+                       symbols=symbols)

@@ -1,0 +1,74 @@
+"""Exception taxonomy for the PG-MCML reproduction.
+
+Every package raises exceptions derived from :class:`ReproError` so that
+callers can distinguish library failures from programming errors.  The
+hierarchy mirrors the package structure: circuit-simulation problems,
+cell-generation problems, synthesis problems, and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class UnitsError(ReproError):
+    """An engineering-unit string or value could not be interpreted."""
+
+
+class CircuitError(ReproError):
+    """A circuit netlist is malformed (unknown node, duplicate device...)."""
+
+
+class ConvergenceError(CircuitError):
+    """The nonlinear solver failed to converge on an operating point."""
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class DeviceError(CircuitError):
+    """A device was constructed with invalid parameters."""
+
+
+class BDDError(ReproError):
+    """Invalid BDD operation (unknown variable, ordering violation...)."""
+
+
+class CellError(ReproError):
+    """A standard cell definition or generation step is invalid."""
+
+
+class CharacterizationError(CellError):
+    """Cell characterisation failed (no switching observed, bad bias...)."""
+
+
+class NetlistError(ReproError):
+    """A gate-level netlist is malformed."""
+
+
+class SimulationError(ReproError):
+    """Event-driven logic simulation failed."""
+
+
+class SynthesisError(ReproError):
+    """Technology mapping or sleep-insertion failed."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source could not be assembled."""
+
+
+class CPUError(ReproError):
+    """The processor simulator hit an illegal state."""
+
+
+class TraceError(ReproError):
+    """Power-trace generation or manipulation failed."""
+
+
+class AttackError(ReproError):
+    """A side-channel attack was configured inconsistently."""

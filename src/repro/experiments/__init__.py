@@ -1,0 +1,50 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes ``run(...)`` returning a result dataclass and a
+``main()`` that prints the paper-style table; the ``benchmarks/``
+directory wraps these in pytest-benchmark targets, and EXPERIMENTS.md
+records paper-vs-measured for each.
+
+=========  ===========================================  ==================
+module     paper artefact                               headline check
+=========  ===========================================  ==================
+table1     Table 1 (+ §4 ~6 % overhead claim)           +5.6 % area/cell
+table2     Table 2 (+ §5 1.6x CMOS ratio claim)         ratio ~1.6x
+table3     Table 3 (+ §6 power-reduction claims)        PG ~ duty * MCML
+fig3       Fig. 3 delay/area-delay vs tail current      optimum ~50 uA
+fig5       Fig. 5 gated vs ungated current waveform     ~10^3-10^4 gap
+fig6       Fig. 6 CPA outcome per style                 CMOS breaks only
+ablation   Fig. 2 topology study + Vt assignment (§4/5) (d) wins
+=========  ===========================================  ==================
+"""
+
+from . import (
+    ablation,
+    fig3,
+    fig5,
+    fig6,
+    related,
+    scope,
+    software_attack,
+    table1,
+    table2,
+    table3,
+    tvla,
+)
+from .runner import ExperimentRecord, print_table
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig5",
+    "fig6",
+    "ablation",
+    "tvla",
+    "related",
+    "scope",
+    "software_attack",
+    "ExperimentRecord",
+    "print_table",
+]

@@ -1,0 +1,161 @@
+"""Dependency-free figure rendering: ASCII plots and CSV export.
+
+The paper's figures are plots; this reproduction regenerates their
+*data* and renders it two ways without pulling in matplotlib:
+
+* :func:`ascii_plot` — a terminal line plot good enough to eyeball the
+  Fig. 5 current envelope or the Fig. 6 correlation cloud;
+* :func:`write_csv` — the underlying series, so any external tool can
+  produce publication plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TextIO, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def ascii_plot(series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+               width: int = 72, height: int = 18,
+               x_label: str = "", y_label: str = "",
+               markers: str = "*o+x#@%&") -> str:
+    """Render named (x, y) series onto a character canvas.
+
+    Each series gets the next marker character; later series overwrite
+    earlier ones where they collide (plot the important one last).
+    """
+    if not series:
+        raise ReproError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ReproError("canvas too small")
+
+    xs_all: List[float] = []
+    ys_all: List[float] = []
+    for x, y in series.values():
+        x_arr, y_arr = np.asarray(x, float), np.asarray(y, float)
+        if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
+            raise ReproError("each series needs matching 1-D x and y")
+        if x_arr.size == 0:
+            raise ReproError("empty series")
+        xs_all.extend(x_arr)
+        ys_all.extend(y_arr)
+    x_min, x_max = min(xs_all), max(xs_all)
+    y_min, y_max = min(ys_all), max(ys_all)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, (name, (x, y)) in enumerate(series.items()):
+        mark = markers[index % len(markers)]
+        legend.append(f"{mark} {name}")
+        for xv, yv in zip(np.asarray(x, float), np.asarray(y, float)):
+            col = int(round((xv - x_min) / x_span * (width - 1)))
+            row = int(round((yv - y_min) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = mark
+
+    lines = []
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row_chars in enumerate(canvas):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (" " * pad + "  " + f"{x_min:.4g}"
+              + f"{x_max:.4g}".rjust(width - len(f"{x_min:.4g}")))
+    lines.append(x_axis)
+    if y_label or x_label:
+        lines.append(" " * pad + f"  y: {y_label}   x: {x_label}".rstrip())
+    lines.append(" " * pad + "  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def write_csv(stream: TextIO, columns: Dict[str, Sequence[float]]) -> None:
+    """Write named columns as CSV (header + rows)."""
+    if not columns:
+        raise ReproError("no columns to write")
+    names = list(columns)
+    arrays = [np.asarray(columns[n], float) for n in names]
+    length = arrays[0].size
+    if any(a.size != length for a in arrays):
+        raise ReproError("all columns must have the same length")
+    stream.write(",".join(names) + "\n")
+    for i in range(length):
+        stream.write(",".join(f"{a[i]:.9g}" for a in arrays) + "\n")
+
+
+def render_fig5(result) -> str:
+    """ASCII rendering of the Fig. 5 current waveforms."""
+    times_ns = result.times * 1e9
+    return ascii_plot(
+        {
+            "MCML (no gating)": (times_ns, result.mcml_current.v * 1e3),
+            "sleep signal (x20 mA/V)": (times_ns,
+                                        result.sleep_signal.v * 20.0),
+            "PG-MCML": (times_ns, result.pg_current.v * 1e3),
+        },
+        x_label="time [ns]", y_label="supply current [mA]")
+
+
+def render_fig6(result, style: str = "pgmcml") -> str:
+    """ASCII rendering of one style's Fig. 6 correlation cloud.
+
+    Wrong-key peak envelope in light marks, the true key's |rho(t)| as
+    the emphasised trace — the 'black line' of the figure.
+    """
+    res = result.results[style]
+    rho = np.abs(res.cpa.rho)
+    n_samples = rho.shape[1]
+    samples = np.arange(n_samples, dtype=float)
+    wrong = np.delete(rho, result.key, axis=0)
+    return ascii_plot(
+        {
+            "wrong-key envelope": (samples, wrong.max(axis=0)),
+            f"true key {result.key:#04x}": (samples, rho[result.key]),
+        },
+        x_label="sample", y_label="|rho|", markers=".#")
+
+
+def fig6_csv(result, stream: TextIO, style: str = "pgmcml") -> None:
+    """Export one style's per-guess |rho| peaks plus the true-key trace."""
+    res = result.results[style]
+    rho = np.abs(res.cpa.rho)
+    columns = {
+        "sample": np.arange(rho.shape[1], dtype=float),
+        "true_key_abs_rho": rho[result.key],
+        "wrong_key_max_abs_rho": np.delete(rho, result.key,
+                                           axis=0).max(axis=0),
+    }
+    write_csv(stream, columns)
+
+
+def fig5_csv(result, stream: TextIO) -> None:
+    """Export the Fig. 5 waveforms."""
+    write_csv(stream, {
+        "time_s": result.times,
+        "mcml_current_a": result.mcml_current.v,
+        "pg_current_a": result.pg_current.v,
+        "sleep_signal_v": result.sleep_signal.v,
+    })
+
+
+def fig3_csv(result, stream: TextIO) -> None:
+    """Export the Fig. 3 sweep."""
+    write_csv(stream, {
+        "iss_a": [p.iss for p in result.points],
+        "delay_fo1_s": [p.delay_fo1 for p in result.points],
+        "delay_fo4_s": [p.delay_fo4 for p in result.points],
+        "area_um2": [p.area_um2 for p in result.points],
+        "pdp_j": [p.pdp_fo4 for p in result.points],
+        "adp_um2_s": [p.adp_fo4 for p in result.points],
+    })

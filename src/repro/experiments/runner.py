@@ -1,0 +1,52 @@
+"""Shared experiment plumbing: records, table printing, comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured quantity next to its paper value."""
+
+    name: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0.0):
+            return None
+        return self.measured / self.paper
+
+    def row(self) -> List[str]:
+        paper = "-" if self.paper is None else f"{self.paper:.6g}"
+        ratio = "-" if self.ratio is None else f"{self.ratio:.3f}"
+        return [self.name, f"{self.measured:.6g}", paper, ratio, self.unit]
+
+
+def print_table(rows: Sequence[Sequence[str]],
+                headers: Sequence[str]) -> str:
+    """Render and print a fixed-width table; returns the text."""
+    if not rows:
+        raise ReproError("no rows to print")
+    table = [list(headers)] + [list(r) for r in rows]
+    widths = [max(len(str(row[i])) for row in table)
+              for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def records_table(records: Sequence[ExperimentRecord]) -> str:
+    return print_table([r.row() for r in records],
+                       ["quantity", "measured", "paper", "ratio", "unit"])

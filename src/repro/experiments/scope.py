@@ -1,0 +1,123 @@
+"""Protection-scope study: S-box ISE vs a fully protected AES core.
+
+§2 motivates the ISE approach: "to minimize the area and the cost
+overhead due to MCML gates, researchers considered to use them only for
+critical cryptographic operations and to realize the rest of the design
+with static CMOS".  This experiment quantifies the alternative the paper
+chose not to build — an entire AES-128 round core in PG-MCML — against
+the paper's S-box ISE:
+
+* **area** — the full core carries 16 S-boxes, the key schedule and
+  256 register bits in the expensive differential fabric (~7x the ISE);
+* **power** — both sleep between uses, so average power stays micro-watt
+  class either way; the full core's wake windows are longer (11 cycles
+  per block vs 1 per instruction);
+* **security scope** — the ISE protects SubBytes only: every other AES
+  step executes on the unprotected CMOS processor, where its (linear)
+  intermediates still leak.  The full core hides the entire cipher.
+
+The paper's trade (small protected island + software) is vindicated on
+cost; the study shows what buying complete coverage would take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..cells import build_pg_mcml_library
+from ..cpu import aes_firmware
+from ..power import BlockPowerModel
+from ..synth import build_aes_core, build_sbox_ise, report_block
+from ..units import ns
+from .runner import print_table
+from .table3 import CLOCK_PERIOD
+
+#: Cycles the full core is awake per encrypted block (load + 10 rounds
+#: plus one insertion-delay guard).
+CORE_AWAKE_CYCLES_PER_BLOCK = 12
+
+
+@dataclass
+class ScopeRow:
+    approach: str
+    cells: int
+    area_um2: float
+    delay_ns: float
+    avg_power_w: float
+    protected_fraction: str
+
+
+@dataclass
+class ScopeResult:
+    rows: List[ScopeRow]
+    blocks_per_second: float
+
+    def row(self, approach: str) -> ScopeRow:
+        for r in self.rows:
+            if r.approach == approach:
+                return r
+        raise KeyError(approach)
+
+    def area_ratio(self) -> float:
+        return (self.row("full PG-MCML core").area_um2
+                / self.row("PG-MCML S-box ISE").area_um2)
+
+
+def run(blocks_per_second: float = 1000.0) -> ScopeResult:
+    """Compare the two protection scopes at a given encryption rate.
+
+    ``blocks_per_second`` sets the duty for both options (a smart-card
+    authenticating once a millisecond).
+    """
+    library = build_pg_mcml_library()
+
+    ise = build_sbox_ise(library)
+    core = build_aes_core(library)
+    ise_report = report_block(ise.netlist)
+    core_report = report_block(core.netlist)
+
+    # ISE: 40 l.sbox cycles per block (firmware-measured), one cycle each.
+    firmware = aes_firmware(n_blocks=1, use_ise=True)
+    _, stats = firmware.run(bytes(16), [bytes(16)])
+    ise_awake = stats.sbox_cycles * 3 * CLOCK_PERIOD * blocks_per_second
+    ise_awake = min(ise_awake, 1.0)
+    core_awake = min(CORE_AWAKE_CYCLES_PER_BLOCK * CLOCK_PERIOD
+                     * blocks_per_second, 1.0)
+
+    rows: List[ScopeRow] = []
+    for approach, report, netlist, awake, scope in (
+        ("PG-MCML S-box ISE", ise_report, ise.netlist, ise_awake,
+         "SubBytes only (rest runs on unprotected CMOS)"),
+        ("full PG-MCML core", core_report, core.netlist, core_awake,
+         "entire cipher incl. key schedule"),
+    ):
+        model = BlockPowerModel(netlist)
+        vdd = model.tech.vdd
+        power = vdd * (model.static_current() * awake
+                       + model.static_current(asleep=True) * (1 - awake))
+        rows.append(ScopeRow(
+            approach=approach, cells=report.cells,
+            area_um2=report.core_area_um2, delay_ns=report.delay_ns,
+            avg_power_w=power, protected_fraction=scope))
+    return ScopeResult(rows=rows, blocks_per_second=blocks_per_second)
+
+
+def main(blocks_per_second: float = 1000.0) -> ScopeResult:
+    result = run(blocks_per_second)
+    print(f"Protection scope at {result.blocks_per_second:,.0f} "
+          f"encryptions/s (400 MHz core)")
+    print_table(
+        [[r.approach, str(r.cells), f"{r.area_um2:,.0f}",
+          f"{r.delay_ns:.3f}", f"{r.avg_power_w * 1e6:,.3g}",
+          r.protected_fraction] for r in result.rows],
+        ["approach", "cells", "area [um2]", "crit [ns]", "P [uW]",
+         "protected scope"])
+    print(f"\nfull-cipher protection costs {result.area_ratio():.1f}x the "
+          f"ISE's differential area — the paper's 'critical operations "
+          f"only' trade, quantified.")
+    return result
+
+
+if __name__ == "__main__":
+    main()

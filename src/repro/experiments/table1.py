@@ -1,0 +1,77 @@
+"""Table 1: layout area of conventional MCML vs PG-MCML cells.
+
+Also checks §4's prose claim: "on average, the cells with sleep
+transistor are approximately 6 % larger than conventional MCML gates."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..cells import LayoutModel
+from ..cells.library import PG_MCML_CELL_NAMES
+from .runner import print_table
+
+#: The published Table 1 rows: cell -> (MCML µm², PG-MCML µm²).
+PAPER_TABLE1: Dict[str, Tuple[float, float]] = {
+    "BUF": (7.056, 7.448),
+    "MUX4": (19.7568, 20.8544),
+    "AND4": (16.9344, 17.8752),
+    "DLATCH": (8.4672, 8.9376),
+}
+
+#: Paper cell names as printed (for the report).
+DISPLAY_NAMES = {"BUF": "BUFX1", "MUX4": "MUX4X1", "AND4": "AND4X1",
+                 "DLATCH": "DLX1"}
+
+
+@dataclass
+class Table1Result:
+    rows: List[Tuple[str, float, float, float, float]]  # name, m, pg, pm, ppg
+    mean_overhead_pct: float
+    library_mean_overhead_pct: float
+
+    def max_abs_error_um2(self) -> float:
+        worst = 0.0
+        for _, m, pg, pm, ppg in self.rows:
+            worst = max(worst, abs(m - pm), abs(pg - ppg))
+        return worst
+
+
+def run() -> Table1Result:
+    mcml = LayoutModel("mcml")
+    pg = LayoutModel("pgmcml")
+    rows = []
+    overheads = []
+    for name, (paper_m, paper_pg) in PAPER_TABLE1.items():
+        area_m = mcml.area_um2(name)
+        area_pg = pg.area_um2(name)
+        rows.append((DISPLAY_NAMES[name], area_m, area_pg, paper_m, paper_pg))
+        overheads.append(area_pg / area_m - 1.0)
+    mean_overhead = 100.0 * sum(overheads) / len(overheads)
+
+    # The §4 claim averages over the whole library, not just Table 1.
+    lib_overheads = [pg.area_um2(n) / mcml.area_um2(n) - 1.0
+                     for n in PG_MCML_CELL_NAMES]
+    lib_mean = 100.0 * sum(lib_overheads) / len(lib_overheads)
+    return Table1Result(rows=rows, mean_overhead_pct=mean_overhead,
+                        library_mean_overhead_pct=lib_mean)
+
+
+def main() -> Table1Result:
+    result = run()
+    print("Table 1: area of conventional MCML vs PG-MCML cells (90 nm)")
+    print_table(
+        [[name, f"{m:.4f}", f"{pg:.4f}", f"{pm:.4f}", f"{ppg:.4f}"]
+         for name, m, pg, pm, ppg in result.rows],
+        ["Cell", "MCML [um2]", "PG-MCML [um2]", "paper MCML", "paper PG"])
+    print(f"mean sleep-transistor area overhead (Table 1 cells): "
+          f"{result.mean_overhead_pct:.2f}%  (paper: ~6%)")
+    print(f"mean overhead over all 16 library cells: "
+          f"{result.library_mean_overhead_pct:.2f}%")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Table 2: area and delay of the 16 PG-MCML library cells.
+
+Two layers of reproduction:
+
+* the **datasheet** layer — our library's areas come from the site-count
+  layout model and must match the published µm² exactly; the published
+  delays are carried as the datasheet values;
+* the **characterisation** layer — for the combinational cells whose
+  generated netlists our SPICE engine simulates quickly, we re-derive
+  delay, swing and tail current from transistor-level transients and
+  report them against the paper's column (shape agreement: ordering and
+  roughly proportional magnitudes; our generic 90 nm models are not the
+  authors' PDK).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..cells import (
+    build_cmos_library,
+    build_pg_mcml_library,
+    function,
+    PgMcmlCellGenerator,
+    solve_bias,
+    characterize_mcml_cell,
+)
+from ..cells.library import (
+    PAPER_AREA_RATIOS,
+    PAPER_PG_DELAYS,
+    PG_MCML_CELL_NAMES,
+)
+from ..units import uA
+from .runner import print_table
+
+#: Cells characterised at transistor level by default (small, fast nets;
+#: the deeper cells take several seconds each and are exercised by the
+#: benchmark, not the default run).
+DEFAULT_SPICE_CELLS = ("BUF", "AND2", "XOR2", "MUX2")
+
+
+@dataclass
+class Table2Row:
+    cell: str
+    area_um2: float
+    paper_delay_ps: float
+    area_ratio: Optional[float]
+    paper_ratio: Optional[float]
+    spice_delay_ps: Optional[float] = None
+    spice_swing_v: Optional[float] = None
+    spice_iss_ua: Optional[float] = None
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row]
+    mean_ratio: float
+
+    def row_for(self, cell: str) -> Table2Row:
+        for row in self.rows:
+            if row.cell == cell:
+                return row
+        raise KeyError(cell)
+
+
+def run(spice_cells: Tuple[str, ...] = DEFAULT_SPICE_CELLS,
+        iss: float = uA(50)) -> Table2Result:
+    pg = build_pg_mcml_library()
+    cmos = build_cmos_library()
+
+    bias = solve_bias(iss, gated=True) if spice_cells else None
+    generator = PgMcmlCellGenerator(sizing=bias.sizing) if bias else None
+
+    rows: List[Table2Row] = []
+    ratios: List[float] = []
+    for name in PG_MCML_CELL_NAMES:
+        cell = pg.cell(name)
+        ratio = None
+        if name in PAPER_AREA_RATIOS and name in cmos:
+            ratio = cell.area_um2 / cmos.cell(name).area_um2
+            ratios.append(ratio)
+        row = Table2Row(
+            cell=name,
+            area_um2=cell.area_um2,
+            paper_delay_ps=PAPER_PG_DELAYS[name] * 1e12,
+            area_ratio=ratio,
+            paper_ratio=PAPER_AREA_RATIOS.get(name),
+        )
+        if generator is not None and name in spice_cells:
+            meas = characterize_mcml_cell(function(name), generator)
+            row.spice_delay_ps = meas.delay * 1e12
+            row.spice_swing_v = meas.swing
+            row.spice_iss_ua = meas.iss * 1e6
+        rows.append(row)
+    mean_ratio = sum(ratios) / len(ratios)
+    return Table2Result(rows=rows, mean_ratio=mean_ratio)
+
+
+def main(spice_cells: Tuple[str, ...] = DEFAULT_SPICE_CELLS) -> Table2Result:
+    result = run(spice_cells)
+    table = []
+    for r in result.rows:
+        table.append([
+            r.cell,
+            f"{r.area_um2:.4f}",
+            f"{r.paper_delay_ps:.2f}",
+            "-" if r.spice_delay_ps is None else f"{r.spice_delay_ps:.2f}",
+            "-" if r.area_ratio is None else f"{r.area_ratio:.2f}",
+            "-" if r.paper_ratio is None else f"{r.paper_ratio:.1f}",
+        ])
+    print("Table 2: PG-MCML library (areas exact; delays: paper datasheet "
+          "vs our SPICE characterisation)")
+    print_table(table, ["Cell", "Area [um2]", "paper delay [ps]",
+                        "SPICE delay [ps]", "MCML/CMOS area", "paper ratio"])
+    print(f"mean PG-MCML/CMOS area ratio: {result.mean_ratio:.3f} "
+          f"(paper: 1.6x average)")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Formal combinational equivalence checking.
+
+Builds ROBDDs for a netlist's outputs by symbolic evaluation in
+topological order — every cell's function applied to its input BDDs —
+and compares canonical forms.  Because ROBDDs are canonical, two
+equivalent netlists produce literally the same node index: equivalence
+checking is pointer comparison, and a mismatch yields a concrete
+counterexample assignment.
+
+This is the LEC step of a real flow (Formality/Conformal): the mapped,
+buffered, rail-swapped netlist is verified against its specification
+truth table without simulating 2^n patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..bdd import BDD, Manager
+from ..errors import NetlistError
+from .graph import GateNetlist
+
+
+def netlist_to_bdds(netlist: GateNetlist, manager: Optional[Manager] = None,
+                    input_order: Optional[Sequence[str]] = None
+                    ) -> Tuple[Manager, Dict[str, BDD]]:
+    """Symbolically evaluate a combinational netlist.
+
+    Returns the manager and one BDD per net (inputs included).
+    Sequential cells are rejected — equivalence here is combinational.
+    """
+    if netlist.sequential_instances():
+        raise NetlistError(
+            f"{netlist.name}: combinational equivalence only; netlist "
+            f"has sequential cells")
+    manager = manager or Manager()
+    order = list(input_order) if input_order is not None else \
+        list(netlist.primary_inputs)
+    missing = set(netlist.primary_inputs) - set(order)
+    if missing:
+        raise NetlistError(f"input_order missing {sorted(missing)}")
+
+    values: Dict[str, BDD] = {}
+    for name in order:
+        if name not in manager.variables:
+            manager.add_variable(name)
+        values[name] = manager.var(name)
+
+    for inst in netlist.levelize():
+        assignment = {pin: values[inst.pins[pin]]
+                      for pin in inst.cell.inputs}
+        outputs = _apply_function(manager, inst.cell.function, assignment)
+        for pin, bdd in outputs.items():
+            values[inst.pins[pin]] = bdd
+    return manager, values
+
+
+def _apply_function(manager: Manager, fn, assignment: Dict[str, BDD]
+                    ) -> Dict[str, BDD]:
+    """Shannon-expand a cell function over BDD-valued inputs.
+
+    Builds each output as the disjunction over satisfying rows of the
+    cell's truth table — cells have at most 6 inputs, so this is cheap
+    and completely generic.
+    """
+    pins = list(fn.inputs)
+    n = len(pins)
+    results: Dict[str, BDD] = {out: manager.false for out in fn.outputs}
+    for code in range(1 << n):
+        env = {pin: bool((code >> (n - 1 - k)) & 1)
+               for k, pin in enumerate(pins)}
+        row_outputs = fn.evaluate(env)
+        active = [out for out in fn.outputs if row_outputs[out]]
+        if not active:
+            continue
+        term = manager.true
+        for pin in pins:
+            literal = assignment[pin]
+            term = term & (literal if env[pin] else ~literal)
+        for out in active:
+            results[out] = results[out] | term
+    return results
+
+
+def verify_against_tables(netlist: GateNetlist,
+                          output_nets: Dict[str, str],
+                          tables: Dict[str, Sequence[int]],
+                          input_order: Sequence[str]) -> Optional[Dict[str, bool]]:
+    """Formally check mapped outputs against specification truth tables.
+
+    ``output_nets`` maps spec output names to netlist nets;
+    ``input_order`` gives the MSB-first variable order of the tables.
+    Returns ``None`` when equivalent, otherwise a counterexample input
+    assignment for the first differing output.
+    """
+    manager, values = netlist_to_bdds(netlist, input_order=input_order)
+    for out_name, net in output_nets.items():
+        try:
+            implementation = values[net]
+        except KeyError:
+            raise NetlistError(f"no net {net!r} for output {out_name!r}")
+        spec = manager.from_truth_table(list(tables[out_name]),
+                                        list(input_order))
+        if implementation.index == spec.index:
+            continue
+        miter = implementation ^ spec
+        return _any_sat(manager, miter, input_order)
+    return None
+
+
+def check_equivalence(netlist_a: GateNetlist, netlist_b: GateNetlist,
+                      outputs_a: Sequence[str], outputs_b: Sequence[str],
+                      input_order: Optional[Sequence[str]] = None
+                      ) -> Optional[Dict[str, bool]]:
+    """Check two netlists compute the same functions on shared inputs.
+
+    Output lists pair up positionally.  Returns ``None`` when
+    equivalent, else a counterexample assignment.
+    """
+    if len(outputs_a) != len(outputs_b):
+        raise NetlistError("output lists must pair up")
+    order = list(input_order) if input_order is not None else \
+        sorted(set(netlist_a.primary_inputs)
+               | set(netlist_b.primary_inputs))
+    manager = Manager(order)
+    _, values_a = netlist_to_bdds(netlist_a, manager, order)
+    _, values_b = netlist_to_bdds(netlist_b, manager, order)
+    for net_a, net_b in zip(outputs_a, outputs_b):
+        f_a, f_b = values_a[net_a], values_b[net_b]
+        if f_a.index == f_b.index:
+            continue
+        return _any_sat(manager, f_a ^ f_b, order)
+    return None
+
+
+def _any_sat(manager: Manager, bdd: BDD,
+             variables: Sequence[str]) -> Dict[str, bool]:
+    """One satisfying assignment of a non-FALSE BDD (a counterexample)."""
+    if bdd.is_false:
+        raise NetlistError("no counterexample exists for a FALSE miter")
+    assignment: Dict[str, bool] = {name: False for name in variables}
+    node = bdd
+    while not node.is_terminal:
+        if not node.high.is_false:
+            assignment[node.var] = True
+            node = node.high
+        else:
+            assignment[node.var] = False
+            node = node.low
+    return assignment

@@ -1,0 +1,239 @@
+"""Gate-level netlist graph.
+
+A :class:`GateNetlist` is a flat graph of cell :class:`Instance`\\ s
+connected by :class:`Net`\\ s.  Each net has exactly one driver (a cell
+output pin or a primary input) and any number of sinks.  The graph knows
+how to levelise itself for evaluation, compute per-net load capacitance
+(sink input caps plus a fat-wire routing term), and summarise itself as
+the cell histograms behind Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cells import Cell, Library
+from ..errors import NetlistError
+
+#: Routing capacitance added per sink (fat differential wires), farads.
+WIRE_CAP_PER_SINK = 0.5e-15
+
+
+@dataclass
+class Net:
+    """A signal wire."""
+
+    name: str
+    driver: Optional[Tuple[str, str]] = None  # (instance, output pin)
+    is_primary_input: bool = False
+    sinks: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+
+@dataclass
+class Instance:
+    """One placed cell."""
+
+    name: str
+    cell: Cell
+    pins: Dict[str, str]  # pin -> net name
+
+    def input_nets(self) -> List[str]:
+        return [self.pins[p] for p in self.cell.inputs]
+
+    def output_nets(self) -> List[str]:
+        return [self.pins[p] for p in self.cell.outputs]
+
+
+class GateNetlist:
+    """A flat mapped netlist over one library."""
+
+    def __init__(self, name: str, library: Library):
+        self.name = name
+        self.library = library
+        self.instances: Dict[str, Instance] = {}
+        self.nets: Dict[str, Net] = {}
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self._counter = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def net(self, name: str) -> Net:
+        """Get or create a net."""
+        if name not in self.nets:
+            self.nets[name] = Net(name)
+        return self.nets[name]
+
+    def new_net(self, hint: str = "n") -> Net:
+        """Create a fresh uniquely-named net."""
+        while True:
+            self._counter += 1
+            name = f"{hint}{self._counter}"
+            if name not in self.nets:
+                return self.net(name)
+
+    def add_primary_input(self, name: str) -> Net:
+        net = self.net(name)
+        if net.driver is not None:
+            raise NetlistError(f"net {name!r} already driven by {net.driver}")
+        if not net.is_primary_input:
+            net.is_primary_input = True
+            self.primary_inputs.append(name)
+        return net
+
+    def add_primary_output(self, name: str) -> Net:
+        net = self.net(name)
+        if name not in self.primary_outputs:
+            self.primary_outputs.append(name)
+        return net
+
+    def add_instance(self, cell_name: str, pins: Dict[str, str],
+                     name: Optional[str] = None) -> Instance:
+        """Instantiate ``cell_name`` with pin -> net-name connections."""
+        cell = self.library.cell(cell_name)
+        if name is None:
+            self._counter += 1
+            name = f"u{self._counter}_{cell_name.lower()}"
+        if name in self.instances:
+            raise NetlistError(f"duplicate instance name {name!r}")
+        missing = [p for p in (*cell.inputs, *cell.outputs) if p not in pins]
+        if missing:
+            raise NetlistError(
+                f"{name} ({cell_name}): unconnected pins {missing}")
+        unknown = [p for p in pins
+                   if p not in cell.inputs and p not in cell.outputs]
+        if unknown:
+            raise NetlistError(
+                f"{name} ({cell_name}): unknown pins {unknown}")
+        inst = Instance(name=name, cell=cell, pins=dict(pins))
+        for pin in cell.inputs:
+            self.net(pins[pin]).sinks.append((name, pin))
+        for pin in cell.outputs:
+            net = self.net(pins[pin])
+            if net.driver is not None or net.is_primary_input:
+                raise NetlistError(
+                    f"net {pins[pin]!r} already driven; cannot also drive "
+                    f"from {name}.{pin}")
+            net.driver = (name, pin)
+        self.instances[name] = inst
+        return inst
+
+    def move_sink(self, net_name: str, sink: Tuple[str, str],
+                  new_net_name: str) -> None:
+        """Re-home one (instance, pin) sink onto another net."""
+        net = self.nets[net_name]
+        if sink not in net.sinks:
+            raise NetlistError(
+                f"{sink} is not a sink of net {net_name!r}")
+        net.sinks.remove(sink)
+        self.net(new_net_name).sinks.append(sink)
+        inst_name, pin = sink
+        self.instances[inst_name].pins[pin] = new_net_name
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        for name, net in self.nets.items():
+            if net.driver is None and not net.is_primary_input:
+                raise NetlistError(f"net {name!r} has no driver")
+        for out in self.primary_outputs:
+            if out not in self.nets:
+                raise NetlistError(f"primary output {out!r} has no net")
+
+    # -- analysis --------------------------------------------------------------------
+
+    def cell_histogram(self, include_pseudo: bool = False) -> Dict[str, int]:
+        """Instance counts per cell type (the Table 3 'Cells' row input)."""
+        hist: Dict[str, int] = {}
+        for inst in self.instances.values():
+            if inst.cell.pseudo and not include_pseudo:
+                continue
+            hist[inst.cell.name] = hist.get(inst.cell.name, 0) + 1
+        return hist
+
+    def total_cells(self) -> int:
+        """Physical cell count (rail-swap pseudo cells excluded)."""
+        return sum(1 for inst in self.instances.values()
+                   if not inst.cell.pseudo)
+
+    def total_area_um2(self) -> float:
+        return sum(inst.cell.area_um2 for inst in self.instances.values()
+                   if not inst.cell.pseudo)
+
+    def load_cap(self, net_name: str) -> float:
+        """Load capacitance of a net: sink pins plus routing."""
+        net = self.nets[net_name]
+        cap = WIRE_CAP_PER_SINK * net.fanout
+        for inst_name, _pin in net.sinks:
+            cap += self.instances[inst_name].cell.input_cap
+        return cap
+
+    def instance_delay(self, inst: Instance) -> float:
+        """Cell delay of ``inst`` into its (worst) output load."""
+        worst = 0.0
+        for out_pin in inst.cell.outputs:
+            worst = max(worst, self.load_cap(inst.pins[out_pin]))
+        return inst.cell.delay_model.delay(worst)
+
+    def levelize(self) -> List[Instance]:
+        """Topological order of combinational instances.
+
+        Sequential cell outputs act as sources (their Q only changes on a
+        clock edge), so registers do not create combinational cycles.
+        """
+        order: List[Instance] = []
+        state: Dict[str, int] = {}  # 0 unvisited, 1 visiting, 2 done
+
+        def visit(inst: Instance) -> None:
+            mark = state.get(inst.name, 0)
+            if mark == 2:
+                return
+            if mark == 1:
+                raise NetlistError(
+                    f"combinational loop through instance {inst.name!r}")
+            state[inst.name] = 1
+            for net_name in inst.input_nets():
+                net = self.nets[net_name]
+                if net.driver is None:
+                    continue
+                driver = self.instances[net.driver[0]]
+                if not driver.cell.is_sequential:
+                    visit(driver)
+            state[inst.name] = 2
+            order.append(inst)
+
+        # Iterative wrapper to dodge recursion limits on deep mux trees.
+        import sys
+        limit = sys.getrecursionlimit()
+        needed = len(self.instances) + 100
+        if needed > limit:
+            sys.setrecursionlimit(needed)
+        try:
+            for inst in self.instances.values():
+                if not inst.cell.is_sequential:
+                    visit(inst)
+        finally:
+            if needed > limit:
+                sys.setrecursionlimit(limit)
+        return order
+
+    def sequential_instances(self) -> List[Instance]:
+        return [i for i in self.instances.values() if i.cell.is_sequential]
+
+    def stats(self) -> Dict[str, float]:
+        """Summary dict used by synthesis reports."""
+        return {
+            "cells": float(self.total_cells()),
+            "area_um2": self.total_area_um2(),
+            "nets": float(len(self.nets)),
+            "sequential": float(len(self.sequential_instances())),
+        }
+
+    def __repr__(self) -> str:
+        return (f"GateNetlist({self.name!r}: {self.total_cells()} cells, "
+                f"{len(self.nets)} nets, lib={self.library.name})")

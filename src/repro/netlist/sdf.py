@@ -1,0 +1,76 @@
+"""SDF-style delay annotation.
+
+The paper back-annotates the post-P&R netlist with SDF delays before the
+ModelSim run.  This module computes per-instance IOPATH delays (datasheet
+delay into the routed load) and reads/writes them in a minimal SDF 2.1
+dialect, so a netlist simulated on one machine can be re-simulated with
+identical timing elsewhere.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, TextIO
+
+from ..errors import NetlistError
+from .graph import GateNetlist
+
+DelayMap = Dict[str, float]  # instance name -> output delay, seconds
+
+
+def annotate_delays(netlist: GateNetlist) -> DelayMap:
+    """IOPATH delay per instance from datasheet + actual net loads."""
+    return {
+        inst.name: netlist.instance_delay(inst)
+        for inst in netlist.instances.values()
+    }
+
+
+def write_sdf(stream: TextIO, netlist: GateNetlist,
+              delays: DelayMap = None) -> None:
+    """Write a minimal SDF file for ``netlist``."""
+    delays = delays if delays is not None else annotate_delays(netlist)
+    stream.write('(DELAYFILE\n')
+    stream.write(f'  (DESIGN "{netlist.name}")\n')
+    stream.write('  (TIMESCALE 1ps)\n')
+    for name, delay in sorted(delays.items()):
+        inst = netlist.instances.get(name)
+        if inst is None:
+            raise NetlistError(f"SDF delay for unknown instance {name!r}")
+        ps_value = delay * 1e12
+        stream.write(
+            f'  (CELL (CELLTYPE "{inst.cell.name}") (INSTANCE {name})\n'
+            f'    (DELAY (ABSOLUTE (IOPATH * * ({ps_value:.3f}))))\n'
+            f'  )\n')
+    stream.write(')\n')
+
+
+_CELL_RE = re.compile(
+    r'\(CELL \(CELLTYPE "(?P<cell>[^"]+)"\) \(INSTANCE (?P<inst>\S+)\)')
+_IOPATH_RE = re.compile(r'\(IOPATH \* \* \((?P<ps>[-0-9.eE]+)\)\)')
+
+
+def read_sdf(stream: TextIO) -> DelayMap:
+    """Parse the dialect written by :func:`write_sdf`."""
+    delays: DelayMap = {}
+    current: str = ""
+    for line in stream:
+        cell_match = _CELL_RE.search(line)
+        if cell_match:
+            current = cell_match.group("inst")
+            continue
+        path_match = _IOPATH_RE.search(line)
+        if path_match:
+            if not current:
+                raise NetlistError("IOPATH before any CELL in SDF")
+            delays[current] = float(path_match.group("ps")) * 1e-12
+            current = ""
+    return delays
+
+
+def apply_delays(simulator, delays: DelayMap) -> None:
+    """Override a :class:`LogicSimulator`'s per-instance delays."""
+    unknown = [n for n in delays if n not in simulator.netlist.instances]
+    if unknown:
+        raise NetlistError(f"SDF names not in netlist: {unknown[:5]}")
+    simulator._delays.update(delays)

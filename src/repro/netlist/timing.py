@@ -1,0 +1,160 @@
+"""Static timing analysis.
+
+Computes the longest combinational path through a mapped netlist —
+the "Delay" row of Table 3.  Path endpoints are primary inputs /
+sequential outputs to primary outputs / sequential inputs; each instance
+contributes its datasheet delay into the actual net load.
+
+When a placement is supplied, each net additionally contributes an
+Elmore wire delay computed from its half-perimeter length — the
+post-P&R timing picture, with the fat-wire capacitance of differential
+routing included through the technology's per-length constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NetlistError
+from .graph import GateNetlist, Instance
+
+#: Wire resistance per length (minimum-width intermediate metal), ohm/m.
+WIRE_RES_PER_M = 2.0e5
+
+
+def _net_hpwl(netlist: GateNetlist, placement, net_name: str) -> float:
+    """Half-perimeter length of one net under ``placement``, metres."""
+    net = netlist.nets[net_name]
+    points = []
+    if net.driver is not None and net.driver[0] in placement.cells:
+        points.append(placement.cells[net.driver[0]].center)
+    for inst_name, _pin in net.sinks:
+        cell = placement.cells.get(inst_name)
+        if cell is not None:
+            points.append(cell.center)
+    if len(points) < 2:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def wire_delay(netlist: GateNetlist, placement, net_name: str) -> float:
+    """Elmore delay of one routed net.
+
+    ``0.5 * R_wire * C_wire`` for the distributed wire itself plus
+    ``R_wire * C_sinks`` for the lumped pin load at the far end;
+    differential nets carry doubled capacitance (fat-wire pair).
+    """
+    length = _net_hpwl(netlist, placement, net_name)
+    if length == 0.0:
+        return 0.0
+    tech = netlist.library.tech
+    differential = netlist.library.style in ("mcml", "pgmcml")
+    c_per_m = tech.cwire * (2.0 if differential else 1.0)
+    r_total = WIRE_RES_PER_M * length
+    c_wire = c_per_m * length
+    c_sinks = sum(netlist.instances[i].cell.input_cap
+                  for i, _ in netlist.nets[net_name].sinks)
+    return 0.5 * r_total * c_wire + r_total * c_sinks
+
+
+@dataclass
+class TimingReport:
+    """Critical-path summary."""
+
+    netlist_name: str
+    critical_delay: float
+    critical_path: List[str]  # instance names source -> sink
+    arrival_times: Dict[str, float]  # per net
+
+    @property
+    def critical_delay_ns(self) -> float:
+        return self.critical_delay * 1e9
+
+    def slack(self, clock_period: float) -> float:
+        return clock_period - self.critical_delay
+
+    def __repr__(self) -> str:
+        return (f"TimingReport({self.netlist_name}: "
+                f"{self.critical_delay_ns:.4g} ns through "
+                f"{len(self.critical_path)} stages)")
+
+
+def static_timing(netlist: GateNetlist, input_arrival: float = 0.0,
+                  placement=None) -> TimingReport:
+    """Longest-path arrival-time propagation in topological order.
+
+    With ``placement`` (a :class:`repro.synth.Placement`), every cell's
+    output additionally pays the Elmore delay of its routed net.
+    """
+    arrival: Dict[str, float] = {}
+    through: Dict[str, Optional[Tuple[str, str]]] = {}
+
+    def out_delay(inst: Instance, net: str) -> float:
+        delay = netlist.instance_delay(inst)
+        if placement is not None:
+            delay += wire_delay(netlist, placement, net)
+        return delay
+
+    for name in netlist.primary_inputs:
+        arrival[name] = input_arrival
+        through[name] = None
+    for inst in netlist.sequential_instances():
+        # Register outputs launch at clk->q (the instance delay).
+        for out_pin in inst.cell.outputs:
+            net = inst.pins[out_pin]
+            arrival[net] = input_arrival + out_delay(inst, net)
+            through[net] = (inst.name, "")
+
+    for inst in netlist.levelize():
+        worst_in = None
+        worst_t = input_arrival
+        for net_name in inst.input_nets():
+            t = arrival.get(net_name, input_arrival)
+            if worst_in is None or t > worst_t:
+                worst_in, worst_t = net_name, t
+        for out_pin in inst.cell.outputs:
+            net = inst.pins[out_pin]
+            t_out = worst_t + out_delay(inst, net)
+            if t_out > arrival.get(net, -1.0):
+                arrival[net] = t_out
+                through[net] = (inst.name, worst_in or "")
+
+    if not arrival:
+        raise NetlistError(f"{netlist.name}: nothing to time")
+
+    # Endpoints: primary outputs and sequential data inputs.
+    endpoints: List[Tuple[str, float]] = []
+    for name in netlist.primary_outputs:
+        endpoints.append((name, arrival.get(name, input_arrival)))
+    for inst in netlist.sequential_instances():
+        for pin in inst.cell.inputs:
+            net = inst.pins[pin]
+            endpoints.append((net, arrival.get(net, input_arrival)))
+    if not endpoints:
+        endpoints = [(n, t) for n, t in arrival.items()]
+
+    end_net, worst = max(endpoints, key=lambda item: item[1])
+
+    # Reconstruct the path backwards through the `through` links.
+    path: List[str] = []
+    cursor: Optional[str] = end_net
+    guard = 0
+    while cursor is not None and guard <= len(netlist.instances) + 2:
+        guard += 1
+        link = through.get(cursor)
+        if link is None:
+            break
+        inst_name, prev_net = link
+        path.append(inst_name)
+        cursor = prev_net or None
+    path.reverse()
+
+    return TimingReport(
+        netlist_name=netlist.name,
+        critical_delay=worst - input_arrival,
+        critical_path=path,
+        arrival_times=arrival,
+    )

@@ -1,0 +1,117 @@
+"""Minimal VCD (value change dump) writer and reader.
+
+The paper's flow stores the custom instruction's inputs in VCD format and
+feeds them to the fast-SPICE simulator; our pipeline does the same
+between the logic simulator and the power-trace composer, so traces can
+also be inspected with standard waveform viewers.
+
+Only the subset needed for single-bit wires is implemented: header,
+``$var wire 1``, timescale in femtoseconds, and ``#time`` value-change
+sections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TextIO
+
+from ..errors import NetlistError
+from .logicsim import SimulationTrace, Transition
+
+#: VCD time unit used by the writer, seconds.
+TIMESCALE = 1e-15
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier for signal ``index``."""
+    if index < 0:
+        raise NetlistError("negative VCD identifier index")
+    chars: List[str] = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(reversed(chars))
+
+
+def write_vcd(stream: TextIO, trace: SimulationTrace,
+              nets: Optional[Iterable[str]] = None,
+              module: str = "repro") -> None:
+    """Serialise a simulation trace as VCD."""
+    selected = sorted(set(nets) if nets is not None
+                      else {t.net for t in trace.transitions})
+    ids = {net: _identifier(i) for i, net in enumerate(selected)}
+
+    stream.write("$date\n  repro PG-MCML reproduction\n$end\n")
+    stream.write("$timescale 1 fs $end\n")
+    stream.write(f"$scope module {module} $end\n")
+    for net in selected:
+        stream.write(f"$var wire 1 {ids[net]} {net} $end\n")
+    stream.write("$upscope $end\n$enddefinitions $end\n")
+
+    stream.write("$dumpvars\n")
+    initial: Dict[str, bool] = {net: False for net in selected}
+    for t in trace.transitions:
+        if t.time == 0.0 and t.net in initial:
+            initial[t.net] = t.value
+    for net in selected:
+        stream.write(f"{int(initial[net])}{ids[net]}\n")
+    stream.write("$end\n")
+
+    last_time: Optional[int] = None
+    for t in sorted(trace.transitions, key=lambda x: (x.time, x.net)):
+        if t.net not in ids or t.time == 0.0:
+            continue
+        ticks = int(round(t.time / TIMESCALE))
+        if ticks != last_time:
+            stream.write(f"#{ticks}\n")
+            last_time = ticks
+        stream.write(f"{int(t.value)}{ids[t.net]}\n")
+
+
+def read_vcd(stream: TextIO) -> SimulationTrace:
+    """Parse a (single-bit, single-scope) VCD back into a trace."""
+    names: Dict[str, str] = {}
+    transitions: List[Transition] = []
+    initial: Dict[str, bool] = {}
+    time = 0.0
+    in_definitions = True
+    seen_timestamp = False
+    for raw in stream:
+        line = raw.strip()
+        if not line:
+            continue
+        if in_definitions:
+            if line.startswith("$var"):
+                parts = line.split()
+                if len(parts) < 6 or parts[1] != "wire":
+                    raise NetlistError(f"unsupported $var line: {line!r}")
+                names[parts[3]] = parts[4]
+            elif line.startswith("$enddefinitions"):
+                in_definitions = False
+            continue
+        if line.startswith("$"):
+            continue
+        if line.startswith("#"):
+            time = int(line[1:]) * TIMESCALE
+            seen_timestamp = True
+            continue
+        value_char, ident = line[0], line[1:]
+        if value_char not in "01":
+            raise NetlistError(f"unsupported value change: {line!r}")
+        if ident not in names:
+            raise NetlistError(f"undeclared VCD identifier {ident!r}")
+        value = value_char == "1"
+        if seen_timestamp:
+            transitions.append(Transition(time, names[ident], value))
+        else:
+            # $dumpvars block: initial values, not transitions.
+            initial[names[ident]] = value
+
+    trace = SimulationTrace(transitions=transitions)
+    trace.duration = time
+    trace.final_values = dict(initial)
+    for t in transitions:
+        trace.final_values[t.net] = t.value
+    return trace

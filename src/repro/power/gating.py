@@ -1,0 +1,138 @@
+"""Sleep-schedule construction and gated current waveforms (Fig. 5).
+
+§6: "The signal triggering the custom instruction's execution controls
+also the sleep signal, so that the protected logic is turned on only
+during the custom instruction execution."  The schedule is therefore a
+direct function of the CPU's ISE activity timeline: a wake window opens
+(one insertion delay early) around every burst of ``l.sbox`` cycles.
+
+:func:`gated_block_current` renders the Fig. 5 picture: the conventional
+MCML block draws its full tail current forever; the PG-MCML block draws
+sleep leakage, ramps up with the cells' wake time constant when the
+sleep signal rises, and collapses again after the burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+from ..spice import Waveform
+from .models import BlockPowerModel
+
+
+@dataclass
+class GatingSchedule:
+    """Wake windows: the sleep signal is high (awake) inside each
+    ``[t_on, t_off)`` interval."""
+
+    windows: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        last_end = -np.inf
+        for t_on, t_off in self.windows:
+            if t_off <= t_on:
+                raise TraceError(f"empty wake window [{t_on}, {t_off})")
+            if t_on < last_end:
+                raise TraceError("wake windows must be sorted and disjoint")
+            last_end = t_off
+
+    def awake(self, t: float) -> bool:
+        return any(t_on <= t < t_off for t_on, t_off in self.windows)
+
+    def awake_fraction(self, t0: float, t1: float) -> float:
+        """Fraction of [t0, t1] spent awake."""
+        if t1 <= t0:
+            raise TraceError("empty evaluation interval")
+        total = 0.0
+        for t_on, t_off in self.windows:
+            total += max(0.0, min(t_off, t1) - max(t_on, t0))
+        return total / (t1 - t0)
+
+    def signal(self, times: np.ndarray, high: float = 1.2,
+               low: float = 0.0) -> Waveform:
+        """The sleep-control waveform itself (plotted in Fig. 5)."""
+        values = np.full(times.shape, low)
+        for t_on, t_off in self.windows:
+            values[(times >= t_on) & (times < t_off)] = high
+        return Waveform(times, values)
+
+
+def schedule_from_sbox_events(event_cycles: Sequence[int], period: float,
+                              insertion_delay: float,
+                              guard_cycles: int = 1,
+                              merge_gap_cycles: int = 4) -> GatingSchedule:
+    """Build the wake schedule from the CPU's ``l.sbox`` cycle numbers.
+
+    The sleep signal must rise one tree-insertion-delay before the
+    instruction needs the unit; consecutive uses closer than
+    ``merge_gap_cycles`` share one window (the controller keeps the unit
+    awake across a SubBytes burst instead of toggling every cycle).
+    """
+    if period <= 0.0:
+        raise TraceError("clock period must be positive")
+    if not event_cycles:
+        return GatingSchedule([])
+    windows: List[Tuple[float, float]] = []
+    cycles = sorted(event_cycles)
+    start = cycles[0]
+    prev = cycles[0]
+    for c in cycles[1:] + [None]:  # type: ignore[list-item]
+        if c is not None and c - prev <= merge_gap_cycles:
+            prev = c
+            continue
+        t_on = start * period - insertion_delay - guard_cycles * period
+        t_off = (prev + 1) * period
+        windows.append((max(t_on, 0.0), t_off))
+        if c is not None:
+            start = prev = c
+    return GatingSchedule(windows)
+
+
+def gated_block_current(model: BlockPowerModel, schedule: GatingSchedule,
+                        times: np.ndarray,
+                        wake_time: Optional[float] = None) -> Waveform:
+    """Supply current of a power-gated block over ``times``.
+
+    ``wake_time`` defaults to the largest wake constant in the library's
+    datasheets.  The turn-on ramps as ``1 - exp(-t/tau)`` and the
+    turn-off discharges with the same constant (the tail node floats
+    down as the internal capacitance discharges through the sleeping
+    stack).
+    """
+    if model.style != "pgmcml":
+        raise TraceError("gated current requires a PG-MCML block model")
+    tau = wake_time
+    if tau is None:
+        tau = max((inst.cell.power.wake_time
+                   for inst in model.netlist.instances.values()
+                   if inst.cell.power.has_sleep), default=0.0)
+    if tau <= 0.0:
+        raise TraceError("wake time constant must be positive")
+
+    on_current = model.static_current(asleep=False)
+    off_current = model.static_current(asleep=True)
+
+    envelope = np.zeros(times.shape)
+    state = 0.0  # 0 = fully asleep, 1 = fully awake
+    prev_t = times[0]
+    for k, t in enumerate(times):
+        dt = t - prev_t
+        target = 1.0 if schedule.awake(t) else 0.0
+        if dt > 0:
+            state += (target - state) * (1.0 - np.exp(-dt / tau))
+        elif k == 0:
+            state = target
+        envelope[k] = state
+        prev_t = t
+    current = off_current + (on_current - off_current) * envelope
+    return Waveform(times, current)
+
+
+def ungated_block_current(model: BlockPowerModel,
+                          times: np.ndarray) -> Waveform:
+    """The conventional MCML picture: flat at the full tail current."""
+    return Waveform(times, np.full(times.shape, model.static_current()))

@@ -1,0 +1,132 @@
+"""Trace preprocessing: the attacker's standard toolbox.
+
+Real campaigns rarely attack raw traces.  This module provides the
+common preprocessing steps — mean removal, per-sample standardisation,
+window selection, sample compression (integration), and alignment by
+cross-correlation — with the same (n_traces, n_samples) array
+convention used by :mod:`repro.sca`.
+
+These matter for the reproduction's claims: compression and alignment
+are exactly the tricks that squeeze the most out of a 1 µA probe, so
+the MCML resistance results are checked against *preprocessed* traces
+too (``benchmarks/bench_fig6.py``'s resolution ablation and the tests
+here).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+def _check(traces: np.ndarray) -> np.ndarray:
+    arr = np.asarray(traces, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        raise TraceError("traces must be a non-empty 2-D array")
+    return arr
+
+
+def center(traces: np.ndarray) -> np.ndarray:
+    """Remove the per-sample mean (the static current disappears)."""
+    arr = _check(traces)
+    return arr - arr.mean(axis=0, keepdims=True)
+
+
+def standardize(traces: np.ndarray, epsilon: float = 1e-18) -> np.ndarray:
+    """Per-sample zero-mean / unit-variance normalisation.
+
+    Samples with (near-)zero variance are left at zero rather than
+    amplified — a quantised flat region carries no information.
+    """
+    arr = center(traces)
+    std = arr.std(axis=0, keepdims=True)
+    return np.where(std > epsilon, arr / np.maximum(std, epsilon), 0.0)
+
+
+def window(traces: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Select a sample window [start, stop)."""
+    arr = _check(traces)
+    if not 0 <= start < stop <= arr.shape[1]:
+        raise TraceError(
+            f"window [{start}, {stop}) outside 0..{arr.shape[1]}")
+    return arr[:, start:stop]
+
+
+def compress(traces: np.ndarray, factor: int) -> np.ndarray:
+    """Integrate consecutive samples in groups of ``factor``.
+
+    The classic counter to amplitude quantisation: summing k quantised
+    samples recovers up to sqrt(k) of the resolution lost per sample.
+    Trailing samples that do not fill a group are dropped.
+    """
+    arr = _check(traces)
+    if factor < 1:
+        raise TraceError("compression factor must be >= 1")
+    if factor == 1:
+        return arr.copy()
+    n = (arr.shape[1] // factor) * factor
+    if n == 0:
+        raise TraceError("trace shorter than one compression group")
+    return arr[:, :n].reshape(arr.shape[0], n // factor, factor).sum(axis=2)
+
+
+def align(traces: np.ndarray, reference: Optional[np.ndarray] = None,
+          max_shift: int = 8) -> Tuple[np.ndarray, np.ndarray]:
+    """Align traces to a reference by integer-shift cross-correlation.
+
+    Returns ``(aligned, shifts)``.  Samples shifted in from outside the
+    window are filled with the trace's own edge value.  Simulated traces
+    are already aligned; this exists for the jittered-acquisition
+    studies and is validated by re-aligning artificially shifted data.
+    """
+    arr = _check(traces)
+    if max_shift < 0:
+        raise TraceError("max_shift must be non-negative")
+    ref = arr.mean(axis=0) if reference is None else \
+        np.asarray(reference, dtype=float)
+    if ref.shape != (arr.shape[1],):
+        raise TraceError("reference length must match the sample count")
+    ref_c = ref - ref.mean()
+    shifts = np.zeros(arr.shape[0], dtype=int)
+    aligned = np.empty_like(arr)
+    for i, row in enumerate(arr):
+        best_shift, best_score = 0, -np.inf
+        row_c = row - row.mean()
+        for shift in range(-max_shift, max_shift + 1):
+            shifted = np.roll(row_c, shift)
+            score = float(np.dot(shifted, ref_c))
+            if score > best_score:
+                best_score, best_shift = score, shift
+        shifts[i] = best_shift
+        out = np.roll(row, best_shift)
+        if best_shift > 0:
+            out[:best_shift] = row[0]
+        elif best_shift < 0:
+            out[best_shift:] = row[-1]
+        aligned[i] = out
+    return aligned, shifts
+
+
+def add_jitter(traces: np.ndarray, max_shift: int,
+               seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Random integer misalignment (a jittery trigger), for studies.
+
+    Returns ``(jittered, true_shifts)``; :func:`align` should undo it.
+    """
+    arr = _check(traces)
+    if max_shift < 0:
+        raise TraceError("max_shift must be non-negative")
+    rng = np.random.default_rng(seed)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=arr.shape[0])
+    out = np.empty_like(arr)
+    for i, (row, shift) in enumerate(zip(arr, shifts)):
+        rolled = np.roll(row, int(shift))
+        if shift > 0:
+            rolled[:shift] = row[0]
+        elif shift < 0:
+            rolled[shift:] = row[-1]
+        out[i] = rolled
+    return out, shifts

@@ -1,0 +1,47 @@
+"""Side-channel analysis: leakage models, CPA/DPA, metrics, harness.
+
+Implements the attack methodology of §6 / Fig. 6: correlation power
+analysis (Brier et al., CHES 2004) using the Hamming weight of the S-box
+output as the power model, plus the original difference-of-means DPA
+(Kocher et al.) and the usual evaluation metrics (key rank, guessing
+entropy, measurements-to-disclosure).
+
+:mod:`repro.sca.attack` is the end-to-end harness: synthesise the
+reduced AES target in a given logic style, collect simulated current
+traces through the measurement chain, attack, and score.
+"""
+
+from .leakage import hamming_weight, hamming_distance, hw_model, hd_model
+from .cpa import cpa_attack, correlation_matrix, CPAResult
+from .dpa import dpa_attack, multibit_dpa_attack, DPAResult
+from .metrics import key_rank, guessing_entropy, success_rate, mtd
+from .ttest import TVLAResult, fixed_vs_random_tvla, welch_t, TVLA_THRESHOLD
+from .evolution import CPAEvolution, EvolutionPoint, cpa_evolution
+from .attack import AttackCampaign, CampaignResult, collect_traces
+
+__all__ = [
+    "hamming_weight",
+    "hamming_distance",
+    "hw_model",
+    "hd_model",
+    "cpa_attack",
+    "correlation_matrix",
+    "CPAResult",
+    "dpa_attack",
+    "multibit_dpa_attack",
+    "DPAResult",
+    "key_rank",
+    "guessing_entropy",
+    "success_rate",
+    "mtd",
+    "TVLAResult",
+    "fixed_vs_random_tvla",
+    "welch_t",
+    "TVLA_THRESHOLD",
+    "CPAEvolution",
+    "EvolutionPoint",
+    "cpa_evolution",
+    "AttackCampaign",
+    "CampaignResult",
+    "collect_traces",
+]

@@ -1,0 +1,69 @@
+"""A small SPICE-class analog circuit simulator.
+
+The paper's entire evaluation rests on transistor-level simulation
+(HSPICE-class accuracy for cells, Synopsys Nanosim for blocks).  This
+package replaces those proprietary tools for cell-level work:
+
+* :mod:`repro.spice.mosfet` — a smooth EKV-style MOSFET model valid from
+  subthreshold to strong inversion (the same first-order physics that
+  make MCML work: saturated tail current, triode PMOS loads, exponential
+  subthreshold leakage);
+* :mod:`repro.spice.devices` — device classes (MOSFET, resistor,
+  capacitor, sources) with a uniform terminal-current interface;
+* :mod:`repro.spice.circuit` — the netlist container;
+* :mod:`repro.spice.dc` — Newton-Raphson operating-point solver with
+  damping and gmin stepping;
+* :mod:`repro.spice.transient` — fixed-step backward-Euler/trapezoidal
+  transient analysis;
+* :mod:`repro.spice.waveform` — waveform storage and measurements
+  (crossings, delays, averages, charge integrals);
+* :mod:`repro.spice.stimulus` — DC / pulse / PWL / clock stimuli.
+
+Block-level current simulation (thousands of cells over microseconds) is
+done by the calibrated fast models in :mod:`repro.power`, exactly as the
+paper switches from SPICE to a fast-SPICE tool for the ISE block.
+"""
+
+from .waveform import Waveform
+from .stimulus import DC, Pulse, PWL, Clock, Stimulus
+from .mosfet import MosfetModel
+from .devices import Mosfet, Resistor, Capacitor, VSource, ISource
+from .circuit import Circuit, GROUND
+from .dc import solve_dc, OperatingPoint
+from .deck import write_spice_deck
+from .sweep import dc_sweep, SweepResult
+from .transient import TransientResult, run_transient
+from .analysis import (
+    differential_delay,
+    propagation_delay,
+    measure_swing,
+    average_supply_current,
+)
+
+__all__ = [
+    "Waveform",
+    "DC",
+    "Pulse",
+    "PWL",
+    "Clock",
+    "Stimulus",
+    "MosfetModel",
+    "Mosfet",
+    "Resistor",
+    "Capacitor",
+    "VSource",
+    "ISource",
+    "Circuit",
+    "GROUND",
+    "solve_dc",
+    "OperatingPoint",
+    "dc_sweep",
+    "SweepResult",
+    "write_spice_deck",
+    "TransientResult",
+    "run_transient",
+    "differential_delay",
+    "propagation_delay",
+    "measure_swing",
+    "average_supply_current",
+]

@@ -1,0 +1,69 @@
+"""Waveform measurements used by cell characterisation.
+
+These mirror the ``.measure`` statements a designer would write in a
+SPICE deck: 50 %-to-50 % propagation delays, differential zero-crossing
+delays (the natural delay definition for MCML), output swing, and average
+supply current.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CharacterizationError
+from .transient import TransientResult
+from .waveform import Waveform
+
+
+def propagation_delay(vin: Waveform, vout: Waveform, threshold_in: float,
+                      threshold_out: float, edge_in: str = "both",
+                      edge_out: str = "both", after: float = 0.0) -> float:
+    """Delay from the first input crossing to the next output crossing.
+
+    Raises :class:`CharacterizationError` when either waveform never
+    crosses its threshold — the usual symptom of a dead cell or a bias
+    voltage that fails to switch the gate.
+    """
+    t_in = vin.first_crossing(threshold_in, edge_in, after=after)
+    if t_in is None:
+        raise CharacterizationError(
+            f"input never crosses {threshold_in:.3g} V after {after:.3g} s")
+    t_out = vout.first_crossing(threshold_out, edge_out, after=t_in)
+    if t_out is None:
+        raise CharacterizationError(
+            f"output never crosses {threshold_out:.3g} V after the input "
+            f"edge at {t_in:.3g} s")
+    return t_out - t_in
+
+
+def differential_delay(result: TransientResult, in_p: str, in_n: str,
+                       out_p: str, out_n: str, after: float = 0.0) -> float:
+    """MCML delay: input differential zero-crossing to output zero-crossing."""
+    din = result.differential(in_p, in_n)
+    dout = result.differential(out_p, out_n)
+    return propagation_delay(din, dout, 0.0, 0.0, after=after)
+
+
+def measure_swing(result: TransientResult, out_p: str, out_n: str,
+                  settle_fraction: float = 0.2) -> float:
+    """Differential output swing: |settled high level - settled low level|.
+
+    Measures the settled differential value over the trailing portion of
+    the waveform; callers arrange the stimulus so the output is static at
+    the end of the run.
+    """
+    diff = result.differential(out_p, out_n)
+    settled = diff.settle_value(settle_fraction)
+    return abs(settled)
+
+
+def average_supply_current(result: TransientResult, source_name: str,
+                           t0: Optional[float] = None,
+                           t1: Optional[float] = None) -> float:
+    """Time-averaged current delivered by a supply over ``[t0, t1]``."""
+    return result.current(source_name).average(t0, t1)
+
+
+def peak_supply_current(result: TransientResult, source_name: str) -> float:
+    """Peak current delivered by a supply."""
+    return result.current(source_name).peak()

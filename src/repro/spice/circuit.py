@@ -1,0 +1,160 @@
+"""The netlist container.
+
+A :class:`Circuit` owns devices and grounded voltage sources.  Nodes are
+plain strings created implicitly by the devices that touch them; ``"0"``
+(alias ``"gnd"``) is ground.  Nodes driven by a :class:`VSource` are
+*fixed*: the solvers treat them as known voltages, and the current each
+source delivers is recovered from KCL after the solve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CircuitError
+from ..tech.params import MosParams, VT_THERMAL
+from .devices import (
+    Capacitor,
+    Device,
+    ISource,
+    Mosfet,
+    Resistor,
+    VSource,
+)
+from .mosfet import MosfetModel
+
+GROUND = "0"
+_GROUND_ALIASES = {"0", "gnd", "gnd!", "vss", "vss!"}
+
+
+def canonical_node(name: str) -> str:
+    """Map ground aliases onto the canonical ground name."""
+    if not name:
+        raise CircuitError("empty node name")
+    if name.lower() in _GROUND_ALIASES:
+        return GROUND
+    return name
+
+
+class Circuit:
+    """A flat transistor-level netlist."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.devices: List[Device] = []
+        self.vsources: List[VSource] = []
+        self._device_names: Dict[str, Device] = {}
+        self._driven_nodes: Dict[str, VSource] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, device: Device) -> Device:
+        """Add a pre-built device, normalising its node names."""
+        if device.name in self._device_names:
+            raise CircuitError(f"duplicate device name {device.name!r}")
+        device.terminals = tuple(canonical_node(n) for n in device.terminals)
+        self._device_names[device.name] = device
+        self.devices.append(device)
+        return device
+
+    def v(self, name: str, node: str, stimulus) -> VSource:
+        """Add a grounded voltage source driving ``node``."""
+        node = canonical_node(node)
+        if node == GROUND:
+            raise CircuitError("cannot drive the ground node with a source")
+        if node in self._driven_nodes:
+            raise CircuitError(f"node {node!r} already driven by "
+                               f"{self._driven_nodes[node].name!r}")
+        if name in self._device_names or any(s.name == name for s in self.vsources):
+            raise CircuitError(f"duplicate source name {name!r}")
+        source = VSource(name, node, stimulus)
+        self.vsources.append(source)
+        self._driven_nodes[node] = source
+        return source
+
+    def resistor(self, name: str, a: str, b: str, resistance: float) -> Resistor:
+        return self.add(Resistor(name, a, b, resistance))  # type: ignore[return-value]
+
+    def capacitor(self, name: str, a: str, b: str, capacitance: float) -> Capacitor:
+        return self.add(Capacitor(name, a, b, capacitance))  # type: ignore[return-value]
+
+    def isource(self, name: str, a: str, b: str, value: float) -> ISource:
+        return self.add(ISource(name, a, b, value))  # type: ignore[return-value]
+
+    def mosfet(self, name: str, d: str, g: str, s: str, b: str,
+               params: MosParams, w: float, l: float,
+               temp_vt: float = VT_THERMAL) -> Mosfet:
+        model = MosfetModel(params, w, l, temp_vt)
+        return self.add(Mosfet(name, d, g, s, b, model))  # type: ignore[return-value]
+
+    # -- topology queries ----------------------------------------------------
+
+    def device(self, name: str) -> Device:
+        try:
+            return self._device_names[name]
+        except KeyError:
+            raise CircuitError(f"no device named {name!r}") from None
+
+    def source_for(self, node: str) -> Optional[VSource]:
+        return self._driven_nodes.get(canonical_node(node))
+
+    def all_nodes(self) -> List[str]:
+        """Every node touched by a device or source (ground included)."""
+        nodes = {GROUND}
+        for device in self.devices:
+            nodes.update(device.terminals)
+        for source in self.vsources:
+            nodes.add(source.node)
+        return sorted(nodes)
+
+    def fixed_nodes(self, t: float = 0.0) -> Dict[str, float]:
+        """Ground plus every source-driven node, with values at time ``t``."""
+        fixed = {GROUND: 0.0}
+        for source in self.vsources:
+            fixed[source.node] = source.value(t)
+        return fixed
+
+    def unknown_nodes(self) -> List[str]:
+        fixed = set(self.fixed_nodes())
+        return [n for n in self.all_nodes() if n not in fixed]
+
+    def linear_capacitances(self) -> List[Tuple[str, str, float]]:
+        """All linear capacitances (explicit caps + device parasitics)."""
+        caps: List[Tuple[str, str, float]] = []
+        for device in self.devices:
+            for a, b, c in device.capacitances():
+                if c > 0.0 and a != b:
+                    caps.append((canonical_node(a), canonical_node(b), c))
+        return caps
+
+    def validate(self) -> None:
+        """Sanity-check the netlist; raises :class:`CircuitError`."""
+        if not self.devices:
+            raise CircuitError(f"circuit {self.name!r} has no devices")
+        driven = set(self.fixed_nodes())
+        floating: List[str] = []
+        touch_count: Dict[str, int] = {}
+        for device in self.devices:
+            for node in device.terminals:
+                touch_count[node] = touch_count.get(node, 0) + 1
+        for node, count in touch_count.items():
+            if node in driven:
+                continue
+            if count < 2:
+                floating.append(node)
+        if floating:
+            raise CircuitError(
+                f"circuit {self.name!r} has single-connection floating "
+                f"nodes: {sorted(floating)}")
+
+    def stimulus_breakpoints(self) -> List[float]:
+        """Union of all source breakpoints (for step placement)."""
+        points: List[float] = []
+        for source in self.vsources:
+            points.extend(source.stimulus.breakpoints())
+        return sorted(set(points))
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}: {len(self.devices)} devices, "
+                f"{len(self.vsources)} sources, "
+                f"{len(self.all_nodes())} nodes)")

@@ -1,0 +1,225 @@
+"""Newton-Raphson DC operating-point solver.
+
+The solver is purely nodal: source-driven nodes are known voltages, every
+other node is an unknown, and the residual is KCL (sum of device currents
+leaving the node).  The Jacobian is assembled from per-device forward
+differences, which keeps device models trivially extensible.  Robustness
+measures are the SPICE classics: per-iteration voltage-step damping and
+gmin continuation when plain Newton fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .circuit import Circuit
+
+#: Forward-difference step for device Jacobians, volts.
+_FD_STEP = 1e-6
+
+#: Largest allowed Newton voltage update, volts.
+_DAMP_LIMIT = 0.3
+
+_GMIN_LADDER = (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 0.0)
+
+
+class System:
+    """Index structures for repeated solves of one circuit.
+
+    Building the node indices once and reusing them across transient steps
+    is the main performance lever of the engine.
+    """
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        self.circuit = circuit
+        self.fixed_set = set(circuit.fixed_nodes())
+        self.unknowns: List[str] = circuit.unknown_nodes()
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(self.unknowns)}
+        self.n = len(self.unknowns)
+        # Per-device terminal classification: unknown index or -1 (fixed).
+        self.dev_terms: List[List[int]] = []
+        self.dev_fixed_names: List[List[Optional[str]]] = []
+        for device in circuit.devices:
+            idxs: List[int] = []
+            fixed_names: List[Optional[str]] = []
+            for node in device.terminals:
+                if node in self.index:
+                    idxs.append(self.index[node])
+                    fixed_names.append(None)
+                else:
+                    idxs.append(-1)
+                    fixed_names.append(node)
+            self.dev_terms.append(idxs)
+            self.dev_fixed_names.append(fixed_names)
+
+    # -- assembly ------------------------------------------------------------
+
+    def device_volts(self, dev_idx: int, x: np.ndarray,
+                     fixed: Dict[str, float]) -> List[float]:
+        idxs = self.dev_terms[dev_idx]
+        names = self.dev_fixed_names[dev_idx]
+        return [x[i] if i >= 0 else fixed[names[k]]
+                for k, i in enumerate(idxs)]
+
+    def residual_and_jacobian(self, x: np.ndarray, fixed: Dict[str, float],
+                              gmin: float):
+        """KCL residual and its Jacobian at ``x``."""
+        f = np.zeros(self.n)
+        jac = np.zeros((self.n, self.n))
+        for d, device in enumerate(self.circuit.devices):
+            idxs = self.dev_terms[d]
+            volts = self.device_volts(d, x, fixed)
+            base = device.currents(volts)
+            for k, i in enumerate(idxs):
+                if i >= 0:
+                    f[i] += base[k]
+            for k, j in enumerate(idxs):
+                if j < 0:
+                    continue
+                volts_p = list(volts)
+                volts_p[k] += _FD_STEP
+                pert = device.currents(volts_p)
+                for m, i in enumerate(idxs):
+                    if i >= 0:
+                        jac[i, j] += (pert[m] - base[m]) / _FD_STEP
+        if gmin > 0.0:
+            f += gmin * x
+            jac[np.diag_indices(self.n)] += gmin
+        return f, jac
+
+    def residual_only(self, x: np.ndarray, fixed: Dict[str, float],
+                      gmin: float) -> np.ndarray:
+        f = np.zeros(self.n)
+        for d, device in enumerate(self.circuit.devices):
+            idxs = self.dev_terms[d]
+            volts = self.device_volts(d, x, fixed)
+            base = device.currents(volts)
+            for k, i in enumerate(idxs):
+                if i >= 0:
+                    f[i] += base[k]
+        if gmin > 0.0:
+            f += gmin * x
+        return f
+
+    def fixed_node_currents(self, x: np.ndarray,
+                            fixed: Dict[str, float]) -> Dict[str, float]:
+        """Total device current drawn out of each fixed node."""
+        totals: Dict[str, float] = {node: 0.0 for node in fixed}
+        for d, device in enumerate(self.circuit.devices):
+            idxs = self.dev_terms[d]
+            names = self.dev_fixed_names[d]
+            volts = self.device_volts(d, x, fixed)
+            cur = device.currents(volts)
+            for k, i in enumerate(idxs):
+                if i < 0:
+                    totals[names[k]] += cur[k]
+        return totals
+
+    # -- Newton --------------------------------------------------------------
+
+    def newton(self, fixed: Dict[str, float], x0: np.ndarray, gmin: float,
+               extra=None, abstol: float = 1e-11, steptol: float = 1e-8,
+               maxiter: int = 120) -> np.ndarray:
+        """Damped Newton iteration.
+
+        ``extra`` is an optional callable ``extra(x) -> (f_extra, J_extra)``
+        used by the transient engine to inject capacitor companion models.
+        """
+        if self.n == 0:
+            return x0.copy()
+        x = x0.copy()
+        vmax = max([0.0] + list(fixed.values())) + 1.0
+        vmin = min([0.0] + list(fixed.values())) - 1.0
+        last_res = np.inf
+        for iteration in range(maxiter):
+            f, jac = self.residual_and_jacobian(x, fixed, gmin)
+            if extra is not None:
+                f_extra, j_extra = extra(x)
+                f = f + f_extra
+                jac = jac + j_extra
+            last_res = float(np.max(np.abs(f)))
+            try:
+                dx = np.linalg.solve(jac, -f)
+            except np.linalg.LinAlgError:
+                dx, *_ = np.linalg.lstsq(jac + 1e-12 * np.eye(self.n), -f,
+                                         rcond=None)
+            step = float(np.max(np.abs(dx))) if dx.size else 0.0
+            if step > _DAMP_LIMIT:
+                dx *= _DAMP_LIMIT / step
+                step = _DAMP_LIMIT
+            x = np.clip(x + dx, vmin, vmax)
+            if last_res < abstol and step < steptol:
+                return x
+        raise ConvergenceError(
+            f"Newton failed after {maxiter} iterations "
+            f"(residual {last_res:.3g} A)", iterations=maxiter,
+            residual=last_res)
+
+
+class OperatingPoint:
+    """Result of a DC solve: node voltages and source currents."""
+
+    def __init__(self, voltages: Dict[str, float],
+                 source_currents: Dict[str, float]):
+        self.voltages = voltages
+        self.source_currents = source_currents
+
+    def __getitem__(self, node: str) -> float:
+        return self.voltages[node]
+
+    def current(self, source_name: str) -> float:
+        """Current drawn from the named source (positive = delivering)."""
+        return self.source_currents[source_name]
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{n}={v:.4g}" for n, v in sorted(self.voltages.items()))
+        return f"OperatingPoint({pairs})"
+
+
+def _initial_guess(system: System, fixed: Dict[str, float]) -> np.ndarray:
+    level = max(list(fixed.values()) + [0.0]) / 2.0
+    return np.full(system.n, level)
+
+
+def solve_dc(circuit: Circuit, t: float = 0.0,
+             guess: Optional[Dict[str, float]] = None,
+             system: Optional[System] = None) -> OperatingPoint:
+    """Find the DC operating point of ``circuit`` at source time ``t``.
+
+    Tries plain Newton from a midpoint guess first, then falls back to
+    gmin continuation, warm-starting each rung from the previous one.
+    """
+    sys_ = system if system is not None else System(circuit)
+    fixed = circuit.fixed_nodes(t)
+    x0 = _initial_guess(sys_, fixed)
+    if guess:
+        for node, volt in guess.items():
+            if node in sys_.index:
+                x0[sys_.index[node]] = volt
+    try:
+        x = sys_.newton(fixed, x0, gmin=0.0)
+    except ConvergenceError:
+        x = x0
+        solved = False
+        for gmin in _GMIN_LADDER:
+            try:
+                x = sys_.newton(fixed, x, gmin=gmin)
+                solved = gmin == 0.0
+            except ConvergenceError:
+                continue
+        if not solved:
+            # One final plain attempt warm-started from the ladder result.
+            x = sys_.newton(fixed, x, gmin=0.0)
+    voltages = dict(fixed)
+    for node, idx in sys_.index.items():
+        voltages[node] = float(x[idx])
+    node_currents = sys_.fixed_node_currents(x, fixed)
+    source_currents = {
+        source.name: node_currents.get(source.node, 0.0)
+        for source in circuit.vsources
+    }
+    return OperatingPoint(voltages, source_currents)

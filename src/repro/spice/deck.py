@@ -1,0 +1,101 @@
+"""SPICE deck export.
+
+Writes a :class:`~repro.spice.Circuit` as a conventional ``.sp`` netlist
+(devices, ``.MODEL`` cards for every MOSFET flavour present, sources,
+and an optional ``.TRAN`` line), so generated cells can be inspected
+with standard tools or re-simulated elsewhere.  The model cards carry
+our EKV-ish parameters as comments plus a LEVEL=1 approximation —
+the exported deck is for interchange and eyeballing, not bit-exact
+re-simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TextIO
+
+from ..errors import CircuitError
+from .circuit import Circuit, GROUND
+from .devices import Capacitor, ISource, Mosfet, Resistor
+from .stimulus import DC, Pulse, PWL
+
+
+def _node(name: str) -> str:
+    return "0" if name == GROUND else name
+
+
+def _stimulus_text(stimulus) -> str:
+    if isinstance(stimulus, DC):
+        return f"DC {stimulus.level:g}"
+    if isinstance(stimulus, Pulse):
+        return (f"PULSE({stimulus.v0:g} {stimulus.v1:g} {stimulus.delay:g} "
+                f"{stimulus.rise:g} {stimulus.fall:g} {stimulus.width:g} "
+                f"{stimulus.period:g})")
+    if isinstance(stimulus, PWL):
+        points = " ".join(f"{t:g} {v:g}" for t, v in stimulus.points)
+        return f"PWL({points})"
+    raise CircuitError(
+        f"cannot export stimulus type {type(stimulus).__name__}")
+
+
+def write_spice_deck(stream: TextIO, circuit: Circuit,
+                     title: Optional[str] = None,
+                     tran: Optional[Dict[str, float]] = None) -> None:
+    """Serialise ``circuit`` as a SPICE deck.
+
+    ``tran`` may carry ``{"tstep": ..., "tstop": ...}`` to emit a
+    ``.TRAN`` card.
+    """
+    stream.write(f"* {title or circuit.name}\n")
+    stream.write("* exported by repro (PG-MCML reproduction)\n\n")
+
+    models: Dict[str, object] = {}
+    r_idx = c_idx = m_idx = i_idx = 0
+    for device in circuit.devices:
+        if isinstance(device, Resistor):
+            r_idx += 1
+            a, b = device.terminals
+            stream.write(f"R{r_idx}_{device.name} {_node(a)} {_node(b)} "
+                         f"{device.resistance:g}\n")
+        elif isinstance(device, Capacitor):
+            c_idx += 1
+            a, b = device.terminals
+            stream.write(f"C{c_idx}_{device.name} {_node(a)} {_node(b)} "
+                         f"{device.capacitance:g}\n")
+        elif isinstance(device, ISource):
+            i_idx += 1
+            a, b = device.terminals
+            stream.write(f"I{i_idx}_{device.name} {_node(a)} {_node(b)} "
+                         f"DC {device.value:g}\n")
+        elif isinstance(device, Mosfet):
+            m_idx += 1
+            model = device.model
+            base = model.params.name.replace("~", "_").replace("@", "_")
+            models.setdefault(base, model.params)
+            d, g, s, b = device.terminals
+            stream.write(
+                f"M{m_idx}_{device.name} {_node(d)} {_node(g)} {_node(s)} "
+                f"{_node(b)} {base} W={model.w:g} L={model.l:g}\n")
+        else:
+            raise CircuitError(
+                f"cannot export device type {type(device).__name__}")
+
+    stream.write("\n")
+    for index, source in enumerate(circuit.vsources, start=1):
+        stream.write(f"V{index}_{source.name} {_node(source.node)} 0 "
+                     f"{_stimulus_text(source.stimulus)}\n")
+
+    stream.write("\n")
+    for name, params in sorted(models.items()):
+        kind = "NMOS" if params.is_nmos else "PMOS"
+        stream.write(
+            f".MODEL {name} {kind} (LEVEL=1 VTO={params.vt0 * params.polarity:g} "
+            f"KP={params.kp:g} LAMBDA={params.lam:g} GAMMA={params.gamma_b:g})\n")
+        stream.write(f"* ekv: nsub={params.nsub:g} cox={params.cox:g} "
+                     f"cj={params.cj:g} cov={params.cov:g}\n")
+
+    if tran is not None:
+        try:
+            stream.write(f"\n.TRAN {tran['tstep']:g} {tran['tstop']:g}\n")
+        except KeyError as exc:
+            raise CircuitError(f"tran spec missing {exc}") from None
+    stream.write("\n.END\n")

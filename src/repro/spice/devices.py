@@ -1,0 +1,152 @@
+"""Circuit devices.
+
+Every conductive device implements a uniform interface:
+
+* ``terminals`` — ordered node names;
+* ``currents(volts)`` — given the terminal voltages (same order), return
+  the current flowing *out of each node into the device*.  The entries of
+  a conservative device sum to zero.
+* ``capacitances()`` — linear capacitances contributed by the device as
+  ``(node_a, node_b, farads)`` triples; the transient engine turns these
+  into companion models.
+
+The Newton solver differentiates ``currents`` by finite differences, so
+devices only need to provide well-behaved current equations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import DeviceError
+from .mosfet import MosfetModel
+from .stimulus import DC, Stimulus
+
+CapTriple = Tuple[str, str, float]
+
+
+class Device:
+    """Base class for conductive devices."""
+
+    def __init__(self, name: str, terminals: Sequence[str]):
+        if not name:
+            raise DeviceError("device needs a non-empty name")
+        self.name = name
+        self.terminals: Tuple[str, ...] = tuple(terminals)
+
+    def currents(self, volts: Sequence[float]) -> List[float]:
+        raise NotImplementedError
+
+    def capacitances(self) -> List[CapTriple]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}: {','.join(self.terminals)})"
+
+
+class Resistor(Device):
+    """A linear resistor between two nodes."""
+
+    def __init__(self, name: str, a: str, b: str, resistance: float):
+        super().__init__(name, (a, b))
+        if resistance <= 0.0:
+            raise DeviceError(f"resistor {name}: resistance must be positive")
+        self.resistance = float(resistance)
+
+    def currents(self, volts: Sequence[float]) -> List[float]:
+        i = (volts[0] - volts[1]) / self.resistance
+        return [i, -i]
+
+
+class Capacitor(Device):
+    """A linear capacitor; open at DC, companion-modelled in transient."""
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float):
+        super().__init__(name, (a, b))
+        if capacitance < 0.0:
+            raise DeviceError(f"capacitor {name}: capacitance must be >= 0")
+        self.capacitance = float(capacitance)
+
+    def currents(self, volts: Sequence[float]) -> List[float]:
+        return [0.0, 0.0]
+
+    def capacitances(self) -> List[CapTriple]:
+        return [(self.terminals[0], self.terminals[1], self.capacitance)]
+
+
+class ISource(Device):
+    """Ideal current source driving ``value`` amperes from node a to node b."""
+
+    def __init__(self, name: str, a: str, b: str, value: float):
+        super().__init__(name, (a, b))
+        self.value = float(value)
+
+    def currents(self, volts: Sequence[float]) -> List[float]:
+        return [self.value, -self.value]
+
+
+class VSource:
+    """A grounded ideal voltage source pinning one node to a stimulus.
+
+    The solver treats driven nodes as known voltages, which keeps the
+    system purely nodal.  All supplies, inputs, and bias voltages in the
+    reproduction are node-to-ground, so floating sources are not needed.
+    """
+
+    def __init__(self, name: str, node: str, stimulus):
+        if not name:
+            raise DeviceError("voltage source needs a name")
+        if isinstance(stimulus, (int, float)):
+            stimulus = DC(float(stimulus))
+        if not isinstance(stimulus, Stimulus):
+            raise DeviceError(
+                f"vsource {name}: stimulus must be a Stimulus or number")
+        self.name = name
+        self.node = node
+        self.stimulus = stimulus
+
+    def value(self, t: float) -> float:
+        return self.stimulus.value(t)
+
+    def __repr__(self) -> str:
+        return f"VSource({self.name}: {self.node} <- {self.stimulus!r})"
+
+
+class Mosfet(Device):
+    """A four-terminal MOSFET (drain, gate, source, bulk)."""
+
+    def __init__(self, name: str, d: str, g: str, s: str, b: str,
+                 model: MosfetModel):
+        super().__init__(name, (d, g, s, b))
+        self.model = model
+
+    @property
+    def drain(self) -> str:
+        return self.terminals[0]
+
+    @property
+    def gate(self) -> str:
+        return self.terminals[1]
+
+    @property
+    def source(self) -> str:
+        return self.terminals[2]
+
+    @property
+    def bulk(self) -> str:
+        return self.terminals[3]
+
+    def currents(self, volts: Sequence[float]) -> List[float]:
+        vd, vg, vs, vb = volts
+        ids = self.model.ids(vg, vd, vs, vb)
+        return [ids, 0.0, -ids, 0.0]
+
+    def capacitances(self) -> List[CapTriple]:
+        d, g, s, b = self.terminals
+        m = self.model
+        return [
+            (g, s, m.cgs),
+            (g, d, m.cgd),
+            (d, b, m.cdb),
+            (s, b, m.csb),
+        ]

@@ -1,0 +1,140 @@
+"""Time-domain stimuli for voltage sources.
+
+Each stimulus exposes ``value(t)`` and a conservative ``breakpoints()``
+list so the transient engine can refine time steps around edges, mirroring
+what SPICE does with PWL/PULSE sources.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import CircuitError
+
+
+class Stimulus:
+    """Base class: a scalar function of time."""
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def breakpoints(self) -> List[float]:
+        """Times where the derivative changes; may be empty."""
+        return []
+
+
+class DC(Stimulus):
+    """A constant level."""
+
+    def __init__(self, level: float):
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def __repr__(self) -> str:
+        return f"DC({self.level})"
+
+
+class PWL(Stimulus):
+    """Piecewise-linear stimulus from ``(time, value)`` points.
+
+    Holds the first value before the first point and the last value after
+    the last point, like SPICE.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if not points:
+            raise CircuitError("PWL needs at least one point")
+        times = [float(p[0]) for p in points]
+        if any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            raise CircuitError("PWL time points must be strictly increasing")
+        self.points = [(float(t), float(v)) for t, v in points]
+
+    def value(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if t0 <= t <= t1:
+                frac = (t - t0) / (t1 - t0)
+                return v0 + frac * (v1 - v0)
+        return pts[-1][1]  # unreachable, defensive
+
+    def breakpoints(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    def __repr__(self) -> str:
+        return f"PWL({len(self.points)} pts)"
+
+
+class Pulse(Stimulus):
+    """SPICE-style PULSE source.
+
+    Parameters mirror SPICE: initial value ``v0``, pulsed value ``v1``,
+    ``delay``, ``rise``, ``fall``, pulse ``width`` and ``period``
+    (``period=0`` means a single pulse).
+    """
+
+    def __init__(self, v0: float, v1: float, delay: float, rise: float,
+                 fall: float, width: float, period: float = 0.0):
+        if min(rise, fall, width) < 0 or delay < 0 or period < 0:
+            raise CircuitError("pulse timing parameters must be non-negative")
+        if period and period < rise + width + fall:
+            raise CircuitError("pulse period shorter than rise+width+fall")
+        self.v0, self.v1 = float(v0), float(v1)
+        self.delay, self.rise, self.fall = float(delay), float(rise), float(fall)
+        self.width, self.period = float(width), float(period)
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v0
+        local = t - self.delay
+        if self.period:
+            local = local % self.period
+        if local < self.rise:
+            if self.rise == 0.0:
+                return self.v1
+            return self.v0 + (self.v1 - self.v0) * local / self.rise
+        local -= self.rise
+        if local < self.width:
+            return self.v1
+        local -= self.width
+        if local < self.fall:
+            if self.fall == 0.0:
+                return self.v0
+            return self.v1 + (self.v0 - self.v1) * local / self.fall
+        return self.v0
+
+    def breakpoints(self) -> List[float]:
+        base = [self.delay,
+                self.delay + self.rise,
+                self.delay + self.rise + self.width,
+                self.delay + self.rise + self.width + self.fall]
+        if not self.period:
+            return base
+        points = []
+        for cycle in range(16):  # enough for any cell-level transient
+            offset = cycle * self.period
+            points.extend(b + offset for b in base)
+        return points
+
+    def __repr__(self) -> str:
+        return (f"Pulse(v0={self.v0}, v1={self.v1}, delay={self.delay}, "
+                f"rise={self.rise}, fall={self.fall}, width={self.width}, "
+                f"period={self.period})")
+
+
+class Clock(Pulse):
+    """A 50 %-duty clock built on :class:`Pulse`."""
+
+    def __init__(self, v0: float, v1: float, period: float,
+                 transition: float, delay: float = 0.0):
+        if period <= 0:
+            raise CircuitError("clock period must be positive")
+        if transition <= 0 or transition >= period / 2:
+            raise CircuitError("clock transition must be in (0, period/2)")
+        super().__init__(v0, v1, delay, transition, transition,
+                         period / 2 - transition, period)

@@ -1,0 +1,118 @@
+"""DC sweep analysis.
+
+Steps one voltage source through a list of values, warm-starting each
+Newton solve from the previous point (source stepping for free), and
+returns every node voltage and source current as functions of the swept
+variable.  This is how the transfer curves behind the MCML noise-margin
+and CMOS VTC tests are produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CircuitError
+from .circuit import Circuit
+from .dc import System, solve_dc
+from .stimulus import DC
+from .waveform import Waveform
+
+
+class SweepResult:
+    """Node voltages / source currents vs the swept value."""
+
+    def __init__(self, variable: str, values: np.ndarray,
+                 voltages: Dict[str, np.ndarray],
+                 source_currents: Dict[str, np.ndarray]):
+        self.variable = variable
+        self.values = values
+        self.voltages = voltages
+        self.source_currents = source_currents
+
+    def wave(self, node: str) -> Waveform:
+        """Node voltage as a Waveform over the swept variable."""
+        try:
+            return Waveform(self.values, self.voltages[node])
+        except KeyError:
+            known = ", ".join(sorted(self.voltages))
+            raise CircuitError(
+                f"node {node!r} not recorded; recorded: {known}") from None
+
+    def current(self, source_name: str) -> Waveform:
+        try:
+            return Waveform(self.values, self.source_currents[source_name])
+        except KeyError:
+            known = ", ".join(sorted(self.source_currents))
+            raise CircuitError(
+                f"source {source_name!r} not recorded; recorded: {known}"
+            ) from None
+
+    def gain(self, out_node: str) -> Waveform:
+        """Numerical derivative d(v_out)/d(v_swept)."""
+        wave = self.wave(out_node)
+        slope = np.gradient(wave.v, wave.t)
+        return Waveform(wave.t, slope)
+
+    def switching_threshold(self, out_node: str) -> float:
+        """Input value where ``v(out) == v(in)`` (the VTC midpoint)."""
+        diff = self.wave(out_node).v - self.values
+        crossings = Waveform(self.values, diff).crossings(0.0)
+        if not crossings:
+            raise CircuitError(
+                f"transfer curve of {out_node!r} never crosses the "
+                f"identity line")
+        return crossings[0]
+
+    def __repr__(self) -> str:
+        return (f"SweepResult({self.variable}: {len(self.values)} points "
+                f"[{self.values[0]:.3g}, {self.values[-1]:.3g}])")
+
+
+def dc_sweep(circuit: Circuit, source_name: str,
+             values: Sequence[float],
+             record: Optional[Sequence[str]] = None) -> SweepResult:
+    """Sweep the named grounded voltage source through ``values``.
+
+    The source's stimulus is restored afterwards, so the circuit can be
+    reused.  Values need not be monotonic, but warm starting works best
+    when they are.
+    """
+    values_arr = np.asarray(list(values), dtype=float)
+    if values_arr.size < 2:
+        raise CircuitError("a sweep needs at least two points")
+    if values_arr.size != np.unique(values_arr).size or \
+            not np.all(np.diff(values_arr) > 0):
+        raise CircuitError("sweep values must be strictly increasing")
+    source = next((s for s in circuit.vsources if s.name == source_name),
+                  None)
+    if source is None:
+        known = ", ".join(s.name for s in circuit.vsources)
+        raise CircuitError(
+            f"no source named {source_name!r}; sources: {known}")
+
+    system = System(circuit)
+    record_nodes = list(record) if record is not None else \
+        circuit.all_nodes()
+    volt_hist: Dict[str, List[float]] = {n: [] for n in record_nodes}
+    src_hist: Dict[str, List[float]] = {s.name: [] for s in circuit.vsources}
+
+    original = source.stimulus
+    guess: Optional[Dict[str, float]] = None
+    try:
+        for value in values_arr:
+            source.stimulus = DC(float(value))
+            op = solve_dc(circuit, system=system, guess=guess)
+            guess = {n: op.voltages[n] for n in system.unknowns}
+            for node in record_nodes:
+                volt_hist[node].append(op.voltages.get(node, 0.0))
+            for s in circuit.vsources:
+                src_hist[s.name].append(op.source_currents[s.name])
+    finally:
+        source.stimulus = original
+
+    return SweepResult(
+        variable=source_name, values=values_arr,
+        voltages={n: np.asarray(v) for n, v in volt_hist.items()},
+        source_currents={n: np.asarray(v) for n, v in src_hist.items()})

@@ -1,0 +1,194 @@
+"""Waveform storage and measurement.
+
+A :class:`Waveform` is an immutable pair of monotonically increasing time
+points and sample values.  It supports the measurements every experiment
+needs: threshold crossings (for delays), averages and integrals (for
+power), resampling (for trace alignment) and quantisation (for the 1 µA
+measurement-resolution model of the side-channel study).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import TraceError
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+# numpy 2 renamed trapz to trapezoid; support both.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+class Waveform:
+    """A sampled signal ``v(t)`` with strictly increasing time points."""
+
+    __slots__ = ("t", "v")
+
+    def __init__(self, t: ArrayLike, v: ArrayLike):
+        t_arr = np.asarray(t, dtype=float)
+        v_arr = np.asarray(v, dtype=float)
+        if t_arr.ndim != 1 or v_arr.ndim != 1:
+            raise TraceError("waveform arrays must be one-dimensional")
+        if t_arr.shape != v_arr.shape:
+            raise TraceError(
+                f"time/value length mismatch: {t_arr.shape} vs {v_arr.shape}")
+        if t_arr.size == 0:
+            raise TraceError("waveform must have at least one sample")
+        if t_arr.size > 1 and not np.all(np.diff(t_arr) > 0):
+            raise TraceError("waveform time points must be strictly increasing")
+        self.t = t_arr
+        self.v = v_arr
+
+    # -- basic properties ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.t.size)
+
+    def __repr__(self) -> str:
+        return (f"Waveform({len(self)} pts, t=[{self.t[0]:.3g}, {self.t[-1]:.3g}], "
+                f"v=[{self.v.min():.3g}, {self.v.max():.3g}])")
+
+    @property
+    def duration(self) -> float:
+        """Total spanned time."""
+        return float(self.t[-1] - self.t[0])
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated value at ``time`` (clamped at the ends)."""
+        return float(np.interp(time, self.t, self.v))
+
+    def slice(self, t0: float, t1: float) -> "Waveform":
+        """Return the samples with ``t0 <= t <= t1`` (must be non-empty)."""
+        if t1 < t0:
+            raise TraceError(f"slice bounds reversed: {t0} > {t1}")
+        mask = (self.t >= t0) & (self.t <= t1)
+        if not mask.any():
+            raise TraceError(f"no samples in window [{t0}, {t1}]")
+        return Waveform(self.t[mask], self.v[mask])
+
+    # -- measurements -------------------------------------------------------
+
+    def crossings(self, level: float, edge: str = "both") -> List[float]:
+        """Interpolated times where the waveform crosses ``level``.
+
+        ``edge`` is ``"rise"``, ``"fall"`` or ``"both"``.  A sample exactly
+        at the level counts as part of whichever segment crosses it.
+        """
+        if edge not in ("rise", "fall", "both"):
+            raise TraceError(f"edge must be rise/fall/both, got {edge!r}")
+        times: List[float] = []
+        for i in range(len(self) - 1):
+            v0, v1 = self.v[i], self.v[i + 1]
+            if v0 == v1:
+                continue
+            rising = v0 < level <= v1
+            falling = v0 > level >= v1
+            if (rising and edge in ("rise", "both")) or (
+                    falling and edge in ("fall", "both")):
+                frac = (level - v0) / (v1 - v0)
+                times.append(float(self.t[i] + frac * (self.t[i + 1] - self.t[i])))
+        return times
+
+    def first_crossing(self, level: float, edge: str = "both",
+                       after: float = -np.inf) -> Optional[float]:
+        """First crossing of ``level`` at or after time ``after`` (or None)."""
+        for time in self.crossings(level, edge):
+            if time >= after:
+                return time
+        return None
+
+    def average(self, t0: Optional[float] = None,
+                t1: Optional[float] = None) -> float:
+        """Time-weighted (trapezoidal) average over ``[t0, t1]``."""
+        wave = self if t0 is None and t1 is None else self.slice(
+            self.t[0] if t0 is None else t0, self.t[-1] if t1 is None else t1)
+        if len(wave) == 1:
+            return float(wave.v[0])
+        return float(_trapezoid(wave.v, wave.t) / wave.duration)
+
+    def integral(self) -> float:
+        """Trapezoidal integral over the full span (e.g. charge from current)."""
+        if len(self) == 1:
+            return 0.0
+        return float(_trapezoid(self.v, self.t))
+
+    def rms(self) -> float:
+        """Root-mean-square value (time weighted)."""
+        if len(self) == 1:
+            return abs(float(self.v[0]))
+        mean_sq = _trapezoid(self.v ** 2, self.t) / self.duration
+        return float(np.sqrt(mean_sq))
+
+    def peak(self) -> float:
+        """Maximum value."""
+        return float(self.v.max())
+
+    def trough(self) -> float:
+        """Minimum value."""
+        return float(self.v.min())
+
+    def swing(self) -> float:
+        """Peak-to-peak excursion."""
+        return float(self.v.max() - self.v.min())
+
+    def settle_value(self, fraction: float = 0.1) -> float:
+        """Average of the trailing ``fraction`` of the waveform (settled value)."""
+        if not 0.0 < fraction <= 1.0:
+            raise TraceError("settle fraction must be in (0, 1]")
+        t0 = self.t[-1] - fraction * self.duration
+        return self.average(t0=t0, t1=float(self.t[-1]))
+
+    # -- transforms ----------------------------------------------------------
+
+    def resample(self, times: ArrayLike) -> "Waveform":
+        """Linear-interpolation resample onto new time points."""
+        t_new = np.asarray(times, dtype=float)
+        return Waveform(t_new, np.interp(t_new, self.t, self.v))
+
+    def quantize(self, step: float) -> "Waveform":
+        """Round values to the nearest multiple of ``step``.
+
+        Models a measurement instrument's amplitude resolution; the paper
+        records currents with 1 µA resolution, which floors the information
+        available to the attacker.
+        """
+        if step <= 0.0:
+            raise TraceError("quantisation step must be positive")
+        return Waveform(self.t, np.round(self.v / step) * step)
+
+    def shifted(self, dt: float) -> "Waveform":
+        """Time-shift by ``dt``."""
+        return Waveform(self.t + dt, self.v)
+
+    def scaled(self, gain: float) -> "Waveform":
+        """Amplitude-scale by ``gain``."""
+        return Waveform(self.t, self.v * gain)
+
+    def _binary_op(self, other: Union["Waveform", float], op) -> "Waveform":
+        if isinstance(other, Waveform):
+            if len(other) != len(self) or not np.allclose(other.t, self.t):
+                other = other.resample(self.t)
+            return Waveform(self.t, op(self.v, other.v))
+        return Waveform(self.t, op(self.v, float(other)))
+
+    def __add__(self, other: Union["Waveform", float]) -> "Waveform":
+        return self._binary_op(other, np.add)
+
+    def __sub__(self, other: Union["Waveform", float]) -> "Waveform":
+        return self._binary_op(other, np.subtract)
+
+    def __mul__(self, other: Union["Waveform", float]) -> "Waveform":
+        return self._binary_op(other, np.multiply)
+
+    @staticmethod
+    def sum(waves: Iterable["Waveform"]) -> "Waveform":
+        """Sum several waveforms on the time base of the first one."""
+        waves = list(waves)
+        if not waves:
+            raise TraceError("cannot sum zero waveforms")
+        total = waves[0]
+        for wave in waves[1:]:
+            total = total + wave
+        return total

@@ -1,0 +1,54 @@
+"""Synthesis: LUT decomposition, technology mapping, sleep insertion.
+
+Replaces the Synopsys Design Compiler / Cadence Encounter steps of the
+paper's flow:
+
+* :mod:`repro.synth.mapping` — BDD-based decomposition of look-up tables
+  and logic functions onto a target :class:`~repro.cells.Library`.
+  Differential (MCML/PG-MCML) mapping exploits free inversion — a
+  complemented signal is just a rail swap — while the CMOS mapping must
+  materialise inverters, which is why the CMOS S-box ISE uses *more*
+  cells than the MCML one in Table 3;
+* :mod:`repro.synth.sleep` — the paper's future-work item implemented:
+  automatic sleep-signal insertion with a balanced, CMOS-buffered
+  distribution tree synthesised like a clock tree (§5), with its ~1 ns
+  insertion delay;
+* :mod:`repro.synth.sbox_unit` — the S-box instruction-set-extension
+  macro (four 8×8 LUT S-boxes plus registers and converters) in any of
+  the three styles;
+* :mod:`repro.synth.report` — Table 3-style area/delay/cell reports.
+"""
+
+from .mapping import TechnologyMapper, MappedBlock, map_lut
+from .sleep import SleepTree, insert_sleep_tree, SLEEP_ROOT_NET
+from .sbox_unit import build_sbox_ise, SBoxISE, simulate_sbox_word, sbox_truth_tables
+from .aes_core import AESCore, build_aes_core, encrypt_with_core
+from .report import BlockReport, report_block, format_table
+from .buffering import buffer_high_fanout
+from .cleanup import sweep_dangling
+from .placement import Placement, PlacedCell, place, wirelength_hpwl
+
+__all__ = [
+    "TechnologyMapper",
+    "MappedBlock",
+    "map_lut",
+    "SleepTree",
+    "insert_sleep_tree",
+    "SLEEP_ROOT_NET",
+    "build_sbox_ise",
+    "SBoxISE",
+    "simulate_sbox_word",
+    "sbox_truth_tables",
+    "AESCore",
+    "build_aes_core",
+    "encrypt_with_core",
+    "BlockReport",
+    "report_block",
+    "format_table",
+    "buffer_high_fanout",
+    "sweep_dangling",
+    "Placement",
+    "PlacedCell",
+    "place",
+    "wirelength_hpwl",
+]

@@ -1,0 +1,289 @@
+"""A complete round-based AES-128 hardware core.
+
+The paper protects only the S-box functional unit, citing the ISE-style
+approach as the way to "minimize the area and the cost overhead due to
+MCML gates" (§2).  The natural follow-up — what would protecting the
+*whole* cipher cost? — needs a full AES core in each library.  This
+generator builds one:
+
+* 128-bit state and key registers (DFF cells),
+* SubBytes as 16 mapped S-box LUT blocks,
+* ShiftRows as wiring, MixColumns as XOR2 trees derived from the
+  bit-linear map (:mod:`repro.aes.linear`),
+* on-the-fly key schedule (SubWord through 4 more S-box blocks, Rcon
+  from a counter-indexed LUT, the word-chaining XORs),
+* a 4-bit round counter with an increment ripple and a ``round == 10``
+  comparator that bypasses MixColumns in the last round,
+* a ``load`` control input: one rising clock edge with ``load`` high
+  captures plaintext XOR key (the initial AddRoundKey) and clears the
+  counter; ten more edges complete the encryption.
+
+Interface: plaintext bits ``pt0..pt127`` and key bits ``key0..key127``
+(MSB-first per byte, FIPS byte order), ``clk``, ``load``; the ciphertext
+appears on the state register outputs after the tenth round edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aes.aes import RCON
+from ..aes.linear import (
+    STATE_BITS,
+    bits_to_state,
+    mix_columns_bit_map,
+    shift_rows_bit_map,
+)
+from ..cells import Library
+from ..errors import SynthesisError
+from ..netlist import GateNetlist, LogicSimulator
+from .buffering import buffer_high_fanout
+from .mapping import map_lut
+from .sbox_unit import sbox_truth_tables
+from .sleep import SleepTree, insert_sleep_tree
+
+CLOCK_NET = "clk"
+LOAD_NET = "load"
+
+
+@dataclass
+class AESCore:
+    """The generated core plus its pin bindings."""
+
+    netlist: GateNetlist
+    style: str
+    pt_nets: List[str]
+    key_nets: List[str]
+    ct_nets: List[str]       # state register outputs
+    counter_nets: List[str]  # LSB first
+    sleep_tree: Optional[SleepTree] = None
+
+    def cells(self) -> int:
+        return self.netlist.total_cells()
+
+    def area_um2(self) -> float:
+        return self.netlist.total_area_um2()
+
+
+class _CoreBuilder:
+    """Structural emission helpers over one netlist."""
+
+    def __init__(self, library: Library, name: str):
+        self.lib = library
+        self.nl = GateNetlist(name, library)
+        self.differential = library.style in ("mcml", "pgmcml")
+        self._inv_cache: Dict[str, str] = {}
+
+    def inv(self, net: str) -> str:
+        cached = self._inv_cache.get(net)
+        if cached is not None:
+            return cached
+        out = self.nl.new_net("inv_").name
+        cell = "RAILSWAP" if self.differential else "INV"
+        self.nl.add_instance(cell, {"A": net, "Y": out})
+        self._inv_cache[net] = out
+        return out
+
+    def gate2(self, cell: str, a: str, b: str) -> str:
+        out = self.nl.new_net(f"{cell.lower()}_").name
+        self.nl.add_instance(cell, {"A": a, "B": b, "Y": out})
+        return out
+
+    def xor2(self, a: str, b: str) -> str:
+        return self.gate2("XOR2", a, b)
+
+    def and2(self, a: str, b: str) -> str:
+        return self.gate2("AND2", a, b)
+
+    def and4(self, a: str, b: str, c: str, d: str) -> str:
+        out = self.nl.new_net("and4_").name
+        self.nl.add_instance("AND4", {"A": a, "B": b, "C": c, "D": d,
+                                      "Y": out})
+        return out
+
+    def mux2(self, sel: str, d0: str, d1: str) -> str:
+        out = self.nl.new_net("mux_").name
+        self.nl.add_instance("MUX2", {"S": sel, "D0": d0, "D1": d1,
+                                      "Y": out})
+        return out
+
+    def dff(self, d: str, q: str, name: str) -> None:
+        self.nl.add_instance("DFF", {"D": d, "CK": CLOCK_NET, "Q": q},
+                             name=name)
+
+    def tie(self, value: bool, any_input: str) -> str:
+        cell = "TIEH" if value else "TIEL"
+        if cell not in self.lib:
+            raise SynthesisError(f"library lacks {cell}")
+        out = self.nl.new_net("const_").name
+        self.nl.add_instance(cell, {"A": any_input, "Y": out})
+        return out
+
+    def xor_tree(self, nets: Sequence[str]) -> str:
+        if not nets:
+            raise SynthesisError("empty XOR tree")
+        level = list(nets)
+        while len(level) > 1:
+            nxt = [self.xor2(level[i], level[i + 1])
+                   for i in range(0, len(level) - 1, 2)]
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def sbox_block(self, in_bits: Sequence[str], tag: str) -> List[str]:
+        tables = sbox_truth_tables()
+        names = [f"x{i}" for i in range(8)]
+        block = map_lut(self.lib, tables, names, name=tag,
+                        netlist=self.nl,
+                        input_nets=dict(zip(names, in_bits)),
+                        share_outputs=self.differential)
+        return [block.outputs[f"y{b}"] for b in range(8)]
+
+
+def _rcon_tables() -> Dict[str, List[int]]:
+    """Rcon byte as 8 output-bit tables over the 4 counter bits.
+
+    The counter value c (0..9) selects Rcon[c] — the constant for the
+    round being computed; other codes return 0.
+    """
+    tables: Dict[str, List[int]] = {f"r{b}": [] for b in range(8)}
+    for code in range(16):
+        value = RCON[code] if code < len(RCON) else 0
+        for b in range(8):
+            tables[f"r{b}"].append((value >> (7 - b)) & 1)
+    return tables
+
+
+def build_aes_core(library: Library, with_sleep_tree: bool = True,
+                   name: Optional[str] = None) -> AESCore:
+    """Build the round-based AES-128 encryption core on ``library``."""
+    b = _CoreBuilder(library, name or f"aes_core_{library.style}")
+    nl = b.nl
+
+    pt = [f"pt{i}" for i in range(STATE_BITS)]
+    key = [f"key{i}" for i in range(STATE_BITS)]
+    for net in (*pt, *key, CLOCK_NET, LOAD_NET):
+        nl.add_primary_input(net)
+
+    state_q = [f"state_q{i}" for i in range(STATE_BITS)]
+    key_q = [f"key_q{i}" for i in range(STATE_BITS)]
+    cnt_q = [f"cnt_q{i}" for i in range(4)]  # LSB first
+
+    # ---- round counter ------------------------------------------------------
+    inc_bits: List[str] = []
+    carry: Optional[str] = None
+    for i, q in enumerate(cnt_q):
+        if i == 0:
+            inc_bits.append(b.inv(q))
+            carry = q
+        else:
+            inc_bits.append(b.xor2(q, carry))
+            carry = b.and2(q, carry)
+    zero = b.tie(False, LOAD_NET)
+    for i, inc in enumerate(inc_bits):
+        d = b.mux2(LOAD_NET, inc, zero)
+        b.dff(d, cnt_q[i], name=f"ucnt{i}")
+    # last round while counter == 9 (0b1001, LSB first: c0=1 c3=1).
+    last = b.and4(cnt_q[0], b.inv(cnt_q[1]), b.inv(cnt_q[2]), cnt_q[3])
+
+    # ---- round datapath -------------------------------------------------------
+    sub_bits: List[str] = []
+    for byte in range(16):
+        sub_bits.extend(b.sbox_block(state_q[8 * byte:8 * byte + 8],
+                                     tag=f"sb{byte}"))
+    sr_map = shift_rows_bit_map()
+    sr_bits = [sub_bits[sr_map[i]] for i in range(STATE_BITS)]
+    mc_rows = mix_columns_bit_map()
+    mc_bits = [b.xor_tree([sr_bits[i] for i in row]) for row in mc_rows]
+    pre_ark = [b.mux2(last, mc_bits[i], sr_bits[i])
+               for i in range(STATE_BITS)]
+
+    # ---- on-the-fly key schedule ------------------------------------------------
+    # Words are 32-bit slices of the key register, w0..w3.
+    w = [key_q[32 * k:32 * k + 32] for k in range(4)]
+    # RotWord(w3): byte rotate left.
+    rot = w[3][8:] + w[3][:8]
+    subword: List[str] = []
+    for byte in range(4):
+        subword.extend(b.sbox_block(rot[8 * byte:8 * byte + 8],
+                                    tag=f"ks{byte}"))
+    rcon_block = map_lut(library, _rcon_tables(),
+                         [f"c{i}" for i in range(4)], name="rcon",
+                         netlist=nl,
+                         input_nets={  # MSB-first variable order
+                             "c0": cnt_q[3], "c1": cnt_q[2],
+                             "c2": cnt_q[1], "c3": cnt_q[0]},
+                         share_outputs=b.differential)
+    rcon_bits = [rcon_block.outputs[f"r{i}"] for i in range(8)]
+    temp = [b.xor2(subword[i], rcon_bits[i]) if i < 8 else subword[i]
+            for i in range(32)]
+    next_w: List[List[str]] = []
+    prev = temp
+    for k in range(4):
+        word = [b.xor2(w[k][i], prev[i]) for i in range(32)]
+        next_w.append(word)
+        prev = word
+    next_key = [bit for word in next_w for bit in word]
+
+    # ---- AddRoundKey + register inputs -------------------------------------------
+    round_out = [b.xor2(pre_ark[i], next_key[i])
+                 for i in range(STATE_BITS)]
+    ark0 = [b.xor2(pt[i], key[i]) for i in range(STATE_BITS)]
+    for i in range(STATE_BITS):
+        d_state = b.mux2(LOAD_NET, round_out[i], ark0[i])
+        b.dff(d_state, state_q[i], name=f"ust{i}")
+        d_key = b.mux2(LOAD_NET, next_key[i], key[i])
+        b.dff(d_key, key_q[i], name=f"ukey{i}")
+
+    for q in state_q:
+        nl.add_primary_output(q)
+
+    buffer_high_fanout(nl, max_fanout=6)
+    tree: Optional[SleepTree] = None
+    if library.style == "pgmcml" and with_sleep_tree:
+        tree = insert_sleep_tree(nl)
+
+    return AESCore(netlist=nl, style=library.style, pt_nets=pt,
+                   key_nets=key, ct_nets=state_q, counter_nets=cnt_q,
+                   sleep_tree=tree)
+
+
+def encrypt_with_core(core: AESCore, simulator: LogicSimulator,
+                      plaintext: bytes, key: bytes,
+                      period: float = 5e-9) -> bytes:
+    """Drive one encryption through the core and read the ciphertext.
+
+    ``simulator`` must be bound to ``core.netlist``; state carries over
+    between calls exactly as in silicon.
+    """
+    from ..aes.linear import state_to_bits
+
+    if len(plaintext) != 16 or len(key) != 16:
+        raise SynthesisError("plaintext and key must be 16 bytes")
+    pt_bits = state_to_bits(plaintext)
+    key_bits = state_to_bits(key)
+    values = {net: bool(bit) for net, bit in zip(core.pt_nets, pt_bits)}
+    values.update({net: bool(bit)
+                   for net, bit in zip(core.key_nets, key_bits)})
+    values[LOAD_NET] = True
+    values[CLOCK_NET] = False
+    if core.sleep_tree is not None:
+        values[core.sleep_tree.root_net] = True
+    simulator.initialize(values)
+
+    stimuli: List[Tuple[float, str, bool]] = []
+    t = period
+    # Load edge.
+    stimuli.append((t, CLOCK_NET, True))
+    stimuli.append((t + period / 2, CLOCK_NET, False))
+    stimuli.append((t + period / 2, LOAD_NET, False))
+    t += period
+    for _ in range(10):
+        stimuli.append((t, CLOCK_NET, True))
+        stimuli.append((t + period / 2, CLOCK_NET, False))
+        t += period
+    trace = simulator.run(stimuli, duration=t + period)
+    bits = [int(simulator.values[q]) for q in core.ct_nets]
+    return bits_to_state(bits)

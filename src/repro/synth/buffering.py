@@ -1,0 +1,55 @@
+"""Fanout buffering.
+
+MCML drive is fixed by the tail current: the output sees R = swing/Iss
+(8 kΩ at 50 µA), so a net fanning out to dozens of MUX selects would be
+hopelessly slow.  Synthesis therefore keeps fanout bounded by inserting
+buffer trees — the paper's library ships drive-strength-4 buffers (Fig. 4
+shows X1 and X4) for exactly this purpose.  The same pass improves the
+CMOS reference, matching what Design Compiler does with its own buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SynthesisError
+from ..netlist import GateNetlist
+
+
+def buffer_high_fanout(netlist: GateNetlist, max_fanout: int = 8,
+                       buf_cell: Optional[str] = None) -> int:
+    """Split every net with more than ``max_fanout`` sinks via buffers.
+
+    Returns the number of buffer instances inserted.  Re-runs until no
+    net exceeds the limit, so very wide nets receive a balanced tree
+    (each pass groups sinks under new buffers whose inputs then load the
+    original net).
+    """
+    if max_fanout < 2:
+        raise SynthesisError("max_fanout must be at least 2")
+    if buf_cell is None:
+        buf_cell = "BUFX4" if "BUFX4" in netlist.library else "BUF"
+    if buf_cell not in netlist.library:
+        raise SynthesisError(
+            f"library {netlist.library.name!r} has no {buf_cell!r} cell")
+
+    inserted = 0
+    for _pass in range(32):  # depth bound; a 8^32-sink net does not exist
+        over = [name for name, net in netlist.nets.items()
+                if net.fanout > max_fanout]
+        if not over:
+            return inserted
+        for net_name in over:
+            sinks = list(netlist.nets[net_name].sinks)
+            if len(sinks) <= max_fanout:
+                continue  # may have shrunk during this pass
+            groups = [sinks[i:i + max_fanout]
+                      for i in range(0, len(sinks), max_fanout)]
+            for group in groups:
+                out = netlist.new_net("fbuf_")
+                netlist.add_instance(buf_cell,
+                                     {"A": net_name, "Y": out.name})
+                inserted += 1
+                for sink in group:
+                    netlist.move_sink(net_name, sink, out.name)
+    raise SynthesisError("fanout buffering did not converge in 32 passes")

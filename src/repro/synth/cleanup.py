@@ -1,0 +1,55 @@
+"""Netlist cleanup: sweep logic that drives nothing.
+
+Mapping, buffering, and manual edits can leave instances whose outputs
+reach neither a primary output nor a sequential element — silicon that
+synthesis would sweep away.  :func:`sweep_dangling` removes them
+iteratively (removing one dead cell can orphan its fan-in) and reports
+what was deleted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..errors import SynthesisError
+from ..netlist import GateNetlist
+
+
+def sweep_dangling(netlist: GateNetlist,
+                   keep: Set[str] = frozenset()) -> List[str]:
+    """Remove combinational instances with no observable fanout.
+
+    ``keep`` names instances to preserve regardless (e.g. sleep-tree
+    buffers whose loads are side-band).  Returns the removed instance
+    names.  Primary outputs and all sequential elements are observation
+    points.
+    """
+    protected = set(keep)
+    removed: List[str] = []
+    for _ in range(len(netlist.instances) + 1):
+        observable = set(netlist.primary_outputs)
+        dead = []
+        for inst in netlist.instances.values():
+            if inst.name in protected or inst.cell.is_sequential:
+                continue
+            if all(netlist.nets[inst.pins[pin]].fanout == 0
+                   and inst.pins[pin] not in observable
+                   for pin in inst.cell.outputs):
+                dead.append(inst.name)
+        if not dead:
+            return removed
+        for name in dead:
+            inst = netlist.instances.pop(name)
+            for pin in inst.cell.inputs:
+                net = netlist.nets[inst.pins[pin]]
+                if (name, pin) in net.sinks:
+                    net.sinks.remove((name, pin))
+            for pin in inst.cell.outputs:
+                net_name = inst.pins[pin]
+                net = netlist.nets[net_name]
+                net.driver = None
+                if net.fanout == 0 and not net.is_primary_input and \
+                        net_name not in netlist.primary_outputs:
+                    del netlist.nets[net_name]
+            removed.append(name)
+    raise SynthesisError("dangling sweep did not converge")  # pragma: no cover

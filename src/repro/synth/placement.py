@@ -1,0 +1,170 @@
+"""Row-based standard-cell placement.
+
+The paper places both libraries with Cadence Encounter; the differential
+flavours use the *fat-wire* methodology of Badel et al. (both rails of a
+signal routed side by side on doubled pitch), which costs routing tracks
+and therefore placement utilisation.  This module provides the
+corresponding abstraction: a greedy row placer that packs cells into
+fixed-height rows at the style's achievable utilisation, yielding the
+die floorplan behind Table 3's area column and a half-perimeter
+wirelength estimate for the routing story.
+
+This is deliberately a *model*, not an optimiser: cell order within rows
+follows netlist order (which map_lut emits roughly topologically), and
+the quantity downstream consumers use is the die area and the wirelength
+scale, not individual coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SynthesisError
+from ..netlist import GateNetlist
+from .report import UTILIZATION
+
+
+@dataclass(frozen=True)
+class PlacedCell:
+    """One placed instance: lower-left corner plus extent, metres."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+
+@dataclass
+class Placement:
+    """A placed netlist."""
+
+    netlist_name: str
+    style: str
+    cells: Dict[str, PlacedCell]
+    die_width: float
+    die_height: float
+    rows: int
+    utilization_target: float
+
+    @property
+    def die_area_um2(self) -> float:
+        return self.die_width * self.die_height * 1e12
+
+    @property
+    def cell_area_um2(self) -> float:
+        return sum(c.width * c.height for c in self.cells.values()) * 1e12
+
+    @property
+    def utilization_achieved(self) -> float:
+        return self.cell_area_um2 / self.die_area_um2
+
+    def location(self, instance_name: str) -> PlacedCell:
+        try:
+            return self.cells[instance_name]
+        except KeyError:
+            raise SynthesisError(
+                f"instance {instance_name!r} was not placed") from None
+
+    def __repr__(self) -> str:
+        return (f"Placement({self.netlist_name}: {len(self.cells)} cells in "
+                f"{self.rows} rows, die {self.die_width * 1e6:.1f} x "
+                f"{self.die_height * 1e6:.1f} um, "
+                f"util {self.utilization_achieved:.2f})")
+
+
+def place(netlist: GateNetlist, aspect_ratio: float = 1.0,
+          utilization: Optional[float] = None) -> Placement:
+    """Greedy row placement of ``netlist``.
+
+    ``aspect_ratio`` is die width / height; ``utilization`` defaults to
+    the style's fat-wire-aware value (see
+    :data:`repro.synth.report.UTILIZATION`).
+    """
+    if aspect_ratio <= 0.0:
+        raise SynthesisError("aspect ratio must be positive")
+    library = netlist.library
+    style = library.style
+    util = utilization if utilization is not None else UTILIZATION[style]
+    if not 0.0 < util <= 1.0:
+        raise SynthesisError("utilization must be in (0, 1]")
+
+    tech = library.tech
+    height = tech.cell_height
+    site = {"cmos": tech.site_width_cmos,
+            "mcml": tech.site_width_mcml,
+            "pgmcml": tech.site_width_pgmcml}[style]
+
+    physical = [inst for inst in netlist.instances.values()
+                if not inst.cell.pseudo]
+    if not physical:
+        raise SynthesisError(f"{netlist.name}: nothing to place")
+    widths = {inst.name: inst.cell.sites * site for inst in physical}
+    total_cell_area = sum(w * height for w in widths.values())
+
+    die_area = total_cell_area / util
+    die_width = math.sqrt(die_area * aspect_ratio)
+    n_rows = max(1, math.ceil((die_area / die_width) / height))
+    die_height = n_rows * height
+    die_width = die_area / die_height
+
+    # Widest cell must fit in a row.
+    widest = max(widths.values())
+    if widest > die_width:
+        die_width = widest
+        die_height = die_area / die_width
+        n_rows = max(1, math.ceil(die_height / height))
+        die_height = n_rows * height
+
+    placed: Dict[str, PlacedCell] = {}
+    row, cursor = 0, 0.0
+    for inst in physical:
+        width = widths[inst.name]
+        if cursor + width > die_width + 1e-12:
+            row += 1
+            cursor = 0.0
+            if row >= n_rows:
+                # Utilisation target was optimistic for this mix; grow.
+                n_rows += 1
+                die_height = n_rows * height
+        placed[inst.name] = PlacedCell(
+            name=inst.name, x=cursor, y=row * height, width=width,
+            height=height)
+        cursor += width
+
+    return Placement(
+        netlist_name=netlist.name, style=style, cells=placed,
+        die_width=die_width, die_height=die_height, rows=n_rows,
+        utilization_target=util)
+
+
+def wirelength_hpwl(netlist: GateNetlist, placement: Placement) -> float:
+    """Total half-perimeter wirelength, metres.
+
+    Differential styles count each logical net twice (the fat-wire pair
+    routes both rails side by side).
+    """
+    factor = 2.0 if placement.style in ("mcml", "pgmcml") else 1.0
+    total = 0.0
+    for net in netlist.nets.values():
+        points: List[Tuple[float, float]] = []
+        if net.driver is not None:
+            cell = placement.cells.get(net.driver[0])
+            if cell is not None:
+                points.append(cell.center)
+        for inst_name, _pin in net.sinks:
+            cell = placement.cells.get(inst_name)
+            if cell is not None:
+                points.append(cell.center)
+        if len(points) < 2:
+            continue
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total * factor

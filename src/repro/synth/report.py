@@ -1,0 +1,81 @@
+"""Synthesis reports: the rows of Table 3.
+
+:func:`report_block` condenses a mapped netlist into the quantities the
+paper tabulates — cell count, placed area, critical-path delay — plus
+the cell histogram for deeper inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netlist import GateNetlist, static_timing
+
+#: Placement utilisation by style.  Differential standard cells are
+#: routed with the fat-wire methodology (both rails of every signal side
+#: by side on doubled pitch), which roughly halves achievable row
+#: utilisation — this is what reconciles the paper's Table 2 per-cell
+#: area ratio (~1.6x) with its Table 3 block ratio (~2.5x).
+UTILIZATION = {"cmos": 0.75, "mcml": 0.36, "pgmcml": 0.36}
+
+
+@dataclass
+class BlockReport:
+    """One implementation row of a Table 3-style comparison."""
+
+    name: str
+    style: str
+    cells: int
+    area_um2: float
+    delay: float
+    histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def delay_ns(self) -> float:
+        return self.delay * 1e9
+
+    @property
+    def core_area_um2(self) -> float:
+        """Placed-and-routed block area (cell area over utilisation)."""
+        return self.area_um2 / UTILIZATION[self.style]
+
+    def row(self) -> List[str]:
+        return [self.style.upper(), str(self.cells),
+                f"{self.core_area_um2:,.2f}", f"{self.delay_ns:.3f}"]
+
+    def __repr__(self) -> str:
+        return (f"BlockReport({self.name}/{self.style}: {self.cells} cells, "
+                f"{self.area_um2:,.1f} um2, {self.delay_ns:.3f} ns)")
+
+
+def report_block(netlist: GateNetlist, name: Optional[str] = None,
+                 extra_delay: float = 0.0) -> BlockReport:
+    """Summarise a mapped netlist.
+
+    ``extra_delay`` folds in path segments outside the gate netlist
+    (e.g. the macro-boundary routing the paper's P&R adds).
+    """
+    timing = static_timing(netlist)
+    return BlockReport(
+        name=name or netlist.name,
+        style=netlist.library.style,
+        cells=netlist.total_cells(),
+        area_um2=netlist.total_area_um2(),
+        delay=timing.critical_delay + extra_delay,
+        histogram=netlist.cell_histogram(),
+    )
+
+
+def format_table(rows: List[BlockReport],
+                 headers: Optional[List[str]] = None) -> str:
+    """Fixed-width text table of several block reports."""
+    headers = headers or ["Style", "Cells", "Area [um2]", "Delay [ns]"]
+    table = [headers] + [r.row() for r in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""The S-box instruction-set-extension macro (§6).
+
+The custom functional unit contains four identical AES S-boxes, each an
+8×8 look-up table, matching the OpenRISC word size.  Differential
+implementations are connected to the CMOS processor "by means of
+converters": single-to-differential cells on the 32 operand bits in,
+differential-to-single cells on the 32 result bits out.  The PG-MCML
+variant additionally receives the automatically inserted sleep tree.
+
+``share_outputs`` controls BDD sharing across the eight output bits of a
+S-box.  Differential synthesis maps naturally onto shared MUX trees; the
+CMOS reference flow is run without cross-output sharing, approximating
+the flatter netlists commercial synthesis produced for the paper (and
+reproducing the Table 3 cell-count ordering: CMOS > PG-MCML > MCML).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..aes import SBOX
+from ..cells import Library
+from ..errors import SynthesisError
+from ..netlist import GateNetlist
+from .buffering import buffer_high_fanout
+from .mapping import map_lut
+from .sleep import SleepTree, insert_sleep_tree
+
+WORD_BITS = 32
+SBOX_BITS = 8
+
+
+def sbox_truth_tables(prefix: str = "y") -> Dict[str, List[int]]:
+    """The eight output-bit truth tables of the AES S-box (MSB first)."""
+    return {
+        f"{prefix}{bit}": [(SBOX[x] >> (SBOX_BITS - 1 - bit)) & 1
+                           for x in range(256)]
+        for bit in range(SBOX_BITS)
+    }
+
+
+@dataclass
+class SBoxISE:
+    """The mapped custom functional unit."""
+
+    netlist: GateNetlist
+    style: str
+    #: operand bit nets entering the S-box logic (after converters)
+    core_inputs: List[str]
+    #: result bit nets leaving the S-box logic (before converters)
+    core_outputs: List[str]
+    #: block-boundary nets (processor side)
+    inputs: List[str]
+    outputs: List[str]
+    sleep_tree: Optional[SleepTree] = None
+    n_sboxes: int = 4
+
+    def cells(self) -> int:
+        return self.netlist.total_cells()
+
+    def area_um2(self) -> float:
+        return self.netlist.total_area_um2()
+
+
+def build_sbox_ise(library: Library, n_sboxes: int = 4,
+                   share_outputs: Optional[bool] = None,
+                   with_sleep_tree: bool = True,
+                   name: Optional[str] = None) -> SBoxISE:
+    """Synthesise the S-box ISE macro onto ``library``."""
+    if n_sboxes < 1:
+        raise SynthesisError("need at least one S-box")
+    differential = library.style in ("mcml", "pgmcml")
+    if share_outputs is None:
+        share_outputs = differential
+    nl = GateNetlist(name or f"sbox_ise_{library.style}", library)
+
+    word = n_sboxes * SBOX_BITS
+    boundary_in = [f"op{i}" for i in range(word)]
+    for net in boundary_in:
+        nl.add_primary_input(net)
+
+    # Input converters (differential only).
+    core_in: List[str] = []
+    if differential:
+        for i, net in enumerate(boundary_in):
+            out = nl.new_net(f"d_in{i}_")
+            nl.add_instance("SINGLE2DIFF", {"A": net, "Y": out.name},
+                            name=f"us2d_{i}")
+            core_in.append(out.name)
+    else:
+        core_in = list(boundary_in)
+
+    # Four S-boxes.
+    tables = sbox_truth_tables()
+    input_names = [f"x{i}" for i in range(SBOX_BITS)]
+    core_out: List[str] = []
+    for s in range(n_sboxes):
+        bindings = {
+            input_names[b]: core_in[s * SBOX_BITS + b]
+            for b in range(SBOX_BITS)
+        }
+        block = map_lut(library, tables, input_names,
+                        name=f"sbox{s}", netlist=nl, input_nets=bindings,
+                        share_outputs=share_outputs)
+        for b in range(SBOX_BITS):
+            core_out.append(block.outputs[f"y{b}"])
+
+    # Output converters.
+    boundary_out: List[str] = []
+    if differential:
+        for i, net in enumerate(core_out):
+            out = nl.new_net(f"s_out{i}_")
+            nl.add_instance("DIFF2SINGLE", {"A": net, "Y": out.name},
+                            name=f"ud2s_{i}")
+            boundary_out.append(out.name)
+    else:
+        boundary_out = list(core_out)
+    for net in boundary_out:
+        nl.add_primary_output(net)
+
+    # Bound net fanout with buffer trees (MCML drive is tail-current
+    # limited; commercial synthesis does the same for the CMOS flow).
+    buffer_high_fanout(nl, max_fanout=6)
+
+    tree: Optional[SleepTree] = None
+    if library.style == "pgmcml" and with_sleep_tree:
+        tree = insert_sleep_tree(nl)
+
+    return SBoxISE(
+        netlist=nl, style=library.style, core_inputs=core_in,
+        core_outputs=core_out, inputs=boundary_in, outputs=boundary_out,
+        sleep_tree=tree, n_sboxes=n_sboxes)
+
+
+def simulate_sbox_word(ise: SBoxISE, simulator, word: int) -> int:
+    """Drive a 32-bit operand through a settled ISE and read the result.
+
+    ``simulator`` is a :class:`~repro.netlist.LogicSimulator` bound to
+    ``ise.netlist``; bit 0 of ``word`` is ``op0`` (the MSB of S-box 0's
+    input, matching the LUT's MSB-first convention).
+    """
+    n_bits = ise.n_sboxes * SBOX_BITS
+    values = {f"op{i}": bool((word >> (n_bits - 1 - i)) & 1)
+              for i in range(n_bits)}
+    if ise.sleep_tree is not None:
+        values[ise.sleep_tree.root_net] = True  # awake
+    simulator.initialize(values)
+    result = 0
+    for i, net in enumerate(ise.outputs):
+        result |= int(simulator.values[net]) << (n_bits - 1 - i)
+    return result

@@ -1,0 +1,140 @@
+"""Automatic sleep-signal insertion (the paper's future-work item).
+
+§5: the sleep signal "is routed and buffered as a balanced tree" using
+"single ended clock buffers ... with the same height as the PG-MCML
+cells", synthesised by the place-and-route tool's CTS engine, and §6
+measures its insertion delay at ~1 ns for the S-box ISE cluster.
+
+:func:`insert_sleep_tree` reproduces that step: every power-gated cell
+of the netlist is assigned to a leaf cluster, buffers (``SLEEPBUF``
+cells) are added level by level until a single root remains, and the
+insertion delay is the accumulated buffer-plus-stage-wire delay.  The
+sleep pins are not part of the cells' logical pin lists (exactly as the
+paper's tools could not see them), so leaf membership is carried as
+side-band data used by the power model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import SynthesisError
+from ..netlist import GateNetlist
+from ..units import fF, ps
+
+SLEEP_ROOT_NET = "sleep_root"
+
+#: Gate capacitance of one cell's sleep input, farads.
+SLEEP_PIN_CAP = fF(1.0)
+
+#: Extra RC delay of the routed stage wiring per tree level, seconds.
+#: Dominates the buffer delay for large clusters; calibrated so the
+#: ~3000-cell S-box ISE lands near the paper's ~1 ns insertion delay.
+WIRE_STAGE_DELAY = ps(250.0)
+
+
+@dataclass
+class SleepTree:
+    """The synthesised sleep distribution network."""
+
+    root_net: str
+    levels: int
+    buffer_instances: List[str]
+    #: gated instance name -> leaf buffer output net
+    leaf_of: Dict[str, str]
+    insertion_delay: float
+    fanout_limit: int
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.buffer_instances)
+
+    @property
+    def n_gated_cells(self) -> int:
+        return len(self.leaf_of)
+
+    def __repr__(self) -> str:
+        return (f"SleepTree({self.n_gated_cells} gated cells, "
+                f"{self.n_buffers} buffers, {self.levels} levels, "
+                f"t_ins={self.insertion_delay * 1e9:.3g} ns)")
+
+
+def insert_sleep_tree(netlist: GateNetlist, root_net: str = SLEEP_ROOT_NET,
+                      fanout_limit: int = 18,
+                      wire_stage_delay: float = WIRE_STAGE_DELAY) -> SleepTree:
+    """Build the buffered sleep tree over every power-gated cell.
+
+    Adds ``SLEEPBUF`` instances to the netlist (they count toward area
+    and cell totals, reproducing the MCML->PG-MCML deltas of Table 3) and
+    returns the tree structure.
+    """
+    library = netlist.library
+    if library.style != "pgmcml":
+        raise SynthesisError(
+            f"sleep insertion requires a PG-MCML netlist, got style "
+            f"{library.style!r}")
+    if "SLEEPBUF" not in library:
+        raise SynthesisError("library has no SLEEPBUF cell")
+    if fanout_limit < 2:
+        raise SynthesisError("fanout limit must be at least 2")
+
+    gated = [inst.name for inst in netlist.instances.values()
+             if inst.cell.power.has_sleep and not inst.cell.pseudo]
+    if not gated:
+        raise SynthesisError("netlist has no power-gated cells")
+
+    netlist.add_primary_input(root_net)
+
+    buffer_names: List[str] = []
+    leaf_of: Dict[str, str] = {}
+
+    # Level 0: leaf buffers, one per cluster of gated cells.
+    n_leaves = math.ceil(len(gated) / fanout_limit)
+    leaf_nets: List[str] = []
+    for i in range(n_leaves):
+        out = netlist.new_net("sleep_l0_")
+        leaf_nets.append(out.name)
+        for inst_name in gated[i * fanout_limit:(i + 1) * fanout_limit]:
+            leaf_of[inst_name] = out.name
+
+    # Build upward until one driver remains; the top is driven by root.
+    levels = 1
+    current: List[str] = leaf_nets
+    level_loads: List[float] = [min(fanout_limit, len(gated)) * SLEEP_PIN_CAP]
+    sleepbuf = library.cell("SLEEPBUF")
+    while True:
+        n_parents = math.ceil(len(current) / fanout_limit)
+        if n_parents == 1:
+            parent_nets = [root_net]
+        else:
+            parent_nets = [netlist.new_net(f"sleep_l{levels}_").name
+                           for _ in range(n_parents)]
+        for i, child_net in enumerate(current):
+            parent = parent_nets[i // fanout_limit]
+            name = f"usleep_{levels - 1}_{i}"
+            netlist.add_instance("SLEEPBUF", {"A": parent, "Y": child_net},
+                                 name=name)
+            buffer_names.append(name)
+        if n_parents == 1:
+            break
+        level_loads.append(
+            min(fanout_limit, len(current)) * sleepbuf.input_cap)
+        current = parent_nets
+        levels += 1
+
+    # Insertion delay: per level, buffer delay into its worst load plus
+    # the routed stage wire.
+    insertion = 0.0
+    for load in level_loads:
+        insertion += sleepbuf.delay_model.delay(load) + wire_stage_delay
+
+    return SleepTree(
+        root_net=root_net,
+        levels=levels,
+        buffer_instances=buffer_names,
+        leaf_of=leaf_of,
+        insertion_delay=insertion,
+        fanout_limit=fanout_limit,
+    )

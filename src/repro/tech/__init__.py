@@ -1,0 +1,37 @@
+"""Generic 90 nm CMOS technology models.
+
+The paper designs its libraries in a commercial 90 nm process.  That PDK is
+proprietary, so this package provides a self-contained, generic 90 nm-class
+technology: square-law/EKV device parameters for low-Vt and high-Vt NMOS
+and PMOS flavours, process corners, and Pelgrom-style Monte-Carlo mismatch.
+Absolute values are textbook-typical for the node; every experiment in the
+reproduction depends only on relative behaviour (Vt flavour leakage ratios,
+current-vs-delay trade-offs), which these models capture.
+"""
+
+from .params import (
+    MosParams,
+    Technology,
+    TECH90,
+    NMOS_LVT,
+    NMOS_HVT,
+    PMOS_LVT,
+    PMOS_HVT,
+    flavor,
+)
+from .corners import Corner, CORNERS, corner, MismatchModel
+
+__all__ = [
+    "MosParams",
+    "Technology",
+    "TECH90",
+    "NMOS_LVT",
+    "NMOS_HVT",
+    "PMOS_LVT",
+    "PMOS_HVT",
+    "flavor",
+    "Corner",
+    "CORNERS",
+    "corner",
+    "MismatchModel",
+]

@@ -1,0 +1,141 @@
+"""Process corners and Monte-Carlo mismatch.
+
+Two distinct kinds of variation matter for the paper's results:
+
+* **Global (corner) variation** — all devices of a flavour shift together.
+  The paper verifies power-gating functionality "in all the process
+  corners" (§4); the body-bias topology (c) is rejected partly because of
+  its corner sensitivity.  We provide the classic five corners.
+
+* **Local (mismatch) variation** — each device deviates independently,
+  following Pelgrom scaling ``sigma(Vt) = avt / sqrt(W·L)``.  Mismatch is
+  what gives an otherwise perfectly symmetric MCML gate a small
+  data-dependent current residue, so it is central to the side-channel
+  experiments (Fig. 6): without mismatch, MCML traces would carry *zero*
+  information and the attack comparison would be vacuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import math
+
+import numpy as np
+
+from ..errors import DeviceError
+from .params import MosParams, Technology, TECH90
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A global process corner.
+
+    ``dvt_n``/``dvt_p`` shift the threshold magnitudes of NMOS/PMOS
+    devices; ``kp_scale_*`` scale mobility.  Positive ``dvt`` means a
+    slower device.
+    """
+
+    name: str
+    dvt_n: float
+    dvt_p: float
+    kp_scale_n: float
+    kp_scale_p: float
+
+    def apply(self, params: MosParams) -> MosParams:
+        """Return the flavour parameters shifted to this corner."""
+        if params.is_nmos:
+            return params.shifted(self.dvt_n, self.kp_scale_n,
+                                  name=f"{params.name}@{self.name}")
+        return params.shifted(self.dvt_p, self.kp_scale_p,
+                              name=f"{params.name}@{self.name}")
+
+    def technology(self, tech: Technology = TECH90) -> Technology:
+        """Return a :class:`Technology` with every flavour at this corner."""
+        flavors = {name: self.apply(p) for name, p in tech.flavors.items()}
+        return Technology(
+            name=f"{tech.name}@{self.name}",
+            vdd=tech.vdd,
+            temp_k=tech.temp_k,
+            cell_height=tech.cell_height,
+            site_width_mcml=tech.site_width_mcml,
+            site_width_pgmcml=tech.site_width_pgmcml,
+            site_width_cmos=tech.site_width_cmos,
+            cwire=tech.cwire,
+            swing=tech.swing,
+            flavors=flavors,
+        )
+
+
+CORNERS: Dict[str, Corner] = {
+    "tt": Corner("tt", 0.0, 0.0, 1.00, 1.00),
+    "ff": Corner("ff", -0.040, -0.040, 1.10, 1.10),
+    "ss": Corner("ss", +0.040, +0.040, 0.90, 0.90),
+    "fs": Corner("fs", -0.040, +0.040, 1.10, 0.90),
+    "sf": Corner("sf", +0.040, -0.040, 0.90, 1.10),
+}
+
+
+def corner(name: str) -> Corner:
+    """Look up a process corner by name (``"tt"``, ``"ff"``, ...)."""
+    try:
+        return CORNERS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(CORNERS))
+        raise DeviceError(f"unknown corner {name!r}; known: {known}") from None
+
+
+class MismatchModel:
+    """Pelgrom-style local variation generator.
+
+    Parameters
+    ----------
+    avt:
+        Threshold-mismatch coefficient in V·m (typical 90 nm value is
+        ~3.5 mV·µm = 3.5e-9 V·m).
+    akp:
+        Relative transconductance-mismatch coefficient in m
+        (``sigma(dkp/kp) = akp / sqrt(WL)``).
+    seed:
+        Seed for the private random generator; mismatch draws must be
+        reproducible so that characterisation and attack runs agree.
+    """
+
+    def __init__(self, avt: float = 3.5e-9, akp: float = 1.0e-9,
+                 seed: Optional[int] = 0):
+        if avt < 0.0 or akp < 0.0:
+            raise DeviceError("mismatch coefficients must be non-negative")
+        self.avt = avt
+        self.akp = akp
+        self._rng = np.random.default_rng(seed)
+
+    def sigma_vt(self, width: float, length: float) -> float:
+        """Standard deviation of the threshold mismatch for a W×L device."""
+        if width <= 0.0 or length <= 0.0:
+            raise DeviceError("device geometry must be positive")
+        return self.avt / math.sqrt(width * length)
+
+    def sigma_kp(self, width: float, length: float) -> float:
+        """Relative sigma of the transconductance mismatch for W×L."""
+        if width <= 0.0 or length <= 0.0:
+            raise DeviceError("device geometry must be positive")
+        return self.akp / math.sqrt(width * length)
+
+    def sample(self, params: MosParams, width: float, length: float) -> MosParams:
+        """Draw one mismatched instance of ``params`` for a W×L device."""
+        dvt = float(self._rng.normal(0.0, self.sigma_vt(width, length)))
+        dkp = float(self._rng.normal(0.0, self.sigma_kp(width, length)))
+        # Clamp so pathological draws cannot invert the device.
+        dvt = max(dvt, -0.5 * params.vt0)
+        kp_scale = max(1.0 + dkp, 0.5)
+        return params.shifted(dvt, kp_scale, name=f"{params.name}~mc")
+
+    def sample_resistor_ratio(self) -> float:
+        """Relative load-resistance mismatch between the two branch loads.
+
+        Active PMOS loads match to roughly a percent; the paper quotes
+        20-30 % absolute tolerance for passive resistors but the
+        *differential* matching of adjacent devices is what leaks.
+        """
+        return float(self._rng.normal(0.0, 0.01))

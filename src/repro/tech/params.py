@@ -1,0 +1,221 @@
+"""90 nm-class MOSFET model parameters.
+
+The device model implemented in :mod:`repro.spice.mosfet` is an EKV-style
+interpolation between subthreshold exponential and square-law strong
+inversion.  The parameters here are representative of a generic 90 nm bulk
+CMOS process (Vdd = 1.2 V, minimum drawn length 0.1 µm) with two threshold
+flavours per polarity, as used by the paper:
+
+* **high-Vt** devices for the MCML NMOS logic network, the tail current
+  source and the sleep transistor (low leakage in sleep mode);
+* **low-Vt** devices for the PMOS active loads (smallest area for a given
+  load resistance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace, field
+from typing import Dict
+
+from ..errors import DeviceError
+from ..units import um, nm
+
+#: Thermal voltage at 300 K, volts.
+VT_THERMAL = 0.02585
+
+
+@dataclass(frozen=True)
+class MosParams:
+    """Static model parameters for one MOSFET flavour.
+
+    Attributes
+    ----------
+    name:
+        Flavour name (``"nmos_hvt"``...).
+    polarity:
+        ``+1`` for NMOS, ``-1`` for PMOS.
+    vt0:
+        Zero-bias threshold voltage magnitude, volts (always positive;
+        the polarity handles sign).
+    kp:
+        Transconductance parameter ``µ·Cox`` in A/V².
+    lam:
+        Channel-length modulation coefficient, 1/V.
+    nsub:
+        Subthreshold slope factor (dimensionless, ~1.3-1.5 at 90 nm).
+    cox:
+        Gate-oxide capacitance per area, F/m².
+    cj:
+        Junction capacitance per device width, F/m.
+    cov:
+        Gate overlap capacitance per device width, F/m.
+    lmin:
+        Minimum channel length, metres.
+    wmin:
+        Minimum channel width, metres.
+    gamma_b:
+        Body-effect coefficient, V^0.5 (used by the body-biased
+        power-gating topology (c) study).
+    """
+
+    name: str
+    polarity: int
+    vt0: float
+    kp: float
+    lam: float
+    nsub: float
+    cox: float
+    cj: float
+    cov: float
+    lmin: float
+    wmin: float
+    gamma_b: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (+1, -1):
+            raise DeviceError(f"polarity must be +1 or -1, got {self.polarity}")
+        if self.vt0 <= 0.0:
+            raise DeviceError(f"vt0 must be a positive magnitude, got {self.vt0}")
+        if self.kp <= 0.0:
+            raise DeviceError(f"kp must be positive, got {self.kp}")
+        if self.nsub < 1.0:
+            raise DeviceError(f"subthreshold slope factor must be >= 1, got {self.nsub}")
+
+    @property
+    def is_nmos(self) -> bool:
+        return self.polarity > 0
+
+    @property
+    def is_pmos(self) -> bool:
+        return self.polarity < 0
+
+    def shifted(self, dvt: float = 0.0, kp_scale: float = 1.0, name: str = "") -> "MosParams":
+        """Return a copy with a threshold shift and/or mobility scaling.
+
+        Used by corner and Monte-Carlo machinery; ``dvt`` adds to the Vt
+        *magnitude* so the same sign convention works for both polarities.
+        """
+        new_vt = self.vt0 + dvt
+        if new_vt <= 0.0:
+            raise DeviceError(f"threshold shift {dvt} would make vt0 non-positive")
+        return replace(self, vt0=new_vt, kp=self.kp * kp_scale, name=name or self.name)
+
+
+# ---------------------------------------------------------------------------
+# Nominal flavour definitions (typical corner, 300 K)
+# ---------------------------------------------------------------------------
+
+NMOS_LVT = MosParams(
+    name="nmos_lvt",
+    polarity=+1,
+    vt0=0.22,
+    kp=340e-6,
+    lam=0.30,
+    nsub=1.35,
+    cox=11.0e-3,   # F/m^2  (~1.2 nm effective oxide)
+    cj=0.9e-9,     # F/m of width
+    cov=0.25e-9,   # F/m of width
+    lmin=nm(100),
+    wmin=nm(120),
+)
+
+NMOS_HVT = MosParams(
+    name="nmos_hvt",
+    polarity=+1,
+    vt0=0.36,
+    kp=300e-6,
+    lam=0.22,
+    nsub=1.40,
+    cox=11.0e-3,
+    cj=0.9e-9,
+    cov=0.25e-9,
+    lmin=nm(100),
+    wmin=nm(120),
+)
+
+PMOS_LVT = MosParams(
+    name="pmos_lvt",
+    polarity=-1,
+    vt0=0.24,
+    kp=110e-6,
+    lam=0.35,
+    nsub=1.35,
+    cox=11.0e-3,
+    cj=1.0e-9,
+    cov=0.25e-9,
+    lmin=nm(100),
+    wmin=nm(120),
+)
+
+PMOS_HVT = MosParams(
+    name="pmos_hvt",
+    polarity=-1,
+    vt0=0.40,
+    kp=95e-6,
+    lam=0.25,
+    nsub=1.40,
+    cox=11.0e-3,
+    cj=1.0e-9,
+    cov=0.25e-9,
+    lmin=nm(100),
+    wmin=nm(120),
+)
+
+_FLAVORS: Dict[str, MosParams] = {
+    p.name: p for p in (NMOS_LVT, NMOS_HVT, PMOS_LVT, PMOS_HVT)
+}
+
+
+def flavor(name: str) -> MosParams:
+    """Look up a device flavour by name (``"nmos_hvt"`` ...)."""
+    try:
+        return _FLAVORS[name]
+    except KeyError:
+        known = ", ".join(sorted(_FLAVORS))
+        raise DeviceError(f"unknown device flavour {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process-level constants shared by all cells in a library.
+
+    The layout constants reproduce the paper's standard-cell template:
+    cells are placed in rows of fixed height and their width is an integer
+    number of *placement sites*.  The MCML template needs a slightly wider
+    site than the PG-MCML template does NOT: the sleep transistor shares
+    the current-source diffusion (same channel width), which costs one
+    extra poly pitch folded into the site width (+5.6 %, Table 1).
+    """
+
+    name: str = "generic90"
+    vdd: float = 1.2
+    temp_k: float = 300.0
+    #: Standard-cell row height (both CMOS and MCML templates), metres.
+    cell_height: float = um(2.8)
+    #: MCML placement-site width, metres (buffer cell = 5 sites).
+    site_width_mcml: float = um(0.504)
+    #: PG-MCML placement-site width, metres (sleep device folded in).
+    site_width_pgmcml: float = um(0.532)
+    #: CMOS placement-site width for the reference library, metres.
+    site_width_cmos: float = um(0.28)
+    #: Metal wire capacitance per length, F/m (fat-wire differential pairs).
+    cwire: float = 0.20e-9
+    #: Nominal MCML voltage swing, volts.
+    swing: float = 0.40
+    flavors: Dict[str, MosParams] = field(default_factory=lambda: dict(_FLAVORS))
+
+    @property
+    def vt_thermal(self) -> float:
+        """Thermal voltage kT/q at the technology temperature, volts."""
+        return VT_THERMAL * (self.temp_k / 300.0)
+
+    def flavor(self, name: str) -> MosParams:
+        try:
+            return self.flavors[name]
+        except KeyError:
+            known = ", ".join(sorted(self.flavors))
+            raise DeviceError(f"unknown device flavour {name!r}; known: {known}") from None
+
+
+#: The nominal technology used throughout the reproduction.
+TECH90 = Technology()

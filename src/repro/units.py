@@ -1,0 +1,248 @@
+"""Engineering-unit helpers.
+
+All internal quantities are plain SI floats (volts, amperes, seconds,
+square metres are the exceptions: layout areas are kept in µm² because
+that is the universal standard-cell convention and the paper's unit).
+
+This module provides:
+
+* SI prefix constants (``NANO``, ``PICO``, ...) and convenience scale
+  functions (``ns(1.2)`` -> seconds),
+* :func:`parse_si` / :func:`format_si` for reading and printing values
+  the way SPICE decks and datasheets write them (``"50u"``, ``"1.2n"``),
+* small formatting helpers used by the experiment report printers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import UnitsError
+
+# ---------------------------------------------------------------------------
+# SI prefixes
+# ---------------------------------------------------------------------------
+
+YOCTO = 1e-24
+ZEPTO = 1e-21
+ATTO = 1e-18
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+ONE = 1.0
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+_PREFIXES = {
+    "y": YOCTO,
+    "z": ZEPTO,
+    "a": ATTO,
+    "f": FEMTO,
+    "p": PICO,
+    "n": NANO,
+    "u": MICRO,
+    "µ": MICRO,
+    "m": MILLI,
+    "": ONE,
+    "k": KILO,
+    "K": KILO,
+    "x": MEGA,
+    "M": MEGA,  # SPICE traditionally uses "meg"; we accept M as mega.
+    "G": GIGA,
+    "g": GIGA,
+    "T": TERA,
+    "t": TERA,
+}
+
+# Ordered large-to-small for format_si.
+_FORMAT_STEPS = [
+    (TERA, "T"),
+    (GIGA, "G"),
+    (MEGA, "M"),
+    (KILO, "k"),
+    (ONE, ""),
+    (MILLI, "m"),
+    (MICRO, "u"),
+    (NANO, "n"),
+    (PICO, "p"),
+    (FEMTO, "f"),
+    (ATTO, "a"),
+]
+
+
+def fs(value: float) -> float:
+    """Femtoseconds to seconds."""
+    return value * FEMTO
+
+
+def ps(value: float) -> float:
+    """Picoseconds to seconds."""
+    return value * PICO
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * NANO
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * MICRO
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * MILLI
+
+
+def fF(value: float) -> float:
+    """Femtofarads to farads."""
+    return value * FEMTO
+
+
+def pF(value: float) -> float:
+    """Picofarads to farads."""
+    return value * PICO
+
+
+def nA(value: float) -> float:
+    """Nanoamperes to amperes."""
+    return value * NANO
+
+
+def uA(value: float) -> float:
+    """Microamperes to amperes."""
+    return value * MICRO
+
+
+def mA(value: float) -> float:
+    """Milliamperes to amperes."""
+    return value * MILLI
+
+
+def mV(value: float) -> float:
+    """Millivolts to volts."""
+    return value * MILLI
+
+
+def uW(value: float) -> float:
+    """Microwatts to watts."""
+    return value * MICRO
+
+
+def mW(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * MILLI
+
+
+def um(value: float) -> float:
+    """Micrometres to metres."""
+    return value * MICRO
+
+
+def nm(value: float) -> float:
+    """Nanometres to metres."""
+    return value * NANO
+
+
+def MHz(value: float) -> float:
+    """Megahertz to hertz."""
+    return value * MEGA
+
+
+def GHz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return value * GIGA
+
+
+def parse_si(text: str) -> float:
+    """Parse a SPICE-style engineering value such as ``"50u"`` or ``"1.2n"``.
+
+    Accepted forms: optional sign, decimal number, optional SI prefix
+    letter, optional trailing unit letters which are ignored (``"50uA"``,
+    ``"2.8GHz"``).  The special SPICE prefix ``meg`` is recognised.
+
+    >>> parse_si("50u")
+    5e-05
+    >>> parse_si("1.2k")
+    1200.0
+    """
+    if not isinstance(text, str):
+        raise UnitsError(f"parse_si expects a string, got {type(text).__name__}")
+    stripped = text.strip()
+    if not stripped:
+        raise UnitsError("empty value")
+    # Split the leading numeric part.
+    idx = 0
+    seen_digit = False
+    while idx < len(stripped):
+        char = stripped[idx]
+        if char.isdigit():
+            seen_digit = True
+            idx += 1
+        elif char in "+-.":
+            idx += 1
+        elif char in "eE" and idx + 1 < len(stripped) and (
+            stripped[idx + 1].isdigit() or stripped[idx + 1] in "+-"
+        ):
+            idx += 2
+        else:
+            break
+    if not seen_digit:
+        raise UnitsError(f"no numeric value in {text!r}")
+    try:
+        number = float(stripped[:idx])
+    except ValueError as exc:
+        raise UnitsError(f"bad numeric value in {text!r}") from exc
+    suffix = stripped[idx:].strip()
+    if not suffix:
+        return number
+    low = suffix.lower()
+    if low.startswith("meg"):
+        return number * MEGA
+    first = suffix[0]
+    if first in _PREFIXES:
+        return number * _PREFIXES[first]
+    # Unit letters with no prefix (e.g. "3V", "10Hz").
+    if first.isalpha():
+        return number
+    raise UnitsError(f"unknown unit suffix {suffix!r} in {text!r}")
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with an SI prefix: ``format_si(5e-5, "A") == "50uA"``.
+
+    Values of exactly zero print without a prefix.  Non-finite values are
+    printed via :func:`repr`.
+    """
+    if not math.isfinite(value):
+        return f"{value!r}{unit}"
+    if value == 0.0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _FORMAT_STEPS:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{prefix}{unit}"
+    scale, prefix = _FORMAT_STEPS[-1]
+    scaled = value / scale
+    return f"{scaled:.{digits}g}{prefix}{unit}"
+
+
+def db20(ratio: float) -> float:
+    """Amplitude ratio to decibels (20·log10)."""
+    if ratio <= 0.0:
+        raise UnitsError("dB of a non-positive ratio")
+    return 20.0 * math.log10(ratio)
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into ``[lo, hi]``."""
+    if lo > hi:
+        raise UnitsError(f"clamp bounds reversed: {lo} > {hi}")
+    return min(max(value, lo), hi)

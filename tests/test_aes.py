@@ -1,0 +1,166 @@
+"""Tests for AES-128 and the reduced SCA target, with hypothesis checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes import (
+    AES128,
+    INV_SBOX,
+    ReducedAES,
+    SBOX,
+    decrypt_block,
+    encrypt_block,
+    expand_key,
+    gf_inverse,
+    gf_mul,
+    inv_sbox,
+    sbox,
+)
+from repro.aes.sbox import AES_POLY, gf_pow, xtime
+from repro.errors import ReproError
+
+
+class TestGF:
+    def test_mul_identity(self):
+        for a in (0x01, 0x53, 0xFF):
+            assert gf_mul(a, 1) == a
+
+    def test_mul_zero(self):
+        assert gf_mul(0x57, 0) == 0
+
+    def test_known_product(self):
+        # FIPS-197 example: {57} x {83} = {c1}.
+        assert gf_mul(0x57, 0x83) == 0xC1
+
+    def test_xtime(self):
+        assert xtime(0x57) == 0xAE
+        assert xtime(0xAE) == 0x47  # wraps through the polynomial
+
+    def test_mul_commutative(self):
+        for a, b in [(3, 7), (0x53, 0xCA), (0x80, 0x1B)]:
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inverse(a)) == 1
+
+    def test_inverse_of_zero_is_zero(self):
+        assert gf_inverse(0) == 0
+
+    def test_pow(self):
+        assert gf_pow(0x02, 8) == gf_mul(gf_pow(0x02, 4), gf_pow(0x02, 4))
+
+    def test_operand_range(self):
+        with pytest.raises(ReproError):
+            gf_mul(256, 1)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestSbox:
+    def test_fips_anchors(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_table(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+    def test_helpers_mask(self):
+        assert sbox(0x100) == SBOX[0]
+        assert inv_sbox(SBOX[5]) == 5
+
+    def test_no_fixed_points(self):
+        assert all(SBOX[x] != x for x in range(256))
+
+    def test_poly_constant(self):
+        assert AES_POLY == 0x11B
+
+
+class TestAES128:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+    def test_fips_appendix_b(self):
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert encrypt_block(pt, self.KEY).hex() == \
+            "3925841d02dc09fbdc118597196a0b32"
+
+    def test_fips_appendix_c1(self):
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        assert encrypt_block(pt, key).hex() == \
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_key_schedule_first_words(self):
+        # FIPS-197 Appendix A.1 for the 2b7e... key.
+        rks = expand_key(self.KEY)
+        assert bytes(rks[0]) == self.KEY
+        assert bytes(rks[1][:4]).hex() == "a0fafe17"
+
+    def test_key_schedule_shape(self):
+        rks = expand_key(self.KEY)
+        assert len(rks) == 11
+        assert all(len(rk) == 16 for rk in rks)
+
+    def test_bad_block_length(self):
+        with pytest.raises(ReproError):
+            encrypt_block(b"short", self.KEY)
+        with pytest.raises(ReproError):
+            encrypt_block(bytes(16), b"short")
+
+    def test_object_wrapper(self):
+        aes = AES128(self.KEY)
+        pt = bytes(range(16))
+        assert aes.decrypt(aes.encrypt(pt)) == pt
+        assert aes.encrypt_many([pt, pt]) == [aes.encrypt(pt)] * 2
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_decrypt_inverts_encrypt(self, pt, key):
+        assert decrypt_block(encrypt_block(pt, key), key) == pt
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_avalanche(self, pt):
+        key = self.KEY
+        ct1 = encrypt_block(pt, key)
+        flipped = bytes([pt[0] ^ 0x01]) + pt[1:]
+        ct2 = encrypt_block(flipped, key)
+        diff_bits = sum(bin(a ^ b).count("1") for a, b in zip(ct1, ct2))
+        assert diff_bits > 30  # ~64 expected
+
+
+class TestReducedAES:
+    def test_intermediate(self):
+        r = ReducedAES(0x2B)
+        assert r.intermediate(0x00) == 0x2B
+        assert r.output(0x00) == SBOX[0x2B]
+
+    def test_outputs_vectorised(self):
+        r = ReducedAES(0x10)
+        outs = r.outputs(range(4))
+        assert outs == [SBOX[p ^ 0x10] for p in range(4)]
+
+    def test_hypothesis_function_matches_device(self):
+        r = ReducedAES(0x77)
+        for p in (0, 1, 128, 255):
+            assert ReducedAES.hypothesis(p, 0x77) == r.output(p)
+
+    def test_all_pairs_enumeration(self):
+        pairs = ReducedAES.all_pairs()
+        assert len(pairs) == 65536
+        assert pairs[0] == (0, 0)
+
+    def test_range_validation(self):
+        with pytest.raises(ReproError):
+            ReducedAES(300)
+        with pytest.raises(ReproError):
+            ReducedAES(0).output(300)

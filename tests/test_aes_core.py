@@ -1,0 +1,119 @@
+"""Tests for the full round-based AES-128 hardware core."""
+
+import pytest
+
+from repro.aes import encrypt_block
+from repro.aes.linear import (
+    bits_to_state,
+    mix_columns_bit_map,
+    shift_rows_bit_map,
+    state_to_bits,
+)
+from repro.cells import build_cmos_library, build_mcml_library, \
+    build_pg_mcml_library
+from repro.errors import SynthesisError
+from repro.netlist import LogicSimulator
+from repro.synth import build_aes_core, encrypt_with_core
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+CT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestLinearHelpers:
+    def test_bit_roundtrip(self):
+        block = bytes(range(16))
+        assert bits_to_state(state_to_bits(block)) == block
+
+    def test_shift_rows_map_is_permutation(self):
+        m = shift_rows_bit_map()
+        assert sorted(m) == list(range(128))
+
+    def test_shift_rows_row0_untouched(self):
+        m = shift_rows_bit_map()
+        for col in range(4):
+            byte = 4 * col  # row 0
+            for b in range(8):
+                assert m[8 * byte + b] == 8 * byte + b
+
+    def test_mix_columns_rows_shape(self):
+        rows = mix_columns_bit_map()
+        assert len(rows) == 128
+        assert all(3 <= len(r) <= 11 for r in rows)
+
+
+@pytest.fixture(scope="module")
+def cmos_core():
+    core = build_aes_core(build_cmos_library())
+    return core, LogicSimulator(core.netlist)
+
+
+class TestCmosCore:
+    def test_fips_vector(self, cmos_core):
+        core, sim = cmos_core
+        assert encrypt_with_core(core, sim, PT, KEY) == CT
+
+    def test_back_to_back_blocks(self, cmos_core):
+        core, sim = cmos_core
+        for pt in (bytes(16), bytes(range(16))):
+            assert encrypt_with_core(core, sim, pt, KEY) == \
+                encrypt_block(pt, KEY)
+
+    def test_key_change_between_blocks(self, cmos_core):
+        core, sim = cmos_core
+        other_key = bytes(range(16))
+        assert encrypt_with_core(core, sim, PT, other_key) == \
+            encrypt_block(PT, other_key)
+
+    def test_structure(self, cmos_core):
+        core, _ = cmos_core
+        hist = core.netlist.cell_histogram()
+        # 128 state + 128 key + 4 counter registers.
+        assert hist["DFF"] == 260
+        assert core.cells() > 10000
+
+    def test_input_validation(self, cmos_core):
+        core, sim = cmos_core
+        with pytest.raises(SynthesisError):
+            encrypt_with_core(core, sim, b"short", KEY)
+
+
+class TestDifferentialCores:
+    def test_mcml_core_correct(self):
+        core = build_aes_core(build_mcml_library())
+        sim = LogicSimulator(core.netlist)
+        assert encrypt_with_core(core, sim, PT, KEY) == CT
+
+    def test_pg_core_correct_and_gated(self):
+        core = build_aes_core(build_pg_mcml_library())
+        assert core.sleep_tree is not None
+        assert core.sleep_tree.n_gated_cells > 10000
+        sim = LogicSimulator(core.netlist)
+        assert encrypt_with_core(core, sim, PT, KEY) == CT
+
+    def test_mcml_needs_fewer_cells_than_cmos(self, cmos_core):
+        cmos_cells = cmos_core[0].cells()
+        mcml_cells = build_aes_core(build_mcml_library()).cells()
+        assert mcml_cells < cmos_cells
+
+
+class TestScopeStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import scope
+        return scope.run()
+
+    def test_full_core_larger(self, result):
+        assert result.area_ratio() > 3.0
+
+    def test_both_micro_watt_class(self, result):
+        for row in result.rows:
+            assert row.avg_power_w < 200e-6
+
+    def test_full_core_slower(self, result):
+        assert result.row("full PG-MCML core").delay_ns > \
+            result.row("PG-MCML S-box ISE").delay_ns
+
+    def test_unknown_approach(self, result):
+        with pytest.raises(KeyError):
+            result.row("nope")

@@ -1,0 +1,241 @@
+"""Tests for the ROBDD engine, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, Manager, ONE_INDEX, ZERO_INDEX
+from repro.errors import BDDError
+
+
+def mgr3():
+    return Manager(["a", "b", "c"])
+
+
+class TestBasics:
+    def test_terminals(self):
+        m = Manager()
+        assert m.true.is_true and m.false.is_false
+        assert m.constant(True).index == ONE_INDEX
+        assert m.constant(False).index == ZERO_INDEX
+
+    def test_var_projection(self):
+        m = mgr3()
+        a = m.var("a")
+        assert a.evaluate({"a": True}) is True
+        assert a.evaluate({"a": False}) is False
+
+    def test_unknown_variable(self):
+        with pytest.raises(BDDError):
+            mgr3().var("z")
+
+    def test_duplicate_variable(self):
+        m = mgr3()
+        with pytest.raises(BDDError):
+            m.add_variable("a")
+
+    def test_terminal_has_no_var(self):
+        m = mgr3()
+        with pytest.raises(BDDError):
+            _ = m.true.var
+
+    def test_cofactors(self):
+        m = mgr3()
+        a, b = m.var("a"), m.var("b")
+        f = a & b
+        assert f.var == "a"
+        assert f.low.is_false
+        assert f.high.equiv(b)
+
+
+class TestCanonicity:
+    def test_equivalent_expressions_share_index(self):
+        m = mgr3()
+        a, b = m.var("a"), m.var("b")
+        f = ~(a & b)
+        g = ~a | ~b
+        assert f.index == g.index
+
+    def test_xor_forms(self):
+        m = mgr3()
+        a, b = m.var("a"), m.var("b")
+        assert (a ^ b).index == ((a & ~b) | (~a & b)).index
+
+    def test_tautology_collapses(self):
+        m = mgr3()
+        a = m.var("a")
+        assert (a | ~a).is_true
+        assert (a & ~a).is_false
+
+    def test_double_negation(self):
+        m = mgr3()
+        a = m.var("a")
+        assert (~~a).index == a.index
+
+    def test_constant_absorption(self):
+        m = mgr3()
+        a = m.var("a")
+        assert (a & True).index == a.index
+        assert (a | False).index == a.index
+        assert (a & False).is_false
+        assert (a | True).is_true
+
+    def test_cross_manager_rejected(self):
+        a = mgr3().var("a")
+        b = mgr3().var("b")
+        with pytest.raises(BDDError):
+            _ = a & b
+
+
+class TestIte:
+    def test_mux_semantics(self):
+        m = mgr3()
+        a, b, c = m.var("a"), m.var("b"), m.var("c")
+        f = a.ite(b, c)
+        for va in (False, True):
+            for vb in (False, True):
+                for vc in (False, True):
+                    env = {"a": va, "b": vb, "c": vc}
+                    assert f.evaluate(env) == (vb if va else vc)
+
+    def test_ite_with_constants(self):
+        m = mgr3()
+        a = m.var("a")
+        assert a.ite(True, False).index == a.index
+        assert a.ite(False, True).index == (~a).index
+
+
+class TestQueries:
+    def test_sat_count_and(self):
+        m = mgr3()
+        f = m.var("a") & m.var("b")
+        assert f.sat_count() == 2  # c free
+
+    def test_sat_count_xor3(self):
+        m = mgr3()
+        f = m.var("a") ^ m.var("b") ^ m.var("c")
+        assert f.sat_count() == 4
+
+    def test_sat_count_terminals(self):
+        m = mgr3()
+        assert m.true.sat_count() == 8
+        assert m.false.sat_count() == 0
+
+    def test_sat_count_with_level_skip(self):
+        m = mgr3()
+        assert m.var("b").sat_count() == 4
+
+    def test_support(self):
+        m = mgr3()
+        f = m.var("a") & m.var("c")
+        assert f.support() == {"a", "c"}
+
+    def test_node_count(self):
+        m = mgr3()
+        assert m.var("a").node_count() == 1
+        assert (m.var("a") & m.var("b")).node_count() == 2
+
+    def test_missing_assignment(self):
+        m = mgr3()
+        with pytest.raises(BDDError):
+            (m.var("a") & m.var("b")).evaluate({"a": True})
+
+    def test_truth_table(self):
+        m = mgr3()
+        f = m.var("a") | m.var("b")
+        assert (f.truth_table(["a", "b"])) == [0, 1, 1, 1]
+
+
+class TestTruthTableConstruction:
+    def test_roundtrip(self):
+        m = Manager(["x0", "x1", "x2"])
+        bits = [0, 1, 1, 0, 1, 0, 0, 1]  # parity
+        f = m.from_truth_table(bits, ["x0", "x1", "x2"])
+        assert f.truth_table(["x0", "x1", "x2"]) == bits
+
+    def test_size_mismatch(self):
+        with pytest.raises(BDDError):
+            Manager().from_truth_table([0, 1], ["a", "b"])
+
+    def test_ordering_enforced(self):
+        m = Manager(["a", "b"])
+        with pytest.raises(BDDError):
+            m.from_truth_table([0, 0, 0, 1], ["b", "a"])
+
+    def test_constant_tables(self):
+        m = Manager()
+        assert m.from_truth_table([1, 1], ["v"]).is_true
+        assert m.from_truth_table([0, 0, 0, 0], ["v", "w"]).is_false
+
+    def test_reachable_topological(self):
+        m = Manager(["a", "b", "c"])
+        f = (m.var("a") & m.var("b")) | m.var("c")
+        order = m.reachable([f.index])
+        seen = set()
+        for idx in order:
+            _, low, high = m.node(idx)
+            for child in (low, high):
+                if not m.is_terminal(child):
+                    assert child in seen
+            seen.add(idx)
+
+
+@st.composite
+def truth_tables(draw, n_vars=4):
+    bits = draw(st.lists(st.integers(0, 1), min_size=1 << n_vars,
+                         max_size=1 << n_vars))
+    return bits
+
+
+class TestProperties:
+    @given(truth_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_from_truth_table_is_exact(self, bits):
+        names = [f"v{i}" for i in range(4)]
+        m = Manager(names)
+        f = m.from_truth_table(bits, names)
+        assert f.truth_table(names) == bits
+
+    @given(truth_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_sat_count_matches_table(self, bits):
+        names = [f"v{i}" for i in range(4)]
+        m = Manager(names)
+        f = m.from_truth_table(bits, names)
+        assert f.sat_count() == sum(bits)
+
+    @given(truth_tables(), truth_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_xor_pointwise(self, bits_f, bits_g):
+        names = [f"v{i}" for i in range(4)]
+        m = Manager(names)
+        f = m.from_truth_table(bits_f, names)
+        g = m.from_truth_table(bits_g, names)
+        h = f ^ g
+        expected = [a ^ b for a, b in zip(bits_f, bits_g)]
+        assert h.truth_table(names) == expected
+
+    @given(truth_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_negation_is_complement(self, bits):
+        names = [f"v{i}" for i in range(4)]
+        m = Manager(names)
+        f = m.from_truth_table(bits, names)
+        assert (~f).truth_table(names) == [1 - b for b in bits]
+
+    @given(truth_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_reconstruction(self, bits):
+        """Two constructions of the same function share one node."""
+        names = [f"v{i}" for i in range(4)]
+        m = Manager(names)
+        f = m.from_truth_table(bits, names)
+        g = m.false
+        for i, bit in enumerate(bits):
+            if not bit:
+                continue
+            term = m.true
+            for k, name in enumerate(names):
+                v = m.var(name)
+                term = term & (v if (i >> (3 - k)) & 1 else ~v)
+            g = g | term
+        assert f.index == g.index

@@ -1,0 +1,255 @@
+"""Transistor-level tests of the MCML / PG-MCML / CMOS cell generators.
+
+These exercise generated netlists in the SPICE engine and check the
+*electrical* truth table: for every input combination, the differential
+output must steer to the correct side with the designed swing.
+"""
+
+import itertools
+
+import pytest
+
+from repro.cells import (
+    CmosCellGenerator,
+    McmlCellGenerator,
+    McmlSizing,
+    PgMcmlCellGenerator,
+    PowerGateTopology,
+    function,
+    solve_bias,
+)
+from repro.errors import CellError
+from repro.spice import Circuit, DC, solve_dc
+from repro.tech import TECH90
+from repro.units import uA, um
+
+VDD = TECH90.vdd
+
+
+@pytest.fixture(scope="module")
+def sizing():
+    return solve_bias(uA(50)).sizing
+
+
+@pytest.fixture(scope="module")
+def pg_sizing():
+    return solve_bias(uA(50), gated=True).sizing
+
+
+def dc_evaluate(fn_name, inputs, sizing, gated=False, sleep_on=True):
+    """DC-solve a generated cell and return {out: differential volts}."""
+    fn = function(fn_name)
+    gen = (PgMcmlCellGenerator(TECH90, sizing) if gated
+           else McmlCellGenerator(TECH90, sizing))
+    cell = gen.build(fn)
+    ckt = cell.circuit
+    ckt.v("vdd", cell.vdd_net, VDD)
+    ckt.v("vvn", cell.vn_net, sizing.vn)
+    ckt.v("vvp", cell.vp_net, sizing.vp)
+    if gated:
+        ckt.v("vsleep", cell.sleep_net, VDD if sleep_on else 0.0)
+    hi, lo = sizing.input_high(TECH90), sizing.input_low(TECH90)
+    for pin, value in inputs.items():
+        p, n = cell.input_nets[pin]
+        ckt.v(f"v{pin.lower()}p", p, DC(hi if value else lo))
+        ckt.v(f"v{pin.lower()}n", n, DC(lo if value else hi))
+    op = solve_dc(ckt)
+    return {out: op[p] - op[n] for out, (p, n) in cell.output_nets.items()},\
+        op
+
+
+class TestMcmlElectricalTruth:
+    @pytest.mark.parametrize("fn_name", ["BUF", "AND2", "XOR2", "MUX2"])
+    def test_all_input_combinations(self, fn_name, sizing):
+        fn = function(fn_name)
+        for bits in itertools.product([False, True], repeat=len(fn.inputs)):
+            env = dict(zip(fn.inputs, bits))
+            diffs, _ = dc_evaluate(fn_name, env, sizing)
+            expected = fn.evaluate(env)
+            for out, diff in diffs.items():
+                if expected[out]:
+                    assert diff > 0.2, (fn_name, env, out, diff)
+                else:
+                    assert diff < -0.2, (fn_name, env, out, diff)
+
+    def test_full_adder_both_outputs(self, sizing):
+        fn = function("FA")
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip(fn.inputs, bits))
+            diffs, _ = dc_evaluate("FA", env, sizing)
+            expected = fn.evaluate(env)
+            for out in ("S", "CO"):
+                assert (diffs[out] > 0.15) == expected[out], (env, out)
+
+    def test_supply_current_constant_across_inputs(self, sizing):
+        """The DPA-resistance property at DC: same Iss for every input."""
+        currents = []
+        for bits in itertools.product([False, True], repeat=2):
+            _, op = dc_evaluate("AND2", dict(zip(("A", "B"), bits)), sizing)
+            currents.append(op.current("vdd"))
+        spread = (max(currents) - min(currents)) / max(currents)
+        assert spread < 0.02  # < 2 % variation across all inputs
+
+
+class TestMcmlStructure:
+    def test_buffer_device_count(self, sizing):
+        cell = McmlCellGenerator(TECH90, sizing).build(function("BUF"))
+        mosfets = [d for d in cell.circuit.devices
+                   if type(d).__name__ == "Mosfet"]
+        assert len(mosfets) == 5  # 2 loads + pair + tail
+
+    def test_pg_buffer_adds_exactly_one_device(self, sizing, pg_sizing):
+        plain = McmlCellGenerator(TECH90, sizing).build(function("BUF"))
+        gated = PgMcmlCellGenerator(TECH90, pg_sizing).build(function("BUF"))
+        count = lambda c: sum(1 for d in c.circuit.devices
+                              if type(d).__name__ == "Mosfet")
+        assert count(gated) == count(plain) + 1
+
+    def test_depth_tracking(self, sizing):
+        gen = McmlCellGenerator(TECH90, sizing)
+        assert gen.build(function("BUF")).depth == 1
+        assert gen.build(function("AND2")).depth == 2
+
+    def test_multi_output_separate_tails(self, sizing):
+        cell = McmlCellGenerator(TECH90, sizing).build(function("FA"))
+        tails = [d for d in cell.circuit.devices if "mtail" in d.name]
+        assert len(tails) == 2
+
+    def test_latch_topology(self, sizing):
+        cell = McmlCellGenerator(TECH90, sizing).build(function("DLATCH"))
+        assert cell.depth == 2
+        assert cell.n_pairs == 3
+
+    def test_unsupported_sequential(self, sizing):
+        # DLATCH and DFF have transistor templates; DFFR does not (yet).
+        with pytest.raises(CellError):
+            McmlCellGenerator(TECH90, sizing).build(function("DFFR"))
+
+    def test_namespacing_in_shared_circuit(self, sizing):
+        shared = Circuit("two_cells")
+        gen = McmlCellGenerator(TECH90, sizing)
+        a = gen.build(function("BUF"), circuit=shared, prefix="u1_")
+        b = gen.build(function("BUF"), circuit=shared, prefix="u2_")
+        assert a.output_nets["Y"] != b.output_nets["Y"]
+
+    def test_sizing_validation(self):
+        with pytest.raises(CellError):
+            McmlSizing(iss=-1.0)
+        with pytest.raises(CellError):
+            McmlSizing(swing=1.5)
+
+    def test_for_current_scales_widths(self):
+        small = McmlSizing.for_current(uA(10))
+        big = McmlSizing.for_current(uA(200))
+        assert big.w_pair > small.w_pair
+        assert big.w_tail > small.w_tail
+
+    def test_input_capacitance_positive(self, sizing):
+        gen = McmlCellGenerator(TECH90, sizing)
+        assert gen.input_capacitance() > 0.0
+        assert gen.load_resistance() == pytest.approx(
+            sizing.swing / sizing.iss)
+
+
+class TestPgMcmlSleep:
+    def test_sleep_on_behaves_like_mcml(self, pg_sizing):
+        diffs, op = dc_evaluate("BUF", {"A": True}, pg_sizing, gated=True)
+        assert diffs["Y"] > 0.2
+        assert op.current("vdd") == pytest.approx(uA(50), rel=0.2)
+
+    def test_sleep_off_kills_current(self, pg_sizing):
+        _, op_on = dc_evaluate("BUF", {"A": True}, pg_sizing, gated=True,
+                               sleep_on=True)
+        _, op_off = dc_evaluate("BUF", {"A": True}, pg_sizing, gated=True,
+                                sleep_on=False)
+        assert op_off.current("vdd") < op_on.current("vdd") / 1e4
+
+    def test_sleep_mode_stack_voltages(self, pg_sizing):
+        """In sleep the off device takes the stack voltage: the node
+        above it (cs) floats high, the node below sits at ground."""
+        _, op = dc_evaluate("BUF", {"A": True}, pg_sizing, gated=True,
+                            sleep_on=False)
+        assert op["mtail_y_pg"] < 0.05       # below the sleep device
+        assert op["cs_y"] > 0.5              # network bottom floats up
+
+    def test_negative_vgs_when_bias_also_gated(self, pg_sizing):
+        """§4's stacking effect: gating the Vn line together with the
+        cells floats the intermediate node up, giving the sleep device a
+        negative VGS and even lower leakage."""
+        fn = function("BUF")
+        gen = PgMcmlCellGenerator(TECH90, pg_sizing)
+
+        def leak(vn_value):
+            cell = gen.build(fn)
+            ckt = cell.circuit
+            ckt.v("vdd", cell.vdd_net, VDD)
+            ckt.v("vvn", cell.vn_net, vn_value)
+            ckt.v("vvp", cell.vp_net, pg_sizing.vp)
+            ckt.v("vsleep", cell.sleep_net, 0.0)
+            hi, lo = pg_sizing.input_high(TECH90), pg_sizing.input_low(TECH90)
+            p, n = cell.input_nets["A"]
+            ckt.v("vinp", p, hi)
+            ckt.v("vinn", n, lo)
+            op = solve_dc(ckt)
+            return op.current("vdd"), op["mtail_y_pg"]
+
+        leak_biased, _ = leak(pg_sizing.vn)
+        leak_gated, mid = leak(0.0)
+        assert leak_gated <= leak_biased * 1.05
+        assert mid > 0.005  # intermediate node floated -> VGS < 0
+
+    def test_topology_enum_complete(self):
+        assert {t.value for t in PowerGateTopology} == {"a", "b", "c", "d"}
+
+    @pytest.mark.parametrize("topology", list(PowerGateTopology))
+    def test_all_topologies_build(self, pg_sizing, topology):
+        gen = PgMcmlCellGenerator(TECH90, pg_sizing, topology)
+        cell = gen.build(function("BUF"))
+        assert cell.has_sleep
+        mosfets = [d for d in cell.circuit.devices
+                   if type(d).__name__ == "Mosfet"]
+        assert len(mosfets) >= 5
+
+
+class TestCmosGenerator:
+    def test_inverter_dc(self):
+        gen = CmosCellGenerator()
+        cell = gen.build("INV")
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, VDD)
+        ckt.v("vin", cell.input_nets["A"], 0.0)
+        op = solve_dc(ckt)
+        assert op[cell.output_nets["Y"]] > VDD - 0.05
+
+    @pytest.mark.parametrize("fn_name,inputs,expected", [
+        ("NAND2", {"A": 1, "B": 1}, 0), ("NAND2", {"A": 1, "B": 0}, 1),
+        ("NOR2", {"A": 0, "B": 0}, 1), ("NOR2", {"A": 1, "B": 0}, 0),
+        ("MUX2", {"S": 0, "D0": 1, "D1": 0}, 1),
+        ("MUX2", {"S": 1, "D0": 1, "D1": 0}, 0),
+        ("BUF", {"A": 1}, 1),
+    ])
+    def test_gate_truth(self, fn_name, inputs, expected):
+        gen = CmosCellGenerator()
+        cell = gen.build(fn_name)
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, VDD)
+        for pin, val in inputs.items():
+            ckt.v(f"v{pin.lower()}", cell.input_nets[pin],
+                  VDD if val else 0.0)
+        op = solve_dc(ckt)
+        out = op[cell.output_nets["Y"]]
+        assert (out > VDD / 2) == bool(expected)
+
+    def test_no_template_for_xor(self):
+        with pytest.raises(CellError):
+            CmosCellGenerator().build("XOR2")
+
+    def test_static_current_negligible(self):
+        gen = CmosCellGenerator()
+        cell = gen.build("NAND2")
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, VDD)
+        ckt.v("va", cell.input_nets["A"], VDD)
+        ckt.v("vb", cell.input_nets["B"], 0.0)
+        op = solve_dc(ckt)
+        assert abs(op.current("vdd")) < 1e-7  # leakage only

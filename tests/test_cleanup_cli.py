@@ -1,0 +1,120 @@
+"""Tests for the dangling sweep and the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cells import build_cmos_library, build_pg_mcml_library
+from repro.netlist import GateNetlist, LogicSimulator
+from repro.synth import sweep_dangling
+
+
+@pytest.fixture(scope="module")
+def cmos():
+    return build_cmos_library()
+
+
+class TestSweepDangling:
+    def make(self, lib):
+        nl = GateNetlist("mixed", lib)
+        nl.add_primary_input("a")
+        nl.add_instance("INV", {"A": "a", "Y": "live"}, name="u_live")
+        nl.add_instance("INV", {"A": "live", "Y": "y"}, name="u_out")
+        nl.add_primary_output("y")
+        nl.add_instance("INV", {"A": "a", "Y": "dead1"}, name="u_dead1")
+        nl.add_instance("INV", {"A": "dead1", "Y": "dead2"},
+                        name="u_dead2")
+        return nl
+
+    def test_removes_dead_chain(self, cmos):
+        nl = self.make(cmos)
+        removed = sweep_dangling(nl)
+        # u_dead2 drives nothing; once gone, u_dead1 is dead too.
+        assert set(removed) == {"u_dead1", "u_dead2"}
+        assert nl.total_cells() == 2
+        nl.validate()
+
+    def test_logic_unchanged(self, cmos):
+        nl = self.make(cmos)
+        sweep_dangling(nl)
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": True})
+        assert sim.values["y"] is True
+
+    def test_keep_set_respected(self, cmos):
+        nl = self.make(cmos)
+        removed = sweep_dangling(nl, keep={"u_dead2"})
+        assert removed == []  # the kept sink keeps its fan-in alive
+
+    def test_sequential_never_swept(self, cmos):
+        nl = GateNetlist("reg", cmos)
+        nl.add_primary_input("d")
+        nl.add_primary_input("ck")
+        nl.add_instance("DFF", {"D": "d", "CK": "ck", "Q": "q"},
+                        name="ff")
+        assert sweep_dangling(nl) == []
+        assert "ff" in nl.instances
+
+    def test_clean_netlist_untouched(self, cmos):
+        nl = GateNetlist("clean", cmos)
+        nl.add_primary_input("a")
+        nl.add_instance("INV", {"A": "a", "Y": "y"})
+        nl.add_primary_output("y")
+        assert sweep_dangling(nl) == []
+
+    def test_pg_sleep_buffers_sweepable_without_keep(self):
+        """Sleep buffers drive side-band loads the netlist cannot see;
+        the insert/sweep contract is to pass them via ``keep``."""
+        pg = build_pg_mcml_library()
+        nl = GateNetlist("blk", pg)
+        nl.add_primary_input("a")
+        prev = "a"
+        for i in range(20):
+            nl.add_instance("BUF", {"A": prev, "Y": f"n{i}"}, name=f"u{i}")
+            prev = f"n{i}"
+        nl.add_primary_output(prev)
+        from repro.synth import insert_sleep_tree
+        tree = insert_sleep_tree(nl)
+        removed = sweep_dangling(nl, keep=set(tree.buffer_instances))
+        assert removed == []
+        assert nl.total_cells() == 20 + tree.n_buffers
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        from repro.__main__ import main
+        captured = io.StringIO()
+        old = sys.stdout
+        sys.stdout = captured
+        try:
+            code = main(list(argv))
+        finally:
+            sys.stdout = old
+        return code, captured.getvalue()
+
+    def test_list(self):
+        code, out = self.run_cli("list")
+        assert code == 0
+        assert "table1" in out and "fig6" in out
+
+    def test_table1(self):
+        code, out = self.run_cli("table1")
+        assert code == 0
+        assert "7.4480" in out
+
+    def test_csv_export(self, tmp_path):
+        path = str(tmp_path / "fig5.csv")
+        code, out = self.run_cli("fig5", "--csv", path)
+        assert code == 0
+        with open(path, encoding="utf-8") as stream:
+            assert stream.readline().startswith("time_s,")
+
+    def test_csv_unsupported_target(self, tmp_path):
+        path = str(tmp_path / "t1.csv")
+        code, _ = self.run_cli("table1", "--csv", path)
+        assert code == 2
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("fig99")

@@ -1,0 +1,287 @@
+"""Tests for the processor simulator and the AES firmware."""
+
+import pytest
+
+from repro.aes import SBOX, encrypt_block
+from repro.cpu import CPU, aes_firmware, assemble
+from repro.errors import CPUError
+
+
+def run_asm(source, max_instructions=100000, cpu=None):
+    cpu = cpu or CPU(memory_size=1 << 16)
+    cpu.load_image(assemble(source))
+    cpu.pc = 0
+    cpu.run(max_instructions=max_instructions)
+    return cpu
+
+
+class TestArithmetic:
+    def test_addi_and_add(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 40
+            l.addi r2, r0, 2
+            l.add r3, r1, r2
+            l.nop 1
+        """)
+        assert cpu.regs[3] == 42
+
+    def test_r0_hardwired_zero(self):
+        cpu = run_asm("""
+            l.addi r0, r0, 5
+            l.nop 1
+        """)
+        assert cpu.regs[0] == 0
+
+    def test_sub_wraps_unsigned(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 1
+            l.addi r2, r0, 2
+            l.sub r3, r1, r2
+            l.nop 1
+        """)
+        assert cpu.regs[3] == 0xFFFFFFFF
+
+    def test_logic_ops(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 0x0F0
+            l.addi r2, r0, 0x0FF
+            l.and r3, r1, r2
+            l.or r4, r1, r2
+            l.xor r5, r1, r2
+            l.nop 1
+        """)
+        assert cpu.regs[3] == 0x0F0
+        assert cpu.regs[4] == 0x0FF
+        assert cpu.regs[5] == 0x00F
+
+    def test_immediates_logical_are_zero_extended(self):
+        cpu = run_asm("""
+            l.addi r1, r0, -1
+            l.andi r2, r1, 0xFF00
+            l.xori r3, r1, 0xFFFF
+            l.nop 1
+        """)
+        assert cpu.regs[2] == 0xFF00
+        assert cpu.regs[3] == 0xFFFF0000
+
+    def test_shifts(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 1
+            l.slli r2, r1, 31
+            l.srli r3, r2, 31
+            l.srai r4, r2, 31
+            l.nop 1
+        """)
+        assert cpu.regs[2] == 0x80000000
+        assert cpu.regs[3] == 1
+        assert cpu.regs[4] == 0xFFFFFFFF  # arithmetic shift of sign bit
+
+    def test_mul(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 7
+            l.muli r2, r1, 6
+            l.mul r3, r2, r1
+            l.nop 1
+        """)
+        assert cpu.regs[2] == 42
+        assert cpu.regs[3] == 294
+
+    def test_movhi_ori_pair(self):
+        cpu = run_asm("""
+            l.movhi r1, 0xDEAD
+            l.ori r1, r1, 0xBEEF
+            l.nop 1
+        """)
+        assert cpu.regs[1] == 0xDEADBEEF
+
+
+class TestMemory:
+    def test_word_store_load_big_endian(self):
+        cpu = run_asm("""
+            l.movhi r1, 0x1122
+            l.ori r1, r1, 0x3344
+            l.addi r2, r0, 0x100
+            l.sw 0(r2), r1
+            l.lbz r3, 0(r2)
+            l.lwz r4, 0(r2)
+            l.nop 1
+        """)
+        assert cpu.regs[3] == 0x11  # big-endian MSB first
+        assert cpu.regs[4] == 0x11223344
+
+    def test_byte_store(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 0xAB
+            l.addi r2, r0, 0x200
+            l.sb 3(r2), r1
+            l.lwz r3, 0x200(r0)
+            l.nop 1
+        """)
+        assert cpu.regs[3] == 0x000000AB
+
+    def test_misaligned_word_access(self):
+        cpu = CPU(memory_size=1 << 12)
+        with pytest.raises(CPUError):
+            cpu.read_word(2)
+
+    def test_out_of_range_access(self):
+        cpu = CPU(memory_size=1 << 12)
+        with pytest.raises(CPUError):
+            cpu.read_byte(1 << 12)
+
+
+class TestControlFlow:
+    def test_branch_taken(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 5
+            l.sfeq r1, r1
+            l.bf good
+            l.addi r2, r0, 99
+        good:
+            l.nop 1
+        """)
+        assert cpu.regs[2] == 0
+
+    def test_branch_not_taken(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 5
+            l.sfne r1, r1
+            l.bf skip
+            l.addi r2, r0, 7
+        skip:
+            l.nop 1
+        """)
+        assert cpu.regs[2] == 7
+
+    def test_loop_counts(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 10
+            l.addi r2, r0, 0
+        loop:
+            l.addi r2, r2, 3
+            l.addi r1, r1, -1
+            l.sfeq r1, r0
+            l.bnf loop
+            l.nop 1
+        """)
+        assert cpu.regs[2] == 30
+
+    def test_unsigned_compares(self):
+        cpu = run_asm("""
+            l.addi r1, r0, -1      # 0xFFFFFFFF unsigned max
+            l.addi r2, r0, 1
+            l.sfgtu r1, r2
+            l.bf big
+            l.addi r3, r0, 1
+        big:
+            l.nop 1
+        """)
+        assert cpu.regs[3] == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_jal_links_r9(self):
+        cpu = run_asm("""
+            l.jal sub
+            l.nop 1
+        sub:
+            l.addi r4, r0, 11
+            l.jr r9
+        """)
+        assert cpu.regs[4] == 11
+        assert cpu.halted
+
+    def test_runaway_detected(self):
+        with pytest.raises(CPUError):
+            run_asm("loop: l.j loop\n", max_instructions=500)
+
+
+class TestSboxInstruction:
+    def test_applies_sbox_to_each_byte(self):
+        cpu = run_asm("""
+            l.movhi r1, 0x0001
+            l.ori r1, r1, 0x53FF
+            l.sbox r2, r1
+            l.nop 1
+        """)
+        expected = (SBOX[0x00] << 24) | (SBOX[0x01] << 16) | \
+            (SBOX[0x53] << 8) | SBOX[0xFF]
+        assert cpu.regs[2] == expected
+
+    def test_records_activity(self):
+        cpu = run_asm("""
+            l.addi r1, r0, 3
+            l.sbox r2, r1
+            l.sbox r3, r2
+            l.nop 1
+        """)
+        assert cpu.stats.sbox_cycles == 2
+        assert cpu.stats.ise_duty == pytest.approx(2 / 4)
+
+    def test_stats_bookkeeping(self):
+        cpu = run_asm("l.addi r1, r0, 1\nl.nop 1\n")
+        assert cpu.stats.instructions == 2
+        assert cpu.stats.opcode_counts["l.addi"] == 1
+        assert "duty" in repr(cpu.stats)
+
+    def test_trace_hook(self):
+        seen = []
+        cpu = CPU(memory_size=1 << 12)
+        cpu.trace_hook = lambda c, inst: seen.append(inst.mnemonic)
+        cpu.load_image(assemble("l.addi r1, r0, 1\nl.nop 1\n"))
+        cpu.run()
+        assert seen == ["l.addi", "l.nop"]
+
+    def test_step_after_halt_rejected(self):
+        cpu = run_asm("l.nop 1\n")
+        with pytest.raises(CPUError):
+            cpu.step()
+
+
+class TestAesFirmware:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+
+    def test_software_aes_matches_reference(self):
+        fw = aes_firmware(n_blocks=1, use_ise=False)
+        cts, stats = fw.run(self.KEY, [self.PT])
+        assert cts[0] == encrypt_block(self.PT, self.KEY)
+        assert stats.sbox_cycles == 0
+
+    def test_ise_aes_matches_reference(self):
+        fw = aes_firmware(n_blocks=1, use_ise=True)
+        cts, stats = fw.run(self.KEY, [self.PT])
+        assert cts[0] == encrypt_block(self.PT, self.KEY)
+
+    def test_ise_uses_40_sbox_ops_per_block(self):
+        fw = aes_firmware(n_blocks=2, use_ise=True)
+        pts = [self.PT, bytes(range(16))]
+        _, stats = fw.run(self.KEY, pts)
+        # 4 words x 10 rounds per block.
+        assert stats.sbox_cycles == 80
+
+    def test_ise_is_faster_than_software(self):
+        pts = [self.PT]
+        _, sw = aes_firmware(1, use_ise=False).run(self.KEY, pts)
+        _, ise = aes_firmware(1, use_ise=True).run(self.KEY, pts)
+        assert ise.cycles < sw.cycles
+
+    def test_duty_factor_in_expected_band(self):
+        fw = aes_firmware(n_blocks=1, use_ise=True)
+        _, stats = fw.run(self.KEY, [self.PT])
+        assert 0.005 < stats.ise_duty < 0.05
+
+    def test_multi_block_pipeline(self):
+        pts = [bytes((i * 7 + j) & 0xFF for j in range(16)) for i in range(3)]
+        fw = aes_firmware(n_blocks=3, use_ise=True)
+        cts, _ = fw.run(self.KEY, pts)
+        for pt, ct in zip(pts, cts):
+            assert ct == encrypt_block(pt, self.KEY)
+
+    def test_block_count_must_match(self):
+        fw = aes_firmware(n_blocks=2, use_ise=False)
+        with pytest.raises(CPUError):
+            fw.run(self.KEY, [self.PT])
+
+    def test_plaintext_length_validated(self):
+        fw = aes_firmware(n_blocks=1)
+        with pytest.raises(CPUError):
+            fw.run(self.KEY, [b"short"])

@@ -1,0 +1,210 @@
+"""Tests for the ISA encoding/decoding and the assembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import OPCODES, assemble, decode, disassemble, encode
+from repro.cpu.isa import Instruction
+from repro.errors import AssemblerError, CPUError
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("inst", [
+        Instruction("l.add", rd=3, ra=4, rb=5),
+        Instruction("l.sub", rd=31, ra=0, rb=1),
+        Instruction("l.xor", rd=7, ra=7, rb=7),
+        Instruction("l.addi", rd=3, ra=4, imm=-42),
+        Instruction("l.andi", rd=3, ra=4, imm=0xFFFF),
+        Instruction("l.movhi", rd=9, imm=0x8000),
+        Instruction("l.lwz", rd=2, ra=1, imm=16),
+        Instruction("l.lbz", rd=2, ra=1, imm=-1),
+        Instruction("l.sw", ra=1, rb=2, imm=-4),
+        Instruction("l.sb", ra=1, rb=2, imm=2047),
+        Instruction("l.j", imm=-100),
+        Instruction("l.bf", imm=5),
+        Instruction("l.jr", rb=9),
+        Instruction("l.sfeq", ra=3, rb=4),
+        Instruction("l.sfltu", ra=3, rb=4),
+        Instruction("l.slli", rd=1, ra=2, imm=31),
+        Instruction("l.srai", rd=1, ra=2, imm=7),
+        Instruction("l.sbox", rd=5, ra=6),
+        Instruction("l.nop", imm=1),
+    ])
+    def test_roundtrip(self, inst):
+        assert decode(encode(inst)) == inst
+
+    def test_all_mnemonics_roundtrip_default_fields(self):
+        for mnemonic in OPCODES:
+            inst = Instruction(mnemonic, rd=1, ra=2, rb=3, imm=4)
+            _, _, fmt = OPCODES[mnemonic]
+            # Normalise fields the format does not carry.
+            encoded = encode(inst)
+            decoded = decode(encoded)
+            assert decoded.mnemonic == mnemonic
+
+    def test_store_offset_range(self):
+        with pytest.raises(CPUError):
+            encode(Instruction("l.sw", ra=1, rb=2, imm=1 << 15))
+
+    def test_immediate_range(self):
+        with pytest.raises(CPUError):
+            encode(Instruction("l.addi", rd=1, ra=1, imm=1 << 15))
+
+    def test_shift_range(self):
+        with pytest.raises(CPUError):
+            encode(Instruction("l.slli", rd=1, ra=1, imm=32))
+
+    def test_register_range(self):
+        with pytest.raises(CPUError):
+            encode(Instruction("l.add", rd=32, ra=0, rb=0))
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(CPUError):
+            encode(Instruction("l.frob"))
+
+    def test_unknown_opcode_decode(self):
+        with pytest.raises(CPUError):
+            decode(0x3F << 26)
+
+    def test_disassemble(self):
+        word = encode(Instruction("l.addi", rd=3, ra=4, imm=-2))
+        assert disassemble(word) == "l.addi r3, r4, -2"
+
+    def test_disassemble_load(self):
+        word = encode(Instruction("l.lwz", rd=3, ra=4, imm=8))
+        assert disassemble(word) == "l.lwz r3, 8(r4)"
+
+    @given(st.sampled_from(sorted(OPCODES)), st.integers(0, 31),
+           st.integers(0, 31), st.integers(0, 31),
+           st.integers(-2047, 2047))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, mnemonic, rd, ra, rb, imm):
+        _, _, fmt = OPCODES[mnemonic]
+        if fmt in ("IU", "IH", "N"):
+            imm = abs(imm)
+        if fmt == "SHI":
+            imm = imm % 32
+        inst = Instruction(mnemonic, rd=rd, ra=ra, rb=rb, imm=imm)
+        decoded = decode(encode(inst))
+        assert decoded.mnemonic == mnemonic
+        # Fields the format encodes must survive.
+        if fmt == "IH":
+            assert decoded.rd == rd and decoded.imm == imm
+        elif fmt in ("I", "IU", "LD", "SHI"):
+            assert decoded.rd == rd and decoded.ra == ra
+            assert decoded.imm == imm
+        elif fmt == "R":
+            assert (decoded.rd, decoded.ra, decoded.rb) == (rd, ra, rb)
+        elif fmt == "ST":
+            assert (decoded.ra, decoded.rb, decoded.imm) == (ra, rb, imm)
+        elif fmt == "SF":
+            assert (decoded.ra, decoded.rb) == (ra, rb)
+        elif fmt == "J":
+            assert decoded.imm == imm
+        elif fmt == "RA":
+            assert (decoded.rd, decoded.ra) == (rd, ra)
+        elif fmt == "RB":
+            assert decoded.rb == rb
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        image = assemble("""
+        start:
+            l.movhi r1, 0x1234
+            l.ori r1, r1, 0x5678
+            l.nop 1
+        """)
+        # Words are big-endian at consecutive addresses.
+        word0 = (image[0] << 24) | (image[1] << 16) | (image[2] << 8) | \
+            image[3]
+        assert decode(word0).mnemonic == "l.movhi"
+
+    def test_label_branch_offsets(self):
+        image = assemble("""
+            l.j skip
+            l.nop
+        skip:
+            l.nop 1
+        """)
+        word = (image[0] << 24) | (image[1] << 16) | (image[2] << 8) | \
+            image[3]
+        assert decode(word).imm == 2  # two words forward
+
+    def test_backward_branch(self):
+        image = assemble("""
+        loop:
+            l.nop
+            l.j loop
+        """)
+        word = (image[4] << 24) | (image[5] << 16) | (image[6] << 8) | \
+            image[7]
+        assert decode(word).imm == -1
+
+    def test_hi_lo_split(self):
+        image = assemble("""
+        .org 0x0
+            l.movhi r1, hi(data)
+            l.ori r1, r1, lo(data)
+        .org 0x12340
+        data:
+            .word 7
+        """)
+        movhi = (image[0] << 24) | (image[1] << 16) | (image[2] << 8) | \
+            image[3]
+        assert decode(movhi).imm == 0x1
+        ori = (image[4] << 24) | (image[5] << 16) | (image[6] << 8) | \
+            image[7]
+        assert decode(ori).imm == 0x2340
+
+    def test_word_and_byte_directives(self):
+        image = assemble("""
+        .org 0x100
+        .word 0xdeadbeef
+        .byte 1, 2, 3
+        .space 2
+        """)
+        assert image[0x100] == 0xDE and image[0x103] == 0xEF
+        assert image[0x104] == 1 and image[0x105] == 2
+        assert image[0x106] == 3
+        assert image[0x107] == 0 and image[0x108] == 0
+
+    def test_comments_ignored(self):
+        image = assemble("l.nop  # comment\nl.nop ; another\n")
+        assert len(image) == 8
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nl.nop\nx:\nl.nop\n")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError):
+            assemble("l.j nowhere\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("l.frobnicate r1, r2\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("l.add r1, r2, r99\n")
+
+    def test_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("l.add r1, r2\n")
+
+    def test_memory_operand_syntax(self):
+        with pytest.raises(AssemblerError):
+            assemble("l.lwz r1, r2\n")
+
+    def test_misaligned_word(self):
+        with pytest.raises(AssemblerError):
+            assemble(".org 0x1\n.word 5\n")
+
+    def test_byte_range(self):
+        with pytest.raises(AssemblerError):
+            assemble(".byte 300\n")
+
+    def test_multiple_labels_one_line(self):
+        image = assemble("a: b: l.nop 1\n")
+        assert len(image) == 4

@@ -1,0 +1,128 @@
+"""Tests for CPA evolution, SPICE deck export, and the temperature study."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.aes import SBOX
+from repro.cells import McmlCellGenerator, function, solve_bias
+from repro.errors import AttackError, CircuitError
+from repro.experiments.ablation import run_temperature
+from repro.sca import cpa_evolution
+from repro.sca.leakage import hamming_weight
+from repro.spice import Circuit, DC, Pulse, PWL, write_spice_deck
+from repro.units import uA
+
+
+def leaky_traces(key=0x3C, n=256, gain=1.5, noise=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.integers(0, 256, size=n)
+    traces = rng.normal(0.0, noise, size=(n, 12))
+    leak = np.array([hamming_weight(SBOX[p ^ key]) for p in pts])
+    traces[:, 5] += gain * leak
+    return traces, pts.tolist()
+
+
+class TestCpaEvolution:
+    def test_true_key_escapes_on_leaky_target(self):
+        traces, pts = leaky_traces()
+        evo = cpa_evolution(traces, pts, true_key=0x3C, step=32)
+        assert evo.escape_count() is not None
+        assert evo.final_rank() == 0
+
+    def test_envelope_shrinks_with_traces(self):
+        traces, pts = leaky_traces(gain=0.0)
+        evo = cpa_evolution(traces, pts, true_key=0x3C, step=32)
+        first, last = evo.points[0], evo.points[-1]
+        assert last.wrong_envelope < first.wrong_envelope
+
+    def test_no_escape_without_leak(self):
+        traces, pts = leaky_traces(gain=0.0, seed=4)
+        evo = cpa_evolution(traces, pts, true_key=0x3C, step=64)
+        assert evo.escape_count() is None or evo.final_rank() > 0 or \
+            evo.points[-1].true_peak <= 1.2 * evo.points[-1].wrong_envelope
+
+    def test_series_export(self):
+        traces, pts = leaky_traces()
+        evo = cpa_evolution(traces, pts, true_key=0x3C, step=64)
+        n, true, env = evo.series()
+        assert n[-1] == len(pts)
+        assert true.shape == env.shape == n.shape
+
+    def test_validation(self):
+        traces, pts = leaky_traces(n=64)
+        with pytest.raises(AttackError):
+            cpa_evolution(traces, pts[:10], true_key=0)
+        with pytest.raises(AttackError):
+            cpa_evolution(traces, pts, true_key=0, step=1)
+
+
+class TestSpiceDeck:
+    def test_rc_deck(self):
+        ckt = Circuit("rc")
+        ckt.v("vin", "in", Pulse(0, 1.2, 1e-9, 1e-11, 1e-11, 2e-9))
+        ckt.resistor("r1", "in", "out", 1e3)
+        ckt.capacitor("c1", "out", "0", 1e-12)
+        buf = io.StringIO()
+        write_spice_deck(buf, ckt, tran={"tstep": 1e-12, "tstop": 5e-9})
+        deck = buf.getvalue()
+        assert "R1_r1 in out 1000" in deck
+        assert "C1_c1 out 0 1e-12" in deck
+        assert "PULSE(0 1.2" in deck
+        assert ".TRAN 1e-12 5e-09" in deck
+        assert deck.strip().endswith(".END")
+
+    def test_mcml_buffer_deck_has_models(self):
+        bias = solve_bias(uA(50))
+        cell = McmlCellGenerator(sizing=bias.sizing).build(function("BUF"))
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, 1.2)
+        ckt.v("vvn", cell.vn_net, bias.sizing.vn)
+        ckt.v("vvp", cell.vp_net, bias.sizing.vp)
+        ckt.v("vin_p", cell.input_nets["A"][0], DC(1.2))
+        ckt.v("vin_n", cell.input_nets["A"][1], DC(0.8))
+        buf = io.StringIO()
+        write_spice_deck(buf, ckt)
+        deck = buf.getvalue()
+        assert ".MODEL nmos_hvt NMOS" in deck
+        assert ".MODEL pmos_lvt PMOS" in deck
+        assert deck.count("\nM") == 5  # five transistors
+
+    def test_pwl_export(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", PWL([(0.0, 0.0), (1e-9, 1.0)]))
+        ckt.resistor("r1", "in", "0", 1e3)
+        buf = io.StringIO()
+        write_spice_deck(buf, ckt)
+        assert "PWL(0 0 1e-09 1)" in buf.getvalue()
+
+    def test_tran_spec_validated(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 1.0)
+        ckt.resistor("r1", "in", "0", 1e3)
+        with pytest.raises(CircuitError):
+            write_spice_deck(io.StringIO(), ckt, tran={"tstep": 1e-12})
+
+
+class TestTemperature:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_temperature(temps_k=(300.0, 380.0))
+
+    def test_leakage_grows_with_temperature(self, study):
+        assert study.leakage_growth() > 10.0
+
+    def test_gate_still_off_when_hot(self, study):
+        hot = study.point(380.0)
+        assert hot.on_off_ratio > 1e3
+
+    def test_active_current_mild_dependence(self, study):
+        cold = study.point(300.0)
+        hot = study.point(380.0)
+        # Tail current rises with falling Vt but stays the same order.
+        assert hot.active_current < 2.5 * cold.active_current
+
+    def test_unknown_temperature(self, study):
+        with pytest.raises(KeyError):
+            study.point(999.0)

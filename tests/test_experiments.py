@@ -1,0 +1,127 @@
+"""Integration tests over the experiment drivers: the paper's claims.
+
+These are the claims the reproduction must uphold; the benchmarks print
+the full tables, these tests assert the shape.
+"""
+
+import pytest
+
+from repro.experiments import fig5, fig6, table1, table3
+from repro.experiments.table3 import PAPER_TABLE3
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run()
+
+    def test_areas_exact(self, result):
+        assert result.max_abs_error_um2() < 1e-3
+
+    def test_overhead_near_6_percent(self, result):
+        assert result.mean_overhead_pct == pytest.approx(5.56, abs=0.3)
+
+    def test_library_wide_overhead(self, result):
+        assert 4.0 < result.library_mean_overhead_pct < 7.0
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(n_blocks=1)
+
+    def test_cell_count_ordering(self, result):
+        cells = {r.style: r.cells for r in result.rows}
+        assert cells["cmos"] > cells["pgmcml"] > cells["mcml"]
+
+    def test_cmos_mcml_cell_ratio_matches_paper(self, result):
+        cells = {r.style: r.cells for r in result.rows}
+        paper_ratio = PAPER_TABLE3["cmos"][0] / PAPER_TABLE3["mcml"][0]
+        assert cells["cmos"] / cells["mcml"] == pytest.approx(paper_ratio,
+                                                              abs=0.25)
+
+    def test_area_ordering(self, result):
+        areas = {r.style: r.area_um2 for r in result.rows}
+        assert areas["pgmcml"] > areas["mcml"] > areas["cmos"]
+
+    def test_block_area_ratio_near_2_5(self, result):
+        areas = {r.style: r.area_um2 for r in result.rows}
+        assert areas["mcml"] / areas["cmos"] == pytest.approx(2.53, abs=0.6)
+
+    def test_delay_ordering(self, result):
+        delays = {r.style: r.delay_ns for r in result.rows}
+        assert delays["cmos"] < delays["mcml"] < delays["pgmcml"]
+
+    def test_pg_delay_overhead_small(self, result):
+        delays = {r.style: r.delay_ns for r in result.rows}
+        assert delays["pgmcml"] / delays["mcml"] < 1.05
+
+    def test_mcml_power_is_huge(self, result):
+        power = {r.style: r.avg_power_w for r in result.rows}
+        assert power["mcml"] > 100 * power["cmos"]
+
+    def test_pg_power_beats_cmos_at_paper_duty(self, result):
+        power = {r.style: r.avg_power_at_paper_duty_w for r in result.rows}
+        assert power["pgmcml"] < power["cmos"]
+        # Paper: PG-MCML ~4x below CMOS.
+        assert power["cmos"] / power["pgmcml"] == pytest.approx(4.3, abs=2.5)
+
+    def test_pg_reduction_factor_at_paper_duty(self, result):
+        ratio = result.power_ratio_at_paper_duty("mcml", "pgmcml")
+        assert ratio > 1e3  # paper: ~1e4
+
+    def test_pg_power_magnitude_near_paper(self, result):
+        pg_row = result.row("pgmcml")
+        assert pg_row.avg_power_at_paper_duty_w == pytest.approx(
+            47.77e-6, rel=0.5)
+
+    def test_duty_measured(self, result):
+        assert 0.005 < result.measured_duty < 0.05
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run()
+
+    def test_mcml_flat_tens_of_ma(self, result):
+        assert 10.0 < result.mcml_flat_ma < 400.0
+        assert result.mcml_current.swing() == 0.0
+
+    def test_pg_reaches_mcml_level_when_awake(self, result):
+        assert result.pg_peak_ma == pytest.approx(result.mcml_flat_ma,
+                                                  rel=0.05)
+
+    def test_sleep_floor_negligible(self, result):
+        assert result.pg_floor_ua < 50.0
+        assert result.on_off_ratio > 1e3
+
+    def test_sleep_signal_leads_the_burst(self, result):
+        t_on, _ = result.window
+        rise = result.sleep_signal.first_crossing(0.6, "rise")
+        assert rise == pytest.approx(t_on, abs=1e-10)
+
+    def test_window_length_order_of_paper(self, result):
+        assert 5.0 < result.window_length_ns() < 60.0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run()
+
+    def test_matches_paper_outcome(self, result):
+        assert result.matches_paper()
+
+    def test_cmos_margin(self, result):
+        assert result.distinguishability("cmos") > 1.2
+
+    def test_differential_buried(self, result):
+        assert result.distinguishability("mcml") < 1.0
+        assert result.distinguishability("pgmcml") < 1.0
+
+    def test_pg_no_worse_than_mcml(self, result):
+        """'The insertion of the sleep signal does not introduce a
+        negative effect on robustness' — PG margin comparable to MCML."""
+        assert result.distinguishability("pgmcml") <= \
+            1.15 * result.distinguishability("mcml")

@@ -1,0 +1,151 @@
+"""Tests for the extension experiments: TVLA, related work, ablations."""
+
+import pytest
+
+from repro.cells import PowerGateTopology
+from repro.experiments import ablation, related, tvla
+
+
+class TestTvlaExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tvla.run(n_traces=64)
+
+    def test_all_styles_present(self, result):
+        assert {r.style for r in result.rows} == {"cmos", "mcml", "pgmcml"}
+
+    def test_cmos_detected(self, result):
+        assert result.row("cmos").leaks
+
+    def test_amplitude_hierarchy(self, result):
+        assert result.cmos_margin_over_mcml() > 10.0
+
+    def test_detection_threshold_cmos_small(self):
+        from repro.cells import build_cmos_library
+        n = tvla.detection_threshold(build_cmos_library,
+                                     counts=(16, 32, 64))
+        assert n is not None and n <= 64
+
+
+class TestRelatedWork:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return related.run()
+
+    def test_six_styles(self, result):
+        assert len(result.rows) == 6
+
+    def test_cmos_not_resistant(self, result):
+        assert not result.row("cmos").dpa_resistant
+
+    def test_pg_idle_is_lowest_among_resistant(self, result):
+        pg_idle = result.row("pgmcml").idle_power_w
+        for row in result.rows:
+            if row.dpa_resistant and row.style != "pgmcml":
+                assert pg_idle < row.idle_power_w
+
+    def test_precharge_styles_burn_clock_power(self, result):
+        assert result.row("sabl").power_at_duty_w > 1e-3
+        assert result.row("mdpl").power_at_duty_w > 1e-3
+
+    def test_dycml_power_competitive_but_flow_hostile(self, result):
+        dycml = result.row("dycml")
+        assert dycml.power_at_duty_w < result.row("mcml").power_at_duty_w
+        assert not dycml.commodity_eda
+
+    def test_pg_wins_both_axes(self, result):
+        assert set(result.pg_wins_on()) == {"idle power",
+                                            "flow practicality"}
+
+    def test_unknown_style(self, result):
+        with pytest.raises(KeyError):
+            result.row("ttl")
+
+
+class TestTopologyAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run_topologies()
+
+    def test_all_four_topologies(self, result):
+        assert len(result.points) == 4
+
+    def test_series_sleep_hits_current_target(self, result):
+        d = result.point(PowerGateTopology.SERIES_SLEEP)
+        assert d.active_current == pytest.approx(50e-6, rel=0.1)
+
+    def test_series_sleep_wakes_fast(self, result):
+        d = result.point(PowerGateTopology.SERIES_SLEEP)
+        assert d.wake_time is not None and d.wake_time < 0.5e-9
+
+    def test_bias_topologies_wake_slowly(self, result):
+        a = result.point(PowerGateTopology.BIAS_PULLDOWN)
+        d = result.point(PowerGateTopology.SERIES_SLEEP)
+        assert a.wake_time is None or a.wake_time > 2 * d.wake_time
+
+    def test_body_bias_misses_target(self, result):
+        c = result.point(PowerGateTopology.BODY_BIAS)
+        assert abs(c.active_current - 50e-6) > 0.3 * 50e-6
+
+    def test_all_sleep_currents_tiny(self, result):
+        for p in result.points:
+            assert p.sleep_current < 5e-9
+
+    def test_chosen_is_best(self, result):
+        assert result.chosen_is_best()
+
+
+class TestGranularity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return ablation.run_granularity()
+
+    def test_two_options(self, study):
+        assert len(study.points) == 2
+
+    def test_fine_area_matches_table1(self, study):
+        fine = study.point("fine (per cell)")
+        assert fine.area_overhead_pct == pytest.approx(5.56, abs=0.1)
+
+    def test_coarse_switch_is_enormous(self, study):
+        """MCML draws its current constantly, so the coarse switch must
+        be IR-sized for the full 110 mA — prohibitive, which is why
+        fine grain 'suits better the needs of MCML cells' (§4)."""
+        coarse = study.point("coarse (per block)")
+        assert coarse.area_overhead_pct > 30.0
+
+    def test_fine_wakes_much_faster(self, study):
+        fine = study.point("fine (per cell)")
+        coarse = study.point("coarse (per block)")
+        assert fine.wake_time < coarse.wake_time / 10.0
+
+    def test_selectivity(self, study):
+        assert not study.point("fine (per cell)").wakes_whole_block
+        assert study.point("coarse (per block)").wakes_whole_block
+
+    def test_scales_with_block(self):
+        small = ablation.run_granularity(n_cells=100)
+        large = ablation.run_granularity(n_cells=3000)
+        assert large.point("coarse (per block)").wake_time > \
+            small.point("coarse (per block)").wake_time
+        assert small.point("fine (per cell)").wake_time == \
+            large.point("fine (per cell)").wake_time
+
+
+class TestVtAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run_vt_flavors()
+
+    def test_three_variants(self, result):
+        assert len(result.points) == 3
+
+    def test_lvt_leaks_more(self, result):
+        mix = result.point("paper mix (hvt core, lvt loads)")
+        lvt = result.point("all low-Vt")
+        assert lvt.sleep_current > 10 * mix.sleep_current
+
+    def test_hvt_loads_slow(self, result):
+        mix = result.point("paper mix (hvt core, lvt loads)")
+        hvt = result.point("all high-Vt")
+        assert hvt.delay > 1.5 * mix.delay

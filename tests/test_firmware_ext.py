@@ -1,0 +1,79 @@
+"""Tests for the on-core key schedule and firmware internals."""
+
+import pytest
+
+from repro.aes import encrypt_block, expand_key
+from repro.cpu import CPU, aes_firmware
+from repro.cpu.programs import RCON_BYTES, ROUND_KEYS
+from repro.errors import CPUError
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+
+
+class TestOnCoreKeySchedule:
+    def test_software_variant_correct(self):
+        fw = aes_firmware(n_blocks=1, use_ise=False, expand_key_on_core=True)
+        cts, _ = fw.run(KEY, [PT])
+        assert cts[0] == encrypt_block(PT, KEY)
+
+    def test_ise_variant_correct(self):
+        fw = aes_firmware(n_blocks=1, use_ise=True, expand_key_on_core=True)
+        cts, _ = fw.run(KEY, [PT])
+        assert cts[0] == encrypt_block(PT, KEY)
+
+    def test_expanded_keys_in_memory_match_reference(self):
+        fw = aes_firmware(n_blocks=1, use_ise=False, expand_key_on_core=True)
+        cpu = CPU()
+        fw.run(KEY, [PT], cpu=cpu)
+        reference = [b for rk in expand_key(KEY) for b in rk]
+        in_memory = [cpu.read_byte(ROUND_KEYS + i) for i in range(176)]
+        assert in_memory == reference
+
+    def test_ise_subword_counts_toward_duty(self):
+        """The ISE build uses l.sbox for SubWord: 10 extra activations."""
+        fw_host = aes_firmware(n_blocks=1, use_ise=True,
+                               expand_key_on_core=False)
+        fw_core = aes_firmware(n_blocks=1, use_ise=True,
+                               expand_key_on_core=True)
+        _, host = fw_host.run(KEY, [PT])
+        _, core = fw_core.run(KEY, [PT])
+        assert core.sbox_cycles == host.sbox_cycles + 10
+
+    def test_key_schedule_adds_cycles_once(self):
+        fw_host = aes_firmware(n_blocks=2, expand_key_on_core=False)
+        fw_core = aes_firmware(n_blocks=2, expand_key_on_core=True)
+        pts = [PT, bytes(16)]
+        _, host = fw_host.run(KEY, pts)
+        _, core = fw_core.run(KEY, pts)
+        overhead = core.cycles - host.cycles
+        assert 400 < overhead < 2000  # ~40 loop iterations of setup
+
+    def test_rcon_constants(self):
+        assert RCON_BYTES[0] == 0x01
+        assert RCON_BYTES[8] == 0x1B  # the wrap through the polynomial
+
+    def test_different_keys_different_schedules(self):
+        fw = aes_firmware(n_blocks=1, expand_key_on_core=True)
+        cts_a, _ = fw.run(KEY, [PT])
+        fw2 = aes_firmware(n_blocks=1, expand_key_on_core=True)
+        cts_b, _ = fw2.run(bytes(16), [PT])
+        assert cts_a[0] != cts_b[0]
+
+
+class TestFirmwareMetadata:
+    def test_symbols_exposed(self):
+        fw = aes_firmware(n_blocks=1)
+        for name in ("STATE", "ROUND_KEYS", "SBOX_TABLE", "RCON_TABLE",
+                     "PLAINTEXT", "CIPHERTEXT"):
+            assert name in fw.symbols
+
+    def test_block_count_validated(self):
+        with pytest.raises(CPUError):
+            aes_firmware(n_blocks=0)
+
+    def test_source_is_reassemblable(self):
+        from repro.cpu import assemble
+        fw = aes_firmware(n_blocks=1, expand_key_on_core=True)
+        image = assemble(fw.source)
+        assert len(image) > 1000

@@ -1,0 +1,168 @@
+"""Tests for the cell-function registry."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import Manager
+from repro.cells import FUNCTIONS, function
+from repro.errors import CellError
+
+
+def env(fn, bits):
+    return dict(zip(fn.inputs, bits))
+
+
+class TestRegistry:
+    def test_unknown_function(self):
+        with pytest.raises(CellError):
+            function("FROB3")
+
+    def test_paper_library_functions_present(self):
+        for name in ("BUF", "DIFF2SINGLE", "AND2", "AND3", "AND4", "MUX2",
+                     "MUX4", "MAJ32", "XOR2", "XOR3", "XOR4", "DLATCH",
+                     "DFF", "DFFR", "EDFF", "FA"):
+            assert function(name).name == name
+
+    def test_cmos_helpers_present(self):
+        for name in ("INV", "NAND2", "NOR2", "XNOR2", "TIEH", "TIEL",
+                     "RAILSWAP", "SLEEPBUF"):
+            assert function(name).name == name
+
+
+class TestCombinational:
+    def test_buf(self):
+        fn = function("BUF")
+        assert fn.evaluate({"A": True})["Y"] is True
+        assert fn.evaluate({"A": False})["Y"] is False
+
+    def test_inv_and_railswap(self):
+        for name in ("INV", "RAILSWAP"):
+            fn = function(name)
+            assert fn.evaluate({"A": True})["Y"] is False
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_and_or_nand_nor(self, n):
+        names = ["A", "B", "C", "D"][:n]
+        for bits in itertools.product([False, True], repeat=n):
+            e = dict(zip(names, bits))
+            assert function(f"AND{n}").evaluate(e)["Y"] == all(bits)
+            assert function(f"NAND{n}").evaluate(e)["Y"] == (not all(bits))
+            assert function(f"OR{n}").evaluate(e)["Y"] == any(bits)
+            assert function(f"NOR{n}").evaluate(e)["Y"] == (not any(bits))
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_xor(self, n):
+        names = ["A", "B", "C", "D"][:n]
+        for bits in itertools.product([False, True], repeat=n):
+            e = dict(zip(names, bits))
+            assert function(f"XOR{n}").evaluate(e)["Y"] == (sum(bits) % 2 == 1)
+
+    def test_xnor2(self):
+        fn = function("XNOR2")
+        assert fn.evaluate({"A": True, "B": True})["Y"] is True
+        assert fn.evaluate({"A": True, "B": False})["Y"] is False
+
+    def test_mux2(self):
+        fn = function("MUX2")
+        assert fn.evaluate({"S": False, "D0": True, "D1": False})["Y"] is True
+        assert fn.evaluate({"S": True, "D0": True, "D1": False})["Y"] is False
+
+    def test_mux4_select_encoding(self):
+        fn = function("MUX4")
+        for sel in range(4):
+            data = {f"D{i}": (i == sel) for i in range(4)}
+            e = {"S0": bool(sel & 1), "S1": bool(sel & 2), **data}
+            assert fn.evaluate(e)["Y"] is True
+
+    def test_maj32(self):
+        fn = function("MAJ32")
+        assert fn.evaluate({"A": 1, "B": 1, "C": 0})["Y"] is True
+        assert fn.evaluate({"A": 1, "B": 0, "C": 0})["Y"] is False
+
+    def test_full_adder(self):
+        fn = function("FA")
+        for a, b, ci in itertools.product([0, 1], repeat=3):
+            out = fn.evaluate({"A": a, "B": b, "CI": ci})
+            total = a + b + ci
+            assert out["S"] == bool(total % 2)
+            assert out["CO"] == (total >= 2)
+
+    def test_ties(self):
+        assert function("TIEH").evaluate({"A": False})["Y"] is True
+        assert function("TIEL").evaluate({"A": True})["Y"] is False
+
+    def test_truth_table_msb_first(self):
+        assert function("AND2").truth_table("Y") == [0, 0, 0, 1]
+        assert function("OR2").truth_table("Y") == [0, 1, 1, 1]
+
+    def test_truth_table_unknown_output(self):
+        with pytest.raises(CellError):
+            function("AND2").truth_table("Z")
+
+
+class TestBdds:
+    def test_and2_bdd(self):
+        m = Manager()
+        bdds = function("AND2").bdds(m)
+        assert bdds["Y"].truth_table(["A", "B"]) == [0, 0, 0, 1]
+
+    def test_fa_two_outputs(self):
+        m = Manager()
+        bdds = function("FA").bdds(m)
+        assert set(bdds) == {"S", "CO"}
+        assert bdds["S"].truth_table(["A", "B", "CI"]) == \
+            function("FA").truth_table("S")
+
+    def test_pin_renaming(self):
+        m = Manager()
+        bdds = function("XOR2").bdds(m, pin_map={"A": "net1", "B": "net2"})
+        assert bdds["Y"].support() == {"net1", "net2"}
+
+    def test_sequential_has_no_bdd(self):
+        with pytest.raises(CellError):
+            function("DFF").bdds(Manager())
+
+
+class TestSequential:
+    def test_dlatch_transparent(self):
+        fn = function("DLATCH")
+        assert fn.evaluate({"D": True, "EN": True})["Q"] is True
+        state = fn.next_state({"D": True, "EN": True}, {"Q_state": False})
+        assert state["Q_state"] is True
+
+    def test_dlatch_holds(self):
+        fn = function("DLATCH")
+        out = fn.evaluate({"D": True, "EN": False, "Q_state": False})
+        assert out["Q"] is False
+        state = fn.next_state({"D": True, "EN": False}, {"Q_state": False})
+        assert state["Q_state"] is False
+
+    def test_dff_captures_d(self):
+        fn = function("DFF")
+        state = fn.next_state({"D": True, "CK": True}, {"Q_state": False})
+        assert state["Q_state"] is True
+
+    def test_dffr_async_reset(self):
+        fn = function("DFFR")
+        assert fn.evaluate({"D": True, "CK": False, "RN": False})["Q"] is False
+        state = fn.next_state({"D": True, "CK": True, "RN": False},
+                              {"Q_state": True})
+        assert state["Q_state"] is False
+
+    def test_edff_enable_gates_capture(self):
+        fn = function("EDFF")
+        hold = fn.next_state({"D": True, "CK": True, "E": False},
+                             {"Q_state": False})
+        assert hold["Q_state"] is False
+        take = fn.next_state({"D": True, "CK": True, "E": True},
+                             {"Q_state": False})
+        assert take["Q_state"] is True
+
+    def test_clock_pins(self):
+        assert function("DFF").clock_pin == "CK"
+        assert function("DLATCH").clock_pin == "EN"
+
+    def test_state_pins_declared(self):
+        for name in ("DLATCH", "DFF", "DFFR", "EDFF"):
+            assert function(name).state_pins == ("Q_state",)

@@ -1,0 +1,170 @@
+"""Tests for the layout model and cell datasheets (Tables 1 & 2 geometry)."""
+
+import pytest
+
+from repro.cells import (
+    Cell,
+    DelayModel,
+    LayoutModel,
+    PowerModel,
+    SITE_COUNTS_CMOS,
+    SITE_COUNTS_MCML,
+    function,
+)
+from repro.cells.layout import (
+    estimate_sites,
+    library_area_um2,
+    mcml_transistor_count,
+)
+from repro.errors import CellError
+from repro.units import fF, ps, uA
+
+
+class TestTable1Areas:
+    """The published Table 1 values, reproduced exactly."""
+
+    @pytest.mark.parametrize("cell,mcml_um2,pg_um2", [
+        ("BUF", 7.056, 7.448),
+        ("MUX4", 19.7568, 20.8544),
+        ("AND4", 16.9344, 17.8752),
+        ("DLATCH", 8.4672, 8.9376),
+    ])
+    def test_exact_areas(self, cell, mcml_um2, pg_um2):
+        assert LayoutModel("mcml").area_um2(cell) == pytest.approx(
+            mcml_um2, rel=1e-9)
+        assert LayoutModel("pgmcml").area_um2(cell) == pytest.approx(
+            pg_um2, rel=1e-9)
+
+    def test_overhead_constant_56_percent(self):
+        for name in SITE_COUNTS_MCML:
+            ratio = (LayoutModel("pgmcml").area_um2(name)
+                     / LayoutModel("mcml").area_um2(name))
+            assert ratio == pytest.approx(7.448 / 7.056, rel=1e-9)
+
+
+class TestTable2Areas:
+    @pytest.mark.parametrize("cell,area", [
+        ("BUF", 7.448), ("DIFF2SINGLE", 8.9376), ("AND2", 8.9376),
+        ("AND3", 13.40641), ("AND4", 17.8752), ("MUX2", 8.9376),
+        ("MUX4", 20.8544), ("MAJ32", 17.8752), ("XOR2", 8.9376),
+        ("XOR3", 17.8752), ("XOR4", 20.8544), ("DLATCH", 8.9376),
+        ("DFF", 17.8752), ("DFFR", 26.8128), ("EDFF", 23.8336),
+        ("FA", 35.7504),
+    ])
+    def test_pg_mcml_area(self, cell, area):
+        assert LayoutModel("pgmcml").area_um2(cell) == pytest.approx(
+            area, rel=1e-4)
+
+
+class TestLayoutModel:
+    def test_unknown_style(self):
+        with pytest.raises(CellError):
+            LayoutModel("ecl").site_width()
+
+    def test_unknown_cell(self):
+        with pytest.raises(CellError):
+            LayoutModel("cmos").area_um2("FROB")
+
+    def test_width_um(self):
+        assert LayoutModel("mcml").width_um("BUF") == pytest.approx(
+            5 * 0.504, rel=1e-9)
+
+    def test_library_area_histogram(self):
+        total = library_area_um2({"BUF": 2, "AND2": 1}, "pgmcml")
+        assert total == pytest.approx(2 * 7.448 + 8.9376, rel=1e-9)
+
+    def test_library_area_negative_count(self):
+        with pytest.raises(CellError):
+            library_area_um2({"BUF": -1}, "mcml")
+
+    def test_cmos_sites_cover_reference_cells(self):
+        for name in ("INV", "NAND2", "MUX2", "DFF", "FA"):
+            assert SITE_COUNTS_CMOS[name] > 0
+
+
+class TestEstimator:
+    def test_transistor_count_buffer(self):
+        # Buffer: 1 pair (2T) + 2 loads + tail = 5; +1 sleep for PG.
+        assert mcml_transistor_count(function("BUF"), False) == 5
+        assert mcml_transistor_count(function("BUF"), True) == 6
+
+    def test_transistor_count_grows_with_inputs(self):
+        and2 = mcml_transistor_count(function("AND2"), False)
+        and4 = mcml_transistor_count(function("AND4"), False)
+        assert and4 > and2
+
+    def test_latch_topology_count(self):
+        # Clock + track + hold pairs (6T) + 2 loads + tail.
+        assert mcml_transistor_count(function("DLATCH"), False) == 9
+
+    def test_estimator_within_40_percent(self):
+        for name in ("BUF", "AND2", "AND3", "AND4", "XOR2", "MUX2"):
+            est = estimate_sites(function(name), "pgmcml")
+            actual = SITE_COUNTS_MCML[name]
+            assert abs(est - actual) / actual < 0.45
+
+    def test_estimator_unknown_style(self):
+        with pytest.raises(CellError):
+            estimate_sites(function("BUF"), "ttl")
+
+
+class TestCellDatasheet:
+    def make_power(self, style="pgmcml"):
+        return PowerModel(style=style, iss=uA(50), sleep_leak=1e-10,
+                          residual_sigma=5e-8, wake_time=ps(300))
+
+    def make_cell(self, **kwargs):
+        defaults = dict(
+            name="BUF", function=function("BUF"), style="pgmcml",
+            sites=5, area_um2=7.448, input_cap=fF(1.2),
+            delay_model=DelayModel(ps(14), 8000.0),
+            power=self.make_power())
+        defaults.update(kwargs)
+        return Cell(**defaults)
+
+    def test_delay_linear_in_load(self):
+        cell = self.make_cell()
+        d1 = cell.delay(fF(1))
+        d2 = cell.delay(fF(2))
+        assert d2 - d1 == pytest.approx(8000.0 * fF(1))
+
+    def test_default_delay_uses_own_input(self):
+        cell = self.make_cell()
+        assert cell.delay() == pytest.approx(cell.delay(fF(1.2)))
+
+    def test_fo4(self):
+        cell = self.make_cell()
+        assert cell.fo4_delay() > cell.delay()
+
+    def test_style_mismatch_rejected(self):
+        with pytest.raises(CellError):
+            self.make_cell(power=PowerModel(style="cmos", leak=1e-9))
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(CellError):
+            self.make_cell().delay(-1e-15)
+
+    def test_power_static_current_modes(self):
+        p = self.make_power()
+        assert p.static_current() == pytest.approx(uA(50))
+        assert p.static_current(asleep=True) == pytest.approx(1e-10)
+
+    def test_mcml_cannot_sleep(self):
+        p = PowerModel(style="mcml", iss=uA(50))
+        with pytest.raises(CellError):
+            p.static_current(asleep=True)
+
+    def test_sleep_leak_below_iss_enforced(self):
+        with pytest.raises(CellError):
+            PowerModel(style="pgmcml", iss=uA(1), sleep_leak=uA(2))
+
+    def test_mcml_needs_positive_iss(self):
+        with pytest.raises(CellError):
+            PowerModel(style="mcml", iss=0.0)
+
+    def test_with_measurement_changes_source(self):
+        cell = self.make_cell()
+        updated = cell.with_measurement(DelayModel(ps(20), 8000.0),
+                                        self.make_power())
+        assert updated.source == "characterized"
+        assert updated.delay_model.intrinsic == pytest.approx(ps(20))

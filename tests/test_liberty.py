@@ -1,0 +1,106 @@
+"""Tests for the Liberty (.lib) export."""
+
+import io
+import itertools
+import re
+
+import pytest
+
+from repro.cells import (
+    build_cmos_library,
+    build_mcml_library,
+    build_pg_mcml_library,
+    function,
+    write_liberty,
+)
+from repro.cells.liberty import _pin_function
+from repro.errors import CellError
+from repro.cells.library import Library
+
+
+def export(library) -> str:
+    buf = io.StringIO()
+    write_liberty(buf, library)
+    return buf.getvalue()
+
+
+@pytest.fixture(scope="module")
+def pg_lib_text():
+    return export(build_pg_mcml_library())
+
+
+class TestDocumentStructure:
+    def test_header(self, pg_lib_text):
+        assert pg_lib_text.startswith("library (pg_mcml_90nm) {")
+        assert 'time_unit : "1ns";' in pg_lib_text
+        assert "nom_voltage : 1.2;" in pg_lib_text
+
+    def test_braces_balanced(self, pg_lib_text):
+        assert pg_lib_text.count("{") == pg_lib_text.count("}")
+
+    def test_every_cell_present(self, pg_lib_text):
+        lib = build_pg_mcml_library()
+        for name in lib.names():
+            assert f"cell ({name})" in pg_lib_text
+
+    def test_areas_recorded(self, pg_lib_text):
+        assert "area : 7.448;" in pg_lib_text       # BUF
+        assert "area : 35.7504;" in pg_lib_text     # FA
+
+    def test_sleep_cells_marked(self, pg_lib_text):
+        assert "switch_cell_type : fine_grain;" in pg_lib_text
+
+    def test_pseudo_cells_dont_use(self, pg_lib_text):
+        block = pg_lib_text.split("cell (RAILSWAP)")[1].split("cell (")[0]
+        assert "dont_use : true;" in block
+
+    def test_sequential_cells_have_ff_group(self, pg_lib_text):
+        dff_block = pg_lib_text.split("cell (DFF)")[1].split("cell (")[0]
+        assert "ff (" in dff_block
+        assert 'clocked_on : "CK";' in dff_block
+        assert "clock : true;" in dff_block
+
+    def test_cmos_and_mcml_export_too(self):
+        assert "cell (INV)" in export(build_cmos_library())
+        assert "cell (XOR4)" in export(build_mcml_library())
+
+    def test_empty_library_rejected(self):
+        empty = Library(name="empty", style="cmos", cells={})
+        with pytest.raises(CellError):
+            write_liberty(io.StringIO(), empty)
+
+
+class TestPinFunctions:
+    @pytest.mark.parametrize("name", ["AND2", "OR2", "XOR2", "NAND3",
+                                      "MUX2", "MAJ32", "XNOR2", "INV"])
+    def test_idiom_matches_truth_table(self, name):
+        fn = function(name)
+        expr = _pin_function(fn, fn.outputs[0])
+        for bits in itertools.product([False, True],
+                                      repeat=len(fn.inputs)):
+            env = dict(zip(fn.inputs, bits))
+            expected = fn.evaluate(env)[fn.outputs[0]]
+            got = _eval_liberty(expr, env)
+            assert got == expected, (name, env, expr)
+
+    def test_sop_fallback(self):
+        fn = function("FA")
+        expr = _pin_function(fn, "S")   # no idiom for multi-output S
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip(fn.inputs, bits))
+            assert _eval_liberty(expr, env) == fn.evaluate(env)["S"]
+
+    def test_constants(self):
+        assert _pin_function(function("TIEH"), "Y") == "1"
+        assert _pin_function(function("TIEL"), "Y") == "0"
+
+
+def _eval_liberty(expr: str, env):
+    """Evaluate a Liberty boolean expression with Python semantics."""
+    python_expr = expr.replace("!", " not ").replace("&", " and ") \
+        .replace("|", " or ")
+    # XOR: Liberty '^' == Python '!=' over booleans.
+    python_expr = python_expr.replace("^", "!=")
+    scope = {k: bool(v) for k, v in env.items()}
+    scope.update({"__builtins__": {}})
+    return bool(eval(python_expr, scope))  # noqa: S307 - test-only

@@ -1,0 +1,141 @@
+"""Tests for the three built libraries (datasheet layer)."""
+
+import pytest
+
+from repro.cells import (
+    build_cmos_library,
+    build_mcml_library,
+    build_pg_mcml_library,
+)
+from repro.cells.library import (
+    PAPER_AREA_RATIOS,
+    PAPER_PG_DELAYS,
+    PG_MCML_CELL_NAMES,
+    characterize_library_cell,
+)
+from repro.errors import CellError
+from repro.units import ps, uA
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return build_pg_mcml_library()
+
+
+@pytest.fixture(scope="module")
+def mcml():
+    return build_mcml_library()
+
+
+@pytest.fixture(scope="module")
+def cmos():
+    return build_cmos_library()
+
+
+class TestLibraryContents:
+    def test_pg_has_all_16_paper_cells(self, pg):
+        for name in PG_MCML_CELL_NAMES:
+            assert name in pg
+
+    def test_pg_support_cells(self, pg):
+        for name in ("SINGLE2DIFF", "BUFX4", "RAILSWAP", "SLEEPBUF", "OR2"):
+            assert name in pg
+
+    def test_cmos_has_inverter_but_mcml_does_not(self, mcml, cmos):
+        assert "INV" in cmos
+        assert "INV" not in mcml  # inversion is free differentially
+
+    def test_unknown_cell_message(self, pg):
+        with pytest.raises(CellError, match="available"):
+            pg.cell("NAND7")
+
+    def test_iteration_and_len(self, pg):
+        assert len(pg) == len(list(pg))
+        assert sorted(c.name for c in pg) == pg.names()
+
+    def test_minimal_library_without_support(self):
+        small = build_pg_mcml_library(include_support=False)
+        assert "RAILSWAP" not in small
+        assert len(small) == 16
+
+
+class TestDatasheetValues:
+    def test_pg_delays_match_table2(self, pg):
+        for name, delay in PAPER_PG_DELAYS.items():
+            cell = pg.cell(name)
+            assert cell.delay(cell.input_cap) == pytest.approx(delay,
+                                                               rel=1e-6)
+
+    def test_mcml_slightly_faster_than_pg(self, pg, mcml):
+        for name in PG_MCML_CELL_NAMES:
+            assert mcml.cell(name).delay_model.intrinsic < \
+                pg.cell(name).delay_model.intrinsic
+
+    def test_cmos_faster_than_pg(self, pg, cmos):
+        for name in ("BUF", "AND2", "XOR2"):
+            assert cmos.cell(name).delay(1e-15) < pg.cell(name).delay(1e-15)
+
+    def test_area_ratio_mean_is_1_6(self, pg, cmos):
+        ratios = [pg.cell(n).area_um2 / cmos.cell(n).area_um2
+                  for n in PAPER_AREA_RATIOS]
+        assert sum(ratios) / len(ratios) == pytest.approx(1.6, abs=0.05)
+
+    def test_area_ratios_per_cell(self, pg, cmos):
+        for name, expected in PAPER_AREA_RATIOS.items():
+            ratio = pg.cell(name).area_um2 / cmos.cell(name).area_um2
+            assert ratio == pytest.approx(expected, abs=0.12)
+
+    def test_pg_cells_have_sleep_power_model(self, pg):
+        for name in PG_MCML_CELL_NAMES:
+            power = pg.cell(name).power
+            assert power.has_sleep
+            assert 0.0 < power.sleep_leak < power.iss
+
+    def test_mcml_cells_draw_constant_current(self, mcml):
+        cell = mcml.cell("BUF")
+        assert cell.power.static_current() == pytest.approx(uA(50))
+
+    def test_two_tail_cells_draw_double(self, pg):
+        assert pg.cell("DFF").power.iss == pytest.approx(2 * uA(50))
+        assert pg.cell("FA").power.iss == pytest.approx(2 * uA(50))
+
+    def test_cmos_leakage_scales_with_sites(self, cmos):
+        assert cmos.cell("FA").power.leak > cmos.cell("INV").power.leak
+
+    def test_railswap_is_free(self, pg):
+        swap = pg.cell("RAILSWAP")
+        assert swap.pseudo
+        assert swap.delay_model.delay(1e-15) == 0.0
+
+    def test_sleepbuf_is_cmos_style(self, pg):
+        assert pg.cell("SLEEPBUF").style == "cmos"
+
+    def test_total_area_histogram(self, pg):
+        area = pg.total_area_um2({"BUF": 10})
+        assert area == pytest.approx(74.48, rel=1e-6)
+
+    def test_datasheet_rows_shape(self, pg):
+        rows = pg.datasheet_rows()
+        assert len(rows) == len(pg)
+        assert all(len(r) == 3 for r in rows)
+
+    def test_bias_scaled_library(self):
+        fast = build_pg_mcml_library(iss=uA(100))
+        slow = build_pg_mcml_library(iss=uA(25))
+        assert fast.cell("BUF").delay_model.intrinsic < \
+            slow.cell("BUF").delay_model.intrinsic
+        with pytest.raises(CellError):
+            build_pg_mcml_library(iss=0.0)
+
+
+class TestCharacterizedDatasheet:
+    def test_buffer_roundtrip(self, pg):
+        updated = characterize_library_cell(pg, "BUF")
+        assert updated.source == "characterized"
+        assert 0.0 < updated.delay_model.intrinsic < ps(100)
+        assert updated.power.iss == pytest.approx(uA(50), rel=0.15)
+        assert 0.0 < updated.power.sleep_leak < 5e-9
+
+    def test_cmos_not_supported(self, cmos):
+        with pytest.raises(CellError):
+            characterize_library_cell(cmos, "BUF")

@@ -1,0 +1,147 @@
+"""Tests for library JSON round-trips and wire-aware timing."""
+
+import io
+import json
+
+import pytest
+
+from repro.cells import (
+    build_cmos_library,
+    build_mcml_library,
+    build_pg_mcml_library,
+    library_from_dict,
+    library_to_dict,
+    load_library,
+    save_library,
+)
+from repro.cells.io import cell_from_dict, cell_to_dict
+from repro.errors import CellError
+from repro.netlist import GateNetlist, static_timing, wire_delay
+from repro.synth import build_sbox_ise, place
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return build_pg_mcml_library()
+
+
+class TestCellRoundtrip:
+    def test_fields_preserved(self, pg):
+        original = pg.cell("BUF")
+        rebuilt = cell_from_dict(cell_to_dict(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.area_um2 == original.area_um2
+        assert rebuilt.delay_model.intrinsic == \
+            original.delay_model.intrinsic
+        assert rebuilt.power.iss == original.power.iss
+        assert rebuilt.power.sleep_leak == original.power.sleep_leak
+
+    def test_pseudo_flag_survives(self, pg):
+        swap = cell_from_dict(cell_to_dict(pg.cell("RAILSWAP")))
+        assert swap.pseudo
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(CellError):
+            cell_from_dict({"name": "BUF"})
+
+
+class TestLibraryRoundtrip:
+    @pytest.mark.parametrize("build", [build_cmos_library,
+                                       build_mcml_library,
+                                       build_pg_mcml_library])
+    def test_full_roundtrip(self, build):
+        original = build()
+        buf = io.StringIO()
+        save_library(buf, original)
+        buf.seek(0)
+        loaded = load_library(buf)
+        assert loaded.names() == original.names()
+        assert loaded.style == original.style
+        for name in original.names():
+            assert loaded.cell(name).area_um2 == pytest.approx(
+                original.cell(name).area_um2)
+            assert loaded.cell(name).delay_model.intrinsic == \
+                pytest.approx(original.cell(name).delay_model.intrinsic)
+
+    def test_file_roundtrip(self, pg, tmp_path):
+        path = str(tmp_path / "pg.json")
+        save_library(path, pg)
+        loaded = load_library(path)
+        assert len(loaded) == len(pg)
+
+    def test_json_is_valid_and_sorted(self, pg):
+        buf = io.StringIO()
+        save_library(buf, pg)
+        data = json.loads(buf.getvalue())
+        names = [c["name"] for c in data["cells"]]
+        assert names == sorted(names)
+        assert data["style"] == "pgmcml"
+
+    def test_version_checked(self, pg):
+        data = library_to_dict(pg)
+        data["format_version"] = 99
+        with pytest.raises(CellError):
+            library_from_dict(data)
+
+    def test_duplicate_cell_rejected(self, pg):
+        data = library_to_dict(pg)
+        data["cells"].append(data["cells"][0])
+        with pytest.raises(CellError):
+            library_from_dict(data)
+
+    def test_loaded_library_is_usable(self, pg):
+        """A reloaded library must drive synthesis like the original."""
+        from repro.synth import map_lut
+        buf = io.StringIO()
+        save_library(buf, pg)
+        buf.seek(0)
+        loaded = load_library(buf)
+        block = map_lut(loaded, {"y": [0, 1, 1, 0]}, ["a", "b"])
+        assert block.netlist.total_cells() >= 1
+
+
+class TestWireAwareTiming:
+    @pytest.fixture(scope="class")
+    def ise(self):
+        return build_sbox_ise(build_mcml_library())
+
+    def test_routed_slower_than_logical(self, ise):
+        placement = place(ise.netlist)
+        logical = static_timing(ise.netlist)
+        routed = static_timing(ise.netlist, placement=placement)
+        assert routed.critical_delay > logical.critical_delay
+
+    def test_wire_delay_positive_for_real_nets(self, ise):
+        placement = place(ise.netlist)
+        delays = [wire_delay(ise.netlist, placement, n)
+                  for n in list(ise.netlist.nets)[:50]]
+        assert any(d > 0 for d in delays)
+        assert all(d >= 0 for d in delays)
+
+    def test_single_pin_net_has_no_wire(self):
+        lib = build_cmos_library()
+        nl = GateNetlist("one", lib)
+        nl.add_primary_input("a")
+        nl.add_instance("INV", {"A": "a", "Y": "y"}, name="u")
+        placement = place(nl)
+        # 'y' has a driver but no sinks -> fewer than two placed points.
+        assert wire_delay(nl, placement, "y") == 0.0
+
+    def test_differential_wire_penalty(self):
+        """The same topology pays more wire delay in the fat-wire
+        differential flow than in CMOS."""
+        def routed_minus_logical(build):
+            nl = GateNetlist("chain", build())
+            nl.add_primary_input("a")
+            prev = "a"
+            cell = "BUF"
+            for i in range(60):
+                nl.add_instance(cell, {"A": prev, "Y": f"n{i}"},
+                                name=f"u{i}")
+                prev = f"n{i}"
+            placement = place(nl)
+            return (static_timing(nl, placement=placement).critical_delay
+                    - static_timing(nl).critical_delay)
+
+        assert routed_minus_logical(build_mcml_library) > \
+            routed_minus_logical(build_cmos_library)

@@ -1,0 +1,200 @@
+"""Tests for the event-driven logic simulator."""
+
+import pytest
+
+from repro.cells import build_cmos_library
+from repro.errors import SimulationError
+from repro.netlist import GateNetlist, LogicSimulator
+from repro.units import ns
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_cmos_library()
+
+
+def chain(lib, n=3):
+    nl = GateNetlist("chain", lib)
+    nl.add_primary_input("a")
+    prev = "a"
+    for i in range(n):
+        nl.add_instance("INV", {"A": prev, "Y": f"n{i}"}, name=f"u{i}")
+        prev = f"n{i}"
+    nl.add_primary_output(prev)
+    return nl
+
+
+class TestSettling:
+    def test_initialize_settles_chain(self, lib):
+        sim = LogicSimulator(chain(lib))
+        sim.initialize({"a": True})
+        assert sim.values["n0"] is False
+        assert sim.values["n1"] is True
+        assert sim.values["n2"] is False
+
+    def test_initialize_unknown_input(self, lib):
+        sim = LogicSimulator(chain(lib))
+        with pytest.raises(SimulationError):
+            sim.initialize({"zz": True})
+
+    def test_reset_clears_everything(self, lib):
+        sim = LogicSimulator(chain(lib))
+        sim.initialize({"a": True})
+        sim.reset()
+        assert not any(sim.values.values())
+
+
+class TestCombinationalEvents:
+    def test_edge_propagates_with_delay(self, lib):
+        nl = chain(lib, n=2)
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": False})
+        trace = sim.run([(1e-9, "a", True)], duration=5e-9)
+        t_n0 = [t for t in trace.transitions if t.net == "n0"]
+        t_n1 = [t for t in trace.transitions if t.net == "n1"]
+        assert len(t_n0) == 1 and len(t_n1) == 1
+        assert t_n0[0].time > 1e-9
+        assert t_n1[0].time > t_n0[0].time
+
+    def test_no_event_when_output_unchanged(self, lib):
+        nl = GateNetlist("and", lib)
+        nl.add_primary_input("a")
+        nl.add_primary_input("b")
+        nl.add_instance("AND2", {"A": "a", "B": "b", "Y": "y"}, name="u")
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": False, "b": False})
+        trace = sim.run([(1e-9, "a", True)], duration=5e-9)  # b still 0
+        assert trace.toggles("y") == 0
+
+    def test_glitch_swallowed_by_inertial_delay(self, lib):
+        """Two opposing input edges closer than the gate delay produce
+        no output event at all."""
+        nl = GateNetlist("and", lib)
+        nl.add_primary_input("a")
+        nl.add_primary_input("b")
+        nl.add_instance("AND2", {"A": "a", "B": "b", "Y": "y"}, name="u")
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": False, "b": True})
+        delay = nl.instance_delay(nl.instances["u"])
+        trace = sim.run([(1e-9, "a", True),
+                         (1e-9 + delay / 4, "a", False)], duration=5e-9)
+        assert trace.toggles("y") == 0
+
+    def test_wide_pulse_passes(self, lib):
+        nl = GateNetlist("and", lib)
+        nl.add_primary_input("a")
+        nl.add_primary_input("b")
+        nl.add_instance("AND2", {"A": "a", "B": "b", "Y": "y"}, name="u")
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": False, "b": True})
+        trace = sim.run([(1e-9, "a", True), (3e-9, "a", False)],
+                        duration=8e-9)
+        assert trace.toggles("y") == 2
+
+    def test_unknown_stimulus_net(self, lib):
+        sim = LogicSimulator(chain(lib))
+        with pytest.raises(SimulationError):
+            sim.run([(0.0, "zz", True)])
+
+    def test_xor_tree_parity(self, lib):
+        nl = GateNetlist("parity", lib)
+        for name in ("a", "b", "c"):
+            nl.add_primary_input(name)
+        nl.add_instance("XOR2", {"A": "a", "B": "b", "Y": "ab"})
+        nl.add_instance("XOR2", {"A": "ab", "B": "c", "Y": "p"})
+        sim = LogicSimulator(nl)
+        for bits in [(0, 0, 1), (1, 1, 1), (1, 0, 0)]:
+            sim.initialize(dict(zip("abc", map(bool, bits))))
+            assert sim.values["p"] == bool(sum(bits) % 2)
+
+
+class TestTraceQueries:
+    def test_toggle_counts(self, lib):
+        sim = LogicSimulator(chain(lib, 2))
+        sim.initialize({"a": False})
+        trace = sim.run([(1e-9, "a", True), (3e-9, "a", False)],
+                        duration=8e-9)
+        counts = trace.toggle_counts()
+        assert counts["a"] == 2
+        assert counts["n0"] == 2
+
+    def test_instance_toggles(self, lib):
+        sim = LogicSimulator(chain(lib, 2))
+        sim.initialize({"a": False})
+        trace = sim.run([(1e-9, "a", True)], duration=5e-9)
+        assert trace.instance_toggles() == {"u0": 1, "u1": 1}
+
+    def test_value_of(self, lib):
+        sim = LogicSimulator(chain(lib, 1))
+        sim.initialize({"a": False})
+        trace = sim.run([(1e-9, "a", True)], duration=5e-9)
+        assert trace.value_of("a", 0.5e-9) is False
+        assert trace.value_of("a", 2e-9) is True
+
+    def test_in_window(self, lib):
+        sim = LogicSimulator(chain(lib, 1))
+        sim.initialize({"a": False})
+        trace = sim.run([(1e-9, "a", True), (3e-9, "a", False)],
+                        duration=8e-9)
+        early = trace.in_window(0.0, 2e-9)
+        assert all(t.time < 2e-9 for t in early)
+
+
+class TestSequential:
+    def clocked(self, lib, cell="DFF", extra=None):
+        nl = GateNetlist("ff", lib)
+        nl.add_primary_input("d")
+        nl.add_primary_input("ck")
+        pins = {"D": "d", "CK": "ck", "Q": "q"}
+        if extra:
+            for pin, net in extra.items():
+                nl.add_primary_input(net)
+                pins[pin] = net
+        nl.add_instance(cell, pins, name="ff")
+        nl.add_primary_output("q")
+        return nl
+
+    def test_dff_captures_on_rising_edge(self, lib):
+        sim = LogicSimulator(self.clocked(lib))
+        sim.initialize({"d": True, "ck": False})
+        assert sim.values["q"] is False
+        trace = sim.run([(1e-9, "ck", True)], duration=5e-9)
+        assert trace.final_values["q"] is True
+
+    def test_dff_ignores_falling_edge(self, lib):
+        sim = LogicSimulator(self.clocked(lib))
+        sim.initialize({"d": True, "ck": True})
+        trace = sim.run([(1e-9, "ck", False), (2e-9, "d", False)],
+                        duration=5e-9)
+        assert trace.final_values["q"] is False
+
+    def test_dff_two_edges(self, lib):
+        sim = LogicSimulator(self.clocked(lib))
+        sim.initialize({"d": True, "ck": False})
+        trace = sim.run([
+            (1e-9, "ck", True), (2e-9, "ck", False),
+            (2.5e-9, "d", False), (3e-9, "ck", True),
+        ], duration=8e-9)
+        assert trace.final_values["q"] is False
+        assert trace.toggles("q") == 2  # up then down
+
+    def test_dffr_async_reset(self, lib):
+        sim = LogicSimulator(self.clocked(lib, "DFFR", {"RN": "rn"}))
+        sim.initialize({"d": True, "ck": False, "rn": True})
+        trace = sim.run([(1e-9, "ck", True), (3e-9, "rn", False)],
+                        duration=6e-9)
+        assert trace.final_values["q"] is False
+
+    def test_dlatch_transparent_high(self, lib):
+        nl = GateNetlist("lat", lib)
+        nl.add_primary_input("d")
+        nl.add_primary_input("en")
+        nl.add_instance("DLATCH", {"D": "d", "EN": "en", "Q": "q"},
+                        name="lat")
+        sim = LogicSimulator(nl)
+        sim.initialize({"d": False, "en": True})
+        trace = sim.run([(1e-9, "d", True),           # transparent: follows
+                         (2e-9, "en", False),         # close the latch
+                         (3e-9, "d", False)],         # must be ignored
+                        duration=6e-9)
+        assert trace.final_values["q"] is True

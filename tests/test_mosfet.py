@@ -1,0 +1,183 @@
+"""Tests for the EKV-style MOSFET model: the physics the paper rests on."""
+
+import math
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.spice.mosfet import MosfetModel, ekv_interp, softplus
+from repro.tech import NMOS_HVT, NMOS_LVT, PMOS_LVT, TECH90
+from repro.units import um
+
+VDD = 1.2
+
+
+def nmos(w=um(1.0), l=um(0.1), params=NMOS_HVT):
+    return MosfetModel(params, w, l)
+
+
+def pmos(w=um(1.0), l=um(0.1), params=PMOS_LVT):
+    return MosfetModel(params, w, l)
+
+
+class TestInterpolation:
+    def test_softplus_large(self):
+        assert softplus(50.0) == pytest.approx(50.0)
+
+    def test_softplus_small(self):
+        assert softplus(-50.0) == pytest.approx(math.exp(-50.0))
+
+    def test_softplus_zero(self):
+        assert softplus(0.0) == pytest.approx(math.log(2.0))
+
+    def test_ekv_strong_inversion_limit(self):
+        # F(x) -> (x/2)^2 for large x.
+        assert ekv_interp(40.0) == pytest.approx(400.0, rel=1e-6)
+
+    def test_ekv_subthreshold_limit(self):
+        # F(x) -> exp(x) for very negative x.
+        assert ekv_interp(-20.0) == pytest.approx(math.exp(-20.0), rel=1e-3)
+
+
+class TestGeometryValidation:
+    def test_below_min_width(self):
+        with pytest.raises(DeviceError):
+            MosfetModel(NMOS_HVT, w=um(0.05), l=um(0.1))
+
+    def test_below_min_length(self):
+        with pytest.raises(DeviceError):
+            MosfetModel(NMOS_HVT, w=um(0.5), l=um(0.05))
+
+
+class TestNmosRegions:
+    def test_off_device_leaks_little(self):
+        m = nmos()
+        leak = m.ids(0.0, VDD, 0.0)
+        assert 0.0 < leak < 1e-9  # sub-nA for high-Vt
+
+    def test_saturation_square_law(self):
+        # Ids should quadruple when the overdrive doubles (saturation).
+        m = nmos()
+        i1 = m.ids(NMOS_HVT.vt0 + 0.2, VDD, 0.0)
+        i2 = m.ids(NMOS_HVT.vt0 + 0.4, VDD, 0.0)
+        assert i2 / i1 == pytest.approx(4.0, rel=0.25)
+
+    def test_current_scales_with_width(self):
+        i1 = nmos(w=um(0.5)).ids(1.0, VDD, 0.0)
+        i2 = nmos(w=um(1.0)).ids(1.0, VDD, 0.0)
+        assert i2 / i1 == pytest.approx(2.0, rel=0.05)
+
+    def test_current_scales_inverse_length(self):
+        i1 = nmos(l=um(0.1)).ids(1.0, VDD, 0.0)
+        i2 = nmos(l=um(0.2)).ids(1.0, VDD, 0.0)
+        assert i1 / i2 == pytest.approx(2.0, rel=0.15)
+
+    def test_triode_vs_saturation(self):
+        m = nmos()
+        triode = m.ids(VDD, 0.05, 0.0)
+        sat = m.ids(VDD, VDD, 0.0)
+        assert 0.0 < triode < sat
+
+    def test_zero_vds_zero_current(self):
+        assert nmos().ids(1.0, 0.0, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_reverse_symmetry(self):
+        # Swapping drain and source flips the current sign.  The reverse
+        # direction carries less magnitude because the (grounded-bulk)
+        # body effect now raises Vt and channel-length modulation flips
+        # sign — both real pass-transistor effects.
+        m = nmos()
+        fwd = m.ids(1.0, 0.3, 0.0)
+        rev = m.ids(1.0, 0.0, 0.3)
+        assert rev < 0.0 < fwd
+        assert abs(rev) == pytest.approx(fwd, rel=0.35)
+        assert abs(rev) < fwd
+
+    def test_subthreshold_slope(self):
+        # Decade per n*Ut*ln(10) of gate drive below threshold.
+        m = nmos()
+        vg1, vg2 = 0.10, 0.20
+        i1 = m.ids(vg1, VDD, 0.0)
+        i2 = m.ids(vg2, VDD, 0.0)
+        decades = math.log10(i2 / i1)
+        expected = (vg2 - vg1) / (NMOS_HVT.nsub * 0.02585 * math.log(10))
+        assert decades == pytest.approx(expected, rel=0.1)
+
+    def test_hvt_leaks_less_than_lvt(self):
+        leak_hvt = nmos(params=NMOS_HVT).ids(0.0, VDD, 0.0)
+        leak_lvt = nmos(params=NMOS_LVT).ids(0.0, VDD, 0.0)
+        assert leak_lvt / leak_hvt > 10.0
+
+    def test_stacking_effect(self):
+        """A negative VGS (source above gate) cuts leakage further —
+        why the sleep transistor sits on top of the current source."""
+        m = nmos()
+        leak_vgs0 = m.ids(0.0, VDD, 0.0)
+        leak_neg = m.ids(0.0, VDD, 0.15)  # source floated up 150 mV
+        assert leak_neg < leak_vgs0 / 10.0
+
+
+class TestBodyEffect:
+    def test_reverse_body_bias_raises_vt(self):
+        m = nmos()
+        assert m.vt_eff(0.5) > m.vt_eff(0.0)
+
+    def test_forward_bias_clamped(self):
+        m = nmos()
+        # Deep forward bias must not produce a NaN.
+        assert math.isfinite(m.vt_eff(-2.0))
+
+    def test_body_bias_changes_current(self):
+        m = nmos()
+        i_nominal = m.ids(0.7, VDD, 0.0, vb=0.0)
+        i_reverse = m.ids(0.7, VDD, 0.0, vb=-0.5)
+        assert i_reverse < i_nominal
+
+
+class TestPmos:
+    def test_on_current_negative(self):
+        # Conducting PMOS: current flows source->drain, i.e. ids < 0.
+        m = pmos()
+        assert m.ids(0.0, 0.0, VDD, VDD) < 0.0
+
+    def test_off_pmos(self):
+        m = pmos()
+        assert abs(m.ids(VDD, 0.0, VDD, VDD)) < 1e-8
+
+    def test_triode_resistance_tracks_width(self):
+        # The active-load design knob: R ~ 1/W.
+        r1 = 0.05 / abs(pmos(w=um(0.2)).ids(0.0, VDD - 0.05, VDD, VDD))
+        r2 = 0.05 / abs(pmos(w=um(0.4)).ids(0.0, VDD - 0.05, VDD, VDD))
+        assert r1 / r2 == pytest.approx(2.0, rel=0.1)
+
+
+class TestSmallSignal:
+    def test_gm_positive_in_saturation(self):
+        assert nmos().gm(0.8, VDD, 0.0) > 0.0
+
+    def test_gds_small_in_saturation(self):
+        m = nmos()
+        gds = m.gds(0.8, VDD, 0.0)
+        gm = m.gm(0.8, VDD, 0.0)
+        assert 0.0 < gds < gm  # intrinsic gain > 1
+
+    def test_gds_large_in_triode(self):
+        m = nmos()
+        assert m.gds(VDD, 0.05, 0.0) > m.gds(VDD, VDD, 0.0)
+
+
+class TestCapacitances:
+    def test_all_positive(self):
+        m = nmos()
+        assert m.cgs > 0 and m.cgd > 0 and m.cdb > 0 and m.csb > 0
+
+    def test_cin_scales_with_width(self):
+        assert nmos(w=um(2.0)).cin == pytest.approx(2 * nmos(w=um(1.0)).cin,
+                                                    rel=1e-6)
+
+    def test_cgs_exceeds_overlap(self):
+        m = nmos()
+        assert m.cgs > m.cgd
+
+    def test_repr(self):
+        assert "nmos_hvt" in repr(nmos())

@@ -1,0 +1,68 @@
+"""Tests for the multi-bit (generalised) DPA — the title attack."""
+
+import numpy as np
+import pytest
+
+from repro.aes import SBOX
+from repro.cells import build_cmos_library, build_pg_mcml_library
+from repro.errors import AttackError
+from repro.power import standardize
+from repro.sca import AttackCampaign, dpa_attack, multibit_dpa_attack
+
+
+def charge_per_one_traces(key=0x42, n=300, seed=0):
+    """Synthetic charge-per-one target: sample 6 carries HW plus noise."""
+    rng = np.random.default_rng(seed)
+    pts = rng.integers(0, 256, size=n)
+    traces = rng.normal(0.0, 0.5, size=(n, 12))
+    hw = np.array([bin(SBOX[p ^ key]).count("1") for p in pts])
+    traces[:, 6] += 0.5 * hw
+    return traces, pts.tolist()
+
+
+class TestMultibitDpa:
+    def test_recovers_key_on_synthetic_target(self):
+        traces, pts = charge_per_one_traces()
+        result = multibit_dpa_attack(traces, pts, true_key=0x42)
+        assert result.succeeded
+
+    def test_stronger_than_single_bit(self):
+        traces, pts = charge_per_one_traces(n=180, seed=3)
+        multi = multibit_dpa_attack(traces, pts, true_key=0x42)
+        single = dpa_attack(traces, pts, target_bit=0, true_key=0x42)
+        assert multi.rank_of_true_key() <= single.rank_of_true_key()
+
+    def test_target_bit_marker(self):
+        traces, pts = charge_per_one_traces(n=64)
+        result = multibit_dpa_attack(traces, pts)
+        assert result.target_bit == -1
+
+    def test_count_mismatch(self):
+        with pytest.raises(AttackError):
+            multibit_dpa_attack(np.ones((4, 3)), [1, 2])
+
+
+class TestCampaignDpa:
+    def test_cmos_breaks_under_dpa(self):
+        campaign = AttackCampaign(build_cmos_library(), 0x2B)
+        result = campaign.run(with_dpa=True)
+        assert result.dpa.succeeded
+
+    def test_pg_resists_dpa(self):
+        campaign = AttackCampaign(build_pg_mcml_library(), 0x2B)
+        result = campaign.run(with_dpa=True)
+        assert not result.dpa.succeeded
+        assert result.dpa.rank_of_true_key() > 5
+
+    def test_standardisation_is_what_rescues_dom_on_cmos(self):
+        """Raw DoM drowns in the high-variance switching samples; the
+        per-sample normalisation recovers it — documenting why the
+        campaign standardises before DPA."""
+        campaign = AttackCampaign(build_cmos_library(), 0x2B)
+        result = campaign.run()
+        raw = multibit_dpa_attack(result.traces, result.plaintexts,
+                                  true_key=0x2B)
+        normed = multibit_dpa_attack(standardize(result.traces),
+                                     result.plaintexts, true_key=0x2B)
+        assert normed.rank_of_true_key() < raw.rank_of_true_key()
+        assert normed.rank_of_true_key() == 0

@@ -1,0 +1,150 @@
+"""Tests for the gate-level netlist graph."""
+
+import pytest
+
+from repro.cells import build_cmos_library, build_pg_mcml_library
+from repro.errors import NetlistError
+from repro.netlist import GateNetlist
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_cmos_library()
+
+
+def small_netlist(lib):
+    """a --INV--> n1 --INV--> y"""
+    nl = GateNetlist("pair", lib)
+    nl.add_primary_input("a")
+    nl.add_instance("INV", {"A": "a", "Y": "n1"}, name="u1")
+    nl.add_instance("INV", {"A": "n1", "Y": "y"}, name="u2")
+    nl.add_primary_output("y")
+    return nl
+
+
+class TestConstruction:
+    def test_basic(self, lib):
+        nl = small_netlist(lib)
+        nl.validate()
+        assert nl.total_cells() == 2
+        assert len(nl.nets) == 3
+
+    def test_unconnected_pin_rejected(self, lib):
+        nl = GateNetlist("bad", lib)
+        nl.add_primary_input("a")
+        with pytest.raises(NetlistError, match="unconnected"):
+            nl.add_instance("NAND2", {"A": "a", "Y": "y"})
+
+    def test_unknown_pin_rejected(self, lib):
+        nl = GateNetlist("bad", lib)
+        nl.add_primary_input("a")
+        with pytest.raises(NetlistError, match="unknown pins"):
+            nl.add_instance("INV", {"A": "a", "Q": "y", "Y": "y2"})
+
+    def test_duplicate_instance_name(self, lib):
+        nl = small_netlist(lib)
+        with pytest.raises(NetlistError):
+            nl.add_instance("INV", {"A": "a", "Y": "zz"}, name="u1")
+
+    def test_multiple_drivers_rejected(self, lib):
+        nl = small_netlist(lib)
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_instance("INV", {"A": "a", "Y": "n1"})
+
+    def test_driving_primary_input_rejected(self, lib):
+        nl = small_netlist(lib)
+        with pytest.raises(NetlistError):
+            nl.add_instance("INV", {"A": "n1", "Y": "a"})
+
+    def test_undriven_net_fails_validate(self, lib):
+        nl = GateNetlist("bad", lib)
+        nl.add_instance("INV", {"A": "mystery", "Y": "y"})
+        with pytest.raises(NetlistError, match="no driver"):
+            nl.validate()
+
+    def test_auto_instance_names_unique(self, lib):
+        nl = GateNetlist("auto", lib)
+        nl.add_primary_input("a")
+        i1 = nl.add_instance("INV", {"A": "a", "Y": "y1"})
+        i2 = nl.add_instance("INV", {"A": "a", "Y": "y2"})
+        assert i1.name != i2.name
+
+    def test_new_net_unique(self, lib):
+        nl = GateNetlist("nets", lib)
+        names = {nl.new_net().name for _ in range(50)}
+        assert len(names) == 50
+
+
+class TestAnalysis:
+    def test_histogram(self, lib):
+        nl = small_netlist(lib)
+        assert nl.cell_histogram() == {"INV": 2}
+
+    def test_total_area(self, lib):
+        nl = small_netlist(lib)
+        assert nl.total_area_um2() == pytest.approx(
+            2 * lib.cell("INV").area_um2)
+
+    def test_load_cap_counts_sinks_and_wire(self, lib):
+        nl = small_netlist(lib)
+        cap = nl.load_cap("n1")
+        assert cap > lib.cell("INV").input_cap  # + wire term
+
+    def test_fanout(self, lib):
+        nl = GateNetlist("fan", lib)
+        nl.add_primary_input("a")
+        for i in range(5):
+            nl.add_instance("INV", {"A": "a", "Y": f"y{i}"})
+        assert nl.nets["a"].fanout == 5
+
+    def test_instance_delay_includes_load(self, lib):
+        nl = small_netlist(lib)
+        d1 = nl.instance_delay(nl.instances["u1"])
+        d2 = nl.instance_delay(nl.instances["u2"])
+        # u2 drives the unloaded primary output -> faster than u1.
+        assert d2 < d1
+
+    def test_levelize_orders_dependencies(self, lib):
+        nl = small_netlist(lib)
+        order = [i.name for i in nl.levelize()]
+        assert order.index("u1") < order.index("u2")
+
+    def test_levelize_detects_loop(self, lib):
+        nl = GateNetlist("loop", lib)
+        nl.add_instance("INV", {"A": "b", "Y": "a"}, name="u1")
+        nl.add_instance("INV", {"A": "a", "Y": "b"}, name="u2")
+        with pytest.raises(NetlistError, match="loop"):
+            nl.levelize()
+
+    def test_registers_break_loops(self, lib):
+        nl = GateNetlist("ring", lib)
+        nl.add_primary_input("ck")
+        nl.add_instance("DFF", {"D": "n1", "CK": "ck", "Q": "q"}, name="ff")
+        nl.add_instance("INV", {"A": "q", "Y": "n1"}, name="u1")
+        order = nl.levelize()  # must not raise
+        assert [i.name for i in order] == ["u1"]
+        assert [i.name for i in nl.sequential_instances()] == ["ff"]
+
+    def test_move_sink(self, lib):
+        nl = small_netlist(lib)
+        nl.add_primary_input("b")
+        nl.move_sink("n1", ("u2", "A"), "b")
+        assert nl.instances["u2"].pins["A"] == "b"
+        assert nl.nets["n1"].fanout == 0
+        with pytest.raises(NetlistError):
+            nl.move_sink("n1", ("u2", "A"), "b")
+
+    def test_stats(self, lib):
+        stats = small_netlist(lib).stats()
+        assert stats["cells"] == 2.0
+        assert stats["sequential"] == 0.0
+
+    def test_pseudo_cells_not_counted(self):
+        pg = build_pg_mcml_library()
+        nl = GateNetlist("swap", pg)
+        nl.add_primary_input("a")
+        nl.add_instance("RAILSWAP", {"A": "a", "Y": "y"})
+        nl.add_instance("BUF", {"A": "y", "Y": "z"})
+        assert nl.total_cells() == 1
+        assert nl.cell_histogram() == {"BUF": 1}
+        assert "RAILSWAP" in nl.cell_histogram(include_pseudo=True)

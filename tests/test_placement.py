@@ -1,0 +1,129 @@
+"""Tests for the row placer and wirelength model."""
+
+import pytest
+
+from repro.cells import build_cmos_library, build_mcml_library, \
+    build_pg_mcml_library
+from repro.errors import SynthesisError
+from repro.netlist import GateNetlist
+from repro.synth import build_sbox_ise, place, wirelength_hpwl
+from repro.synth.report import UTILIZATION
+
+
+@pytest.fixture(scope="module")
+def cmos():
+    return build_cmos_library()
+
+
+def chain_netlist(lib, n=30):
+    nl = GateNetlist("chain", lib)
+    nl.add_primary_input("a")
+    prev = "a"
+    cell = "INV" if "INV" in lib else "BUF"
+    for i in range(n):
+        nl.add_instance(cell, {"A": prev, "Y": f"n{i}"}, name=f"u{i}")
+        prev = f"n{i}"
+    return nl
+
+
+class TestPlace:
+    def test_every_cell_placed_once(self, cmos):
+        nl = chain_netlist(cmos)
+        placement = place(nl)
+        assert set(placement.cells) == set(nl.instances)
+
+    def test_no_overlaps_within_rows(self, cmos):
+        placement = place(chain_netlist(cmos, 50))
+        by_row = {}
+        for cell in placement.cells.values():
+            by_row.setdefault(cell.y, []).append(cell)
+        for cells in by_row.values():
+            cells.sort(key=lambda c: c.x)
+            for left, right in zip(cells, cells[1:]):
+                assert left.x + left.width <= right.x + 1e-12
+
+    def test_cells_inside_die(self, cmos):
+        placement = place(chain_netlist(cmos, 50))
+        for cell in placement.cells.values():
+            assert cell.x + cell.width <= placement.die_width + 1e-9
+            assert cell.y + cell.height <= placement.die_height + 1e-9
+
+    def test_rows_at_cell_height(self, cmos):
+        placement = place(chain_netlist(cmos))
+        height = cmos.tech.cell_height
+        for cell in placement.cells.values():
+            assert cell.y % height == pytest.approx(0.0, abs=1e-12)
+
+    def test_utilization_near_target(self, cmos):
+        placement = place(chain_netlist(cmos, 200))
+        assert placement.utilization_achieved == pytest.approx(
+            UTILIZATION["cmos"], rel=0.2)
+
+    def test_differential_die_larger(self):
+        mcml = build_mcml_library()
+        cmos_lib = build_cmos_library()
+        p_mcml = place(chain_netlist(mcml, 100))
+        p_cmos = place(chain_netlist(cmos_lib, 100))
+        assert p_mcml.die_area_um2 > 2.0 * p_cmos.die_area_um2
+
+    def test_pseudo_cells_not_placed(self):
+        pg = build_pg_mcml_library()
+        nl = GateNetlist("swap", pg)
+        nl.add_primary_input("a")
+        nl.add_instance("RAILSWAP", {"A": "a", "Y": "b"}, name="sw")
+        nl.add_instance("BUF", {"A": "b", "Y": "c"}, name="buf")
+        placement = place(nl)
+        assert "sw" not in placement.cells
+        assert "buf" in placement.cells
+
+    def test_empty_netlist_rejected(self, cmos):
+        nl = GateNetlist("empty", cmos)
+        with pytest.raises(SynthesisError):
+            place(nl)
+
+    def test_bad_parameters(self, cmos):
+        nl = chain_netlist(cmos, 5)
+        with pytest.raises(SynthesisError):
+            place(nl, aspect_ratio=0.0)
+        with pytest.raises(SynthesisError):
+            place(nl, utilization=1.5)
+
+    def test_location_lookup(self, cmos):
+        placement = place(chain_netlist(cmos, 5))
+        assert placement.location("u0").width > 0
+        with pytest.raises(SynthesisError):
+            placement.location("ghost")
+
+    def test_sbox_ise_die_matches_report_scale(self):
+        """The placed die area must agree with report_block's
+        utilisation-derived core area."""
+        from repro.synth import report_block
+        ise = build_sbox_ise(build_mcml_library())
+        placement = place(ise.netlist)
+        report = report_block(ise.netlist)
+        assert placement.die_area_um2 == pytest.approx(
+            report.core_area_um2, rel=0.15)
+
+
+class TestWirelength:
+    def test_chain_wirelength_positive(self, cmos):
+        nl = chain_netlist(cmos, 30)
+        placement = place(nl)
+        assert wirelength_hpwl(nl, placement) > 0.0
+
+    def test_differential_counts_double(self):
+        cmos_lib = build_cmos_library()
+        mcml = build_mcml_library()
+        nl_c = chain_netlist(cmos_lib, 40)
+        nl_m = chain_netlist(mcml, 40)
+        wl_c = wirelength_hpwl(nl_c, place(nl_c))
+        wl_m = wirelength_hpwl(nl_m, place(nl_m))
+        # Fat wires double the count AND the die is larger.
+        assert wl_m > 2.0 * wl_c
+
+    def test_wirelength_grows_with_size(self, cmos):
+        small = chain_netlist(cmos, 20)
+        large = chain_netlist(cmos, 200)
+        wl_small = wirelength_hpwl(small, place(small))
+        wl_large = wirelength_hpwl(large, place(large))
+        assert wl_large > 5.0 * wl_small

@@ -1,0 +1,185 @@
+"""Tests for the DC operating-point solver."""
+
+import pytest
+
+from repro.errors import CircuitError, ConvergenceError
+from repro.spice import Circuit, GROUND, solve_dc
+from repro.spice.circuit import canonical_node
+from repro.tech import NMOS_HVT, NMOS_LVT, PMOS_LVT
+from repro.units import um
+
+VDD = 1.2
+
+
+class TestCircuitConstruction:
+    def test_ground_aliases(self):
+        assert canonical_node("gnd") == GROUND
+        assert canonical_node("VSS") == GROUND
+        assert canonical_node("0") == GROUND
+
+    def test_empty_node_name(self):
+        with pytest.raises(CircuitError):
+            canonical_node("")
+
+    def test_duplicate_device_name(self):
+        c = Circuit()
+        c.resistor("r1", "a", "b", 1e3)
+        with pytest.raises(CircuitError):
+            c.resistor("r1", "b", "c", 1e3)
+
+    def test_duplicate_source_on_node(self):
+        c = Circuit()
+        c.v("v1", "a", 1.0)
+        with pytest.raises(CircuitError):
+            c.v("v2", "a", 2.0)
+
+    def test_cannot_drive_ground(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.v("v1", "gnd", 1.0)
+
+    def test_validate_empty(self):
+        with pytest.raises(CircuitError):
+            Circuit().validate()
+
+    def test_validate_floating_node(self):
+        c = Circuit()
+        c.v("v1", "a", 1.0)
+        c.resistor("r1", "a", "dangling", 1e3)
+        with pytest.raises(CircuitError):
+            c.validate()
+
+    def test_device_lookup(self):
+        c = Circuit()
+        r = c.resistor("r1", "a", "0", 1e3)
+        assert c.device("r1") is r
+        with pytest.raises(CircuitError):
+            c.device("r9")
+
+    def test_all_nodes_sorted_and_grounded(self):
+        c = Circuit()
+        c.resistor("r1", "b", "a", 1.0)
+        assert GROUND in c.all_nodes()
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(Exception):
+            Circuit().resistor("r1", "a", "0", -5.0)
+
+
+class TestLinearSolves:
+    def test_resistor_divider(self):
+        c = Circuit()
+        c.v("vdd", "vdd", VDD)
+        c.resistor("r1", "vdd", "mid", 1e3)
+        c.resistor("r2", "mid", "0", 1e3)
+        op = solve_dc(c)
+        assert op["mid"] == pytest.approx(VDD / 2, abs=1e-6)
+
+    def test_divider_supply_current(self):
+        c = Circuit()
+        c.v("vdd", "vdd", VDD)
+        c.resistor("r1", "vdd", "mid", 1e3)
+        c.resistor("r2", "mid", "0", 1e3)
+        op = solve_dc(c)
+        assert op.current("vdd") == pytest.approx(VDD / 2e3, rel=1e-6)
+
+    def test_three_way_divider(self):
+        c = Circuit()
+        c.v("vdd", "vdd", 3.0)
+        c.resistor("r1", "vdd", "a", 1e3)
+        c.resistor("r2", "a", "b", 1e3)
+        c.resistor("r3", "b", "0", 1e3)
+        op = solve_dc(c)
+        assert op["a"] == pytest.approx(2.0, abs=1e-6)
+        assert op["b"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.isource("i1", "0", "out", 1e-3)  # pushes 1 mA into out
+        c.resistor("r1", "out", "0", 1e3)
+        op = solve_dc(c)
+        assert op["out"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_capacitor_open_at_dc(self):
+        c = Circuit()
+        c.v("vdd", "vdd", VDD)
+        c.resistor("r1", "vdd", "out", 1e3)
+        c.capacitor("c1", "out", "0", 1e-12)
+        op = solve_dc(c)
+        assert op["out"] == pytest.approx(VDD, abs=1e-6)
+        assert op.current("vdd") == pytest.approx(0.0, abs=1e-9)
+
+    def test_time_dependent_source(self):
+        from repro.spice import PWL
+        c = Circuit()
+        c.v("vin", "in", PWL([(0.0, 0.0), (1.0, 2.0)]))
+        c.resistor("r1", "in", "0", 1e3)
+        assert solve_dc(c, t=0.5).current("vin") == pytest.approx(1e-3)
+
+
+class TestNonlinearSolves:
+    def test_nmos_diode(self):
+        # Diode-connected NMOS against a pull-up resistor.
+        c = Circuit()
+        c.v("vdd", "vdd", VDD)
+        c.resistor("r1", "vdd", "d", 10e3)
+        c.mosfet("m1", "d", "d", "0", "0", NMOS_LVT, w=um(1), l=um(0.1))
+        op = solve_dc(c)
+        # The node must sit above Vt and below Vdd.
+        assert NMOS_LVT.vt0 < op["d"] < VDD
+        # KCL: resistor current equals device current.
+        i_r = (VDD - op["d"]) / 10e3
+        assert op.current("vdd") == pytest.approx(i_r, rel=1e-6)
+
+    def test_cmos_inverter_transfer(self):
+        def inverter_out(vin):
+            c = Circuit()
+            c.v("vdd", "vdd", VDD)
+            c.v("vin", "in", vin)
+            c.mosfet("mn", "out", "in", "0", "0", NMOS_LVT,
+                     w=um(0.3), l=um(0.1))
+            c.mosfet("mp", "out", "in", "vdd", "vdd", PMOS_LVT,
+                     w=um(0.6), l=um(0.1))
+            return solve_dc(c)["out"]
+
+        assert inverter_out(0.0) > VDD - 0.05
+        assert inverter_out(VDD) < 0.05
+        mid = inverter_out(0.55)
+        assert 0.1 < mid < VDD - 0.1  # transition region
+
+    def test_mcml_pair_steering(self):
+        """The core MCML property: the tail current steers entirely to
+        the side whose gate is higher."""
+        c = Circuit()
+        c.v("vdd", "vdd", VDD)
+        c.v("vn", "vn", 0.7)
+        c.v("inp", "inp", VDD)
+        c.v("inn", "inn", VDD - 0.4)
+        c.mosfet("mlp", "outp", "0", "vdd", "vdd", PMOS_LVT,
+                 w=um(0.3), l=um(0.1))
+        c.mosfet("mln", "outn", "0", "vdd", "vdd", PMOS_LVT,
+                 w=um(0.3), l=um(0.1))
+        c.mosfet("m1", "outn", "inp", "tail", "0", NMOS_HVT,
+                 w=um(0.8), l=um(0.1))
+        c.mosfet("m2", "outp", "inn", "tail", "0", NMOS_HVT,
+                 w=um(0.8), l=um(0.1))
+        c.mosfet("mt", "tail", "vn", "0", "0", NMOS_HVT,
+                 w=um(1.0), l=um(0.2))
+        op = solve_dc(c)
+        # inp high -> current through outn load -> outn drops, outp ~ Vdd.
+        assert op["outp"] > VDD - 0.02
+        assert op["outn"] < VDD - 0.1
+
+    def test_operating_point_repr(self):
+        c = Circuit()
+        c.v("vdd", "vdd", VDD)
+        c.resistor("r1", "vdd", "0", 1e3)
+        assert "vdd" in repr(solve_dc(c))
+
+    def test_warm_start_guess(self):
+        c = Circuit()
+        c.v("vdd", "vdd", VDD)
+        c.resistor("r1", "vdd", "mid", 1e3)
+        c.resistor("r2", "mid", "0", 1e3)
+        op = solve_dc(c, guess={"mid": 0.6})
+        assert op["mid"] == pytest.approx(0.6, abs=1e-6)

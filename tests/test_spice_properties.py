@@ -1,0 +1,127 @@
+"""Property-based tests of the analog engine's physical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, solve_dc
+from repro.spice.dc import System
+from repro.tech import NMOS_HVT, NMOS_LVT, PMOS_LVT
+from repro.units import um
+
+
+@st.composite
+def ladder_values(draw):
+    """Resistor ladder parameters: supply + 3-8 segment resistances."""
+    vdd = draw(st.floats(0.5, 3.0))
+    resistors = draw(st.lists(st.floats(100.0, 1e5), min_size=3,
+                              max_size=8))
+    return vdd, resistors
+
+
+class TestKirchhoff:
+    @given(ladder_values())
+    @settings(max_examples=30, deadline=None)
+    def test_ladder_current_conservation(self, params):
+        """Series ladder: the same current flows through every segment
+        and matches V/R_total exactly."""
+        vdd, resistors = params
+        ckt = Circuit()
+        ckt.v("vdd", "vdd", vdd)
+        prev = "vdd"
+        for i, r in enumerate(resistors):
+            nxt = "0" if i == len(resistors) - 1 else f"n{i}"
+            ckt.resistor(f"r{i}", prev, nxt, r)
+            prev = nxt
+        op = solve_dc(ckt)
+        expected = vdd / sum(resistors)
+        assert op.current("vdd") == pytest.approx(expected, rel=1e-6)
+
+    @given(ladder_values())
+    @settings(max_examples=30, deadline=None)
+    def test_ladder_voltages_monotone(self, params):
+        vdd, resistors = params
+        ckt = Circuit()
+        ckt.v("vdd", "vdd", vdd)
+        prev = "vdd"
+        for i, r in enumerate(resistors):
+            nxt = "0" if i == len(resistors) - 1 else f"n{i}"
+            ckt.resistor(f"r{i}", prev, nxt, r)
+            prev = nxt
+        op = solve_dc(ckt)
+        levels = [vdd] + [op[f"n{i}"] for i in range(len(resistors) - 1)] \
+            + [0.0]
+        assert all(a >= b - 1e-9 for a, b in zip(levels, levels[1:]))
+
+    @given(st.floats(0.1, 1.2), st.floats(0.1, 1.2))
+    @settings(max_examples=25, deadline=None)
+    def test_kcl_residual_vanishes_at_solution(self, v1, v2):
+        """Whatever the bias, the solved operating point's KCL residual
+        is numerically zero at every internal node."""
+        ckt = Circuit()
+        ckt.v("va", "a", v1)
+        ckt.v("vb", "b", v2)
+        ckt.resistor("r1", "a", "mid", 2e3)
+        ckt.resistor("r2", "b", "mid", 3e3)
+        ckt.mosfet("m1", "mid", "a", "0", "0", NMOS_LVT, w=um(0.5),
+                   l=um(0.1))
+        op = solve_dc(ckt)
+        system = System(ckt)
+        x = np.array([op.voltages[n] for n in system.unknowns])
+        residual = system.residual_only(x, ckt.fixed_nodes(0.0), 0.0)
+        assert np.max(np.abs(residual)) < 1e-9
+
+    @given(st.floats(0.0, 1.2))
+    @settings(max_examples=20, deadline=None)
+    def test_device_currents_conserve(self, vg):
+        """Current into the drain equals current out of the source for
+        the channel, at any gate bias (charge conservation)."""
+        from repro.spice.devices import Mosfet
+        from repro.spice.mosfet import MosfetModel
+        model = MosfetModel(NMOS_HVT, um(1.0), um(0.1))
+        device = Mosfet("m", "d", "g", "s", "b", model)
+        currents = device.currents([1.2, vg, 0.0, 0.0])
+        assert sum(currents) == pytest.approx(0.0, abs=1e-18)
+
+    @given(st.floats(0.05, 1.15), st.floats(0.05, 1.15))
+    @settings(max_examples=20, deadline=None)
+    def test_inverter_output_within_rails(self, vin, vdd_scale):
+        ckt = Circuit()
+        vdd = 1.2 * vdd_scale if vdd_scale > 0.4 else 1.2
+        ckt.v("vdd", "vdd", vdd)
+        ckt.v("vin", "in", min(vin, vdd))
+        ckt.mosfet("mn", "out", "in", "0", "0", NMOS_LVT, w=um(0.3),
+                   l=um(0.1))
+        ckt.mosfet("mp", "out", "in", "vdd", "vdd", PMOS_LVT, w=um(0.6),
+                   l=um(0.1))
+        op = solve_dc(ckt)
+        assert -0.01 <= op["out"] <= vdd + 0.01
+
+
+class TestMosfetMonotonicity:
+    @given(st.floats(0.3, 1.2), st.floats(0.3, 1.2))
+    @settings(max_examples=30, deadline=None)
+    def test_ids_monotone_in_vgs(self, va, vb):
+        from repro.spice.mosfet import MosfetModel
+        m = MosfetModel(NMOS_HVT, um(1.0), um(0.1))
+        lo, hi = sorted((va, vb))
+        assert m.ids(lo, 1.2, 0.0) <= m.ids(hi, 1.2, 0.0) + 1e-15
+
+    @given(st.floats(0.0, 1.2), st.floats(0.0, 1.2))
+    @settings(max_examples=30, deadline=None)
+    def test_ids_monotone_in_vds(self, va, vb):
+        from repro.spice.mosfet import MosfetModel
+        m = MosfetModel(NMOS_HVT, um(1.0), um(0.1))
+        lo, hi = sorted((va, vb))
+        assert m.ids(0.9, lo, 0.0) <= m.ids(0.9, hi, 0.0) + 1e-15
+
+    @given(st.floats(0.0, 1.2))
+    @settings(max_examples=20, deadline=None)
+    def test_ids_finite_everywhere(self, v):
+        import math
+        from repro.spice.mosfet import MosfetModel
+        m = MosfetModel(NMOS_HVT, um(1.0), um(0.1))
+        for vg in (0.0, v, 1.2):
+            for vd in (0.0, v, 1.2):
+                for vs in (0.0, v):
+                    assert math.isfinite(m.ids(vg, vd, vs))

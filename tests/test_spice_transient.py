@@ -1,0 +1,128 @@
+"""Tests for transient analysis against analytic RC solutions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.spice import Circuit, DC, Pulse, PWL, run_transient, solve_dc
+from repro.tech import NMOS_LVT, PMOS_LVT
+from repro.units import ns, ps, um
+
+VDD = 1.2
+
+
+def rc_circuit(r=1e3, c=1e-12, stim=None):
+    ckt = Circuit("rc")
+    ckt.v("vin", "in", stim if stim is not None else
+          Pulse(0.0, 1.0, ns(1), ps(1), ps(1), ns(50)))
+    ckt.resistor("r1", "in", "out", r)
+    ckt.capacitor("c1", "out", "0", c)
+    return ckt
+
+
+class TestRCStep:
+    def test_time_constant(self):
+        # v(out) should reach 1 - 1/e at t = delay + tau.
+        tau = 1e-9
+        ckt = rc_circuit(r=1e3, c=1e-12)
+        res = run_transient(ckt, tstop=ns(6), dt=ps(10))
+        wave = res.wave("out")
+        t63 = wave.first_crossing(1.0 - math.exp(-1.0), "rise")
+        assert t63 == pytest.approx(ns(1) + tau, rel=0.05)
+
+    def test_final_value(self):
+        res = run_transient(rc_circuit(), tstop=ns(8), dt=ps(20))
+        assert res.wave("out").v[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_trapezoidal_matches_be(self):
+        res_be = run_transient(rc_circuit(), tstop=ns(4), dt=ps(20),
+                               method="be")
+        res_tr = run_transient(rc_circuit(), tstop=ns(4), dt=ps(20),
+                               method="trap")
+        v_be = res_be.wave("out").value_at(ns(2.2))
+        v_tr = res_tr.wave("out").value_at(ns(2.2))
+        assert v_be == pytest.approx(v_tr, abs=0.02)
+
+    def test_source_current_charges_cap(self):
+        # Integral of supply current equals the charge C*V delivered.
+        ckt = rc_circuit(r=1e3, c=1e-12)
+        res = run_transient(ckt, tstop=ns(10), dt=ps(10))
+        charge = res.current("vin").integral()
+        assert charge == pytest.approx(1e-12 * 1.0, rel=0.05)
+
+    def test_record_subset(self):
+        res = run_transient(rc_circuit(), tstop=ns(2), dt=ps(50),
+                            record=["out"])
+        assert "out" in res.voltages
+        with pytest.raises(CircuitError):
+            res.wave("in")
+
+    def test_unknown_source_current(self):
+        res = run_transient(rc_circuit(), tstop=ns(2), dt=ps(50))
+        with pytest.raises(CircuitError):
+            res.current("nope")
+
+    def test_bad_parameters(self):
+        with pytest.raises(CircuitError):
+            run_transient(rc_circuit(), tstop=0.0, dt=ps(1))
+        with pytest.raises(CircuitError):
+            run_transient(rc_circuit(), tstop=ns(1), dt=ps(1),
+                          method="gear")
+
+
+class TestBreakpoints:
+    def test_grid_includes_stimulus_edges(self):
+        ckt = rc_circuit(stim=PWL([(0.0, 0.0), (ns(1.234), 1.0)]))
+        res = run_transient(ckt, tstop=ns(3), dt=ps(100))
+        assert np.any(np.isclose(res.time, ns(1.234)))
+
+
+class TestRCDivider:
+    def test_cap_between_two_unknowns(self):
+        # R-C-R sandwich: both cap terminals are unknown nodes.
+        ckt = Circuit()
+        ckt.v("vin", "in", Pulse(0, 1.0, ns(0.5), ps(1), ps(1), ns(40)))
+        ckt.resistor("r1", "in", "a", 1e3)
+        ckt.capacitor("c1", "a", "b", 1e-12)
+        ckt.resistor("r2", "b", "0", 1e3)
+        res = run_transient(ckt, tstop=ns(10), dt=ps(20))
+        # At t -> inf the cap is open: no current, b at ground.
+        assert res.wave("b").v[-1] == pytest.approx(0.0, abs=0.01)
+        # Immediately after the step the cap couples the edge onto b.
+        assert res.wave("b").peak() > 0.2
+
+
+class TestInverterTransient:
+    def build(self):
+        ckt = Circuit("inv")
+        ckt.v("vdd", "vdd", VDD)
+        ckt.v("vin", "in", Pulse(0.0, VDD, ns(0.5), ps(20), ps(20), ns(1),
+                                 ns(2)))
+        ckt.mosfet("mn", "out", "in", "0", "0", NMOS_LVT,
+                   w=um(0.3), l=um(0.1))
+        ckt.mosfet("mp", "out", "in", "vdd", "vdd", PMOS_LVT,
+                   w=um(0.6), l=um(0.1))
+        ckt.capacitor("cl", "out", "0", 2e-15)
+        return ckt
+
+    def test_inversion(self):
+        res = run_transient(self.build(), tstop=ns(2), dt=ps(5))
+        out = res.wave("out")
+        assert out.value_at(ns(0.4)) > VDD - 0.1   # input low -> out high
+        assert out.value_at(ns(1.2)) < 0.1         # input high -> out low
+
+    def test_switching_draws_supply_current(self):
+        res = run_transient(self.build(), tstop=ns(2), dt=ps(5))
+        supply = res.current("vdd")
+        # Static CMOS: negligible quiescent current, pulses at edges.
+        assert supply.peak() > 1e-6
+        quiescent = abs(supply.value_at(ns(0.4)))
+        assert quiescent < 1e-7
+
+    def test_initial_condition_from_dc(self):
+        ckt = self.build()
+        op = solve_dc(ckt)
+        res = run_transient(ckt, tstop=ns(1), dt=ps(10), ic=op)
+        assert res.wave("out").v[0] == pytest.approx(op["out"], abs=1e-6)

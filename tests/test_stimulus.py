@@ -1,0 +1,105 @@
+"""Tests for the DC / PWL / Pulse / Clock stimuli."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.spice import Clock, DC, Pulse, PWL
+from repro.units import ns, ps
+
+
+class TestDC:
+    def test_constant(self):
+        s = DC(1.2)
+        assert s.value(0.0) == 1.2
+        assert s.value(1e9) == 1.2
+
+    def test_no_breakpoints(self):
+        assert DC(0.0).breakpoints() == []
+
+
+class TestPWL:
+    def test_interpolation(self):
+        s = PWL([(0.0, 0.0), (1.0, 1.0)])
+        assert s.value(0.5) == pytest.approx(0.5)
+
+    def test_hold_before_and_after(self):
+        s = PWL([(1.0, 2.0), (2.0, 4.0)])
+        assert s.value(0.0) == 2.0
+        assert s.value(9.0) == 4.0
+
+    def test_breakpoints(self):
+        s = PWL([(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)])
+        assert s.breakpoints() == [0.0, 1.0, 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            PWL([])
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(CircuitError):
+            PWL([(1.0, 0.0), (0.5, 1.0)])
+
+
+class TestPulse:
+    def pulse(self, period=0.0):
+        return Pulse(v0=0.0, v1=1.2, delay=ns(1), rise=ps(100),
+                     fall=ps(100), width=ns(2), period=period)
+
+    def test_initial_level(self):
+        assert self.pulse().value(0.0) == 0.0
+
+    def test_high_level(self):
+        assert self.pulse().value(ns(2)) == 1.2
+
+    def test_mid_rise(self):
+        assert self.pulse().value(ns(1) + ps(50)) == pytest.approx(0.6)
+
+    def test_mid_fall(self):
+        t = ns(1) + ps(100) + ns(2) + ps(50)
+        assert self.pulse().value(t) == pytest.approx(0.6)
+
+    def test_back_to_low(self):
+        assert self.pulse().value(ns(5)) == 0.0
+
+    def test_single_pulse_stays_low(self):
+        assert self.pulse().value(ns(100)) == 0.0
+
+    def test_periodic_repeat(self):
+        p = self.pulse(period=ns(10))
+        assert p.value(ns(2)) == p.value(ns(12)) == 1.2
+
+    def test_zero_rise_time(self):
+        p = Pulse(0.0, 1.0, 0.0, 0.0, 0.0, ns(1))
+        assert p.value(ps(1)) == 1.0
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(CircuitError):
+            Pulse(0, 1, -1e-9, 0, 0, 1e-9)
+
+    def test_period_too_short_rejected(self):
+        with pytest.raises(CircuitError):
+            Pulse(0, 1, 0, ns(1), ns(1), ns(1), period=ns(2))
+
+    def test_breakpoints_sorted_within_pulse(self):
+        bp = self.pulse().breakpoints()
+        assert bp == sorted(bp)
+
+    def test_periodic_breakpoints_cover_cycles(self):
+        bp = self.pulse(period=ns(10)).breakpoints()
+        assert any(b > ns(20) for b in bp)
+
+
+class TestClock:
+    def test_fifty_percent_duty(self):
+        clk = Clock(0.0, 1.2, period=ns(2.5), transition=ps(100))
+        high = sum(1 for k in range(1000)
+                   if clk.value(k * ns(2.5) / 1000) > 0.6)
+        assert high == pytest.approx(500, abs=60)
+
+    def test_period_positive(self):
+        with pytest.raises(CircuitError):
+            Clock(0, 1, period=0.0, transition=ps(10))
+
+    def test_transition_bounded(self):
+        with pytest.raises(CircuitError):
+            Clock(0, 1, period=ns(1), transition=ns(1))

@@ -1,0 +1,152 @@
+"""Tests for DC sweeps: VTCs of CMOS and MCML gates."""
+
+import numpy as np
+import pytest
+
+from repro.cells import CmosCellGenerator, McmlCellGenerator, function, \
+    solve_bias
+from repro.errors import CircuitError
+from repro.spice import Circuit, DC, dc_sweep
+from repro.tech import TECH90
+from repro.units import uA, um
+
+VDD = TECH90.vdd
+
+
+def cmos_inverter():
+    gen = CmosCellGenerator()
+    cell = gen.build("INV")
+    ckt = cell.circuit
+    ckt.v("vdd", cell.vdd_net, VDD)
+    ckt.v("vin", cell.input_nets["A"], 0.0)
+    return ckt, cell.output_nets["Y"]
+
+
+class TestSweepMechanics:
+    def test_linear_circuit(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "mid", 1e3)
+        ckt.resistor("r2", "mid", "0", 1e3)
+        sweep = dc_sweep(ckt, "vin", np.linspace(0, 2, 11))
+        assert np.allclose(sweep.wave("mid").v, sweep.values / 2)
+
+    def test_source_current_tracks(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "0", 1e3)
+        sweep = dc_sweep(ckt, "vin", [0.0, 1.0, 2.0])
+        assert sweep.current("vin").v[-1] == pytest.approx(2e-3)
+
+    def test_stimulus_restored(self):
+        ckt = Circuit()
+        source = ckt.v("vin", "in", DC(0.7))
+        ckt.resistor("r1", "in", "0", 1e3)
+        dc_sweep(ckt, "vin", [0.0, 1.0])
+        assert source.value(0.0) == pytest.approx(0.7)
+
+    def test_unknown_source(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "0", 1e3)
+        with pytest.raises(CircuitError):
+            dc_sweep(ckt, "nope", [0.0, 1.0])
+
+    def test_too_few_points(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "0", 1e3)
+        with pytest.raises(CircuitError):
+            dc_sweep(ckt, "vin", [1.0])
+
+    def test_non_monotonic_rejected(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "0", 1e3)
+        with pytest.raises(CircuitError):
+            dc_sweep(ckt, "vin", [0.0, 1.0, 0.5])
+
+    def test_unrecorded_node(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "mid", 1e3)
+        ckt.resistor("r2", "mid", "0", 1e3)
+        sweep = dc_sweep(ckt, "vin", [0.0, 1.0], record=["mid"])
+        with pytest.raises(CircuitError):
+            sweep.wave("in")
+
+
+class TestCmosVTC:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        ckt, out = cmos_inverter()
+        result = dc_sweep(ckt, "vin", np.linspace(0.0, VDD, 61))
+        result.out = out
+        return result
+
+    def test_rails(self, sweep):
+        vtc = sweep.wave(sweep.out)
+        assert vtc.v[0] > VDD - 0.05
+        assert vtc.v[-1] < 0.05
+
+    def test_monotonically_falling(self, sweep):
+        vtc = sweep.wave(sweep.out)
+        assert np.all(np.diff(vtc.v) <= 1e-6)
+
+    def test_switching_threshold_near_midrail(self, sweep):
+        vm = sweep.switching_threshold(sweep.out)
+        assert 0.4 < vm < 0.8
+
+    def test_gain_exceeds_unity_in_transition(self, sweep):
+        gain = sweep.gain(sweep.out)
+        assert abs(gain.trough()) > 4.0  # healthy inverter gain
+
+    def test_crowbar_current_peaks_mid_transition(self, sweep):
+        supply = sweep.current("vdd")
+        peak_at = sweep.values[int(np.argmax(supply.v))]
+        assert 0.3 < peak_at < 0.9
+
+
+class TestMcmlTransfer:
+    def test_differential_steering_curve(self):
+        bias = solve_bias(uA(50))
+        s = bias.sizing
+        gen = McmlCellGenerator(sizing=s)
+        cell = gen.build(function("BUF"))
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, VDD)
+        ckt.v("vvn", cell.vn_net, s.vn)
+        ckt.v("vvp", cell.vp_net, s.vp)
+        common = VDD - s.swing / 2
+        in_p, in_n = cell.input_nets["A"]
+        ckt.v("vin_p", in_p, common)
+        ckt.v("vin_n", in_n, DC(common))
+        # Sweep the positive rail through the common mode.
+        sweep = dc_sweep(ckt, "vin_p",
+                         np.linspace(common - 0.25, common + 0.25, 41))
+        out_p, out_n = cell.output_nets["Y"]
+        diff = sweep.wave(out_p).v - sweep.wave(out_n).v
+        # Fully steered at the ends, crossing zero at the middle.
+        assert diff[0] < -0.3 and diff[-1] > 0.3
+        mid = np.interp(common, sweep.values, diff)
+        assert abs(mid) < 0.05
+
+    def test_supply_current_flat_through_transition(self):
+        """The DPA property along the whole transfer curve, not just at
+        the logic levels: Iss stays constant while the cell switches."""
+        bias = solve_bias(uA(50))
+        s = bias.sizing
+        gen = McmlCellGenerator(sizing=s)
+        cell = gen.build(function("BUF"))
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, VDD)
+        ckt.v("vvn", cell.vn_net, s.vn)
+        ckt.v("vvp", cell.vp_net, s.vp)
+        common = VDD - s.swing / 2
+        in_p, in_n = cell.input_nets["A"]
+        ckt.v("vin_p", in_p, common)
+        ckt.v("vin_n", in_n, DC(common))
+        sweep = dc_sweep(ckt, "vin_p",
+                         np.linspace(common - 0.2, common + 0.2, 21))
+        supply = sweep.current("vdd").v
+        assert (supply.max() - supply.min()) / supply.mean() < 0.05

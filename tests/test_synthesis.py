@@ -1,0 +1,270 @@
+"""Tests for LUT mapping, fanout buffering, and sleep insertion."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes import SBOX
+from repro.cells import build_cmos_library, build_mcml_library, \
+    build_pg_mcml_library
+from repro.errors import SynthesisError
+from repro.netlist import GateNetlist, LogicSimulator
+from repro.synth import (
+    build_sbox_ise,
+    insert_sleep_tree,
+    map_lut,
+    report_block,
+    sbox_truth_tables,
+    simulate_sbox_word,
+)
+from repro.synth.buffering import buffer_high_fanout
+
+
+@pytest.fixture(scope="module")
+def cmos():
+    return build_cmos_library()
+
+
+@pytest.fixture(scope="module")
+def mcml():
+    return build_mcml_library()
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return build_pg_mcml_library()
+
+
+def check_block(block, tables, input_names):
+    """Exhaustively verify a mapped block against its truth tables."""
+    sim = LogicSimulator(block.netlist)
+    n = len(input_names)
+    for code in range(1 << n):
+        env = {name: bool((code >> (n - 1 - k)) & 1)
+               for k, name in enumerate(input_names)}
+        sim.initialize(env)
+        for out, bits in tables.items():
+            assert sim.values[block.outputs[out]] == bool(bits[code]), \
+                (out, code)
+
+
+class TestMapLutSmall:
+    @pytest.mark.parametrize("bits", [
+        [0, 0, 0, 1], [0, 1, 1, 0], [1, 0, 0, 1], [0, 1, 1, 1],
+        [1, 1, 1, 0], [1, 0, 1, 0], [0, 1, 0, 1],
+    ])
+    def test_two_var_functions_cmos(self, cmos, bits):
+        block = map_lut(cmos, {"y": bits}, ["a", "b"])
+        check_block(block, {"y": bits}, ["a", "b"])
+
+    @pytest.mark.parametrize("bits", [
+        [0, 0, 0, 1], [1, 0, 0, 1], [1, 0, 1, 0],
+    ])
+    def test_two_var_functions_mcml(self, mcml, bits):
+        block = map_lut(mcml, {"y": bits}, ["a", "b"])
+        check_block(block, {"y": bits}, ["a", "b"])
+
+    def test_constant_outputs(self, cmos):
+        block = map_lut(cmos, {"one": [1, 1], "zero": [0, 0]}, ["a"])
+        check_block(block, {"one": [1, 1], "zero": [0, 0]}, ["a"])
+
+    def test_constant_outputs_mcml_are_free_ties(self, mcml):
+        block = map_lut(mcml, {"one": [1, 1]}, ["a"])
+        check_block(block, {"one": [1, 1]}, ["a"])
+        assert block.netlist.total_cells() == 0  # tie = rail pair
+
+    def test_constant_without_tie_cells_fails(self):
+        bare = build_mcml_library(include_support=False)
+        with pytest.raises(SynthesisError):
+            map_lut(bare, {"one": [1, 1]}, ["a"])
+
+    def test_table_size_mismatch(self, cmos):
+        with pytest.raises(SynthesisError):
+            map_lut(cmos, {"y": [0, 1]}, ["a", "b"])
+
+    def test_inverter_cost_asymmetry(self, cmos, mcml):
+        bits = [1, 0]  # y = NOT a
+        cmos_block = map_lut(cmos, {"y": bits}, ["a"])
+        mcml_block = map_lut(mcml, {"y": bits}, ["a"])
+        assert cmos_block.inverters == 1
+        assert mcml_block.inverters == 0
+        assert mcml_block.rail_swaps == 1
+        # The rail swap weighs nothing.
+        assert mcml_block.netlist.total_cells() == 0
+
+    def test_shared_netlist_embedding(self, cmos):
+        nl = GateNetlist("host", cmos)
+        nl.add_primary_input("x")
+        nl.add_primary_input("y")
+        block = map_lut(cmos, {"z": [0, 1, 1, 0]}, ["a", "b"], netlist=nl,
+                        input_nets={"a": "x", "b": "y"})
+        assert block.netlist is nl
+
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_random_4var_cmos(self, bits):
+        lib = build_cmos_library()
+        names = ["a", "b", "c", "d"]
+        block = map_lut(lib, {"y": bits}, names)
+        check_block(block, {"y": bits}, names)
+
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_random_4var_pgmcml(self, bits):
+        lib = build_pg_mcml_library()
+        names = ["a", "b", "c", "d"]
+        block = map_lut(lib, {"y": bits}, names)
+        check_block(block, {"y": bits}, names)
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=8),
+           st.lists(st.integers(0, 1), min_size=8, max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_multi_output_sharing(self, bits_a, bits_b):
+        lib = build_cmos_library()
+        names = ["a", "b", "c"]
+        tables = {"y0": bits_a, "y1": bits_b}
+        block = map_lut(lib, tables, names, share_outputs=True)
+        check_block(block, tables, names)
+
+
+class TestSboxMapping:
+    def test_sbox_logic_exact_all_styles(self, cmos, mcml, pg):
+        tables = sbox_truth_tables()
+        names = [f"x{i}" for i in range(8)]
+        for lib, share in ((cmos, False), (mcml, True), (pg, True)):
+            block = map_lut(lib, tables, names, share_outputs=share)
+            sim = LogicSimulator(block.netlist)
+            for val in (0x00, 0x01, 0x35, 0x7F, 0x80, 0xAA, 0xC3, 0xFF):
+                sim.initialize({f"x{i}": bool((val >> (7 - i)) & 1)
+                                for i in range(8)})
+                got = sum(int(sim.values[block.outputs[f"y{b}"]]) << (7 - b)
+                          for b in range(8))
+                assert got == SBOX[val], (lib.style, val)
+
+    def test_sharing_reduces_cells(self, mcml):
+        tables = sbox_truth_tables()
+        names = [f"x{i}" for i in range(8)]
+        shared = map_lut(mcml, tables, names, share_outputs=True)
+        split = map_lut(mcml, tables, names, share_outputs=False)
+        assert shared.netlist.total_cells() < split.netlist.total_cells()
+
+
+class TestBuffering:
+    def test_caps_fanout(self, cmos):
+        nl = GateNetlist("fan", cmos)
+        nl.add_primary_input("a")
+        for i in range(40):
+            nl.add_instance("INV", {"A": "a", "Y": f"y{i}"})
+        inserted = buffer_high_fanout(nl, max_fanout=6)
+        assert inserted > 0
+        for net in nl.nets.values():
+            assert net.fanout <= 6
+
+    def test_preserves_logic(self, cmos):
+        nl = GateNetlist("fan", cmos)
+        nl.add_primary_input("a")
+        for i in range(20):
+            nl.add_instance("INV", {"A": "a", "Y": f"y{i}"})
+        buffer_high_fanout(nl, max_fanout=4)
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": True})
+        assert all(sim.values[f"y{i}"] is False for i in range(20))
+
+    def test_no_op_below_limit(self, cmos):
+        nl = GateNetlist("small", cmos)
+        nl.add_primary_input("a")
+        nl.add_instance("INV", {"A": "a", "Y": "y"})
+        assert buffer_high_fanout(nl, max_fanout=8) == 0
+
+    def test_limit_validated(self, cmos):
+        nl = GateNetlist("x", cmos)
+        with pytest.raises(SynthesisError):
+            buffer_high_fanout(nl, max_fanout=1)
+
+
+class TestSleepTree:
+    def build_pg_block(self, pg, n=40):
+        nl = GateNetlist("blk", pg)
+        nl.add_primary_input("a")
+        prev = "a"
+        for i in range(n):
+            nl.add_instance("BUF", {"A": prev, "Y": f"n{i}"}, name=f"u{i}")
+            prev = f"n{i}"
+        return nl
+
+    def test_every_gated_cell_assigned(self, pg):
+        nl = self.build_pg_block(pg)
+        tree = insert_sleep_tree(nl)
+        assert tree.n_gated_cells == 40
+        assert set(tree.leaf_of) == {f"u{i}" for i in range(40)}
+
+    def test_buffer_count_scales(self, pg):
+        small = insert_sleep_tree(self.build_pg_block(pg, 20))
+        large = insert_sleep_tree(self.build_pg_block(pg, 200))
+        assert large.n_buffers > small.n_buffers
+
+    def test_buffers_are_netlist_instances(self, pg):
+        nl = self.build_pg_block(pg)
+        before = nl.total_cells()
+        tree = insert_sleep_tree(nl)
+        assert nl.total_cells() == before + tree.n_buffers
+
+    def test_insertion_delay_order_1ns(self, pg):
+        nl = self.build_pg_block(pg, 200)
+        tree = insert_sleep_tree(nl)
+        assert 0.2e-9 < tree.insertion_delay < 2.0e-9
+
+    def test_requires_pgmcml(self, cmos):
+        nl = GateNetlist("blk", cmos)
+        nl.add_primary_input("a")
+        nl.add_instance("INV", {"A": "a", "Y": "y"})
+        with pytest.raises(SynthesisError):
+            insert_sleep_tree(nl)
+
+    def test_requires_gated_cells(self, pg):
+        nl = GateNetlist("empty", pg)
+        nl.add_primary_input("a")
+        nl.add_instance("SLEEPBUF", {"A": "a", "Y": "y"})
+        with pytest.raises(SynthesisError):
+            insert_sleep_tree(nl)
+
+
+class TestSboxISE:
+    def test_word_datapath(self, pg):
+        ise = build_sbox_ise(pg)
+        sim = LogicSimulator(ise.netlist)
+        for word in (0x00000000, 0x0123ABCD, 0xFFFFFFFF):
+            expected = int.from_bytes(
+                bytes(SBOX[b] for b in word.to_bytes(4, "big")), "big")
+            assert simulate_sbox_word(ise, sim, word) == expected
+
+    def test_cell_count_ordering_matches_table3(self, cmos, mcml, pg):
+        counts = {lib.style: build_sbox_ise(lib).cells()
+                  for lib in (cmos, mcml, pg)}
+        assert counts["cmos"] > counts["pgmcml"] > counts["mcml"]
+
+    def test_cmos_mcml_cell_ratio(self, cmos, mcml):
+        ratio = build_sbox_ise(cmos).cells() / build_sbox_ise(mcml).cells()
+        assert ratio == pytest.approx(3865 / 2911, abs=0.25)
+
+    def test_sleep_tree_only_for_pg(self, cmos, pg):
+        assert build_sbox_ise(cmos).sleep_tree is None
+        assert build_sbox_ise(pg).sleep_tree is not None
+
+    def test_converters_only_differential(self, cmos, mcml):
+        hist_cmos = build_sbox_ise(cmos).netlist.cell_histogram()
+        hist_mcml = build_sbox_ise(mcml).netlist.cell_histogram()
+        assert "DIFF2SINGLE" not in hist_cmos
+        assert hist_mcml["DIFF2SINGLE"] == 32
+        assert hist_mcml["SINGLE2DIFF"] == 32
+
+    def test_block_report(self, mcml):
+        report = report_block(build_sbox_ise(mcml).netlist)
+        assert report.style == "mcml"
+        assert 0.3 < report.delay_ns < 2.0
+        assert report.core_area_um2 > report.area_um2
+
+    def test_needs_at_least_one_sbox(self, cmos):
+        with pytest.raises(SynthesisError):
+            build_sbox_ise(cmos, n_sboxes=0)

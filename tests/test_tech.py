@@ -1,0 +1,165 @@
+"""Tests for repro.tech: device parameters, corners, mismatch."""
+
+import math
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.tech import (
+    CORNERS,
+    MismatchModel,
+    NMOS_HVT,
+    NMOS_LVT,
+    PMOS_HVT,
+    PMOS_LVT,
+    TECH90,
+    Technology,
+    corner,
+    flavor,
+)
+from repro.units import um
+
+
+class TestFlavors:
+    def test_registry_lookup(self):
+        assert flavor("nmos_hvt") is NMOS_HVT
+        assert flavor("pmos_lvt") is PMOS_LVT
+
+    def test_unknown_flavor(self):
+        with pytest.raises(DeviceError):
+            flavor("nmos_mystery")
+
+    def test_polarity(self):
+        assert NMOS_LVT.is_nmos and not NMOS_LVT.is_pmos
+        assert PMOS_HVT.is_pmos and not PMOS_HVT.is_nmos
+
+    def test_hvt_has_higher_threshold(self):
+        assert NMOS_HVT.vt0 > NMOS_LVT.vt0
+        assert PMOS_HVT.vt0 > PMOS_LVT.vt0
+
+    def test_hvt_has_lower_mobility(self):
+        assert NMOS_HVT.kp < NMOS_LVT.kp
+
+    def test_shifted_vt(self):
+        shifted = NMOS_LVT.shifted(dvt=0.05)
+        assert shifted.vt0 == pytest.approx(NMOS_LVT.vt0 + 0.05)
+
+    def test_shifted_kp(self):
+        shifted = NMOS_LVT.shifted(kp_scale=1.1)
+        assert shifted.kp == pytest.approx(NMOS_LVT.kp * 1.1)
+
+    def test_shift_cannot_invert_device(self):
+        with pytest.raises(DeviceError):
+            NMOS_LVT.shifted(dvt=-1.0)
+
+    def test_invalid_polarity(self):
+        with pytest.raises(DeviceError):
+            NMOS_LVT.__class__(
+                name="bad", polarity=0, vt0=0.3, kp=1e-4, lam=0.1,
+                nsub=1.3, cox=1e-2, cj=1e-9, cov=1e-10,
+                lmin=um(0.1), wmin=um(0.12))
+
+
+class TestTechnology:
+    def test_vdd(self):
+        assert TECH90.vdd == pytest.approx(1.2)
+
+    def test_cell_height(self):
+        assert TECH90.cell_height == pytest.approx(um(2.8))
+
+    def test_pg_site_wider_than_mcml(self):
+        assert TECH90.site_width_pgmcml > TECH90.site_width_mcml
+
+    def test_site_overhead_is_5_6_percent(self):
+        ratio = TECH90.site_width_pgmcml / TECH90.site_width_mcml
+        assert ratio == pytest.approx(7.448 / 7.056, rel=1e-6)
+
+    def test_flavor_accessor(self):
+        assert TECH90.flavor("nmos_lvt").name == "nmos_lvt"
+        with pytest.raises(DeviceError):
+            TECH90.flavor("nope")
+
+    def test_thermal_voltage_scales_with_temp(self):
+        hot = Technology(temp_k=360.0)
+        assert hot.vt_thermal == pytest.approx(TECH90.vt_thermal * 1.2)
+
+
+class TestCorners:
+    def test_all_five_present(self):
+        assert set(CORNERS) == {"tt", "ff", "ss", "fs", "sf"}
+
+    def test_lookup_case_insensitive(self):
+        assert corner("FF").name == "ff"
+
+    def test_unknown_corner(self):
+        with pytest.raises(DeviceError):
+            corner("xx")
+
+    def test_tt_is_identity(self):
+        p = corner("tt").apply(NMOS_LVT)
+        assert p.vt0 == pytest.approx(NMOS_LVT.vt0)
+        assert p.kp == pytest.approx(NMOS_LVT.kp)
+
+    def test_ss_is_slow(self):
+        p = corner("ss").apply(NMOS_LVT)
+        assert p.vt0 > NMOS_LVT.vt0
+        assert p.kp < NMOS_LVT.kp
+
+    def test_ff_is_fast(self):
+        p = corner("ff").apply(PMOS_LVT)
+        assert p.vt0 < PMOS_LVT.vt0
+        assert p.kp > PMOS_LVT.kp
+
+    def test_fs_splits_polarity(self):
+        fs = corner("fs")
+        n = fs.apply(NMOS_LVT)
+        p = fs.apply(PMOS_LVT)
+        assert n.vt0 < NMOS_LVT.vt0  # fast NMOS
+        assert p.vt0 > PMOS_LVT.vt0  # slow PMOS
+
+    def test_corner_technology(self):
+        tech = corner("ss").technology()
+        assert tech.flavor("nmos_hvt").vt0 > NMOS_HVT.vt0
+        assert tech.vdd == TECH90.vdd
+
+
+class TestMismatch:
+    def test_pelgrom_scaling(self):
+        mm = MismatchModel(avt=3.5e-9)
+        small = mm.sigma_vt(um(0.12), um(0.1))
+        large = mm.sigma_vt(um(0.48), um(0.1))
+        assert small == pytest.approx(2.0 * large)
+
+    def test_sigma_positive_geometry_required(self):
+        mm = MismatchModel()
+        with pytest.raises(DeviceError):
+            mm.sigma_vt(0.0, um(0.1))
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(DeviceError):
+            MismatchModel(avt=-1.0)
+
+    def test_sampling_is_reproducible(self):
+        a = MismatchModel(seed=7).sample(NMOS_HVT, um(0.5), um(0.1))
+        b = MismatchModel(seed=7).sample(NMOS_HVT, um(0.5), um(0.1))
+        assert a.vt0 == pytest.approx(b.vt0)
+        assert a.kp == pytest.approx(b.kp)
+
+    def test_sampling_differs_across_draws(self):
+        mm = MismatchModel(seed=7)
+        a = mm.sample(NMOS_HVT, um(0.5), um(0.1))
+        b = mm.sample(NMOS_HVT, um(0.5), um(0.1))
+        assert a.vt0 != b.vt0
+
+    def test_sample_statistics(self):
+        mm = MismatchModel(avt=3.5e-9, seed=0)
+        sigma = mm.sigma_vt(um(0.5), um(0.1))
+        draws = [mm.sample(NMOS_HVT, um(0.5), um(0.1)).vt0 - NMOS_HVT.vt0
+                 for _ in range(400)]
+        observed = (sum(d * d for d in draws) / len(draws)) ** 0.5
+        assert observed == pytest.approx(sigma, rel=0.2)
+
+    def test_resistor_ratio_small(self):
+        mm = MismatchModel(seed=3)
+        draws = [abs(mm.sample_resistor_ratio()) for _ in range(100)]
+        assert max(draws) < 0.06  # ~1 % sigma

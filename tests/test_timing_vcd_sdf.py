@@ -1,0 +1,179 @@
+"""Tests for static timing, VCD round-trips, and SDF annotation."""
+
+import io
+
+import pytest
+
+from repro.cells import build_cmos_library, build_pg_mcml_library
+from repro.errors import NetlistError
+from repro.netlist import (
+    GateNetlist,
+    LogicSimulator,
+    annotate_delays,
+    read_sdf,
+    read_vcd,
+    static_timing,
+    write_sdf,
+    write_vcd,
+)
+from repro.netlist.sdf import apply_delays
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_cmos_library()
+
+
+def inv_chain(lib, n):
+    nl = GateNetlist(f"chain{n}", lib)
+    nl.add_primary_input("a")
+    prev = "a"
+    for i in range(n):
+        nl.add_instance("INV", {"A": prev, "Y": f"n{i}"}, name=f"u{i}")
+        prev = f"n{i}"
+    nl.add_primary_output(prev)
+    return nl
+
+
+class TestStaticTiming:
+    def test_chain_delay_accumulates(self, lib):
+        t2 = static_timing(inv_chain(lib, 2)).critical_delay
+        t4 = static_timing(inv_chain(lib, 4)).critical_delay
+        assert t4 > t2 * 1.5
+
+    def test_critical_path_reconstruction(self, lib):
+        report = static_timing(inv_chain(lib, 3))
+        assert report.critical_path == ["u0", "u1", "u2"]
+
+    def test_parallel_paths_pick_longest(self, lib):
+        nl = GateNetlist("par", lib)
+        nl.add_primary_input("a")
+        nl.add_instance("INV", {"A": "a", "Y": "fast"}, name="uf")
+        nl.add_instance("INV", {"A": "a", "Y": "s1"}, name="us1")
+        nl.add_instance("INV", {"A": "s1", "Y": "s2"}, name="us2")
+        nl.add_instance("AND2", {"A": "fast", "B": "s2", "Y": "y"},
+                        name="ua")
+        nl.add_primary_output("y")
+        report = static_timing(nl)
+        assert "us1" in report.critical_path
+        assert "us2" in report.critical_path
+
+    def test_register_endpoints(self, lib):
+        nl = GateNetlist("reg", lib)
+        nl.add_primary_input("d")
+        nl.add_primary_input("ck")
+        nl.add_instance("DFF", {"D": "d", "CK": "ck", "Q": "q"}, name="ff")
+        nl.add_instance("INV", {"A": "q", "Y": "qb"}, name="u1")
+        nl.add_instance("DFF", {"D": "qb", "CK": "ck", "Q": "q2"},
+                        name="ff2")
+        report = static_timing(nl)
+        # clk->q + INV delay is the register-to-register path.
+        assert report.critical_delay > 0
+        assert report.slack(2.5e-9) < 2.5e-9
+
+    def test_input_arrival_offset(self, lib):
+        base = static_timing(inv_chain(lib, 2), input_arrival=0.0)
+        off = static_timing(inv_chain(lib, 2), input_arrival=1e-9)
+        assert off.critical_delay == pytest.approx(base.critical_delay,
+                                                   rel=1e-9)
+
+    def test_repr(self, lib):
+        assert "ns" in repr(static_timing(inv_chain(lib, 2)))
+
+
+class TestVcd:
+    def roundtrip(self, lib):
+        nl = inv_chain(lib, 2)
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": False})
+        trace = sim.run([(1e-9, "a", True), (4e-9, "a", False)],
+                        duration=10e-9)
+        buf = io.StringIO()
+        write_vcd(buf, trace)
+        buf.seek(0)
+        return trace, read_vcd(buf)
+
+    def test_roundtrip_preserves_transitions(self, lib):
+        original, parsed = self.roundtrip(lib)
+        assert parsed.toggles() == original.toggles()
+
+    def test_roundtrip_preserves_times_to_fs(self, lib):
+        original, parsed = self.roundtrip(lib)
+        orig = sorted((t.net, round(t.time * 1e15))
+                      for t in original.transitions)
+        back = sorted((t.net, round(t.time * 1e15))
+                      for t in parsed.transitions)
+        assert orig == back
+
+    def test_roundtrip_preserves_values(self, lib):
+        original, parsed = self.roundtrip(lib)
+        for t_orig, t_back in zip(
+                sorted(original.transitions, key=lambda t: (t.time, t.net)),
+                sorted(parsed.transitions, key=lambda t: (t.time, t.net))):
+            assert t_orig.value == t_back.value
+
+    def test_net_subset(self, lib):
+        nl = inv_chain(lib, 2)
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": False})
+        trace = sim.run([(1e-9, "a", True)], duration=5e-9)
+        buf = io.StringIO()
+        write_vcd(buf, trace, nets=["a"])
+        buf.seek(0)
+        parsed = read_vcd(buf)
+        assert {t.net for t in parsed.transitions} <= {"a"}
+
+    def test_bad_vcd_rejected(self):
+        with pytest.raises(NetlistError):
+            read_vcd(io.StringIO(
+                "$enddefinitions $end\n#10\n1?\n"))
+
+
+class TestSdf:
+    def test_annotation_covers_all_instances(self, lib):
+        nl = inv_chain(lib, 3)
+        delays = annotate_delays(nl)
+        assert set(delays) == set(nl.instances)
+        assert all(d > 0 for d in delays.values())
+
+    def test_roundtrip(self, lib):
+        nl = inv_chain(lib, 3)
+        delays = annotate_delays(nl)
+        buf = io.StringIO()
+        write_sdf(buf, nl, delays)
+        buf.seek(0)
+        parsed = read_sdf(buf)
+        assert set(parsed) == set(delays)
+        for name in delays:
+            assert parsed[name] == pytest.approx(delays[name], abs=1e-15)
+
+    def test_apply_delays_overrides_simulator(self, lib):
+        nl = inv_chain(lib, 1)
+        sim = LogicSimulator(nl)
+        sim.initialize({"a": False})
+        apply_delays(sim, {"u0": 5e-10})
+        trace = sim.run([(1e-9, "a", True)], duration=5e-9)
+        event = [t for t in trace.transitions if t.net == "n0"][0]
+        assert event.time == pytest.approx(1.5e-9, rel=1e-6)
+
+    def test_apply_unknown_instance(self, lib):
+        sim = LogicSimulator(inv_chain(lib, 1))
+        with pytest.raises(NetlistError):
+            apply_delays(sim, {"nosuch": 1e-12})
+
+    def test_write_unknown_instance(self, lib):
+        nl = inv_chain(lib, 1)
+        with pytest.raises(NetlistError):
+            write_sdf(io.StringIO(), nl, {"ghost": 1e-12})
+
+
+class TestDifferentialTiming:
+    def test_pg_mcml_chain(self):
+        pg = build_pg_mcml_library()
+        nl = GateNetlist("diff", pg)
+        nl.add_primary_input("a")
+        nl.add_instance("BUF", {"A": "a", "Y": "b"}, name="u1")
+        nl.add_instance("XOR2", {"A": "b", "B": "a", "Y": "y"}, name="u2")
+        nl.add_primary_output("y")
+        report = static_timing(nl)
+        assert report.critical_delay > 40e-12  # BUF + XOR2 datasheet-ish

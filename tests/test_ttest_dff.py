@@ -1,0 +1,140 @@
+"""Tests for the TVLA extension and the transistor-level CML flip-flop."""
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    McmlCellGenerator,
+    PgMcmlCellGenerator,
+    build_cmos_library,
+    build_mcml_library,
+    function,
+    solve_bias,
+)
+from repro.cells.characterize import characterize_mcml_dff
+from repro.errors import AttackError
+from repro.sca import TVLA_THRESHOLD, fixed_vs_random_tvla, welch_t
+from repro.sca.attack import build_reduced_aes
+from repro.spice import DC, Pulse, run_transient
+from repro.tech import TECH90
+from repro.units import ns, ps, uA
+
+
+class TestWelchT:
+    def test_identical_groups_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(50, 10))
+        t = welch_t(a, a.copy())
+        assert np.allclose(t, 0.0)
+
+    def test_shifted_mean_detected(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 1.0, size=(200, 5))
+        b = rng.normal(0.0, 1.0, size=(200, 5))
+        b[:, 2] += 2.0
+        t = welch_t(a, b)
+        assert abs(t[2]) > TVLA_THRESHOLD
+        assert all(abs(t[i]) < TVLA_THRESHOLD for i in (0, 1, 3, 4))
+
+    def test_sign_convention(self):
+        a = np.zeros((10, 1)) + 1.0 + np.arange(10).reshape(-1, 1) * 1e-3
+        b = np.zeros((10, 1)) + np.arange(10).reshape(-1, 1) * 1e-3
+        assert welch_t(a, b)[0] > 0  # group A larger -> positive t
+
+    def test_zero_variance_yields_zero(self):
+        a = np.ones((10, 3))
+        b = np.ones((10, 3))
+        assert np.allclose(welch_t(a, b), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            welch_t(np.ones((1, 3)), np.ones((5, 3)))
+        with pytest.raises(AttackError):
+            welch_t(np.ones((5, 3)), np.ones((5, 4)))
+        with pytest.raises(AttackError):
+            welch_t(np.ones(5), np.ones((5, 1)))
+
+
+class TestTVLACampaign:
+    def test_cmos_leaks_clearly(self):
+        nl, _ = build_reduced_aes(build_cmos_library())
+        result = fixed_vs_random_tvla(nl, key=0x2B, n_traces=96)
+        assert result.leaks
+        assert result.max_abs_t > TVLA_THRESHOLD
+        assert len(result.leaking_samples()) >= 1
+
+    def test_mcml_leakage_amplitude_far_below_cmos(self):
+        """Both styles are t-test detectable, but the *amplitude* of the
+        MCML residual is orders of magnitude below the CMOS signal —
+        which is what decides exploitability (Fig. 6)."""
+        cmos_nl, _ = build_reduced_aes(build_cmos_library())
+        mcml_nl, _ = build_reduced_aes(build_mcml_library())
+        r_cmos = fixed_vs_random_tvla(cmos_nl, key=0x2B, n_traces=96)
+        r_mcml = fixed_vs_random_tvla(mcml_nl, key=0x2B, n_traces=96)
+        assert r_cmos.max_abs_delta > 10.0 * r_mcml.max_abs_delta
+
+    def test_counts_recorded(self):
+        nl, _ = build_reduced_aes(build_cmos_library())
+        result = fixed_vs_random_tvla(nl, key=0x10, n_traces=40)
+        assert result.n_fixed == result.n_random == 20
+
+    def test_minimum_traces(self):
+        nl, _ = build_reduced_aes(build_cmos_library())
+        with pytest.raises(AttackError):
+            fixed_vs_random_tvla(nl, key=0, n_traces=2)
+
+    def test_repr(self):
+        nl, _ = build_reduced_aes(build_cmos_library())
+        result = fixed_vs_random_tvla(nl, key=0, n_traces=16)
+        assert "t" in repr(result)
+
+
+@pytest.fixture(scope="module")
+def pg_sizing():
+    return solve_bias(uA(50), gated=True).sizing
+
+
+class TestCmlDff:
+    def test_structure(self, pg_sizing):
+        cell = McmlCellGenerator(TECH90, pg_sizing).build(function("DFF"))
+        tails = [d for d in cell.circuit.devices if "mtail" in d.name]
+        assert len(tails) == 2  # master + slave
+        assert cell.n_pairs == 6
+
+    def test_pg_variant_gates_both_tails(self, pg_sizing):
+        cell = PgMcmlCellGenerator(TECH90, pg_sizing).build(function("DFF"))
+        sleeps = [d for d in cell.circuit.devices
+                  if d.name.endswith("_sleep")]
+        assert len(sleeps) == 2
+
+    def test_clk_to_q_measurement(self, pg_sizing):
+        meas = characterize_mcml_dff(
+            PgMcmlCellGenerator(TECH90, pg_sizing))
+        assert 1e-12 < meas.delay < 60e-12
+        assert meas.swing > 0.3
+        assert meas.iss == pytest.approx(2 * uA(50), rel=0.15)
+
+    def test_edge_triggered_behaviour(self, pg_sizing):
+        """Q must NOT follow D while the clock is high (master opaque),
+        and must capture the D value present at the rising edge."""
+        gen = McmlCellGenerator(TECH90, pg_sizing)
+        cell = gen.build(function("DFF"), load_cap=1e-15)
+        ckt = cell.circuit
+        s = pg_sizing
+        hi, lo = s.input_high(TECH90), s.input_low(TECH90)
+        ckt.v("vdd", cell.vdd_net, TECH90.vdd)
+        ckt.v("vvn", cell.vn_net, s.vn)
+        ckt.v("vvp", cell.vp_net, s.vp)
+        d_p, d_n = cell.input_nets["D"]
+        ck_p, ck_n = cell.input_nets["CK"]
+        # D: high until 0.9 ns, then drops low (after the clock edge).
+        ckt.v("vd_p", d_p, Pulse(hi, lo, ns(0.9), ps(10), ps(10), ns(2)))
+        ckt.v("vd_n", d_n, Pulse(lo, hi, ns(0.9), ps(10), ps(10), ns(2)))
+        # CK rises at 0.6 ns and stays high.
+        ckt.v("vck_p", ck_p, Pulse(lo, hi, ns(0.6), ps(10), ps(10), ns(3)))
+        ckt.v("vck_n", ck_n, Pulse(hi, lo, ns(0.6), ps(10), ps(10), ns(3)))
+        res = run_transient(ckt, tstop=ns(1.6), dt=ps(2))
+        q = res.differential(*cell.output_nets["Q"])
+        # After the edge Q holds the captured '1' even though D fell.
+        assert q.value_at(ns(0.8)) > 0.2
+        assert q.value_at(ns(1.5)) > 0.2

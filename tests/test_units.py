@@ -1,0 +1,137 @@
+"""Tests for repro.units: SI parsing, formatting, scale helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import UnitsError
+from repro import units
+from repro.units import clamp, db20, format_si, parse_si
+
+
+class TestScaleHelpers:
+    def test_ns(self):
+        assert units.ns(2.5) == pytest.approx(2.5e-9)
+
+    def test_ps(self):
+        assert units.ps(50) == pytest.approx(50e-12)
+
+    def test_fs(self):
+        assert units.fs(3) == pytest.approx(3e-15)
+
+    def test_us_ms(self):
+        assert units.us(7) == pytest.approx(7e-6)
+        assert units.ms(7) == pytest.approx(7e-3)
+
+    def test_capacitance(self):
+        assert units.fF(1.2) == pytest.approx(1.2e-15)
+        assert units.pF(0.5) == pytest.approx(0.5e-12)
+
+    def test_current(self):
+        assert units.uA(50) == pytest.approx(50e-6)
+        assert units.nA(0.1) == pytest.approx(1e-10)
+        assert units.mA(30) == pytest.approx(0.03)
+
+    def test_power_voltage(self):
+        assert units.uW(47.77) == pytest.approx(47.77e-6)
+        assert units.mW(490.56) == pytest.approx(0.49056)
+        assert units.mV(400) == pytest.approx(0.4)
+
+    def test_length(self):
+        assert units.um(2.8) == pytest.approx(2.8e-6)
+        assert units.nm(90) == pytest.approx(90e-9)
+
+    def test_frequency(self):
+        assert units.MHz(400) == pytest.approx(4e8)
+        assert units.GHz(1.2) == pytest.approx(1.2e9)
+
+
+class TestParseSi:
+    def test_plain_number(self):
+        assert parse_si("42") == 42.0
+
+    def test_micro(self):
+        assert parse_si("50u") == pytest.approx(50e-6)
+
+    def test_micro_sign(self):
+        assert parse_si("50µ") == pytest.approx(50e-6)
+
+    def test_nano_with_unit(self):
+        assert parse_si("1.2nF") == pytest.approx(1.2e-9)
+
+    def test_meg(self):
+        assert parse_si("3meg") == pytest.approx(3e6)
+
+    def test_kilo(self):
+        assert parse_si("8k") == pytest.approx(8000.0)
+
+    def test_negative(self):
+        assert parse_si("-0.5m") == pytest.approx(-5e-4)
+
+    def test_exponent(self):
+        assert parse_si("1e-5") == pytest.approx(1e-5)
+
+    def test_exponent_and_prefix(self):
+        assert parse_si("1e3k") == pytest.approx(1e6)
+
+    def test_unit_without_prefix(self):
+        assert parse_si("3V") == 3.0
+
+    def test_whitespace(self):
+        assert parse_si("  2.5n  ") == pytest.approx(2.5e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(UnitsError):
+            parse_si("")
+
+    def test_non_string_raises(self):
+        with pytest.raises(UnitsError):
+            parse_si(5.0)
+
+    def test_no_number_raises(self):
+        with pytest.raises(UnitsError):
+            parse_si("abc")
+
+
+class TestFormatSi:
+    def test_zero(self):
+        assert format_si(0.0, "A") == "0A"
+
+    def test_micro(self):
+        assert format_si(50e-6, "A") == "50uA"
+
+    def test_nano(self):
+        assert format_si(2.5e-9, "s") == "2.5ns"
+
+    def test_kilo(self):
+        assert format_si(8.2e3) == "8.2k"
+
+    def test_negative(self):
+        assert format_si(-3e-3, "V") == "-3mV"
+
+    def test_roundtrip(self):
+        for value in (1e-13, 4.7e-9, 3.3e-6, 0.12, 47.0, 9.1e7):
+            assert parse_si(format_si(value)) == pytest.approx(value, rel=1e-3)
+
+    def test_non_finite(self):
+        assert "inf" in format_si(float("inf"), "A")
+
+
+class TestMisc:
+    def test_db20(self):
+        assert db20(10.0) == pytest.approx(20.0)
+
+    def test_db20_non_positive(self):
+        with pytest.raises(UnitsError):
+            db20(0.0)
+
+    def test_clamp_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_edges(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_clamp_reversed(self):
+        with pytest.raises(UnitsError):
+            clamp(0.5, 1.0, 0.0)

@@ -1,0 +1,166 @@
+"""Tests for the Verilog interchange and the ASCII/CSV figure rendering."""
+
+import io
+
+import pytest
+
+from repro.aes import SBOX
+from repro.cells import build_cmos_library, build_pg_mcml_library
+from repro.errors import NetlistError, ReproError
+from repro.netlist import (
+    GateNetlist,
+    LogicSimulator,
+    read_verilog,
+    write_verilog,
+)
+from repro.experiments.plotting import ascii_plot, write_csv
+from repro.synth import build_sbox_ise, map_lut, sbox_truth_tables
+
+
+@pytest.fixture(scope="module")
+def cmos():
+    return build_cmos_library()
+
+
+def small_netlist(lib):
+    nl = GateNetlist("pair", lib)
+    nl.add_primary_input("a")
+    nl.add_primary_input("b")
+    nl.add_instance("AND2", {"A": "a", "B": "b", "Y": "n1"}, name="u1")
+    nl.add_instance("INV", {"A": "n1", "Y": "y"}, name="u2")
+    nl.add_primary_output("y")
+    return nl
+
+
+def roundtrip(nl, lib):
+    buf = io.StringIO()
+    write_verilog(buf, nl)
+    buf.seek(0)
+    return read_verilog(buf, lib)
+
+
+class TestVerilogRoundtrip:
+    def test_structure_preserved(self, cmos):
+        original = small_netlist(cmos)
+        parsed = roundtrip(original, cmos)
+        assert set(parsed.instances) == set(original.instances)
+        assert parsed.primary_inputs == original.primary_inputs
+        assert parsed.primary_outputs == original.primary_outputs
+        assert parsed.cell_histogram() == original.cell_histogram()
+
+    def test_pin_connections_preserved(self, cmos):
+        parsed = roundtrip(small_netlist(cmos), cmos)
+        assert parsed.instances["u1"].pins == {"A": "a", "B": "b",
+                                               "Y": "n1"}
+
+    def test_logic_equivalence(self, cmos):
+        original = small_netlist(cmos)
+        parsed = roundtrip(original, cmos)
+        sim_a, sim_b = LogicSimulator(original), LogicSimulator(parsed)
+        for a in (False, True):
+            for b in (False, True):
+                sim_a.initialize({"a": a, "b": b})
+                sim_b.initialize({"a": a, "b": b})
+                assert sim_a.values["y"] == sim_b.values["y"]
+
+    def test_escaped_identifiers(self, cmos):
+        nl = GateNetlist("esc", cmos)
+        nl.add_primary_input("a")
+        nl.add_instance("INV", {"A": "a", "Y": "weird.net[3]"},
+                        name="u$1")
+        nl.add_primary_output("weird.net[3]")
+        parsed = roundtrip(nl, cmos)
+        assert "weird.net[3]" in parsed.nets
+
+    def test_sbox_netlist_roundtrip(self, cmos):
+        block = map_lut(cmos, sbox_truth_tables(),
+                        [f"x{i}" for i in range(8)], name="sbox",
+                        share_outputs=False)
+        parsed = roundtrip(block.netlist, cmos)
+        assert parsed.total_cells() == block.netlist.total_cells()
+        sim = LogicSimulator(parsed)
+        for val in (0x00, 0x5A, 0xFF):
+            sim.initialize({f"x{i}": bool((val >> (7 - i)) & 1)
+                            for i in range(8)})
+            got = sum(int(sim.values[block.outputs[f"y{b}"]]) << (7 - b)
+                      for b in range(8))
+            assert got == SBOX[val]
+
+    def test_differential_netlist_roundtrip(self):
+        pg = build_pg_mcml_library()
+        ise = build_sbox_ise(pg, n_sboxes=1, with_sleep_tree=False)
+        parsed = roundtrip(ise.netlist, pg)
+        assert parsed.total_cells() == ise.netlist.total_cells()
+
+    def test_unknown_cell_rejected(self, cmos):
+        text = ("module m (a);\n  input a;\n  wire y;\n"
+                "  FROB3 u1 (.A(a), .Y(y));\nendmodule\n")
+        with pytest.raises(NetlistError):
+            read_verilog(io.StringIO(text), cmos)
+
+    def test_truncated_input_rejected(self, cmos):
+        with pytest.raises(NetlistError):
+            read_verilog(io.StringIO("module m (a)"), cmos)
+
+    def test_comments_ignored(self, cmos):
+        text = ("// header\nmodule m (a);\n  input a; // the input\n"
+                "  wire y;\n  INV u1 (.A(a), .Y(y));\nendmodule\n")
+        parsed = read_verilog(io.StringIO(text), cmos)
+        assert parsed.total_cells() == 1
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot({"line": ([0, 1, 2], [0, 1, 2])})
+        assert "|" in text and "line" in text
+
+    def test_two_series_markers(self):
+        text = ascii_plot({
+            "a": ([0, 1], [0, 1]),
+            "b": ([0, 1], [1, 0]),
+        })
+        assert "* a" in text and "o b" in text
+
+    def test_axis_labels(self):
+        text = ascii_plot({"s": ([0, 1], [2, 3])}, x_label="t",
+                          y_label="v")
+        assert "y: v" in text and "x: t" in text
+
+    def test_constant_series_ok(self):
+        text = ascii_plot({"flat": ([0, 1, 2], [5, 5, 5])})
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_plot({})
+        with pytest.raises(ReproError):
+            ascii_plot({"bad": ([0, 1], [0])})
+        with pytest.raises(ReproError):
+            ascii_plot({"s": ([0, 1], [0, 1])}, width=4)
+
+
+class TestCsv:
+    def test_write(self):
+        buf = io.StringIO()
+        write_csv(buf, {"x": [0, 1], "y": [2.5, 3.5]})
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "0,2.5"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            write_csv(io.StringIO(), {"x": [0], "y": [1, 2]})
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            write_csv(io.StringIO(), {})
+
+    def test_fig_exporters(self):
+        from repro.experiments import fig5
+        from repro.experiments.plotting import fig5_csv, render_fig5
+        result = fig5.run()
+        buf = io.StringIO()
+        fig5_csv(result, buf)
+        header = buf.getvalue().splitlines()[0]
+        assert header.startswith("time_s,")
+        assert "PG-MCML" in render_fig5(result)

@@ -1,0 +1,176 @@
+"""Tests for Waveform storage and measurements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.spice import Waveform
+
+
+def ramp():
+    return Waveform([0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+
+
+def step():
+    return Waveform([0.0, 1.0, 1.0 + 1e-9, 3.0], [0.0, 0.0, 1.0, 1.0])
+
+
+class TestConstruction:
+    def test_basic(self):
+        w = ramp()
+        assert len(w) == 3
+        assert w.duration == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(TraceError):
+            Waveform([0.0, 1.0], [0.0])
+
+    def test_empty(self):
+        with pytest.raises(TraceError):
+            Waveform([], [])
+
+    def test_non_monotonic_time(self):
+        with pytest.raises(TraceError):
+            Waveform([0.0, 2.0, 1.0], [0.0, 0.0, 0.0])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(TraceError):
+            Waveform([[0.0, 1.0]], [[0.0, 1.0]])
+
+    def test_single_point(self):
+        w = Waveform([0.0], [5.0])
+        assert w.average() == 5.0
+        assert w.integral() == 0.0
+        assert w.rms() == 5.0
+
+
+class TestInterpolation:
+    def test_value_at_sample(self):
+        assert ramp().value_at(1.0) == pytest.approx(1.0)
+
+    def test_value_between_samples(self):
+        assert ramp().value_at(0.5) == pytest.approx(0.5)
+
+    def test_value_clamped(self):
+        assert ramp().value_at(-1.0) == pytest.approx(0.0)
+        assert ramp().value_at(99.0) == pytest.approx(2.0)
+
+    def test_slice(self):
+        s = ramp().slice(0.5, 2.0)
+        assert len(s) == 2
+
+    def test_slice_empty(self):
+        with pytest.raises(TraceError):
+            ramp().slice(5.0, 6.0)
+
+    def test_slice_reversed(self):
+        with pytest.raises(TraceError):
+            ramp().slice(2.0, 1.0)
+
+
+class TestCrossings:
+    def test_rising_crossing(self):
+        times = ramp().crossings(0.5, "rise")
+        assert times == [pytest.approx(0.5)]
+
+    def test_no_falling_crossing_on_ramp(self):
+        assert ramp().crossings(0.5, "fall") == []
+
+    def test_both(self):
+        tri = Waveform([0, 1, 2], [0, 1, 0])
+        assert len(tri.crossings(0.5, "both")) == 2
+
+    def test_bad_edge(self):
+        with pytest.raises(TraceError):
+            ramp().crossings(0.5, "up")
+
+    def test_first_crossing_after(self):
+        tri = Waveform([0, 1, 2, 3, 4], [0, 1, 0, 1, 0])
+        assert tri.first_crossing(0.5, "rise", after=1.5) == pytest.approx(2.5)
+
+    def test_first_crossing_none(self):
+        assert ramp().first_crossing(10.0) is None
+
+
+class TestStatistics:
+    def test_average_ramp(self):
+        assert ramp().average() == pytest.approx(1.0)
+
+    def test_average_window(self):
+        assert ramp().average(1.0, 2.0) == pytest.approx(1.5)
+
+    def test_integral(self):
+        assert ramp().integral() == pytest.approx(2.0)
+
+    def test_rms_constant(self):
+        w = Waveform([0, 1, 2], [3.0, 3.0, 3.0])
+        assert w.rms() == pytest.approx(3.0)
+
+    def test_peak_trough_swing(self):
+        tri = Waveform([0, 1, 2], [-1.0, 2.0, 0.5])
+        assert tri.peak() == 2.0
+        assert tri.trough() == -1.0
+        assert tri.swing() == 3.0
+
+    def test_settle_value(self):
+        assert step().settle_value(0.25) == pytest.approx(1.0)
+
+    def test_settle_fraction_validated(self):
+        with pytest.raises(TraceError):
+            step().settle_value(0.0)
+
+
+class TestTransforms:
+    def test_resample(self):
+        r = ramp().resample([0.25, 0.75])
+        assert list(r.v) == [pytest.approx(0.25), pytest.approx(0.75)]
+
+    def test_quantize(self):
+        w = Waveform([0, 1], [1.2e-6, 2.7e-6]).quantize(1e-6)
+        assert list(w.v) == [pytest.approx(1e-6), pytest.approx(3e-6)]
+
+    def test_quantize_kills_small_signals(self):
+        # The 1 uA probe cannot see 100 nA wiggles on a flat trace.
+        t = np.linspace(0, 1, 50)
+        w = Waveform(t, 5e-6 + 1e-7 * np.sin(20 * t)).quantize(1e-6)
+        assert np.allclose(w.v, 5e-6, rtol=0, atol=1e-12)
+        assert w.swing() < 1e-12
+
+    def test_quantize_step_positive(self):
+        with pytest.raises(TraceError):
+            ramp().quantize(0.0)
+
+    def test_shift(self):
+        assert ramp().shifted(1.0).t[0] == pytest.approx(1.0)
+
+    def test_scale(self):
+        assert ramp().scaled(2.0).v[-1] == pytest.approx(4.0)
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert (ramp() + 1.0).v[0] == pytest.approx(1.0)
+
+    def test_sub_waveform_same_base(self):
+        diff = ramp() - ramp()
+        assert np.allclose(diff.v, 0.0)
+
+    def test_mul(self):
+        assert (ramp() * 3.0).v[-1] == pytest.approx(6.0)
+
+    def test_add_resamples_other(self):
+        other = Waveform([0.0, 2.0], [0.0, 2.0])
+        total = ramp() + other
+        assert len(total) == 3
+        assert total.v[1] == pytest.approx(2.0)
+
+    def test_sum(self):
+        total = Waveform.sum([ramp(), ramp(), ramp()])
+        assert total.v[-1] == pytest.approx(6.0)
+
+    def test_sum_empty(self):
+        with pytest.raises(TraceError):
+            Waveform.sum([])
+
+    def test_repr(self):
+        assert "Waveform" in repr(ramp())
