@@ -8,6 +8,7 @@ rests on — from an EKV-based circuit simulator to a CPA attack harness:
 
 =====================  ====================================================
 ``repro.spice``        SPICE-class analog simulator (DC + transient)
+``repro.faultinject``  deterministic device-fault injection harness
 ``repro.tech``         generic 90 nm device models, corners, mismatch
 ``repro.bdd``          ROBDD engine (MCML networks, LUT synthesis)
 ``repro.cells``        CMOS / MCML / PG-MCML cell generators + libraries

@@ -22,12 +22,19 @@ class CircuitError(ReproError):
 
 
 class ConvergenceError(CircuitError):
-    """The nonlinear solver failed to converge on an operating point."""
+    """The nonlinear solver failed to converge on an operating point.
 
-    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+    ``diagnostics``, when present, is a
+    :class:`repro.spice.recovery.SolverDiagnostics` describing every
+    recovery strategy that was attempted before giving up.
+    """
+
+    def __init__(self, message: str, iterations: int = 0,
+                 residual: float = float("nan"), diagnostics=None):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.diagnostics = diagnostics
 
 
 class DeviceError(CircuitError):
@@ -72,3 +79,7 @@ class TraceError(ReproError):
 
 class AttackError(ReproError):
     """A side-channel attack was configured inconsistently."""
+
+
+class CheckpointError(ReproError):
+    """A checkpointed experiment run could not be saved or resumed."""

@@ -15,6 +15,7 @@ key hypothesis.  The expected (and obtained) nuance:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -26,7 +27,7 @@ from ..cells import (
 from ..power import MeasurementChain
 from ..sca import TVLA_THRESHOLD, fixed_vs_random_tvla
 from ..sca.attack import build_reduced_aes
-from .runner import print_table
+from .runner import CheckpointedRun, print_table
 
 
 @dataclass
@@ -58,14 +59,28 @@ class TVLAExperiment:
 
 
 def run(key: int = 0x2B, n_traces: int = 128,
-        chain: Optional[MeasurementChain] = None) -> TVLAExperiment:
+        chain: Optional[MeasurementChain] = None,
+        checkpoint_dir: Optional[str] = None,
+        chunk_size: int = 32) -> TVLAExperiment:
+    """Assess all three styles with fixed-vs-random TVLA.
+
+    ``checkpoint_dir`` makes each per-style acquisition resumable
+    (snapshots at ``<dir>/tvla_<style>.npz`` every ``chunk_size``
+    traces); a killed assessment restarted with the same directory
+    resumes and yields identical t statistics.
+    """
     rows: List[TVLAStyleRow] = []
     for build in (build_cmos_library, build_mcml_library,
                   build_pg_mcml_library):
         library = build()
         netlist, _ = build_reduced_aes(library)
+        runner = None
+        if checkpoint_dir is not None:
+            runner = CheckpointedRun(
+                os.path.join(checkpoint_dir, f"tvla_{library.style}.npz"),
+                chunk_size=chunk_size)
         result = fixed_vs_random_tvla(netlist, key=key, n_traces=n_traces,
-                                      chain=chain)
+                                      chain=chain, runner=runner)
         rows.append(TVLAStyleRow(
             style=library.style, n_traces=n_traces,
             max_abs_t=result.max_abs_t, leaks=result.leaks,

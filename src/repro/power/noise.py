@@ -55,6 +55,19 @@ class MeasurementChain:
             measured = np.round(measured / self.resolution) * self.resolution
         return measured
 
+    def rng_state(self) -> dict:
+        """JSON-serialisable noise-generator state.
+
+        Checkpointed campaigns snapshot this after every chunk so a
+        resumed acquisition continues the exact same noise stream —
+        byte-identical traces whether or not the run was interrupted.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
     def ideal(self) -> "MeasurementChain":
         """The same chain with a perfect probe (for ablations)."""
         return MeasurementChain(noise_sigma=0.0, resolution=0.0,

@@ -157,6 +157,39 @@ class AttackCampaign:
         traces = collect_traces(self.netlist, self.key, pts,
                                 chain=self.chain, grid=grid,
                                 mismatch_seed=self.mismatch_seed)
+        return self._attack(pts, traces, with_dpa)
+
+    def run_checkpointed(self, runner, plaintexts: Optional[Sequence[int]] = None,
+                         with_dpa: bool = False,
+                         grid: Optional[TraceGrid] = None) -> CampaignResult:
+        """Like :meth:`run`, but collect traces through a resumable runner.
+
+        ``runner`` is a :class:`repro.experiments.runner.CheckpointedRun`
+        (duck-typed to keep this layer free of experiment imports): trace
+        acquisition proceeds in chunks with an atomic snapshot after each,
+        and a killed campaign restarted with the same runner path resumes
+        where it stopped.  The measurement chain's RNG state rides along
+        in the checkpoint, so the final traces — and therefore the CPA
+        correlations — are byte-identical to an uninterrupted run.
+        """
+        pts = list(plaintexts) if plaintexts is not None else list(range(256))
+
+        def process(chunk: Sequence[int], start: int) -> np.ndarray:
+            return collect_traces(self.netlist, self.key, chunk,
+                                  chain=self.chain, grid=grid,
+                                  mismatch_seed=self.mismatch_seed)
+
+        traces = runner.run(
+            pts, process,
+            fingerprint={"experiment": "cpa-campaign",
+                         "style": self.library.style, "key": self.key,
+                         "mismatch_seed": self.mismatch_seed},
+            get_state=self.chain.rng_state,
+            set_state=self.chain.set_rng_state)
+        return self._attack(pts, traces, with_dpa)
+
+    def _attack(self, pts: List[int], traces: np.ndarray,
+                with_dpa: bool) -> CampaignResult:
         cpa = cpa_attack(traces, pts, true_key=self.key)
         dpa = None
         if with_dpa:

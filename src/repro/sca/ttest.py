@@ -96,11 +96,14 @@ class TVLAResult:
 def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
                          fixed_plaintext: int = 0x00,
                          chain=None, grid=None, mismatch_seed: int = 0,
-                         seed: int = 99) -> TVLAResult:
+                         seed: int = 99, runner=None) -> TVLAResult:
     """Run a fixed-vs-random TVLA campaign against a reduced-AES netlist.
 
     Interleaves fixed and random plaintexts (the standard acquisition
-    discipline) and compares the two trace populations.
+    discipline) and compares the two trace populations.  ``runner``, when
+    given, is a :class:`repro.experiments.runner.CheckpointedRun`: the
+    acquisition proceeds in resumable chunks, and a killed campaign
+    restarted with the same runner path produces byte-identical traces.
     """
     from .attack import collect_traces  # local import avoids a cycle
 
@@ -115,8 +118,27 @@ def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
     interleaved: List[int] = []
     for f, r in zip(fixed_pts, random_pts):
         interleaved.extend((f, r))
-    traces = collect_traces(netlist, key, interleaved, chain=chain,
-                            grid=grid, mismatch_seed=mismatch_seed)
+    if runner is None:
+        traces = collect_traces(netlist, key, interleaved, chain=chain,
+                                grid=grid, mismatch_seed=mismatch_seed)
+    else:
+        # Chunked acquisition must share ONE chain so the noise stream
+        # (and its checkpointed RNG state) is continuous across chunks.
+        from ..power import MeasurementChain
+        chain = chain if chain is not None else MeasurementChain()
+
+        def process(chunk, start):
+            return collect_traces(netlist, key, chunk, chain=chain,
+                                  grid=grid, mismatch_seed=mismatch_seed)
+
+        traces = runner.run(
+            interleaved, process,
+            fingerprint={"experiment": "tvla", "key": key,
+                         "n_traces": n_traces,
+                         "fixed_plaintext": fixed_plaintext,
+                         "mismatch_seed": mismatch_seed, "seed": seed},
+            get_state=chain.rng_state,
+            set_state=chain.set_rng_state)
     fixed_traces = traces[0::2]
     random_traces = traces[1::2]
     t = welch_t(fixed_traces, random_traces)

@@ -13,8 +13,10 @@ package replaces those proprietary tools for cell-level work:
 * :mod:`repro.spice.circuit` — the netlist container;
 * :mod:`repro.spice.dc` — Newton-Raphson operating-point solver with
   damping and gmin stepping;
+* :mod:`repro.spice.recovery` — the convergence-recovery ladder (gmin,
+  source stepping, pseudo-transient) with per-strategy diagnostics;
 * :mod:`repro.spice.transient` — fixed-step backward-Euler/trapezoidal
-  transient analysis;
+  transient analysis with local step-halving retry on Newton failures;
 * :mod:`repro.spice.waveform` — waveform storage and measurements
   (crossings, delays, averages, charge integrals);
 * :mod:`repro.spice.stimulus` — DC / pulse / PWL / clock stimuli.
@@ -31,8 +33,15 @@ from .devices import Mosfet, Resistor, Capacitor, VSource, ISource
 from .circuit import Circuit, GROUND
 from .dc import solve_dc, OperatingPoint
 from .deck import write_spice_deck
+from .recovery import (
+    NewtonStats,
+    RecoveryPolicy,
+    SolverDiagnostics,
+    StrategyAttempt,
+    solve_with_recovery,
+)
 from .sweep import dc_sweep, SweepResult
-from .transient import TransientResult, run_transient
+from .transient import TransientResult, TransientStats, run_transient
 from .analysis import (
     differential_delay,
     propagation_delay,
@@ -57,10 +66,16 @@ __all__ = [
     "GROUND",
     "solve_dc",
     "OperatingPoint",
+    "NewtonStats",
+    "RecoveryPolicy",
+    "SolverDiagnostics",
+    "StrategyAttempt",
+    "solve_with_recovery",
     "dc_sweep",
     "SweepResult",
     "write_spice_deck",
     "TransientResult",
+    "TransientStats",
     "run_transient",
     "differential_delay",
     "propagation_delay",

@@ -98,6 +98,23 @@ class Circuit:
     def source_for(self, node: str) -> Optional[VSource]:
         return self._driven_nodes.get(canonical_node(node))
 
+    def swap_device(self, name: str, replacement: Device) -> Device:
+        """Replace the named device in place, returning the original.
+
+        The replacement must expose the same terminals in the same
+        order — node indexing built by solvers stays valid.  Used by
+        the fault-injection harness (:mod:`repro.faultinject`) and model
+        overrides.
+        """
+        old = self.device(name)
+        if tuple(replacement.terminals) != tuple(old.terminals):
+            raise CircuitError(
+                f"replacement for {name!r} must keep terminals "
+                f"{old.terminals}, got {replacement.terminals}")
+        self.devices[self.devices.index(old)] = replacement
+        self._device_names[name] = replacement
+        return old
+
     def all_nodes(self) -> List[str]:
         """Every node touched by a device or source (ground included)."""
         nodes = {GROUND}

@@ -16,6 +16,13 @@ import numpy as np
 
 from ..errors import ConvergenceError
 from .circuit import Circuit
+from .recovery import (
+    GMIN_LADDER,
+    NewtonStats,
+    RecoveryPolicy,
+    SolverDiagnostics,
+    solve_with_recovery,
+)
 
 #: Forward-difference step for device Jacobians, volts.
 _FD_STEP = 1e-6
@@ -23,7 +30,7 @@ _FD_STEP = 1e-6
 #: Largest allowed Newton voltage update, volts.
 _DAMP_LIMIT = 0.3
 
-_GMIN_LADDER = (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 0.0)
+_GMIN_LADDER = GMIN_LADDER
 
 
 class System:
@@ -36,6 +43,8 @@ class System:
     def __init__(self, circuit: Circuit):
         circuit.validate()
         self.circuit = circuit
+        #: Cumulative count of singular-Jacobian (lstsq fallback) events.
+        self.singular_jacobian_events = 0
         self.fixed_set = set(circuit.fixed_nodes())
         self.unknowns: List[str] = circuit.unknown_nodes()
         self.index: Dict[str, int] = {n: i for i, n in enumerate(self.unknowns)}
@@ -123,13 +132,20 @@ class System:
 
     def newton(self, fixed: Dict[str, float], x0: np.ndarray, gmin: float,
                extra=None, abstol: float = 1e-11, steptol: float = 1e-8,
-               maxiter: int = 120) -> np.ndarray:
+               maxiter: int = 120,
+               stats: Optional[NewtonStats] = None) -> np.ndarray:
         """Damped Newton iteration.
 
         ``extra`` is an optional callable ``extra(x) -> (f_extra, J_extra)``
         used by the transient engine to inject capacitor companion models.
+        ``stats``, when given, is filled with iteration count, final
+        residual, and singular-Jacobian (lstsq fallback) events.
         """
+        if stats is None:
+            stats = NewtonStats()
         if self.n == 0:
+            stats.converged = True
+            stats.residual = 0.0
             return x0.copy()
         x = x0.copy()
         vmax = max([0.0] + list(fixed.values())) + 1.0
@@ -142,17 +158,34 @@ class System:
                 f = f + f_extra
                 jac = jac + j_extra
             last_res = float(np.max(np.abs(f)))
+            stats.iterations = iteration + 1
+            stats.residual = last_res
+            if not np.isfinite(last_res):
+                # A NaN/Inf residual can never recover: x would only fill
+                # with NaN.  Fail fast so retry ladders get their turn.
+                raise ConvergenceError(
+                    f"Newton hit a non-finite residual at iteration "
+                    f"{iteration + 1}", iterations=iteration + 1,
+                    residual=last_res)
             try:
                 dx = np.linalg.solve(jac, -f)
             except np.linalg.LinAlgError:
+                stats.singular_jacobian_events += 1
+                self.singular_jacobian_events += 1
                 dx, *_ = np.linalg.lstsq(jac + 1e-12 * np.eye(self.n), -f,
                                          rcond=None)
+            if not np.all(np.isfinite(dx)):
+                raise ConvergenceError(
+                    f"Newton produced a non-finite update at iteration "
+                    f"{iteration + 1}", iterations=iteration + 1,
+                    residual=last_res)
             step = float(np.max(np.abs(dx))) if dx.size else 0.0
             if step > _DAMP_LIMIT:
                 dx *= _DAMP_LIMIT / step
                 step = _DAMP_LIMIT
             x = np.clip(x + dx, vmin, vmax)
             if last_res < abstol and step < steptol:
+                stats.converged = True
                 return x
         raise ConvergenceError(
             f"Newton failed after {maxiter} iterations "
@@ -161,12 +194,18 @@ class System:
 
 
 class OperatingPoint:
-    """Result of a DC solve: node voltages and source currents."""
+    """Result of a DC solve: node voltages and source currents.
+
+    ``diagnostics`` records the recovery-ladder attempts that produced
+    the solve (None for legacy construction paths).
+    """
 
     def __init__(self, voltages: Dict[str, float],
-                 source_currents: Dict[str, float]):
+                 source_currents: Dict[str, float],
+                 diagnostics: Optional[SolverDiagnostics] = None):
         self.voltages = voltages
         self.source_currents = source_currents
+        self.diagnostics = diagnostics
 
     def __getitem__(self, node: str) -> float:
         return self.voltages[node]
@@ -181,17 +220,28 @@ class OperatingPoint:
 
 
 def _initial_guess(system: System, fixed: Dict[str, float]) -> np.ndarray:
-    level = max(list(fixed.values()) + [0.0]) / 2.0
+    """Seed all unknowns midway between the extreme rails.
+
+    With only positive supplies this is the classic Vdd/2 start; when
+    rails straddle 0 V (split-supply biasing) the midpoint keeps the
+    guess centred instead of biased toward the positive rail.
+    """
+    vals = list(fixed.values()) + [0.0]
+    level = (max(vals) + min(vals)) / 2.0
     return np.full(system.n, level)
 
 
 def solve_dc(circuit: Circuit, t: float = 0.0,
              guess: Optional[Dict[str, float]] = None,
-             system: Optional[System] = None) -> OperatingPoint:
+             system: Optional[System] = None,
+             policy: Optional[RecoveryPolicy] = None) -> OperatingPoint:
     """Find the DC operating point of ``circuit`` at source time ``t``.
 
-    Tries plain Newton from a midpoint guess first, then falls back to
-    gmin continuation, warm-starting each rung from the previous one.
+    Tries plain Newton from a midpoint guess first, then climbs the
+    recovery ladder (gmin stepping, source stepping, pseudo-transient —
+    see :mod:`repro.spice.recovery`).  The returned operating point
+    carries a :class:`SolverDiagnostics`; so does the
+    :class:`ConvergenceError` raised when every strategy fails.
     """
     sys_ = system if system is not None else System(circuit)
     fixed = circuit.fixed_nodes(t)
@@ -200,20 +250,7 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
         for node, volt in guess.items():
             if node in sys_.index:
                 x0[sys_.index[node]] = volt
-    try:
-        x = sys_.newton(fixed, x0, gmin=0.0)
-    except ConvergenceError:
-        x = x0
-        solved = False
-        for gmin in _GMIN_LADDER:
-            try:
-                x = sys_.newton(fixed, x, gmin=gmin)
-                solved = gmin == 0.0
-            except ConvergenceError:
-                continue
-        if not solved:
-            # One final plain attempt warm-started from the ladder result.
-            x = sys_.newton(fixed, x, gmin=0.0)
+    x, diagnostics = solve_with_recovery(sys_, fixed, x0, policy=policy)
     voltages = dict(fixed)
     for node, idx in sys_.index.items():
         voltages[node] = float(x[idx])
@@ -222,4 +259,5 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
         source.name: node_currents.get(source.node, 0.0)
         for source in circuit.vsources
     }
-    return OperatingPoint(voltages, source_currents)
+    return OperatingPoint(voltages, source_currents,
+                          diagnostics=diagnostics)

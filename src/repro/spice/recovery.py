@@ -1,0 +1,236 @@
+"""Convergence-recovery strategies for the DC solver.
+
+Plain damped Newton fails on stiff or multi-stable circuits: the iterate
+limit-cycles between solution basins, or the Jacobian goes singular in a
+flat region.  Real SPICE engines survive these cases with a *ladder* of
+continuation methods, each cheaper than the next is desperate:
+
+1. **plain Newton** from the midpoint guess;
+2. **gmin stepping** — a shrinking shunt conductance to ground convexifies
+   the problem, each rung warm-starting the next;
+3. **source stepping** — ramp every fixed source from 0 to its target
+   value, tracking the solution branch continuously (the textbook cure
+   for bistable circuits whose midpoint guess sits in no-man's land);
+4. **pseudo-transient** — a dynamic gmin ramp that mimics integrating the
+   circuit to steady state: start with a huge conductance (trivially
+   solvable), shrink it geometrically on success, grow it back on
+   failure.  This walks through folds that defeat source stepping.
+
+The :class:`RecoveryPolicy` configures the ladder; every attempt is
+recorded in a :class:`SolverDiagnostics` that is attached to the
+resulting :class:`~repro.spice.dc.OperatingPoint` on success and to the
+:class:`~repro.errors.ConvergenceError` on failure — a failed solve is
+never silent about what was tried.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+#: The classic shrinking-gmin ladder (finishing with a clean gmin=0 solve).
+GMIN_LADDER = (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 0.0)
+
+
+@dataclass
+class NewtonStats:
+    """Per-solve bookkeeping filled in by :meth:`System.newton`."""
+
+    iterations: int = 0
+    residual: float = math.nan
+    singular_jacobian_events: int = 0
+    converged: bool = False
+
+
+@dataclass
+class StrategyAttempt:
+    """One rung of the recovery ladder: what ran and how it ended."""
+
+    strategy: str
+    converged: bool
+    iterations: int
+    residual: float
+    singular_jacobian_events: int = 0
+
+    def __repr__(self) -> str:
+        verdict = "ok" if self.converged else "failed"
+        return (f"StrategyAttempt({self.strategy}: {verdict}, "
+                f"{self.iterations} iters, residual {self.residual:.3g})")
+
+
+@dataclass
+class SolverDiagnostics:
+    """The full story of one DC solve: every strategy, every outcome."""
+
+    attempts: List[StrategyAttempt] = field(default_factory=list)
+    converged_by: Optional[str] = None
+
+    @property
+    def singular_jacobian_events(self) -> int:
+        """Total silent-``lstsq`` fallbacks across all attempts."""
+        return sum(a.singular_jacobian_events for a in self.attempts)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(a.iterations for a in self.attempts)
+
+    def strategies(self) -> List[str]:
+        return [a.strategy for a in self.attempts]
+
+    def record(self, strategy: str, stats: NewtonStats) -> StrategyAttempt:
+        attempt = StrategyAttempt(
+            strategy=strategy, converged=stats.converged,
+            iterations=stats.iterations, residual=stats.residual,
+            singular_jacobian_events=stats.singular_jacobian_events)
+        self.attempts.append(attempt)
+        return attempt
+
+    def summary(self) -> str:
+        lines = [f"{len(self.attempts)} strategy attempts, "
+                 f"{self.total_iterations} Newton iterations, "
+                 f"{self.singular_jacobian_events} singular-Jacobian events"]
+        for a in self.attempts:
+            verdict = "converged" if a.converged else "failed"
+            lines.append(f"  {a.strategy:24s} {verdict:10s} "
+                         f"iters={a.iterations:<4d} "
+                         f"residual={a.residual:.3g}")
+        if self.converged_by is not None:
+            lines.append(f"solved by: {self.converged_by}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RecoveryPolicy:
+    """Configuration of the DC recovery ladder.
+
+    Strategies run in order — gmin stepping, then source stepping, then
+    pseudo-transient — each only if the previous ones failed.  Disabling
+    a strategy removes its rungs but keeps the rest of the ladder.
+    """
+
+    gmin_ladder: Sequence[float] = GMIN_LADDER
+    source_stepping: bool = True
+    #: Initial (and maximum) source-ramp increment.
+    source_step_initial: float = 0.25
+    #: Give up on source stepping below this increment (a fold point).
+    source_step_min: float = 1.0 / 4096.0
+    pseudo_transient: bool = True
+    ptran_gmin_start: float = 1.0
+    #: Shrink factor applied to gmin after an accepted rung.
+    ptran_shrink: float = 0.1
+    #: Growth factor applied to gmin after a rejected rung.
+    ptran_grow: float = 3.0
+    #: Abandon pseudo-transient when gmin grows past this.
+    ptran_gmin_max: float = 1e3
+    #: A rung below this gmin is followed by one clean gmin=0 solve.
+    ptran_gmin_floor: float = 1e-14
+    ptran_max_rungs: int = 80
+
+
+def _attempt(system, diagnostics: SolverDiagnostics, strategy: str,
+             fixed: Dict[str, float], x: np.ndarray,
+             gmin: float) -> Optional[np.ndarray]:
+    """One recorded Newton attempt; ``None`` on non-convergence."""
+    stats = NewtonStats()
+    try:
+        result = system.newton(fixed, x, gmin=gmin, stats=stats)
+    except ConvergenceError:
+        diagnostics.record(strategy, stats)
+        return None
+    diagnostics.record(strategy, stats)
+    return result
+
+
+def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
+                        policy: Optional[RecoveryPolicy] = None,
+                        ) -> Tuple[np.ndarray, SolverDiagnostics]:
+    """Run the recovery ladder until one strategy produces a gmin=0 solve.
+
+    Returns the solution and the diagnostics; raises
+    :class:`ConvergenceError` (with the diagnostics attached) only after
+    every enabled strategy has failed.
+    """
+    policy = policy if policy is not None else RecoveryPolicy()
+    diag = SolverDiagnostics()
+
+    # 1. Plain Newton from the caller's guess.
+    x = _attempt(system, diag, "newton", fixed, x0, gmin=0.0)
+    if x is not None:
+        diag.converged_by = "newton"
+        return x, diag
+
+    # 2. Gmin stepping, warm-starting each rung from the previous one.
+    x = x0.copy()
+    solved = False
+    for gmin in policy.gmin_ladder:
+        result = _attempt(system, diag, f"gmin:{gmin:g}", fixed, x, gmin)
+        if result is not None:
+            x = result
+            solved = gmin == 0.0
+    if not solved:
+        # Final plain attempt warm-started from wherever the ladder got.
+        result = _attempt(system, diag, "gmin:final", fixed, x, gmin=0.0)
+        solved = result is not None
+        if solved:
+            x = result
+    if solved:
+        diag.converged_by = diag.attempts[-1].strategy
+        return x, diag
+
+    # 3. Source stepping: ramp all sources from zero, tracking the branch.
+    if policy.source_stepping:
+        x = np.zeros(system.n)
+        alpha, step = 0.0, policy.source_step_initial
+        while alpha < 1.0:
+            target = min(1.0, alpha + step)
+            scaled = {node: value * target for node, value in fixed.items()}
+            result = _attempt(system, diag, f"source-step:{target:.4g}",
+                              scaled, x, gmin=0.0)
+            if result is not None:
+                x, alpha = result, target
+                step = min(step * 2.0, policy.source_step_initial)
+            else:
+                step /= 2.0
+                if step < policy.source_step_min:
+                    break  # fold point: this branch ends before alpha=1
+        if alpha >= 1.0:
+            diag.converged_by = diag.attempts[-1].strategy
+            return x, diag
+
+    # 4. Pseudo-transient: dynamic gmin ramp through folds.
+    if policy.pseudo_transient:
+        x = x0.copy()
+        gmin = policy.ptran_gmin_start
+        for _ in range(policy.ptran_max_rungs):
+            if gmin > policy.ptran_gmin_max:
+                break
+            result = _attempt(system, diag, f"ptran:gmin={gmin:.2g}",
+                              fixed, x, gmin)
+            if result is not None:
+                x = result
+                gmin *= policy.ptran_shrink
+                if gmin < policy.ptran_gmin_floor:
+                    final = _attempt(system, diag, "ptran:final", fixed, x,
+                                     gmin=0.0)
+                    if final is not None:
+                        diag.converged_by = "ptran:final"
+                        return final, diag
+                    break
+            else:
+                gmin *= policy.ptran_grow
+
+    failures = [a for a in diag.attempts if not a.converged]
+    last = failures[-1] if failures else None
+    raise ConvergenceError(
+        "DC solve failed after exhausting the recovery ladder "
+        f"({len(diag.attempts)} attempts: "
+        f"{', '.join(sorted(set(a.strategy.split(':')[0] for a in diag.attempts)))})"
+        f"\n{diag.summary()}",
+        iterations=diag.total_iterations,
+        residual=last.residual if last is not None else math.nan,
+        diagnostics=diag)

@@ -13,24 +13,47 @@ well under a second.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import CircuitError
+from ..errors import CircuitError, ConvergenceError
 from .circuit import Circuit
 from .dc import OperatingPoint, System, solve_dc
 from .waveform import Waveform
+
+
+@dataclass
+class TransientStats:
+    """Retry/step bookkeeping for one transient run.
+
+    ``steps_taken`` counts accepted Newton solves (base grid intervals
+    plus any recovery substeps); the remaining counters describe how
+    hard the engine had to fight to finish.
+    """
+
+    grid_points: int = 0
+    steps_taken: int = 0
+    newton_failures: int = 0
+    retried_intervals: int = 0
+    halvings: int = 0
+    max_subdivision_depth: int = 0
+    be_fallback_steps: int = 0
+    ringing_fallback_steps: int = 0
 
 
 class TransientResult:
     """Node voltages and source currents over time."""
 
     def __init__(self, time: np.ndarray, voltages: Dict[str, np.ndarray],
-                 source_currents: Dict[str, np.ndarray]):
+                 source_currents: Dict[str, np.ndarray],
+                 stats: Optional[TransientStats] = None):
         self.time = time
         self.voltages = voltages
         self.source_currents = source_currents
+        self.stats = stats if stats is not None else TransientStats(
+            grid_points=len(time))
 
     def wave(self, node: str) -> Waveform:
         """Voltage waveform of ``node``."""
@@ -150,20 +173,49 @@ class _CompanionCaps:
 
 def _time_grid(tstop: float, dt: float, breakpoints: Sequence[float]) -> np.ndarray:
     base = np.arange(0.0, tstop + dt / 2, dt)
+    base = base[base <= tstop]
     extra = [t for t in breakpoints if 0.0 < t < tstop]
-    grid = np.unique(np.concatenate([base, np.asarray(extra, dtype=float)]))
+    grid = np.unique(np.concatenate([base, np.asarray(extra, dtype=float),
+                                     np.asarray([tstop])]))
     # Drop points closer than dt/1000 to avoid degenerate steps.
     keep = [0]
     for i in range(1, len(grid)):
         if grid[i] - grid[keep[-1]] > dt * 1e-3:
             keep.append(i)
+    # tstop must survive dedup exactly: when a stimulus breakpoint lands
+    # within dt/1000 of it, drop the breakpoint and keep tstop instead.
+    last = len(grid) - 1
+    if keep[-1] != last:
+        if len(keep) == 1:
+            keep.append(last)
+        else:
+            keep[-1] = last
     return grid[keep]
+
+
+def _trap_ringing(i_new: Optional[np.ndarray], i_old: Optional[np.ndarray],
+                  floor: float = 1e-12) -> bool:
+    """Detect trapezoidal ringing: sign-alternating, non-decaying
+    companion currents (the classic trap artefact on sharp edges)."""
+    if i_new is None or i_old is None or i_new.size == 0:
+        return False
+    mask = (np.abs(i_new) > floor) & (np.abs(i_old) > floor)
+    if not mask.any():
+        return False
+    alternating = (i_new * i_old < 0.0) & (np.abs(i_new)
+                                           > 0.95 * np.abs(i_old))
+    return bool(np.any(mask & alternating))
 
 
 def run_transient(circuit: Circuit, tstop: float, dt: float,
                   record: Optional[Sequence[str]] = None,
                   method: str = "be",
-                  ic: Optional[OperatingPoint] = None) -> TransientResult:
+                  ic: Optional[OperatingPoint] = None,
+                  max_step_halvings: int = 8,
+                  be_fallback: bool = True,
+                  detect_ringing: bool = False,
+                  on_step: Optional[Callable[[float], None]] = None,
+                  ) -> TransientResult:
     """Simulate ``circuit`` from 0 to ``tstop`` with base step ``dt``.
 
     Parameters
@@ -177,11 +229,28 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
     ic:
         Initial operating point; computed with :func:`solve_dc` at t=0
         when omitted.
+    max_step_halvings:
+        On a failed Newton step the engine locally halves the step and
+        retries, down to ``dt / 2**max_step_halvings``.  Substeps are
+        internal: results stay aligned to the base grid.
+    be_fallback:
+        When a trapezoidal substep still fails at the minimum step size,
+        retry it once with backward Euler before giving up.
+    detect_ringing:
+        After each converged trapezoidal step, check the capacitor
+        companion currents for sign-alternating non-decaying ringing and
+        redo the step with backward Euler when found (off by default —
+        it damps legitimate oscillations too).
+    on_step:
+        Callback invoked with the target time before every Newton solve
+        attempt (including retries) — the fault-injection hook.
     """
     if tstop <= 0.0 or dt <= 0.0:
         raise CircuitError("tstop and dt must be positive")
     if method not in ("be", "trap"):
         raise CircuitError(f"unknown integration method {method!r}")
+    if max_step_halvings < 0:
+        raise CircuitError("max_step_halvings must be >= 0")
     system = System(circuit)
     op = ic if ic is not None else solve_dc(circuit, t=0.0, system=system)
     caps = _CompanionCaps(system, circuit)
@@ -189,6 +258,7 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
 
     record_nodes = list(record) if record is not None else circuit.all_nodes()
     grid = _time_grid(tstop, dt, circuit.stimulus_breakpoints())
+    stats = TransientStats(grid_points=len(grid))
 
     x = np.array([op.voltages[n] for n in system.unknowns]) if system.n else \
         np.zeros(0)
@@ -211,18 +281,88 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
                 source.node, 0.0)
             src_hist[source.name].append(total)
 
+    def solve_substep(t_next: float, sub: float, x_cur: np.ndarray,
+                      fixed_cur: Dict[str, float],
+                      fixed_next: Dict[str, float], use_method: str):
+        if on_step is not None:
+            on_step(t_next)
+        extra = caps.make_extra(x_cur, fixed_cur, fixed_next, sub,
+                                use_method, system.n)
+        return system.newton(fixed_next, x_cur, gmin=0.0, extra=extra)
+
+    def advance_interval(t0: float, t1: float, x_cur: np.ndarray,
+                         fixed_cur: Dict[str, float]):
+        """March from t0 to t1, subdividing locally on Newton failures."""
+        min_sub = (t1 - t0) / (2 ** max_step_halvings)
+        pending = [t1]
+        interval_retried = False
+        t_cur = t0
+        while pending:
+            t_next = pending[-1]
+            sub = t_next - t_cur
+            fixed_next = circuit.fixed_nodes(t_next)
+            use_method = method
+            try:
+                x_new = solve_substep(t_next, sub, x_cur, fixed_cur,
+                                      fixed_next, method)
+            except ConvergenceError as err:
+                stats.newton_failures += 1
+                if not interval_retried:
+                    interval_retried = True
+                    stats.retried_intervals += 1
+                if sub / 2.0 >= min_sub * (1.0 - 1e-12):
+                    stats.halvings += 1
+                    pending.append(t_cur + sub / 2.0)
+                    stats.max_subdivision_depth = max(
+                        stats.max_subdivision_depth, len(pending))
+                    continue
+                if method == "trap" and be_fallback:
+                    try:
+                        x_new = solve_substep(t_next, sub, x_cur, fixed_cur,
+                                              fixed_next, "be")
+                        use_method = "be"
+                        stats.be_fallback_steps += 1
+                    except ConvergenceError:
+                        raise ConvergenceError(
+                            f"transient step to t={t_next:.6g} s failed "
+                            f"after {max_step_halvings} halvings and a "
+                            f"backward-Euler fallback",
+                            iterations=err.iterations,
+                            residual=err.residual) from err
+                else:
+                    raise ConvergenceError(
+                        f"transient step to t={t_next:.6g} s failed after "
+                        f"{max_step_halvings} halvings "
+                        f"(smallest step {sub:.3g} s)",
+                        iterations=err.iterations,
+                        residual=err.residual) from err
+            i_prev_saved = caps._i_prev
+            caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub, use_method)
+            if (detect_ringing and use_method == "trap"
+                    and _trap_ringing(caps._i_prev, i_prev_saved)):
+                caps._i_prev = i_prev_saved
+                try:
+                    x_be = solve_substep(t_next, sub, x_cur, fixed_cur,
+                                         fixed_next, "be")
+                except ConvergenceError:
+                    caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub,
+                                use_method)
+                else:
+                    x_new = x_be
+                    caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub,
+                                "be")
+                    stats.ringing_fallback_steps += 1
+            pending.pop()
+            t_cur, x_cur, fixed_cur = t_next, x_new, fixed_next
+            stats.steps_taken += 1
+        return x_cur, fixed_cur
+
     snapshot(x, fixed_prev)
     for i in range(1, len(grid)):
-        t_now = float(grid[i])
-        step = t_now - float(grid[i - 1])
-        fixed_now = circuit.fixed_nodes(t_now)
-        extra = caps.make_extra(x, fixed_prev, fixed_now, step, method,
-                                system.n)
-        x_new = system.newton(fixed_now, x, gmin=0.0, extra=extra)
-        caps.commit(x_new, x, fixed_now, fixed_prev, step, method)
-        x, fixed_prev = x_new, fixed_now
-        snapshot(x, fixed_now)
+        x, fixed_prev = advance_interval(float(grid[i - 1]), float(grid[i]),
+                                         x, fixed_prev)
+        snapshot(x, fixed_prev)
 
     voltages = {n: np.asarray(v) for n, v in volt_hist.items()}
     currents = {n: np.asarray(v) for n, v in src_hist.items()}
-    return TransientResult(grid, voltages, currents)
+    return TransientResult(grid, voltages, currents, stats=stats)

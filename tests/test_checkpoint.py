@@ -1,0 +1,288 @@
+"""Tests for CheckpointedRun: chunked execution, atomic snapshots,
+retry with backoff, and the acceptance-criterion kill-and-resume
+round-trip on a fig6-style CPA campaign."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cells import build_cmos_library
+from repro.errors import CheckpointError, ReproError
+from repro.experiments.runner import CheckpointedRun
+from repro.power import MeasurementChain
+from repro.sca import AttackCampaign, fixed_vs_random_tvla
+from repro.sca.attack import build_reduced_aes
+
+
+def square_chunk(chunk, start):
+    return np.array([[float(i), float(i * i)] for i in chunk])
+
+
+class TestBasicExecution:
+    def test_single_pass(self, tmp_path):
+        runner = CheckpointedRun(tmp_path / "basic.npz", chunk_size=4)
+        out = runner.run(list(range(10)), square_chunk)
+        np.testing.assert_array_equal(
+            out, [[i, i * i] for i in range(10)])
+        assert os.path.exists(runner.path)
+        assert runner.stats.chunks_total == 3
+        assert runner.stats.chunks_run == 3
+        assert runner.stats.chunks_resumed == 0
+
+    def test_completed_run_resumes_without_reprocessing(self, tmp_path):
+        runner = CheckpointedRun(tmp_path / "done.npz", chunk_size=4)
+        first = runner.run(list(range(10)), square_chunk)
+
+        def exploding(chunk, start):
+            raise AssertionError("should not be called on a finished run")
+
+        again = CheckpointedRun(tmp_path / "done.npz", chunk_size=4)
+        second = again.run(list(range(10)), exploding)
+        np.testing.assert_array_equal(first, second)
+        assert again.stats.chunks_run == 0
+        assert again.stats.chunks_resumed == 3
+
+    def test_one_dim_chunk_output(self, tmp_path):
+        runner = CheckpointedRun(tmp_path / "flat.npz", chunk_size=3)
+        out = runner.run(list(range(7)),
+                         lambda chunk, start: np.array(
+                             [float(i) for i in chunk]))
+        assert out.shape == (7, 1)
+
+    def test_clear_removes_the_checkpoint(self, tmp_path):
+        runner = CheckpointedRun(tmp_path / "gone.npz", chunk_size=4)
+        runner.run(list(range(4)), square_chunk)
+        assert os.path.exists(runner.path)
+        runner.clear()
+        assert not os.path.exists(runner.path)
+
+    def test_npz_suffix_is_appended(self, tmp_path):
+        runner = CheckpointedRun(tmp_path / "noext")
+        assert runner.path.endswith(".npz")
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointedRun(tmp_path / "x.npz", chunk_size=0)
+        with pytest.raises(CheckpointError):
+            CheckpointedRun(tmp_path / "x.npz", max_retries=-1)
+
+    def test_wrong_row_count_rejected(self, tmp_path):
+        runner = CheckpointedRun(tmp_path / "rows.npz", chunk_size=4)
+        with pytest.raises(CheckpointError):
+            runner.run(list(range(8)),
+                       lambda chunk, start: np.zeros((1, 2)))
+
+
+class TestKillAndResume:
+    def test_mid_run_kill_resumes_from_chunk_boundary(self, tmp_path):
+        path = tmp_path / "killed.npz"
+        calls = []
+
+        def process_then_die(chunk, start):
+            calls.append(start)
+            if start >= 8:
+                raise KeyboardInterrupt  # not in retry_on: propagates
+            return square_chunk(chunk, start)
+
+        runner = CheckpointedRun(path, chunk_size=4)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(list(range(12)), process_then_die)
+        assert calls == [0, 4, 8]
+
+        resumed = CheckpointedRun(path, chunk_size=4)
+        calls.clear()
+        out = resumed.run(list(range(12)), square_chunk)
+        np.testing.assert_array_equal(
+            out, [[i, i * i] for i in range(12)])
+        assert resumed.stats.chunks_resumed == 2
+        assert resumed.stats.chunks_run == 1
+
+    def test_corrupt_checkpoint_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        CheckpointedRun(path, chunk_size=4).run(list(range(8)), square_chunk)
+        with open(path, "r+b") as fh:
+            fh.truncate(200)  # simulate disk corruption
+        runner = CheckpointedRun(path, chunk_size=4)
+        with pytest.raises(CheckpointError, match="unreadable"):
+            runner.run(list(range(8)), square_chunk)
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        path = tmp_path / "fp.npz"
+        CheckpointedRun(path, chunk_size=4).run(list(range(8)), square_chunk)
+        other = CheckpointedRun(path, chunk_size=4)
+        with pytest.raises(CheckpointError, match="different"):
+            other.run(list(range(9)), square_chunk)
+
+    def test_extra_fingerprint_keys_participate(self, tmp_path):
+        path = tmp_path / "fpx.npz"
+        CheckpointedRun(path, chunk_size=4).run(
+            list(range(8)), square_chunk, fingerprint={"seed": 1})
+        other = CheckpointedRun(path, chunk_size=4)
+        with pytest.raises(CheckpointError):
+            other.run(list(range(8)), square_chunk, fingerprint={"seed": 2})
+
+    def test_state_round_trip(self, tmp_path):
+        """Caller state (e.g. an RNG) rides along in the checkpoint so a
+        resumed run continues the exact stream."""
+        path = tmp_path / "state.npz"
+        state = {"n": 0}
+
+        def process(chunk, start):
+            rows = []
+            for _ in chunk:
+                rows.append([float(state["n"])])
+                state["n"] += 1
+            return np.array(rows)
+
+        runner = CheckpointedRun(path, chunk_size=2)
+
+        def die_after_one(chunk, start):
+            if start >= 2:
+                raise KeyboardInterrupt
+            return process(chunk, start)
+
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(list(range(6)), die_after_one,
+                       get_state=lambda: state,
+                       set_state=state.update)
+
+        # Fresh process: the counter restarts at a wrong value unless the
+        # checkpoint restores it.
+        state.clear()
+        state["n"] = 999
+        out = CheckpointedRun(path, chunk_size=2).run(
+            list(range(6)), process,
+            get_state=lambda: state, set_state=state.update)
+        np.testing.assert_array_equal(out, [[float(i)] for i in range(6)])
+
+
+class TestRetryBackoff:
+    def test_transient_failures_are_retried_with_backoff(self, tmp_path):
+        sleeps = []
+        attempts = {"n": 0}
+
+        def flaky(chunk, start):
+            if start == 4 and attempts["n"] < 2:
+                attempts["n"] += 1
+                raise ReproError("transient wobble")
+            return square_chunk(chunk, start)
+
+        runner = CheckpointedRun(tmp_path / "flaky.npz", chunk_size=4,
+                                 max_retries=3, backoff_base=0.05,
+                                 backoff_cap=2.0, sleep=sleeps.append)
+        out = runner.run(list(range(8)), flaky)
+        np.testing.assert_array_equal(out, [[i, i * i] for i in range(8)])
+        assert runner.stats.retries == 2
+        assert sleeps == [0.05, 0.1]
+        assert len(runner.stats.failures) == 2
+
+    def test_backoff_is_capped(self, tmp_path):
+        sleeps = []
+        attempts = {"n": 0}
+
+        def very_flaky(chunk, start):
+            if attempts["n"] < 4:
+                attempts["n"] += 1
+                raise ReproError("still down")
+            return square_chunk(chunk, start)
+
+        runner = CheckpointedRun(tmp_path / "cap.npz", chunk_size=4,
+                                 max_retries=5, backoff_base=0.05,
+                                 backoff_cap=0.15, sleep=sleeps.append)
+        runner.run(list(range(4)), very_flaky)
+        assert sleeps == [0.05, 0.1, 0.15, 0.15]
+
+    def test_retry_budget_exhaustion_raises(self, tmp_path):
+        def hopeless(chunk, start):
+            raise ReproError("permanently down")
+
+        runner = CheckpointedRun(tmp_path / "dead.npz", chunk_size=4,
+                                 max_retries=2, sleep=lambda s: None)
+        with pytest.raises(CheckpointError, match="after 2 retries"):
+            runner.run(list(range(4)), hopeless)
+
+    def test_state_restored_before_each_retry(self, tmp_path):
+        state = {"n": 0}
+        attempts = {"n": 0}
+
+        def advancing_then_failing(chunk, start):
+            rows = []
+            for _ in chunk:
+                rows.append([float(state["n"])])
+                state["n"] += 1
+            if start == 2 and attempts["n"] == 0:
+                attempts["n"] += 1
+                raise ReproError("failed after consuming state")
+            return np.array(rows)
+
+        runner = CheckpointedRun(tmp_path / "restore.npz", chunk_size=2,
+                                 sleep=lambda s: None)
+        out = runner.run(list(range(4)), advancing_then_failing,
+                         get_state=lambda: dict(state),
+                         set_state=state.update)
+        # Without the restore, the retried chunk would read 4 and 5.
+        np.testing.assert_array_equal(out, [[0.0], [1.0], [2.0], [3.0]])
+
+
+class _KillAfter(CheckpointedRun):
+    """Checkpoint runner that dies after N successful chunk saves."""
+
+    def __init__(self, *args, die_after=2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.die_after = die_after
+        self._saves = 0
+
+    def _save(self, blocks, n_done, fingerprint, state):
+        super()._save(blocks, n_done, fingerprint, state)
+        self._saves += 1
+        if self._saves >= self.die_after:
+            raise KeyboardInterrupt
+
+
+class TestCampaignResume:
+    """Acceptance criterion: a fig6-style CPA campaign killed mid-run
+    resumes from its checkpoint and yields byte-identical results."""
+
+    KEY = 0x2B
+    PLAINTEXTS = list(range(48))
+
+    def test_cpa_campaign_kill_and_resume_is_byte_identical(self, tmp_path):
+        lib = build_cmos_library()
+        path = tmp_path / "fig6_cmos.npz"
+
+        reference = AttackCampaign(lib, self.KEY).run(self.PLAINTEXTS)
+
+        campaign = AttackCampaign(lib, self.KEY)
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run_checkpointed(
+                _KillAfter(path, chunk_size=16, die_after=2),
+                self.PLAINTEXTS)
+        assert os.path.exists(path)
+
+        resumed_campaign = AttackCampaign(lib, self.KEY)
+        runner = CheckpointedRun(path, chunk_size=16)
+        result = resumed_campaign.run_checkpointed(runner, self.PLAINTEXTS)
+        assert runner.stats.chunks_resumed == 2
+        assert runner.stats.chunks_run == 1
+
+        np.testing.assert_array_equal(result.traces, reference.traces)
+        np.testing.assert_array_equal(result.cpa.peak_per_guess,
+                                      reference.cpa.peak_per_guess)
+
+    def test_tvla_kill_and_resume_matches_uninterrupted(self, tmp_path):
+        lib = build_cmos_library()
+        netlist, _ = build_reduced_aes(lib)
+        path = tmp_path / "tvla_cmos.npz"
+
+        reference = fixed_vs_random_tvla(netlist, key=self.KEY, n_traces=32)
+
+        with pytest.raises(KeyboardInterrupt):
+            fixed_vs_random_tvla(
+                netlist, key=self.KEY, n_traces=32,
+                runner=_KillAfter(path, chunk_size=8, die_after=2))
+
+        result = fixed_vs_random_tvla(
+            netlist, key=self.KEY, n_traces=32,
+            runner=CheckpointedRun(path, chunk_size=8))
+        np.testing.assert_array_equal(result.t_values, reference.t_values)

@@ -1,0 +1,194 @@
+"""Tests for the deterministic fault-injection harness.
+
+Covers the fault kinds at DC, injector arming semantics, and the
+acceptance-criterion scenario: a transient fault that forces a Newton
+failure mid-run, which the step-halving ladder recovers from with the
+output arrays still aligned to the base grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError, ConvergenceError
+from repro.faultinject import FAULT_KINDS, Fault, FaultInjector, FaultyDevice
+from repro.spice import Circuit, Pulse, run_transient, solve_dc
+from repro.units import ns, ps
+
+
+def divider():
+    c = Circuit("div")
+    c.v("vdd", "vdd", 1.2)
+    c.resistor("r1", "vdd", "mid", 1e3)
+    c.resistor("r2", "mid", "0", 1e3)
+    return c
+
+
+def rc_pulse_circuit():
+    c = Circuit("rc")
+    c.v("vin", "vin", Pulse(0.0, 1.2, ns(1.0), ps(50), ps(50), ns(10)))
+    c.resistor("r1", "vin", "out", 1e3)
+    c.capacitor("c1", "out", "0", 1e-12)
+    return c
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CircuitError):
+            Fault("r1", "short-to-mars")
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(CircuitError):
+            Fault("r1", "nan", t_start=1.0, t_stop=1.0)
+
+    def test_unknown_device_rejected_at_schedule_time(self):
+        with pytest.raises(CircuitError):
+            FaultInjector(divider(), [Fault("nope", "nan")])
+
+    def test_window_is_half_open(self):
+        fault = Fault("r1", "nan", t_start=1.0, t_stop=2.0)
+        assert not fault.in_window(0.5)
+        assert fault.in_window(1.0)
+        assert fault.in_window(1.999)
+        assert not fault.in_window(2.0)
+
+    def test_trip_limit_expiry(self):
+        c = divider()
+        injector = FaultInjector(c, [Fault("r1", "nan", trip_limit=1)])
+        fault = injector.faults[0]
+        assert not fault.expired
+        injector.set_time(0.0)          # trips -> 1, still active
+        assert injector.faults_for("r1") == [fault]
+        injector.set_time(0.0)          # trips -> 2, past the limit
+        assert fault.expired
+        assert injector.faults_for("r1") == []
+        injector.reset()
+        assert fault.trips == 0
+        assert injector.faults_for("r1") == [fault]
+
+
+class TestArming:
+    def test_arm_swaps_and_disarm_restores(self):
+        c = divider()
+        original = c.device("r1")
+        injector = FaultInjector(c, [Fault("r1", "open")])
+        injector.arm()
+        assert isinstance(c.device("r1"), FaultyDevice)
+        injector.disarm()
+        assert c.device("r1") is original
+        # Clean solve after disarm: the divider is intact.
+        op = solve_dc(c)
+        assert op["mid"] == pytest.approx(0.6, abs=1e-6)
+
+    def test_context_manager(self):
+        c = divider()
+        original = c.device("r2")
+        with FaultInjector(c, [Fault("r2", "open")]) as injector:
+            assert injector._armed
+            assert isinstance(c.device("r2"), FaultyDevice)
+        assert c.device("r2") is original
+
+    def test_arm_is_idempotent(self):
+        c = divider()
+        injector = FaultInjector(c, [Fault("r1", "open")])
+        injector.arm()
+        proxy = c.device("r1")
+        injector.arm()
+        assert c.device("r1") is proxy
+        injector.disarm()
+
+
+class TestFaultKindsAtDC:
+    def test_open_fault_floats_the_node_high(self):
+        c = divider()
+        with FaultInjector(c, [Fault("r2", "open")]):
+            op = solve_dc(c)
+        # With r2 open, no current flows: mid sits at vdd.
+        assert op["mid"] == pytest.approx(1.2, abs=1e-6)
+
+    def test_perturb_fault_shifts_the_solution(self):
+        c = divider()
+        clean = solve_dc(c)["mid"]
+        with FaultInjector(c, [Fault("r2", "perturb", magnitude=1e-4)]):
+            faulted = solve_dc(c)["mid"]
+        assert faulted != pytest.approx(clean, abs=1e-9)
+        assert faulted == pytest.approx(clean, abs=0.3)
+
+    @pytest.mark.parametrize("kind", ["nan", "inf", "oscillate"])
+    def test_unsolvable_kinds_raise_with_diagnostics(self, kind):
+        c = divider()
+        with FaultInjector(c, [Fault("r1", kind)]):
+            with pytest.raises(ConvergenceError) as excinfo:
+                solve_dc(c)
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        families = {s.split(":")[0] for s in diag.strategies()}
+        # The whole ladder ran before giving up.
+        assert {"newton", "gmin", "source-step", "ptran"} <= families
+
+    def test_all_kinds_are_exercised(self):
+        assert set(FAULT_KINDS) == {"nan", "inf", "open", "perturb",
+                                    "oscillate"}
+
+
+class TestTransientRecovery:
+    """Acceptance criterion: a mid-run fault produces a Newton failure,
+    the step-halving retry cures it (trip_limit models a step-size-curable
+    pathology), and the result stays aligned with the clean run."""
+
+    def run_pair(self):
+        clean = run_transient(rc_pulse_circuit(), tstop=ns(4), dt=ps(20))
+        c = rc_pulse_circuit()
+        injector = FaultInjector(c, [
+            Fault("r1", "oscillate", t_start=ns(2.0), t_stop=ns(2.1),
+                  magnitude=1e-3, trip_limit=1),
+        ])
+        with injector:
+            faulted = run_transient(c, tstop=ns(4), dt=ps(20),
+                                    on_step=injector.set_time)
+        return clean, faulted
+
+    def test_step_halving_recovers(self):
+        clean, faulted = self.run_pair()
+        stats = faulted.stats
+        assert stats.newton_failures >= 1
+        assert stats.retried_intervals >= 1
+        assert stats.halvings >= 1
+        assert stats.max_subdivision_depth >= 2
+
+    def test_output_stays_aligned_to_base_grid(self):
+        clean, faulted = self.run_pair()
+        np.testing.assert_array_equal(clean.time, faulted.time)
+        dev = np.max(np.abs(clean.wave("out").v - faulted.wave("out").v))
+        # One faulted attempt, recovered at half step: tiny deviation.
+        assert dev < 1e-3
+
+    def test_clean_run_reports_no_failures(self):
+        clean, _ = self.run_pair()
+        assert clean.stats.newton_failures == 0
+        assert clean.stats.halvings == 0
+        assert clean.stats.steps_taken >= clean.stats.grid_points - 1
+
+    def test_persistent_fault_exhausts_the_ladder(self):
+        c = rc_pulse_circuit()
+        injector = FaultInjector(c, [
+            Fault("r1", "nan", t_start=ns(2.0), t_stop=ns(4.1)),
+        ])
+        with injector:
+            with pytest.raises(ConvergenceError) as excinfo:
+                run_transient(c, tstop=ns(4), dt=ps(20),
+                              max_step_halvings=3,
+                              on_step=injector.set_time)
+        assert "halvings" in str(excinfo.value)
+
+    def test_limited_halving_budget_is_respected(self):
+        c = rc_pulse_circuit()
+        injector = FaultInjector(c, [
+            Fault("r1", "oscillate", t_start=ns(2.0), t_stop=ns(2.1),
+                  magnitude=1e-3, trip_limit=1),
+        ])
+        with injector:
+            res = run_transient(c, tstop=ns(4), dt=ps(20),
+                                max_step_halvings=8,
+                                on_step=injector.set_time)
+        # dt/2^8 is far below what the trip-limited fault needs.
+        assert res.stats.max_subdivision_depth <= 8 + 1

@@ -1,0 +1,191 @@
+"""Tests for the DC convergence-recovery ladder and its diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.spice import Circuit, RecoveryPolicy, solve_dc
+from repro.spice.dc import System, _initial_guess
+from repro.spice.devices import Device
+
+
+class TunnelDiode(Device):
+    """An N-shaped (negative-differential-resistance) two-terminal device.
+
+    i(v) = gain * (v^3 - 1.5 v^2 + 0.56 v): the classic tunnel-diode
+    characteristic whose NDR region defeats damped Newton started from a
+    midpoint guess.
+    """
+
+    def __init__(self, name, a, b, gain=1.0):
+        super().__init__(name, (a, b))
+        self.gain = gain
+
+    def currents(self, volts):
+        v = volts[0] - volts[1]
+        i = self.gain * (v ** 3 - 1.5 * v ** 2 + 0.56 * v)
+        return [i, -i]
+
+
+def tunnel_circuit(gain, r, vdd):
+    c = Circuit("td")
+    c.v("vdd", "vdd", vdd)
+    c.resistor("rl", "vdd", "n1", r)
+    c.add(TunnelDiode("td1", "n1", "0", gain=gain))
+    return c
+
+
+class TestSourceStepping:
+    """gain=1, r=50, vdd=0.56: plain Newton + the gmin ladder limit-cycle
+    in the NDR region, but the low branch is continuous from 0 V so
+    source stepping tracks it to the solution."""
+
+    def build(self):
+        return tunnel_circuit(gain=1.0, r=50.0, vdd=0.56)
+
+    def test_plain_newton_and_gmin_fail(self):
+        policy = RecoveryPolicy(source_stepping=False,
+                                pseudo_transient=False)
+        with pytest.raises(ConvergenceError):
+            solve_dc(self.build(), policy=policy)
+
+    def test_source_stepping_solves(self):
+        op = solve_dc(self.build())
+        assert op.diagnostics is not None
+        assert op.diagnostics.converged_by.startswith("source-step")
+        # KCL sanity: resistor current equals device current at the node.
+        v = op["n1"]
+        i_r = (0.56 - v) / 50.0
+        i_d = v ** 3 - 1.5 * v ** 2 + 0.56 * v
+        assert i_r == pytest.approx(i_d, abs=1e-9)
+
+    def test_failed_strategies_are_recorded(self):
+        op = solve_dc(self.build())
+        strategies = op.diagnostics.strategies()
+        assert "newton" in strategies
+        assert any(s.startswith("gmin:") for s in strategies)
+        newton_attempt = op.diagnostics.attempts[0]
+        assert newton_attempt.strategy == "newton"
+        assert not newton_attempt.converged
+        assert newton_attempt.iterations > 0
+
+
+class TestPseudoTransient:
+    """gain=1, r=10, vdd=1.2: the traced branch folds before full bias,
+    so source stepping stalls at the fold and the dynamic gmin ramp
+    (pseudo-transient) must carry the solve through."""
+
+    def build(self):
+        return tunnel_circuit(gain=1.0, r=10.0, vdd=1.2)
+
+    def test_pseudo_transient_solves(self):
+        op = solve_dc(self.build())
+        assert op.diagnostics.converged_by == "ptran:final"
+        v = op["n1"]
+        i_r = (1.2 - v) / 10.0
+        i_d = v ** 3 - 1.5 * v ** 2 + 0.56 * v
+        assert i_r == pytest.approx(i_d, abs=1e-9)
+
+    def test_disabled_ladder_fails_with_diagnostics(self):
+        policy = RecoveryPolicy(source_stepping=False,
+                                pseudo_transient=False)
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc(self.build(), policy=policy)
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        assert not any(a.converged and a.strategy == "newton"
+                       for a in diag.attempts)
+        families = {s.split(":")[0] for s in diag.strategies()}
+        assert families == {"newton", "gmin"}
+
+
+class TestDiagnosticsOnEasyCircuits:
+    def test_plain_newton_records_single_attempt(self):
+        c = Circuit()
+        c.v("vdd", "vdd", 1.2)
+        c.resistor("r1", "vdd", "mid", 1e3)
+        c.resistor("r2", "mid", "0", 1e3)
+        op = solve_dc(c)
+        assert op.diagnostics.converged_by == "newton"
+        assert len(op.diagnostics.attempts) == 1
+        assert op.diagnostics.attempts[0].converged
+        assert op.diagnostics.singular_jacobian_events == 0
+
+    def test_summary_renders(self):
+        c = Circuit()
+        c.v("vdd", "vdd", 1.2)
+        c.resistor("r1", "vdd", "0", 1e3)
+        op = solve_dc(c)
+        text = op.diagnostics.summary()
+        assert "newton" in text
+        assert "solved by" in text
+
+
+class TestSingularJacobianSurfacing:
+    def test_lstsq_fallback_is_counted(self):
+        # A node reached only through capacitors has an all-zero KCL row
+        # at DC: the Jacobian is singular on every iteration and the old
+        # code silently fell back to lstsq.
+        c = Circuit()
+        c.v("vdd", "vdd", 1.2)
+        c.capacitor("c1", "vdd", "x", 1e-12)
+        c.capacitor("c2", "x", "0", 1e-12)
+        system = System(c)
+        op = solve_dc(c, system=system)
+        assert op.diagnostics.singular_jacobian_events >= 1
+        assert system.singular_jacobian_events >= 1
+        attempt = op.diagnostics.attempts[-1]
+        assert attempt.singular_jacobian_events >= 1
+
+
+class TestInitialGuess:
+    def test_positive_rails_keep_midpoint(self):
+        c = Circuit()
+        c.v("vdd", "vdd", 1.2)
+        c.resistor("r1", "vdd", "mid", 1e3)
+        c.resistor("r2", "mid", "0", 1e3)
+        system = System(c)
+        guess = _initial_guess(system, c.fixed_nodes())
+        assert guess[0] == pytest.approx(0.6)
+
+    def test_negative_rails_straddle_zero(self):
+        # Split supplies: the old max(fixed)/2 guess sat at +0.6 V, far
+        # from the natural centre of a +/-1.2 V circuit.
+        c = Circuit()
+        c.v("vp", "vp", 1.2)
+        c.v("vn", "vn", -1.2)
+        c.resistor("r1", "vp", "mid", 1e3)
+        c.resistor("r2", "mid", "vn", 1e3)
+        system = System(c)
+        guess = _initial_guess(system, c.fixed_nodes())
+        assert guess[0] == pytest.approx(0.0)
+        op = solve_dc(c)
+        assert op["mid"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_only_rail(self):
+        c = Circuit()
+        c.v("vn", "vn", -2.0)
+        c.resistor("r1", "vn", "mid", 1e3)
+        c.resistor("r2", "mid", "0", 1e3)
+        system = System(c)
+        guess = _initial_guess(system, c.fixed_nodes())
+        assert guess[0] == pytest.approx(-1.0)
+        op = solve_dc(c)
+        assert op["mid"] == pytest.approx(-1.0, abs=1e-6)
+
+
+class TestNonFiniteFailFast:
+    def test_nan_residual_raises_quickly(self):
+        class NaNDevice(Device):
+            def currents(self, volts):
+                return [float("nan"), float("nan")]
+
+        c = Circuit()
+        c.v("vdd", "vdd", 1.2)
+        c.add(NaNDevice("bad", ("vdd", "mid")))
+        c.resistor("r1", "mid", "0", 1e3)
+        system = System(c)
+        with pytest.raises(ConvergenceError) as excinfo:
+            system.newton(c.fixed_nodes(), np.zeros(system.n), gmin=0.0)
+        # Fail-fast: one iteration, not the full maxiter budget.
+        assert excinfo.value.iterations == 1

@@ -78,6 +78,47 @@ class TestBreakpoints:
         res = run_transient(ckt, tstop=ns(3), dt=ps(100))
         assert np.any(np.isclose(res.time, ns(1.234)))
 
+    def test_tstop_survives_nearby_breakpoint(self):
+        # A stimulus corner within dt/1000 of tstop used to evict tstop
+        # from the grid during dedup; the run then ended short.
+        tstop = ns(3)
+        ckt = rc_circuit(stim=PWL([(0.0, 0.0), (tstop - ps(0.01), 1.0)]))
+        res = run_transient(ckt, tstop=tstop, dt=ps(100))
+        assert res.time[-1] == tstop
+
+    def test_grid_never_exceeds_tstop(self):
+        # tstop not a multiple of dt: arange's padding must be clipped.
+        res = run_transient(rc_circuit(), tstop=ns(1.05), dt=ps(100))
+        assert res.time[-1] == ns(1.05)
+        assert np.all(res.time <= ns(1.05))
+
+
+class TestTransientStats:
+    def test_clean_run_stats(self):
+        res = run_transient(rc_circuit(), tstop=ns(2), dt=ps(50))
+        stats = res.stats
+        assert stats.grid_points == len(res.time)
+        assert stats.steps_taken >= stats.grid_points - 1
+        assert stats.newton_failures == 0
+        assert stats.retried_intervals == 0
+        assert stats.halvings == 0
+        assert stats.be_fallback_steps == 0
+
+    def test_bad_halving_budget_rejected(self):
+        with pytest.raises(CircuitError):
+            run_transient(rc_circuit(), tstop=ns(1), dt=ps(50),
+                          max_step_halvings=-1)
+
+    def test_ringing_detection_runs(self):
+        # A smooth RC charge has no trap ringing: the detector must not
+        # perturb the solution.
+        plain = run_transient(rc_circuit(), tstop=ns(4), dt=ps(20),
+                              method="trap")
+        res = run_transient(rc_circuit(), tstop=ns(4), dt=ps(20),
+                            method="trap", detect_ringing=True)
+        assert res.wave("out").v[-1] == pytest.approx(
+            plain.wave("out").v[-1], abs=1e-9)
+
 
 class TestRCDivider:
     def test_cap_between_two_unknowns(self):
