@@ -1,0 +1,90 @@
+"""Benchmark: parallel trace acquisition vs serial, byte for byte.
+
+Times a 256-trace fig6-style CPA campaign (CMOS target, the heaviest
+per-trace style) serially and with a 4-worker pool, proves the two
+trace matrices are byte-identical and the CPA verdict unchanged, and
+records traces/sec for both in ``BENCH_acquisition.json`` at the repo
+root.
+
+The speedup itself is machine-dependent (a single-core container can
+only demonstrate equality, not scaling), so the ≥2.5x acceptance bar
+is asserted only where at least 4 CPUs are visible; the JSON always
+records what was measured plus the cpu count it was measured on.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.cells import build_cmos_library
+from repro.sca import AttackCampaign
+from repro.sca.acquisition import resolve_backend
+
+N_TRACES = 256
+WORKERS = 4
+KEY = 0x2B
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_acquisition.json")
+
+
+def _timed_campaign(campaign, **kwargs):
+    begin = time.perf_counter()
+    result = campaign.run(list(range(N_TRACES)), **kwargs)
+    return result, time.perf_counter() - begin
+
+
+def run_comparison():
+    library = build_cmos_library()
+    serial_result, serial_s = _timed_campaign(
+        AttackCampaign(library, KEY), workers=1)
+    parallel_result, parallel_s = _timed_campaign(
+        AttackCampaign(library, KEY), workers=WORKERS)
+
+    report = {
+        "experiment": "fig6-style CPA acquisition, cmos target",
+        "n_traces": N_TRACES,
+        "workers": WORKERS,
+        "backend": resolve_backend("auto", WORKERS),
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "serial_traces_per_sec": round(N_TRACES / serial_s, 2),
+        "parallel_traces_per_sec": round(N_TRACES / parallel_s, 2),
+        "speedup": round(serial_s / parallel_s, 3),
+        "byte_identical": bool(np.array_equal(serial_result.traces,
+                                              parallel_result.traces)),
+        "cpa_rank_serial": serial_result.rank,
+        "cpa_rank_parallel": parallel_result.rank,
+    }
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report, serial_result, parallel_result
+
+
+def test_acquisition_parallel_equivalence_and_throughput(benchmark):
+    report, serial_result, parallel_result = run_once(benchmark,
+                                                      run_comparison)
+    assert report["byte_identical"]
+    assert np.array_equal(serial_result.cpa.peak_per_guess,
+                          parallel_result.cpa.peak_per_guess)
+    assert report["cpa_rank_serial"] == report["cpa_rank_parallel"]
+    if (os.cpu_count() or 1) >= WORKERS:
+        assert report["speedup"] >= 2.5, report
+    benchmark.extra_info.update(report)
+
+
+def main():
+    report, _, _ = run_comparison()
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -183,8 +183,9 @@ class CheckpointedRun:
         ``process_chunk(chunk_items, start_index)`` must return an array
         with one row per item, computed independently of any other chunk.
         ``get_state``/``set_state`` round-trip external mutable state
-        (e.g. a measurement chain's RNG) through the checkpoint so a
-        resumed campaign continues the exact random stream.
+        through the checkpoint for processes that are not pure functions
+        of the item index.  (Trace campaigns no longer need this: their
+        noise is counter-based, keyed by trace index.)
         """
         items = list(items)
         fp = self._fingerprint(items, fingerprint)

@@ -61,13 +61,16 @@ class TVLAExperiment:
 def run(key: int = 0x2B, n_traces: int = 128,
         chain: Optional[MeasurementChain] = None,
         checkpoint_dir: Optional[str] = None,
-        chunk_size: int = 32) -> TVLAExperiment:
+        chunk_size: int = 32,
+        workers: int = 1,
+        backend: str = "auto") -> TVLAExperiment:
     """Assess all three styles with fixed-vs-random TVLA.
 
     ``checkpoint_dir`` makes each per-style acquisition resumable
     (snapshots at ``<dir>/tvla_<style>.npz`` every ``chunk_size``
     traces); a killed assessment restarted with the same directory
-    resumes and yields identical t statistics.
+    resumes and yields identical t statistics.  ``workers`` spreads
+    each acquisition over a worker pool with byte-identical traces.
     """
     rows: List[TVLAStyleRow] = []
     for build in (build_cmos_library, build_mcml_library,
@@ -80,7 +83,8 @@ def run(key: int = 0x2B, n_traces: int = 128,
                 os.path.join(checkpoint_dir, f"tvla_{library.style}.npz"),
                 chunk_size=chunk_size)
         result = fixed_vs_random_tvla(netlist, key=key, n_traces=n_traces,
-                                      chain=chain, runner=runner)
+                                      chain=chain, runner=runner,
+                                      workers=workers, backend=backend)
         rows.append(TVLAStyleRow(
             style=library.style, n_traces=n_traces,
             max_abs_t=result.max_abs_t, leaks=result.leaks,
@@ -91,13 +95,16 @@ def run(key: int = 0x2B, n_traces: int = 128,
 
 def detection_threshold(style_builder, key: int = 0x2B,
                         counts=(16, 32, 64, 128, 256),
-                        chain: Optional[MeasurementChain] = None) -> Optional[int]:
+                        chain: Optional[MeasurementChain] = None,
+                        workers: int = 1,
+                        backend: str = "auto") -> Optional[int]:
     """Smallest trace count at which TVLA first flags the style."""
     library = style_builder()
     netlist, _ = build_reduced_aes(library)
     for n in counts:
         result = fixed_vs_random_tvla(netlist, key=key, n_traces=n,
-                                      chain=chain)
+                                      chain=chain, workers=workers,
+                                      backend=backend)
         if result.leaks:
             return n
     return None

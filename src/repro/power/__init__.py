@@ -23,7 +23,12 @@ amplitude quantisation.
 """
 
 from .models import BlockPowerModel, InstancePower
-from .trace import activity_current, trace_matrix, TraceGrid
+from .trace import (
+    activity_current,
+    differential_baseline,
+    trace_matrix,
+    TraceGrid,
+)
 from .gating import (
     GatingSchedule,
     gated_block_current,
@@ -37,6 +42,7 @@ __all__ = [
     "BlockPowerModel",
     "InstancePower",
     "activity_current",
+    "differential_baseline",
     "trace_matrix",
     "TraceGrid",
     "GatingSchedule",

@@ -7,12 +7,20 @@ sub-nA per-sample information carried by MCML mismatch residuals, so the
 instrument itself is part of why the differential styles resist attack.
 The chain applies, in order: additive Gaussian noise (probe/supply),
 then uniform quantisation to the amplitude resolution.
+
+Noise is **counter-based**: every trace's noise is drawn from its own
+Philox generator keyed by ``(chain entropy, trace index)`` via
+``np.random.SeedSequence(entropy, spawn_key=(index,))``.  Trace *i*
+therefore sees the same noise whether the campaign runs serially,
+split across worker processes, chunked for checkpointing, or resumed
+after a kill — there is no shared mutable RNG state whose consumption
+order could change the measured traces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import ClassVar, Dict, Optional, Union
 
 import numpy as np
 
@@ -33,40 +41,77 @@ class MeasurementChain:
         Amplitude quantisation step, amperes (paper: 1 µA).  ``0``
         disables quantisation (an ideal probe).
     seed:
-        Noise generator seed (reproducible campaigns).
+        Campaign entropy for the per-trace noise generators.  ``None``
+        draws fresh entropy once at construction — the chain is still
+        internally consistent (trace *i* always gets the same noise for
+        this chain object) but cannot be reproduced by a new chain.
     """
 
     noise_sigma: float = uA(0.5)
     resolution: float = uA(1.0)
     seed: Optional[int] = 1234
 
+    #: Identifies the per-trace seeding scheme.  Checkpoint fingerprints
+    #: embed it so a snapshot taken under one scheme is never silently
+    #: resumed under another.
+    SCHEME: ClassVar[str] = "philox-per-trace-v1"
+
     def __post_init__(self) -> None:
         if self.noise_sigma < 0.0 or self.resolution < 0.0:
             raise TraceError("noise and resolution must be non-negative")
-        self._rng = np.random.default_rng(self.seed)
+        entropy = self.seed if self.seed is not None else \
+            np.random.SeedSequence().entropy
+        self._entropy = int(entropy)
+        self._next_index = 0
 
-    def measure(self, samples: np.ndarray) -> np.ndarray:
-        """Push ideal current samples through the instrument."""
+    def trace_rng(self, trace_index: int) -> np.random.Generator:
+        """The noise generator for one trace, by campaign-global index.
+
+        Deriving the generator from ``(entropy, trace_index)`` rather
+        than from consumed stream position makes the noise a pure
+        function of the index: any worker, in any order, reproduces it.
+        """
+        if trace_index < 0:
+            raise TraceError(f"trace index must be >= 0: {trace_index}")
+        sequence = np.random.SeedSequence(
+            entropy=self._entropy, spawn_key=(int(trace_index),))
+        return np.random.Generator(np.random.Philox(sequence))
+
+    def measure(self, samples: np.ndarray,
+                trace_index: Optional[int] = None) -> np.ndarray:
+        """Push ideal current samples through the instrument.
+
+        ``trace_index`` selects the counter-based noise generator; when
+        omitted the chain's internal counter supplies the next index, so
+        a plain sequential loop of ``measure`` calls is byte-identical
+        to indexed acquisition of the same traces.  Indexed calls do not
+        advance the counter (parallel workers never perturb each other).
+        """
         measured = np.asarray(samples, dtype=float)
+        if trace_index is None:
+            trace_index = self._next_index
+            self._next_index += 1
         if self.noise_sigma > 0.0:
-            measured = measured + self._rng.normal(
+            rng = self.trace_rng(trace_index)
+            measured = measured + rng.normal(
                 0.0, self.noise_sigma, size=measured.shape)
         if self.resolution > 0.0:
             measured = np.round(measured / self.resolution) * self.resolution
         return measured
 
-    def rng_state(self) -> dict:
-        """JSON-serialisable noise-generator state.
+    def fingerprint(self) -> Dict[str, Union[str, float]]:
+        """JSON-serialisable identity of the noise process.
 
-        Checkpointed campaigns snapshot this after every chunk so a
-        resumed acquisition continues the exact same noise stream —
-        byte-identical traces whether or not the run was interrupted.
+        Checkpointed campaigns embed this in the snapshot fingerprint:
+        a checkpoint written with different entropy, a different noise
+        configuration, or an older seeding scheme refuses to resume
+        instead of silently splicing two different noise streams.  The
+        per-trace derivation makes any *state* round-trip unnecessary —
+        the index alone reconstructs the stream.
         """
-        return self._rng.bit_generator.state
-
-    def set_rng_state(self, state: dict) -> None:
-        """Restore a state captured by :meth:`rng_state`."""
-        self._rng.bit_generator.state = state
+        return {"scheme": self.SCHEME, "entropy": str(self._entropy),
+                "noise_sigma": float(self.noise_sigma),
+                "resolution": float(self.resolution)}
 
     def ideal(self) -> "MeasurementChain":
         """The same chain with a perfect probe (for ablations)."""

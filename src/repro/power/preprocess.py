@@ -90,23 +90,21 @@ def align(traces: np.ndarray, reference: Optional[np.ndarray] = None,
     if ref.shape != (arr.shape[1],):
         raise TraceError("reference length must match the sample count")
     ref_c = ref - ref.mean()
-    shifts = np.zeros(arr.shape[0], dtype=int)
-    aligned = np.empty_like(arr)
-    for i, row in enumerate(arr):
-        best_shift, best_score = 0, -np.inf
-        row_c = row - row.mean()
-        for shift in range(-max_shift, max_shift + 1):
-            shifted = np.roll(row_c, shift)
-            score = float(np.dot(shifted, ref_c))
-            if score > best_score:
-                best_score, best_shift = score, shift
-        shifts[i] = best_shift
-        out = np.roll(row, best_shift)
-        if best_shift > 0:
-            out[:best_shift] = row[0]
-        elif best_shift < 0:
-            out[best_shift:] = row[-1]
-        aligned[i] = out
+    n = arr.shape[1]
+    # One batched matmul instead of a per-trace python loop:
+    # dot(roll(row_c, s), ref_c) == dot(row_c, roll(ref_c, -s)), so
+    # scores[i, j] is trace i against candidate shift j.  argmax takes
+    # the first maximum, matching the loop's strict-improvement
+    # tie-break (the most negative shift wins a tie).
+    shift_axis = np.arange(-max_shift, max_shift + 1)
+    rolled_refs = np.stack([np.roll(ref_c, -s) for s in shift_axis])
+    arr_c = arr - arr.mean(axis=1, keepdims=True)
+    scores = arr_c @ rolled_refs.T
+    shifts = shift_axis[np.argmax(scores, axis=1)]
+    # roll-with-edge-fill is a clipped gather: sample k of the output is
+    # input sample k - shift, clamped to the trace ends.
+    idx = np.clip(np.arange(n)[None, :] - shifts[:, None], 0, n - 1)
+    aligned = np.take_along_axis(arr, idx, axis=1)
     return aligned, shifts
 
 

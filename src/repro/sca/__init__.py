@@ -17,6 +17,13 @@ from .dpa import dpa_attack, multibit_dpa_attack, DPAResult
 from .metrics import key_rank, guessing_entropy, success_rate, mtd
 from .ttest import TVLAResult, fixed_vs_random_tvla, welch_t, TVLA_THRESHOLD
 from .evolution import CPAEvolution, EvolutionPoint, cpa_evolution
+from .acquisition import (
+    AcquisitionPool,
+    TraceAcquirer,
+    acquire_traces,
+    resolve_backend,
+    validate_plaintexts,
+)
 from .attack import AttackCampaign, CampaignResult, collect_traces
 
 __all__ = [
@@ -41,6 +48,11 @@ __all__ = [
     "CPAEvolution",
     "EvolutionPoint",
     "cpa_evolution",
+    "AcquisitionPool",
+    "TraceAcquirer",
+    "acquire_traces",
+    "resolve_backend",
+    "validate_plaintexts",
     "AttackCampaign",
     "CampaignResult",
     "collect_traces",

@@ -1,0 +1,316 @@
+"""Order-independent parallel trace acquisition.
+
+The Fig. 6 / TVLA campaigns push thousands of event simulations through
+the power models and the measurement chain — the repo's heaviest
+workload.  This module is the worker-pool layer that spreads one
+campaign's plaintexts over threads or processes while guaranteeing the
+result is **byte-identical** to a serial run, regardless of worker
+count, chunking, or execution order:
+
+* noise is counter-based (:class:`repro.power.MeasurementChain` derives
+  trace *i*'s generator from ``(campaign entropy, i)``), so no worker
+  consumes stream state another worker needed;
+* mismatch residuals are a pure function of ``(netlist, mismatch_seed)``
+  — every worker's :class:`BlockPowerModel` draws the same die;
+* chunks are reassembled by trace index, not completion order.
+
+:class:`TraceAcquirer` owns the per-worker hoisted state (one power
+model, one event simulator, the precomputed data-independent baseline
+for differential styles), so none of it is rebuilt per chunk.
+:func:`acquire_traces` is the one-shot entry point;
+:class:`AcquisitionPool` keeps a pool alive across many acquisitions
+(the checkpointed campaign path reuses one pool for every chunk).
+
+The process backend relies on ``fork`` (Linux/macOS-with-fork): workers
+inherit the acquirer through copy-on-write, which sidesteps pickling
+the netlist's cell-function closures.  Where ``fork`` is unavailable
+the pool falls back to threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AttackError
+from ..netlist import GateNetlist, LogicSimulator
+from ..power import (
+    BlockPowerModel,
+    MeasurementChain,
+    TraceGrid,
+    activity_current,
+    differential_baseline,
+)
+from ..units import ns, ps
+
+#: Trace capture window (the reduced AES settles well within this).
+DEFAULT_WINDOW = ns(2.0)
+#: Current sampling step for attack traces.
+DEFAULT_DT = ps(25.0)
+#: Plaintexts handed to a worker at a time.
+DEFAULT_CHUNK = 16
+
+_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_backend(backend: str, workers: int) -> str:
+    """Map (backend, workers) onto the backend actually used."""
+    if backend not in _BACKENDS:
+        raise AttackError(
+            f"unknown acquisition backend {backend!r}; "
+            f"choose from {_BACKENDS}")
+    if workers < 1:
+        raise AttackError(f"workers must be >= 1: {workers}")
+    if workers == 1 or backend == "serial":
+        return "serial"
+    if backend == "auto":
+        return "process" if _fork_available() else "thread"
+    if backend == "process" and not _fork_available():
+        return "thread"
+    return backend
+
+
+def validate_plaintexts(plaintexts: Sequence[int]) -> List[int]:
+    """Whole-batch validation, before any trace is acquired.
+
+    A bad byte in the middle of a campaign must not leave half the work
+    done (and the noise counter advanced) before raising.
+    """
+    values: List[int] = []
+    bad: List[object] = []
+    for p in plaintexts:
+        try:
+            value = int(p)
+        except (TypeError, ValueError):
+            bad.append(p)
+            continue
+        if not 0 <= value <= 0xFF:
+            bad.append(p)
+        else:
+            values.append(value)
+    if bad:
+        shown = ", ".join(repr(b) for b in bad[:8])
+        more = "" if len(bad) <= 8 else f" (+{len(bad) - 8} more)"
+        raise AttackError(f"plaintext bytes out of range: {shown}{more}")
+    return values
+
+
+class TraceAcquirer:
+    """One worker's end of a campaign: simulate, compose, measure.
+
+    Owns everything that is loop-invariant across the campaign's traces
+    — the power model, the event simulator, the key stimulus, and (for
+    differential styles) the pre-composed data-independent baseline —
+    so per-chunk work is only the per-trace part.
+    """
+
+    def __init__(self, netlist: GateNetlist, key: int,
+                 chain: Optional[MeasurementChain] = None,
+                 grid: Optional[TraceGrid] = None,
+                 mismatch_seed: int = 0, t_apply: float = 0.0):
+        if not 0 <= key <= 0xFF:
+            raise AttackError(f"key byte out of range: {key}")
+        self.netlist = netlist
+        self.key = key
+        self.chain = chain if chain is not None else MeasurementChain()
+        self.grid = grid if grid is not None else \
+            TraceGrid(0.0, DEFAULT_WINDOW, DEFAULT_DT)
+        if not t_apply < self.grid.t1:
+            raise AttackError(
+                f"t_apply={t_apply:g} must fall before the capture "
+                f"window's end t1={self.grid.t1:g}")
+        self.mismatch_seed = mismatch_seed
+        self.t_apply = t_apply
+        self.model = BlockPowerModel(netlist, seed=mismatch_seed)
+        self.simulator = LogicSimulator(netlist)
+        self._key_stimuli = [
+            (t_apply, f"k{b}", bool((key >> (7 - b)) & 1))
+            for b in range(8)]
+        self._baseline = None if self.model.style == "cmos" else \
+            differential_baseline(self.model, self.grid)
+
+    def ideal_samples(self, plaintext: int) -> np.ndarray:
+        """Pre-instrument current samples for one plaintext."""
+        self.simulator.reset()
+        stimuli = list(self._key_stimuli)
+        stimuli += [(self.t_apply, f"p{b}",
+                     bool((plaintext >> (7 - b)) & 1)) for b in range(8)]
+        trace = self.simulator.run(stimuli, duration=self.grid.t1)
+        return activity_current(self.model, trace, self.grid,
+                                baseline=self._baseline)
+
+    def acquire(self, plaintexts: Sequence[int],
+                trace_offset: int = 0) -> np.ndarray:
+        """Measured traces, one row per plaintext.
+
+        ``trace_offset`` is the campaign-global index of the first
+        plaintext — it keys the noise, so a chunk produces the same
+        bytes wherever and whenever it runs.
+        """
+        pts = validate_plaintexts(plaintexts)
+        rows = np.empty((len(pts), self.grid.n))
+        for i, plaintext in enumerate(pts):
+            samples = self.ideal_samples(plaintext)
+            rows[i] = self.chain.measure(samples,
+                                         trace_index=trace_offset + i)
+        return rows
+
+
+# -- worker-pool plumbing -----------------------------------------------------
+
+#: Acquirers inherited by forked process workers, keyed by pool token.
+#: Only ever *read* in workers; the parent owns the lifecycle.
+_FORK_ACQUIRERS: Dict[int, TraceAcquirer] = {}
+_POOL_TOKENS = itertools.count(1)
+
+
+def _process_chunk(token: int, trace_offset: int,
+                   plaintexts: List[int]) -> np.ndarray:
+    acquirer = _FORK_ACQUIRERS.get(token)
+    if acquirer is None:
+        raise AttackError(
+            "process worker has no inherited acquirer (fork-only backend "
+            "ran under a spawn start method?)")
+    return acquirer.acquire(plaintexts, trace_offset=trace_offset)
+
+
+class AcquisitionPool:
+    """A reusable worker pool bound to one campaign's acquisition state.
+
+    Usable as a context manager.  ``workers=1`` (or backend="serial")
+    degenerates to an in-process acquirer with zero pool overhead, so
+    callers can thread a ``workers`` argument through unconditionally.
+    """
+
+    def __init__(self, factory: Callable[[], TraceAcquirer],
+                 workers: int = 1, backend: str = "auto",
+                 chunk_size: int = DEFAULT_CHUNK):
+        if chunk_size < 1:
+            raise AttackError(f"chunk_size must be >= 1: {chunk_size}")
+        self.backend = resolve_backend(backend, workers)
+        self.workers = 1 if self.backend == "serial" else workers
+        self.chunk_size = chunk_size
+        self._factory = factory
+        self._executor: Optional[Executor] = None
+        self._token: Optional[int] = None
+        self._serial: Optional[TraceAcquirer] = None
+        self._thread_acquirers: Optional["queue.SimpleQueue"] = None
+        self._thread_local = threading.local()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "AcquisitionPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if self._token is not None:
+            _FORK_ACQUIRERS.pop(self._token, None)
+            self._token = None
+
+    def _ensure_started(self) -> None:
+        if self.backend == "serial":
+            if self._serial is None:
+                self._serial = self._factory()
+            return
+        if self._executor is not None:
+            return
+        if self.backend == "process":
+            # The acquirer must exist before the first submit: workers
+            # fork lazily and inherit it copy-on-write.
+            self._token = next(_POOL_TOKENS)
+            _FORK_ACQUIRERS[self._token] = self._factory()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"))
+        else:
+            # One acquirer per thread, all built up front in this thread
+            # (LogicSimulator construction touches shared netlist caches,
+            # so it must not race).
+            acquirers: "queue.SimpleQueue" = queue.SimpleQueue()
+            for _ in range(self.workers):
+                acquirers.put(self._factory())
+            self._thread_acquirers = acquirers
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+
+    def _thread_chunk(self, trace_offset: int,
+                      plaintexts: List[int]) -> np.ndarray:
+        acquirer = getattr(self._thread_local, "acquirer", None)
+        if acquirer is None:
+            acquirer = self._thread_acquirers.get_nowait()
+            self._thread_local.acquirer = acquirer
+        return acquirer.acquire(plaintexts, trace_offset=trace_offset)
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, plaintexts: Sequence[int],
+                trace_offset: int = 0) -> np.ndarray:
+        """Measured traces for ``plaintexts``, rows in plaintext order.
+
+        Chunks are submitted in order and reassembled by index, so the
+        output is invariant to which worker finishes first.
+        """
+        pts = validate_plaintexts(plaintexts)
+        self._ensure_started()
+        if self.backend == "serial":
+            return self._serial.acquire(pts, trace_offset=trace_offset)
+        jobs: List[Tuple[int, List[int]]] = [
+            (trace_offset + begin, pts[begin:begin + self.chunk_size])
+            for begin in range(0, len(pts), self.chunk_size)]
+        if self.backend == "process":
+            futures = [self._executor.submit(_process_chunk, self._token,
+                                             offset, chunk)
+                       for offset, chunk in jobs]
+        else:
+            futures = [self._executor.submit(self._thread_chunk, offset,
+                                             chunk)
+                       for offset, chunk in jobs]
+        blocks = [f.result() for f in futures]
+        if not blocks:
+            return np.zeros((0, TraceGrid(0.0, DEFAULT_WINDOW,
+                                          DEFAULT_DT).n))
+        return np.vstack(blocks)
+
+
+def acquire_traces(netlist: GateNetlist, key: int,
+                   plaintexts: Sequence[int],
+                   chain: Optional[MeasurementChain] = None,
+                   grid: Optional[TraceGrid] = None,
+                   mismatch_seed: int = 0, t_apply: float = 0.0,
+                   workers: int = 1, backend: str = "auto",
+                   chunk_size: int = DEFAULT_CHUNK,
+                   trace_offset: int = 0) -> np.ndarray:
+    """One-shot parallel acquisition: simulate, compose, and measure
+    ``plaintexts`` with ``workers`` workers.
+
+    Byte-identical to a serial run for any ``workers``/``backend``/
+    ``chunk_size`` — see the module docstring for why.
+    """
+    pts = validate_plaintexts(plaintexts)
+
+    def factory() -> TraceAcquirer:
+        return TraceAcquirer(netlist, key, chain=chain, grid=grid,
+                             mismatch_seed=mismatch_seed, t_apply=t_apply)
+
+    if not pts:
+        return np.zeros((0, (grid if grid is not None else
+                             TraceGrid(0.0, DEFAULT_WINDOW, DEFAULT_DT)).n))
+    with AcquisitionPool(factory, workers=workers, backend=backend,
+                         chunk_size=chunk_size) as pool:
+        return pool.acquire(pts, trace_offset=trace_offset)

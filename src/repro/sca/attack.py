@@ -11,6 +11,11 @@ One :class:`AttackCampaign` owns the full chain for one logic style:
 4. run CPA (and optionally classic DPA) with the Hamming-weight-of-
    S-box-output model over all 256 guesses.
 
+Trace acquisition goes through :mod:`repro.sca.acquisition`: noise is
+keyed by campaign-global trace index, so campaigns parallelise over
+``workers`` and checkpoint/resume without changing a byte of the
+result.
+
 The paper's outcome to reproduce: **CMOS breaks, MCML and PG-MCML do
 not** — the black line of Fig. 6 stays inside the grey cloud.
 """
@@ -24,24 +29,21 @@ import numpy as np
 
 from ..cells import Library
 from ..errors import AttackError
-from ..netlist import GateNetlist, LogicSimulator
-from ..power import (
-    BlockPowerModel,
-    MeasurementChain,
-    TraceGrid,
-    activity_current,
-)
+from ..netlist import GateNetlist
+from ..power import MeasurementChain, TraceGrid
 from ..synth import map_lut, sbox_truth_tables
 from ..synth.buffering import buffer_high_fanout
-from ..units import ns, ps
 from ..power.preprocess import standardize
+from .acquisition import (
+    DEFAULT_CHUNK,
+    DEFAULT_DT,
+    DEFAULT_WINDOW,
+    AcquisitionPool,
+    TraceAcquirer,
+    acquire_traces,
+)
 from .cpa import CPAResult, cpa_attack
 from .dpa import DPAResult, multibit_dpa_attack
-
-#: Trace capture window (the reduced AES settles well within this).
-DEFAULT_WINDOW = ns(2.0)
-#: Current sampling step for attack traces.
-DEFAULT_DT = ps(25.0)
 
 
 def build_reduced_aes(library: Library,
@@ -79,28 +81,21 @@ def collect_traces(netlist: GateNetlist, key: int,
                    chain: Optional[MeasurementChain] = None,
                    grid: Optional[TraceGrid] = None,
                    mismatch_seed: int = 0,
-                   t_apply: float = 0.0) -> np.ndarray:
-    """Simulated measured traces, one row per plaintext."""
-    if not 0 <= key <= 0xFF:
-        raise AttackError(f"key byte out of range: {key}")
-    chain = chain if chain is not None else MeasurementChain()
-    grid = grid if grid is not None else TraceGrid(0.0, DEFAULT_WINDOW,
-                                                   DEFAULT_DT)
-    model = BlockPowerModel(netlist, seed=mismatch_seed)
-    simulator = LogicSimulator(netlist)
-    rows: List[np.ndarray] = []
-    key_bits = [(f"k{b}", bool((key >> (7 - b)) & 1)) for b in range(8)]
-    for plaintext in plaintexts:
-        if not 0 <= plaintext <= 0xFF:
-            raise AttackError(f"plaintext byte out of range: {plaintext}")
-        simulator.reset()
-        stimuli = [(t_apply, net, value) for net, value in key_bits]
-        stimuli += [(t_apply, f"p{b}", bool((plaintext >> (7 - b)) & 1))
-                    for b in range(8)]
-        trace = simulator.run(stimuli, duration=grid.t1)
-        samples = activity_current(model, trace, grid)
-        rows.append(chain.measure(samples))
-    return np.vstack(rows)
+                   t_apply: float = 0.0,
+                   trace_offset: int = 0,
+                   workers: int = 1,
+                   backend: str = "auto") -> np.ndarray:
+    """Simulated measured traces, one row per plaintext.
+
+    The whole batch is validated before any simulation runs, and trace
+    ``i`` draws its noise from index ``trace_offset + i`` — the result
+    is a pure function of the inputs, independent of worker count or
+    chunk order.
+    """
+    return acquire_traces(netlist, key, plaintexts, chain=chain,
+                          grid=grid, mismatch_seed=mismatch_seed,
+                          t_apply=t_apply, trace_offset=trace_offset,
+                          workers=workers, backend=backend)
 
 
 @dataclass
@@ -145,47 +140,61 @@ class AttackCampaign:
         self.mismatch_seed = mismatch_seed
         self.netlist, self.output_nets = build_reduced_aes(library)
 
+    def _acquirer_factory(self, grid: Optional[TraceGrid]):
+        def factory() -> TraceAcquirer:
+            return TraceAcquirer(self.netlist, self.key, chain=self.chain,
+                                 grid=grid,
+                                 mismatch_seed=self.mismatch_seed)
+        return factory
+
     def run(self, plaintexts: Optional[Sequence[int]] = None,
             with_dpa: bool = False,
-            grid: Optional[TraceGrid] = None) -> CampaignResult:
+            grid: Optional[TraceGrid] = None,
+            workers: int = 1, backend: str = "auto",
+            chunk_size: int = DEFAULT_CHUNK) -> CampaignResult:
         """Collect traces and attack.
 
         Defaults to all 256 plaintexts — the exhaustive enumeration the
-        paper uses.
+        paper uses.  ``workers`` spreads the acquisition over a process
+        (or thread) pool; the traces are byte-identical for any count.
         """
         pts = list(plaintexts) if plaintexts is not None else list(range(256))
-        traces = collect_traces(self.netlist, self.key, pts,
-                                chain=self.chain, grid=grid,
-                                mismatch_seed=self.mismatch_seed)
+        with AcquisitionPool(self._acquirer_factory(grid), workers=workers,
+                             backend=backend,
+                             chunk_size=chunk_size) as pool:
+            traces = pool.acquire(pts)
         return self._attack(pts, traces, with_dpa)
 
     def run_checkpointed(self, runner, plaintexts: Optional[Sequence[int]] = None,
                          with_dpa: bool = False,
-                         grid: Optional[TraceGrid] = None) -> CampaignResult:
+                         grid: Optional[TraceGrid] = None,
+                         workers: int = 1,
+                         backend: str = "auto") -> CampaignResult:
         """Like :meth:`run`, but collect traces through a resumable runner.
 
         ``runner`` is a :class:`repro.experiments.runner.CheckpointedRun`
         (duck-typed to keep this layer free of experiment imports): trace
         acquisition proceeds in chunks with an atomic snapshot after each,
         and a killed campaign restarted with the same runner path resumes
-        where it stopped.  The measurement chain's RNG state rides along
-        in the checkpoint, so the final traces — and therefore the CPA
-        correlations — are byte-identical to an uninterrupted run.
+        where it stopped.  Noise is keyed by trace index, so resumed (and
+        parallel) acquisition is byte-identical to an uninterrupted serial
+        run with no RNG state riding along in the checkpoint; the seeding
+        scheme is fingerprinted instead, so a snapshot from a different
+        scheme or entropy refuses to resume.
         """
         pts = list(plaintexts) if plaintexts is not None else list(range(256))
+        with AcquisitionPool(self._acquirer_factory(grid), workers=workers,
+                             backend=backend) as pool:
 
-        def process(chunk: Sequence[int], start: int) -> np.ndarray:
-            return collect_traces(self.netlist, self.key, chunk,
-                                  chain=self.chain, grid=grid,
-                                  mismatch_seed=self.mismatch_seed)
+            def process(chunk: Sequence[int], start: int) -> np.ndarray:
+                return pool.acquire(chunk, trace_offset=start)
 
-        traces = runner.run(
-            pts, process,
-            fingerprint={"experiment": "cpa-campaign",
-                         "style": self.library.style, "key": self.key,
-                         "mismatch_seed": self.mismatch_seed},
-            get_state=self.chain.rng_state,
-            set_state=self.chain.set_rng_state)
+            traces = runner.run(
+                pts, process,
+                fingerprint={"experiment": "cpa-campaign",
+                             "style": self.library.style, "key": self.key,
+                             "mismatch_seed": self.mismatch_seed,
+                             "noise": self.chain.fingerprint()})
         return self._attack(pts, traces, with_dpa)
 
     def _attack(self, pts: List[int], traces: np.ndarray,

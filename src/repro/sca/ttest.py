@@ -96,7 +96,9 @@ class TVLAResult:
 def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
                          fixed_plaintext: int = 0x00,
                          chain=None, grid=None, mismatch_seed: int = 0,
-                         seed: int = 99, runner=None) -> TVLAResult:
+                         seed: int = 99, runner=None,
+                         workers: int = 1,
+                         backend: str = "auto") -> TVLAResult:
     """Run a fixed-vs-random TVLA campaign against a reduced-AES netlist.
 
     Interleaves fixed and random plaintexts (the standard acquisition
@@ -104,8 +106,12 @@ def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
     given, is a :class:`repro.experiments.runner.CheckpointedRun`: the
     acquisition proceeds in resumable chunks, and a killed campaign
     restarted with the same runner path produces byte-identical traces.
+    ``workers`` spreads the acquisition over a worker pool; noise is
+    keyed by trace index, so any worker count (with or without a
+    runner) yields the same bytes.
     """
-    from .attack import collect_traces  # local import avoids a cycle
+    from ..power import MeasurementChain
+    from .acquisition import AcquisitionPool, TraceAcquirer
 
     if n_traces < 4:
         raise AttackError("need at least 4 traces (2 per class)")
@@ -118,27 +124,26 @@ def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
     interleaved: List[int] = []
     for f, r in zip(fixed_pts, random_pts):
         interleaved.extend((f, r))
-    if runner is None:
-        traces = collect_traces(netlist, key, interleaved, chain=chain,
-                                grid=grid, mismatch_seed=mismatch_seed)
-    else:
-        # Chunked acquisition must share ONE chain so the noise stream
-        # (and its checkpointed RNG state) is continuous across chunks.
-        from ..power import MeasurementChain
-        chain = chain if chain is not None else MeasurementChain()
+    chain = chain if chain is not None else MeasurementChain()
 
-        def process(chunk, start):
-            return collect_traces(netlist, key, chunk, chain=chain,
-                                  grid=grid, mismatch_seed=mismatch_seed)
+    def factory():
+        return TraceAcquirer(netlist, key, chain=chain, grid=grid,
+                             mismatch_seed=mismatch_seed)
 
-        traces = runner.run(
-            interleaved, process,
-            fingerprint={"experiment": "tvla", "key": key,
-                         "n_traces": n_traces,
-                         "fixed_plaintext": fixed_plaintext,
-                         "mismatch_seed": mismatch_seed, "seed": seed},
-            get_state=chain.rng_state,
-            set_state=chain.set_rng_state)
+    with AcquisitionPool(factory, workers=workers, backend=backend) as pool:
+        if runner is None:
+            traces = pool.acquire(interleaved)
+        else:
+            def process(chunk, start):
+                return pool.acquire(chunk, trace_offset=start)
+
+            traces = runner.run(
+                interleaved, process,
+                fingerprint={"experiment": "tvla", "key": key,
+                             "n_traces": n_traces,
+                             "fixed_plaintext": fixed_plaintext,
+                             "mismatch_seed": mismatch_seed, "seed": seed,
+                             "noise": chain.fingerprint()})
     fixed_traces = traces[0::2]
     random_traces = traces[1::2]
     t = welch_t(fixed_traces, random_traces)

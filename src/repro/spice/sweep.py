@@ -31,10 +31,18 @@ class SweepResult:
         self.voltages = voltages
         self.source_currents = source_currents
 
+    def _as_wave(self, samples: np.ndarray) -> Waveform:
+        # Waveform wants a strictly increasing axis; the sweep may have
+        # run in any order (reverse/hysteresis characterisation), so
+        # sort by swept value.  Stable sort keeps this a no-op view of
+        # an already-ascending sweep.
+        order = np.argsort(self.values, kind="stable")
+        return Waveform(self.values[order], np.asarray(samples)[order])
+
     def wave(self, node: str) -> Waveform:
-        """Node voltage as a Waveform over the swept variable."""
+        """Node voltage as a Waveform over the (ascending) swept value."""
         try:
-            return Waveform(self.values, self.voltages[node])
+            return self._as_wave(self.voltages[node])
         except KeyError:
             known = ", ".join(sorted(self.voltages))
             raise CircuitError(
@@ -42,7 +50,7 @@ class SweepResult:
 
     def current(self, source_name: str) -> Waveform:
         try:
-            return Waveform(self.values, self.source_currents[source_name])
+            return self._as_wave(self.source_currents[source_name])
         except KeyError:
             known = ", ".join(sorted(self.source_currents))
             raise CircuitError(
@@ -57,8 +65,9 @@ class SweepResult:
 
     def switching_threshold(self, out_node: str) -> float:
         """Input value where ``v(out) == v(in)`` (the VTC midpoint)."""
-        diff = self.wave(out_node).v - self.values
-        crossings = Waveform(self.values, diff).crossings(0.0)
+        wave = self.wave(out_node)
+        diff = wave.v - wave.t
+        crossings = Waveform(wave.t, diff).crossings(0.0)
         if not crossings:
             raise CircuitError(
                 f"transfer curve of {out_node!r} never crosses the "
@@ -76,15 +85,20 @@ def dc_sweep(circuit: Circuit, source_name: str,
     """Sweep the named grounded voltage source through ``values``.
 
     The source's stimulus is restored afterwards, so the circuit can be
-    reused.  Values need not be monotonic, but warm starting works best
-    when they are.
+    reused.  Values need not be monotonic — decreasing (reverse) and
+    mixed orders are solved in ascending order for warm-start quality
+    and the results are scattered back into the caller's order, so
+    hysteresis / backward-VTC characterisation works.  Only duplicate
+    values are rejected (the swept variable must be a function axis).
     """
     values_arr = np.asarray(list(values), dtype=float)
     if values_arr.size < 2:
         raise CircuitError("a sweep needs at least two points")
-    if values_arr.size != np.unique(values_arr).size or \
-            not np.all(np.diff(values_arr) > 0):
-        raise CircuitError("sweep values must be strictly increasing")
+    if values_arr.size != np.unique(values_arr).size:
+        dupes = sorted({v for v in values_arr.tolist()
+                        if values_arr.tolist().count(v) > 1})
+        raise CircuitError(
+            f"sweep values must not repeat: {dupes}")
     source = next((s for s in circuit.vsources if s.name == source_name),
                   None)
     if source is None:
@@ -95,24 +109,34 @@ def dc_sweep(circuit: Circuit, source_name: str,
     system = System(circuit)
     record_nodes = list(record) if record is not None else \
         circuit.all_nodes()
-    volt_hist: Dict[str, List[float]] = {n: [] for n in record_nodes}
-    src_hist: Dict[str, List[float]] = {s.name: [] for s in circuit.vsources}
+    volt_hist: Dict[str, np.ndarray] = {
+        n: np.empty(values_arr.size) for n in record_nodes}
+    src_hist: Dict[str, np.ndarray] = {
+        s.name: np.empty(values_arr.size) for s in circuit.vsources}
 
+    # Solve ascending (each point warm-starts the next), record into the
+    # caller's slots.  A strictly decreasing sweep is thus exactly
+    # "reverse, solve, un-reverse".
+    order = np.argsort(values_arr, kind="stable")
     original = source.stimulus
     guess: Optional[Dict[str, float]] = None
     try:
-        for value in values_arr:
-            source.stimulus = DC(float(value))
+        for position in order:
+            source.stimulus = DC(float(values_arr[position]))
             op = solve_dc(circuit, system=system, guess=guess)
             guess = {n: op.voltages[n] for n in system.unknowns}
             for node in record_nodes:
-                volt_hist[node].append(op.voltages.get(node, 0.0))
+                if node not in op.voltages:
+                    known = ", ".join(sorted(op.voltages))
+                    raise CircuitError(
+                        f"cannot record unknown node {node!r}; the "
+                        f"operating point knows: {known}")
+                volt_hist[node][position] = op.voltages[node]
             for s in circuit.vsources:
-                src_hist[s.name].append(op.source_currents[s.name])
+                src_hist[s.name][position] = op.source_currents[s.name]
     finally:
         source.stimulus = original
 
     return SweepResult(
         variable=source_name, values=values_arr,
-        voltages={n: np.asarray(v) for n, v in volt_hist.items()},
-        source_currents={n: np.asarray(v) for n, v in src_hist.items()})
+        voltages=volt_hist, source_currents=src_hist)

@@ -1,0 +1,255 @@
+"""Tests for the order-independent parallel acquisition engine.
+
+The contract under test: a campaign's trace matrix is a pure function
+of (netlist, key, chain entropy, mismatch seed, plaintexts) — the same
+bytes come out whether acquisition is serial, threaded, forked,
+chunk-shuffled, or killed and resumed from a checkpoint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    build_cmos_library,
+    build_mcml_library,
+    build_pg_mcml_library,
+)
+from repro.errors import AttackError, CheckpointError, TraceError
+from repro.experiments.runner import CheckpointedRun
+from repro.power import MeasurementChain, TraceGrid
+from repro.sca import (
+    AcquisitionPool,
+    AttackCampaign,
+    TraceAcquirer,
+    acquire_traces,
+    cpa_attack,
+    resolve_backend,
+    validate_plaintexts,
+)
+from repro.sca.acquisition import _fork_available
+from repro.sca.attack import build_reduced_aes
+from repro.units import ns, ps, uA
+
+KEY = 0x2B
+PTS = list(range(40))
+
+_BUILDERS = {
+    "cmos": build_cmos_library,
+    "mcml": build_mcml_library,
+    "pgmcml": build_pg_mcml_library,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(_BUILDERS))
+def style_setup(request):
+    """(style, library, netlist, serial reference matrix) per style."""
+    library = _BUILDERS[request.param]()
+    netlist, _ = build_reduced_aes(library)
+    serial = acquire_traces(netlist, KEY, PTS, workers=1)
+    return request.param, library, netlist, serial
+
+
+class _KillAfter(CheckpointedRun):
+    """Checkpoint runner that dies after N successful chunk saves."""
+
+    def __init__(self, *args, die_after=2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.die_after = die_after
+        self._saves = 0
+
+    def _save(self, blocks, n_done, fingerprint, state):
+        super()._save(blocks, n_done, fingerprint, state)
+        self._saves += 1
+        if self._saves >= self.die_after:
+            raise KeyboardInterrupt
+
+
+class TestByteIdenticalAcrossExecution:
+    """ISSUE acceptance: workers=1, workers=4, shuffled chunk order and
+    kill-and-resume all produce byte-identical matrices, per style."""
+
+    def test_thread_pool_matches_serial(self, style_setup):
+        _, _, netlist, serial = style_setup
+        threaded = acquire_traces(netlist, KEY, PTS, workers=4,
+                                  backend="thread", chunk_size=8)
+        assert np.array_equal(threaded, serial)
+
+    @pytest.mark.skipif(not _fork_available(),
+                        reason="fork start method unavailable")
+    def test_process_pool_matches_serial(self, style_setup):
+        _, _, netlist, serial = style_setup
+        forked = acquire_traces(netlist, KEY, PTS, workers=4,
+                                backend="process", chunk_size=8)
+        assert np.array_equal(forked, serial)
+
+    def test_shuffled_chunk_order_matches_serial(self, style_setup):
+        _, _, netlist, serial = style_setup
+        acquirer = TraceAcquirer(netlist, KEY)
+        starts = list(range(0, len(PTS), 8))
+        np.random.default_rng(3).shuffle(starts)
+        rows = np.empty_like(serial)
+        for begin in starts:
+            chunk = PTS[begin:begin + 8]
+            rows[begin:begin + len(chunk)] = acquirer.acquire(
+                chunk, trace_offset=begin)
+        assert np.array_equal(rows, serial)
+
+    def test_chunk_size_does_not_matter(self, style_setup):
+        _, _, netlist, serial = style_setup
+        odd = acquire_traces(netlist, KEY, PTS, workers=2,
+                             backend="thread", chunk_size=7)
+        assert np.array_equal(odd, serial)
+
+    def test_kill_and_resume_with_workers_matches_serial(self, style_setup,
+                                                         tmp_path):
+        _, library, _, serial = style_setup
+        path = tmp_path / "campaign.npz"
+        campaign = AttackCampaign(library, KEY)
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run_checkpointed(
+                _KillAfter(path, chunk_size=8, die_after=2), PTS,
+                workers=2, backend="thread")
+
+        runner = CheckpointedRun(path, chunk_size=8)
+        resumed = AttackCampaign(library, KEY).run_checkpointed(
+            runner, PTS, workers=4, backend="thread")
+        assert runner.stats.chunks_resumed == 2
+        assert np.array_equal(resumed.traces, serial)
+        reference = cpa_attack(serial, PTS, true_key=KEY)
+        assert resumed.cpa.rank_of_true_key() == \
+            reference.rank_of_true_key()
+
+    def test_campaign_api_rank_invariant_under_workers(self, style_setup):
+        _, library, _, serial = style_setup
+        result = AttackCampaign(library, KEY).run(PTS, workers=4,
+                                                  backend="thread")
+        assert np.array_equal(result.traces, serial)
+        reference = cpa_attack(serial, PTS, true_key=KEY)
+        assert result.cpa.rank_of_true_key() == \
+            reference.rank_of_true_key()
+
+
+class TestCounterBasedNoise:
+    def test_indexed_measure_matches_sequential(self):
+        chain_a = MeasurementChain(seed=9)
+        chain_b = MeasurementChain(seed=9)
+        x = np.linspace(0, uA(10), 50)
+        sequential = [chain_a.measure(x) for _ in range(4)]
+        indexed = [chain_b.measure(x, trace_index=i) for i in range(4)]
+        for s, i in zip(sequential, indexed):
+            assert np.array_equal(s, i)
+
+    def test_indexed_measure_is_order_independent(self):
+        chain = MeasurementChain(seed=9)
+        x = np.linspace(0, uA(10), 50)
+        forward = [chain.measure(x, trace_index=i) for i in range(4)]
+        backward = [chain.measure(x, trace_index=i)
+                    for i in reversed(range(4))]
+        for i, row in enumerate(reversed(backward)):
+            assert np.array_equal(row, forward[i])
+
+    def test_indexed_measure_does_not_advance_counter(self):
+        chain_a = MeasurementChain(seed=9)
+        chain_b = MeasurementChain(seed=9)
+        x = np.zeros(20)
+        chain_a.measure(x, trace_index=17)  # a worker elsewhere
+        assert np.array_equal(chain_a.measure(x), chain_b.measure(x))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(TraceError):
+            MeasurementChain().measure(np.zeros(4), trace_index=-1)
+
+    def test_fingerprint_names_scheme_and_entropy(self):
+        fp = MeasurementChain(seed=42).fingerprint()
+        assert fp["scheme"] == MeasurementChain.SCHEME
+        assert fp["entropy"] == "42"
+
+    def test_distinct_traces_get_distinct_noise(self):
+        chain = MeasurementChain(noise_sigma=uA(0.5), resolution=0.0)
+        x = np.zeros(100)
+        assert not np.array_equal(chain.measure(x, trace_index=0),
+                                  chain.measure(x, trace_index=1))
+
+
+class TestValidation:
+    def test_bad_plaintexts_listed(self):
+        with pytest.raises(AttackError) as err:
+            validate_plaintexts([0, -1, 256, "x"])
+        message = str(err.value)
+        assert "-1" in message and "256" in message and "'x'" in message
+
+    def test_overflow_of_bad_values_is_summarised(self):
+        with pytest.raises(AttackError, match=r"\+2 more"):
+            validate_plaintexts(list(range(256, 266)))
+
+    def test_valid_batch_coerced_to_ints(self):
+        assert validate_plaintexts([0, np.int64(7), 255]) == [0, 7, 255]
+
+    def test_whole_batch_checked_before_any_simulation(self):
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+        acquirer = TraceAcquirer(netlist, KEY)
+        simulated = []
+        acquirer.ideal_samples = lambda p: simulated.append(p)
+        with pytest.raises(AttackError):
+            acquirer.acquire([0, 1, 2, 999])
+        assert simulated == []
+
+    def test_t_apply_must_precede_window_end(self):
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+        grid = TraceGrid(0.0, ns(2.0), ps(25.0))
+        with pytest.raises(AttackError, match="t_apply"):
+            TraceAcquirer(netlist, KEY, grid=grid, t_apply=ns(2.0))
+
+    def test_key_byte_checked(self):
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+        with pytest.raises(AttackError):
+            TraceAcquirer(netlist, 0x100)
+
+
+class TestBackendResolution:
+    def test_workers_one_is_always_serial(self):
+        for backend in ("auto", "serial", "thread", "process"):
+            assert resolve_backend(backend, 1) == "serial"
+
+    def test_serial_backend_wins_over_workers(self):
+        assert resolve_backend("serial", 8) == "serial"
+
+    def test_auto_picks_a_parallel_backend(self):
+        assert resolve_backend("auto", 4) in ("process", "thread")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(AttackError, match="unknown"):
+            resolve_backend("mpi", 4)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(AttackError):
+            resolve_backend("auto", 0)
+
+    def test_pool_rejects_bad_chunk_size(self):
+        with pytest.raises(AttackError):
+            AcquisitionPool(lambda: None, workers=2, chunk_size=0)
+
+
+class TestCheckpointScheme:
+    def test_different_entropy_refuses_to_resume(self, tmp_path):
+        library = build_cmos_library()
+        pts = list(range(16))
+        path = tmp_path / "fp.npz"
+        first = AttackCampaign(library, KEY, chain=MeasurementChain(seed=1))
+        with pytest.raises(KeyboardInterrupt):
+            first.run_checkpointed(
+                _KillAfter(path, chunk_size=8, die_after=1), pts)
+        second = AttackCampaign(library, KEY,
+                                chain=MeasurementChain(seed=2))
+        with pytest.raises(CheckpointError, match="different"):
+            second.run_checkpointed(CheckpointedRun(path, chunk_size=8),
+                                    pts)
+
+    def test_empty_plaintext_list_yields_empty_matrix(self):
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+        out = acquire_traces(netlist, KEY, [])
+        assert out.shape[0] == 0 and out.shape[1] > 0

@@ -13,7 +13,7 @@ from repro.errors import (
 )
 from repro.experiments.runner import ExperimentRecord, print_table, \
     records_table
-from repro.power.trace import TraceGrid, _deposit_triangle
+from repro.power.trace import TraceGrid, _deposit_triangles
 from repro.spice import Waveform
 
 
@@ -54,7 +54,8 @@ class TestDepositTriangle:
         grid = self.grid()
         samples = np.zeros(grid.n)
         charge = 5e-15
-        _deposit_triangle(samples, grid, 0.3e-9, charge, 100e-12)
+        _deposit_triangles(samples, grid, np.array([0.3e-9]),
+                           np.array([charge]), 100e-12)
         integral = np.trapezoid(samples, grid.times()) if hasattr(
             np, "trapezoid") else np.trapz(samples, grid.times())
         assert integral == pytest.approx(charge, rel=0.05)
@@ -62,7 +63,8 @@ class TestDepositTriangle:
     def test_pulse_is_local(self):
         grid = self.grid()
         samples = np.zeros(grid.n)
-        _deposit_triangle(samples, grid, 0.5e-9, 1e-15, 100e-12)
+        _deposit_triangles(samples, grid, np.array([0.5e-9]),
+                           np.array([1e-15]), 100e-12)
         times = grid.times()
         outside = samples[(times < 0.49e-9) | (times > 0.61e-9)]
         assert np.all(outside == 0.0)
@@ -70,13 +72,15 @@ class TestDepositTriangle:
     def test_pulse_clipped_at_grid_edges(self):
         grid = self.grid()
         samples = np.zeros(grid.n)
-        _deposit_triangle(samples, grid, 0.97e-9, 1e-15, 100e-12)
+        _deposit_triangles(samples, grid, np.array([0.97e-9]),
+                           np.array([1e-15]), 100e-12)
         assert np.isfinite(samples).all()
 
     def test_off_grid_pulse_ignored(self):
         grid = self.grid()
         samples = np.zeros(grid.n)
-        _deposit_triangle(samples, grid, 5e-9, 1e-15, 100e-12)
+        _deposit_triangles(samples, grid, np.array([5e-9]),
+                           np.array([1e-15]), 100e-12)
         assert np.all(samples == 0.0)
 
 

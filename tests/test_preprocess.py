@@ -129,6 +129,41 @@ class TestAlign:
         with pytest.raises(TraceError):
             add_jitter(toy(), max_shift=-1)
 
+    @staticmethod
+    def _align_loop(arr, ref, max_shift):
+        """The original per-trace loop, kept as the behavioural spec for
+        the batched implementation."""
+        ref_c = ref - ref.mean()
+        shifts = np.zeros(arr.shape[0], dtype=int)
+        aligned = np.empty_like(arr)
+        for i, row in enumerate(arr):
+            best_shift, best_score = 0, -np.inf
+            row_c = row - row.mean()
+            for shift in range(-max_shift, max_shift + 1):
+                score = float(np.dot(np.roll(row_c, shift), ref_c))
+                if score > best_score:
+                    best_score, best_shift = score, shift
+            shifts[i] = best_shift
+            out = np.roll(row, best_shift)
+            if best_shift > 0:
+                out[:best_shift] = row[0]
+            elif best_shift < 0:
+                out[best_shift:] = row[-1]
+            aligned[i] = out
+        return aligned, shifts
+
+    def test_vectorized_align_pins_loop_semantics(self):
+        rng = np.random.default_rng(7)
+        base = np.zeros((25, 48))
+        base[:, 20:26] = 4.0
+        base += rng.normal(0, 0.2, size=base.shape)
+        jittered, _ = add_jitter(base, max_shift=5, seed=11)
+        ref = base.mean(axis=0)
+        aligned, shifts = align(jittered, reference=ref, max_shift=7)
+        loop_aligned, loop_shifts = self._align_loop(jittered, ref, 7)
+        assert np.array_equal(shifts, loop_shifts)
+        assert np.array_equal(aligned, loop_aligned)
+
 
 class TestPreprocessedAttackPipeline:
     def test_pg_mcml_resists_even_with_preprocessing(self):

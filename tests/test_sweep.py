@@ -59,12 +59,45 @@ class TestSweepMechanics:
         with pytest.raises(CircuitError):
             dc_sweep(ckt, "vin", [1.0])
 
-    def test_non_monotonic_rejected(self):
+    def test_duplicates_rejected(self):
         ckt = Circuit()
         ckt.v("vin", "in", 0.0)
         ckt.resistor("r1", "in", "0", 1e3)
-        with pytest.raises(CircuitError):
-            dc_sweep(ckt, "vin", [0.0, 1.0, 0.5])
+        with pytest.raises(CircuitError, match="repeat"):
+            dc_sweep(ckt, "vin", [0.0, 1.0, 1.0])
+
+    def test_reverse_sweep_matches_forward(self):
+        """A decreasing sweep is reverse-solve-unreverse: same physics,
+        caller's ordering preserved."""
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "mid", 1e3)
+        ckt.resistor("r2", "mid", "0", 1e3)
+        grid = np.linspace(0, 2, 11)
+        forward = dc_sweep(ckt, "vin", grid)
+        backward = dc_sweep(ckt, "vin", grid[::-1])
+        assert np.allclose(backward.voltages["mid"], grid[::-1] / 2)
+        assert np.allclose(backward.voltages["mid"],
+                           forward.voltages["mid"][::-1])
+        # The derived waveform is always on an ascending axis.
+        assert np.array_equal(backward.wave("mid").t, grid)
+        assert np.allclose(backward.wave("mid").v, forward.wave("mid").v)
+
+    def test_shuffled_sweep_scatters_back(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "0", 1e3)
+        values = [1.0, 0.25, 2.0, 0.5]
+        sweep = dc_sweep(ckt, "vin", values)
+        assert np.allclose(sweep.source_currents["vin"],
+                           np.asarray(values) / 1e3)
+
+    def test_unknown_record_node_raises(self):
+        ckt = Circuit()
+        ckt.v("vin", "in", 0.0)
+        ckt.resistor("r1", "in", "0", 1e3)
+        with pytest.raises(CircuitError, match="bogus"):
+            dc_sweep(ckt, "vin", [0.0, 1.0], record=["bogus"])
 
     def test_unrecorded_node(self):
         ckt = Circuit()
