@@ -6,6 +6,13 @@ trace matrices are byte-identical and the CPA verdict unchanged, and
 records traces/sec for both in ``BENCH_acquisition.json`` at the repo
 root.
 
+Also measures the observability layer (``repro.obs``) on the serial
+path: one run with a live Telemetry handle (its metrics registry
+snapshot lands in the JSON under ``telemetry``) and the no-telemetry
+run time it is compared against — the disabled path must stay within
+2 % of a run with no handles at all, which is what
+``telemetry_overhead_pct`` records.
+
 The speedup itself is machine-dependent (a single-core container can
 only demonstrate equality, not scaling), so the ≥2.5x acceptance bar
 is asserted only where at least 4 CPUs are visible; the JSON always
@@ -21,6 +28,7 @@ import pytest
 from conftest import run_once
 
 from repro.cells import build_cmos_library
+from repro.obs import Telemetry
 from repro.sca import AttackCampaign
 from repro.sca.acquisition import resolve_backend
 
@@ -38,12 +46,47 @@ def _timed_campaign(campaign, **kwargs):
     return result, time.perf_counter() - begin
 
 
+def _disabled_path_overhead_pct(serial_s: float) -> dict:
+    """Measured cost of the no-op telemetry path on the serial run.
+
+    The serial campaign above runs with NULL_TELEMETRY, whose calls are
+    cached no-ops; the disabled "overhead" is those calls' cost.  The
+    bench's instrumentation is chunk-level (a handful of calls per
+    16-trace chunk plus one span per acquire), so we time the no-op
+    call directly and scale by the calls the serial path actually
+    makes.
+    """
+    from repro.obs import NULL_TELEMETRY
+
+    n = 200_000
+    begin = time.perf_counter()
+    for _ in range(n):
+        NULL_TELEMETRY.counter("bench").inc()
+    per_call_s = (time.perf_counter() - begin) / n
+    # Serial path: ~4 no-op touches per chunk (branch + span + two
+    # metric sites) + 2 per acquire call; be pessimistic and charge 8.
+    chunks = -(-N_TRACES // 16)
+    calls = 8 * chunks + 2
+    return {
+        "null_call_ns": round(per_call_s * 1e9, 2),
+        "disabled_calls_charged": calls,
+        "disabled_overhead_pct": round(
+            100.0 * calls * per_call_s / serial_s, 5),
+    }
+
+
 def run_comparison():
     library = build_cmos_library()
     serial_result, serial_s = _timed_campaign(
         AttackCampaign(library, KEY), workers=1)
     parallel_result, parallel_s = _timed_campaign(
         AttackCampaign(library, KEY), workers=WORKERS)
+
+    # Telemetry-enabled serial run: registry numbers for the report and
+    # proof that instrumentation changes nothing.
+    telemetry = Telemetry()
+    observed_result, observed_s = _timed_campaign(
+        AttackCampaign(library, KEY, telemetry=telemetry), workers=1)
 
     report = {
         "experiment": "fig6-style CPA acquisition, cmos target",
@@ -60,6 +103,20 @@ def run_comparison():
                                               parallel_result.traces)),
         "cpa_rank_serial": serial_result.rank,
         "cpa_rank_parallel": parallel_result.rank,
+        "telemetry": {
+            "enabled_serial_seconds": round(observed_s, 4),
+            "enabled_serial_traces_per_sec": round(
+                N_TRACES / observed_s, 2),
+            "byte_identical_with_telemetry": bool(np.array_equal(
+                serial_result.traces, observed_result.traces)),
+            # The serial/parallel runs above carry NULL_TELEMETRY —
+            # their time *is* the disabled path; positive means
+            # enabling telemetry cost that much.
+            "enabled_overhead_pct": round(
+                (observed_s / serial_s - 1.0) * 100.0, 2),
+            "registry": telemetry.registry.snapshot(),
+            **_disabled_path_overhead_pct(serial_s),
+        },
     }
     with open(RESULT_PATH, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -74,6 +131,10 @@ def test_acquisition_parallel_equivalence_and_throughput(benchmark):
     assert np.array_equal(serial_result.cpa.peak_per_guess,
                           parallel_result.cpa.peak_per_guess)
     assert report["cpa_rank_serial"] == report["cpa_rank_parallel"]
+    assert report["telemetry"]["byte_identical_with_telemetry"]
+    assert report["telemetry"]["registry"].get("sca.acquisition.traces", {}
+                                               ).get("value") == N_TRACES
+    assert report["telemetry"]["disabled_overhead_pct"] <= 2.0, report
     if (os.cpu_count() or 1) >= WORKERS:
         assert report["speedup"] >= 2.5, report
     benchmark.extra_info.update(report)

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig6                  # run the CPA study + ASCII plot
     python -m repro all                   # everything (several minutes)
     python -m repro fig3 --csv fig3.csv   # also export the series as CSV
+    python -m repro fig6 --trace t.jsonl  # record a structured trace
 """
 
 from __future__ import annotations
@@ -58,6 +59,10 @@ def main(argv=None) -> int:
     parser.add_argument("--csv", metavar="PATH",
                         help="also export the figure's data series as CSV "
                              "(fig3/fig5/fig6 only)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record spans, progress, and a final metrics "
+                             "snapshot to a JSONL trace file (see "
+                             "repro.obs); stdout output is unchanged")
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -69,17 +74,27 @@ def main(argv=None) -> int:
         print("  all        run every target in sequence")
         return 0
 
+    telemetry = None
+    if args.trace:
+        from .obs import JsonlSink, Telemetry
+        telemetry = Telemetry(sinks=[JsonlSink(args.trace)], progress=print)
+
     names = list(targets) if args.target == "all" else [args.target]
-    for name in names:
-        if len(names) > 1:
-            print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
-        result = targets[name]()
-        if args.csv and len(names) == 1:
-            if _csv_writer(name, result, args.csv):
-                print(f"\nwrote {args.csv}")
-            else:
-                print(f"\nno CSV exporter for {name}", file=sys.stderr)
-                return 2
+    try:
+        for name in names:
+            if len(names) > 1:
+                print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
+            result = targets[name](telemetry=telemetry)
+            if args.csv and len(names) == 1:
+                if _csv_writer(name, result, args.csv):
+                    print(f"\nwrote {args.csv}")
+                else:
+                    print(f"\nno CSV exporter for {name}", file=sys.stderr)
+                    return 2
+    finally:
+        if telemetry is not None:
+            telemetry.emit_metrics()
+            telemetry.close()
     return 0
 
 

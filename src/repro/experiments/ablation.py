@@ -29,6 +29,7 @@ from ..cells.pgmcml import gating_overhead
 from ..spice import DC, Pulse, run_transient, solve_dc
 from ..tech import TECH90
 from ..units import nA, ns, ps, uA
+from ..obs import default_telemetry
 from .runner import print_table
 
 
@@ -331,7 +332,8 @@ def run_granularity(n_cells: int = 2216, iss_per_cell: float = uA(50),
     return GranularityStudy(points=points, n_cells=n_cells)
 
 
-def main() -> Tuple[TopologyAblation, VtAblation]:
+def main(telemetry=None) -> Tuple[TopologyAblation, VtAblation]:
+    tele = telemetry if telemetry is not None else default_telemetry()
     topo = run_topologies()
     rows = []
     for p in topo.points:
@@ -343,35 +345,38 @@ def main() -> Tuple[TopologyAblation, VtAblation]:
             str(p.extra_transistors),
             p.note[:52],
         ])
-    print("Fig. 2 topology ablation (buffer cell, 50 uA target)")
+    tele.progress("Fig. 2 topology ablation (buffer cell, 50 uA target)")
     print_table(rows, ["topo", "Ion[uA]", "Isleep[nA]", "wake[ns]",
-                       "extra T", "wake path"])
-    print(f"(d) dominates: {topo.chosen_is_best()}")
+                       "extra T", "wake path"], emit=tele.progress)
+    tele.progress(f"(d) dominates: {topo.chosen_is_best()}")
 
     vt = run_vt_flavors()
     rows = [[p.name, f"{p.delay * 1e12:.2f}",
              f"{p.sleep_current * 1e9:.4f}",
              f"{p.active_current * 1e6:.2f}"] for p in vt.points]
-    print("\nVt-flavour ablation (PG-MCML buffer)")
-    print_table(rows, ["assignment", "delay[ps]", "Isleep[nA]", "Ion[uA]"])
+    tele.progress("\nVt-flavour ablation (PG-MCML buffer)")
+    print_table(rows, ["assignment", "delay[ps]", "Isleep[nA]", "Ion[uA]"],
+                emit=tele.progress)
 
     gran = run_granularity()
     rows = [[p.name, f"{p.area_overhead_pct:.2f}",
              f"{p.wake_time * 1e9:.2f}",
              "yes" if p.wakes_whole_block else "no",
              f"{p.ir_drop_mv:.1f}"] for p in gran.points]
-    print(f"\nGranularity study ({gran.n_cells}-cell block, §4)")
+    tele.progress(f"\nGranularity study ({gran.n_cells}-cell block, §4)")
     print_table(rows, ["granularity", "area ovh [%]", "wake [ns]",
-                       "all-or-nothing", "IR drop [mV]"])
+                       "all-or-nothing", "IR drop [mV]"],
+                emit=tele.progress)
 
     temp = run_temperature()
     rows = [[f"{p.temp_k:.0f}", f"{p.sleep_current * 1e9:.3f}",
              f"{p.active_current * 1e6:.1f}",
              f"{p.on_off_ratio:,.0f}"] for p in temp.points]
-    print("\nSleep leakage vs die temperature (PG-MCML buffer)")
-    print_table(rows, ["T [K]", "Isleep [nA]", "Ion [uA]", "on/off"])
-    print(f"leakage grows {temp.leakage_growth():.0f}x over the range "
-          f"but the gate stays >10^3 off")
+    tele.progress("\nSleep leakage vs die temperature (PG-MCML buffer)")
+    print_table(rows, ["T [K]", "Isleep [nA]", "Ion [uA]", "on/off"],
+                emit=tele.progress)
+    tele.progress(f"leakage grows {temp.leakage_growth():.0f}x over the "
+                  f"range but the gate stays >10^3 off")
     return topo, vt
 
 

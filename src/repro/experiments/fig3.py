@@ -22,6 +22,7 @@ from ..cells import (
 )
 from ..tech import TECH90
 from ..units import uA
+from ..obs import default_telemetry
 from .runner import print_table
 
 #: Default sweep points, amperes.
@@ -94,7 +95,9 @@ def run(sweep: Sequence[float] = DEFAULT_SWEEP) -> Fig3Result:
     return Fig3Result(points=points)
 
 
-def main(sweep: Sequence[float] = DEFAULT_SWEEP) -> Fig3Result:
+def main(sweep: Sequence[float] = DEFAULT_SWEEP,
+         telemetry=None) -> Fig3Result:
+    tele = telemetry if telemetry is not None else default_telemetry()
     result = run(sweep)
     rows = []
     for p in result.points:
@@ -104,14 +107,15 @@ def main(sweep: Sequence[float] = DEFAULT_SWEEP) -> Fig3Result:
             f"{p.swing:.3f}", f"{p.area_um2:.3f}",
             f"{p.pdp_fo4 * 1e15:.3f}", f"{p.adp_fo4 * 1e18:.3f}",
         ])
-    print("Fig. 3: MCML buffer design space vs tail current")
+    tele.progress("Fig. 3: MCML buffer design space vs tail current")
     print_table(rows, ["Iss[uA]", "tFO1[ps]", "tFO4[ps]", "swing[V]",
-                       "area[um2]", "PDP[fJ]", "ADP[um2*as]"])
-    print(f"area-delay optimum: {result.optimum_iss() * 1e6:.0f} uA "
-          f"(paper: ~50 uA)")
-    print(f"delay left above 250 uA: "
-          f"{(result.delay_saturation_ratio() - 1) * 100:.1f}% "
-          f"(paper: 'limited improvement')")
+                       "area[um2]", "PDP[fJ]", "ADP[um2*as]"],
+                emit=tele.progress)
+    tele.progress(f"area-delay optimum: {result.optimum_iss() * 1e6:.0f} uA "
+                  f"(paper: ~50 uA)")
+    tele.progress(f"delay left above 250 uA: "
+                  f"{(result.delay_saturation_ratio() - 1) * 100:.1f}% "
+                  f"(paper: 'limited improvement')")
     return result
 
 

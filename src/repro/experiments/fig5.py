@@ -27,6 +27,7 @@ from ..power import (
 from ..spice import Waveform
 from ..synth import build_sbox_ise
 from ..units import ns
+from ..obs import default_telemetry
 from .runner import print_table
 from .table3 import CLOCK_PERIOD
 
@@ -98,7 +99,8 @@ def run(n_blocks: int = 1, burst_index: int = 0,
                       schedule=schedule, window=(t_on, t_off))
 
 
-def main() -> Fig5Result:
+def main(telemetry=None) -> Fig5Result:
+    tele = telemetry if telemetry is not None else default_telemetry()
     result = run()
     rows = [
         ["MCML flat current", f"{result.mcml_flat_ma:.3f}", "mA",
@@ -111,11 +113,13 @@ def main() -> Fig5Result:
         ["wake window", f"{result.window_length_ns():.2f}", "ns",
          "14.421 ns annotated in Fig. 5"],
     ]
-    print("Fig. 5: S-box ISE current with and without power gating")
-    print_table(rows, ["quantity", "value", "unit", "paper"])
+    tele.progress("Fig. 5: S-box ISE current with and without "
+                  "power gating")
+    print_table(rows, ["quantity", "value", "unit", "paper"],
+                emit=tele.progress)
     from .plotting import render_fig5
-    print()
-    print(render_fig5(result))
+    tele.progress("")
+    tele.progress(render_fig5(result))
     return result
 
 

@@ -25,6 +25,7 @@ from ..cells import (
     build_mcml_library,
     build_pg_mcml_library,
 )
+from ..obs import default_telemetry
 from ..power import MeasurementChain
 from ..sca import AttackCampaign, CampaignResult
 from ..units import uA
@@ -61,7 +62,8 @@ def run(key: int = DEFAULT_KEY,
         checkpoint_dir: Optional[str] = None,
         chunk_size: int = 32,
         workers: int = 1,
-        backend: str = "auto") -> Fig6Result:
+        backend: str = "auto",
+        telemetry=None) -> Fig6Result:
     """Run the three-style CPA campaign.
 
     ``checkpoint_dir`` makes each per-style acquisition resumable: traces
@@ -78,14 +80,15 @@ def run(key: int = DEFAULT_KEY,
     for lib in (build_cmos_library(), build_mcml_library(),
                 build_pg_mcml_library()):
         campaign = AttackCampaign(lib, key, chain=chain,
-                                  mismatch_seed=mismatch_seed)
+                                  mismatch_seed=mismatch_seed,
+                                  telemetry=telemetry)
         if checkpoint_dir is None:
             results[lib.style] = campaign.run(plaintexts, workers=workers,
                                               backend=backend)
         else:
             runner = CheckpointedRun(
                 os.path.join(checkpoint_dir, f"fig6_{lib.style}.npz"),
-                chunk_size=chunk_size)
+                chunk_size=chunk_size, telemetry=telemetry)
             results[lib.style] = campaign.run_checkpointed(
                 runner, plaintexts, workers=workers, backend=backend)
     return Fig6Result(results=results, key=key)
@@ -128,8 +131,9 @@ def resolution_ablation(key: int = DEFAULT_KEY,
     return ResolutionAblation(rows=rows)
 
 
-def main(key: int = DEFAULT_KEY) -> Fig6Result:
-    result = run(key)
+def main(key: int = DEFAULT_KEY, telemetry=None) -> Fig6Result:
+    tele = telemetry if telemetry is not None else default_telemetry()
+    result = run(key, telemetry=telemetry)
     rows = []
     for style in ("cmos", "mcml", "pgmcml"):
         res = result.results[style]
@@ -142,17 +146,18 @@ def main(key: int = DEFAULT_KEY) -> Fig6Result:
             f"{np.delete(peaks, key).max():.4f}",
             f"{result.distinguishability(style):.3f}",
         ])
-    print(f"Fig. 6: CPA with HW(S-box out) model, key={key:#04x}, "
-          f"256 plaintexts, 1 uA probe")
+    tele.progress(f"Fig. 6: CPA with HW(S-box out) model, key={key:#04x}, "
+                  f"256 plaintexts, 1 uA probe")
     print_table(rows, ["Style", "outcome", "true-key rank", "true peak rho",
-                       "best wrong rho", "margin"])
+                       "best wrong rho", "margin"], emit=tele.progress)
     verdict = "matches the paper" if result.matches_paper() else "MISMATCH"
-    print(f"outcome pattern {verdict}: CMOS broken, MCML/PG-MCML resist")
+    tele.progress(f"outcome pattern {verdict}: "
+                  "CMOS broken, MCML/PG-MCML resist")
     from .plotting import render_fig6
-    print("\nPG-MCML (the published figure -- black line buried):")
-    print(render_fig6(result, "pgmcml"))
-    print("\nCMOS (what the attacker wants to see):")
-    print(render_fig6(result, "cmos"))
+    tele.progress("\nPG-MCML (the published figure -- black line buried):")
+    tele.progress(render_fig6(result, "pgmcml"))
+    tele.progress("\nCMOS (what the attacker wants to see):")
+    tele.progress(render_fig6(result, "cmos"))
     return result
 
 

@@ -36,6 +36,7 @@ from ..cells import build_cmos_library, build_mcml_library, \
 from ..power import BlockPowerModel
 from ..synth import build_sbox_ise, report_block
 from ..units import MHz, fF
+from ..obs import default_telemetry
 from .runner import print_table
 from .table3 import CLOCK_PERIOD, PAPER_DUTY
 
@@ -165,10 +166,12 @@ def run(duty: float = PAPER_DUTY,
     return RelatedWorkResult(rows=rows, duty=duty, clock_hz=clock_hz)
 
 
-def main(duty: float = PAPER_DUTY) -> RelatedWorkResult:
+def main(duty: float = PAPER_DUTY, telemetry=None) -> RelatedWorkResult:
+    tele = telemetry if telemetry is not None else default_telemetry()
     result = run(duty=duty)
-    print(f"Related-work positioning at {result.clock_hz / 1e6:.0f} MHz, "
-          f"ISE duty {duty * 100:.2f}% (S-box ISE block)")
+    tele.progress(f"Related-work positioning at "
+                  f"{result.clock_hz / 1e6:.0f} MHz, "
+                  f"ISE duty {duty * 100:.2f}% (S-box ISE block)")
     print_table(
         [[r.style.upper(), f"{r.area_um2:,.0f}",
           f"{r.power_at_duty_w * 1e6:,.3g}",
@@ -178,8 +181,8 @@ def main(duty: float = PAPER_DUTY) -> RelatedWorkResult:
           "yes" if r.dpa_resistant else "NO"]
          for r in result.rows],
         ["Style", "Area[um2]", "P@duty[uW]", "P idle[uW]",
-         "EDA flow", "gate clock", "resistant"])
-    print(f"\nPG-MCML uniquely wins on: {result.pg_wins_on()}")
+         "EDA flow", "gate clock", "resistant"], emit=tele.progress)
+    tele.progress(f"\nPG-MCML uniquely wins on: {result.pg_wins_on()}")
     return result
 
 

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import CheckpointError, ReproError
+from ..obs import NULL_TELEMETRY
 
 
 @dataclass
@@ -39,8 +40,15 @@ class ExperimentRecord:
 
 
 def print_table(rows: Sequence[Sequence[str]],
-                headers: Sequence[str]) -> str:
-    """Render and print a fixed-width table; returns the text."""
+                headers: Sequence[str],
+                emit: Optional[Callable[[str], None]] = None) -> str:
+    """Render a fixed-width table through ``emit``; returns the text.
+
+    ``emit`` defaults to ``print`` (the historical behaviour); drivers
+    pass their telemetry's ``progress`` method so the rendering lands
+    in trace sinks too, and tests pass a muted handle's to keep stdout
+    clean.
+    """
     if not rows:
         raise ReproError("no rows to print")
     table = [list(headers)] + [list(r) for r in rows]
@@ -52,13 +60,15 @@ def print_table(rows: Sequence[Sequence[str]],
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     text = "\n".join(lines)
-    print(text)
+    (emit if emit is not None else print)(text)
     return text
 
 
-def records_table(records: Sequence[ExperimentRecord]) -> str:
+def records_table(records: Sequence[ExperimentRecord],
+                  emit: Optional[Callable[[str], None]] = None) -> str:
     return print_table([r.row() for r in records],
-                       ["quantity", "measured", "paper", "ratio", "unit"])
+                       ["quantity", "measured", "paper", "ratio", "unit"],
+                       emit=emit)
 
 
 # -- checkpointed execution ---------------------------------------------------
@@ -107,7 +117,8 @@ class CheckpointedRun:
     def __init__(self, path, chunk_size: int = 32, max_retries: int = 3,
                  backoff_base: float = 0.05, backoff_cap: float = 2.0,
                  retry_on: Tuple[type, ...] = (ReproError,),
-                 sleep: Callable[[float], None] = time.sleep):
+                 sleep: Callable[[float], None] = time.sleep,
+                 telemetry=None):
         path = os.fspath(path)
         if not path.endswith(".npz"):
             path += ".npz"
@@ -122,6 +133,7 @@ class CheckpointedRun:
         self.backoff_cap = backoff_cap
         self.retry_on = tuple(retry_on)
         self.sleep = sleep
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.stats = CheckpointStats()
 
     # -- persistence ---------------------------------------------------------
@@ -141,11 +153,13 @@ class CheckpointedRun:
         fd, tmp = tempfile.mkstemp(suffix=".npz", dir=directory)
         os.close(fd)
         try:
-            rows = np.vstack(blocks) if blocks else np.zeros((0, 0))
-            np.savez(tmp, rows=rows, n_done=np.int64(n_done),
-                     meta=np.array(json.dumps(fingerprint)),
-                     state=np.array(json.dumps(state)))
-            os.replace(tmp, self.path)
+            with self.telemetry.span("checkpoint.save", n_done=n_done), \
+                    self.telemetry.timer("checkpoint.save_seconds"):
+                rows = np.vstack(blocks) if blocks else np.zeros((0, 0))
+                np.savez(tmp, rows=rows, n_done=np.int64(n_done),
+                         meta=np.array(json.dumps(fingerprint)),
+                         state=np.array(json.dumps(state)))
+                os.replace(tmp, self.path)
         except BaseException:
             if os.path.exists(tmp):
                 os.remove(tmp)
@@ -156,11 +170,13 @@ class CheckpointedRun:
         if not os.path.exists(self.path):
             return None
         try:
-            with np.load(self.path, allow_pickle=False) as archive:
-                rows = np.array(archive["rows"])
-                n_done = int(archive["n_done"])
-                meta = json.loads(str(archive["meta"][()]))
-                state = json.loads(str(archive["state"][()]))
+            with self.telemetry.span("checkpoint.load"), \
+                    self.telemetry.timer("checkpoint.load_seconds"):
+                with np.load(self.path, allow_pickle=False) as archive:
+                    rows = np.array(archive["rows"])
+                    n_done = int(archive["n_done"])
+                    meta = json.loads(str(archive["meta"][()]))
+                    state = json.loads(str(archive["state"][()]))
         except (OSError, KeyError, ValueError, EOFError,
                 zipfile.BadZipFile) as err:
             raise CheckpointError(
@@ -245,4 +261,12 @@ class CheckpointedRun:
             self._save(blocks, n_done, fp, state_now)
             self.stats.chunks_run += 1
 
+        tele = self.telemetry
+        if self.stats.chunks_run:
+            tele.counter("checkpoint.chunks_run").inc(self.stats.chunks_run)
+        if self.stats.chunks_resumed:
+            tele.counter("checkpoint.chunks_resumed").inc(
+                self.stats.chunks_resumed)
+        if self.stats.retries:
+            tele.counter("checkpoint.retries").inc(self.stats.retries)
         return np.vstack(blocks) if blocks else np.zeros((0, 0))

@@ -30,6 +30,7 @@ from ..cpu import aes_firmware
 from ..power import BlockPowerModel
 from ..synth import build_aes_core, build_sbox_ise, report_block
 from ..units import ns
+from ..obs import default_telemetry
 from .runner import print_table
 from .table3 import CLOCK_PERIOD
 
@@ -103,19 +104,22 @@ def run(blocks_per_second: float = 1000.0) -> ScopeResult:
     return ScopeResult(rows=rows, blocks_per_second=blocks_per_second)
 
 
-def main(blocks_per_second: float = 1000.0) -> ScopeResult:
+def main(blocks_per_second: float = 1000.0,
+         telemetry=None) -> ScopeResult:
+    tele = telemetry if telemetry is not None else default_telemetry()
     result = run(blocks_per_second)
-    print(f"Protection scope at {result.blocks_per_second:,.0f} "
-          f"encryptions/s (400 MHz core)")
+    tele.progress(f"Protection scope at {result.blocks_per_second:,.0f} "
+                  f"encryptions/s (400 MHz core)")
     print_table(
         [[r.approach, str(r.cells), f"{r.area_um2:,.0f}",
           f"{r.delay_ns:.3f}", f"{r.avg_power_w * 1e6:,.3g}",
           r.protected_fraction] for r in result.rows],
         ["approach", "cells", "area [um2]", "crit [ns]", "P [uW]",
-         "protected scope"])
-    print(f"\nfull-cipher protection costs {result.area_ratio():.1f}x the "
-          f"ISE's differential area — the paper's 'critical operations "
-          f"only' trade, quantified.")
+         "protected scope"], emit=tele.progress)
+    tele.progress(f"\nfull-cipher protection costs "
+                  f"{result.area_ratio():.1f}x the ISE's differential "
+                  f"area — the paper's 'critical operations only' trade, "
+                  f"quantified.")
     return result
 
 

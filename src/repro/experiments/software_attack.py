@@ -34,6 +34,7 @@ import numpy as np
 from ..cpu import aes_firmware
 from ..power.cpu_power import CpuLeakageModel, software_aes_traces
 from ..sca import cpa_attack
+from ..obs import default_telemetry
 from .runner import print_table
 
 DEFAULT_KEY_BYTE = 0x2B
@@ -121,19 +122,24 @@ def run(key_byte: int = DEFAULT_KEY_BYTE,
                                 n_traces=n_traces)
 
 
-def main(n_traces: int = DEFAULT_TRACES) -> SoftwareAttackResult:
+def main(n_traces: int = DEFAULT_TRACES,
+         telemetry=None) -> SoftwareAttackResult:
+    tele = telemetry if telemetry is not None else default_telemetry()
     result = run(n_traces=n_traces)
-    print(f"System-level CPA on the firmware ({result.n_traces} traces, "
-          f"instruction-level leakage model)")
+    tele.progress(f"System-level CPA on the firmware "
+                  f"({result.n_traces} traces, "
+                  f"instruction-level leakage model)")
     print_table(
         [[s.name, s.window, "BROKEN" if s.broken else "resists",
           str(s.rank), f"{s.peak_rho:.3f}"] for s in result.scenarios],
-        ["scenario", "window", "outcome", "true-key rank", "peak rho"])
-    print("\nthe protected unit hides its own computation (Fig. 6's "
-          "block-level claim holds at system level too), but software "
-          "that moves the S-box output through CMOS memory re-exposes "
-          "it: full-cipher protection (see `python -m repro scope`) is "
-          "what closes the system-level channel.")
+        ["scenario", "window", "outcome", "true-key rank", "peak rho"],
+        emit=tele.progress)
+    tele.progress("\nthe protected unit hides its own computation "
+                  "(Fig. 6's block-level claim holds at system level "
+                  "too), but software that moves the S-box output "
+                  "through CMOS memory re-exposes it: full-cipher "
+                  "protection (see `python -m repro scope`) is what "
+                  "closes the system-level channel.")
     return result
 
 

@@ -11,6 +11,7 @@ from typing import Dict, List, Tuple
 
 from ..cells import LayoutModel
 from ..cells.library import PG_MCML_CELL_NAMES
+from ..obs import default_telemetry
 from .runner import print_table
 
 #: The published Table 1 rows: cell -> (MCML µm², PG-MCML µm²).
@@ -59,17 +60,20 @@ def run() -> Table1Result:
                         library_mean_overhead_pct=lib_mean)
 
 
-def main() -> Table1Result:
+def main(telemetry=None) -> Table1Result:
+    tele = telemetry if telemetry is not None else default_telemetry()
     result = run()
-    print("Table 1: area of conventional MCML vs PG-MCML cells (90 nm)")
+    tele.progress("Table 1: area of conventional MCML vs PG-MCML cells "
+                  "(90 nm)")
     print_table(
         [[name, f"{m:.4f}", f"{pg:.4f}", f"{pm:.4f}", f"{ppg:.4f}"]
          for name, m, pg, pm, ppg in result.rows],
-        ["Cell", "MCML [um2]", "PG-MCML [um2]", "paper MCML", "paper PG"])
-    print(f"mean sleep-transistor area overhead (Table 1 cells): "
-          f"{result.mean_overhead_pct:.2f}%  (paper: ~6%)")
-    print(f"mean overhead over all 16 library cells: "
-          f"{result.library_mean_overhead_pct:.2f}%")
+        ["Cell", "MCML [um2]", "PG-MCML [um2]", "paper MCML", "paper PG"],
+        emit=tele.progress)
+    tele.progress(f"mean sleep-transistor area overhead (Table 1 cells): "
+                  f"{result.mean_overhead_pct:.2f}%  (paper: ~6%)")
+    tele.progress(f"mean overhead over all 16 library cells: "
+                  f"{result.library_mean_overhead_pct:.2f}%")
     return result
 
 

@@ -32,6 +32,7 @@ from ..cells.library import (
     PG_MCML_CELL_NAMES,
 )
 from ..units import uA
+from ..obs import default_telemetry
 from .runner import print_table
 
 #: Cells characterised at transistor level by default (small, fast nets;
@@ -97,7 +98,9 @@ def run(spice_cells: Tuple[str, ...] = DEFAULT_SPICE_CELLS,
     return Table2Result(rows=rows, mean_ratio=mean_ratio)
 
 
-def main(spice_cells: Tuple[str, ...] = DEFAULT_SPICE_CELLS) -> Table2Result:
+def main(spice_cells: Tuple[str, ...] = DEFAULT_SPICE_CELLS,
+         telemetry=None) -> Table2Result:
+    tele = telemetry if telemetry is not None else default_telemetry()
     result = run(spice_cells)
     table = []
     for r in result.rows:
@@ -109,12 +112,13 @@ def main(spice_cells: Tuple[str, ...] = DEFAULT_SPICE_CELLS) -> Table2Result:
             "-" if r.area_ratio is None else f"{r.area_ratio:.2f}",
             "-" if r.paper_ratio is None else f"{r.paper_ratio:.1f}",
         ])
-    print("Table 2: PG-MCML library (areas exact; delays: paper datasheet "
-          "vs our SPICE characterisation)")
+    tele.progress("Table 2: PG-MCML library (areas exact; delays: paper "
+                  "datasheet vs our SPICE characterisation)")
     print_table(table, ["Cell", "Area [um2]", "paper delay [ps]",
-                        "SPICE delay [ps]", "MCML/CMOS area", "paper ratio"])
-    print(f"mean PG-MCML/CMOS area ratio: {result.mean_ratio:.3f} "
-          f"(paper: 1.6x average)")
+                        "SPICE delay [ps]", "MCML/CMOS area", "paper ratio"],
+                emit=tele.progress)
+    tele.progress(f"mean PG-MCML/CMOS area ratio: {result.mean_ratio:.3f} "
+                  f"(paper: 1.6x average)")
     return result
 
 

@@ -31,6 +31,7 @@ from ..netlist import LogicSimulator
 from ..power import BlockPowerModel, schedule_from_sbox_events
 from ..synth import SBoxISE, build_sbox_ise, report_block
 from ..units import ns
+from ..obs import default_telemetry
 from .runner import print_table
 
 #: 400 MHz operating frequency (§6).
@@ -170,7 +171,8 @@ def run(n_blocks: int = 2, energy_sample_ops: int = 12,
                         n_blocks=n_blocks)
 
 
-def main(n_blocks: int = 2) -> Table3Result:
+def main(n_blocks: int = 2, telemetry=None) -> Table3Result:
+    tele = telemetry if telemetry is not None else default_telemetry()
     result = run(n_blocks=n_blocks)
     table = []
     for r in result.rows:
@@ -183,20 +185,23 @@ def main(n_blocks: int = 2) -> Table3Result:
             f"{r.avg_power_at_paper_duty_w * 1e6:,.3g}",
             f"{paper[3] * 1e6:,.4g}",
         ])
-    print("Table 3: S-box ISE in three logic styles")
+    tele.progress("Table 3: S-box ISE in three logic styles")
     print_table(table, [
         "Style", "Cells", "paper", "Area[um2]", "paper", "Delay[ns]",
-        "paper", "Power[uW]@meas.duty", "Power[uW]@0.01%", "paper[uW]"])
-    print(f"measured ISE duty: {result.measured_duty * 100:.3f}%  "
-          f"(paper: 0.01%); awake fraction incl. guard: "
-          f"{result.awake_fraction * 100:.3f}%")
-    print(f"MCML / PG-MCML power ratio: "
-          f"{result.power_ratio('mcml', 'pgmcml'):,.0f}x at measured duty, "
-          f"{result.power_ratio_at_paper_duty('mcml', 'pgmcml'):,.0f}x at "
-          f"0.01% duty (paper: ~1.0e4x)")
-    print(f"CMOS / PG-MCML power ratio at 0.01% duty: "
-          f"{result.power_ratio_at_paper_duty('cmos', 'pgmcml'):.2f}x "
-          f"(paper: ~4.3x)")
+        "paper", "Power[uW]@meas.duty", "Power[uW]@0.01%", "paper[uW]"],
+        emit=tele.progress)
+    tele.progress(f"measured ISE duty: {result.measured_duty * 100:.3f}%  "
+                  f"(paper: 0.01%); awake fraction incl. guard: "
+                  f"{result.awake_fraction * 100:.3f}%")
+    tele.progress(
+        f"MCML / PG-MCML power ratio: "
+        f"{result.power_ratio('mcml', 'pgmcml'):,.0f}x at measured duty, "
+        f"{result.power_ratio_at_paper_duty('mcml', 'pgmcml'):,.0f}x at "
+        f"0.01% duty (paper: ~1.0e4x)")
+    tele.progress(
+        f"CMOS / PG-MCML power ratio at 0.01% duty: "
+        f"{result.power_ratio_at_paper_duty('cmos', 'pgmcml'):.2f}x "
+        f"(paper: ~4.3x)")
     return result
 
 

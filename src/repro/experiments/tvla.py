@@ -27,6 +27,7 @@ from ..cells import (
 from ..power import MeasurementChain
 from ..sca import TVLA_THRESHOLD, fixed_vs_random_tvla
 from ..sca.attack import build_reduced_aes
+from ..obs import default_telemetry
 from .runner import CheckpointedRun, print_table
 
 
@@ -63,7 +64,8 @@ def run(key: int = 0x2B, n_traces: int = 128,
         checkpoint_dir: Optional[str] = None,
         chunk_size: int = 32,
         workers: int = 1,
-        backend: str = "auto") -> TVLAExperiment:
+        backend: str = "auto",
+        telemetry=None) -> TVLAExperiment:
     """Assess all three styles with fixed-vs-random TVLA.
 
     ``checkpoint_dir`` makes each per-style acquisition resumable
@@ -81,10 +83,11 @@ def run(key: int = 0x2B, n_traces: int = 128,
         if checkpoint_dir is not None:
             runner = CheckpointedRun(
                 os.path.join(checkpoint_dir, f"tvla_{library.style}.npz"),
-                chunk_size=chunk_size)
+                chunk_size=chunk_size, telemetry=telemetry)
         result = fixed_vs_random_tvla(netlist, key=key, n_traces=n_traces,
                                       chain=chain, runner=runner,
-                                      workers=workers, backend=backend)
+                                      workers=workers, backend=backend,
+                                      telemetry=telemetry)
         rows.append(TVLAStyleRow(
             style=library.style, n_traces=n_traces,
             max_abs_t=result.max_abs_t, leaks=result.leaks,
@@ -110,26 +113,28 @@ def detection_threshold(style_builder, key: int = 0x2B,
     return None
 
 
-def main(key: int = 0x2B, n_traces: int = 128) -> TVLAExperiment:
-    experiment = run(key=key, n_traces=n_traces)
-    print(f"TVLA (fixed-vs-random Welch t-test), {n_traces} traces, "
-          f"threshold |t| > {TVLA_THRESHOLD}")
+def main(key: int = 0x2B, n_traces: int = 128,
+         telemetry=None) -> TVLAExperiment:
+    tele = telemetry if telemetry is not None else default_telemetry()
+    experiment = run(key=key, n_traces=n_traces, telemetry=telemetry)
+    tele.progress(f"TVLA (fixed-vs-random Welch t-test), {n_traces} traces, "
+                  f"threshold |t| > {TVLA_THRESHOLD}")
     print_table(
         [[r.style.upper(), f"{r.max_abs_t:.2f}",
           "LEAKS" if r.leaks else "passes",
           str(r.n_leaking_samples),
           f"{r.max_abs_delta * 1e6:.3g}"] for r in experiment.rows],
         ["Style", "max |t|", "verdict", "leaking samples",
-         "amplitude [uA]"])
-    print("\ndetection thresholds (traces to first |t| > 4.5):")
+         "amplitude [uA]"], emit=tele.progress)
+    tele.progress("\ndetection thresholds (traces to first |t| > 4.5):")
     for build in (build_cmos_library, build_mcml_library,
                   build_pg_mcml_library):
         n = detection_threshold(build, key=key)
         name = build().style.upper()
-        print(f"  {name:8s}: {n if n is not None else '>256'}")
-    print("\nnon-specific leakage exists in every style (mismatch is "
-          "physics); only the CMOS leakage is large enough for the "
-          "Fig. 6 CPA to exploit.")
+        tele.progress(f"  {name:8s}: {n if n is not None else '>256'}")
+    tele.progress("\nnon-specific leakage exists in every style (mismatch "
+                  "is physics); only the CMOS leakage is large enough for "
+                  "the Fig. 6 CPA to exploit.")
     return experiment
 
 

@@ -1,0 +1,152 @@
+"""Schema validation for telemetry records.
+
+Every record a :class:`~repro.obs.telemetry.Telemetry` emits is a flat
+JSON object with a ``kind`` discriminator.  This module validates both
+the per-record shape and the cross-record structure (unique span ids,
+resolvable parents, child windows nested inside parent windows,
+monotonically increasing sequence numbers) — the contract the CI
+schema-validation test enforces on real traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+
+
+class SchemaError(ReproError):
+    """A telemetry record or stream violates the schema."""
+
+
+_REQUIRED: Dict[str, Dict[str, type]] = {
+    "span": {"name": str, "span_id": int, "t_start": float,
+             "t_end": float, "attrs": dict, "seq": int},
+    "event": {"name": str, "t": float, "attrs": dict, "seq": int},
+    "progress": {"text": str, "t": float, "seq": int},
+    "metrics": {"registry": dict, "t": float, "seq": int},
+}
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+def validate_record(record: Dict) -> None:
+    """Validate one record's shape; raise :class:`SchemaError` if bad."""
+    if not isinstance(record, dict):
+        raise SchemaError(f"record is not an object: {record!r}")
+    kind = record.get("kind")
+    if kind not in _REQUIRED:
+        raise SchemaError(
+            f"unknown record kind {kind!r} (expected one of "
+            f"{sorted(_REQUIRED)})")
+    for field, typ in _REQUIRED[kind].items():
+        if field not in record:
+            raise SchemaError(f"{kind} record missing field {field!r}")
+        value = record[field]
+        if typ is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(
+                    f"{kind}.{field} must be numeric, got {value!r}")
+            if not math.isfinite(value):
+                raise SchemaError(f"{kind}.{field} is not finite: {value!r}")
+        elif not isinstance(value, typ) or isinstance(value, bool) \
+                and typ is int:
+            raise SchemaError(
+                f"{kind}.{field} must be {typ.__name__}, got {value!r}")
+    if kind == "span":
+        parent = record.get("parent_id")
+        if parent is not None and not isinstance(parent, int):
+            raise SchemaError(f"span.parent_id must be int or null: {parent!r}")
+        if record["t_end"] < record["t_start"]:
+            raise SchemaError(
+                f"span {record['name']!r} ends before it starts "
+                f"({record['t_end']} < {record['t_start']})")
+    if kind == "metrics":
+        for name, entry in record["registry"].items():
+            if not isinstance(entry, dict) \
+                    or entry.get("type") not in _METRIC_TYPES:
+                raise SchemaError(
+                    f"metrics entry {name!r} has invalid type "
+                    f"{entry.get('type') if isinstance(entry, dict) else entry!r}")
+
+
+#: Child spans may start/end a hair outside the parent window because
+#: both timestamps come from separate monotonic() calls; allow the
+#: clock's practical granularity.
+_NEST_SLACK = 1e-6
+
+
+def validate_stream(records: Sequence[Dict]) -> Dict[int, Dict]:
+    """Validate a whole record stream; returns ``{span_id: span}``.
+
+    Checks per-record shape, unique span ids, resolvable parent
+    references, child time windows nested inside their parents, and
+    strictly increasing ``seq`` numbers.
+    """
+    spans: Dict[int, Dict] = {}
+    last_seq: Optional[int] = None
+    for record in records:
+        validate_record(record)
+        seq = record["seq"]
+        if last_seq is not None and seq <= last_seq:
+            raise SchemaError(
+                f"seq numbers must increase: {seq} after {last_seq}")
+        last_seq = seq
+        if record["kind"] == "span":
+            span_id = record["span_id"]
+            if span_id in spans:
+                raise SchemaError(f"duplicate span_id {span_id}")
+            spans[span_id] = record
+    for span in spans.values():
+        parent_id = span.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            raise SchemaError(
+                f"span {span['span_id']} ({span['name']!r}) references "
+                f"missing parent {parent_id}")
+        if span["t_start"] < parent["t_start"] - _NEST_SLACK \
+                or span["t_end"] > parent["t_end"] + _NEST_SLACK:
+            raise SchemaError(
+                f"span {span['span_id']} ({span['name']!r}) window "
+                f"[{span['t_start']}, {span['t_end']}] escapes parent "
+                f"{parent_id} ({parent['name']!r}) window "
+                f"[{parent['t_start']}, {parent['t_end']}]")
+    _reject_parent_cycles(spans)
+    return spans
+
+
+def _reject_parent_cycles(spans: Dict[int, Dict]) -> None:
+    for start in spans:
+        seen = set()
+        node: Optional[int] = start
+        while node is not None:
+            if node in seen:
+                raise SchemaError(f"parent cycle through span {node}")
+            seen.add(node)
+            node = spans[node].get("parent_id") if node in spans else None
+
+
+def span_tree(records: Sequence[Dict]) -> List[Dict]:
+    """Validated span forest as nested dicts (children in seq order).
+
+    Each node: ``{"name", "attrs", "children": [...]}`` — timestamps and
+    ids are stripped, which is exactly the determinism the equivalence
+    tests compare across serial/thread/fork runs.
+    """
+    spans = validate_stream(records)
+    by_parent: Dict[Optional[int], List[Dict]] = {}
+    for span in sorted(spans.values(), key=lambda s: s["seq"]):
+        by_parent.setdefault(span.get("parent_id"), []).append(span)
+
+    def build(span: Dict) -> Dict:
+        return {
+            "name": span["name"],
+            "attrs": span["attrs"],
+            "children": [build(c)
+                         for c in by_parent.get(span["span_id"], [])],
+        }
+
+    return [build(root) for root in by_parent.get(None, [])]

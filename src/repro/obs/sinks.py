@@ -1,0 +1,166 @@
+"""Telemetry sinks: where span / event / metric records go.
+
+A sink receives finished records (plain dicts — see
+:mod:`repro.obs.schema`) and must never influence the computation that
+produced them: sinks may buffer, write, or drop, but the tracing-
+invariance contract (telemetry on vs off is byte-identical in every
+simulation output) forbids them from raising into the instrumented code
+path for ordinary I/O trouble.
+
+:class:`JsonlSink` appends — it never reads the file back, so a corrupt
+or truncated file left by a killed run cannot poison a resumed one; the
+new records simply follow whatever bytes are already there.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Union
+
+
+class Sink:
+    """Base sink: collects nothing, closes cleanly."""
+
+    def emit(self, record: Dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Swallows everything (the explicit do-nothing choice)."""
+
+    def emit(self, record: Dict) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keeps records in a list — the test and reassembly workhorse."""
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records = []
+
+    def spans(self) -> List[Dict]:
+        return [r for r in self.records if r.get("kind") == "span"]
+
+    def events(self) -> List[Dict]:
+        return [r for r in self.records if r.get("kind") == "event"]
+
+
+class JsonlSink(Sink):
+    """One JSON object per line, appended to a file (or file object).
+
+    Append-only by design: a resume with the same path continues the
+    file, and pre-existing garbage (torn last line from a kill) is left
+    untouched rather than parsed.  Records are serialised with sorted
+    keys so identical runs produce identical bytes modulo timestamps.
+    """
+
+    def __init__(self, path_or_file: Union[str, os.PathLike, io.TextIOBase],
+                 flush_every: int = 64):
+        self._lock = threading.Lock()
+        self._since_flush = 0
+        self.flush_every = max(1, int(flush_every))
+        if isinstance(path_or_file, (str, os.PathLike)):
+            self.path: Optional[str] = os.fspath(path_or_file)
+            self._file = open(self.path, "a", encoding="utf-8")
+            self._owns_file = True
+            # A kill can leave the file torn mid-line; start on a fresh
+            # line so the first new record is not glued to the tear.
+            if self._needs_newline(self.path):
+                self._file.write("\n")
+        else:
+            self.path = None
+            self._file = path_or_file
+            self._owns_file = False
+
+    @staticmethod
+    def _needs_newline(path: str) -> bool:
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() == 0:
+                    return False
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) != b"\n"
+        except OSError:
+            return False
+
+    def emit(self, record: Dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                          default=_jsonable)
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(line + "\n")
+            self._since_flush += 1
+            if self._since_flush >= self.flush_every:
+                self._file.flush()
+                self._since_flush = 0
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._since_flush = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                if self._owns_file:
+                    self._file.close()
+
+
+def _jsonable(value):
+    """Last-resort serialiser: numpy scalars, paths, anything with repr."""
+    for attr in ("item",):  # numpy scalar -> python scalar
+        method = getattr(value, attr, None)
+        if callable(method):
+            try:
+                return method()
+            except (TypeError, ValueError):
+                pass
+    return repr(value)
+
+
+def read_jsonl(path: Union[str, os.PathLike],
+               strict: bool = False) -> List[Dict]:
+    """Parse a JSONL trace file back into records.
+
+    ``strict=False`` (the default) skips unparseable lines — the
+    appropriate stance for a file that survived a kill mid-write;
+    ``strict=True`` raises on the first bad line (the schema tests use
+    this on files they produced themselves).
+    """
+    records: List[Dict] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+    return records

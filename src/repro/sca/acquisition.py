@@ -33,6 +33,7 @@ import itertools
 import multiprocessing
 import queue
 import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -40,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import AttackError
+from ..obs import NULL_TELEMETRY, MemorySink, Telemetry
 from ..netlist import GateNetlist, LogicSimulator
 from ..power import (
     BlockPowerModel,
@@ -175,14 +177,42 @@ _FORK_ACQUIRERS: Dict[int, TraceAcquirer] = {}
 _POOL_TOKENS = itertools.count(1)
 
 
-def _process_chunk(token: int, trace_offset: int,
-                   plaintexts: List[int]) -> np.ndarray:
+def _instrumented_chunk(acquirer: TraceAcquirer, chunk_index: int,
+                        trace_offset: int, plaintexts: List[int],
+                        observe: bool, t_submit: float):
+    """Run one chunk, optionally under an isolated telemetry collector.
+
+    Returns ``(rows, records)`` where ``records`` is the collector's
+    record list (to be :meth:`~repro.obs.Telemetry.adopt`-ed by the
+    parent in chunk-index order) or ``None`` when telemetry is off.
+    The records are plain dicts, so the fork backend can pickle them
+    back across the process boundary.
+    """
+    if not observe:
+        return acquirer.acquire(plaintexts, trace_offset=trace_offset), None
+    collector = Telemetry(sinks=[MemorySink()])
+    t0 = time.monotonic()
+    collector.histogram("sca.acquisition.queue_wait_seconds").observe(
+        max(0.0, t0 - t_submit))
+    with collector.span("sca.acquisition.chunk", chunk=chunk_index,
+                        offset=trace_offset, n=len(plaintexts)):
+        rows = acquirer.acquire(plaintexts, trace_offset=trace_offset)
+    collector.histogram("sca.acquisition.chunk_seconds").observe(
+        time.monotonic() - t0)
+    collector.counter("sca.acquisition.traces").inc(len(plaintexts))
+    collector.emit_metrics()
+    return rows, collector.sinks[0].records
+
+
+def _process_chunk(token: int, chunk_index: int, trace_offset: int,
+                   plaintexts: List[int], observe: bool, t_submit: float):
     acquirer = _FORK_ACQUIRERS.get(token)
     if acquirer is None:
         raise AttackError(
             "process worker has no inherited acquirer (fork-only backend "
             "ran under a spawn start method?)")
-    return acquirer.acquire(plaintexts, trace_offset=trace_offset)
+    return _instrumented_chunk(acquirer, chunk_index, trace_offset,
+                               plaintexts, observe, t_submit)
 
 
 class AcquisitionPool:
@@ -195,12 +225,13 @@ class AcquisitionPool:
 
     def __init__(self, factory: Callable[[], TraceAcquirer],
                  workers: int = 1, backend: str = "auto",
-                 chunk_size: int = DEFAULT_CHUNK):
+                 chunk_size: int = DEFAULT_CHUNK, telemetry=None):
         if chunk_size < 1:
             raise AttackError(f"chunk_size must be >= 1: {chunk_size}")
         self.backend = resolve_backend(backend, workers)
         self.workers = 1 if self.backend == "serial" else workers
         self.chunk_size = chunk_size
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._factory = factory
         self._executor: Optional[Executor] = None
         self._token: Optional[int] = None
@@ -249,13 +280,15 @@ class AcquisitionPool:
             self._thread_acquirers = acquirers
             self._executor = ThreadPoolExecutor(max_workers=self.workers)
 
-    def _thread_chunk(self, trace_offset: int,
-                      plaintexts: List[int]) -> np.ndarray:
+    def _thread_chunk(self, chunk_index: int, trace_offset: int,
+                      plaintexts: List[int], observe: bool,
+                      t_submit: float):
         acquirer = getattr(self._thread_local, "acquirer", None)
         if acquirer is None:
             acquirer = self._thread_acquirers.get_nowait()
             self._thread_local.acquirer = acquirer
-        return acquirer.acquire(plaintexts, trace_offset=trace_offset)
+        return _instrumented_chunk(acquirer, chunk_index, trace_offset,
+                                   plaintexts, observe, t_submit)
 
     # -- acquisition ---------------------------------------------------------
 
@@ -264,24 +297,49 @@ class AcquisitionPool:
         """Measured traces for ``plaintexts``, rows in plaintext order.
 
         Chunks are submitted in order and reassembled by index, so the
-        output is invariant to which worker finishes first.
+        output is invariant to which worker finishes first.  Every
+        backend — serial included — runs the same chunk wrapper, so the
+        adopted span tree is identical for serial, thread, and fork
+        runs of the same campaign slice.
         """
         pts = validate_plaintexts(plaintexts)
         self._ensure_started()
-        if self.backend == "serial":
+        tele = self.telemetry
+        observe = tele.enabled
+        if self.backend == "serial" and not pts:
+            # Preserve the acquirer's own grid width for the empty case.
             return self._serial.acquire(pts, trace_offset=trace_offset)
-        jobs: List[Tuple[int, List[int]]] = [
-            (trace_offset + begin, pts[begin:begin + self.chunk_size])
-            for begin in range(0, len(pts), self.chunk_size)]
-        if self.backend == "process":
-            futures = [self._executor.submit(_process_chunk, self._token,
-                                             offset, chunk)
-                       for offset, chunk in jobs]
-        else:
-            futures = [self._executor.submit(self._thread_chunk, offset,
-                                             chunk)
-                       for offset, chunk in jobs]
-        blocks = [f.result() for f in futures]
+        jobs: List[Tuple[int, int, List[int]]] = [
+            (index, trace_offset + begin,
+             pts[begin:begin + self.chunk_size])
+            for index, begin in enumerate(
+                range(0, len(pts), self.chunk_size))]
+        with tele.span("sca.acquisition.acquire", backend=self.backend,
+                       workers=self.workers, traces=len(pts),
+                       chunks=len(jobs), chunk_size=self.chunk_size):
+            if self.backend == "serial":
+                results = [
+                    _instrumented_chunk(self._serial, index, offset, chunk,
+                                        observe,
+                                        time.monotonic() if observe else 0.0)
+                    for index, offset, chunk in jobs]
+            elif self.backend == "process":
+                futures = [self._executor.submit(
+                    _process_chunk, self._token, index, offset, chunk,
+                    observe, time.monotonic() if observe else 0.0)
+                    for index, offset, chunk in jobs]
+                results = [f.result() for f in futures]
+            else:
+                futures = [self._executor.submit(
+                    self._thread_chunk, index, offset, chunk, observe,
+                    time.monotonic() if observe else 0.0)
+                    for index, offset, chunk in jobs]
+                results = [f.result() for f in futures]
+            blocks: List[np.ndarray] = []
+            for rows, records in results:
+                if records is not None:
+                    tele.adopt(records)
+                blocks.append(rows)
         if not blocks:
             return np.zeros((0, TraceGrid(0.0, DEFAULT_WINDOW,
                                           DEFAULT_DT).n))
@@ -295,12 +353,13 @@ def acquire_traces(netlist: GateNetlist, key: int,
                    mismatch_seed: int = 0, t_apply: float = 0.0,
                    workers: int = 1, backend: str = "auto",
                    chunk_size: int = DEFAULT_CHUNK,
-                   trace_offset: int = 0) -> np.ndarray:
+                   trace_offset: int = 0, telemetry=None) -> np.ndarray:
     """One-shot parallel acquisition: simulate, compose, and measure
     ``plaintexts`` with ``workers`` workers.
 
     Byte-identical to a serial run for any ``workers``/``backend``/
-    ``chunk_size`` — see the module docstring for why.
+    ``chunk_size`` — and for any ``telemetry`` — see the module
+    docstring for why.
     """
     pts = validate_plaintexts(plaintexts)
 
@@ -312,5 +371,5 @@ def acquire_traces(netlist: GateNetlist, key: int,
         return np.zeros((0, (grid if grid is not None else
                              TraceGrid(0.0, DEFAULT_WINDOW, DEFAULT_DT)).n))
     with AcquisitionPool(factory, workers=workers, backend=backend,
-                         chunk_size=chunk_size) as pool:
+                         chunk_size=chunk_size, telemetry=telemetry) as pool:
         return pool.acquire(pts, trace_offset=trace_offset)

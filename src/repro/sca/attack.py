@@ -30,6 +30,7 @@ import numpy as np
 from ..cells import Library
 from ..errors import AttackError
 from ..netlist import GateNetlist
+from ..obs import NULL_TELEMETRY
 from ..power import MeasurementChain, TraceGrid
 from ..synth import map_lut, sbox_truth_tables
 from ..synth.buffering import buffer_high_fanout
@@ -131,13 +132,14 @@ class AttackCampaign:
 
     def __init__(self, library: Library, key: int,
                  chain: Optional[MeasurementChain] = None,
-                 mismatch_seed: int = 0):
+                 mismatch_seed: int = 0, telemetry=None):
         if not 0 <= key <= 0xFF:
             raise AttackError(f"key byte out of range: {key}")
         self.library = library
         self.key = key
         self.chain = chain if chain is not None else MeasurementChain()
         self.mismatch_seed = mismatch_seed
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.netlist, self.output_nets = build_reduced_aes(library)
 
     def _acquirer_factory(self, grid: Optional[TraceGrid]):
@@ -159,11 +161,16 @@ class AttackCampaign:
         (or thread) pool; the traces are byte-identical for any count.
         """
         pts = list(plaintexts) if plaintexts is not None else list(range(256))
-        with AcquisitionPool(self._acquirer_factory(grid), workers=workers,
-                             backend=backend,
-                             chunk_size=chunk_size) as pool:
-            traces = pool.acquire(pts)
-        return self._attack(pts, traces, with_dpa)
+        tele = self.telemetry
+        with tele.span("sca.campaign", style=self.library.style,
+                       key=self.key, n_traces=len(pts),
+                       checkpointed=False):
+            with AcquisitionPool(self._acquirer_factory(grid),
+                                 workers=workers, backend=backend,
+                                 chunk_size=chunk_size,
+                                 telemetry=tele) as pool:
+                traces = pool.acquire(pts)
+            return self._attack(pts, traces, with_dpa)
 
     def run_checkpointed(self, runner, plaintexts: Optional[Sequence[int]] = None,
                          with_dpa: bool = False,
@@ -183,30 +190,40 @@ class AttackCampaign:
         scheme or entropy refuses to resume.
         """
         pts = list(plaintexts) if plaintexts is not None else list(range(256))
-        with AcquisitionPool(self._acquirer_factory(grid), workers=workers,
-                             backend=backend) as pool:
+        tele = self.telemetry
+        with tele.span("sca.campaign", style=self.library.style,
+                       key=self.key, n_traces=len(pts),
+                       checkpointed=True):
+            with AcquisitionPool(self._acquirer_factory(grid),
+                                 workers=workers, backend=backend,
+                                 telemetry=tele) as pool:
 
-            def process(chunk: Sequence[int], start: int) -> np.ndarray:
-                return pool.acquire(chunk, trace_offset=start)
+                def process(chunk: Sequence[int], start: int) -> np.ndarray:
+                    return pool.acquire(chunk, trace_offset=start)
 
-            traces = runner.run(
-                pts, process,
-                fingerprint={"experiment": "cpa-campaign",
-                             "style": self.library.style, "key": self.key,
-                             "mismatch_seed": self.mismatch_seed,
-                             "noise": self.chain.fingerprint()})
-        return self._attack(pts, traces, with_dpa)
+                traces = runner.run(
+                    pts, process,
+                    fingerprint={"experiment": "cpa-campaign",
+                                 "style": self.library.style,
+                                 "key": self.key,
+                                 "mismatch_seed": self.mismatch_seed,
+                                 "noise": self.chain.fingerprint()})
+            return self._attack(pts, traces, with_dpa)
 
     def _attack(self, pts: List[int], traces: np.ndarray,
                 with_dpa: bool) -> CampaignResult:
-        cpa = cpa_attack(traces, pts, true_key=self.key)
-        dpa = None
-        if with_dpa:
-            # Classic DoM needs per-sample standardisation on targets
-            # with nonuniform switching variance; the multi-bit variant
-            # is the strongest DoM form (see repro.sca.dpa).
-            dpa = multibit_dpa_attack(standardize(traces), pts,
-                                      true_key=self.key)
+        with self.telemetry.span("sca.cpa", n_traces=len(pts),
+                                 with_dpa=with_dpa) as span:
+            cpa = cpa_attack(traces, pts, true_key=self.key)
+            dpa = None
+            if with_dpa:
+                # Classic DoM needs per-sample standardisation on targets
+                # with nonuniform switching variance; the multi-bit variant
+                # is the strongest DoM form (see repro.sca.dpa).
+                dpa = multibit_dpa_attack(standardize(traces), pts,
+                                          true_key=self.key)
+            span.set("succeeded", bool(cpa.succeeded))
+            span.set("rank", int(cpa.rank_of_true_key()))
         return CampaignResult(style=self.library.style, key=self.key,
                               plaintexts=pts, traces=traces, cpa=cpa,
                               dpa=dpa)

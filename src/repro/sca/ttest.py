@@ -98,7 +98,8 @@ def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
                          chain=None, grid=None, mismatch_seed: int = 0,
                          seed: int = 99, runner=None,
                          workers: int = 1,
-                         backend: str = "auto") -> TVLAResult:
+                         backend: str = "auto",
+                         telemetry=None) -> TVLAResult:
     """Run a fixed-vs-random TVLA campaign against a reduced-AES netlist.
 
     Interleaves fixed and random plaintexts (the standard acquisition
@@ -110,9 +111,11 @@ def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
     keyed by trace index, so any worker count (with or without a
     runner) yields the same bytes.
     """
+    from ..obs import NULL_TELEMETRY
     from ..power import MeasurementChain
     from .acquisition import AcquisitionPool, TraceAcquirer
 
+    tele = telemetry if telemetry is not None else NULL_TELEMETRY
     if n_traces < 4:
         raise AttackError("need at least 4 traces (2 per class)")
     rng = np.random.default_rng(seed)
@@ -130,23 +133,29 @@ def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
         return TraceAcquirer(netlist, key, chain=chain, grid=grid,
                              mismatch_seed=mismatch_seed)
 
-    with AcquisitionPool(factory, workers=workers, backend=backend) as pool:
-        if runner is None:
-            traces = pool.acquire(interleaved)
-        else:
-            def process(chunk, start):
-                return pool.acquire(chunk, trace_offset=start)
+    with tele.span("sca.tvla", key=key, n_traces=n_traces,
+                   fixed_plaintext=fixed_plaintext,
+                   checkpointed=runner is not None) as span:
+        with AcquisitionPool(factory, workers=workers, backend=backend,
+                             telemetry=tele) as pool:
+            if runner is None:
+                traces = pool.acquire(interleaved)
+            else:
+                def process(chunk, start):
+                    return pool.acquire(chunk, trace_offset=start)
 
-            traces = runner.run(
-                interleaved, process,
-                fingerprint={"experiment": "tvla", "key": key,
-                             "n_traces": n_traces,
-                             "fixed_plaintext": fixed_plaintext,
-                             "mismatch_seed": mismatch_seed, "seed": seed,
-                             "noise": chain.fingerprint()})
-    fixed_traces = traces[0::2]
-    random_traces = traces[1::2]
-    t = welch_t(fixed_traces, random_traces)
-    deltas = fixed_traces.mean(axis=0) - random_traces.mean(axis=0)
+                traces = runner.run(
+                    interleaved, process,
+                    fingerprint={"experiment": "tvla", "key": key,
+                                 "n_traces": n_traces,
+                                 "fixed_plaintext": fixed_plaintext,
+                                 "mismatch_seed": mismatch_seed,
+                                 "seed": seed,
+                                 "noise": chain.fingerprint()})
+        fixed_traces = traces[0::2]
+        random_traces = traces[1::2]
+        t = welch_t(fixed_traces, random_traces)
+        deltas = fixed_traces.mean(axis=0) - random_traces.mean(axis=0)
+        span.set("max_abs_t", float(np.abs(t).max()))
     return TVLAResult(t_values=t, n_fixed=half, n_random=half,
                       mean_deltas=deltas)

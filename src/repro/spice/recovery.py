@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..obs import NULL_TELEMETRY
 
 #: The classic shrinking-gmin ladder (finishing with a clean gmin=0 solve).
 GMIN_LADDER = (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 0.0)
@@ -134,32 +135,46 @@ class RecoveryPolicy:
 
 def _attempt(system, diagnostics: SolverDiagnostics, strategy: str,
              fixed: Dict[str, float], x: np.ndarray,
-             gmin: float) -> Optional[np.ndarray]:
+             gmin: float, telemetry=NULL_TELEMETRY) -> Optional[np.ndarray]:
     """One recorded Newton attempt; ``None`` on non-convergence."""
     stats = NewtonStats()
     try:
         result = system.newton(fixed, x, gmin=gmin, stats=stats)
     except ConvergenceError:
-        diagnostics.record(strategy, stats)
-        return None
-    diagnostics.record(strategy, stats)
+        result = None
+    attempt = diagnostics.record(strategy, stats)
+    telemetry.counter("spice.dc.ladder_attempts").inc()
+    if len(diagnostics.attempts) > 1:
+        # Rung 2 onward means plain Newton did not carry the solve.
+        telemetry.event("spice.dc.attempt", strategy=strategy,
+                        converged=attempt.converged,
+                        iterations=attempt.iterations,
+                        singular_jacobian_events=
+                        attempt.singular_jacobian_events)
     return result
 
 
 def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
                         policy: Optional[RecoveryPolicy] = None,
+                        telemetry=None,
                         ) -> Tuple[np.ndarray, SolverDiagnostics]:
     """Run the recovery ladder until one strategy produces a gmin=0 solve.
 
     Returns the solution and the diagnostics; raises
     :class:`ConvergenceError` (with the diagnostics attached) only after
-    every enabled strategy has failed.
+    every enabled strategy has failed.  Every ladder rung past plain
+    Newton is recorded as a ``spice.dc.attempt`` event on ``telemetry``
+    (defaulting to the system's own handle), so a struggling solve is
+    visible in traces without any per-iteration cost on healthy ones.
     """
     policy = policy if policy is not None else RecoveryPolicy()
+    if telemetry is None:
+        telemetry = getattr(system, "telemetry", NULL_TELEMETRY)
     diag = SolverDiagnostics()
 
     # 1. Plain Newton from the caller's guess.
-    x = _attempt(system, diag, "newton", fixed, x0, gmin=0.0)
+    x = _attempt(system, diag, "newton", fixed, x0, gmin=0.0,
+                 telemetry=telemetry)
     if x is not None:
         diag.converged_by = "newton"
         return x, diag
@@ -168,13 +183,15 @@ def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
     x = x0.copy()
     solved = False
     for gmin in policy.gmin_ladder:
-        result = _attempt(system, diag, f"gmin:{gmin:g}", fixed, x, gmin)
+        result = _attempt(system, diag, f"gmin:{gmin:g}", fixed, x, gmin,
+                          telemetry=telemetry)
         if result is not None:
             x = result
             solved = gmin == 0.0
     if not solved:
         # Final plain attempt warm-started from wherever the ladder got.
-        result = _attempt(system, diag, "gmin:final", fixed, x, gmin=0.0)
+        result = _attempt(system, diag, "gmin:final", fixed, x, gmin=0.0,
+                          telemetry=telemetry)
         solved = result is not None
         if solved:
             x = result
@@ -190,7 +207,7 @@ def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
             target = min(1.0, alpha + step)
             scaled = {node: value * target for node, value in fixed.items()}
             result = _attempt(system, diag, f"source-step:{target:.4g}",
-                              scaled, x, gmin=0.0)
+                              scaled, x, gmin=0.0, telemetry=telemetry)
             if result is not None:
                 x, alpha = result, target
                 step = min(step * 2.0, policy.source_step_initial)
@@ -210,13 +227,13 @@ def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
             if gmin > policy.ptran_gmin_max:
                 break
             result = _attempt(system, diag, f"ptran:gmin={gmin:.2g}",
-                              fixed, x, gmin)
+                              fixed, x, gmin, telemetry=telemetry)
             if result is not None:
                 x = result
                 gmin *= policy.ptran_shrink
                 if gmin < policy.ptran_gmin_floor:
                     final = _attempt(system, diag, "ptran:final", fixed, x,
-                                     gmin=0.0)
+                                     gmin=0.0, telemetry=telemetry)
                     if final is not None:
                         diag.converged_by = "ptran:final"
                         return final, diag

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import CircuitError, ConvergenceError
+from ..obs import NULL_TELEMETRY
 from .circuit import Circuit
 from .dc import OperatingPoint, System, solve_dc
 from .waveform import Waveform
@@ -215,7 +216,7 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
                   be_fallback: bool = True,
                   detect_ringing: bool = False,
                   on_step: Optional[Callable[[float], None]] = None,
-                  ) -> TransientResult:
+                  telemetry=None) -> TransientResult:
     """Simulate ``circuit`` from 0 to ``tstop`` with base step ``dt``.
 
     Parameters
@@ -244,6 +245,11 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
     on_step:
         Callback invoked with the target time before every Newton solve
         attempt (including retries) — the fault-injection hook.
+    telemetry:
+        Observability handle; the run is wrapped in a
+        ``spice.transient.run`` span and the per-run
+        :class:`TransientStats` are folded into the metrics registry
+        once at the end (no per-step telemetry cost).
     """
     if tstop <= 0.0 or dt <= 0.0:
         raise CircuitError("tstop and dt must be positive")
@@ -251,118 +257,145 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
         raise CircuitError(f"unknown integration method {method!r}")
     if max_step_halvings < 0:
         raise CircuitError("max_step_halvings must be >= 0")
-    system = System(circuit)
-    op = ic if ic is not None else solve_dc(circuit, t=0.0, system=system)
-    caps = _CompanionCaps(system, circuit)
-    caps.start()
+    tele = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tele.span("spice.transient.run", circuit=circuit.name,
+                   tstop=tstop, dt=dt, method=method) as span:
+        system = System(circuit, telemetry=tele)
+        op = ic if ic is not None else solve_dc(circuit, t=0.0, system=system)
+        caps = _CompanionCaps(system, circuit)
+        caps.start()
 
-    record_nodes = list(record) if record is not None else circuit.all_nodes()
-    grid = _time_grid(tstop, dt, circuit.stimulus_breakpoints())
-    stats = TransientStats(grid_points=len(grid))
+        record_nodes = list(record) if record is not None else circuit.all_nodes()
+        grid = _time_grid(tstop, dt, circuit.stimulus_breakpoints())
+        stats = TransientStats(grid_points=len(grid))
 
-    x = np.array([op.voltages[n] for n in system.unknowns]) if system.n else \
-        np.zeros(0)
-    fixed_prev = circuit.fixed_nodes(0.0)
-    fixed_names = list(fixed_prev)
+        x = np.array([op.voltages[n] for n in system.unknowns]) if system.n else \
+            np.zeros(0)
+        fixed_prev = circuit.fixed_nodes(0.0)
+        fixed_names = list(fixed_prev)
 
-    volt_hist: Dict[str, List[float]] = {n: [] for n in record_nodes}
-    src_hist: Dict[str, List[float]] = {s.name: [] for s in circuit.vsources}
+        volt_hist: Dict[str, List[float]] = {n: [] for n in record_nodes}
+        src_hist: Dict[str, List[float]] = {s.name: [] for s in circuit.vsources}
 
-    def snapshot(x_now: np.ndarray, fixed_now: Dict[str, float]) -> None:
-        for node in record_nodes:
-            if node in system.index:
-                volt_hist[node].append(float(x_now[system.index[node]]))
-            else:
-                volt_hist[node].append(fixed_now.get(node, 0.0))
-        dev_currents = system.fixed_node_currents(x_now, fixed_now)
-        cap_currents = caps.fixed_node_currents(fixed_names)
-        for source in circuit.vsources:
-            total = dev_currents.get(source.node, 0.0) + cap_currents.get(
-                source.node, 0.0)
-            src_hist[source.name].append(total)
+        def snapshot(x_now: np.ndarray, fixed_now: Dict[str, float]) -> None:
+            for node in record_nodes:
+                if node in system.index:
+                    volt_hist[node].append(float(x_now[system.index[node]]))
+                else:
+                    volt_hist[node].append(fixed_now.get(node, 0.0))
+            dev_currents = system.fixed_node_currents(x_now, fixed_now)
+            cap_currents = caps.fixed_node_currents(fixed_names)
+            for source in circuit.vsources:
+                total = dev_currents.get(source.node, 0.0) + cap_currents.get(
+                    source.node, 0.0)
+                src_hist[source.name].append(total)
 
-    def solve_substep(t_next: float, sub: float, x_cur: np.ndarray,
-                      fixed_cur: Dict[str, float],
-                      fixed_next: Dict[str, float], use_method: str):
-        if on_step is not None:
-            on_step(t_next)
-        extra = caps.make_extra(x_cur, fixed_cur, fixed_next, sub,
-                                use_method, system.n)
-        return system.newton(fixed_next, x_cur, gmin=0.0, extra=extra)
+        def solve_substep(t_next: float, sub: float, x_cur: np.ndarray,
+                          fixed_cur: Dict[str, float],
+                          fixed_next: Dict[str, float], use_method: str):
+            if on_step is not None:
+                on_step(t_next)
+            extra = caps.make_extra(x_cur, fixed_cur, fixed_next, sub,
+                                    use_method, system.n)
+            return system.newton(fixed_next, x_cur, gmin=0.0, extra=extra)
 
-    def advance_interval(t0: float, t1: float, x_cur: np.ndarray,
-                         fixed_cur: Dict[str, float]):
-        """March from t0 to t1, subdividing locally on Newton failures."""
-        min_sub = (t1 - t0) / (2 ** max_step_halvings)
-        pending = [t1]
-        interval_retried = False
-        t_cur = t0
-        while pending:
-            t_next = pending[-1]
-            sub = t_next - t_cur
-            fixed_next = circuit.fixed_nodes(t_next)
-            use_method = method
-            try:
-                x_new = solve_substep(t_next, sub, x_cur, fixed_cur,
-                                      fixed_next, method)
-            except ConvergenceError as err:
-                stats.newton_failures += 1
-                if not interval_retried:
-                    interval_retried = True
-                    stats.retried_intervals += 1
-                if sub / 2.0 >= min_sub * (1.0 - 1e-12):
-                    stats.halvings += 1
-                    pending.append(t_cur + sub / 2.0)
-                    stats.max_subdivision_depth = max(
-                        stats.max_subdivision_depth, len(pending))
-                    continue
-                if method == "trap" and be_fallback:
-                    try:
-                        x_new = solve_substep(t_next, sub, x_cur, fixed_cur,
-                                              fixed_next, "be")
-                        use_method = "be"
-                        stats.be_fallback_steps += 1
-                    except ConvergenceError:
+        def advance_interval(t0: float, t1: float, x_cur: np.ndarray,
+                             fixed_cur: Dict[str, float]):
+            """March from t0 to t1, subdividing locally on Newton failures."""
+            min_sub = (t1 - t0) / (2 ** max_step_halvings)
+            pending = [t1]
+            interval_retried = False
+            t_cur = t0
+            while pending:
+                t_next = pending[-1]
+                sub = t_next - t_cur
+                fixed_next = circuit.fixed_nodes(t_next)
+                use_method = method
+                try:
+                    x_new = solve_substep(t_next, sub, x_cur, fixed_cur,
+                                          fixed_next, method)
+                except ConvergenceError as err:
+                    stats.newton_failures += 1
+                    if not interval_retried:
+                        interval_retried = True
+                        stats.retried_intervals += 1
+                    if sub / 2.0 >= min_sub * (1.0 - 1e-12):
+                        stats.halvings += 1
+                        pending.append(t_cur + sub / 2.0)
+                        stats.max_subdivision_depth = max(
+                            stats.max_subdivision_depth, len(pending))
+                        continue
+                    if method == "trap" and be_fallback:
+                        try:
+                            x_new = solve_substep(t_next, sub, x_cur, fixed_cur,
+                                                  fixed_next, "be")
+                            use_method = "be"
+                            stats.be_fallback_steps += 1
+                        except ConvergenceError:
+                            raise ConvergenceError(
+                                f"transient step to t={t_next:.6g} s failed "
+                                f"after {max_step_halvings} halvings and a "
+                                f"backward-Euler fallback",
+                                iterations=err.iterations,
+                                residual=err.residual) from err
+                    else:
                         raise ConvergenceError(
-                            f"transient step to t={t_next:.6g} s failed "
-                            f"after {max_step_halvings} halvings and a "
-                            f"backward-Euler fallback",
+                            f"transient step to t={t_next:.6g} s failed after "
+                            f"{max_step_halvings} halvings "
+                            f"(smallest step {sub:.3g} s)",
                             iterations=err.iterations,
                             residual=err.residual) from err
-                else:
-                    raise ConvergenceError(
-                        f"transient step to t={t_next:.6g} s failed after "
-                        f"{max_step_halvings} halvings "
-                        f"(smallest step {sub:.3g} s)",
-                        iterations=err.iterations,
-                        residual=err.residual) from err
-            i_prev_saved = caps._i_prev
-            caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub, use_method)
-            if (detect_ringing and use_method == "trap"
-                    and _trap_ringing(caps._i_prev, i_prev_saved)):
-                caps._i_prev = i_prev_saved
-                try:
-                    x_be = solve_substep(t_next, sub, x_cur, fixed_cur,
-                                         fixed_next, "be")
-                except ConvergenceError:
-                    caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub,
-                                use_method)
-                else:
-                    x_new = x_be
-                    caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub,
-                                "be")
-                    stats.ringing_fallback_steps += 1
-            pending.pop()
-            t_cur, x_cur, fixed_cur = t_next, x_new, fixed_next
-            stats.steps_taken += 1
-        return x_cur, fixed_cur
+                i_prev_saved = caps._i_prev
+                caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub, use_method)
+                if (detect_ringing and use_method == "trap"
+                        and _trap_ringing(caps._i_prev, i_prev_saved)):
+                    caps._i_prev = i_prev_saved
+                    try:
+                        x_be = solve_substep(t_next, sub, x_cur, fixed_cur,
+                                             fixed_next, "be")
+                    except ConvergenceError:
+                        caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub,
+                                    use_method)
+                    else:
+                        x_new = x_be
+                        caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub,
+                                    "be")
+                        stats.ringing_fallback_steps += 1
+                pending.pop()
+                t_cur, x_cur, fixed_cur = t_next, x_new, fixed_next
+                stats.steps_taken += 1
+            return x_cur, fixed_cur
 
-    snapshot(x, fixed_prev)
-    for i in range(1, len(grid)):
-        x, fixed_prev = advance_interval(float(grid[i - 1]), float(grid[i]),
-                                         x, fixed_prev)
         snapshot(x, fixed_prev)
+        for i in range(1, len(grid)):
+            x, fixed_prev = advance_interval(float(grid[i - 1]), float(grid[i]),
+                                             x, fixed_prev)
+            snapshot(x, fixed_prev)
 
-    voltages = {n: np.asarray(v) for n, v in volt_hist.items()}
-    currents = {n: np.asarray(v) for n, v in src_hist.items()}
+        voltages = {n: np.asarray(v) for n, v in volt_hist.items()}
+        currents = {n: np.asarray(v) for n, v in src_hist.items()}
+        span.set("grid_points", stats.grid_points)
+        span.set("steps_taken", stats.steps_taken)
+        span.set("newton_failures", stats.newton_failures)
+        span.set("halvings", stats.halvings)
+        span.set("be_fallback_steps", stats.be_fallback_steps)
+        span.set("ringing_fallback_steps", stats.ringing_fallback_steps)
+        _note_transient(tele, stats)
     return TransientResult(grid, voltages, currents, stats=stats)
+
+
+def _note_transient(tele, stats: TransientStats) -> None:
+    """Fold one finished transient run into the metrics registry."""
+    tele.counter("spice.transient.runs").inc()
+    tele.counter("spice.transient.steps_accepted").inc(stats.steps_taken)
+    if stats.newton_failures:
+        tele.counter("spice.transient.step_rejections").inc(
+            stats.newton_failures)
+    if stats.halvings:
+        tele.counter("spice.transient.halvings").inc(stats.halvings)
+    if stats.be_fallback_steps:
+        tele.counter("spice.transient.be_fallbacks").inc(
+            stats.be_fallback_steps)
+    if stats.ringing_fallback_steps:
+        tele.counter("spice.transient.ringing_fallbacks").inc(
+            stats.ringing_fallback_steps)

@@ -286,3 +286,107 @@ class TestCampaignResume:
             netlist, key=self.KEY, n_traces=32,
             runner=CheckpointedRun(path, chunk_size=8))
         np.testing.assert_array_equal(result.t_values, reference.t_values)
+
+
+class TestTelemetryEdgeCases:
+    """Observability must never influence checkpoint semantics: resume
+    works and stays byte-identical whether telemetry is off, in memory,
+    or appending to a JSONL file — even one a previous kill corrupted."""
+
+    def _killed_then_resumed(self, tmp_path, first_tele, second_tele):
+        from repro.obs import MemorySink, Telemetry
+
+        path = tmp_path / "obs.npz"
+        reference = CheckpointedRun(tmp_path / "ref.npz", chunk_size=4).run(
+            list(range(12)), square_chunk)
+        with pytest.raises(KeyboardInterrupt):
+            _KillAfter(path, chunk_size=4, die_after=2,
+                       telemetry=first_tele).run(list(range(12)),
+                                                 square_chunk)
+        runner = CheckpointedRun(path, chunk_size=4, telemetry=second_tele)
+        out = runner.run(list(range(12)), square_chunk)
+        np.testing.assert_array_equal(out, reference)
+        assert runner.stats.chunks_resumed == 2
+
+    def test_resume_with_telemetry_enabled_both_sides(self, tmp_path):
+        from repro.obs import MemorySink, Telemetry
+
+        first = Telemetry(sinks=[MemorySink()])
+        second = Telemetry(sinks=[MemorySink()])
+        self._killed_then_resumed(tmp_path, first, second)
+        assert any(s["name"] == "checkpoint.save"
+                   for s in first.sinks[0].spans())
+        assert any(s["name"] == "checkpoint.load"
+                   for s in second.sinks[0].spans())
+        assert second.registry.counter("checkpoint.chunks_resumed").value \
+            == 2
+        assert second.registry.histogram(
+            "checkpoint.load_seconds").snapshot()["count"] == 1
+
+    def test_resume_after_telemetry_is_turned_off(self, tmp_path):
+        from repro.obs import MemorySink, Telemetry
+
+        self._killed_then_resumed(tmp_path,
+                                  Telemetry(sinks=[MemorySink()]), None)
+
+    def test_resume_after_telemetry_is_turned_on(self, tmp_path):
+        from repro.obs import MemorySink, Telemetry
+
+        self._killed_then_resumed(tmp_path, None,
+                                  Telemetry(sinks=[MemorySink()]))
+
+    def test_corrupt_jsonl_sink_does_not_poison_resume(self, tmp_path):
+        """The trace file is append-only: a resume pointed at a trace
+        torn by the kill (or overwritten with garbage) neither raises
+        nor changes the computed rows."""
+        from repro.obs import JsonlSink, Telemetry, read_jsonl
+
+        trace = tmp_path / "campaign.jsonl"
+        path = tmp_path / "obs.npz"
+        reference = CheckpointedRun(tmp_path / "ref.npz", chunk_size=4).run(
+            list(range(12)), square_chunk)
+
+        first = Telemetry(sinks=[JsonlSink(trace)])
+        with pytest.raises(KeyboardInterrupt):
+            _KillAfter(path, chunk_size=4, die_after=2,
+                       telemetry=first).run(list(range(12)), square_chunk)
+        first.close()
+
+        # Simulate the kill tearing the trace mid-record.
+        with open(trace, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "span", "name": "torn')
+
+        second = Telemetry(sinks=[JsonlSink(trace)])
+        runner = CheckpointedRun(path, chunk_size=4, telemetry=second)
+        out = runner.run(list(range(12)), square_chunk)
+        second.close()
+        np.testing.assert_array_equal(out, reference)
+
+        # Lenient reading recovers every intact record around the tear.
+        records = read_jsonl(trace)
+        assert any(r.get("name") == "checkpoint.load" for r in records)
+        assert any(r.get("name") == "checkpoint.save" for r in records)
+
+    def test_redirecting_telemetry_mid_campaign_is_harmless(self, tmp_path):
+        """First half traced to file A, resume traced to file B: rows
+        identical and both traces individually well-formed."""
+        from repro.obs import JsonlSink, Telemetry, read_jsonl, validate_stream
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        path = tmp_path / "redir.npz"
+        reference = CheckpointedRun(tmp_path / "ref.npz", chunk_size=4).run(
+            list(range(12)), square_chunk)
+
+        first = Telemetry(sinks=[JsonlSink(a)])
+        with pytest.raises(KeyboardInterrupt):
+            _KillAfter(path, chunk_size=4, die_after=2,
+                       telemetry=first).run(list(range(12)), square_chunk)
+        first.close()
+
+        second = Telemetry(sinks=[JsonlSink(b)])
+        out = CheckpointedRun(path, chunk_size=4, telemetry=second).run(
+            list(range(12)), square_chunk)
+        second.close()
+        np.testing.assert_array_equal(out, reference)
+        validate_stream(read_jsonl(a, strict=True))
+        validate_stream(read_jsonl(b, strict=True))

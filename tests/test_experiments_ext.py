@@ -149,3 +149,38 @@ class TestVtAblation:
         mix = result.point("paper mix (hvt core, lvt loads)")
         hvt = result.point("all high-Vt")
         assert hvt.delay > 1.5 * mix.delay
+
+
+class TestNoStrayPrints:
+    """Driver output flows through the telemetry progress sink: with a
+    muted handle the mains must write nothing to stdout (a bare print()
+    anywhere in the driver path fails this)."""
+
+    @pytest.mark.parametrize("target", ["table1", "table2", "table3",
+                                        "related"])
+    def test_driver_main_is_silent_when_muted(self, target, capsys):
+        from repro import experiments
+        from repro.obs import muted_telemetry
+
+        tele = muted_telemetry()
+        getattr(experiments, target).main(telemetry=tele)
+        captured = capsys.readouterr()
+        assert captured.out == "", f"{target} printed: {captured.out[:200]}"
+        assert captured.err == ""
+        # The output is not lost — it lives in the trace as progress
+        # records.
+        assert any(r["kind"] == "progress"
+                   for r in tele.sinks[0].records), target
+
+    def test_muted_run_matches_default_output(self, capsys):
+        """Progress records carry exactly what print would have shown."""
+        from repro import experiments
+        from repro.obs import muted_telemetry
+
+        tele = muted_telemetry()
+        experiments.table1.main(telemetry=tele)
+        capsys.readouterr()
+        lines = [r["text"] for r in tele.sinks[0].records
+                 if r["kind"] == "progress"]
+        assert any("Table 1" in line or "area" in line.lower()
+                   for line in lines)

@@ -1,0 +1,202 @@
+"""Property-based tests for the EKV MOSFET model.
+
+Seeded random bias grids (numpy RNG — no external property-testing
+dependency) check the physical invariants the simulator leans on:
+
+* Ids is continuous across the subthreshold/triode/saturation
+  boundaries (the EKV interpolation has no seams);
+* dIds/dVds stays finite and non-negative everywhere (needed for
+  Newton's Jacobian to be well-conditioned);
+* Ids is monotonically non-decreasing in Vgs at fixed Vds (NMOS);
+* Ids(Vds -> 0) -> 0: no current without drain-source bias.
+
+Each property is exercised for all four flavours (NMOS/PMOS x LVT/HVT)
+over randomized (W, L, Vg, Vd, Vs, Vb) draws, so a regression anywhere
+in the bias space fails loudly with the offending draw in the message.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice.mosfet import MosfetModel
+from repro.tech import NMOS_HVT, NMOS_LVT, PMOS_HVT, PMOS_LVT
+from repro.units import nm, um
+
+VDD = 1.2
+
+_FLAVOURS = {
+    "nmos_lvt": NMOS_LVT,
+    "nmos_hvt": NMOS_HVT,
+    "pmos_lvt": PMOS_LVT,
+    "pmos_hvt": PMOS_HVT,
+}
+
+
+@pytest.fixture(params=sorted(_FLAVOURS))
+def flavour(request):
+    return request.param, _FLAVOURS[request.param]
+
+
+def _random_models(params, rng, n):
+    """n random legally-sized instances of one flavour."""
+    w = rng.uniform(params.wmin, um(2.0), size=n)
+    l = rng.uniform(params.lmin, nm(400), size=n)
+    return [MosfetModel(params, w[i], l[i]) for i in range(n)]
+
+
+def _sign(params):
+    """Current sign in the conducting quadrant (NMOS +, PMOS -)."""
+    return 1.0 if params.is_nmos else -1.0
+
+
+def _bias(params, rng):
+    """A random bias point in the flavour's conducting quadrant."""
+    if params.is_nmos:
+        vs = rng.uniform(0.0, 0.3)
+        vd = rng.uniform(vs, VDD)
+        vg = rng.uniform(0.0, VDD)
+        vb = 0.0
+    else:
+        vs = rng.uniform(VDD - 0.3, VDD)
+        vd = rng.uniform(0.0, vs)
+        vg = rng.uniform(0.0, VDD)
+        vb = VDD
+    return vg, vd, vs, vb
+
+
+class TestContinuity:
+    def test_ids_continuous_across_region_boundaries(self, flavour):
+        """Fine Vds sweep through triode->saturation and a Vgs sweep
+        through subthreshold->inversion: adjacent samples never jump by
+        more than the local scale times the step."""
+        name, params = flavour
+        rng = np.random.default_rng(0xC0FFEE)
+        for model in _random_models(params, rng, 6):
+            sgn = _sign(params)
+            vg = params.vt0 + rng.uniform(0.1, 0.5)  # strong-ish inversion
+            vds = np.linspace(0.0, VDD, 801)
+            ids = np.array([model.ids(sgn * vg, sgn * v, 0.0 if sgn > 0
+                                      else VDD * 0, 0.0)
+                            for v in sgn * vds])
+            steps = np.abs(np.diff(ids))
+            scale = np.abs(ids).max() + 1e-15
+            # 801 points over 1.2 V: a continuous curve moves < 2 % of
+            # full scale per 1.5 mV step.
+            assert steps.max() < 0.02 * scale, \
+                f"{name}: Ids jump {steps.max():.3g} vs scale {scale:.3g}"
+
+    def test_ids_continuous_in_vgs_through_subthreshold(self, flavour):
+        name, params = flavour
+        rng = np.random.default_rng(7)
+        for model in _random_models(params, rng, 6):
+            sgn = _sign(params)
+            vgs = np.linspace(0.0, VDD, 801)
+            ids = np.array([model.ids(sgn * v, sgn * VDD, 0.0, 0.0)
+                            for v in vgs])
+            log_ids = np.log(np.abs(ids) + 1e-30)
+            # Subthreshold slope is bounded: per 1.5 mV step the log
+            # current moves by at most step/(n*Ut) plus slack.
+            dv = vgs[1] - vgs[0]
+            bound = dv / (params.nsub * model.ut) * 1.5 + 1e-6
+            assert np.diff(log_ids).max() < bound, name
+
+
+class TestDerivatives:
+    def test_gds_finite_and_nonnegative_everywhere(self, flavour):
+        """Central-difference dIds/dVds on 200 random draws: finite and
+        (for the channel current, drain sweep in the conducting
+        direction) non-negative — Newton's Jacobian depends on it."""
+        name, params = flavour
+        rng = np.random.default_rng(0xD0A)
+        models = _random_models(params, rng, 5)
+        h = 1e-6
+        for i in range(200):
+            model = models[i % len(models)]
+            vg, vd, vs, vb = _bias(params, rng)
+            up = model.ids(vg, vd + h, vs, vb)
+            dn = model.ids(vg, vd - h, vs, vb)
+            g = (up - dn) / (2 * h) * _sign(params) * \
+                (1.0 if params.is_nmos else -1.0)
+            # For NMOS increasing vd increases ids; for PMOS decreasing
+            # vd makes ids more negative: either way the conductance
+            # d|Ids|/d|Vds| is >= 0.
+            g_abs = (abs(up) - abs(dn)) / (2 * h) * _sign(params)
+            assert math.isfinite(g), f"{name} draw {i}: non-finite gds"
+            assert g_abs >= -1e-12, \
+                f"{name} draw {i}: negative gds {g_abs:.3g} at " \
+                f"vg={vg:.3f} vd={vd:.3f} vs={vs:.3f}"
+
+    def test_builtin_gds_matches_finite_difference(self, flavour):
+        name, params = flavour
+        rng = np.random.default_rng(11)
+        model = _random_models(params, rng, 1)[0]
+        for i in range(50):
+            vg, vd, vs, vb = _bias(params, rng)
+            h = 1e-6
+            fd = (model.ids(vg, vd + h, vs, vb) -
+                  model.ids(vg, vd - h, vs, vb)) / (2 * h)
+            assert model.gds(vg, vd, vs, vb) == \
+                pytest.approx(fd, rel=1e-3, abs=1e-12), f"{name} draw {i}"
+
+
+class TestMonotonicity:
+    def test_ids_monotone_in_vgs(self, flavour):
+        """|Ids| never decreases as the gate drives harder, at any of
+        40 random (Vds, sizing) draws."""
+        name, params = flavour
+        rng = np.random.default_rng(0xBEEF)
+        sgn = _sign(params)
+        for i in range(40):
+            model = _random_models(params, rng, 1)[0]
+            _, vd, vs, vb = _bias(params, rng)
+            vgs = np.linspace(0.0, VDD, 121)
+            mags = np.array([abs(model.ids(
+                vs + sgn * v, vd, vs, vb)) for v in vgs])
+            drops = np.diff(mags)
+            assert drops.min() >= -1e-18, \
+                f"{name} draw {i}: |Ids| fell by {-drops.min():.3g}"
+
+
+class TestZeroBias:
+    def test_ids_vanishes_as_vds_to_zero(self, flavour):
+        """Ids(Vds=0) == 0 exactly (xf == xr), and the limit is
+        approached linearly from either side."""
+        name, params = flavour
+        rng = np.random.default_rng(21)
+        for i in range(40):
+            model = _random_models(params, rng, 1)[0]
+            vg = rng.uniform(0.0, VDD) * _sign(params)
+            vcm = rng.uniform(0.0, VDD) * _sign(params)
+            assert model.ids(vg, vcm, vcm, 0.0) == pytest.approx(0.0,
+                                                                abs=1e-18)
+            small = abs(model.ids(vg, vcm + 1e-7 * _sign(params), vcm, 0.0))
+            tiny = abs(model.ids(vg, vcm + 1e-9 * _sign(params), vcm, 0.0))
+            assert small < 1e-3, f"{name} draw {i}"
+            if small > 0.0:
+                assert tiny < small, f"{name} draw {i}"
+
+class TestSleepLeakage:
+    """§4 of the paper: the power-gating device is high-Vt and is driven
+    to negative VGS when asleep, buying orders of magnitude of leakage."""
+
+    def test_hvt_leaks_less_than_lvt_at_zero_vgs(self):
+        rng = np.random.default_rng(41)
+        for _ in range(20):
+            w = rng.uniform(NMOS_LVT.wmin, um(2.0))
+            l = rng.uniform(NMOS_LVT.lmin, nm(400))
+            lvt = MosfetModel(NMOS_LVT, w, l)
+            hvt = MosfetModel(NMOS_HVT, w, l)
+            leak_lvt = lvt.ids(0.0, VDD, 0.0)
+            leak_hvt = hvt.ids(0.0, VDD, 0.0)
+            assert 0.0 < leak_hvt < leak_lvt
+            # The Vt gap at ~n*Ut*ln10 ≈ 80 mV/decade buys well over
+            # an order of magnitude.
+            assert leak_lvt / leak_hvt > 10.0
+
+    def test_negative_vgs_cuts_leakage_further(self):
+        model = MosfetModel(NMOS_HVT, um(1.0), nm(200))
+        at_zero = model.ids(0.0, VDD, 0.0)
+        at_neg = model.ids(-0.2, VDD, 0.0)
+        assert 0.0 < at_neg < at_zero / 100.0

@@ -1,0 +1,327 @@
+"""Unit tests for the repro.obs observability layer.
+
+Covers the metric primitives and their associative merge, the sinks
+(including the append-only JSONL contract), span nesting and worker
+reassembly on the Telemetry handle, and the record/stream schema
+validation that CI runs against real traces.
+"""
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NullTelemetry,
+    SchemaError,
+    Telemetry,
+    muted_telemetry,
+    read_jsonl,
+    span_tree,
+    validate_record,
+    validate_stream,
+)
+
+
+# -- metrics ------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"type": "counter", "value": 5}
+
+    def test_gauge_keeps_latest(self):
+        g = Gauge("g")
+        assert g.snapshot()["value"] is None
+        g.set(3)
+        g.set(7)
+        assert g.snapshot()["value"] == 7
+
+    def test_histogram_aggregates(self):
+        h = Histogram("h")
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["total"] == pytest.approx(12.0)
+        assert snap["min"] == 2.0 and snap["max"] == 6.0
+        assert snap["mean"] == pytest.approx(4.0)
+
+    def test_empty_histogram_snapshot_is_json_safe(self):
+        snap = Histogram("h").snapshot()
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["mean"] is None
+        json.dumps(snap)
+
+    def test_registry_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ReproError):
+            reg.gauge("x")
+
+    def test_merge_is_associative_over_chunks(self):
+        """Merging worker snapshots chunk-by-chunk equals one big run."""
+        whole = MetricsRegistry()
+        for v in range(10):
+            whole.counter("n").inc()
+            whole.histogram("h").observe(float(v))
+        merged = MetricsRegistry()
+        for lo, hi in ((0, 3), (3, 7), (7, 10)):
+            worker = MetricsRegistry()
+            for v in range(lo, hi):
+                worker.counter("n").inc()
+                worker.histogram("h").observe(float(v))
+            merged.merge(worker.snapshot())
+        assert merged.snapshot() == whole.snapshot()
+
+    def test_merge_unknown_type_raises(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().merge({"x": {"type": "exotic", "value": 1}})
+
+
+# -- sinks --------------------------------------------------------------------
+
+class TestSinks:
+    def test_memory_sink_partitions_kinds(self):
+        tele = Telemetry(sinks=[MemorySink()])
+        with tele.span("a"):
+            tele.event("e")
+        sink = tele.sinks[0]
+        assert [r["name"] for r in sink.spans()] == ["a"]
+        assert [r["name"] for r in sink.events()] == ["e"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tele = Telemetry(sinks=[JsonlSink(path)])
+        with tele.span("solve", n=3):
+            tele.event("attempt", strategy="newton")
+        tele.emit_metrics()
+        tele.close()
+        records = read_jsonl(path, strict=True)
+        assert [r["kind"] for r in records] == ["event", "span", "metrics"]
+        validate_stream(records)
+
+    def test_jsonl_appends_never_truncates(self, tmp_path):
+        """A pre-existing (even corrupt) file is appended to, not parsed."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"torn": \n')  # torn line from a kill
+        tele = Telemetry(sinks=[JsonlSink(path)])
+        tele.event("after-resume")
+        tele.close()
+        raw = path.read_text().splitlines()
+        assert raw[0] == '{"torn": '
+        records = read_jsonl(path)  # lenient: skips the torn line
+        assert [r["name"] for r in records if r.get("kind") == "event"] == \
+            ["after-resume"]
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path, strict=True)
+
+    def test_jsonl_serialises_numpy_scalars(self, tmp_path):
+        path = tmp_path / "np.jsonl"
+        tele = Telemetry(sinks=[JsonlSink(path)])
+        tele.event("e", value=np.float64(1.5), count=np.int64(3))
+        tele.close()
+        (record,) = read_jsonl(path, strict=True)
+        assert record["attrs"] == {"value": 1.5, "count": 3}
+
+    def test_jsonl_accepts_file_object_without_closing_it(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf, flush_every=1)
+        sink.emit({"kind": "event", "name": "x", "t": 0.0, "attrs": {},
+                   "seq": 1})
+        sink.close()
+        assert not buf.closed
+        assert json.loads(buf.getvalue())["name"] == "x"
+
+
+# -- telemetry handle ---------------------------------------------------------
+
+class TestTelemetry:
+    def test_null_telemetry_is_inert_and_shared(self):
+        assert NULL_TELEMETRY.enabled is False
+        span = NULL_TELEMETRY.span("anything", x=1)
+        with span as s:
+            s.set("k", "v")
+        NULL_TELEMETRY.counter("c").inc()
+        NULL_TELEMETRY.histogram("h").observe(1.0)
+        NULL_TELEMETRY.adopt([{"kind": "span"}])
+        assert NULL_TELEMETRY.span("a") is NULL_TELEMETRY.span("b")
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+
+    def test_span_nesting_and_tree(self):
+        tele = Telemetry(sinks=[MemorySink()])
+        with tele.span("outer", depth=0):
+            with tele.span("inner", depth=1):
+                pass
+            with tele.span("inner2"):
+                pass
+        forest = span_tree(tele.sinks[0].records)
+        assert len(forest) == 1
+        assert forest[0]["name"] == "outer"
+        assert [c["name"] for c in forest[0]["children"]] == \
+            ["inner", "inner2"]
+
+    def test_span_records_exception_and_propagates(self):
+        tele = Telemetry(sinks=[MemorySink()])
+        with pytest.raises(ValueError):
+            with tele.span("bad"):
+                raise ValueError("boom")
+        (span,) = tele.sinks[0].spans()
+        assert span["attrs"]["error"] == "ValueError"
+
+    def test_threads_get_independent_span_stacks(self):
+        tele = Telemetry(sinks=[MemorySink()])
+        seen = {}
+
+        def work(name):
+            with tele.span(name):
+                seen[name] = tele.current_span_id()
+
+        with tele.span("root"):
+            t = threading.Thread(target=work, args=("child-thread",))
+            t.start()
+            t.join()
+        spans = {s["name"]: s for s in tele.sinks[0].spans()}
+        # The other thread's span must NOT be parented to this thread's
+        # root — each thread has its own stack.
+        assert spans["child-thread"]["parent_id"] is None
+
+    def test_collector_adopt_reassembles_deterministically(self):
+        def make_chunk(i):
+            collector = Telemetry(sinks=[MemorySink()])
+            with collector.span("chunk.work", index=i):
+                collector.counter("done").inc()
+            collector.emit_metrics()
+            return collector.sinks[0].records
+
+        tele = Telemetry(sinks=[MemorySink()])
+        with tele.span("parent"):
+            # "Workers" finish out of order; parent adopts in chunk order.
+            chunks = {i: make_chunk(i) for i in (2, 0, 1)}
+            for i in (0, 1, 2):
+                tele.adopt(chunks[i], extra_attrs={"chunk": i})
+        forest = span_tree(tele.sinks[0].records)
+        children = forest[0]["children"]
+        assert [c["attrs"]["chunk"] for c in children] == [0, 1, 2]
+        assert [c["attrs"]["index"] for c in children] == [0, 1, 2]
+        assert tele.registry.counter("done").value == 3
+
+    def test_adopt_remaps_event_span_refs(self):
+        collector = Telemetry(sinks=[MemorySink()])
+        with collector.span("w"):
+            collector.event("ev")
+        tele = Telemetry(sinks=[MemorySink()])
+        tele.adopt(collector.sinks[0].records)
+        records = tele.sinks[0].records
+        ev = next(r for r in records if r["kind"] == "event")
+        sp = next(r for r in records if r["kind"] == "span")
+        assert ev["span_id"] == sp["span_id"]
+        validate_stream(records)
+
+    def test_timer_observes_into_histogram(self):
+        tele = Telemetry()
+        with tele.timer("t"):
+            pass
+        snap = tele.registry.histogram("t").snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] >= 0.0
+
+    def test_progress_renders_and_records(self):
+        rendered = []
+        tele = Telemetry(sinks=[MemorySink()], progress=rendered.append)
+        tele.progress("halfway")
+        assert rendered == ["halfway"]
+        (record,) = tele.sinks[0].records
+        assert record["kind"] == "progress" and record["text"] == "halfway"
+
+    def test_muted_telemetry_records_but_never_renders(self, capsys):
+        tele = muted_telemetry()
+        tele.progress("silent")
+        assert capsys.readouterr().out == ""
+        assert tele.sinks[0].records[0]["text"] == "silent"
+
+
+# -- schema -------------------------------------------------------------------
+
+class TestSchema:
+    def _span(self, **over):
+        record = {"kind": "span", "name": "s", "span_id": 1,
+                  "parent_id": None, "t_start": 0.0, "t_end": 1.0,
+                  "attrs": {}, "seq": 1}
+        record.update(over)
+        return record
+
+    def test_valid_records_pass(self):
+        validate_record(self._span())
+        validate_record({"kind": "event", "name": "e", "t": 0.0,
+                         "attrs": {}, "seq": 1})
+        validate_record({"kind": "progress", "text": "x", "t": 0.0,
+                         "seq": 1})
+        validate_record({"kind": "metrics", "t": 0.0, "seq": 1,
+                         "registry": {"c": {"type": "counter", "value": 1}}})
+
+    @pytest.mark.parametrize("mutation", [
+        {"kind": "mystery"},
+        {"name": 7},
+        {"t_end": float("nan")},
+        {"t_end": -1.0},
+        {"parent_id": "three"},
+        {"seq": None},
+    ])
+    def test_bad_span_shapes_raise(self, mutation):
+        with pytest.raises(SchemaError):
+            validate_record(self._span(**mutation))
+
+    def test_metrics_entry_type_checked(self):
+        with pytest.raises(SchemaError):
+            validate_record({"kind": "metrics", "t": 0.0, "seq": 1,
+                             "registry": {"bad": {"type": "nope"}}})
+
+    def test_stream_rejects_duplicate_ids(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            validate_stream([self._span(seq=1),
+                             self._span(seq=2)])
+
+    def test_stream_rejects_nonincreasing_seq(self):
+        with pytest.raises(SchemaError, match="seq"):
+            validate_stream([self._span(seq=5),
+                             self._span(span_id=2, seq=5)])
+
+    def test_stream_rejects_missing_parent(self):
+        with pytest.raises(SchemaError, match="missing parent"):
+            validate_stream([self._span(parent_id=99)])
+
+    def test_stream_rejects_escaping_child_window(self):
+        child = self._span(span_id=2, parent_id=1, t_start=0.5,
+                           t_end=2.0, seq=2)
+        with pytest.raises(SchemaError, match="escapes"):
+            validate_stream([self._span(), child])
+
+    def test_stream_rejects_parent_cycles(self):
+        a = self._span(span_id=1, parent_id=2, seq=1)
+        b = self._span(span_id=2, parent_id=1, seq=2)
+        with pytest.raises(SchemaError, match="cycle"):
+            validate_stream([a, b])
+
+    def test_real_telemetry_stream_validates(self):
+        tele = Telemetry(sinks=[MemorySink()])
+        with tele.span("a"):
+            with tele.span("b"):
+                tele.event("e")
+            tele.progress("p")
+        tele.emit_metrics()
+        spans = validate_stream(tele.sinks[0].records)
+        assert len(spans) == 2

@@ -1,0 +1,159 @@
+"""Function-level coverage with zero dependencies.
+
+The container has no ``coverage``/``pytest-cov``, so CI measures
+coverage with the standard library: a ``sys.settrace`` hook that records
+only ``call`` events (cheap — line tracing is never enabled) while the
+test suite runs in-process, then matches the called code objects against
+every ``def`` found by parsing the source tree with ``ast``.
+
+Usage::
+
+    PYTHONPATH=src python tools/funcov.py --floor 70 -- -x -q tests/
+
+Everything after ``--`` is passed to pytest verbatim.  Writes a
+``COVERAGE.json`` report next to this repo's root listing per-module
+function counts and the never-called functions, and exits non-zero when
+the measured percentage falls below ``--floor`` (the CI regression
+gate — raise the floor when coverage improves, never lower it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+import threading
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_SRC = os.path.join(REPO_ROOT, "src", "repro")
+DEFAULT_REPORT = os.path.join(REPO_ROOT, "COVERAGE.json")
+
+
+def defined_functions(src_root):
+    """(relpath, name, lineno) of every def/async def under src_root."""
+    defs = set()
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, src_root)
+            with open(path, "r", encoding="utf-8") as fh:
+                try:
+                    tree = ast.parse(fh.read(), filename=path)
+                except SyntaxError as err:  # pragma: no cover
+                    raise SystemExit(f"funcov: cannot parse {path}: {err}")
+            for node in ast.walk(tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    defs.add((rel, node.name, node.lineno))
+    return defs
+
+
+class CallRecorder:
+    """settrace hook that records called code objects under one root."""
+
+    def __init__(self, src_root):
+        self.src_root = os.path.abspath(src_root) + os.sep
+        self.called = set()
+
+    def __call__(self, frame, event, arg):
+        if event == "call":
+            code = frame.f_code
+            filename = code.co_filename
+            if filename.startswith(self.src_root):
+                self.called.add((os.path.relpath(filename, self.src_root),
+                                 code.co_name, code.co_firstlineno))
+        # Returning None disables line tracing inside the frame: we pay
+        # one hook hit per call, not per line.
+        return None
+
+    def install(self):
+        threading.settrace(self)
+        sys.settrace(self)
+
+    def uninstall(self):
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def measure(src_root, pytest_args):
+    import pytest
+
+    recorder = CallRecorder(src_root)
+    recorder.install()
+    try:
+        exit_code = pytest.main(list(pytest_args))
+    finally:
+        recorder.uninstall()
+    return recorder.called, int(exit_code)
+
+
+def build_report(defs, called):
+    # Decorated defs report the decorator's line in some versions;
+    # match on (file, name) with a +/-5 line tolerance.
+    called_keys = {}
+    for rel, name, lineno in called:
+        called_keys.setdefault((rel, name), []).append(lineno)
+    covered, missed = set(), []
+    for rel, name, lineno in sorted(defs):
+        hits = called_keys.get((rel, name), [])
+        if any(abs(h - lineno) <= 5 for h in hits):
+            covered.add((rel, name, lineno))
+        else:
+            missed.append(f"{rel}:{lineno} {name}")
+    per_module = {}
+    for rel, name, lineno in defs:
+        entry = per_module.setdefault(rel, {"functions": 0, "covered": 0})
+        entry["functions"] += 1
+        if (rel, name, lineno) in covered:
+            entry["covered"] += 1
+    pct = 100.0 * len(covered) / len(defs) if defs else 100.0
+    return {
+        "granularity": "function",
+        "functions_defined": len(defs),
+        "functions_called": len(covered),
+        "percent": round(pct, 2),
+        "per_module": {k: per_module[k] for k in sorted(per_module)},
+        "missed": missed,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="function coverage via sys.settrace (no dependencies)")
+    parser.add_argument("--src", default=DEFAULT_SRC,
+                        help="source root to measure (default src/repro)")
+    parser.add_argument("--report", default=DEFAULT_REPORT,
+                        help="where to write the JSON report")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="fail if covered %% drops below this")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments forwarded to pytest (after --)")
+    args = parser.parse_args(argv)
+
+    defs = defined_functions(args.src)
+    called, test_exit = measure(args.src, args.pytest_args or
+                                ["-x", "-q", "tests/"])
+    report = build_report(defs, called)
+    with open(args.report, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"funcov: {report['functions_called']}/"
+          f"{report['functions_defined']} functions called "
+          f"({report['percent']}%) -> {args.report}")
+    if test_exit != 0:
+        print(f"funcov: test run failed (exit {test_exit})",
+              file=sys.stderr)
+        return test_exit
+    if args.floor is not None and report["percent"] < args.floor:
+        print(f"funcov: coverage {report['percent']}% fell below the "
+              f"floor of {args.floor}%", file=sys.stderr)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
