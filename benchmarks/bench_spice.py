@@ -1,0 +1,200 @@
+"""Benchmark: vectorized device-bank MNA assembly vs the reference loop.
+
+Times cell-level transients with both assemblies (selected through
+``REPRO_SPICE_ASSEMBLY``) and records the results in
+``BENCH_spice.json`` at the repo root:
+
+* a single PG-MCML buffer driven through a full 256-step switching
+  window — the smallest realistic workload, where ufunc dispatch and
+  the scalar loop roughly break even;
+* an 8-buffer PG-MCML chain (~80 devices), the headline: the batched
+  EKV evaluation amortises dispatch across the device axis and must be
+  ≥3× faster than the loop;
+* the 256-trace serial CPA acquisition of ``bench_acquisition.py``,
+  re-timed under the bank default and compared against the reference
+  numbers in ``BENCH_acquisition.json``.  That path is logic-sim plus
+  power models — no SPICE in the per-trace loop — so its role here is
+  regression proof: the verdict (CPA rank) and throughput must not
+  degrade with the bank assembly active.
+
+Every timing is a best-of-``REPEATS`` wall clock; the bank and loop
+solutions of each transient are compared point for point so the JSON
+also certifies the assemblies agree (≤1e-9 V across the whole wave).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.cells import build_cmos_library
+from repro.cells.functions import function
+from repro.cells.pgmcml import PgMcmlCellGenerator
+from repro.sca import AttackCampaign
+from repro.spice import Circuit
+from repro.spice.dc import _ASSEMBLY_ENV
+from repro.spice.stimulus import Pulse
+from repro.spice.transient import run_transient
+from repro.tech import TECH90
+
+N_STEPS = 256
+CHAIN_LEN = 8
+REPEATS = 3
+N_TRACES = 256
+KEY = 0x2B
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_spice.json")
+ACQ_REFERENCE_PATH = os.path.join(_REPO_ROOT, "BENCH_acquisition.json")
+
+#: Interconnect resistance between chained buffer stages, ohms.
+WIRE_RES = 10.0
+
+#: Output load per stage, farads.
+LOAD_CAP = 2e-15
+
+
+def build_chain(n_cells: int):
+    """``n_cells`` PG-MCML buffers in one circuit, wired in series.
+
+    Returns ``(circuit, window)`` with a full-swing differential pulse
+    on the first stage's input and every rail / bias / sleep net tied
+    to its DC source — the same testbench shape as
+    ``repro.cells.characterize``, scaled across cells.
+    """
+    tech = TECH90
+    gen = PgMcmlCellGenerator(tech)
+    ckt = Circuit(f"pg_chain{n_cells}")
+    cells = [gen.build(function("BUF"), circuit=ckt, prefix=f"u{i}_",
+                       load_cap=LOAD_CAP)
+             for i in range(n_cells)]
+    tied = set()
+    for cell in cells:
+        for short, net, value in (("vdd", cell.vdd_net, tech.vdd),
+                                  ("vvn", cell.vn_net, gen.sizing.vn),
+                                  ("vvp", cell.vp_net, gen.sizing.vp),
+                                  ("vslp", cell.sleep_net, tech.vdd)):
+            if net not in tied:
+                tied.add(net)
+                ckt.v(f"{short}_{net}", net, value)
+    window = N_STEPS * 1e-12
+    edge = 10e-12
+    vdd, swing = tech.vdd, gen.sizing.swing
+    in_p, in_n = cells[0].input_nets["A"]
+    ckt.v("vin_p", in_p, Pulse(vdd - swing, vdd, window / 2, edge, edge,
+                               window, 0.0))
+    ckt.v("vin_n", in_n, Pulse(vdd, vdd - swing, window / 2, edge, edge,
+                               window, 0.0))
+    for i in range(n_cells - 1):
+        out_p, out_n = next(iter(cells[i].output_nets.values()))
+        nxt_p, nxt_n = cells[i + 1].input_nets["A"]
+        ckt.resistor(f"rw{i}_p", out_p, nxt_p, WIRE_RES)
+        ckt.resistor(f"rw{i}_n", out_n, nxt_n, WIRE_RES)
+    return ckt, window
+
+
+def _timed_transient(circuit, window, assembly):
+    """Best-of-``REPEATS`` transient wall time under one assembly."""
+    previous = os.environ.get(_ASSEMBLY_ENV)
+    os.environ[_ASSEMBLY_ENV] = assembly
+    try:
+        best, result = None, None
+        for _ in range(REPEATS):
+            begin = time.perf_counter()
+            result = run_transient(circuit, tstop=window,
+                                   dt=window / N_STEPS)
+            elapsed = time.perf_counter() - begin
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if previous is None:
+            os.environ.pop(_ASSEMBLY_ENV, None)
+        else:
+            os.environ[_ASSEMBLY_ENV] = previous
+    return result, best
+
+
+def _transient_case(name: str, n_cells: int) -> dict:
+    circuit, window = build_chain(n_cells)
+    bank_result, bank_s = _timed_transient(circuit, window, "bank")
+    loop_result, loop_s = _timed_transient(circuit, window, "loop")
+    max_delta = max(
+        float(np.max(np.abs(bank_result.voltages[node]
+                            - loop_result.voltages[node])))
+        for node in bank_result.voltages)
+    return {
+        "case": name,
+        "devices": len(circuit.devices),
+        "steps": N_STEPS,
+        "bank_seconds": round(bank_s, 4),
+        "loop_seconds": round(loop_s, 4),
+        "speedup": round(loop_s / bank_s, 3),
+        "max_voltage_delta": max_delta,
+    }
+
+
+def _serial_acquisition() -> dict:
+    """Serial 256-trace CPA under the bank default, vs the reference."""
+    library = build_cmos_library()
+    campaign = AttackCampaign(library, KEY)
+    begin = time.perf_counter()
+    result = campaign.run(list(range(N_TRACES)), workers=1)
+    elapsed = time.perf_counter() - begin
+    entry = {
+        "n_traces": N_TRACES,
+        "serial_seconds": round(elapsed, 4),
+        "serial_traces_per_sec": round(N_TRACES / elapsed, 2),
+        "cpa_rank": result.rank,
+    }
+    if os.path.exists(ACQ_REFERENCE_PATH):
+        with open(ACQ_REFERENCE_PATH) as fh:
+            reference = json.load(fh)
+        entry["reference_serial_seconds"] = reference["serial_seconds"]
+        entry["reference_cpa_rank"] = reference["cpa_rank_serial"]
+        entry["delta_vs_reference_pct"] = round(
+            (elapsed / reference["serial_seconds"] - 1.0) * 100.0, 2)
+    return entry
+
+
+def run_comparison():
+    report = {
+        "experiment": "device-bank vs reference-loop MNA assembly",
+        "cpu_count": os.cpu_count(),
+        "transients": [
+            _transient_case("pgmcml_buffer", 1),
+            _transient_case(f"pgmcml_chain{CHAIN_LEN}", CHAIN_LEN),
+        ],
+        "acquisition": _serial_acquisition(),
+    }
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report
+
+
+def test_bank_assembly_speedup_and_equivalence(benchmark):
+    report = run_once(benchmark, run_comparison)
+    by_case = {entry["case"]: entry for entry in report["transients"]}
+    chain = by_case[f"pgmcml_chain{CHAIN_LEN}"]
+    assert chain["speedup"] >= 3.0, chain
+    for entry in report["transients"]:
+        assert entry["max_voltage_delta"] <= 1e-9, entry
+    acq = report["acquisition"]
+    assert acq["cpa_rank"] == 0, acq
+    if "reference_cpa_rank" in acq:
+        assert acq["cpa_rank"] == acq["reference_cpa_rank"], acq
+    benchmark.extra_info.update(report)
+
+
+def main():
+    report = run_comparison()
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -105,9 +105,17 @@ class PgMcmlCellGenerator(McmlCellGenerator):
         else:  # pragma: no cover - exhaustive enum
             raise CellError(f"unknown topology {topo!r}")
 
-    def _tail_devices(self, cell: McmlCellCircuit):
+    def _tail_devices(self, cell: McmlCellCircuit, p: str = ""):
+        """Tail current sources of *this* cell (``p`` is its name prefix).
+
+        The prefix filter matters when several cells share one circuit
+        (``build(..., circuit=ckt, prefix=...)``): without it a later
+        build would re-gate every earlier cell's tails and collide on
+        the generated ``*_sleep`` device names.
+        """
         return [d for d in cell.circuit.devices
-                if "mtail" in d.name and not d.name.endswith(("_sleep", "_pg"))]
+                if "mtail" in d.name and d.name.startswith(p)
+                and not d.name.endswith(("_sleep", "_pg"))]
 
     def _series_sleep(self, cell: McmlCellCircuit, sleep_net: str,
                       p: str) -> None:
@@ -119,7 +127,7 @@ class PgMcmlCellGenerator(McmlCellGenerator):
         """
         s = self.sizing
         ckt = cell.circuit
-        for tail in self._tail_devices(cell):
+        for tail in self._tail_devices(cell, p):
             cs_top = tail.terminals[0]
             mid = f"{tail.name}_pg"
             tail.terminals = (mid,) + tail.terminals[1:]
@@ -159,7 +167,7 @@ class PgMcmlCellGenerator(McmlCellGenerator):
             ckt.mosfet(f"{p}msw", vn_loc, sleep_b, vn_sw, cell.vdd_net,
                        pswitch, w=um(0.3), l=um(0.1),
                        temp_vt=self.tech.vt_thermal)
-        for tail in self._tail_devices(cell):
+        for tail in self._tail_devices(cell, p):
             # Re-point the tail gate at the gated local bias.
             d, _, src, b = tail.terminals
             tail.terminals = (d, vn_loc, src, b)
@@ -173,7 +181,7 @@ class PgMcmlCellGenerator(McmlCellGenerator):
         range widely (the paper quotes -0.5 V..1 V) to keep the current
         constant across corners — the reason the option was rejected.
         """
-        for tail in self._tail_devices(cell):
+        for tail in self._tail_devices(cell, p):
             d, _, src, _ = tail.terminals
             tail.terminals = (d, sleep_net, src, cell.vn_net)
 

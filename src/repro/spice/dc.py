@@ -10,13 +10,15 @@ gmin continuation when plain Newton fails.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import CircuitError, ConvergenceError
 from ..obs import NULL_TELEMETRY
-from .circuit import Circuit
+from .banks import FD_STEP, BankAssembly
+from .circuit import Circuit, canonical_node
 from .recovery import (
     GMIN_LADDER,
     NewtonStats,
@@ -25,8 +27,14 @@ from .recovery import (
     solve_with_recovery,
 )
 
-#: Forward-difference step for device Jacobians, volts.
-_FD_STEP = 1e-6
+#: Forward-difference step for device Jacobians, volts (shared with the
+#: banked assembly so both walk the same Newton trajectory).
+_FD_STEP = FD_STEP
+
+#: Environment override for the default assembly strategy.
+_ASSEMBLY_ENV = "REPRO_SPICE_ASSEMBLY"
+
+_ASSEMBLY_CHOICES = ("bank", "loop")
 
 #: Largest allowed Newton voltage update, volts.
 _DAMP_LIMIT = 0.3
@@ -38,20 +46,39 @@ class System:
     """Index structures for repeated solves of one circuit.
 
     Building the node indices once and reusing them across transient steps
-    is the main performance lever of the engine.
+    is the main performance lever of the engine.  ``assembly`` selects the
+    residual/Jacobian strategy: ``"bank"`` (default) evaluates devices in
+    vectorized class banks (:mod:`repro.spice.banks`); ``"loop"`` keeps
+    the reference per-device Python loop.  The ``REPRO_SPICE_ASSEMBLY``
+    environment variable changes the default.
     """
 
-    def __init__(self, circuit: Circuit, telemetry=None):
+    def __init__(self, circuit: Circuit, telemetry=None,
+                 assembly: Optional[str] = None):
         circuit.validate()
         self.circuit = circuit
         #: Observability handle; the shared no-op when not provided.
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Cumulative count of singular-Jacobian (lstsq fallback) events.
         self.singular_jacobian_events = 0
+        if assembly is None:
+            assembly = os.environ.get(_ASSEMBLY_ENV, "bank")
+        if assembly not in _ASSEMBLY_CHOICES:
+            raise CircuitError(
+                f"unknown assembly strategy {assembly!r}; "
+                f"expected one of {_ASSEMBLY_CHOICES}")
+        self.assembly = assembly
         self.fixed_set = set(circuit.fixed_nodes())
         self.unknowns: List[str] = circuit.unknown_nodes()
         self.index: Dict[str, int] = {n: i for i, n in enumerate(self.unknowns)}
         self.n = len(self.unknowns)
+        # Packed-voltage layout: V = [x | fixed values in fixed_nodes()
+        # key order].  The key set is stable across t and across the
+        # scaled dicts source stepping builds, so the positions hold for
+        # every solve of this System.
+        self.fixed_names_order: List[str] = list(circuit.fixed_nodes())
+        self.fixed_pos: Dict[str, int] = {
+            n: i for i, n in enumerate(self.fixed_names_order)}
         # Per-device terminal classification: unknown index or -1 (fixed).
         self.dev_terms: List[List[int]] = []
         self.dev_fixed_names: List[List[Optional[str]]] = []
@@ -67,8 +94,41 @@ class System:
                     fixed_names.append(node)
             self.dev_terms.append(idxs)
             self.dev_fixed_names.append(fixed_names)
+        self._banks: Optional[BankAssembly] = None
+        self._bank_sig = None
 
     # -- assembly ------------------------------------------------------------
+
+    def bank_assembly(self) -> BankAssembly:
+        """The banked device view, rebuilt if the device list changed.
+
+        Fault injection arms by ``swap_device`` *after* System
+        construction; the identity signature catches that (and any
+        device added to the list) and rebuilds the flat arrays.  Swaps
+        preserve terminals by contract, so node indexing never changes.
+        """
+        sig = tuple(map(id, self.circuit.devices))
+        if sig != self._bank_sig:
+            self._banks = BankAssembly(self.circuit, self.index, self.n,
+                                       self.fixed_pos)
+            self._bank_sig = sig
+        return self._banks
+
+    def fixed_tail(self, fixed: Dict[str, float]) -> np.ndarray:
+        """Fixed node voltages in bank order (the tail of ``full_volts``).
+
+        Constant across the Newton iterations of one solve — hoist it
+        with this and pass it as ``tail`` to the residual methods.
+        """
+        return np.array([fixed[name] for name in self.fixed_names_order])
+
+    def full_volts(self, x: np.ndarray, fixed: Dict[str, float],
+                   tail: Optional[np.ndarray] = None) -> np.ndarray:
+        """Pack unknown and fixed node voltages into one bank-indexed vector."""
+        v = np.empty(self.n + len(self.fixed_names_order))
+        v[:self.n] = x
+        v[self.n:] = self.fixed_tail(fixed) if tail is None else tail
+        return v
 
     def device_volts(self, dev_idx: int, x: np.ndarray,
                      fixed: Dict[str, float]) -> List[float]:
@@ -78,8 +138,29 @@ class System:
                 for k, i in enumerate(idxs)]
 
     def residual_and_jacobian(self, x: np.ndarray, fixed: Dict[str, float],
-                              gmin: float):
-        """KCL residual and its Jacobian at ``x``."""
+                              gmin: float,
+                              tail: Optional[np.ndarray] = None):
+        """KCL residual and its Jacobian at ``x``.
+
+        ``tail`` optionally carries :meth:`fixed_tail`'s result so
+        repeated solves against the same ``fixed`` dict skip the
+        dict-to-array packing (the ``newton`` loop hoists it).
+        """
+        if self.assembly == "loop":
+            return self._residual_and_jacobian_loop(x, fixed, gmin)
+        f = np.zeros(self.n)
+        jac = np.zeros((self.n, self.n))
+        volts_full = self.full_volts(x, fixed, tail)
+        self.bank_assembly().accumulate(f, jac, volts_full, x, fixed,
+                                        _FD_STEP)
+        if gmin > 0.0:
+            f += gmin * x
+            jac[np.diag_indices(self.n)] += gmin
+        return f, jac
+
+    def _residual_and_jacobian_loop(self, x: np.ndarray,
+                                    fixed: Dict[str, float], gmin: float):
+        """Reference per-device assembly loop (``assembly="loop"``)."""
         f = np.zeros(self.n)
         jac = np.zeros((self.n, self.n))
         for d, device in enumerate(self.circuit.devices):
@@ -104,7 +185,20 @@ class System:
         return f, jac
 
     def residual_only(self, x: np.ndarray, fixed: Dict[str, float],
-                      gmin: float) -> np.ndarray:
+                      gmin: float,
+                      tail: Optional[np.ndarray] = None) -> np.ndarray:
+        if self.assembly == "loop":
+            return self._residual_only_loop(x, fixed, gmin)
+        f = np.zeros(self.n)
+        volts_full = self.full_volts(x, fixed, tail)
+        self.bank_assembly().accumulate(f, None, volts_full, x, fixed,
+                                        _FD_STEP)
+        if gmin > 0.0:
+            f += gmin * x
+        return f
+
+    def _residual_only_loop(self, x: np.ndarray, fixed: Dict[str, float],
+                            gmin: float) -> np.ndarray:
         f = np.zeros(self.n)
         for d, device in enumerate(self.circuit.devices):
             idxs = self.dev_terms[d]
@@ -120,6 +214,17 @@ class System:
     def fixed_node_currents(self, x: np.ndarray,
                             fixed: Dict[str, float]) -> Dict[str, float]:
         """Total device current drawn out of each fixed node."""
+        if self.assembly == "loop":
+            return self._fixed_node_currents_loop(x, fixed)
+        volts_full = self.full_volts(x, fixed)
+        totals = self.bank_assembly().fixed_totals(volts_full, x, fixed)
+        out: Dict[str, float] = {node: 0.0 for node in fixed}
+        for name, pos in self.fixed_pos.items():
+            out[name] = float(totals[pos])
+        return out
+
+    def _fixed_node_currents_loop(self, x: np.ndarray,
+                                  fixed: Dict[str, float]) -> Dict[str, float]:
         totals: Dict[str, float] = {node: 0.0 for node in fixed}
         for d, device in enumerate(self.circuit.devices):
             idxs = self.dev_terms[d]
@@ -154,14 +259,15 @@ class System:
         x = x0.copy()
         vmax = max([0.0] + list(fixed.values())) + 1.0
         vmin = min([0.0] + list(fixed.values())) - 1.0
+        tail = self.fixed_tail(fixed) if self.assembly == "bank" else None
         last_res = np.inf
         for iteration in range(maxiter):
-            f, jac = self.residual_and_jacobian(x, fixed, gmin)
+            f, jac = self.residual_and_jacobian(x, fixed, gmin, tail=tail)
             if extra is not None:
                 f_extra, j_extra = extra(x)
                 f = f + f_extra
                 jac = jac + j_extra
-            last_res = float(np.max(np.abs(f)))
+            last_res = float(abs(f).max()) if f.size else 0.0
             stats.iterations = iteration + 1
             stats.residual = last_res
             if not np.isfinite(last_res):
@@ -177,19 +283,23 @@ class System:
             except np.linalg.LinAlgError:
                 stats.singular_jacobian_events += 1
                 self.singular_jacobian_events += 1
-                dx, *_ = np.linalg.lstsq(jac + 1e-12 * np.eye(self.n), -f,
-                                         rcond=None)
+                # Tikhonov term added in place on a copy: same regularised
+                # matrix as `jac + 1e-12*eye(n)` without materialising an
+                # n*n identity on every singular event.
+                jac_reg = jac.copy()
+                jac_reg.flat[::self.n + 1] += 1e-12
+                dx, *_ = np.linalg.lstsq(jac_reg, -f, rcond=None)
             if not np.all(np.isfinite(dx)):
                 self._note_solve(stats)
                 raise ConvergenceError(
                     f"Newton produced a non-finite update at iteration "
                     f"{iteration + 1}", iterations=iteration + 1,
                     residual=last_res)
-            step = float(np.max(np.abs(dx))) if dx.size else 0.0
+            step = float(abs(dx).max()) if dx.size else 0.0
             if step > _DAMP_LIMIT:
                 dx *= _DAMP_LIMIT / step
                 step = _DAMP_LIMIT
-            x = np.clip(x + dx, vmin, vmax)
+            x = np.minimum(np.maximum(x + dx, vmin), vmax)
             if last_res < abstol and step < steptol:
                 stats.converged = True
                 self._note_solve(stats)
@@ -278,9 +388,20 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
     fixed = circuit.fixed_nodes(t)
     x0 = _initial_guess(sys_, fixed)
     if guess:
+        bad = []
         for node, volt in guess.items():
-            if node in sys_.index:
-                x0[sys_.index[node]] = volt
+            canon = canonical_node(node)
+            if canon in sys_.index:
+                x0[sys_.index[canon]] = volt
+            elif canon not in fixed:
+                # A typo here used to silently degrade the warm start;
+                # fixed-node entries stay tolerated (their value is pinned
+                # by the source anyway), anything else is an error.
+                bad.append(node)
+        if bad:
+            raise CircuitError(
+                f"guess names {sorted(bad)} are not nodes of circuit "
+                f"{circuit.name!r} (unknowns: {sorted(sys_.index)})")
     with tele.span("spice.dc.solve", circuit=circuit.name, t=t,
                    unknowns=sys_.n) as span:
         x, diagnostics = solve_with_recovery(sys_, fixed, x0, policy=policy,

@@ -12,6 +12,14 @@ Every conductive device implements a uniform interface:
 
 The Newton solver differentiates ``currents`` by finite differences, so
 devices only need to provide well-behaved current equations.
+
+``currents`` is the *extensibility* interface, not the hot path: the
+default assembly evaluates exact :class:`Mosfet` / :class:`Resistor` /
+:class:`ISource` instances in vectorized class banks
+(:mod:`repro.spice.banks`) that reproduce this method's arithmetic
+device for device.  Subclasses that override ``currents`` are detected
+by concrete type and automatically routed through the reference
+per-device loop instead, so overriding it remains safe.
 """
 
 from __future__ import annotations

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import DeviceError
 from ..tech.params import MosParams, VT_THERMAL
 
@@ -56,6 +58,90 @@ def ekv_interp(x: float) -> float:
     """EKV interpolation function ``ln(1 + exp(x/2))**2``."""
     s = softplus(0.5 * x)
     return s * s
+
+
+def softplus_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`softplus` with the same branch structure.
+
+    The clamp keeps ``exp`` from overflowing on entries the branches
+    replace anyway, so the piecewise result matches the scalar function
+    branch for branch.
+    """
+    clipped = np.minimum(np.maximum(x, -35.0), 35.0)
+    mid = np.log1p(np.exp(clipped))
+    out = np.where(x > 35.0, x, mid)
+    return np.where(x < -35.0, np.exp(np.minimum(x, 0.0)), out)
+
+
+def ekv_interp_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`ekv_interp` over a device-axis array."""
+    s = softplus_vec(0.5 * x)
+    return s * s
+
+
+def batched_ids(vd, vg, vs, vb, sign, vt0, gamma_b, vp_den, ispec, ut,
+                lam) -> np.ndarray:
+    """Drain currents of a whole MOSFET bank in one vectorized call.
+
+    All arguments are arrays over the device axis: terminal voltages in
+    the :class:`~repro.spice.devices.Mosfet` convention plus the
+    per-device parameter vectors from :meth:`MosfetModel.bank_params`.
+    PMOS devices are mirrored through ``sign = -1`` exactly as the
+    scalar :meth:`MosfetModel.ids` does, so the arithmetic (and hence
+    the Newton trajectory built on it) follows the scalar model
+    operation for operation.
+    """
+    # sign is exactly +-1.0, so sign*(a-b) == sign*a - sign*b bit for
+    # bit; folding the mirror into the differences saves dispatches.
+    vgb = (vg - vb) * sign
+    vsb = (vs - vb) * sign
+    vdb = (vd - vb) * sign
+    vds = (vd - vs) * sign
+    arg = np.maximum(BULK_PHI + vsb, _PHI_FLOOR)
+    vt_eff = vt0 + gamma_b * (np.sqrt(arg) - math.sqrt(BULK_PHI))
+    vp = (vgb - vt_eff) * vp_den
+    xf = (vp - vsb) / ut
+    xr = (vp - vdb) / ut
+    both = np.empty((2,) + np.shape(xf))
+    both[0] = xf
+    both[1] = xr
+    interp = ekv_interp_vec(both)
+    current = ispec * (interp[0] - interp[1])
+    current = current * (1.0 + lam * vds)
+    return sign * current
+
+
+def batched_currents_and_derivs(volts: np.ndarray, h: float, sign, vt0,
+                                gamma_b, vp_den, ispec, ut, lam):
+    """Channel currents and forward-difference partials for a bank.
+
+    ``volts`` is ``(M, 4)`` in terminal order ``(d, g, s, b)``.  Returns
+    ``(ids, derivs)`` with ``derivs[:, k] = d(ids)/d(v_k)`` computed by
+    the same forward difference (step ``h``) the reference per-device
+    loop uses.  The base point and the four perturbed points are stacked
+    on a leading axis and evaluated in a *single* :func:`batched_ids`
+    call — for cell-sized banks the cost is ufunc dispatch, not floating
+    point, so one call over ``(5, M)`` beats five calls over ``(M,)``.
+    """
+    try:
+        pert = _PERT_CACHE[h]
+    except KeyError:
+        pert = np.zeros((5, 1, 4))
+        for k in range(4):
+            pert[k + 1, 0, k] = h
+        _PERT_CACHE[h] = pert
+    stacked = volts + pert  # (5, M, 4): base point + one step per terminal
+    ids = batched_ids(stacked[:, :, 0], stacked[:, :, 1], stacked[:, :, 2],
+                      stacked[:, :, 3], sign, vt0, gamma_b, vp_den, ispec,
+                      ut, lam)
+    base = ids[0]
+    derivs = ((ids[1:] - base) / h).T
+    return base, derivs
+
+
+#: (5, 1, 4) perturbation tensors keyed by FD step (see
+#: :func:`batched_currents_and_derivs`).
+_PERT_CACHE: dict = {}
 
 
 class MosfetModel:
@@ -123,6 +209,22 @@ class MosfetModel:
         # and negligible for the small |vds| excursions of MCML internals.
         current *= 1.0 + self.params.lam * (vd - vs)
         return current
+
+    # -- bank evaluation ------------------------------------------------------
+
+    def bank_params(self) -> dict:
+        """Scalar parameters for the batched bank path, keyed like the
+        keyword arguments of :func:`batched_ids`."""
+        p = self.params
+        return {
+            "sign": 1.0 if p.is_nmos else -1.0,
+            "vt0": p.vt0,
+            "gamma_b": p.gamma_b,
+            "vp_den": self._vp_den,
+            "ispec": self.ispec,
+            "ut": self.ut,
+            "lam": p.lam,
+        }
 
     # -- small-signal conveniences (used by bias solvers and tests) ---------
 

@@ -21,6 +21,13 @@ recorded in a :class:`SolverDiagnostics` that is attached to the
 resulting :class:`~repro.spice.dc.OperatingPoint` on success and to the
 :class:`~repro.errors.ConvergenceError` on failure — a failed solve is
 never silent about what was tried.
+
+The ladder is assembly-agnostic: it drives ``System.newton`` through the
+same interface whether the system assembles residuals with the
+vectorized device banks (:mod:`repro.spice.banks`, the default) or the
+reference per-device loop, and the diagnostics it records (attempts,
+iterations, residuals, singular-Jacobian events) carry identical
+semantics under either strategy.
 """
 
 from __future__ import annotations

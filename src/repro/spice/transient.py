@@ -20,7 +20,7 @@ import numpy as np
 
 from ..errors import CircuitError, ConvergenceError
 from ..obs import NULL_TELEMETRY
-from .circuit import Circuit
+from .circuit import Circuit, canonical_node
 from .dc import OperatingPoint, System, solve_dc
 from .waveform import Waveform
 
@@ -81,9 +81,27 @@ class TransientResult:
 
 
 class _CompanionCaps:
-    """Capacitor companion-model bookkeeping for one circuit."""
+    """Capacitor companion-model bookkeeping for one circuit.
+
+    Vectorized like the device banks (:mod:`repro.spice.banks`): the
+    capacitor list is flattened to index arrays into the packed voltage
+    vector ``System.full_volts`` builds, so each Newton ``extra`` call is
+    a handful of array operations instead of a Python loop over entries.
+    The companion Jacobian is constant over a time step (it only depends
+    on ``geq = factor*c/dt`` and the node incidence), so
+    :meth:`make_extra` builds it once and the closure reuses it across
+    Newton iterations.
+
+    Commit discipline: :meth:`step_currents` computes the per-entry
+    companion currents of a candidate accepted step *without* touching
+    state; :meth:`commit_currents` stores exactly one such vector as the
+    new ``_i_prev``.  The transient engine calls ``commit_currents``
+    exactly once per accepted step, whichever method the step ends up
+    using (see the ringing path in ``advance_interval``).
+    """
 
     def __init__(self, system: System, circuit: Circuit):
+        self.system = system
         self.entries: List[Tuple[int, Optional[str], int, Optional[str], float]] = []
         for a, b, c in circuit.linear_capacitances():
             ia = system.index.get(a, -1)
@@ -94,21 +112,95 @@ class _CompanionCaps:
                                  ib, b if ib < 0 else None, c))
         self.all_caps = circuit.linear_capacitances()
         self._i_prev: Optional[np.ndarray] = None  # per-entry, for trapezoidal
+        # Flat packed-vector indices: unknown -> its row, fixed -> n + pos.
+        n = system.n
 
-    def _volt(self, idx: int, name: Optional[str], x: np.ndarray,
-              fixed: Dict[str, float]) -> float:
-        return x[idx] if idx >= 0 else fixed[name]
+        def packed(idx: int, name: Optional[str]) -> int:
+            return idx if idx >= 0 else n + system.fixed_pos[name]
+
+        self.ja = np.array([packed(ia, na) for ia, na, _, _, _ in self.entries],
+                           dtype=int)
+        self.jb = np.array([packed(ib, nb) for _, _, ib, nb, _ in self.entries],
+                           dtype=int)
+        self.cvec = np.array([c for *_, c in self.entries])
+        ia_arr = np.array([e[0] for e in self.entries], dtype=int)
+        ib_arr = np.array([e[2] for e in self.entries], dtype=int)
+        self._ua = ia_arr >= 0
+        self._ub = ib_arr >= 0
+        self._rows_a = ia_arr[self._ua]
+        self._rows_b = ib_arr[self._ub]
+        both = self._ua & self._ub
+        self._rows_ab = ia_arr[both]
+        self._cols_ab = ib_arr[both]
+        self._both = both
+        # Dense incidence (n, E): the residual deposit collapses to one
+        # matrix-vector product per Newton iteration.
+        self._s_extra = np.zeros((n, len(self.entries)))
+        for k, (ia, _, ib, _, _) in enumerate(self.entries):
+            if ia >= 0:
+                self._s_extra[ia, k] += 1.0
+            if ib >= 0:
+                self._s_extra[ib, k] -= 1.0
 
     def start(self) -> None:
         self._i_prev = np.zeros(len(self.entries))
+
+    def _v_diff(self, x: np.ndarray, fixed: Dict[str, float]) -> np.ndarray:
+        """Per-entry voltage across each capacitor (a minus b)."""
+        v = self.system.full_volts(x, fixed)
+        return v[self.ja] - v[self.jb]
 
     def make_extra(self, x_prev: np.ndarray, fixed_prev: Dict[str, float],
                    fixed_now: Dict[str, float], dt: float, method: str,
                    n: int):
         """Build the Newton ``extra`` callback for one time step."""
+        if self.system.assembly == "loop":
+            return self._make_extra_loop(x_prev, fixed_prev, fixed_now, dt,
+                                         method, n)
+        if not self.entries:
+            f0 = np.zeros(n)
+            j0 = np.zeros((n, n))
+            return lambda x: (f0, j0)
+        v_prev = self._v_diff(x_prev, fixed_prev)
+        i_prev = self._i_prev if self._i_prev is not None else np.zeros(
+            len(self.entries))
+        factor = 1.0 if method == "be" else 2.0
+        geq = factor * self.cvec / dt
+        # The companion Jacobian never changes within the step: stamp it
+        # once and let every Newton iteration reuse it (`newton` adds it
+        # to the device Jacobian without mutating it).
+        jac = np.zeros((n, n))
+        np.add.at(jac, (self._rows_a, self._rows_a), geq[self._ua])
+        np.add.at(jac, (self._rows_b, self._rows_b), geq[self._ub])
+        np.add.at(jac, (self._rows_ab, self._cols_ab), -geq[self._both])
+        np.add.at(jac, (self._cols_ab, self._rows_ab), -geq[self._both])
+        tail_now = self.system.fixed_tail(fixed_now)
+        s_extra = self._s_extra
+        system = self.system
+        ja, jb = self.ja, self.jb
+        trap = method == "trap"
+
+        def extra(x: np.ndarray):
+            v = system.full_volts(x, fixed_now, tail_now)
+            i_now = geq * ((v[ja] - v[jb]) - v_prev)
+            if trap:
+                i_now = i_now - i_prev
+            return s_extra @ i_now, jac
+
+        return extra
+
+    def _make_extra_loop(self, x_prev: np.ndarray,
+                         fixed_prev: Dict[str, float],
+                         fixed_now: Dict[str, float], dt: float, method: str,
+                         n: int):
+        """Reference per-entry ``extra`` (``assembly="loop"``), kept
+        verbatim from the pre-bank engine."""
+
+        def volt(idx, name, x, fixed):
+            return x[idx] if idx >= 0 else fixed[name]
+
         v_prev = np.array([
-            self._volt(ia, na, x_prev, fixed_prev)
-            - self._volt(ib, nb, x_prev, fixed_prev)
+            volt(ia, na, x_prev, fixed_prev) - volt(ib, nb, x_prev, fixed_prev)
             for ia, na, ib, nb, _ in self.entries
         ])
         i_prev = self._i_prev if self._i_prev is not None else np.zeros(
@@ -120,8 +212,8 @@ class _CompanionCaps:
             jac = np.zeros((n, n))
             for k, (ia, na, ib, nb, c) in enumerate(self.entries):
                 geq = factor * c / dt
-                v_now = (self._volt(ia, na, x, fixed_now)
-                         - self._volt(ib, nb, x, fixed_now))
+                v_now = (volt(ia, na, x, fixed_now)
+                         - volt(ib, nb, x, fixed_now))
                 i_now = geq * (v_now - v_prev[k])
                 if method == "trap":
                     i_now -= i_prev[k]
@@ -139,25 +231,36 @@ class _CompanionCaps:
 
         return extra
 
+    def step_currents(self, x: np.ndarray, x_prev: np.ndarray,
+                      fixed_now: Dict[str, float],
+                      fixed_prev: Dict[str, float], dt: float,
+                      method: str) -> np.ndarray:
+        """Per-entry companion currents of a candidate accepted step.
+
+        Pure: reads ``_i_prev`` (for the trapezoidal history term) but
+        never writes it — pass the result to :meth:`commit_currents`
+        once the step is final.
+        """
+        factor = 1.0 if method == "be" else 2.0
+        i_prev = self._i_prev if self._i_prev is not None else np.zeros(
+            len(self.entries))
+        geq = factor * self.cvec / dt
+        i_new = geq * (self._v_diff(x, fixed_now)
+                       - self._v_diff(x_prev, fixed_prev))
+        if method == "trap":
+            i_new = i_new - i_prev
+        return i_new
+
+    def commit_currents(self, i_new: np.ndarray) -> None:
+        """Store the accepted step's currents; call exactly once per step."""
+        self._i_prev = i_new
+
     def commit(self, x: np.ndarray, x_prev: np.ndarray,
                fixed_now: Dict[str, float], fixed_prev: Dict[str, float],
                dt: float, method: str) -> None:
         """Record per-entry currents after a converged step (trapezoidal)."""
-        factor = 1.0 if method == "be" else 2.0
-        i_new = np.zeros(len(self.entries))
-        i_prev = self._i_prev if self._i_prev is not None else np.zeros(
-            len(self.entries))
-        for k, (ia, na, ib, nb, c) in enumerate(self.entries):
-            geq = factor * c / dt
-            v_now = self._volt(ia, na, x, fixed_now) - self._volt(
-                ib, nb, x, fixed_now)
-            v_old = self._volt(ia, na, x_prev, fixed_prev) - self._volt(
-                ib, nb, x_prev, fixed_prev)
-            i = geq * (v_now - v_old)
-            if method == "trap":
-                i -= i_prev[k]
-            i_new[k] = i
-        self._i_prev = i_new
+        self.commit_currents(self.step_currents(x, x_prev, fixed_now,
+                                                fixed_prev, dt, method))
 
     def fixed_node_currents(self, fixed_names: Sequence[str]) -> Dict[str, float]:
         """Capacitor current drawn out of each fixed node at the last step."""
@@ -222,7 +325,10 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
     Parameters
     ----------
     record:
-        Node names to record (default: every node).
+        Node names to record (default: every node).  Names are
+        canonicalised (ground aliases fold to ``"0"``); a name that is
+        not a node of the circuit raises :class:`CircuitError` instead
+        of silently recording 0.0.
     method:
         ``"be"`` (backward Euler, default — robust) or ``"trap"``
         (trapezoidal — second order, used by the oscillation-sensitive
@@ -265,7 +371,21 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
         caps = _CompanionCaps(system, circuit)
         caps.start()
 
-        record_nodes = list(record) if record is not None else circuit.all_nodes()
+        if record is not None:
+            # Unknown names used to silently record 0.0 (the old
+            # fixed_now.get default) — validate up front instead.
+            known = set(circuit.all_nodes())
+            record_nodes = list(dict.fromkeys(record))
+            canon_of = {node: canonical_node(node) for node in record_nodes}
+            bad = sorted(node for node, canon in canon_of.items()
+                         if canon not in known)
+            if bad:
+                raise CircuitError(
+                    f"record names {bad} are not nodes of circuit "
+                    f"{circuit.name!r}; known nodes: {sorted(known)}")
+        else:
+            record_nodes = circuit.all_nodes()
+            canon_of = {node: node for node in record_nodes}
         grid = _time_grid(tstop, dt, circuit.stimulus_breakpoints())
         stats = TransientStats(grid_points=len(grid))
 
@@ -279,10 +399,11 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
 
         def snapshot(x_now: np.ndarray, fixed_now: Dict[str, float]) -> None:
             for node in record_nodes:
-                if node in system.index:
-                    volt_hist[node].append(float(x_now[system.index[node]]))
+                canon = canon_of[node]
+                if canon in system.index:
+                    volt_hist[node].append(float(x_now[system.index[canon]]))
                 else:
-                    volt_hist[node].append(fixed_now.get(node, 0.0))
+                    volt_hist[node].append(fixed_now[canon])
             dev_currents = system.fixed_node_currents(x_now, fixed_now)
             cap_currents = caps.fixed_node_currents(fixed_names)
             for source in circuit.vsources:
@@ -345,22 +466,26 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
                             f"(smallest step {sub:.3g} s)",
                             iterations=err.iterations,
                             residual=err.residual) from err
-                i_prev_saved = caps._i_prev
-                caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub, use_method)
+                # Exactly one commit_currents per accepted step: compute
+                # candidate companion currents without touching _i_prev,
+                # decide which solution the step keeps, then commit once.
+                i_cand = caps.step_currents(x_new, x_cur, fixed_next,
+                                            fixed_cur, sub, use_method)
                 if (detect_ringing and use_method == "trap"
-                        and _trap_ringing(caps._i_prev, i_prev_saved)):
-                    caps._i_prev = i_prev_saved
+                        and _trap_ringing(i_cand, caps._i_prev)):
                     try:
                         x_be = solve_substep(t_next, sub, x_cur, fixed_cur,
                                              fixed_next, "be")
                     except ConvergenceError:
-                        caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub,
-                                    use_method)
+                        # BE redo failed: keep the converged trap step.
+                        caps.commit_currents(i_cand)
                     else:
                         x_new = x_be
-                        caps.commit(x_new, x_cur, fixed_next, fixed_cur, sub,
-                                    "be")
+                        caps.commit_currents(caps.step_currents(
+                            x_new, x_cur, fixed_next, fixed_cur, sub, "be"))
                         stats.ringing_fallback_steps += 1
+                else:
+                    caps.commit_currents(i_cand)
                 pending.pop()
                 t_cur, x_cur, fixed_cur = t_next, x_new, fixed_next
                 stats.steps_taken += 1

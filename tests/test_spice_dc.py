@@ -183,3 +183,33 @@ class TestNonlinearSolves:
         c.resistor("r2", "mid", "0", 1e3)
         op = solve_dc(c, guess={"mid": 0.6})
         assert op["mid"] == pytest.approx(0.6, abs=1e-6)
+
+
+class TestGuessValidation:
+    @staticmethod
+    def divider():
+        c = Circuit("div")
+        c.v("vdd", "vdd", VDD)
+        c.resistor("r1", "vdd", "mid", 1e3)
+        c.resistor("r2", "mid", "0", 1e3)
+        return c
+
+    def test_unknown_guess_name_raises(self):
+        # A typo here used to silently degrade the warm start.
+        with pytest.raises(CircuitError, match="guess names"):
+            solve_dc(self.divider(), guess={"midd": 0.6})
+
+    def test_error_names_circuit_and_offenders(self):
+        with pytest.raises(CircuitError) as err:
+            solve_dc(self.divider(), guess={"nope": 0.1, "mid": 0.6})
+        assert "nope" in str(err.value) and "div" in str(err.value)
+
+    def test_fixed_node_guess_tolerated(self):
+        # Source-pinned nodes are allowed (their value is fixed anyway).
+        op = solve_dc(self.divider(), guess={"vdd": 0.3, "mid": 0.6})
+        assert op["vdd"] == pytest.approx(VDD)
+        assert op["mid"] == pytest.approx(VDD / 2, abs=1e-6)
+
+    def test_ground_alias_guess(self):
+        op = solve_dc(self.divider(), guess={"gnd": 0.0})
+        assert op["mid"] == pytest.approx(VDD / 2, abs=1e-6)

@@ -167,3 +167,84 @@ class TestInverterTransient:
         op = solve_dc(ckt)
         res = run_transient(ckt, tstop=ns(1), dt=ps(10), ic=op)
         assert res.wave("out").v[0] == pytest.approx(op["out"], abs=1e-6)
+
+
+class TestRecordValidation:
+    def test_unknown_record_name_raises(self):
+        # Pre-fix behaviour silently recorded 0.0 for the typo.
+        with pytest.raises(CircuitError, match="record names"):
+            run_transient(rc_circuit(), tstop=ns(1), dt=ps(100),
+                          record=["outt"])
+
+    def test_error_lists_every_offender(self):
+        with pytest.raises(CircuitError) as err:
+            run_transient(rc_circuit(), tstop=ns(1), dt=ps(100),
+                          record=["out", "bogus1", "bogus2"])
+        assert "bogus1" in str(err.value) and "bogus2" in str(err.value)
+
+    def test_ground_alias_records_zero(self):
+        # Aliases fold to the canonical ground node instead of erroring.
+        res = run_transient(rc_circuit(), tstop=ns(1), dt=ps(100),
+                            record=["out", "gnd"])
+        assert np.all(np.asarray(res.voltages["gnd"]) == 0.0)
+        assert len(res.wave("out").v) == len(res.time)
+
+
+class TestTrapRingingCommit:
+    @staticmethod
+    def ringing_circuit():
+        # tau = 100 us vs dt = 50 ns is harmless; what matters is
+        # dt >> 2*tau at the trap scale: R*C = 100 ns, dt = 50 ns with a
+        # 1 ps edge makes the companion currents alternate undamped.
+        ckt = Circuit()
+        ckt.v("vin", "in", Pulse(0.0, 1.0, ns(1), ps(1), ps(1), ns(200)))
+        ckt.resistor("r1", "in", "out", 1e5)
+        ckt.capacitor("c1", "out", "0", 1e-12)
+        return ckt
+
+    def test_ringing_fallback_triggers_on_falling_edge(self):
+        # The rising edge starts from zero companion current (no
+        # alternation possible); the falling edge flips a live current
+        # and trips the detector exactly once.
+        plain = run_transient(self.ringing_circuit(), tstop=ns(400),
+                              dt=ns(50), method="trap")
+        res = run_transient(self.ringing_circuit(), tstop=ns(400), dt=ns(50),
+                            method="trap", detect_ringing=True)
+        assert plain.stats.ringing_fallback_steps == 0
+        assert res.stats.ringing_fallback_steps == 1
+        # The BE redo actually replaced the trap step after the edge.
+        assert abs(res.wave("out").value_at(ns(250))
+                   - plain.wave("out").value_at(ns(250))) > 0.05
+
+    def test_exactly_one_commit_per_accepted_step(self, monkeypatch):
+        """The ringing path used to commit twice (trap then BE) against
+        an already-updated history; pin one commit per accepted step."""
+        from repro.spice import transient as tr
+
+        commits = []
+        original = tr._CompanionCaps.commit_currents
+
+        def counting(self, i_new):
+            commits.append(1)
+            return original(self, i_new)
+
+        monkeypatch.setattr(tr._CompanionCaps, "commit_currents", counting)
+        res = run_transient(self.ringing_circuit(), tstop=ns(400), dt=ns(50),
+                            method="trap", detect_ringing=True)
+        assert res.stats.ringing_fallback_steps >= 1
+        assert len(commits) == res.stats.steps_taken
+
+    def test_exactly_one_commit_without_ringing(self, monkeypatch):
+        from repro.spice import transient as tr
+
+        commits = []
+        original = tr._CompanionCaps.commit_currents
+
+        def counting(self, i_new):
+            commits.append(1)
+            return original(self, i_new)
+
+        monkeypatch.setattr(tr._CompanionCaps, "commit_currents", counting)
+        res = run_transient(rc_circuit(), tstop=ns(4), dt=ps(20),
+                            method="trap")
+        assert len(commits) == res.stats.steps_taken
