@@ -8,11 +8,14 @@ Usage::
     python -m repro all                   # everything (several minutes)
     python -m repro fig3 --csv fig3.csv   # also export the series as CSV
     python -m repro fig6 --trace t.jsonl  # record a structured trace
+    python -m repro fig6 --no-erc         # skip the ERC preflight
+    python -m repro all --solve-budget iters=2000,attempts=3
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict
 
@@ -63,7 +66,23 @@ def main(argv=None) -> int:
                         help="record spans, progress, and a final metrics "
                              "snapshot to a JSONL trace file (see "
                              "repro.obs); stdout output is unchanged")
+    parser.add_argument("--no-erc", action="store_true",
+                        help="skip the electrical-rule preflight at cell "
+                             "build / synthesis / campaign start "
+                             "(sets REPRO_ERC=off)")
+    parser.add_argument("--solve-budget", metavar="SPEC",
+                        help="deterministic runaway-solve caps, e.g. "
+                             "'2000' (Newton iterations) or "
+                             "'iters=2000,attempts=3,rejections=64,"
+                             "steps=200000' (sets REPRO_SOLVE_BUDGET)")
     args = parser.parse_args(argv)
+
+    if args.no_erc:
+        os.environ["REPRO_ERC"] = "off"
+    if args.solve_budget:
+        from .spice import SolveBudget
+        os.environ["REPRO_SOLVE_BUDGET"] = args.solve_budget
+        SolveBudget.from_env()  # fail fast on an unparsable spec
 
     if args.target == "list":
         print("available targets:")

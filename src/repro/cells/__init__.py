@@ -40,6 +40,7 @@ from .library import (
     build_cmos_library,
     build_mcml_library,
     build_pg_mcml_library,
+    preflight_library,
 )
 from .io import load_library, save_library, library_to_dict, library_from_dict
 from .liberty import write_liberty
@@ -72,6 +73,7 @@ __all__ = [
     "build_cmos_library",
     "build_mcml_library",
     "build_pg_mcml_library",
+    "preflight_library",
     "load_library",
     "save_library",
     "library_to_dict",

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 from ..errors import CellError
 from ..spice import Circuit
+from ..spice.erc import erc_enabled, erc_preflight
 from ..tech import Technology, TECH90
 from ..units import um
 from .functions import CellFunction, function
@@ -60,7 +61,8 @@ class CmosCellGenerator:
         self.sizing = sizing or CmosSizing()
 
     def build(self, fn_name: str, circuit: Optional[Circuit] = None,
-              prefix: str = "", load_cap: float = 0.0) -> CmosCellCircuit:
+              prefix: str = "", load_cap: float = 0.0,
+              erc: Optional[bool] = None) -> CmosCellCircuit:
         fn = function(fn_name)
         own = circuit is None
         ckt = circuit or Circuit(f"cmos_{fn_name.lower()}")
@@ -88,7 +90,18 @@ class CmosCellGenerator:
         if load_cap > 0.0:
             for out, net in output_nets.items():
                 ckt.capacitor(f"{p}cl_{out.lower()}", net, "0", load_cap)
-        return CmosCellCircuit(ckt, fn, input_nets, output_nets, vdd)
+        cell = CmosCellCircuit(ckt, fn, input_nets, output_nets, vdd)
+        if own and (erc if erc is not None else erc_enabled()):
+            self.erc_check(cell)
+        return cell
+
+    def erc_check(self, cell: CmosCellCircuit, telemetry=None):
+        """ERC-preflight ``cell`` (raises :class:`ErcError` on violations)."""
+        return erc_preflight(cell.circuit, rails=[cell.vdd_net],
+                             style=self.style,
+                             ports=list(cell.input_nets.values())
+                             + list(cell.output_nets.values()),
+                             telemetry=telemetry)
 
     # -- device helpers --------------------------------------------------------
 

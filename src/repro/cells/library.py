@@ -356,3 +356,38 @@ def characterize_library_cell(library: Library, cell_name: str,
         wake_time=cell.power.wake_time,
     )
     return cell.with_measurement(DelayModel(intrinsic, drive_res), power)
+
+
+#: Style-representative functions the library preflight elaborates: a
+#: combinational cell, a stacked cell, and a sequential cell cover every
+#: distinct transistor template the generators emit.
+_PREFLIGHT_MCML = ("BUF", "NAND2", "DLATCH")
+_PREFLIGHT_CMOS = ("INV", "NAND2", "MUX2")
+
+
+def preflight_library(library: Library, telemetry=None) -> List:
+    """ERC the library's transistor templates before a long flow starts.
+
+    Builds style-representative cells with ``library``'s generator and
+    runs the :mod:`repro.spice.erc` preflight on each, raising
+    :class:`~repro.errors.ErcError` on the first violation.  Called at
+    synthesis and campaign start (both have ``erc`` opt-outs) so a
+    mis-generated template is caught in milliseconds instead of hours
+    into an acquisition run.
+    """
+    from .cmos import CmosCellGenerator
+
+    reports = []
+    if library.style == "cmos":
+        generator = CmosCellGenerator(library.tech)
+        for name in _PREFLIGHT_CMOS:
+            cell = generator.build(name, erc=False)
+            reports.append(generator.erc_check(cell, telemetry=telemetry))
+    else:
+        gen_cls = (PgMcmlCellGenerator if library.style == "pgmcml"
+                   else McmlCellGenerator)
+        generator = gen_cls(library.tech)
+        for name in _PREFLIGHT_MCML:
+            cell = generator.build(function(name), erc=False)
+            reports.append(generator.erc_check(cell, telemetry=telemetry))
+    return reports

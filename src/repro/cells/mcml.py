@@ -32,6 +32,7 @@ from typing import Dict, Optional, Tuple
 from ..bdd import Manager, ONE_INDEX, ZERO_INDEX
 from ..errors import CellError
 from ..spice import Circuit
+from ..spice.erc import erc_enabled, erc_preflight
 from ..tech import Technology, TECH90
 from ..units import um
 from .functions import CellFunction
@@ -150,16 +151,24 @@ class McmlCellGenerator:
     # -- public API -----------------------------------------------------------
 
     def build(self, fn: CellFunction, circuit: Optional[Circuit] = None,
-              prefix: str = "", load_cap: float = 0.0) -> McmlCellCircuit:
+              prefix: str = "", load_cap: float = 0.0,
+              erc: Optional[bool] = None) -> McmlCellCircuit:
         """Generate the transistor netlist of ``fn``.
 
         When ``circuit`` is given the devices are added to it (with
         ``prefix`` namespacing every net and device); otherwise a fresh
         circuit is created.  ``load_cap`` attaches an identical capacitor
         to each output rail.
+
+        Standalone builds (no ``circuit``) run the ERC preflight on the
+        finished netlist; ``erc=False`` (or ``REPRO_ERC=off``) skips it.
+        Composite builds are the caller's responsibility to check once
+        the shared circuit is complete.
         """
         if fn.sequential:
-            return self._build_latch(fn, circuit, prefix, load_cap)
+            return self._erc_finish(
+                self._build_latch(fn, circuit, prefix, load_cap),
+                circuit is None, erc)
         own = circuit is None
         ckt = circuit or Circuit(f"{self.style}_{fn.name.lower()}")
         p = f"{prefix}{fn.name.lower()}_" if prefix or not own else ""
@@ -189,11 +198,46 @@ class McmlCellGenerator:
                 ckt.capacitor(f"{p}cl_{out.lower()}_p", net_p, "0", load_cap)
                 ckt.capacitor(f"{p}cl_{out.lower()}_n", net_n, "0", load_cap)
 
-        return McmlCellCircuit(
-            circuit=ckt, function=fn, sizing=self.sizing,
-            input_nets=input_nets, output_nets=output_nets,
-            vdd_net=vdd, vn_net=vn, vp_net=vp, depth=max_depth,
-            n_pairs=total_pairs)
+        return self._erc_finish(
+            McmlCellCircuit(
+                circuit=ckt, function=fn, sizing=self.sizing,
+                input_nets=input_nets, output_nets=output_nets,
+                vdd_net=vdd, vn_net=vn, vp_net=vp, depth=max_depth,
+                n_pairs=total_pairs),
+            own, erc)
+
+    # -- ERC preflight ---------------------------------------------------------
+
+    def erc_style(self) -> str:
+        """The rule family :func:`repro.spice.erc.check_circuit` applies."""
+        return self.style
+
+    def _erc_ports(self, cell: McmlCellCircuit) -> list:
+        """Every externally-driven net of a standalone cell."""
+        ports = []
+        for nets in cell.input_nets.values():
+            ports.extend(nets if isinstance(nets, tuple) else (nets,))
+        for nets in cell.output_nets.values():
+            ports.extend(nets if isinstance(nets, tuple) else (nets,))
+        for net in (getattr(cell, "vn_net", None),
+                    getattr(cell, "vp_net", None),
+                    getattr(cell, "sleep_net", None)):
+            if net:
+                ports.append(net)
+        return ports
+
+    def erc_check(self, cell: McmlCellCircuit, telemetry=None):
+        """ERC-preflight ``cell`` (raises :class:`ErcError` on violations)."""
+        return erc_preflight(cell.circuit, rails=[cell.vdd_net],
+                             style=self.erc_style(),
+                             ports=self._erc_ports(cell),
+                             telemetry=telemetry)
+
+    def _erc_finish(self, cell: McmlCellCircuit, own: bool,
+                    erc: Optional[bool]) -> McmlCellCircuit:
+        if own and (erc if erc is not None else erc_enabled()):
+            self.erc_check(cell)
+        return cell
 
     # -- internals -------------------------------------------------------------
 

@@ -75,13 +75,23 @@ class PgMcmlCellGenerator(McmlCellGenerator):
         self.topology = topology
 
     def build(self, fn: CellFunction, circuit: Optional[Circuit] = None,
-              prefix: str = "", load_cap: float = 0.0) -> McmlCellCircuit:
-        cell = super().build(fn, circuit, prefix, load_cap)
+              prefix: str = "", load_cap: float = 0.0,
+              erc: Optional[bool] = None) -> McmlCellCircuit:
+        # ERC must see the finished (gated) netlist, so the intermediate
+        # MCML build is never checked: erc=False here, preflight below.
+        cell = super().build(fn, circuit, prefix, load_cap, erc=False)
         p = self._net_prefix(fn, prefix, circuit is None)
         sleep_net = "sleep" if circuit is None else f"{p}sleep"
         self._insert_power_gate(cell, sleep_net, p)
         cell.sleep_net = sleep_net
-        return cell
+        return self._erc_finish(cell, circuit is None, erc)
+
+    def erc_style(self) -> str:
+        # Only the series-sleep topology (d) has per-tail sleep devices;
+        # the bias-gating ablations are legal MCML as far as ERC goes.
+        if self.topology is PowerGateTopology.SERIES_SLEEP:
+            return "pgmcml"
+        return "mcml"
 
     def _net_prefix(self, fn: CellFunction, prefix: str, own: bool) -> str:
         if own and not prefix:

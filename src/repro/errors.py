@@ -4,21 +4,88 @@ Every package raises exceptions derived from :class:`ReproError` so that
 callers can distinguish library failures from programming errors.  The
 hierarchy mirrors the package structure: circuit-simulation problems,
 cell-generation problems, synthesis problems, and so on.
+
+Every error carries a stable machine-readable ``error_code`` (one per
+class, overridable per raise) and an optional ``context`` dict with the
+structured facts of the failure — device names, node names, budget
+counters, checkpoint paths.  :meth:`ReproError.to_dict` renders both as
+a JSON-safe record, so a failed campaign can log its post-mortem to the
+same JSONL stream as its telemetry (see ``DESIGN.md`` §10 for the error
+code table).
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
+
+def _json_safe(value: Any) -> Any:
+    """Best-effort conversion of a context value to JSON-safe types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        try:
+            return _json_safe(to_dict())
+        except Exception:
+            pass
+    return repr(value)
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` library."""
+    """Base class for all errors raised by the ``repro`` library.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description (the classic exception string).
+    error_code:
+        Stable machine-readable code; defaults to the class's
+        ``default_error_code``.
+    context:
+        Structured facts of the failure (device/node names, counters).
+        Values are made JSON-safe by :meth:`to_dict`.
+    """
+
+    #: Per-class stable code; subclasses override.
+    default_error_code = "E_REPRO"
+
+    def __init__(self, message: str = "", *args,
+                 error_code: Optional[str] = None,
+                 context: Optional[Dict[str, Any]] = None):
+        super().__init__(message, *args)
+        self.error_code = error_code if error_code is not None else \
+            self.default_error_code
+        self.context: Dict[str, Any] = dict(context) if context else {}
+
+    @property
+    def message(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe post-mortem record of this failure."""
+        return {
+            "error": type(self).__name__,
+            "error_code": self.error_code,
+            "message": self.message,
+            "context": _json_safe(self.context),
+        }
 
 
 class UnitsError(ReproError):
     """An engineering-unit string or value could not be interpreted."""
 
+    default_error_code = "E_UNITS"
+
 
 class CircuitError(ReproError):
     """A circuit netlist is malformed (unknown node, duplicate device...)."""
+
+    default_error_code = "E_CIRCUIT"
 
 
 class ConvergenceError(CircuitError):
@@ -29,57 +96,141 @@ class ConvergenceError(CircuitError):
     recovery strategy that was attempted before giving up.
     """
 
+    default_error_code = "E_CONVERGENCE"
+
     def __init__(self, message: str, iterations: int = 0,
-                 residual: float = float("nan"), diagnostics=None):
-        super().__init__(message)
+                 residual: float = float("nan"), diagnostics=None,
+                 error_code: Optional[str] = None,
+                 context: Optional[Dict[str, Any]] = None):
+        super().__init__(message, error_code=error_code, context=context)
         self.iterations = iterations
         self.residual = residual
         self.diagnostics = diagnostics
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = super().to_dict()
+        record["iterations"] = self.iterations
+        record["residual"] = self.residual if self.residual == self.residual \
+            else None  # NaN is not JSON
+        if self.diagnostics is not None:
+            record["diagnostics"] = _json_safe(self.diagnostics)
+        return record
+
+
+class BudgetExhaustedError(ConvergenceError):
+    """A solve exceeded its deterministic :class:`~repro.spice.SolveBudget`.
+
+    Raised instead of spinning forever on a stiff circuit: the budget
+    bounds Newton iterations, recovery-ladder rungs, and transient
+    retries.  ``context`` names the limit that tripped and the counters
+    at the moment of exhaustion; ``diagnostics`` (when the exhaustion
+    happened inside a DC solve) carries the full attempt history.
+    """
+
+    default_error_code = "E_BUDGET_EXHAUSTED"
+
+
+class ErcError(CircuitError):
+    """Electrical-rule-check preflight rejected a circuit.
+
+    ``report`` is the :class:`repro.spice.erc.ErcReport` with every
+    structured finding; ``context`` summarises the violated rules so the
+    error is JSONL-serializable on its own.
+    """
+
+    default_error_code = "E_ERC"
+
+    def __init__(self, message: str, report=None,
+                 error_code: Optional[str] = None,
+                 context: Optional[Dict[str, Any]] = None):
+        super().__init__(message, error_code=error_code, context=context)
+        self.report = report
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = super().to_dict()
+        if self.report is not None:
+            record["report"] = _json_safe(self.report)
+        return record
 
 
 class DeviceError(CircuitError):
     """A device was constructed with invalid parameters."""
 
+    default_error_code = "E_DEVICE"
+
 
 class BDDError(ReproError):
     """Invalid BDD operation (unknown variable, ordering violation...)."""
+
+    default_error_code = "E_BDD"
 
 
 class CellError(ReproError):
     """A standard cell definition or generation step is invalid."""
 
+    default_error_code = "E_CELL"
+
 
 class CharacterizationError(CellError):
     """Cell characterisation failed (no switching observed, bad bias...)."""
+
+    default_error_code = "E_CHARACTERIZATION"
 
 
 class NetlistError(ReproError):
     """A gate-level netlist is malformed."""
 
+    default_error_code = "E_NETLIST"
+
 
 class SimulationError(ReproError):
     """Event-driven logic simulation failed."""
+
+    default_error_code = "E_SIMULATION"
 
 
 class SynthesisError(ReproError):
     """Technology mapping or sleep-insertion failed."""
 
+    default_error_code = "E_SYNTHESIS"
+
 
 class AssemblerError(ReproError):
     """Assembly source could not be assembled."""
+
+    default_error_code = "E_ASSEMBLER"
 
 
 class CPUError(ReproError):
     """The processor simulator hit an illegal state."""
 
+    default_error_code = "E_CPU"
+
 
 class TraceError(ReproError):
     """Power-trace generation or manipulation failed."""
+
+    default_error_code = "E_TRACE"
 
 
 class AttackError(ReproError):
     """A side-channel attack was configured inconsistently."""
 
+    default_error_code = "E_ATTACK"
+
+
+class AcquisitionError(AttackError):
+    """Parallel trace acquisition could not complete.
+
+    Raised when the worker-pool recovery path itself fails (rebuild
+    budget exhausted with no fallback left); transient worker deaths are
+    recovered transparently and never surface as this.
+    """
+
+    default_error_code = "E_ACQUISITION"
+
 
 class CheckpointError(ReproError):
     """A checkpointed experiment run could not be saved or resumed."""
+
+    default_error_code = "E_CHECKPOINT"

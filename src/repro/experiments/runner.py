@@ -18,6 +18,24 @@ from ..errors import CheckpointError, ReproError
 from ..obs import NULL_TELEMETRY
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush a rename to the directory's metadata, where supported.
+
+    Some filesystems (and all of Windows) refuse O_RDONLY directory
+    fds; durability is then best-effort, same as before this helper.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 @dataclass
 class ExperimentRecord:
     """One measured quantity next to its paper value."""
@@ -149,18 +167,28 @@ class CheckpointedRun:
 
     def _save(self, blocks: List[np.ndarray], n_done: int,
               fingerprint: Dict[str, Any], state: Any) -> None:
+        # Crash-durable rename-into-place: the temp file is fsync'd
+        # before os.replace (rename alone orders nothing on power loss —
+        # the new name could point at unwritten blocks), and the
+        # directory is fsync'd after so the rename itself survives.
         directory = os.path.dirname(self.path) or "."
         fd, tmp = tempfile.mkstemp(suffix=".npz", dir=directory)
-        os.close(fd)
         try:
             with self.telemetry.span("checkpoint.save", n_done=n_done), \
                     self.telemetry.timer("checkpoint.save_seconds"):
                 rows = np.vstack(blocks) if blocks else np.zeros((0, 0))
-                np.savez(tmp, rows=rows, n_done=np.int64(n_done),
-                         meta=np.array(json.dumps(fingerprint)),
-                         state=np.array(json.dumps(state)))
+                with os.fdopen(fd, "wb") as handle:
+                    fd = None
+                    np.savez(handle, rows=rows, n_done=np.int64(n_done),
+                             meta=np.array(json.dumps(fingerprint)),
+                             state=np.array(json.dumps(state)))
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, self.path)
+                _fsync_directory(directory)
         except BaseException:
+            if fd is not None:
+                os.close(fd)
             if os.path.exists(tmp):
                 os.remove(tmp)
             raise

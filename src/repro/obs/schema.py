@@ -19,6 +19,8 @@ from ..errors import ReproError
 class SchemaError(ReproError):
     """A telemetry record or stream violates the schema."""
 
+    default_error_code = "E_SCHEMA"
+
 
 _REQUIRED: Dict[str, Dict[str, type]] = {
     "span": {"name": str, "span_id": int, "t_start": float,

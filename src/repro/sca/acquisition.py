@@ -34,13 +34,14 @@ import multiprocessing
 import queue
 import threading
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, \
-    ThreadPoolExecutor
+import weakref
+from concurrent.futures import BrokenExecutor, Executor, \
+    ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import AttackError
+from ..errors import AcquisitionError, AttackError
 from ..obs import NULL_TELEMETRY, MemorySink, Telemetry
 from ..netlist import GateNetlist, LogicSimulator
 from ..power import (
@@ -225,16 +226,22 @@ class AcquisitionPool:
 
     def __init__(self, factory: Callable[[], TraceAcquirer],
                  workers: int = 1, backend: str = "auto",
-                 chunk_size: int = DEFAULT_CHUNK, telemetry=None):
+                 chunk_size: int = DEFAULT_CHUNK, telemetry=None,
+                 max_pool_rebuilds: int = 3):
         if chunk_size < 1:
             raise AttackError(f"chunk_size must be >= 1: {chunk_size}")
+        if max_pool_rebuilds < 0:
+            raise AttackError(
+                f"max_pool_rebuilds must be >= 0: {max_pool_rebuilds}")
         self.backend = resolve_backend(backend, workers)
         self.workers = 1 if self.backend == "serial" else workers
         self.chunk_size = chunk_size
+        self.max_pool_rebuilds = max_pool_rebuilds
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._factory = factory
         self._executor: Optional[Executor] = None
         self._token: Optional[int] = None
+        self._finalizer = None
         self._serial: Optional[TraceAcquirer] = None
         self._thread_acquirers: Optional["queue.SimpleQueue"] = None
         self._thread_local = threading.local()
@@ -248,9 +255,16 @@ class AcquisitionPool:
         self.close()
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
+        self._release_token()
+
+    def _release_token(self) -> None:
+        """Drop this pool's fork-acquirer registry entry (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
         if self._token is not None:
             _FORK_ACQUIRERS.pop(self._token, None)
             self._token = None
@@ -264,12 +278,19 @@ class AcquisitionPool:
             return
         if self.backend == "process":
             # The acquirer must exist before the first submit: workers
-            # fork lazily and inherit it copy-on-write.
-            self._token = next(_POOL_TOKENS)
-            _FORK_ACQUIRERS[self._token] = self._factory()
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("fork"))
+            # fork lazily and inherit it copy-on-write.  The finalizer
+            # reclaims the registry slot even when the pool is abandoned
+            # without close() (e.g. a caller that crashed mid-campaign).
+            token = next(_POOL_TOKENS)
+            _FORK_ACQUIRERS[token] = self._factory()
+            self._token = token
+            self._finalizer = weakref.finalize(
+                self, _FORK_ACQUIRERS.pop, token, None)
+            try:
+                self._executor = self._new_process_executor()
+            except Exception:
+                self._release_token()
+                raise
         else:
             # One acquirer per thread, all built up front in this thread
             # (LogicSimulator construction touches shared netlist caches,
@@ -280,6 +301,11 @@ class AcquisitionPool:
             self._thread_acquirers = acquirers
             self._executor = ThreadPoolExecutor(max_workers=self.workers)
 
+    def _new_process_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("fork"))
+
     def _thread_chunk(self, chunk_index: int, trace_offset: int,
                       plaintexts: List[int], observe: bool,
                       t_submit: float):
@@ -289,6 +315,97 @@ class AcquisitionPool:
             self._thread_local.acquirer = acquirer
         return _instrumented_chunk(acquirer, chunk_index, trace_offset,
                                    plaintexts, observe, t_submit)
+
+    # -- worker-crash recovery -----------------------------------------------
+
+    def _run_thread_jobs(self, jobs, observe: bool) -> List:
+        futures = [self._executor.submit(
+            self._thread_chunk, index, offset, chunk, observe,
+            time.monotonic() if observe else 0.0)
+            for index, offset, chunk in jobs]
+        return [f.result() for f in futures]
+
+    def _run_process_jobs(self, jobs, observe: bool, tele) -> List:
+        """Run chunks on the fork pool, surviving killed workers.
+
+        A dead worker breaks the whole :class:`ProcessPoolExecutor`:
+        every not-yet-finished future raises ``BrokenProcessPool``.
+        Completed chunks keep their results, so only the unfinished
+        chunks are requeued onto a rebuilt executor — and because each
+        chunk is a pure function of ``(chunk_index, trace_offset,
+        plaintexts)`` (counter-based noise, deterministic mismatch), the
+        requeued rerun is byte-identical to what the dead worker would
+        have produced.  After ``max_pool_rebuilds`` rebuilds the pool
+        falls back to the thread backend rather than looping forever
+        against a systematically dying fork environment.
+        """
+        results: Dict[int, Tuple] = {}
+        pending = list(jobs)
+        rebuilds = 0
+        while pending:
+            futures = []
+            lost = []
+            broken = False
+            for job in pending:
+                if broken:
+                    lost.append(job)
+                    continue
+                try:
+                    futures.append((self._executor.submit(
+                        _process_chunk, self._token, job[0], job[1], job[2],
+                        observe, time.monotonic() if observe else 0.0), job))
+                except BrokenExecutor:
+                    broken = True
+                    lost.append(job)
+            for future, job in futures:
+                try:
+                    results[job[0]] = future.result()
+                except BrokenExecutor:
+                    lost.append(job)
+            if not lost:
+                break
+            pending = sorted(lost)
+            tele.counter("sca.acquisition.workers_lost").inc()
+            tele.event("sca.acquisition.worker_lost",
+                       chunks=[j[0] for j in pending],
+                       requeued=len(pending), rebuilds=rebuilds)
+            if rebuilds >= self.max_pool_rebuilds:
+                tele.counter("sca.acquisition.backend_fallbacks").inc()
+                tele.event("sca.acquisition.backend_fallback",
+                           from_backend="process", to_backend="thread",
+                           rebuilds=rebuilds, remaining=len(pending))
+                self._fallback_to_threads()
+                finished = self._run_thread_jobs(pending, observe)
+                for job, result in zip(pending, finished):
+                    results[job[0]] = result
+                break
+            rebuilds += 1
+            self._rebuild_process_executor()
+            tele.counter("sca.acquisition.pool_rebuilds").inc()
+            tele.event("sca.acquisition.pool_rebuilt", rebuild=rebuilds,
+                       requeued=len(pending))
+        missing = [index for index, _, _ in jobs if index not in results]
+        if missing:  # pragma: no cover - defensive
+            raise AcquisitionError(
+                f"chunks never completed: {missing}",
+                context={"chunks": missing, "rebuilds": rebuilds})
+        return [results[index] for index, _, _ in jobs]
+
+    def _rebuild_process_executor(self) -> None:
+        """Replace a broken fork executor; the acquirer token survives."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+        self._executor = self._new_process_executor()
+
+    def _fallback_to_threads(self) -> None:
+        """Permanently demote this pool to the thread backend."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+        self._release_token()
+        self.backend = "thread"
+        self._ensure_started()
 
     # -- acquisition ---------------------------------------------------------
 
@@ -324,17 +441,9 @@ class AcquisitionPool:
                                         time.monotonic() if observe else 0.0)
                     for index, offset, chunk in jobs]
             elif self.backend == "process":
-                futures = [self._executor.submit(
-                    _process_chunk, self._token, index, offset, chunk,
-                    observe, time.monotonic() if observe else 0.0)
-                    for index, offset, chunk in jobs]
-                results = [f.result() for f in futures]
+                results = self._run_process_jobs(jobs, observe, tele)
             else:
-                futures = [self._executor.submit(
-                    self._thread_chunk, index, offset, chunk, observe,
-                    time.monotonic() if observe else 0.0)
-                    for index, offset, chunk in jobs]
-                results = [f.result() for f in futures]
+                results = self._run_thread_jobs(jobs, observe)
             blocks: List[np.ndarray] = []
             for rows, records in results:
                 if records is not None:

@@ -27,8 +27,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..cells import Library
+from ..cells import Library, preflight_library
 from ..errors import AttackError
+from ..spice.erc import erc_enabled
 from ..netlist import GateNetlist
 from ..obs import NULL_TELEMETRY
 from ..power import MeasurementChain, TraceGrid
@@ -132,7 +133,8 @@ class AttackCampaign:
 
     def __init__(self, library: Library, key: int,
                  chain: Optional[MeasurementChain] = None,
-                 mismatch_seed: int = 0, telemetry=None):
+                 mismatch_seed: int = 0, telemetry=None,
+                 erc: Optional[bool] = None):
         if not 0 <= key <= 0xFF:
             raise AttackError(f"key byte out of range: {key}")
         self.library = library
@@ -140,6 +142,11 @@ class AttackCampaign:
         self.chain = chain if chain is not None else MeasurementChain()
         self.mismatch_seed = mismatch_seed
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # ERC preflight of the library's transistor templates: reject a
+        # mis-generated netlist in milliseconds, not hours into the
+        # acquisition.  `erc=False` or REPRO_ERC=off opts out.
+        if erc if erc is not None else erc_enabled():
+            preflight_library(library, telemetry=self.telemetry)
         self.netlist, self.output_nets = build_reduced_aes(library)
 
     def _acquirer_factory(self, grid: Optional[TraceGrid]):

@@ -33,11 +33,20 @@ from .devices import Mosfet, Resistor, Capacitor, VSource, ISource
 from .circuit import Circuit, GROUND
 from .dc import solve_dc, OperatingPoint
 from .deck import write_spice_deck
+from .erc import (
+    ErcFinding,
+    ErcReport,
+    check_circuit,
+    erc_enabled,
+    erc_preflight,
+)
 from .recovery import (
     NewtonStats,
     RecoveryPolicy,
+    SolveBudget,
     SolverDiagnostics,
     StrategyAttempt,
+    UNLIMITED_BUDGET,
     solve_with_recovery,
 )
 from .sweep import dc_sweep, SweepResult
@@ -66,10 +75,17 @@ __all__ = [
     "GROUND",
     "solve_dc",
     "OperatingPoint",
+    "ErcFinding",
+    "ErcReport",
+    "check_circuit",
+    "erc_enabled",
+    "erc_preflight",
     "NewtonStats",
     "RecoveryPolicy",
+    "SolveBudget",
     "SolverDiagnostics",
     "StrategyAttempt",
+    "UNLIMITED_BUDGET",
     "solve_with_recovery",
     "dc_sweep",
     "SweepResult",

@@ -23,6 +23,7 @@ from .recovery import (
     GMIN_LADDER,
     NewtonStats,
     RecoveryPolicy,
+    SolveBudget,
     SolverDiagnostics,
     solve_with_recovery,
 )
@@ -369,7 +370,8 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
              guess: Optional[Dict[str, float]] = None,
              system: Optional[System] = None,
              policy: Optional[RecoveryPolicy] = None,
-             telemetry=None) -> OperatingPoint:
+             telemetry=None,
+             budget: Optional[SolveBudget] = None) -> OperatingPoint:
     """Find the DC operating point of ``circuit`` at source time ``t``.
 
     Tries plain Newton from a midpoint guess first, then climbs the
@@ -381,6 +383,12 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
     ``telemetry`` wraps the solve in a ``spice.dc.solve`` span; when
     omitted, a reused ``system``'s handle applies (the transient engine
     threads its handle through the shared :class:`System`).
+
+    ``budget`` (default: ``REPRO_SOLVE_BUDGET`` via
+    :meth:`SolveBudget.from_env`, unlimited when unset) deterministically
+    bounds the solve; exhaustion raises
+    :class:`~repro.errors.BudgetExhaustedError` instead of spinning on a
+    stiff circuit.
     """
     sys_ = system if system is not None else System(circuit,
                                                     telemetry=telemetry)
@@ -405,7 +413,7 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
     with tele.span("spice.dc.solve", circuit=circuit.name, t=t,
                    unknowns=sys_.n) as span:
         x, diagnostics = solve_with_recovery(sys_, fixed, x0, policy=policy,
-                                             telemetry=tele)
+                                             telemetry=tele, budget=budget)
         span.set("converged_by", diagnostics.converged_by)
         span.set("attempts", len(diagnostics.attempts))
         span.set("newton_iterations", diagnostics.total_iterations)

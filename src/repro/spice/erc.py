@@ -1,0 +1,414 @@
+"""Electrical-rule-check (ERC) preflight for transistor netlists.
+
+A malformed circuit fed to the solvers fails deep inside Newton with an
+opaque :class:`~repro.errors.ConvergenceError` — after burning the whole
+recovery ladder on a problem no continuation method can fix.  The ERC
+catches the classic wiring mistakes *structurally*, in milliseconds,
+before any matrix is assembled, and names the offending devices and
+nodes:
+
+``floating-node``
+    A node touched by exactly one device terminal (and not an input
+    port — see below) dangles: KCL there is a single device current
+    forced to zero.
+``no-dc-path``
+    A node (or island of nodes) with no resistive path — through
+    resistors or MOSFET channels — to any rail or source-driven node.
+    Its DC voltage is undefined (capacitors and ideal current sources
+    do not pin a voltage).
+``shorted-supply``
+    Two rails at different potentials bridged by a hard short (a
+    resistor below :data:`SHORT_RESISTANCE`).
+``duplicate-name``
+    Device names duplicated inside the device list (possible only by
+    bypassing :meth:`Circuit.add`) or shared between a device and a
+    voltage source (which :meth:`Circuit.add` does not cross-check).
+``ungated-tail``
+    PG-MCML only: a tail current source with no series sleep transistor
+    stacked on top of it — the cell would burn its full tail current in
+    sleep mode, silently voiding the paper's Table 3 claim.
+``missing-sleep``
+    PG-MCML only: no sleep transistors at all, or a sleep gate tied
+    hard to ground (the cell could never wake).
+
+Nodes whose every connection is a MOSFET gate or bulk are treated as
+*input ports* (high-impedance by construction) and exempt from the
+floating/no-path rules — a standalone cell's inputs and bias pins are
+driven by the testbench, not the cell.
+
+Findings are structured (:class:`ErcFinding`) and JSONL-serializable;
+:func:`erc_preflight` raises :class:`~repro.errors.ErcError` carrying
+the full :class:`ErcReport` and emits one telemetry event per finding,
+so a rejected circuit leaves a machine-readable post-mortem.  The
+``REPRO_ERC`` environment variable (``off`` disables) is the campaign-
+level opt-out for intentionally-pathological fault-injection tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ErcError
+from ..obs import NULL_TELEMETRY
+from .circuit import GROUND, Circuit, canonical_node
+from .devices import Capacitor, Device, ISource, Mosfet, Resistor
+
+#: A resistor at or below this is a hard short for the supply rule, ohms.
+#: (The constant-function rail tie in :mod:`repro.cells.mcml` is 1 Ω and
+#: must stay above this.)
+SHORT_RESISTANCE = 1e-2
+
+#: Rule identifiers, in the order they are checked.
+ERC_RULES = ("duplicate-name", "floating-node", "no-dc-path",
+             "shorted-supply", "ungated-tail", "missing-sleep")
+
+#: Environment opt-out for the wired-in preflights ("off" disables).
+_ERC_ENV = "REPRO_ERC"
+
+
+def erc_enabled(default: bool = True) -> bool:
+    """Whether wired-in ERC preflights should run (``REPRO_ERC`` gate)."""
+    raw = os.environ.get(_ERC_ENV, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("off", "0", "false", "no")
+
+
+@dataclass(frozen=True)
+class ErcFinding:
+    """One structured rule violation."""
+
+    rule: str
+    message: str
+    nodes: Tuple[str, ...] = ()
+    devices: Tuple[str, ...] = ()
+    severity: str = "error"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "severity": self.severity,
+                "message": self.message, "nodes": list(self.nodes),
+                "devices": list(self.devices)}
+
+    def __repr__(self) -> str:
+        return f"ErcFinding({self.rule}: {self.message})"
+
+
+@dataclass
+class ErcReport:
+    """Every finding of one :func:`check_circuit` run."""
+
+    circuit: str
+    findings: List[ErcFinding] = field(default_factory=list)
+    rules_checked: Tuple[str, ...] = ERC_RULES
+
+    @property
+    def errors(self) -> List[ErcFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def by_rule(self, rule: str) -> List[ErcFinding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"circuit": self.circuit,
+                "ok": self.ok,
+                "rules_checked": list(self.rules_checked),
+                "findings": [f.to_dict() for f in self.findings]}
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"ERC clean: {self.circuit} ({len(self.rules_checked)} rules)"
+        lines = [f"ERC failed: {self.circuit} "
+                 f"({len(self.errors)} errors)"]
+        for finding in self.findings:
+            lines.append(f"  [{finding.rule}] {finding.message}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> "ErcReport":
+        """Raise :class:`ErcError` when any error-severity finding exists."""
+        if self.ok:
+            return self
+        rules = sorted(set(f.rule for f in self.errors))
+        raise ErcError(
+            self.summary(), report=self,
+            context={"circuit": self.circuit, "rules": rules,
+                     "n_findings": len(self.errors)})
+
+
+# -- device classification ----------------------------------------------------
+
+
+def _unwrap(device: Device) -> Device:
+    """Peel fault-injection (and similar) proxies off a device."""
+    seen = set()
+    while id(device) not in seen:
+        seen.add(id(device))
+        inner = getattr(device, "inner", None)
+        if not isinstance(inner, Device):
+            break
+        device = inner
+    return device
+
+
+def _conduction_edges(device: Device) -> List[Tuple[str, str]]:
+    """Terminal pairs that provide a DC (resistive) path."""
+    inner = _unwrap(device)
+    t = device.terminals
+    if isinstance(inner, Mosfet):
+        return [(t[0], t[2])]  # drain-source channel
+    if isinstance(inner, Resistor):
+        return [(t[0], t[1])]
+    if isinstance(inner, (Capacitor, ISource)):
+        return []  # no DC path through either
+    # Unknown device class: be conservative, assume all terminals conduct.
+    return [(a, b) for a, b in zip(t, t[1:])]
+
+
+def _high_z_terminals(device: Device) -> Sequence[int]:
+    """Indices of terminals that draw no DC current (gate, bulk)."""
+    inner = _unwrap(device)
+    if isinstance(inner, Mosfet):
+        return (1, 3)
+    return ()
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def add(self, node: str) -> None:
+        self._parent.setdefault(node, node)
+
+    def find(self, node: str) -> str:
+        self.add(node)
+        root = node
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[node] != root:  # path compression
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def components(self) -> Dict[str, List[str]]:
+        groups: Dict[str, List[str]] = {}
+        for node in self._parent:
+            groups.setdefault(self.find(node), []).append(node)
+        return groups
+
+
+# -- the checker --------------------------------------------------------------
+
+
+def check_circuit(circuit: Circuit,
+                  rails: Optional[Iterable[str]] = None,
+                  style: Optional[str] = None,
+                  ports: Optional[Iterable[str]] = None,
+                  t: float = 0.0) -> ErcReport:
+    """Run every ERC rule over ``circuit``; never raises on findings.
+
+    Parameters
+    ----------
+    rails:
+        Extra rail nodes to treat as driven (cell-mode checking, where
+        the supply is wired by a testbench that does not exist yet).
+        Source-driven nodes and ground are always rails.
+    style:
+        ``"pgmcml"`` additionally enforces the sleep-gating rules
+        (``ungated-tail``, ``missing-sleep``); any other value skips
+        them.
+    ports:
+        Nets externally driven by a testbench or neighbouring cell
+        (cell pins); exempt from the undriven-node rules even when
+        channel-connected (e.g. transmission-gate data inputs).  Nodes
+        touched only by MOSFET gates/bulks are inferred as ports
+        automatically.
+    t:
+        Source evaluation time for rail potentials (shorted-supply).
+    """
+    report = ErcReport(circuit=circuit.name)
+    fixed = circuit.fixed_nodes(t)
+    rail_values: Dict[str, Optional[float]] = dict(fixed)
+    for name in rails or ():
+        rail_values.setdefault(canonical_node(name), None)
+    declared_ports = {canonical_node(p) for p in ports or ()}
+
+    # One pass over the devices collects everything the rules need.
+    incidence: Dict[str, int] = {}
+    gate_only: Dict[str, bool] = {}
+    conduct = _UnionFind()
+    shorts = _UnionFind()
+    short_dev: Dict[str, List[str]] = {}
+    names_seen: Dict[str, int] = {}
+    for device in circuit.devices:
+        names_seen[device.name] = names_seen.get(device.name, 0) + 1
+        high_z = set(_high_z_terminals(device))
+        for k, node in enumerate(device.terminals):
+            incidence[node] = incidence.get(node, 0) + 1
+            gate_only[node] = gate_only.get(node, True) and k in high_z
+            conduct.add(node)
+        for a, b in _conduction_edges(device):
+            conduct.union(a, b)
+        inner = _unwrap(device)
+        if isinstance(inner, Resistor) \
+                and inner.resistance <= SHORT_RESISTANCE:
+            a, b = device.terminals
+            shorts.union(a, b)
+            short_dev.setdefault(shorts.find(a), []).append(device.name)
+
+    # duplicate-name: list duplicates and device/source collisions.
+    source_names = {s.name for s in circuit.vsources}
+    for name, count in sorted(names_seen.items()):
+        if count > 1:
+            report.findings.append(ErcFinding(
+                "duplicate-name",
+                f"device name {name!r} appears {count} times",
+                devices=(name,)))
+        if name in source_names:
+            report.findings.append(ErcFinding(
+                "duplicate-name",
+                f"name {name!r} is both a device and a voltage source",
+                devices=(name,)))
+
+    is_port = {node: (flag or node in declared_ports)
+               and node not in rail_values
+               for node, flag in gate_only.items()}
+
+    # Both undriven-node rules key off conduction components with no
+    # rail member.  A single-connection node that *does* conduct to a
+    # rail (e.g. a constant cell's unused output leg, pinned to vdd
+    # through its load channel) is electrically defined and legal.
+    # Within a railless island, single-connection nodes are reported as
+    # floating-node (the precise device is nameable) and the rest as
+    # one no-dc-path finding per island.
+    for members in conduct.components().values():
+        if any(node in rail_values or node in declared_ports
+               for node in members):
+            continue
+        stranded = sorted(n for n in members if not is_port[n])
+        if not stranded:
+            continue
+        dangling = [n for n in stranded if incidence.get(n, 0) == 1]
+        for node in dangling:
+            touching = tuple(d.name for d in circuit.devices
+                             if node in d.terminals)
+            report.findings.append(ErcFinding(
+                "floating-node",
+                f"node {node!r} is touched only by "
+                f"{touching[0] if touching else '?'!r} and has no DC "
+                f"path to any rail",
+                nodes=(node,), devices=touching))
+        islanded = [n for n in stranded if n not in dangling]
+        if islanded:
+            touching = tuple(sorted(set(
+                d.name for d in circuit.devices
+                if any(n in d.terminals for n in islanded))))
+            report.findings.append(ErcFinding(
+                "no-dc-path",
+                f"nodes {islanded} have no DC path to any rail "
+                f"(rails: {sorted(rail_values)})",
+                nodes=tuple(islanded), devices=touching))
+
+    # shorted-supply: two rails at different potentials in one hard-short
+    # component.
+    for root, members in shorts.components().items():
+        rail_members = [n for n in members if n in rail_values]
+        if len(rail_members) < 2:
+            continue
+        values = {n: rail_values[n] for n in rail_members}
+        distinct = set(values.values())
+        if len(distinct) > 1 or None in distinct and len(values) > 1:
+            bridges = tuple(sorted(set(short_dev.get(root, []))))
+            report.findings.append(ErcFinding(
+                "shorted-supply",
+                f"rails {sorted(rail_members)} are bridged by hard shorts "
+                f"({', '.join(bridges) or 'unknown'})",
+                nodes=tuple(sorted(rail_members)), devices=bridges))
+
+    if style == "pgmcml":
+        _check_sleep_gating(circuit, report)
+    return report
+
+
+def _check_sleep_gating(circuit: Circuit, report: ErcReport) -> None:
+    """PG-MCML rules: every tail gated, sleep nets present and wakeable."""
+    device_names = {d.name for d in circuit.devices}
+    by_name = {d.name: d for d in circuit.devices}
+    tails = [d for d in circuit.devices
+             if "mtail" in d.name and not d.name.endswith(("_sleep", "_pg"))]
+    sleeps = [d for d in circuit.devices if d.name.endswith("_sleep")]
+
+    if not sleeps:
+        report.findings.append(ErcFinding(
+            "missing-sleep",
+            f"circuit {circuit.name!r} is pgmcml-style but contains no "
+            f"sleep transistors",
+            devices=tuple(sorted(d.name for d in tails))))
+
+    for tail in tails:
+        companion = f"{tail.name}_sleep"
+        if companion not in device_names:
+            report.findings.append(ErcFinding(
+                "ungated-tail",
+                f"tail {tail.name!r} has no series sleep transistor "
+                f"({companion!r} not found)",
+                nodes=(tail.terminals[0],), devices=(tail.name,)))
+            continue
+        sleep = by_name[companion]
+        # Series contract: the sleep source sits on the tail drain.
+        if isinstance(_unwrap(sleep), Mosfet) \
+                and sleep.terminals[2] != tail.terminals[0]:
+            report.findings.append(ErcFinding(
+                "ungated-tail",
+                f"sleep transistor {companion!r} is not in series with "
+                f"tail {tail.name!r} (source {sleep.terminals[2]!r} != "
+                f"tail drain {tail.terminals[0]!r})",
+                nodes=(tail.terminals[0],),
+                devices=(tail.name, companion)))
+
+    for sleep in sleeps:
+        inner = _unwrap(sleep)
+        if isinstance(inner, Mosfet) \
+                and canonical_node(sleep.terminals[1]) == GROUND:
+            report.findings.append(ErcFinding(
+                "missing-sleep",
+                f"sleep transistor {sleep.name!r} has its gate tied to "
+                f"ground: the cell can never wake",
+                nodes=(sleep.terminals[1],), devices=(sleep.name,)))
+
+
+def erc_preflight(circuit: Circuit,
+                  rails: Optional[Iterable[str]] = None,
+                  style: Optional[str] = None,
+                  ports: Optional[Iterable[str]] = None,
+                  t: float = 0.0,
+                  telemetry=None) -> ErcReport:
+    """Check ``circuit`` and raise :class:`ErcError` on any error finding.
+
+    The check runs in a ``spice.erc.preflight`` telemetry span; every
+    finding is emitted as a ``spice.erc.finding`` event and counted, so
+    a rejected circuit is attributable from the JSONL trace alone.
+    """
+    tele = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tele.span("spice.erc.preflight", circuit=circuit.name,
+                   style=style or "") as span:
+        report = check_circuit(circuit, rails=rails, style=style,
+                               ports=ports, t=t)
+        span.set("findings", len(report.findings))
+        span.set("ok", report.ok)
+        tele.counter("spice.erc.checks").inc()
+        if not report.ok:
+            tele.counter("spice.erc.failures").inc()
+            for finding in report.findings:
+                tele.event("spice.erc.finding", circuit=circuit.name,
+                           **finding.to_dict())
+        report.raise_if_failed()
+    return report

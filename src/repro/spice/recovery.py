@@ -33,16 +33,103 @@ semantics under either strategy.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import BudgetExhaustedError, CircuitError, ConvergenceError
 from ..obs import NULL_TELEMETRY
 
 #: The classic shrinking-gmin ladder (finishing with a clean gmin=0 solve).
 GMIN_LADDER = (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 0.0)
+
+#: Environment override for the default solve budget (see
+#: :meth:`SolveBudget.from_env`).
+_BUDGET_ENV = "REPRO_SOLVE_BUDGET"
+
+#: Per-attempt Newton iteration ceiling (the historical ``maxiter``).
+_ATTEMPT_MAXITER = 120
+
+
+@dataclass(frozen=True)
+class SolveBudget:
+    """Deterministic runaway-solve limits.
+
+    All counters are pure functions of the work performed — no
+    wall-clock — so a budgeted run is exactly reproducible.  ``None``
+    means unlimited (the default: behaviour is identical to the
+    pre-budget engine).
+
+    ``max_newton_iterations`` and ``max_ladder_attempts`` bound one DC
+    solve (cumulative Newton iterations across every recovery rung, and
+    the number of rungs); ``max_transient_rejections`` and
+    ``max_transient_steps`` bound one transient run (failed Newton
+    solves across all step-halving retries, and accepted steps).  When a
+    limit trips, the engine raises
+    :class:`~repro.errors.BudgetExhaustedError` carrying the
+    :class:`SolverDiagnostics` accumulated so far instead of spinning.
+    """
+
+    max_newton_iterations: Optional[int] = None
+    max_ladder_attempts: Optional[int] = None
+    max_transient_rejections: Optional[int] = None
+    max_transient_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_newton_iterations", "max_ladder_attempts",
+                     "max_transient_rejections", "max_transient_steps"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise CircuitError(f"budget field {name} must be >= 0 or "
+                                   f"None: {value}")
+
+    def to_dict(self) -> Dict[str, Optional[int]]:
+        return asdict(self)
+
+    @classmethod
+    def from_env(cls) -> "SolveBudget":
+        """Budget from ``REPRO_SOLVE_BUDGET`` (unlimited when unset).
+
+        Accepted forms: a bare integer (cumulative Newton iterations
+        per DC solve, e.g. ``600``) or comma-separated ``key=value``
+        pairs with keys ``iters``, ``attempts``, ``rejections``,
+        ``steps`` (e.g. ``iters=600,rejections=64``).
+        """
+        raw = os.environ.get(_BUDGET_ENV, "").strip()
+        if not raw:
+            return UNLIMITED_BUDGET
+        if raw not in _ENV_CACHE:
+            _ENV_CACHE.clear()
+            _ENV_CACHE[raw] = cls._parse(raw)
+        return _ENV_CACHE[raw]
+
+    @classmethod
+    def _parse(cls, raw: str) -> "SolveBudget":
+        keys = {"iters": "max_newton_iterations",
+                "attempts": "max_ladder_attempts",
+                "rejections": "max_transient_rejections",
+                "steps": "max_transient_steps"}
+        try:
+            if "=" not in raw:
+                return cls(max_newton_iterations=int(raw))
+            fields: Dict[str, int] = {}
+            for pair in raw.split(","):
+                key, _, value = pair.partition("=")
+                fields[keys[key.strip()]] = int(value)
+            return cls(**fields)
+        except (KeyError, ValueError) as err:
+            raise CircuitError(
+                f"cannot parse {_BUDGET_ENV}={raw!r}: {err} (expected an "
+                f"integer or key=value pairs with keys {sorted(keys)})",
+                context={"env": _BUDGET_ENV, "value": raw}) from err
+
+
+#: The default budget: every limit off.
+UNLIMITED_BUDGET = SolveBudget()
+
+_ENV_CACHE: Dict[str, SolveBudget] = {}
 
 
 @dataclass
@@ -70,13 +157,26 @@ class StrategyAttempt:
         return (f"StrategyAttempt({self.strategy}: {verdict}, "
                 f"{self.iterations} iters, residual {self.residual:.3g})")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe record (NaN residuals become ``None``)."""
+        return {"strategy": self.strategy, "converged": self.converged,
+                "iterations": self.iterations,
+                "residual": self.residual
+                if math.isfinite(self.residual) else None,
+                "singular_jacobian_events": self.singular_jacobian_events}
+
 
 @dataclass
 class SolverDiagnostics:
-    """The full story of one DC solve: every strategy, every outcome."""
+    """The full story of one DC solve: every strategy, every outcome.
+
+    ``budget_exhausted`` names the :class:`SolveBudget` limit that cut
+    the solve short, or ``None`` when the ladder ran to its natural end.
+    """
 
     attempts: List[StrategyAttempt] = field(default_factory=list)
     converged_by: Optional[str] = None
+    budget_exhausted: Optional[str] = None
 
     @property
     def singular_jacobian_events(self) -> int:
@@ -97,6 +197,14 @@ class SolverDiagnostics:
             singular_jacobian_events=stats.singular_jacobian_events)
         self.attempts.append(attempt)
         return attempt
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSONL-serializable post-mortem of the solve."""
+        return {"attempts": [a.to_dict() for a in self.attempts],
+                "converged_by": self.converged_by,
+                "budget_exhausted": self.budget_exhausted,
+                "total_iterations": self.total_iterations,
+                "singular_jacobian_events": self.singular_jacobian_events}
 
     def summary(self) -> str:
         lines = [f"{len(self.attempts)} strategy attempts, "
@@ -140,13 +248,53 @@ class RecoveryPolicy:
     ptran_max_rungs: int = 80
 
 
+def _exhaust_dc(budget: SolveBudget, diag: SolverDiagnostics, limit: str,
+                telemetry) -> None:
+    """Record and raise a DC budget exhaustion."""
+    diag.budget_exhausted = limit
+    telemetry.counter("spice.budget.dc_exhausted").inc()
+    telemetry.event("spice.budget.exhausted", scope="dc", limit=limit,
+                    attempts=len(diag.attempts),
+                    newton_iterations=diag.total_iterations)
+    failures = [a for a in diag.attempts if not a.converged]
+    last = failures[-1] if failures else None
+    raise BudgetExhaustedError(
+        f"DC solve budget exhausted ({limit}={getattr(budget, limit)}) "
+        f"after {len(diag.attempts)} ladder attempts and "
+        f"{diag.total_iterations} Newton iterations\n{diag.summary()}",
+        iterations=diag.total_iterations,
+        residual=last.residual if last is not None else math.nan,
+        diagnostics=diag,
+        context={"scope": "dc", "limit": limit,
+                 "budget": budget.to_dict(),
+                 "attempts": len(diag.attempts),
+                 "newton_iterations": diag.total_iterations})
+
+
+def _budget_maxiter(budget: SolveBudget, diag: SolverDiagnostics,
+                    telemetry) -> int:
+    """Per-attempt iteration cap; raises when the budget is spent."""
+    if budget.max_ladder_attempts is not None \
+            and len(diag.attempts) >= budget.max_ladder_attempts:
+        _exhaust_dc(budget, diag, "max_ladder_attempts", telemetry)
+    maxiter = _ATTEMPT_MAXITER
+    if budget.max_newton_iterations is not None:
+        remaining = budget.max_newton_iterations - diag.total_iterations
+        if remaining <= 0:
+            _exhaust_dc(budget, diag, "max_newton_iterations", telemetry)
+        maxiter = min(maxiter, remaining)
+    return maxiter
+
+
 def _attempt(system, diagnostics: SolverDiagnostics, strategy: str,
              fixed: Dict[str, float], x: np.ndarray,
-             gmin: float, telemetry=NULL_TELEMETRY) -> Optional[np.ndarray]:
+             gmin: float, telemetry=NULL_TELEMETRY,
+             maxiter: int = _ATTEMPT_MAXITER) -> Optional[np.ndarray]:
     """One recorded Newton attempt; ``None`` on non-convergence."""
     stats = NewtonStats()
     try:
-        result = system.newton(fixed, x, gmin=gmin, stats=stats)
+        result = system.newton(fixed, x, gmin=gmin, stats=stats,
+                               maxiter=maxiter)
     except ConvergenceError:
         result = None
     attempt = diagnostics.record(strategy, stats)
@@ -164,6 +312,7 @@ def _attempt(system, diagnostics: SolverDiagnostics, strategy: str,
 def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
                         policy: Optional[RecoveryPolicy] = None,
                         telemetry=None,
+                        budget: Optional[SolveBudget] = None,
                         ) -> Tuple[np.ndarray, SolverDiagnostics]:
     """Run the recovery ladder until one strategy produces a gmin=0 solve.
 
@@ -173,15 +322,26 @@ def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
     Newton is recorded as a ``spice.dc.attempt`` event on ``telemetry``
     (defaulting to the system's own handle), so a struggling solve is
     visible in traces without any per-iteration cost on healthy ones.
+
+    ``budget`` (default: :meth:`SolveBudget.from_env`) bounds the whole
+    solve deterministically; when a limit trips the ladder stops with a
+    :class:`~repro.errors.BudgetExhaustedError` carrying the
+    diagnostics accumulated so far.
     """
     policy = policy if policy is not None else RecoveryPolicy()
     if telemetry is None:
         telemetry = getattr(system, "telemetry", NULL_TELEMETRY)
+    budget = budget if budget is not None else SolveBudget.from_env()
     diag = SolverDiagnostics()
 
+    def attempt(strategy: str, fixed_a: Dict[str, float], x_a: np.ndarray,
+                gmin_a: float) -> Optional[np.ndarray]:
+        maxiter = _budget_maxiter(budget, diag, telemetry)
+        return _attempt(system, diag, strategy, fixed_a, x_a, gmin_a,
+                        telemetry=telemetry, maxiter=maxiter)
+
     # 1. Plain Newton from the caller's guess.
-    x = _attempt(system, diag, "newton", fixed, x0, gmin=0.0,
-                 telemetry=telemetry)
+    x = attempt("newton", fixed, x0, 0.0)
     if x is not None:
         diag.converged_by = "newton"
         return x, diag
@@ -190,15 +350,13 @@ def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
     x = x0.copy()
     solved = False
     for gmin in policy.gmin_ladder:
-        result = _attempt(system, diag, f"gmin:{gmin:g}", fixed, x, gmin,
-                          telemetry=telemetry)
+        result = attempt(f"gmin:{gmin:g}", fixed, x, gmin)
         if result is not None:
             x = result
             solved = gmin == 0.0
     if not solved:
         # Final plain attempt warm-started from wherever the ladder got.
-        result = _attempt(system, diag, "gmin:final", fixed, x, gmin=0.0,
-                          telemetry=telemetry)
+        result = attempt("gmin:final", fixed, x, 0.0)
         solved = result is not None
         if solved:
             x = result
@@ -213,8 +371,7 @@ def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
         while alpha < 1.0:
             target = min(1.0, alpha + step)
             scaled = {node: value * target for node, value in fixed.items()}
-            result = _attempt(system, diag, f"source-step:{target:.4g}",
-                              scaled, x, gmin=0.0, telemetry=telemetry)
+            result = attempt(f"source-step:{target:.4g}", scaled, x, 0.0)
             if result is not None:
                 x, alpha = result, target
                 step = min(step * 2.0, policy.source_step_initial)
@@ -233,14 +390,12 @@ def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
         for _ in range(policy.ptran_max_rungs):
             if gmin > policy.ptran_gmin_max:
                 break
-            result = _attempt(system, diag, f"ptran:gmin={gmin:.2g}",
-                              fixed, x, gmin, telemetry=telemetry)
+            result = attempt(f"ptran:gmin={gmin:.2g}", fixed, x, gmin)
             if result is not None:
                 x = result
                 gmin *= policy.ptran_shrink
                 if gmin < policy.ptran_gmin_floor:
-                    final = _attempt(system, diag, "ptran:final", fixed, x,
-                                     gmin=0.0, telemetry=telemetry)
+                    final = attempt("ptran:final", fixed, x, 0.0)
                     if final is not None:
                         diag.converged_by = "ptran:final"
                         return final, diag
@@ -257,4 +412,8 @@ def solve_with_recovery(system, fixed: Dict[str, float], x0: np.ndarray,
         f"\n{diag.summary()}",
         iterations=diag.total_iterations,
         residual=last.residual if last is not None else math.nan,
-        diagnostics=diag)
+        diagnostics=diag,
+        context={"scope": "dc", "attempts": len(diag.attempts),
+                 "strategies": sorted(set(
+                     a.strategy.split(":")[0] for a in diag.attempts)),
+                 "newton_iterations": diag.total_iterations})

@@ -18,10 +18,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import CircuitError, ConvergenceError
+from ..errors import BudgetExhaustedError, CircuitError, ConvergenceError
 from ..obs import NULL_TELEMETRY
 from .circuit import Circuit, canonical_node
 from .dc import OperatingPoint, System, solve_dc
+from .recovery import SolveBudget
 from .waveform import Waveform
 
 
@@ -319,7 +320,8 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
                   be_fallback: bool = True,
                   detect_ringing: bool = False,
                   on_step: Optional[Callable[[float], None]] = None,
-                  telemetry=None) -> TransientResult:
+                  telemetry=None,
+                  budget: Optional[SolveBudget] = None) -> TransientResult:
     """Simulate ``circuit`` from 0 to ``tstop`` with base step ``dt``.
 
     Parameters
@@ -356,6 +358,15 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
         ``spice.transient.run`` span and the per-run
         :class:`TransientStats` are folded into the metrics registry
         once at the end (no per-step telemetry cost).
+    budget:
+        Deterministic :class:`~repro.spice.recovery.SolveBudget`
+        (default: ``REPRO_SOLVE_BUDGET`` via
+        :meth:`SolveBudget.from_env`).  ``max_transient_rejections``
+        bounds failed Newton solves across all step-halving retries,
+        ``max_transient_steps`` bounds accepted steps; its DC limits
+        apply to the initial operating-point solve.  Exhaustion raises
+        :class:`~repro.errors.BudgetExhaustedError` carrying the
+        :class:`TransientStats` so far.
     """
     if tstop <= 0.0 or dt <= 0.0:
         raise CircuitError("tstop and dt must be positive")
@@ -364,10 +375,12 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
     if max_step_halvings < 0:
         raise CircuitError("max_step_halvings must be >= 0")
     tele = telemetry if telemetry is not None else NULL_TELEMETRY
+    budget = budget if budget is not None else SolveBudget.from_env()
     with tele.span("spice.transient.run", circuit=circuit.name,
                    tstop=tstop, dt=dt, method=method) as span:
         system = System(circuit, telemetry=tele)
-        op = ic if ic is not None else solve_dc(circuit, t=0.0, system=system)
+        op = ic if ic is not None else solve_dc(circuit, t=0.0, system=system,
+                                                budget=budget)
         caps = _CompanionCaps(system, circuit)
         caps.start()
 
@@ -420,6 +433,25 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
                                     use_method, system.n)
             return system.newton(fixed_next, x_cur, gmin=0.0, extra=extra)
 
+        def exhaust(limit: str, t_next: float) -> None:
+            """Record and raise a transient budget exhaustion."""
+            tele.counter("spice.budget.transient_exhausted").inc()
+            tele.event("spice.budget.exhausted", scope="transient",
+                       limit=limit, t=t_next,
+                       steps_taken=stats.steps_taken,
+                       newton_failures=stats.newton_failures)
+            raise BudgetExhaustedError(
+                f"transient budget exhausted at t={t_next:.6g} s "
+                f"({limit}={getattr(budget, limit)}): "
+                f"{stats.steps_taken} steps accepted, "
+                f"{stats.newton_failures} Newton rejections",
+                iterations=stats.newton_failures,
+                context={"scope": "transient", "limit": limit, "t": t_next,
+                         "budget": budget.to_dict(),
+                         "steps_taken": stats.steps_taken,
+                         "newton_failures": stats.newton_failures,
+                         "halvings": stats.halvings})
+
         def advance_interval(t0: float, t1: float, x_cur: np.ndarray,
                              fixed_cur: Dict[str, float]):
             """March from t0 to t1, subdividing locally on Newton failures."""
@@ -435,8 +467,14 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
                 try:
                     x_new = solve_substep(t_next, sub, x_cur, fixed_cur,
                                           fixed_next, method)
+                except BudgetExhaustedError:
+                    raise
                 except ConvergenceError as err:
                     stats.newton_failures += 1
+                    if budget.max_transient_rejections is not None \
+                            and stats.newton_failures \
+                            > budget.max_transient_rejections:
+                        exhaust("max_transient_rejections", t_next)
                     if not interval_retried:
                         interval_retried = True
                         stats.retried_intervals += 1
@@ -489,6 +527,9 @@ def run_transient(circuit: Circuit, tstop: float, dt: float,
                 pending.pop()
                 t_cur, x_cur, fixed_cur = t_next, x_new, fixed_next
                 stats.steps_taken += 1
+                if budget.max_transient_steps is not None \
+                        and stats.steps_taken > budget.max_transient_steps:
+                    exhaust("max_transient_steps", t_next)
             return x_cur, fixed_cur
 
         snapshot(x, fixed_prev)

@@ -20,8 +20,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..aes import SBOX
-from ..cells import Library
+from ..cells import Library, preflight_library
 from ..errors import SynthesisError
+from ..spice.erc import erc_enabled
 from ..netlist import GateNetlist
 from .buffering import buffer_high_fanout
 from .mapping import map_lut
@@ -66,10 +67,19 @@ class SBoxISE:
 def build_sbox_ise(library: Library, n_sboxes: int = 4,
                    share_outputs: Optional[bool] = None,
                    with_sleep_tree: bool = True,
-                   name: Optional[str] = None) -> SBoxISE:
-    """Synthesise the S-box ISE macro onto ``library``."""
+                   name: Optional[str] = None,
+                   erc: Optional[bool] = None) -> SBoxISE:
+    """Synthesise the S-box ISE macro onto ``library``.
+
+    Synthesis starts with an ERC preflight of the target library's
+    transistor templates (``erc=False`` or ``REPRO_ERC=off`` opts out):
+    mapping onto a mis-generated library would propagate the wiring
+    fault into every instance.
+    """
     if n_sboxes < 1:
         raise SynthesisError("need at least one S-box")
+    if erc if erc is not None else erc_enabled():
+        preflight_library(library)
     differential = library.style in ("mcml", "pgmcml")
     if share_outputs is None:
         share_outputs = differential
