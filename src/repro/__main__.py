@@ -10,6 +10,7 @@ Usage::
     python -m repro fig6 --trace t.jsonl  # record a structured trace
     python -m repro fig6 --no-erc         # skip the ERC preflight
     python -m repro all --solve-budget iters=2000,attempts=3
+    python -m repro table1 --backend ngspice   # external simulator
 """
 
 from __future__ import annotations
@@ -75,6 +76,13 @@ def main(argv=None) -> int:
                              "'2000' (Newton iterations) or "
                              "'iters=2000,attempts=3,rejections=64,"
                              "steps=200000' (sets REPRO_SOLVE_BUDGET)")
+    from .spice.backend import available_backends
+    parser.add_argument("--backend", choices=available_backends(),
+                        help="simulator backend for DC/transient runs "
+                             "(sets REPRO_SPICE_BACKEND); an unavailable "
+                             "external backend degrades to the internal "
+                             "engine with a note, or fails when "
+                             "REPRO_SPICE_BACKEND_STRICT is set")
     args = parser.parse_args(argv)
 
     if args.no_erc:
@@ -83,6 +91,16 @@ def main(argv=None) -> int:
         from .spice import SolveBudget
         os.environ["REPRO_SOLVE_BUDGET"] = args.solve_budget
         SolveBudget.from_env()  # fail fast on an unparsable spec
+    if args.backend:
+        from .spice.backend import dispatch
+        os.environ[dispatch.BACKEND_ENV] = args.backend
+        dispatch.reset_default_backend()
+        chosen = dispatch.default_backend()
+        if chosen.name != args.backend:
+            print(f"note: backend '{args.backend}' unavailable; "
+                  f"using '{chosen.name}' (set "
+                  f"{dispatch.STRICT_ENV}=1 to fail instead)",
+                  file=sys.stderr)
 
     if args.target == "list":
         print("available targets:")

@@ -17,9 +17,11 @@ from ..spice import (
     DC,
     Pulse,
     differential_delay,
-    run_transient,
-    solve_dc,
 )
+# Characterisation goes through the backend seam: the dispatch pair
+# resolves to the internal engine by default (byte-identical call) and
+# to an external simulator under REPRO_SPICE_BACKEND / --backend.
+from ..spice.backend.dispatch import run_transient, solve_dc
 from ..tech import Technology, TECH90
 from ..units import ns, ps
 from .functions import CellFunction

@@ -159,6 +159,54 @@ class DeviceError(CircuitError):
     default_error_code = "E_DEVICE"
 
 
+class BackendError(ReproError):
+    """An external-simulator backend failed.
+
+    Base of the backend sub-taxonomy (:mod:`repro.spice.backend`): the
+    subprocess died with a non-zero status after its retry budget, the
+    binary produced output we refuse to trust, or a backend was asked
+    for something it cannot do.  ``context`` carries the facts needed
+    for a post-mortem from the JSONL stream alone — argv, attempt
+    counts, exit status, stderr tail.
+    """
+
+    default_error_code = "E_BACKEND"
+
+
+class BackendUnavailableError(BackendError):
+    """The requested simulator backend cannot run on this machine.
+
+    Raised by :meth:`~repro.spice.backend.SimulatorBackend.probe` when
+    the binary is missing or refuses to identify itself.  Callers that
+    pass ``fallback=True`` degrade to the internal engine instead of
+    propagating this (with a telemetry event marking the degradation).
+    """
+
+    default_error_code = "E_BACKEND_UNAVAILABLE"
+
+
+class BackendTimeoutError(BackendError):
+    """A supervised backend subprocess exceeded its wall-clock budget.
+
+    The supervisor has already escalated SIGTERM → SIGKILL and reaped
+    the process by the time this is raised; ``context`` records the
+    timeout, the escalation path taken, and the captured output tails.
+    """
+
+    default_error_code = "E_BACKEND_TIMEOUT"
+
+
+class BackendProtocolError(BackendError):
+    """External simulator output failed validation.
+
+    External output is never trusted: missing vectors, point-count
+    mismatches, non-finite samples, or an unparsable rawfile raise this
+    instead of propagating garbage into a :class:`Waveform`.
+    """
+
+    default_error_code = "E_BACKEND_PROTOCOL"
+
+
 class BDDError(ReproError):
     """Invalid BDD operation (unknown variable, ordering violation...)."""
 

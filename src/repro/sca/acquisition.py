@@ -41,7 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import AcquisitionError, AttackError
+from ..errors import AcquisitionError, AttackError, ConvergenceError
 from ..obs import NULL_TELEMETRY, MemorySink, Telemetry
 from ..netlist import GateNetlist, LogicSimulator
 from ..power import (
@@ -164,9 +164,17 @@ class TraceAcquirer:
         pts = validate_plaintexts(plaintexts)
         rows = np.empty((len(pts), self.grid.n))
         for i, plaintext in enumerate(pts):
-            samples = self.ideal_samples(plaintext)
-            rows[i] = self.chain.measure(samples,
-                                         trace_index=trace_offset + i)
+            try:
+                samples = self.ideal_samples(plaintext)
+                rows[i] = self.chain.measure(samples,
+                                             trace_index=trace_offset + i)
+            except ConvergenceError as err:
+                # A failed solve must be locatable from the JSONL
+                # post-mortem alone: which campaign trace, which input.
+                err.context.setdefault("trace_index", trace_offset + i)
+                err.context.setdefault("plaintext", plaintext)
+                err.context.setdefault("key", self.key)
+                raise
         return rows
 
 
@@ -190,14 +198,23 @@ def _instrumented_chunk(acquirer: TraceAcquirer, chunk_index: int,
     back across the process boundary.
     """
     if not observe:
-        return acquirer.acquire(plaintexts, trace_offset=trace_offset), None
+        try:
+            rows = acquirer.acquire(plaintexts, trace_offset=trace_offset)
+        except ConvergenceError as err:
+            err.context.setdefault("chunk", chunk_index)
+            raise
+        return rows, None
     collector = Telemetry(sinks=[MemorySink()])
     t0 = time.monotonic()
     collector.histogram("sca.acquisition.queue_wait_seconds").observe(
         max(0.0, t0 - t_submit))
-    with collector.span("sca.acquisition.chunk", chunk=chunk_index,
-                        offset=trace_offset, n=len(plaintexts)):
-        rows = acquirer.acquire(plaintexts, trace_offset=trace_offset)
+    try:
+        with collector.span("sca.acquisition.chunk", chunk=chunk_index,
+                            offset=trace_offset, n=len(plaintexts)):
+            rows = acquirer.acquire(plaintexts, trace_offset=trace_offset)
+    except ConvergenceError as err:
+        err.context.setdefault("chunk", chunk_index)
+        raise
     collector.histogram("sca.acquisition.chunk_seconds").observe(
         time.monotonic() - t0)
     collector.counter("sca.acquisition.traces").inc(len(plaintexts))
@@ -434,16 +451,25 @@ class AcquisitionPool:
         with tele.span("sca.acquisition.acquire", backend=self.backend,
                        workers=self.workers, traces=len(pts),
                        chunks=len(jobs), chunk_size=self.chunk_size):
-            if self.backend == "serial":
-                results = [
-                    _instrumented_chunk(self._serial, index, offset, chunk,
-                                        observe,
-                                        time.monotonic() if observe else 0.0)
-                    for index, offset, chunk in jobs]
-            elif self.backend == "process":
-                results = self._run_process_jobs(jobs, observe, tele)
-            else:
-                results = self._run_thread_jobs(jobs, observe)
+            try:
+                if self.backend == "serial":
+                    results = [
+                        _instrumented_chunk(
+                            self._serial, index, offset, chunk, observe,
+                            time.monotonic() if observe else 0.0)
+                        for index, offset, chunk in jobs]
+                elif self.backend == "process":
+                    results = self._run_process_jobs(jobs, observe, tele)
+                else:
+                    results = self._run_thread_jobs(jobs, observe)
+            except ConvergenceError as err:
+                # The context carries trace_index/plaintext/chunk (set at
+                # the point of failure), so this one event makes the
+                # failure reproducible from the JSONL trace alone.
+                tele.counter("sca.acquisition.trace_failures").inc()
+                tele.event("sca.acquisition.trace_failed",
+                           backend=self.backend, error=err.to_dict())
+                raise
             blocks: List[np.ndarray] = []
             for rows, records in results:
                 if records is not None:

@@ -32,7 +32,7 @@ from .mosfet import MosfetModel
 from .devices import Mosfet, Resistor, Capacitor, VSource, ISource
 from .circuit import Circuit, GROUND
 from .dc import solve_dc, OperatingPoint
-from .deck import write_spice_deck
+from .deck import DeckInfo, parse_spice_deck, write_spice_deck, write_subckt
 from .erc import (
     ErcFinding,
     ErcReport,
@@ -56,6 +56,17 @@ from .analysis import (
     propagation_delay,
     measure_swing,
     average_supply_current,
+)
+from .backend import (
+    InternalBackend,
+    NgspiceBackend,
+    SimulatorBackend,
+    SupervisorPolicy,
+    available_backends,
+    default_backend,
+    get_backend,
+    reset_default_backend,
+    set_default_backend,
 )
 
 __all__ = [
@@ -89,7 +100,19 @@ __all__ = [
     "solve_with_recovery",
     "dc_sweep",
     "SweepResult",
+    "DeckInfo",
+    "parse_spice_deck",
     "write_spice_deck",
+    "write_subckt",
+    "InternalBackend",
+    "NgspiceBackend",
+    "SimulatorBackend",
+    "SupervisorPolicy",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "reset_default_backend",
+    "set_default_backend",
     "TransientResult",
     "TransientStats",
     "run_transient",

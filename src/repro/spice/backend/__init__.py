@@ -1,0 +1,68 @@
+"""Pluggable simulator backends (ROADMAP item 4).
+
+The internal EKV engine and external simulators answer the same two
+questions — DC operating point, transient waveforms — behind one seam:
+
+* :mod:`repro.spice.backend.base` — the :class:`SimulatorBackend`
+  protocol, the always-available :class:`InternalBackend`, and the
+  :func:`get_backend` registry;
+* :mod:`repro.spice.backend.supervise` — supervised subprocess
+  execution (wall-clock timeout with SIGTERM→SIGKILL escalation,
+  bounded retries with backoff, obs capture);
+* :mod:`repro.spice.backend.rawfile` — the validating ASCII rawfile
+  parser (external output is never trusted);
+* :mod:`repro.spice.backend.ngspice` — ngspice behind the seam;
+* :mod:`repro.spice.backend.dispatch` — process-wide backend selection
+  (``REPRO_SPICE_BACKEND`` / ``--backend``) with graceful degradation
+  to the internal engine when the external binary is missing.
+
+The differential oracle (``tests/test_backend_oracle.py``) compares the
+two engines on representative CMOS/MCML/PG-MCML cells, which is what
+turns the internal engine's accuracy from an assumption into a measured
+quantity.
+"""
+
+from .base import (
+    BackendProbe,
+    InternalBackend,
+    SimulatorBackend,
+    available_backends,
+    get_backend,
+)
+from .dispatch import (
+    BACKEND_ENV,
+    STRICT_ENV,
+    default_backend,
+    reset_default_backend,
+    set_default_backend,
+)
+from .ngspice import NGSPICE_ENV, NgspiceBackend
+from .rawfile import RawPlot, RawVariable, parse_ascii_rawfile
+from .supervise import (
+    AttemptRecord,
+    SupervisedRun,
+    SupervisorPolicy,
+    run_supervised,
+)
+
+__all__ = [
+    "BackendProbe",
+    "InternalBackend",
+    "SimulatorBackend",
+    "available_backends",
+    "get_backend",
+    "BACKEND_ENV",
+    "STRICT_ENV",
+    "default_backend",
+    "reset_default_backend",
+    "set_default_backend",
+    "NGSPICE_ENV",
+    "NgspiceBackend",
+    "RawPlot",
+    "RawVariable",
+    "parse_ascii_rawfile",
+    "AttemptRecord",
+    "SupervisedRun",
+    "SupervisorPolicy",
+    "run_supervised",
+]

@@ -1,0 +1,240 @@
+"""Typed parser for ngspice ASCII rawfiles.
+
+``ngspice -b -r out.raw`` writes its analysis results in the classic
+Berkeley SPICE3 rawfile format.  With ``.options filetype=ascii`` in
+the deck, the file is plain text:
+
+.. code-block:: text
+
+    Title: * buf cell
+    Date: ...
+    Plotname: Transient Analysis
+    Flags: real
+    No. Variables: 4
+    No. Points: 201
+    Variables:
+            0       time    time
+            1       v(out)  voltage
+            2       v(vdd)  voltage
+            3       i(v1_vdd)       current
+    Values:
+    0       0.0
+            1.2e+00
+            ...
+
+External output is never trusted: the parser validates the header
+against itself (declared vs actual variable and point counts), requires
+every value to be finite, and the typed accessors
+(:meth:`RawPlot.vector`) resolve names case-insensitively but loudly —
+a missing node is an :class:`~repro.errors.BackendProtocolError`
+(``E_BACKEND_PROTOCOL``) carrying what *was* found, never a silent
+zero-fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...errors import BackendProtocolError
+
+
+@dataclass(frozen=True)
+class RawVariable:
+    """One vector declared in a rawfile plot."""
+
+    index: int
+    name: str
+    kind: str  # "time" | "voltage" | "current" | ...
+
+
+@dataclass
+class RawPlot:
+    """One analysis block of a rawfile (op point, transient, ...)."""
+
+    title: str
+    plotname: str
+    flags: str
+    variables: List[RawVariable]
+    #: shape ``(n_variables, n_points)``, all finite.
+    values: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.values.shape[1])
+
+    def names(self) -> List[str]:
+        return [v.name for v in self.variables]
+
+    def index_of(self, name: str) -> Optional[int]:
+        """Index of ``name`` (case-insensitive; ``v(x)`` and bare ``x``
+        both match a voltage vector)."""
+        want = name.strip().lower()
+        folded = [v.name.strip().lower() for v in self.variables]
+        if want in folded:
+            return folded.index(want)
+        wrapped = f"v({want})"
+        if wrapped in folded:
+            return folded.index(wrapped)
+        if want.startswith("v(") and want.endswith(")") \
+                and want[2:-1] in folded:
+            return folded.index(want[2:-1])
+        return None
+
+    def vector(self, name: str) -> np.ndarray:
+        idx = self.index_of(name)
+        if idx is None:
+            raise BackendProtocolError(
+                f"rawfile plot {self.plotname!r} has no vector {name!r}",
+                context={"plotname": self.plotname, "wanted": name,
+                         "available": self.names()})
+        return self.values[idx]
+
+    def is_transient(self) -> bool:
+        return "transient" in self.plotname.lower()
+
+    def is_op(self) -> bool:
+        return "operating point" in self.plotname.lower()
+
+
+def _bad(message: str, **context) -> BackendProtocolError:
+    return BackendProtocolError(f"malformed rawfile: {message}",
+                                context=context)
+
+
+def _header_value(line: str, key: str) -> str:
+    return line[len(key):].strip()
+
+
+def parse_ascii_rawfile(text: str) -> List[RawPlot]:
+    """Parse every plot of an ASCII rawfile; validate before returning.
+
+    Raises :class:`BackendProtocolError` on structural problems,
+    non-numeric or non-finite values, or count mismatches.  Complex
+    plots (AC analysis) are out of scope and rejected explicitly.
+    """
+    lines = text.splitlines()
+    plots: List[RawPlot] = []
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i].strip()
+        if not line:
+            i += 1
+            continue
+        header: Dict[str, str] = {}
+        while i < n:
+            stripped = lines[i].strip()
+            if stripped.startswith("Variables:"):
+                break
+            for key in ("Title:", "Date:", "Plotname:", "Flags:",
+                        "No. Variables:", "No. Points:", "Command:",
+                        "Option:"):
+                if stripped.startswith(key):
+                    header[key[:-1]] = _header_value(stripped, key)
+                    break
+            else:
+                if stripped:
+                    raise _bad(f"unexpected header line {stripped!r}",
+                               line=i + 1)
+            i += 1
+        if i >= n:
+            if header:
+                raise _bad("header without a Variables: section",
+                           header=sorted(header))
+            break
+        if "Plotname" not in header:
+            raise _bad("plot without a Plotname header")
+        flags = header.get("Flags", "real")
+        if "complex" in flags.lower():
+            raise _bad("complex plots are not supported",
+                       plotname=header["Plotname"])
+        try:
+            n_vars = int(header["No. Variables"])
+            n_points = int(header["No. Points"])
+        except (KeyError, ValueError):
+            raise _bad("missing or non-integer variable/point counts",
+                       plotname=header["Plotname"]) from None
+        if n_vars <= 0 or n_points < 0:
+            raise _bad(f"implausible counts: {n_vars} variables, "
+                       f"{n_points} points", plotname=header["Plotname"])
+
+        i += 1  # past "Variables:"
+        variables: List[RawVariable] = []
+        for k in range(n_vars):
+            if i >= n:
+                raise _bad("variable list truncated",
+                           plotname=header["Plotname"], expected=n_vars)
+            parts = lines[i].split()
+            if len(parts) < 3:
+                raise _bad(f"malformed variable line {lines[i]!r}",
+                           plotname=header["Plotname"])
+            try:
+                index = int(parts[0])
+            except ValueError:
+                raise _bad(f"non-integer variable index in {lines[i]!r}",
+                           plotname=header["Plotname"]) from None
+            if index != k:
+                raise _bad(f"variable indices out of order: expected {k}, "
+                           f"got {index}", plotname=header["Plotname"])
+            variables.append(RawVariable(index=index, name=parts[1],
+                                         kind=parts[2]))
+            i += 1
+
+        folded = [v.name.lower() for v in variables]
+        if len(set(folded)) != len(folded):
+            dupes = sorted({name for name in folded
+                            if folded.count(name) > 1})
+            raise _bad(f"duplicate vector names {dupes}",
+                       plotname=header["Plotname"])
+
+        if i >= n or not lines[i].strip().startswith("Values:"):
+            raise _bad("missing Values: section",
+                       plotname=header["Plotname"])
+        i += 1
+        values = np.empty((n_vars, n_points))
+        for p in range(n_points):
+            tokens: List[str] = []
+            while i < n and len(tokens) < n_vars + 1:
+                stripped = lines[i].strip()
+                if not stripped:
+                    i += 1
+                    continue
+                tokens.extend(stripped.split())
+                i += 1
+            if len(tokens) != n_vars + 1:
+                raise _bad(
+                    f"point {p} has {len(tokens) - 1} values, expected "
+                    f"{n_vars}", plotname=header["Plotname"], point=p)
+            try:
+                point_index = int(tokens[0])
+            except ValueError:
+                raise _bad(f"non-integer point index {tokens[0]!r}",
+                           plotname=header["Plotname"], point=p) from None
+            if point_index != p:
+                raise _bad(f"point indices out of order: expected {p}, "
+                           f"got {point_index}",
+                           plotname=header["Plotname"])
+            for k in range(n_vars):
+                try:
+                    values[k, p] = float(tokens[1 + k])
+                except ValueError:
+                    raise _bad(
+                        f"non-numeric value {tokens[1 + k]!r}",
+                        plotname=header["Plotname"], point=p,
+                        vector=variables[k].name) from None
+        if not np.all(np.isfinite(values)):
+            bad_vectors = sorted(
+                variables[k].name
+                for k in range(n_vars)
+                if not np.all(np.isfinite(values[k])))
+            raise _bad("non-finite values", plotname=header["Plotname"],
+                       vectors=bad_vectors)
+        plots.append(RawPlot(title=header.get("Title", ""),
+                             plotname=header["Plotname"], flags=flags,
+                             variables=variables, values=values))
+    if not plots:
+        raise _bad("no plots found", length=len(text))
+    return plots

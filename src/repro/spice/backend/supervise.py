@@ -1,0 +1,270 @@
+"""Supervised subprocess execution for external simulators.
+
+An external simulator is an adversary as far as robustness goes: it can
+hang on a stiff circuit, die on a malformed deck, spray megabytes on
+stderr, or leave children behind.  :func:`run_supervised` wraps every
+invocation in the same discipline the solver budgets apply internally:
+
+* a hard **wall-clock timeout** per attempt, enforced by SIGTERM to the
+  process group followed, after a grace period, by SIGKILL — a hung
+  simulator is reaped, never waited on forever;
+* **bounded retries with exponential backoff** for *transient* failures
+  (non-zero exit, spawn races); timeouts are not retried by default
+  because a deterministic input that hung once will hang again;
+* **stdout/stderr capture** (bounded tails) into the obs stream, so a
+  failed run's post-mortem lives in the same JSONL as the campaign
+  telemetry;
+* structured errors from the PR 5 taxonomy: exhausted retries raise
+  :class:`~repro.errors.BackendError`, a reaped hang raises
+  :class:`~repro.errors.BackendTimeoutError`, a missing binary raises
+  :class:`~repro.errors.BackendUnavailableError` — each with
+  ``to_dict()``-able context.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...errors import (
+    BackendError,
+    BackendTimeoutError,
+    BackendUnavailableError,
+)
+from ...obs import NULL_TELEMETRY
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Supervision knobs for one class of subprocess invocation.
+
+    ``retries`` counts *additional* attempts after the first (so
+    ``retries=2`` allows three runs).  Backoff before retry *i* (1-based)
+    is ``backoff * backoff_factor**(i-1)`` seconds.  ``term_grace`` is
+    how long a SIGTERM'd process gets to exit before SIGKILL.
+    """
+
+    timeout: float = 60.0
+    term_grace: float = 2.0
+    retries: int = 2
+    backoff: float = 0.25
+    backoff_factor: float = 2.0
+    retry_on_timeout: bool = False
+    capture_bytes: int = 16384
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise BackendError(f"timeout must be positive: {self.timeout}")
+        if self.term_grace < 0 or self.retries < 0 or self.backoff < 0:
+            raise BackendError(
+                "term_grace, retries and backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise BackendError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"timeout": self.timeout, "term_grace": self.term_grace,
+                "retries": self.retries, "backoff": self.backoff,
+                "backoff_factor": self.backoff_factor,
+                "retry_on_timeout": self.retry_on_timeout}
+
+
+@dataclass
+class AttemptRecord:
+    """One subprocess attempt, successful or not."""
+
+    attempt: int
+    returncode: Optional[int]
+    duration: float
+    timed_out: bool
+    killed: bool
+    stdout_tail: str
+    stderr_tail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"attempt": self.attempt, "returncode": self.returncode,
+                "duration": self.duration, "timed_out": self.timed_out,
+                "killed": self.killed, "stdout_tail": self.stdout_tail,
+                "stderr_tail": self.stderr_tail}
+
+
+@dataclass
+class SupervisedRun:
+    """A successful supervised invocation."""
+
+    argv: List[str]
+    returncode: int
+    stdout: str
+    stderr: str
+    attempts: List[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def retries_used(self) -> int:
+        return len(self.attempts) - 1
+
+
+def _tail(text: str, limit: int) -> str:
+    """Bounded tail of a capture — post-mortems need the end, where
+    simulators print their actual error."""
+    if len(text) <= limit:
+        return text
+    return "..." + text[-limit:]
+
+
+def _reap(proc: "subprocess.Popen", grace: float) -> bool:
+    """SIGTERM the process group, escalate to SIGKILL after ``grace``.
+
+    Returns True when SIGKILL was needed.  Signals go to the whole
+    group (the child was started in its own session) so a simulator
+    that forked helpers cannot orphan them past the timeout.
+    """
+
+    def signal_group(sig) -> None:
+        try:
+            os.killpg(proc.pid, sig)
+        except (ProcessLookupError, PermissionError, OSError):
+            try:
+                proc.send_signal(sig)
+            except (ProcessLookupError, OSError):
+                pass
+
+    signal_group(signal.SIGTERM)
+    try:
+        proc.wait(timeout=grace)
+        return False
+    except subprocess.TimeoutExpired:
+        pass
+    signal_group(signal.SIGKILL)
+    try:
+        proc.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:  # pragma: no cover - kernel-level wedge
+        pass
+    return True
+
+
+def run_supervised(argv: Sequence[str],
+                   policy: Optional[SupervisorPolicy] = None,
+                   cwd: Optional[str] = None,
+                   input_text: Optional[str] = None,
+                   telemetry=None,
+                   what: str = "backend subprocess",
+                   sleep: Callable[[float], None] = time.sleep
+                   ) -> SupervisedRun:
+    """Run ``argv`` under supervision; return the successful run.
+
+    Raises :class:`BackendUnavailableError` when the binary cannot be
+    spawned at all, :class:`BackendTimeoutError` when the wall-clock
+    budget expires (after reaping the process), and
+    :class:`BackendError` when every attempt exits non-zero.  ``sleep``
+    is injectable so retry/backoff tests run instantly.
+    """
+    policy = policy if policy is not None else SupervisorPolicy()
+    tele = telemetry if telemetry is not None else NULL_TELEMETRY
+    argv = [str(a) for a in argv]
+    attempts: List[AttemptRecord] = []
+    max_attempts = policy.retries + 1
+
+    for attempt in range(1, max_attempts + 1):
+        if attempt > 1:
+            delay = policy.backoff * policy.backoff_factor ** (attempt - 2)
+            tele.counter("spice.backend.subprocess.retries").inc()
+            if delay > 0:
+                sleep(delay)
+        t0 = time.monotonic()
+        try:
+            proc = subprocess.Popen(
+                argv, cwd=cwd,
+                stdin=subprocess.PIPE if input_text is not None else
+                subprocess.DEVNULL,
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, start_new_session=True)
+        except FileNotFoundError as exc:
+            raise BackendUnavailableError(
+                f"{what}: binary not found: {argv[0]!r}",
+                context={"argv": argv, "what": what,
+                         "errno": exc.errno}) from exc
+        except OSError as exc:
+            # Spawn-level races (EAGAIN under fork pressure) are the
+            # canonical transient failure: retry them.
+            record = AttemptRecord(attempt, None, 0.0, False, False, "",
+                                   repr(exc))
+            attempts.append(record)
+            _note_attempt(tele, what, argv, record)
+            if attempt >= max_attempts:
+                raise BackendError(
+                    f"{what}: could not spawn {argv[0]!r} after "
+                    f"{max_attempts} attempts: {exc}",
+                    context=_context(what, argv, policy, attempts)) from exc
+            continue
+
+        timed_out = False
+        killed = False
+        try:
+            stdout, stderr = proc.communicate(input=input_text,
+                                              timeout=policy.timeout)
+        except subprocess.TimeoutExpired:
+            timed_out = True
+            killed = _reap(proc, policy.term_grace)
+            stdout, stderr = _drain(proc)
+        duration = time.monotonic() - t0
+        record = AttemptRecord(
+            attempt=attempt, returncode=proc.returncode, duration=duration,
+            timed_out=timed_out, killed=killed,
+            stdout_tail=_tail(stdout, policy.capture_bytes),
+            stderr_tail=_tail(stderr, policy.capture_bytes))
+        attempts.append(record)
+        _note_attempt(tele, what, argv, record)
+
+        if timed_out:
+            tele.counter("spice.backend.subprocess.timeouts").inc()
+            if policy.retry_on_timeout and attempt < max_attempts:
+                continue
+            raise BackendTimeoutError(
+                f"{what}: {argv[0]!r} exceeded the {policy.timeout:g} s "
+                f"wall-clock budget and was "
+                f"{'SIGKILLed' if killed else 'terminated'} "
+                f"(attempt {attempt}/{max_attempts})",
+                context=_context(what, argv, policy, attempts))
+        if proc.returncode == 0:
+            tele.counter("spice.backend.subprocess.runs").inc()
+            return SupervisedRun(argv=argv, returncode=0, stdout=stdout,
+                                 stderr=stderr, attempts=attempts)
+        if attempt >= max_attempts:
+            break
+    tele.counter("spice.backend.subprocess.failures").inc()
+    last = attempts[-1]
+    raise BackendError(
+        f"{what}: {argv[0]!r} exited with status {last.returncode} after "
+        f"{len(attempts)} attempt(s); stderr tail: "
+        f"{last.stderr_tail.strip()[-500:] or '<empty>'}",
+        context=_context(what, argv, policy, attempts))
+
+
+def _drain(proc: "subprocess.Popen"):
+    """Collect whatever output a reaped process left in its pipes."""
+    try:
+        stdout, stderr = proc.communicate(timeout=1.0)
+    except (subprocess.TimeoutExpired, ValueError, OSError):
+        return "", ""
+    return stdout or "", stderr or ""
+
+
+def _context(what: str, argv: Sequence[str], policy: SupervisorPolicy,
+             attempts: List[AttemptRecord]) -> Dict[str, object]:
+    return {"what": what, "argv": list(argv), "policy": policy.to_dict(),
+            "attempts": [a.to_dict() for a in attempts]}
+
+
+def _note_attempt(tele, what: str, argv: Sequence[str],
+                  record: AttemptRecord) -> None:
+    """One obs event per attempt: the captured output is the post-mortem."""
+    tele.event("spice.backend.subprocess",
+               what=what, argv=" ".join(argv), attempt=record.attempt,
+               returncode=record.returncode, duration=record.duration,
+               timed_out=record.timed_out, killed=record.killed,
+               stdout_tail=record.stdout_tail,
+               stderr_tail=record.stderr_tail)

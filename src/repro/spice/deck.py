@@ -1,26 +1,59 @@
-"""SPICE deck export.
+"""SPICE deck export, interchange, and re-parsing.
 
 Writes a :class:`~repro.spice.Circuit` as a conventional ``.sp`` netlist
 (devices, ``.MODEL`` cards for every MOSFET flavour present, sources,
-and an optional ``.TRAN`` line), so generated cells can be inspected
+and optional analysis/output cards), so generated cells can be inspected
 with standard tools or re-simulated elsewhere.  The model cards carry
 our EKV-ish parameters as comments plus a LEVEL=1 approximation —
-the exported deck is for interchange and eyeballing, not bit-exact
+the exported deck is for interchange and cross-checking, not bit-exact
 re-simulation.
+
+Three layers live here:
+
+* :func:`write_spice_deck` — a full standalone deck.  Returns a
+  :class:`DeckInfo` manifest mapping circuit device/source names onto
+  the emitted card names, which is what the external-simulator backend
+  (:mod:`repro.spice.backend`) uses to map rawfile vectors back onto
+  circuit objects.
+* :func:`write_subckt` — a ``.SUBCKT`` wrapper for one circuit (the
+  interchange idiom for exporting a cell into a foreign testbench).
+* :func:`parse_spice_deck` — a deliberately strict re-parser for the
+  subset this module emits.  Round-tripping every exported deck through
+  it is the export test-suite's contract, and the fake-simulator tests
+  use it to interpret decks without a real SPICE.
+
+Export is strict about device types: only concrete
+:class:`~repro.spice.devices.Resistor` / ``Capacitor`` / ``Mosfet`` /
+``ISource`` instances have a faithful card representation.  Subclasses
+(fault-injection proxies, behavioural overrides) and foreign devices
+raise :class:`~repro.errors.CircuitError` listing every offender —
+silently exporting a proxy as its pristine base class would hand an
+external simulator a different circuit than the one we solve.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TextIO
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
 from ..errors import CircuitError
 from .circuit import Circuit, GROUND
 from .devices import Capacitor, ISource, Mosfet, Resistor
 from .stimulus import DC, Pulse, PWL
 
+#: Concrete device classes with a faithful card representation.
+_EXPORTABLE = (Resistor, Capacitor, Mosfet, ISource)
+
+_CARD_LETTER = {Resistor: "R", Capacitor: "C", Mosfet: "M", ISource: "I"}
+
 
 def _node(name: str) -> str:
     return "0" if name == GROUND else name
+
+
+def _ident(name: str) -> str:
+    """Sanitise a repro identifier for use inside a SPICE card name."""
+    return name.replace("~", "_").replace("@", "_")
 
 
 def _stimulus_text(stimulus) -> str:
@@ -34,57 +67,152 @@ def _stimulus_text(stimulus) -> str:
         points = " ".join(f"{t:g} {v:g}" for t, v in stimulus.points)
         return f"PWL({points})"
     raise CircuitError(
-        f"cannot export stimulus type {type(stimulus).__name__}")
+        f"cannot export stimulus type {type(stimulus).__name__}",
+        context={"stimulus": type(stimulus).__name__})
 
 
-def write_spice_deck(stream: TextIO, circuit: Circuit,
-                     title: Optional[str] = None,
-                     tran: Optional[Dict[str, float]] = None) -> None:
-    """Serialise ``circuit`` as a SPICE deck.
+@dataclass
+class DeckInfo:
+    """Manifest of one deck export.
 
-    ``tran`` may carry ``{"tstep": ..., "tstop": ...}`` to emit a
-    ``.TRAN`` card.
+    Maps the circuit's own names onto the card names that landed in the
+    deck, so external-simulator output (which is keyed by card name,
+    e.g. ``i(v1_vdd)``) can be translated back onto circuit objects.
+    SPICE is case-insensitive, so lookups should go through
+    :meth:`source_for_vector`.
     """
-    stream.write(f"* {title or circuit.name}\n")
-    stream.write("* exported by repro (PG-MCML reproduction)\n\n")
 
+    title: str = ""
+    #: circuit device name -> emitted card name (e.g. ``M1_mn_tail``).
+    device_cards: Dict[str, str] = field(default_factory=dict)
+    #: circuit source name -> emitted card name (e.g. ``V1_vdd``).
+    source_cards: Dict[str, str] = field(default_factory=dict)
+    #: deck node names (ground folded to ``"0"``).
+    nodes: List[str] = field(default_factory=list)
+    #: emitted ``.MODEL`` names.
+    models: List[str] = field(default_factory=list)
+    #: emitted ``.SAVE`` vectors.
+    saves: List[str] = field(default_factory=list)
+    #: emitted analysis cards (``.OP`` / ``.TRAN ...``).
+    analyses: List[str] = field(default_factory=list)
+
+    def source_for_vector(self, vector: str) -> Optional[str]:
+        """Circuit source name for a rawfile current vector.
+
+        Accepts ``i(v1_vdd)``, ``v1_vdd#branch``, or a bare card name,
+        case-insensitively; returns ``None`` for an unknown vector.
+        """
+        name = vector.strip().lower()
+        if name.startswith("i(") and name.endswith(")"):
+            name = name[2:-1]
+        if name.endswith("#branch"):
+            name = name[: -len("#branch")]
+        for source, card in self.source_cards.items():
+            if card.lower() == name:
+                return source
+        return None
+
+
+def _check_exportable(circuit: Circuit) -> None:
+    """Reject devices without a faithful card representation.
+
+    Mirrors the :func:`_stimulus_text` contract: anything we cannot
+    express exactly raises instead of being dropped or approximated.
+    Exact-type matching deliberately rejects subclasses — a fault proxy
+    or behavioural override subclassing :class:`Mosfet` would otherwise
+    silently export as a pristine transistor (see
+    :mod:`repro.spice.banks`, which routes the same classes through the
+    reference loop for the same reason).
+    """
+    bad: List[Tuple[str, str, bool]] = []
+    for device in circuit.devices:
+        if type(device) not in _EXPORTABLE:
+            proxy = isinstance(device, _EXPORTABLE)
+            bad.append((device.name, type(device).__name__, proxy))
+    if bad:
+        shown = ", ".join(f"{name} ({typ})" for name, typ, _ in bad[:8])
+        more = "" if len(bad) <= 8 else f" (+{len(bad) - 8} more)"
+        hint = ""
+        if any(proxy for *_, proxy in bad):
+            hint = ("; device subclasses (fault proxies, behavioural "
+                    "overrides) must be disarmed or swapped back before "
+                    "export")
+        raise CircuitError(
+            f"cannot export device(s) of circuit {circuit.name!r}: "
+            f"{shown}{more}{hint}",
+            context={"circuit": circuit.name,
+                     "devices": [name for name, _, _ in bad],
+                     "types": sorted({typ for _, typ, _ in bad})})
+
+
+def _check_node_case(circuit: Circuit) -> None:
+    """SPICE is case-insensitive; two nodes differing only by case
+    would silently merge in an external simulator."""
+    by_fold: Dict[str, str] = {}
+    for node in circuit.all_nodes():
+        fold = node.lower()
+        if fold in by_fold and by_fold[fold] != node:
+            raise CircuitError(
+                f"circuit {circuit.name!r} has nodes {by_fold[fold]!r} and "
+                f"{node!r} that collide case-insensitively in SPICE",
+                context={"circuit": circuit.name,
+                         "nodes": [by_fold[fold], node]})
+        by_fold[fold] = node
+
+
+def _normalize_save(entry: str) -> str:
+    """Turn a save spec into a SPICE vector: bare node names become
+    ``v(node)``; ``all`` and explicit ``v(...)`` / ``i(...)`` pass
+    through."""
+    entry = entry.strip()
+    if not entry:
+        raise CircuitError("empty .save entry")
+    low = entry.lower()
+    if low == "all" or "(" in entry:
+        return entry
+    return f"v({_node(entry)})"
+
+
+def _write_devices(stream: TextIO, circuit: Circuit,
+                   info: DeckInfo) -> Dict[str, object]:
+    """Emit one card per device; returns the models to declare."""
     models: Dict[str, object] = {}
     r_idx = c_idx = m_idx = i_idx = 0
     for device in circuit.devices:
-        if isinstance(device, Resistor):
+        if type(device) is Resistor:
             r_idx += 1
             a, b = device.terminals
-            stream.write(f"R{r_idx}_{device.name} {_node(a)} {_node(b)} "
+            card = f"R{r_idx}_{_ident(device.name)}"
+            stream.write(f"{card} {_node(a)} {_node(b)} "
                          f"{device.resistance:g}\n")
-        elif isinstance(device, Capacitor):
+        elif type(device) is Capacitor:
             c_idx += 1
             a, b = device.terminals
-            stream.write(f"C{c_idx}_{device.name} {_node(a)} {_node(b)} "
+            card = f"C{c_idx}_{_ident(device.name)}"
+            stream.write(f"{card} {_node(a)} {_node(b)} "
                          f"{device.capacitance:g}\n")
-        elif isinstance(device, ISource):
+        elif type(device) is ISource:
             i_idx += 1
             a, b = device.terminals
-            stream.write(f"I{i_idx}_{device.name} {_node(a)} {_node(b)} "
+            card = f"I{i_idx}_{_ident(device.name)}"
+            stream.write(f"{card} {_node(a)} {_node(b)} "
                          f"DC {device.value:g}\n")
-        elif isinstance(device, Mosfet):
+        else:  # Mosfet — _check_exportable already rejected the rest
             m_idx += 1
             model = device.model
-            base = model.params.name.replace("~", "_").replace("@", "_")
+            base = _ident(model.params.name)
             models.setdefault(base, model.params)
             d, g, s, b = device.terminals
+            card = f"M{m_idx}_{_ident(device.name)}"
             stream.write(
-                f"M{m_idx}_{device.name} {_node(d)} {_node(g)} {_node(s)} "
+                f"{card} {_node(d)} {_node(g)} {_node(s)} "
                 f"{_node(b)} {base} W={model.w:g} L={model.l:g}\n")
-        else:
-            raise CircuitError(
-                f"cannot export device type {type(device).__name__}")
+        info.device_cards[device.name] = card
+    return models
 
-    stream.write("\n")
-    for index, source in enumerate(circuit.vsources, start=1):
-        stream.write(f"V{index}_{source.name} {_node(source.node)} 0 "
-                     f"{_stimulus_text(source.stimulus)}\n")
 
-    stream.write("\n")
+def _write_models(stream: TextIO, models: Dict[str, object],
+                  info: DeckInfo) -> None:
     for name, params in sorted(models.items()):
         kind = "NMOS" if params.is_nmos else "PMOS"
         stream.write(
@@ -92,10 +220,374 @@ def write_spice_deck(stream: TextIO, circuit: Circuit,
             f"KP={params.kp:g} LAMBDA={params.lam:g} GAMMA={params.gamma_b:g})\n")
         stream.write(f"* ekv: nsub={params.nsub:g} cox={params.cox:g} "
                      f"cj={params.cj:g} cov={params.cov:g}\n")
+        info.models.append(name)
 
+
+def write_spice_deck(stream: TextIO, circuit: Circuit,
+                     title: Optional[str] = None,
+                     tran: Optional[Dict[str, float]] = None,
+                     op: bool = False,
+                     dc_snapshot: Optional[float] = None,
+                     save: Optional[Sequence[str]] = None,
+                     print_vectors: Optional[Sequence[str]] = None,
+                     options: Optional[Dict[str, object]] = None) -> DeckInfo:
+    """Serialise ``circuit`` as a standalone SPICE deck.
+
+    Parameters
+    ----------
+    tran:
+        ``{"tstep": ..., "tstop": ...}`` to emit a ``.TRAN`` card.
+    op:
+        Emit a ``.OP`` card (DC operating-point analysis).
+    dc_snapshot:
+        When given, every source is frozen at its value at this time
+        and emitted as a plain ``DC`` level — the backend's
+        "operating point at t" export (external simulators have no
+        notion of our ``solve_dc(t=...)``).
+    save:
+        ``.SAVE`` vectors; bare node names become ``v(node)``, ``all``
+        and explicit ``v(...)`` / ``i(...)`` entries pass through.
+    print_vectors:
+        ``.PRINT TRAN`` vectors (requires ``tran``; the tabular-output
+        sibling of ``.save`` for log-scraping workflows).
+    options:
+        ``.OPTIONS`` key/value pairs (value ``None`` emits a bare flag).
+
+    Returns the :class:`DeckInfo` manifest of what was emitted.
+    """
+    _check_exportable(circuit)
+    _check_node_case(circuit)
+    info = DeckInfo(title=title or circuit.name)
+    stream.write(f"* {info.title}\n")
+    stream.write("* exported by repro (PG-MCML reproduction)\n\n")
+    info.nodes = [_node(n) for n in circuit.all_nodes()]
+
+    models = _write_devices(stream, circuit, info)
+
+    stream.write("\n")
+    for index, source in enumerate(circuit.vsources, start=1):
+        card = f"V{index}_{_ident(source.name)}"
+        if dc_snapshot is not None:
+            text = f"DC {source.value(dc_snapshot):g}"
+        else:
+            text = _stimulus_text(source.stimulus)
+        stream.write(f"{card} {_node(source.node)} 0 {text}\n")
+        info.source_cards[source.name] = card
+
+    stream.write("\n")
+    _write_models(stream, models, info)
+
+    if options:
+        parts = []
+        for key, value in options.items():
+            parts.append(key if value is None else f"{key}={value}")
+        stream.write(f"\n.OPTIONS {' '.join(parts)}\n")
+
+    if save:
+        vectors = [_normalize_save(entry) for entry in save]
+        stream.write(f"\n.SAVE {' '.join(vectors)}\n")
+        info.saves = vectors
+
+    if print_vectors is not None:
+        if tran is None:
+            raise CircuitError(
+                "print_vectors requires a tran analysis "
+                "(.PRINT needs an analysis type)")
+        vectors = [_normalize_save(entry) for entry in print_vectors]
+        stream.write(f"\n.PRINT TRAN {' '.join(vectors)}\n")
+
+    if op:
+        stream.write("\n.OP\n")
+        info.analyses.append(".OP")
     if tran is not None:
         try:
-            stream.write(f"\n.TRAN {tran['tstep']:g} {tran['tstop']:g}\n")
+            card = f".TRAN {tran['tstep']:g} {tran['tstop']:g}"
         except KeyError as exc:
             raise CircuitError(f"tran spec missing {exc}") from None
+        stream.write(f"\n{card}\n")
+        info.analyses.append(card)
     stream.write("\n.END\n")
+    return info
+
+
+def write_subckt(stream: TextIO, circuit: Circuit, ports: Sequence[str],
+                 name: Optional[str] = None,
+                 include_models: bool = True) -> DeckInfo:
+    """Emit ``circuit`` as a ``.SUBCKT`` definition.
+
+    ``ports`` is the ordered terminal list of the subcircuit (supply,
+    bias, input, and output nets — the SewIC ``cell1rw.sp`` idiom).
+    Every port must be a node of the circuit; voltage sources are
+    rejected because they belong to the instantiating testbench, not
+    the cell.  Model cards are emitted after ``.ENDS`` (SPICE models
+    are global) unless ``include_models`` is False — pass False when
+    concatenating several subckts sharing flavours into one file.
+    """
+    _check_exportable(circuit)
+    _check_node_case(circuit)
+    if not ports:
+        raise CircuitError(
+            f"subckt export of {circuit.name!r} needs at least one port")
+    if circuit.vsources:
+        raise CircuitError(
+            f"circuit {circuit.name!r} has voltage sources "
+            f"({', '.join(s.name for s in circuit.vsources)}); a .SUBCKT "
+            f"body must leave stimulus to the instantiating testbench",
+            context={"circuit": circuit.name,
+                     "sources": [s.name for s in circuit.vsources]})
+    known = set(circuit.all_nodes())
+    port_nodes = []
+    bad = []
+    for port in ports:
+        if port in known:
+            port_nodes.append(_node(port))
+        else:
+            bad.append(port)
+    if bad:
+        raise CircuitError(
+            f"subckt ports {sorted(bad)} are not nodes of circuit "
+            f"{circuit.name!r}",
+            context={"circuit": circuit.name, "ports": sorted(bad)})
+    if len(set(p.lower() for p in port_nodes)) != len(port_nodes):
+        raise CircuitError(
+            f"subckt ports of {circuit.name!r} repeat: {list(ports)}")
+
+    subname = _ident(name or circuit.name)
+    info = DeckInfo(title=subname)
+    info.nodes = [_node(n) for n in circuit.all_nodes()]
+    stream.write(f"* subckt export of {circuit.name}\n")
+    stream.write(f".SUBCKT {subname} {' '.join(port_nodes)}\n")
+    models = _write_devices(stream, circuit, info)
+    stream.write(f".ENDS {subname}\n")
+    if include_models:
+        stream.write("\n")
+        _write_models(stream, models, info)
+    return info
+
+
+# -- re-parsing ---------------------------------------------------------------
+
+
+@dataclass
+class ParsedCard:
+    """One device card: letter, emitted name, nodes, trailing fields."""
+
+    letter: str
+    name: str
+    nodes: List[str]
+    fields: List[str]
+    params: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ParsedSource:
+    """One V-source card."""
+
+    name: str
+    node: str
+    kind: str  # "DC" | "PULSE" | "PWL"
+    values: List[float]
+
+
+@dataclass
+class ParsedDeck:
+    """Structured view of a deck this module emitted.
+
+    The parser is strict on purpose: it understands exactly the subset
+    :func:`write_spice_deck` / :func:`write_subckt` produce, and raises
+    :class:`CircuitError` on anything else — it exists to prove decks
+    round-trip, not to read arbitrary SPICE.
+    """
+
+    title: str = ""
+    devices: List[ParsedCard] = field(default_factory=list)
+    sources: List[ParsedSource] = field(default_factory=list)
+    models: Dict[str, Tuple[str, Dict[str, float]]] = field(
+        default_factory=dict)
+    saves: List[str] = field(default_factory=list)
+    prints: List[Tuple[str, List[str]]] = field(default_factory=list)
+    options: Dict[str, str] = field(default_factory=dict)
+    tran: Optional[Tuple[float, float]] = None
+    op: bool = False
+    subckts: Dict[str, "ParsedDeck"] = field(default_factory=dict)
+    subckt_ports: Dict[str, List[str]] = field(default_factory=dict)
+    ended: bool = False
+
+    def nodes(self) -> List[str]:
+        """Every node named by a device or source card."""
+        seen = {}
+        for card in self.devices:
+            for node in card.nodes:
+                seen[node] = True
+        for source in self.sources:
+            seen[source.node] = True
+        return sorted(seen)
+
+    def device(self, suffix: str) -> ParsedCard:
+        """The unique device card whose name ends with ``_<suffix>``."""
+        matches = [c for c in self.devices
+                   if c.name.lower().endswith("_" + suffix.lower())]
+        if len(matches) != 1:
+            raise CircuitError(
+                f"expected exactly one card matching {suffix!r}, found "
+                f"{[c.name for c in matches]}")
+        return matches[0]
+
+
+_MODEL_KINDS = ("NMOS", "PMOS")
+
+_DEVICE_NODE_COUNT = {"R": 2, "C": 2, "I": 2, "M": 4}
+
+
+def _parse_float(token: str, what: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise CircuitError(f"{what}: not a number: {token!r}") from None
+
+
+def _parse_paren_values(text: str, what: str) -> List[float]:
+    if not text.endswith(")"):
+        raise CircuitError(f"{what}: unterminated value list: {text!r}")
+    inner = text[text.index("(") + 1:-1]
+    return [_parse_float(tok, what) for tok in inner.split()]
+
+
+def _parse_source_line(tokens: List[str], line: str) -> ParsedSource:
+    if len(tokens) < 4:
+        raise CircuitError(f"malformed source card: {line!r}")
+    name, node, ref = tokens[0], tokens[1], tokens[2]
+    if ref != "0":
+        raise CircuitError(
+            f"source {name!r} must reference ground (got {ref!r})")
+    rest = " ".join(tokens[3:])
+    upper = rest.upper()
+    if upper.startswith("DC"):
+        return ParsedSource(name, node, "DC",
+                            [_parse_float(rest.split()[1], name)])
+    if upper.startswith("PULSE("):
+        return ParsedSource(name, node, "PULSE",
+                            _parse_paren_values(rest, name))
+    if upper.startswith("PWL("):
+        return ParsedSource(name, node, "PWL",
+                            _parse_paren_values(rest, name))
+    raise CircuitError(f"source {name!r}: unknown stimulus {rest!r}")
+
+
+def _parse_model_line(tokens: List[str], line: str):
+    if len(tokens) < 3:
+        raise CircuitError(f"malformed .MODEL card: {line!r}")
+    name, kind = tokens[1], tokens[2].upper()
+    if kind not in _MODEL_KINDS:
+        raise CircuitError(f"model {name!r}: unknown kind {kind!r}")
+    blob = " ".join(tokens[3:]).strip()
+    params: Dict[str, float] = {}
+    if blob:
+        if not (blob.startswith("(") and blob.endswith(")")):
+            raise CircuitError(f"model {name!r}: unparenthesised params")
+        for pair in blob[1:-1].split():
+            if "=" not in pair:
+                raise CircuitError(
+                    f"model {name!r}: malformed param {pair!r}")
+            key, value = pair.split("=", 1)
+            params[key.upper()] = _parse_float(value, f"model {name}")
+    return name, kind, params
+
+
+def _parse_device_line(tokens: List[str], line: str) -> ParsedCard:
+    letter = tokens[0][0].upper()
+    count = _DEVICE_NODE_COUNT[letter]
+    if len(tokens) < 1 + count + 1:
+        raise CircuitError(f"malformed {letter} card: {line!r}")
+    nodes = tokens[1:1 + count]
+    rest = tokens[1 + count:]
+    card = ParsedCard(letter=letter, name=tokens[0], nodes=nodes,
+                      fields=rest)
+    for token in rest:
+        if "=" in token:
+            key, value = token.split("=", 1)
+            card.params[key.upper()] = _parse_float(
+                value, f"card {tokens[0]}")
+    return card
+
+
+def parse_spice_deck(text: str) -> ParsedDeck:
+    """Parse a deck emitted by this module back into structured cards.
+
+    Raises :class:`CircuitError` on any card outside the emitted
+    subset, on a missing ``.END``, or on malformed numbers — the
+    round-trip must be loud, exactly like the export side.
+    """
+    deck = ParsedDeck()
+    target = deck
+    lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line.strip() or line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+"):
+            if not lines:
+                raise CircuitError(
+                    f"continuation line with nothing to continue: {line!r}")
+            lines[-1] += " " + line.lstrip()[1:].strip()
+        else:
+            lines.append(line.strip())
+
+    for line in lines:
+        tokens = line.split()
+        head = tokens[0].upper()
+        if head.startswith(".SUBCKT"):
+            if len(tokens) < 3:
+                raise CircuitError(f"malformed .SUBCKT: {line!r}")
+            sub = ParsedDeck(title=tokens[1])
+            deck.subckts[tokens[1]] = sub
+            deck.subckt_ports[tokens[1]] = tokens[2:]
+            target = sub
+            continue
+        if head.startswith(".ENDS"):
+            if target is deck:
+                raise CircuitError(".ENDS outside a .SUBCKT")
+            target = deck
+            continue
+        if head == ".END":
+            deck.ended = True
+            continue
+        if head == ".MODEL":
+            name, kind, params = _parse_model_line(tokens, line)
+            deck.models[name] = (kind, params)
+            continue
+        if head == ".OPTIONS":
+            for token in tokens[1:]:
+                if "=" in token:
+                    key, value = token.split("=", 1)
+                    deck.options[key] = value
+                else:
+                    deck.options[token] = ""
+            continue
+        if head == ".SAVE":
+            deck.saves.extend(tokens[1:])
+            continue
+        if head == ".PRINT":
+            if len(tokens) < 3:
+                raise CircuitError(f"malformed .PRINT: {line!r}")
+            deck.prints.append((tokens[1].upper(), tokens[2:]))
+            continue
+        if head == ".OP":
+            deck.op = True
+            continue
+        if head == ".TRAN":
+            if len(tokens) != 3:
+                raise CircuitError(f"malformed .TRAN: {line!r}")
+            deck.tran = (_parse_float(tokens[1], ".TRAN"),
+                         _parse_float(tokens[2], ".TRAN"))
+            continue
+        if head.startswith("."):
+            raise CircuitError(f"unsupported control card: {line!r}")
+        letter = head[0]
+        if letter == "V":
+            target.sources.append(_parse_source_line(tokens, line))
+        elif letter in _DEVICE_NODE_COUNT:
+            target.devices.append(_parse_device_line(tokens, line))
+        else:
+            raise CircuitError(f"unrecognised card: {line!r}")
+    return deck

@@ -253,3 +253,55 @@ class TestCheckpointScheme:
         netlist, _ = build_reduced_aes(library)
         out = acquire_traces(netlist, KEY, [])
         assert out.shape[0] == 0 and out.shape[1] > 0
+
+
+class TestConvergenceFailureContext:
+    """A failed solve inside a campaign must be locatable from the JSONL
+    telemetry alone: trace index, chunk, plaintext, key (PR 6)."""
+
+    def _failing_pool(self, telemetry=None, fail_at=11):
+        from repro.errors import ConvergenceError
+        from repro.sca.acquisition import TraceAcquirer
+
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+
+        class _Flaky(TraceAcquirer):
+            def ideal_samples(self, plaintext):
+                if plaintext == fail_at:
+                    raise ConvergenceError("newton diverged")
+                return super().ideal_samples(plaintext)
+
+        return AcquisitionPool(lambda: _Flaky(netlist, KEY), workers=1,
+                               chunk_size=4, telemetry=telemetry)
+
+    def test_error_context_names_the_trace(self):
+        from repro.errors import ConvergenceError
+
+        with self._failing_pool() as pool:
+            with pytest.raises(ConvergenceError) as err:
+                pool.acquire(list(range(16)), trace_offset=100)
+        ctx = err.value.context
+        assert ctx["trace_index"] == 111  # offset 100 + position 11
+        assert ctx["plaintext"] == 11
+        assert ctx["key"] == KEY
+        assert ctx["chunk"] == 2  # chunk_size=4 -> plaintext 11 in chunk 2
+        assert err.value.to_dict()["context"]["trace_index"] == 111
+
+    def test_trace_failed_event_carries_the_post_mortem(self):
+        from repro.errors import ConvergenceError
+        from repro.obs import MemorySink, Telemetry
+
+        sink = MemorySink()
+        tele = Telemetry(sinks=[sink])
+        with self._failing_pool(telemetry=tele) as pool:
+            with pytest.raises(ConvergenceError):
+                pool.acquire(list(range(16)))
+        failed = [r for r in sink.records
+                  if r.get("name") == "sca.acquisition.trace_failed"]
+        assert len(failed) == 1
+        error = failed[0]["attrs"]["error"]
+        assert error["error_code"] == "E_CONVERGENCE"
+        assert error["context"]["trace_index"] == 11
+        assert error["context"]["plaintext"] == 11
+        assert error["context"]["chunk"] == 2

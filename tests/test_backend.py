@@ -1,0 +1,422 @@
+"""Backend seam: supervision, rawfile validation, dispatch, fake ngspice.
+
+None of these tests needs a real ngspice.  The subprocess layer is
+exercised with tiny Python scripts standing in for the simulator —
+well-behaved, flaky, hung, or lying — so every supervision and
+validation path runs in CI on a bare machine.
+"""
+
+import io
+import os
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BackendError,
+    BackendProtocolError,
+    BackendTimeoutError,
+    BackendUnavailableError,
+    CircuitError,
+)
+from repro.obs import MemorySink, Telemetry
+from repro.spice import Circuit, DC, GROUND, Pulse
+from repro.spice.backend import (
+    InternalBackend,
+    NgspiceBackend,
+    SupervisorPolicy,
+    available_backends,
+    get_backend,
+    parse_ascii_rawfile,
+    run_supervised,
+)
+from repro.spice.backend import dispatch
+from repro.spice.backend.ngspice import NGSPICE_ENV
+
+
+@pytest.fixture(autouse=True)
+def _clean_dispatch(monkeypatch):
+    """Every test starts and ends with a pristine backend selection."""
+    monkeypatch.delenv(dispatch.BACKEND_ENV, raising=False)
+    monkeypatch.delenv(dispatch.STRICT_ENV, raising=False)
+    dispatch.reset_default_backend()
+    yield
+    dispatch.reset_default_backend()
+
+
+def _divider() -> Circuit:
+    ckt = Circuit("div")
+    ckt.v("vs", "top", DC(1.0))
+    ckt.resistor("r1", "top", "out", 1e3)
+    ckt.resistor("r2", "out", GROUND, 1e3)
+    return ckt
+
+
+def _script(tmp_path, body, name="fake-ngspice"):
+    """An executable Python script posing as a simulator binary."""
+    path = tmp_path / name
+    path.write_text("#!" + sys.executable + "\n"
+                    + textwrap.dedent(body))
+    path.chmod(0o755)
+    return str(path)
+
+
+# A fake that answers --version and otherwise writes a canned rawfile to
+# the -r path (the {raw!r} placeholder) and a log to the -o path.
+_FAKE_TEMPLATE = """\
+import sys
+args = sys.argv[1:]
+if "--version" in args:
+    print("ngspice-fake compiled from nothing")
+    sys.exit(0)
+with open(args[args.index("-o") + 1], "w") as log:
+    log.write("fake ngspice log\\n")
+with open(args[args.index("-r") + 1], "w") as out:
+    out.write({raw!r})
+"""
+
+_OP_RAW = """\
+Title: fake
+Date: never
+Plotname: Operating Point
+Flags: real
+No. Variables: 3
+No. Points: 1
+Variables:
+\t0\tv(top)\tvoltage
+\t1\tv(out)\tvoltage
+\t2\ti(v1_vs)\tcurrent
+Values:
+0\t1.0
+\t0.5
+\t-0.0005
+"""
+
+
+def _tran_raw(n=5, tstop=4e-9):
+    lines = ["Title: fake", "Date: never",
+             "Plotname: Transient Analysis", "Flags: real",
+             "No. Variables: 4", f"No. Points: {n}", "Variables:",
+             "\t0\ttime\ttime", "\t1\tv(top)\tvoltage",
+             "\t2\tv(out)\tvoltage", "\t3\ti(v1_vs)\tcurrent", "Values:"]
+    for p in range(n):
+        t = tstop * p / (n - 1)
+        lines += [f"{p}\t{t:.6g}", "\t1.0", f"\t{0.5 * p / (n - 1):.6g}",
+                  "\t-0.0005"]
+    return "\n".join(lines) + "\n"
+
+
+# -- supervised subprocess ----------------------------------------------------
+
+
+class TestRunSupervised:
+    def test_success_captures_output(self, tmp_path):
+        binary = _script(tmp_path, """
+            import sys
+            print("hello from fake")
+            sys.stderr.write("noise\\n")
+        """)
+        sink = MemorySink()
+        run = run_supervised([binary], telemetry=Telemetry(sinks=[sink]))
+        assert run.returncode == 0
+        assert "hello from fake" in run.stdout
+        assert run.retries_used == 0
+        events = [r for r in sink.records
+                  if r.get("name") == "spice.backend.subprocess"]
+        assert len(events) == 1
+        assert "hello from fake" in events[0]["attrs"]["stdout_tail"]
+
+    def test_transient_failure_retried_with_backoff(self, tmp_path):
+        marker = tmp_path / "second-run"
+        binary = _script(tmp_path, f"""
+            import os, sys
+            marker = {str(marker)!r}
+            if os.path.exists(marker):
+                print("recovered")
+                sys.exit(0)
+            open(marker, "w").close()
+            sys.stderr.write("flaky once\\n")
+            sys.exit(1)
+        """)
+        delays = []
+        run = run_supervised(
+            [binary],
+            policy=SupervisorPolicy(retries=2, backoff=0.25,
+                                    backoff_factor=2.0),
+            sleep=delays.append)
+        assert run.retries_used == 1
+        assert run.attempts[0].returncode == 1
+        assert "flaky once" in run.attempts[0].stderr_tail
+        assert delays == [0.25]  # injected sleep: the test runs instantly
+
+    def test_exhausted_retries_raise_with_stderr_tail(self, tmp_path):
+        binary = _script(tmp_path, """
+            import sys
+            sys.stderr.write("doom: singular matrix\\n")
+            sys.exit(3)
+        """)
+        with pytest.raises(BackendError) as err:
+            run_supervised([binary],
+                           policy=SupervisorPolicy(retries=1, backoff=0.0))
+        assert "singular matrix" in str(err.value)
+        assert err.value.error_code == "E_BACKEND"
+        attempts = err.value.context["attempts"]
+        assert [a["returncode"] for a in attempts] == [3, 3]
+
+    def test_missing_binary_is_structured(self, tmp_path):
+        with pytest.raises(BackendUnavailableError) as err:
+            run_supervised([str(tmp_path / "no-such-simulator")])
+        assert err.value.error_code == "E_BACKEND_UNAVAILABLE"
+        assert err.value.to_dict()["error_code"] == "E_BACKEND_UNAVAILABLE"
+
+    def test_hang_is_reaped_and_raises_timeout(self, tmp_path):
+        binary = _script(tmp_path, """
+            import signal, time
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            time.sleep(60)
+        """)
+        with pytest.raises(BackendTimeoutError) as err:
+            run_supervised(
+                [binary],
+                policy=SupervisorPolicy(timeout=0.3, term_grace=0.2,
+                                        retries=2, backoff=0.0))
+        assert err.value.error_code == "E_BACKEND_TIMEOUT"
+        attempts = err.value.context["attempts"]
+        assert len(attempts) == 1  # timeouts are not retried by default
+        assert attempts[0]["timed_out"]
+        assert attempts[0]["killed"]  # SIGTERM ignored -> SIGKILL escalation
+
+    def test_policy_validation(self):
+        with pytest.raises(BackendError):
+            SupervisorPolicy(timeout=0.0)
+        with pytest.raises(BackendError):
+            SupervisorPolicy(retries=-1)
+        with pytest.raises(BackendError):
+            SupervisorPolicy(backoff_factor=0.5)
+
+
+# -- rawfile parsing ----------------------------------------------------------
+
+
+class TestRawfileParser:
+    def test_op_plot(self):
+        plots = parse_ascii_rawfile(_OP_RAW)
+        assert len(plots) == 1
+        plot = plots[0]
+        assert plot.is_op() and not plot.is_transient()
+        assert plot.n_points == 1
+        assert plot.vector("out")[0] == pytest.approx(0.5)
+        assert plot.vector("V(TOP)")[0] == pytest.approx(1.0)
+        assert plot.index_of("nosuch") is None
+
+    def test_transient_plot(self):
+        plot = parse_ascii_rawfile(_tran_raw())[0]
+        assert plot.is_transient()
+        assert plot.n_points == 5
+        time = plot.vector("time")
+        assert np.all(np.diff(time) > 0)
+
+    def test_missing_vector_is_loud(self):
+        plot = parse_ascii_rawfile(_OP_RAW)[0]
+        with pytest.raises(BackendProtocolError) as err:
+            plot.vector("ghost")
+        assert err.value.context["available"] == \
+            ["v(top)", "v(out)", "i(v1_vs)"]
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda t: t.replace("1.0", "nan", 1), "non-finite"),
+        (lambda t: t.replace("No. Variables: 3", "No. Variables: 4"),
+         "malformed"),
+        (lambda t: t.replace("\t0.5\n", ""), "expected 3"),
+        (lambda t: t.replace("0\t1.0", "7\t1.0"), "out of order"),
+        (lambda t: t.replace("v(out)", "v(top)"), "duplicate"),
+        (lambda t: t.replace("Flags: real", "Flags: complex"), "complex"),
+        (lambda t: t.replace("Values:", "Garbage:"), "missing Values"),
+        (lambda t: "", "no plots"),
+    ])
+    def test_malformed_rawfiles_rejected(self, mutate, message):
+        with pytest.raises(BackendProtocolError, match=message):
+            parse_ascii_rawfile(mutate(_OP_RAW))
+
+
+# -- registry and dispatch ----------------------------------------------------
+
+
+class TestDispatch:
+    def test_registry(self):
+        assert available_backends() == ("internal", "ngspice")
+        assert isinstance(get_backend("internal"), InternalBackend)
+        assert isinstance(get_backend("ngspice"), NgspiceBackend)
+        with pytest.raises(BackendError, match="available"):
+            get_backend("hspice")
+        with pytest.raises(BackendError):
+            dispatch.set_default_backend("hspice")  # typos fail fast
+
+    def test_default_is_internal(self):
+        assert dispatch.default_backend() is dispatch.default_backend()
+        assert dispatch.default_backend().name == "internal"
+
+    def test_dispatch_matches_internal_engine(self):
+        from repro.spice import run_transient as internal_tran
+        from repro.spice import solve_dc as internal_dc
+
+        ckt = _divider()
+        direct = internal_dc(ckt)
+        routed = dispatch.solve_dc(ckt)
+        assert routed.voltages == direct.voltages
+        assert routed.source_currents == direct.source_currents
+
+        ckt2 = Circuit("rc")
+        ckt2.v("vin", "in", Pulse(0, 1.0, 1e-9, 1e-11, 1e-11, 2e-9))
+        ckt2.resistor("r1", "in", "out", 1e3)
+        ckt2.capacitor("c1", "out", GROUND, 1e-12)
+        a = internal_tran(ckt2, tstop=4e-9, dt=1e-10)
+        b = dispatch.run_transient(ckt2, tstop=4e-9, dt=1e-10)
+        np.testing.assert_array_equal(a.time, b.time)
+        np.testing.assert_array_equal(a.voltages["out"], b.voltages["out"])
+
+    def test_unavailable_backend_degrades_with_telemetry(self, tmp_path,
+                                                         monkeypatch):
+        monkeypatch.setenv(dispatch.BACKEND_ENV, "ngspice")
+        monkeypatch.setenv(NGSPICE_ENV, str(tmp_path / "not-installed"))
+        dispatch.reset_default_backend()
+        sink = MemorySink()
+        backend = dispatch.default_backend(
+            telemetry=Telemetry(sinks=[sink]))
+        assert backend.name == "internal"
+        events = [r for r in sink.records
+                  if r.get("name") == "spice.backend.unavailable"]
+        assert len(events) == 1
+        assert events[0]["attrs"]["error"]["error_code"] == \
+            "E_BACKEND_UNAVAILABLE"
+        # The degradation is cached: no second probe, same answer.
+        assert dispatch.default_backend().name == "internal"
+
+    def test_strict_mode_propagates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(dispatch.BACKEND_ENV, "ngspice")
+        monkeypatch.setenv(NGSPICE_ENV, str(tmp_path / "not-installed"))
+        monkeypatch.setenv(dispatch.STRICT_ENV, "1")
+        dispatch.reset_default_backend()
+        with pytest.raises(BackendUnavailableError):
+            dispatch.default_backend()
+
+    def test_explicit_backend_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(dispatch.BACKEND_ENV, "ngspice")
+        dispatch.set_default_backend("internal")
+        assert dispatch.default_backend().name == "internal"
+
+
+# -- the ngspice backend against fake binaries --------------------------------
+
+
+class TestNgspiceBackendFake:
+    def test_probe_reports_version(self, tmp_path):
+        binary = _script(tmp_path, _FAKE_TEMPLATE.format(raw=_OP_RAW))
+        probe = NgspiceBackend(binary=binary).probe()
+        assert probe.available
+        assert "ngspice-fake" in probe.version
+        assert probe.binary == binary
+
+    def test_probe_missing_binary(self, tmp_path):
+        backend = NgspiceBackend(binary=str(tmp_path / "missing"))
+        with pytest.raises(BackendUnavailableError) as err:
+            backend.probe()
+        assert err.value.context["env"] == NGSPICE_ENV
+
+    def test_solve_dc_translates_and_negates(self, tmp_path):
+        binary = _script(tmp_path, _FAKE_TEMPLATE.format(raw=_OP_RAW))
+        op = NgspiceBackend(binary=binary).solve_dc(_divider())
+        assert op["top"] == pytest.approx(1.0)
+        assert op["out"] == pytest.approx(0.5)
+        assert op[GROUND] == 0.0
+        # ngspice reports -0.5 mA into the + terminal; internally a
+        # delivering source is positive.
+        assert op.current("vs") == pytest.approx(0.5e-3)
+
+    def test_solve_dc_ignores_internal_kwargs_but_rejects_typos(
+            self, tmp_path):
+        binary = _script(tmp_path, _FAKE_TEMPLATE.format(raw=_OP_RAW))
+        backend = NgspiceBackend(binary=binary)
+        backend.solve_dc(_divider(), guess=None, budget=None)  # ignored
+        with pytest.raises(BackendError, match="unsupported"):
+            backend.solve_dc(_divider(), gues=None)
+
+    def test_run_transient_on_external_grid(self, tmp_path):
+        binary = _script(tmp_path,
+                         _FAKE_TEMPLATE.format(raw=_tran_raw()))
+        result = NgspiceBackend(binary=binary).run_transient(
+            _divider(), tstop=4e-9, dt=1e-9, record=["out"])
+        assert result.stats.grid_points == 5
+        assert result.time[-1] == pytest.approx(4e-9)
+        assert result.voltages["out"][-1] == pytest.approx(0.5)
+        assert "top" not in result.voltages  # record filter honoured
+        assert result.current("vs").v[0] == pytest.approx(0.5e-3)
+
+    def test_run_transient_unknown_record_name(self, tmp_path):
+        binary = _script(tmp_path,
+                         _FAKE_TEMPLATE.format(raw=_tran_raw()))
+        with pytest.raises(CircuitError, match="not nodes"):
+            NgspiceBackend(binary=binary).run_transient(
+                _divider(), tstop=4e-9, dt=1e-9, record=["ghost"])
+
+    def test_missing_node_in_rawfile(self, tmp_path):
+        truncated = _OP_RAW.replace("v(out)", "v(unrelated)")
+        binary = _script(tmp_path, _FAKE_TEMPLATE.format(raw=truncated))
+        with pytest.raises(BackendProtocolError, match="missing node"):
+            NgspiceBackend(binary=binary).solve_dc(_divider())
+
+    def test_missing_branch_current(self, tmp_path):
+        gutted = _OP_RAW.replace("i(v1_vs)", "i(v9_other)")
+        binary = _script(tmp_path, _FAKE_TEMPLATE.format(raw=gutted))
+        with pytest.raises(BackendProtocolError, match="branch current"):
+            NgspiceBackend(binary=binary).solve_dc(_divider())
+
+    def test_garbage_rawfile(self, tmp_path):
+        binary = _script(
+            tmp_path, _FAKE_TEMPLATE.format(raw="not a rawfile at all\n"))
+        with pytest.raises(BackendProtocolError):
+            NgspiceBackend(binary=binary).solve_dc(_divider())
+
+    def test_no_rawfile_written(self, tmp_path):
+        binary = _script(tmp_path, """
+            import sys
+            args = sys.argv[1:]
+            if "--version" in args:
+                print("ngspice-fake")
+                sys.exit(0)
+            with open(args[args.index("-o") + 1], "w") as log:
+                log.write("Fatal error: deck exploded\\n")
+            sys.exit(0)
+        """)
+        with pytest.raises(BackendProtocolError) as err:
+            NgspiceBackend(binary=binary).solve_dc(_divider())
+        assert "deck exploded" in err.value.context["log_tail"]
+
+    def test_hung_simulator_times_out(self, tmp_path):
+        binary = _script(tmp_path, """
+            import sys, time
+            if "--version" in sys.argv:
+                print("ngspice-fake")
+                sys.exit(0)
+            time.sleep(60)
+        """)
+        backend = NgspiceBackend(
+            binary=binary,
+            policy=SupervisorPolicy(timeout=0.3, term_grace=0.2))
+        with pytest.raises(BackendTimeoutError):
+            backend.solve_dc(_divider())
+
+    def test_dispatch_routes_to_fake(self, tmp_path, monkeypatch):
+        binary = _script(tmp_path, _FAKE_TEMPLATE.format(raw=_OP_RAW))
+        monkeypatch.setenv(dispatch.BACKEND_ENV, "ngspice")
+        monkeypatch.setenv(NGSPICE_ENV, binary)
+        dispatch.reset_default_backend()
+        sink = MemorySink()
+        tele = Telemetry(sinks=[sink])
+        op = dispatch.solve_dc(_divider(), telemetry=tele)
+        assert op["out"] == pytest.approx(0.5)
+        selected = [r for r in sink.records
+                    if r.get("name") == "spice.backend.selected"]
+        assert selected and selected[0]["attrs"]["backend"] == "ngspice"

@@ -1,0 +1,322 @@
+"""Deck export contract: golden snapshots, round-trips, strictness.
+
+The exported deck is the only thing an external simulator ever sees, so
+this suite pins down three properties:
+
+* **golden snapshot** — a fixed circuit with all three stimulus types
+  exports byte-for-byte identically (any change here is a deliberate
+  format change, reviewed via this test);
+* **round-trip** — one representative cell per library style (CMOS INV,
+  MCML BUF, PG-MCML BUF) re-parses via :func:`parse_spice_deck` into
+  the same device/node/model population the circuit holds;
+* **strictness** — unexportable devices (subclass proxies included)
+  raise an aggregate :class:`CircuitError` instead of silently
+  exporting as their pristine base class.
+"""
+
+import io
+
+import pytest
+
+from repro.cells import (
+    CmosCellGenerator,
+    McmlCellGenerator,
+    PgMcmlCellGenerator,
+    function,
+    solve_bias,
+)
+from repro.errors import CircuitError
+from repro.spice import (
+    Circuit,
+    DC,
+    GROUND,
+    Mosfet,
+    Pulse,
+    PWL,
+    Resistor,
+    parse_spice_deck,
+    write_spice_deck,
+    write_subckt,
+)
+from repro.units import uA
+
+
+def _golden_circuit() -> Circuit:
+    ckt = Circuit("golden")
+    ckt.resistor("rload", "mid", "out", 1e3)
+    ckt.capacitor("cl", "out", GROUND, 1e-12)
+    ckt.isource("ib", "mid", GROUND, 1e-6)
+    ckt.v("vin", "in", Pulse(0.0, 1.2, 1e-9, 1e-11, 1e-11, 2e-9, 4e-9))
+    ckt.v("vdd", "mid", DC(1.2))
+    ckt.v("vramp", "out", PWL([(0.0, 0.0), (1e-9, 1.2)]))
+    return ckt
+
+
+GOLDEN_DECK = """\
+* golden
+* exported by repro (PG-MCML reproduction)
+
+R1_rload mid out 1000
+C1_cl out 0 1e-12
+I1_ib mid 0 DC 1e-06
+
+V1_vin in 0 PULSE(0 1.2 1e-09 1e-11 1e-11 2e-09 4e-09)
+V2_vdd mid 0 DC 1.2
+V3_vramp out 0 PWL(0 0 1e-09 1.2)
+
+
+.OPTIONS filetype=ascii
+
+.SAVE v(out) v(mid)
+
+.PRINT TRAN v(out)
+
+.TRAN 1e-12 4e-09
+
+.END
+"""
+
+
+class TestGoldenDeck:
+    def test_snapshot(self):
+        buf = io.StringIO()
+        info = write_spice_deck(
+            buf, _golden_circuit(), tran={"tstep": 1e-12, "tstop": 4e-9},
+            save=["out", "v(mid)"], print_vectors=["out"],
+            options={"filetype": "ascii"})
+        assert buf.getvalue() == GOLDEN_DECK
+        assert info.device_cards == {"rload": "R1_rload", "cl": "C1_cl",
+                                     "ib": "I1_ib"}
+        assert info.source_cards == {"vin": "V1_vin", "vdd": "V2_vdd",
+                                     "vramp": "V3_vramp"}
+        assert info.nodes == ["0", "in", "mid", "out"]
+        assert info.saves == ["v(out)", "v(mid)"]
+        assert info.analyses == [".TRAN 1e-12 4e-09"]
+
+    def test_golden_round_trips(self):
+        deck = parse_spice_deck(GOLDEN_DECK)
+        assert deck.ended
+        assert [c.name for c in deck.devices] == \
+            ["R1_rload", "C1_cl", "I1_ib"]
+        kinds = {s.name: s.kind for s in deck.sources}
+        assert kinds == {"V1_vin": "PULSE", "V2_vdd": "DC",
+                         "V3_vramp": "PWL"}
+        pulse = next(s for s in deck.sources if s.kind == "PULSE")
+        assert pulse.values == [0.0, 1.2, 1e-9, 1e-11, 1e-11, 2e-9, 4e-9]
+        pwl = next(s for s in deck.sources if s.kind == "PWL")
+        assert pwl.values == [0.0, 0.0, 1e-9, 1.2]
+        assert deck.tran == (1e-12, 4e-9)
+        assert deck.saves == ["v(out)", "v(mid)"]
+        assert deck.prints == [("TRAN", ["v(out)"])]
+        assert deck.options == {"filetype": "ascii"}
+        assert deck.nodes() == ["0", "in", "mid", "out"]
+
+    def test_dc_snapshot_freezes_sources(self):
+        buf = io.StringIO()
+        write_spice_deck(buf, _golden_circuit(), op=True, dc_snapshot=0.5e-9)
+        deck = parse_spice_deck(buf.getvalue())
+        assert deck.op
+        assert all(s.kind == "DC" for s in deck.sources)
+        ramp = next(s for s in deck.sources if s.name == "V3_vramp")
+        assert ramp.values[0] == pytest.approx(0.6)
+
+    def test_source_for_vector_forms(self):
+        buf = io.StringIO()
+        info = write_spice_deck(buf, _golden_circuit())
+        assert info.source_for_vector("i(v1_vin)") == "vin"
+        assert info.source_for_vector("I(V2_VDD)") == "vdd"
+        assert info.source_for_vector("v3_vramp#branch") == "vramp"
+        assert info.source_for_vector("v(out)") is None
+
+
+def _check_cell_round_trip(circuit, expect_models):
+    buf = io.StringIO()
+    info = write_spice_deck(buf, circuit, save=["all"],
+                            options={"filetype": "ascii"})
+    deck = parse_spice_deck(buf.getvalue())
+    assert deck.ended
+    # Every circuit device landed as exactly one card with the right
+    # node count, and every card maps back through the manifest.
+    assert len(deck.devices) == len(circuit.devices)
+    emitted = {c.name for c in deck.devices}
+    assert set(info.device_cards.values()) == emitted
+    assert {s.name for s in deck.sources} == set(info.source_cards.values())
+    # Node population survives (ground folded to "0").
+    assert deck.nodes() == info.nodes
+    # Model cards for every flavour, with a LEVEL=1 core.
+    assert set(deck.models) == set(expect_models)
+    for name, (kind, params) in deck.models.items():
+        assert kind in ("NMOS", "PMOS")
+        assert params.get("LEVEL") == 1.0
+        assert "VTO" in params and "KP" in params
+    # Each MOS card references a declared model and carries W/L.
+    for card in deck.devices:
+        if card.letter == "M":
+            assert card.fields[0] in deck.models
+            assert card.params["W"] > 0 and card.params["L"] > 0
+    return deck
+
+
+class TestCellRoundTrips:
+    def test_cmos_inv(self):
+        cell = CmosCellGenerator().build("INV", load_cap=1e-15)
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, DC(1.2))
+        ckt.v("vin", cell.input_nets["A"], Pulse(0, 1.2, 1e-10, 1e-11,
+                                                 1e-11, 1e-9, 2e-9))
+        deck = _check_cell_round_trip(ckt, ["nmos_lvt", "pmos_lvt"])
+        letters = sorted(c.letter for c in deck.devices)
+        assert letters.count("M") == 2  # one NMOS, one PMOS
+
+    def test_mcml_buf(self):
+        bias = solve_bias(uA(50))
+        cell = McmlCellGenerator(sizing=bias.sizing).build(function("BUF"))
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, DC(1.2))
+        ckt.v("vvn", cell.vn_net, DC(bias.sizing.vn))
+        ckt.v("vvp", cell.vp_net, DC(bias.sizing.vp))
+        ckt.v("vin_p", cell.input_nets["A"][0], DC(1.2))
+        ckt.v("vin_n", cell.input_nets["A"][1], DC(0.8))
+        deck = _check_cell_round_trip(ckt, ["nmos_hvt", "pmos_lvt"])
+        assert sum(1 for c in deck.devices if c.letter == "M") == 5
+
+    def test_pgmcml_buf(self):
+        bias = solve_bias(uA(50))
+        gen = PgMcmlCellGenerator(sizing=bias.sizing)
+        cell = gen.build(function("BUF"))
+        assert cell.has_sleep
+        ckt = cell.circuit
+        ckt.v("vdd", cell.vdd_net, DC(1.2))
+        ckt.v("vvn", cell.vn_net, DC(bias.sizing.vn))
+        ckt.v("vvp", cell.vp_net, DC(bias.sizing.vp))
+        ckt.v("vsleep", cell.sleep_net, DC(1.2))
+        ckt.v("vin_p", cell.input_nets["A"][0], DC(1.2))
+        ckt.v("vin_n", cell.input_nets["A"][1], DC(0.8))
+        deck = _check_cell_round_trip(ckt, ["nmos_hvt", "pmos_lvt"])
+        # PG-MCML = MCML buffer + the NMOS sleep device in the tail.
+        assert sum(1 for c in deck.devices if c.letter == "M") >= 6
+
+
+class _FaultyResistor(Resistor):
+    """Stand-in for a fault-injection proxy: same card letter, different
+    behaviour — must never export as a pristine Resistor."""
+
+    def currents(self, volts):
+        return [0.0, 0.0]
+
+
+class TestExportStrictness:
+    def test_subclass_proxy_rejected(self):
+        ckt = Circuit("faulty")
+        ckt.add(_FaultyResistor("rbad", "a", GROUND, 1e3))
+        ckt.v("vin", "a", DC(1.0))
+        with pytest.raises(CircuitError) as err:
+            write_spice_deck(io.StringIO(), ckt)
+        assert "rbad" in str(err.value)
+        assert "_FaultyResistor" in str(err.value)
+        assert "proxies" in str(err.value)  # the disarm hint
+        assert err.value.context["devices"] == ["rbad"]
+
+    def test_aggregate_error_lists_every_offender(self):
+        class Alien:
+            name = "weird"
+            terminals = ("x", "y")
+
+        ckt = Circuit("faulty")
+        ckt.resistor("rok", "a", GROUND, 1e3)
+        ckt.add(_FaultyResistor("rbad", "a", GROUND, 1e3))
+        ckt.devices.append(Alien())
+        with pytest.raises(CircuitError) as err:
+            write_spice_deck(io.StringIO(), ckt)
+        assert err.value.context["devices"] == ["rbad", "weird"]
+        assert sorted(err.value.context["types"]) == \
+            ["Alien", "_FaultyResistor"]
+        assert err.value.error_code == "E_CIRCUIT"
+
+    def test_node_case_collision_rejected(self):
+        ckt = Circuit("case")
+        ckt.resistor("r1", "Out", GROUND, 1e3)
+        ckt.resistor("r2", "out", GROUND, 1e3)
+        with pytest.raises(CircuitError, match="case-insensitively"):
+            write_spice_deck(io.StringIO(), ckt)
+
+    def test_print_requires_tran(self):
+        ckt = Circuit("p")
+        ckt.resistor("r1", "a", GROUND, 1e3)
+        with pytest.raises(CircuitError, match="print_vectors"):
+            write_spice_deck(io.StringIO(), ckt, print_vectors=["a"])
+
+
+class TestSubckt:
+    def _core(self):
+        ckt = Circuit("divider")
+        ckt.resistor("rtop", "vdd", "out", 1e3)
+        ckt.resistor("rbot", "out", GROUND, 1e3)
+        return ckt
+
+    def test_round_trip(self):
+        buf = io.StringIO()
+        info = write_subckt(buf, self._core(), ports=["vdd", "out"])
+        deck = parse_spice_deck(buf.getvalue())
+        assert list(deck.subckts) == ["divider"]
+        assert deck.subckt_ports["divider"] == ["vdd", "out"]
+        sub = deck.subckts["divider"]
+        assert {c.name for c in sub.devices} == \
+            set(info.device_cards.values())
+        assert not deck.devices  # nothing leaked outside the wrapper
+
+    def test_mos_models_follow_ends(self):
+        cell = CmosCellGenerator().build("INV")
+        buf = io.StringIO()
+        info = write_subckt(buf, cell.circuit,
+                            ports=[cell.vdd_net, cell.input_nets["A"],
+                                   cell.output_nets["Y"]],
+                            name="invx1")
+        text = buf.getvalue()
+        assert text.index(".ENDS invx1") < text.index(".MODEL")
+        assert info.models  # emitted and recorded
+        no_models = io.StringIO()
+        write_subckt(no_models, cell.circuit,
+                     ports=[cell.vdd_net, cell.input_nets["A"],
+                            cell.output_nets["Y"]],
+                     name="invx1", include_models=False)
+        assert ".MODEL" not in no_models.getvalue()
+
+    def test_vsources_rejected(self):
+        ckt = self._core()
+        ckt.v("vdd", "vdd", DC(1.2))
+        with pytest.raises(CircuitError, match="testbench"):
+            write_subckt(io.StringIO(), ckt, ports=["out"])
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(CircuitError, match="not nodes"):
+            write_subckt(io.StringIO(), self._core(),
+                         ports=["vdd", "nosuch"])
+
+    def test_empty_ports_rejected(self):
+        with pytest.raises(CircuitError, match="at least one port"):
+            write_subckt(io.StringIO(), self._core(), ports=[])
+
+
+class TestParserStrictness:
+    def test_unrecognised_card(self):
+        with pytest.raises(CircuitError, match="unrecognised"):
+            parse_spice_deck("X1 a b mysub\n.END\n")
+
+    def test_unsupported_control_card(self):
+        with pytest.raises(CircuitError, match="unsupported control"):
+            parse_spice_deck(".AC DEC 10 1 1e9\n.END\n")
+
+    def test_continuation_lines_fold(self):
+        deck = parse_spice_deck(
+            "R1_r a\n+ b 1000\nV1_v a 0 DC\n+ 1.0\n.END\n")
+        assert deck.devices[0].nodes == ["a", "b"]
+        assert deck.sources[0].values == [1.0]
+
+    def test_orphan_continuation(self):
+        with pytest.raises(CircuitError, match="nothing to continue"):
+            parse_spice_deck("+ b 1000\n.END\n")
+
+    def test_bad_number_is_loud(self):
+        with pytest.raises(CircuitError, match="not a number"):
+            parse_spice_deck("V1_v a 0 DC oops\n.END\n")
