@@ -10,6 +10,11 @@ Times cell-level transients with both assemblies (selected through
 * an 8-buffer PG-MCML chain (~80 devices), the headline: the batched
   EKV evaluation amortises dispatch across the device axis and must be
   ≥3× faster than the loop;
+* 256 per-trace buffer testbenches (pulse polarity driven by the
+  plaintext's low bit) marched through the lockstep batched transient
+  engine at batch sizes 1 / 8 / 32 — batch=1 is the serial oracle, the
+  batched chunks must match it to ≤1e-9 V and batch=32 must be ≥4×
+  faster;
 * the 256-trace serial CPA acquisition of ``bench_acquisition.py``,
   re-timed under the bank default and compared against the reference
   numbers in ``BENCH_acquisition.json``.  That path is logic-sim plus
@@ -34,7 +39,7 @@ from repro.cells import build_cmos_library
 from repro.cells.functions import function
 from repro.cells.pgmcml import PgMcmlCellGenerator
 from repro.sca import AttackCampaign
-from repro.spice import Circuit
+from repro.spice import Circuit, run_transient_batch
 from repro.spice.dc import _ASSEMBLY_ENV
 from repro.spice.stimulus import Pulse
 from repro.spice.transient import run_transient
@@ -45,6 +50,12 @@ CHAIN_LEN = 8
 REPEATS = 3
 N_TRACES = 256
 KEY = 0x2B
+
+#: Lockstep batched-transient case: 256 per-trace testbenches, chunked
+#: at each of these batch sizes (1 = the serial oracle).
+BATCH_TRACES = 256
+BATCH_SIZES = (1, 8, 32)
+BATCH_STEPS = 64
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULT_PATH = os.path.join(_REPO_ROOT, "BENCH_spice.json")
@@ -136,6 +147,73 @@ def _transient_case(name: str, n_cells: int) -> dict:
     }
 
 
+def build_trace_lane(plaintext: int):
+    """One PG-MCML buffer testbench for one acquisition trace.
+
+    The differential input pulse's polarity is the plaintext's low bit
+    — every lane shares the template's topology and stimulus
+    breakpoints (the lockstep requirements), only stimulus values
+    differ, exactly like a campaign's per-plaintext testbenches.
+    """
+    circuit, window = build_chain(1)
+    if plaintext & 1:
+        sources = {s.name: s for s in circuit.vsources}
+        p, n = sources["vin_p"], sources["vin_n"]
+        p.stimulus, n.stimulus = n.stimulus, p.stimulus
+    return circuit, window
+
+
+def _batched_transient_case() -> dict:
+    """256 one-buffer traces at batch 1 / 8 / 32, vs the serial oracle.
+
+    The batch=1 pass runs the plain serial engine — its waveforms are
+    the oracle every batched chunk is compared against (≤1e-9 V), and
+    its wall time is the speedup baseline.
+    """
+    lanes = []
+    window = None
+    for i in range(BATCH_TRACES):
+        circuit, window = build_trace_lane(i)
+        lanes.append(circuit)
+    dt = window / BATCH_STEPS
+    timings = {}
+    oracle = None
+    worst = 0.0
+    for batch in BATCH_SIZES:
+        begin = time.perf_counter()
+        if batch == 1:
+            results = [run_transient(ckt, tstop=window, dt=dt)
+                       for ckt in lanes]
+        else:
+            results = []
+            for b0 in range(0, BATCH_TRACES, batch):
+                results.extend(run_transient_batch(
+                    lanes[b0:b0 + batch], tstop=window, dt=dt))
+        timings[batch] = time.perf_counter() - begin
+        if batch == 1:
+            oracle = results
+        else:
+            worst = max(worst, max(
+                float(np.max(np.abs(ref.voltages[node]
+                                    - res.voltages[node])))
+                for ref, res in zip(oracle, results)
+                for node in ref.voltages))
+    return {
+        "case": f"batched_acquisition_{BATCH_TRACES}",
+        "traces": BATCH_TRACES,
+        "steps": BATCH_STEPS,
+        "assembly": "bank",
+        "batch_sizes": list(BATCH_SIZES),
+        "batch_seconds": {str(b): round(timings[b], 4)
+                          for b in BATCH_SIZES},
+        "traces_per_sec": {str(b): round(BATCH_TRACES / timings[b], 2)
+                           for b in BATCH_SIZES},
+        "speedup_batch8": round(timings[1] / timings[8], 3),
+        "speedup_batch32": round(timings[1] / timings[32], 3),
+        "max_voltage_delta_vs_serial": worst,
+    }
+
+
 def _serial_acquisition() -> dict:
     """Serial 256-trace CPA under the bank default, vs the reference."""
     library = build_cmos_library()
@@ -163,10 +241,12 @@ def run_comparison():
     report = {
         "experiment": "device-bank vs reference-loop MNA assembly",
         "cpu_count": os.cpu_count(),
+        "assembly_env": os.environ.get(_ASSEMBLY_ENV, "bank"),
         "transients": [
             _transient_case("pgmcml_buffer", 1),
             _transient_case(f"pgmcml_chain{CHAIN_LEN}", CHAIN_LEN),
         ],
+        "batched": _batched_transient_case(),
         "acquisition": _serial_acquisition(),
     }
     with open(RESULT_PATH, "w") as fh:
@@ -182,6 +262,9 @@ def test_bank_assembly_speedup_and_equivalence(benchmark):
     assert chain["speedup"] >= 3.0, chain
     for entry in report["transients"]:
         assert entry["max_voltage_delta"] <= 1e-9, entry
+    batched = report["batched"]
+    assert batched["speedup_batch32"] >= 4.0, batched
+    assert batched["max_voltage_delta_vs_serial"] <= 1e-9, batched
     acq = report["acquisition"]
     assert acq["cpa_rank"] == 0, acq
     if "reference_cpa_rank" in acq:

@@ -76,6 +76,10 @@ def main(argv=None) -> int:
                              "'2000' (Newton iterations) or "
                              "'iters=2000,attempts=3,rejections=64,"
                              "steps=200000' (sets REPRO_SOLVE_BUDGET)")
+    parser.add_argument("--spice-batch", metavar="N",
+                        help="lockstep batch size for transient solves "
+                             "and trace acquisition; 1 = serial engine "
+                             "(sets REPRO_SPICE_BATCH)")
     from .spice.backend import available_backends
     parser.add_argument("--backend", choices=available_backends(),
                         help="simulator backend for DC/transient runs "
@@ -91,6 +95,10 @@ def main(argv=None) -> int:
         from .spice import SolveBudget
         os.environ["REPRO_SOLVE_BUDGET"] = args.solve_budget
         SolveBudget.from_env()  # fail fast on an unparsable spec
+    if args.spice_batch:
+        from .spice import BATCH_ENV, batch_size_from_env
+        os.environ[BATCH_ENV] = args.spice_batch
+        batch_size_from_env()  # fail fast on an unparsable size
     if args.backend:
         from .spice.backend import dispatch
         os.environ[dispatch.BACKEND_ENV] = args.backend

@@ -51,6 +51,7 @@ from ..power import (
     activity_current,
     differential_baseline,
 )
+from ..spice.batch import batch_size_from_env
 from ..units import ns, ps
 
 #: Trace capture window (the reduced AES settles well within this).
@@ -121,9 +122,16 @@ class TraceAcquirer:
     def __init__(self, netlist: GateNetlist, key: int,
                  chain: Optional[MeasurementChain] = None,
                  grid: Optional[TraceGrid] = None,
-                 mismatch_seed: int = 0, t_apply: float = 0.0):
+                 mismatch_seed: int = 0, t_apply: float = 0.0,
+                 batch: Optional[int] = None):
         if not 0 <= key <= 0xFF:
             raise AttackError(f"key byte out of range: {key}")
+        if batch is None:
+            batch = batch_size_from_env(default=1)
+        batch = int(batch)
+        if batch < 1:
+            raise AttackError(f"batch must be >= 1: {batch}")
+        self.batch = batch
         self.netlist = netlist
         self.key = key
         self.chain = chain if chain is not None else MeasurementChain()
@@ -154,28 +162,80 @@ class TraceAcquirer:
                                 baseline=self._baseline)
 
     def acquire(self, plaintexts: Sequence[int],
-                trace_offset: int = 0) -> np.ndarray:
+                trace_offset: int = 0,
+                failures: Optional[List[dict]] = None) -> np.ndarray:
         """Measured traces, one row per plaintext.
 
         ``trace_offset`` is the campaign-global index of the first
         plaintext — it keys the noise, so a chunk produces the same
         bytes wherever and whenever it runs.
+
+        With ``batch > 1`` the instrument arithmetic runs over blocks
+        of that many traces through
+        :meth:`~repro.power.MeasurementChain.measure_block`; the noise
+        stays per-trace Philox, so the blocked path is byte-identical
+        to the serial loop by construction.
+
+        A :class:`ConvergenceError` on one trace does not fail the
+        whole chunk outright: the failing trace is isolated and retried
+        serially on its own (re-entering the solver's full recovery
+        ladder where the power model is simulator-backed) while every
+        other trace keeps its result.  A recovered isolation is
+        appended to ``failures`` (trace index, plaintext, original
+        error) so the pool can emit ``trace_failed`` telemetry; only a
+        trace whose serial retry fails too raises.
         """
         pts = validate_plaintexts(plaintexts)
         rows = np.empty((len(pts), self.grid.n))
-        for i, plaintext in enumerate(pts):
-            try:
-                samples = self.ideal_samples(plaintext)
-                rows[i] = self.chain.measure(samples,
-                                             trace_index=trace_offset + i)
-            except ConvergenceError as err:
-                # A failed solve must be locatable from the JSONL
-                # post-mortem alone: which campaign trace, which input.
-                err.context.setdefault("trace_index", trace_offset + i)
-                err.context.setdefault("plaintext", plaintext)
-                err.context.setdefault("key", self.key)
-                raise
+        if self.batch > 1:
+            for begin in range(0, len(pts), self.batch):
+                block = pts[begin:begin + self.batch]
+                samples = np.zeros((len(block), self.grid.n))
+                retry: List[Tuple[int, int, ConvergenceError]] = []
+                for j, plaintext in enumerate(block):
+                    try:
+                        samples[j] = self.ideal_samples(plaintext)
+                    except ConvergenceError as err:
+                        retry.append((j, plaintext, err))
+                rows[begin:begin + len(block)] = self.chain.measure_block(
+                    samples, first_index=trace_offset + begin)
+                for j, plaintext, err in retry:
+                    rows[begin + j] = self._retry_trace(
+                        plaintext, trace_offset + begin + j, err, failures)
+        else:
+            for i, plaintext in enumerate(pts):
+                index = trace_offset + i
+                try:
+                    samples = self.ideal_samples(plaintext)
+                except ConvergenceError as err:
+                    rows[i] = self._retry_trace(plaintext, index, err,
+                                                failures)
+                else:
+                    rows[i] = self.chain.measure(samples, trace_index=index)
         return rows
+
+    def _retry_trace(self, plaintext: int, trace_index: int,
+                     err: ConvergenceError,
+                     failures: Optional[List[dict]]) -> np.ndarray:
+        """Serial retry of one isolated trace.
+
+        The retry re-runs the trace alone; a second failure is the
+        trace's final outcome and raises with the full post-mortem
+        context (which campaign trace, which input) so the JSONL trace
+        alone locates it.
+        """
+        record = {"trace_index": trace_index, "plaintext": plaintext,
+                  "key": self.key, "error": err.to_dict()}
+        try:
+            samples = self.ideal_samples(plaintext)
+        except ConvergenceError as err2:
+            err2.context.setdefault("trace_index", trace_index)
+            err2.context.setdefault("plaintext", plaintext)
+            err2.context.setdefault("key", self.key)
+            raise
+        if failures is not None:
+            failures.append(record)
+        return self.chain.measure(samples, trace_index=trace_index)
 
 
 # -- worker-pool plumbing -----------------------------------------------------
@@ -191,19 +251,23 @@ def _instrumented_chunk(acquirer: TraceAcquirer, chunk_index: int,
                         observe: bool, t_submit: float):
     """Run one chunk, optionally under an isolated telemetry collector.
 
-    Returns ``(rows, records)`` where ``records`` is the collector's
-    record list (to be :meth:`~repro.obs.Telemetry.adopt`-ed by the
-    parent in chunk-index order) or ``None`` when telemetry is off.
-    The records are plain dicts, so the fork backend can pickle them
-    back across the process boundary.
+    Returns ``(rows, records, failures)`` where ``records`` is the
+    collector's record list (to be :meth:`~repro.obs.Telemetry.adopt`-ed
+    by the parent in chunk-index order) or ``None`` when telemetry is
+    off, and ``failures`` lists the chunk's recovered per-trace
+    isolations (see :meth:`TraceAcquirer.acquire`).  Everything is
+    plain dicts, so the fork backend can pickle the results back
+    across the process boundary.
     """
+    failures: List[dict] = []
     if not observe:
         try:
-            rows = acquirer.acquire(plaintexts, trace_offset=trace_offset)
+            rows = acquirer.acquire(plaintexts, trace_offset=trace_offset,
+                                    failures=failures)
         except ConvergenceError as err:
             err.context.setdefault("chunk", chunk_index)
             raise
-        return rows, None
+        return rows, None, failures
     collector = Telemetry(sinks=[MemorySink()])
     t0 = time.monotonic()
     collector.histogram("sca.acquisition.queue_wait_seconds").observe(
@@ -211,7 +275,8 @@ def _instrumented_chunk(acquirer: TraceAcquirer, chunk_index: int,
     try:
         with collector.span("sca.acquisition.chunk", chunk=chunk_index,
                             offset=trace_offset, n=len(plaintexts)):
-            rows = acquirer.acquire(plaintexts, trace_offset=trace_offset)
+            rows = acquirer.acquire(plaintexts, trace_offset=trace_offset,
+                                    failures=failures)
     except ConvergenceError as err:
         err.context.setdefault("chunk", chunk_index)
         raise
@@ -219,7 +284,7 @@ def _instrumented_chunk(acquirer: TraceAcquirer, chunk_index: int,
         time.monotonic() - t0)
     collector.counter("sca.acquisition.traces").inc(len(plaintexts))
     collector.emit_metrics()
-    return rows, collector.sinks[0].records
+    return rows, collector.sinks[0].records, failures
 
 
 def _process_chunk(token: int, chunk_index: int, trace_offset: int,
@@ -244,17 +309,30 @@ class AcquisitionPool:
     def __init__(self, factory: Callable[[], TraceAcquirer],
                  workers: int = 1, backend: str = "auto",
                  chunk_size: int = DEFAULT_CHUNK, telemetry=None,
-                 max_pool_rebuilds: int = 3):
+                 max_pool_rebuilds: int = 3, batch: Optional[int] = None):
         if chunk_size < 1:
             raise AttackError(f"chunk_size must be >= 1: {chunk_size}")
         if max_pool_rebuilds < 0:
             raise AttackError(
                 f"max_pool_rebuilds must be >= 0: {max_pool_rebuilds}")
+        if batch is not None and int(batch) < 1:
+            raise AttackError(f"batch must be >= 1: {batch}")
         self.backend = resolve_backend(backend, workers)
         self.workers = 1 if self.backend == "serial" else workers
         self.chunk_size = chunk_size
         self.max_pool_rebuilds = max_pool_rebuilds
+        self.batch = None if batch is None else int(batch)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if batch is not None:
+            # Override the acquirer's batch size without asking every
+            # factory to grow a parameter: acquirers expose `batch` as
+            # plain state, and every worker builds through this wrapper.
+            base_factory, size = factory, self.batch
+
+            def factory() -> TraceAcquirer:
+                acquirer = base_factory()
+                acquirer.batch = size
+                return acquirer
         self._factory = factory
         self._executor: Optional[Executor] = None
         self._token: Optional[int] = None
@@ -450,7 +528,8 @@ class AcquisitionPool:
                 range(0, len(pts), self.chunk_size))]
         with tele.span("sca.acquisition.acquire", backend=self.backend,
                        workers=self.workers, traces=len(pts),
-                       chunks=len(jobs), chunk_size=self.chunk_size):
+                       chunks=len(jobs), chunk_size=self.chunk_size,
+                       batch=self.batch):
             try:
                 if self.backend == "serial":
                     results = [
@@ -471,9 +550,17 @@ class AcquisitionPool:
                            backend=self.backend, error=err.to_dict())
                 raise
             blocks: List[np.ndarray] = []
-            for rows, records in results:
+            for rows, records, failures in results:
                 if records is not None:
                     tele.adopt(records)
+                for failure in failures:
+                    # A trace that fell out of its chunk but recovered
+                    # on the serial retry: the campaign goes on, the
+                    # isolation is still a first-class event.
+                    tele.counter("sca.acquisition.trace_failures").inc()
+                    tele.event("sca.acquisition.trace_failed",
+                               backend=self.backend, recovered=True,
+                               **failure)
                 blocks.append(rows)
         if not blocks:
             return np.zeros((0, TraceGrid(0.0, DEFAULT_WINDOW,
@@ -488,19 +575,21 @@ def acquire_traces(netlist: GateNetlist, key: int,
                    mismatch_seed: int = 0, t_apply: float = 0.0,
                    workers: int = 1, backend: str = "auto",
                    chunk_size: int = DEFAULT_CHUNK,
-                   trace_offset: int = 0, telemetry=None) -> np.ndarray:
+                   trace_offset: int = 0, telemetry=None,
+                   batch: Optional[int] = None) -> np.ndarray:
     """One-shot parallel acquisition: simulate, compose, and measure
     ``plaintexts`` with ``workers`` workers.
 
     Byte-identical to a serial run for any ``workers``/``backend``/
-    ``chunk_size`` — and for any ``telemetry`` — see the module
-    docstring for why.
+    ``chunk_size`` — and for any ``telemetry`` or ``batch`` — see the
+    module docstring for why.
     """
     pts = validate_plaintexts(plaintexts)
 
     def factory() -> TraceAcquirer:
         return TraceAcquirer(netlist, key, chain=chain, grid=grid,
-                             mismatch_seed=mismatch_seed, t_apply=t_apply)
+                             mismatch_seed=mismatch_seed, t_apply=t_apply,
+                             batch=batch)
 
     if not pts:
         return np.zeros((0, (grid if grid is not None else

@@ -149,30 +149,35 @@ class AttackCampaign:
             preflight_library(library, telemetry=self.telemetry)
         self.netlist, self.output_nets = build_reduced_aes(library)
 
-    def _acquirer_factory(self, grid: Optional[TraceGrid]):
+    def _acquirer_factory(self, grid: Optional[TraceGrid],
+                          batch: Optional[int] = None):
         def factory() -> TraceAcquirer:
             return TraceAcquirer(self.netlist, self.key, chain=self.chain,
                                  grid=grid,
-                                 mismatch_seed=self.mismatch_seed)
+                                 mismatch_seed=self.mismatch_seed,
+                                 batch=batch)
         return factory
 
     def run(self, plaintexts: Optional[Sequence[int]] = None,
             with_dpa: bool = False,
             grid: Optional[TraceGrid] = None,
             workers: int = 1, backend: str = "auto",
-            chunk_size: int = DEFAULT_CHUNK) -> CampaignResult:
+            chunk_size: int = DEFAULT_CHUNK,
+            batch: Optional[int] = None) -> CampaignResult:
         """Collect traces and attack.
 
         Defaults to all 256 plaintexts — the exhaustive enumeration the
         paper uses.  ``workers`` spreads the acquisition over a process
-        (or thread) pool; the traces are byte-identical for any count.
+        (or thread) pool; ``batch`` sets the acquirer's lockstep block
+        size (default: ``REPRO_SPICE_BATCH``); the traces are
+        byte-identical for any combination.
         """
         pts = list(plaintexts) if plaintexts is not None else list(range(256))
         tele = self.telemetry
         with tele.span("sca.campaign", style=self.library.style,
                        key=self.key, n_traces=len(pts),
                        checkpointed=False):
-            with AcquisitionPool(self._acquirer_factory(grid),
+            with AcquisitionPool(self._acquirer_factory(grid, batch),
                                  workers=workers, backend=backend,
                                  chunk_size=chunk_size,
                                  telemetry=tele) as pool:
@@ -183,7 +188,8 @@ class AttackCampaign:
                          with_dpa: bool = False,
                          grid: Optional[TraceGrid] = None,
                          workers: int = 1,
-                         backend: str = "auto") -> CampaignResult:
+                         backend: str = "auto",
+                         batch: Optional[int] = None) -> CampaignResult:
         """Like :meth:`run`, but collect traces through a resumable runner.
 
         ``runner`` is a :class:`repro.experiments.runner.CheckpointedRun`
@@ -201,7 +207,7 @@ class AttackCampaign:
         with tele.span("sca.campaign", style=self.library.style,
                        key=self.key, n_traces=len(pts),
                        checkpointed=True):
-            with AcquisitionPool(self._acquirer_factory(grid),
+            with AcquisitionPool(self._acquirer_factory(grid, batch),
                                  workers=workers, backend=backend,
                                  telemetry=tele) as pool:
 

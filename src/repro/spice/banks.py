@@ -154,6 +154,51 @@ class _ScatterPlan:
                                   weights=self.fx_sgn * flows[self.fx_dev],
                                   minlength=totals.size)
 
+    # -- batch-axis deposits (B independent circuits, one topology) ---------
+    #
+    # The dense operators are shared across lanes, so a whole batch
+    # deposits with a single dgemm: ``(B, m) @ (m, n)``.  The bincount
+    # fallbacks flatten the lane axis into the row index so the deposit
+    # stays a single call as well.
+
+    def add_flows_batch(self, f: np.ndarray, flows: np.ndarray) -> None:
+        """``f`` is ``(B, n)``; ``flows`` is ``(B, m)`` (or ``(m,)``)."""
+        if self.s_f is not None:
+            f += flows @ self.s_f.T
+        elif self.f_rows.size:
+            nb, n = f.shape
+            w = np.broadcast_to(self.f_sgn * flows[..., self.f_dev],
+                                (nb, self.f_dev.size))
+            rows = np.arange(nb)[:, None] * n + self.f_rows
+            f += np.bincount(rows.ravel(), weights=w.ravel(),
+                             minlength=f.size).reshape(f.shape)
+
+    def add_derivs_batch(self, jac: np.ndarray, derivs: np.ndarray) -> None:
+        """``jac`` is ``(B, n, n)``; ``derivs`` is ``(B, m, t)``."""
+        nb = jac.shape[0]
+        if self.s_j is not None:
+            jac += (derivs.reshape(nb, -1) @ self.s_j.T).reshape(jac.shape)
+        elif self.j_flat.size:
+            flat = derivs.reshape(nb, -1)
+            w = self.j_sgn * flat[:, self.j_col]
+            cells = jac.shape[1] * jac.shape[2]
+            rows = np.arange(nb)[:, None] * cells + self.j_flat
+            jac += np.bincount(rows.ravel(), weights=w.ravel(),
+                               minlength=jac.size).reshape(jac.shape)
+
+    def add_fixed_flows_batch(self, totals: np.ndarray,
+                              flows: np.ndarray) -> None:
+        """``totals`` is ``(B, F)``; ``flows`` is ``(B, m)`` (or ``(m,)``)."""
+        if self.s_fx is not None:
+            totals += flows @ self.s_fx.T
+        elif self.fx_rows.size:
+            nb, nf = totals.shape
+            w = np.broadcast_to(self.fx_sgn * flows[..., self.fx_dev],
+                                (nb, self.fx_dev.size))
+            rows = np.arange(nb)[:, None] * nf + self.fx_rows
+            totals += np.bincount(rows.ravel(), weights=w.ravel(),
+                                  minlength=totals.size).reshape(totals.shape)
+
 
 class MosfetBank:
     """All :class:`Mosfet` devices as flat EKV parameter vectors."""
@@ -170,13 +215,27 @@ class MosfetBank:
         self.plan = _ScatterPlan(tidx, n_unknowns, n_fixed, self.flow_terms,
                                  self.deriv_cols)
 
-    def flows(self, volts_full: np.ndarray) -> np.ndarray:
-        v = volts_full[self.tidx]
-        return batched_ids(v[:, 0], v[:, 1], v[:, 2], v[:, 3], *self.params)
+    def flows(self, volts_full: np.ndarray, params=None) -> np.ndarray:
+        """Channel currents; ``volts_full`` may carry leading batch axes.
 
-    def flows_and_derivs(self, volts_full: np.ndarray, h: float):
-        return batched_currents_and_derivs(volts_full[self.tidx], h,
-                                           *self.params)
+        ``params`` overrides the snapshotted EKV vectors (the batch
+        engine passes ``(B, M)`` stacks when lanes differ, e.g. under
+        per-trace mismatch).
+        """
+        v = volts_full[..., self.tidx]
+        p = self.params if params is None else params
+        return batched_ids(v[..., 0], v[..., 1], v[..., 2], v[..., 3], *p)
+
+    def flows_and_derivs(self, volts_full: np.ndarray, h: float,
+                         params=None):
+        p = self.params if params is None else params
+        return batched_currents_and_derivs(volts_full[..., self.tidx], h, *p)
+
+    def lane_params(self, devices: Sequence[Mosfet]) -> tuple:
+        """Parameter vectors for one batch lane's devices (bank order)."""
+        keys = ("sign", "vt0", "gamma_b", "vp_den", "ispec", "ut", "lam")
+        per_dev = [d.model.bank_params() for d in devices]
+        return tuple(np.array([p[k] for p in per_dev]) for k in keys)
 
 
 class ResistorBank:
@@ -192,18 +251,24 @@ class ResistorBank:
         self.plan = _ScatterPlan(tidx, n_unknowns, n_fixed, self.flow_terms,
                                  self.deriv_cols)
 
-    def flows(self, volts_full: np.ndarray) -> np.ndarray:
-        v = volts_full[self.tidx]
-        return (v[:, 0] - v[:, 1]) / self.res
+    def flows(self, volts_full: np.ndarray, params=None) -> np.ndarray:
+        v = volts_full[..., self.tidx]
+        res = self.res if params is None else params
+        return (v[..., 0] - v[..., 1]) / res
 
-    def flows_and_derivs(self, volts_full: np.ndarray, h: float):
-        v = volts_full[self.tidx]
-        base = (v[:, 0] - v[:, 1]) / self.res
+    def flows_and_derivs(self, volts_full: np.ndarray, h: float,
+                         params=None):
+        v = volts_full[..., self.tidx]
+        res = self.res if params is None else params
+        base = (v[..., 0] - v[..., 1]) / res
         # The same forward differences the reference loop computes (not
         # the analytic ±1/R), so both assemblies agree to rounding.
-        d0 = ((v[:, 0] + h - v[:, 1]) / self.res - base) / h
-        d1 = ((v[:, 0] - (v[:, 1] + h)) / self.res - base) / h
-        return base, np.stack((d0, d1), axis=1)
+        d0 = ((v[..., 0] + h - v[..., 1]) / res - base) / h
+        d1 = ((v[..., 0] - (v[..., 1] + h)) / res - base) / h
+        return base, np.stack((d0, d1), axis=-1)
+
+    def lane_params(self, devices: Sequence[Resistor]) -> np.ndarray:
+        return np.array([d.resistance for d in devices])
 
 
 class ISourceBank:
@@ -219,11 +284,15 @@ class ISourceBank:
         self.plan = _ScatterPlan(tidx, n_unknowns, n_fixed, self.flow_terms,
                                  self.deriv_cols)
 
-    def flows(self, volts_full: np.ndarray) -> np.ndarray:
-        return self.val
+    def flows(self, volts_full: np.ndarray, params=None) -> np.ndarray:
+        return self.val if params is None else params
 
-    def flows_and_derivs(self, volts_full: np.ndarray, h: float):
-        return self.val, None
+    def flows_and_derivs(self, volts_full: np.ndarray, h: float,
+                         params=None):
+        return (self.val if params is None else params), None
+
+    def lane_params(self, devices: Sequence[ISource]) -> np.ndarray:
+        return np.array([d.value for d in devices])
 
 
 class LoopBlock:
@@ -309,6 +378,7 @@ class BankAssembly:
                          for node in device.terminals]
                 loop_entries.append((device, idxs, names))
         self.banks = []
+        self.bank_classes = []
         for cls, bank_cls in ((Mosfet, MosfetBank), (Resistor, ResistorBank),
                               (ISource, ISourceBank)):
             if grouped[cls]:
@@ -316,6 +386,7 @@ class BankAssembly:
                 tidx = np.array([row for _, row in grouped[cls]], dtype=int)
                 self.banks.append(bank_cls(devs, tidx, n_unknowns,
                                            len(fixed_pos)))
+                self.bank_classes.append(cls)
         self.loop = LoopBlock(loop_entries, fixed_pos) if loop_entries \
             else None
 
@@ -342,4 +413,50 @@ class BankAssembly:
             bank.plan.add_fixed_flows(totals, bank.flows(volts_full))
         if self.loop is not None:
             self.loop.fixed_totals(totals, x, fixed)
+        return totals
+
+    # -- batch axis ----------------------------------------------------------
+
+    def lane_params(self, circuit) -> list:
+        """Per-bank parameter vectors harvested from one lane's circuit.
+
+        The lane must share the template's topology (same device classes
+        in the same order — validated by ``BatchSystem``), so grouping
+        by class reproduces the template's bank order exactly.
+        """
+        grouped = {cls: [] for cls in self.bank_classes}
+        for device in circuit.devices:
+            cls = type(device)
+            if cls in grouped:
+                grouped[cls].append(device)
+        return [bank.lane_params(grouped[cls])
+                for cls, bank in zip(self.bank_classes, self.banks)]
+
+    def accumulate_batch(self, f: np.ndarray, jac: Optional[np.ndarray],
+                         volts_full: np.ndarray, h: float,
+                         params: Optional[list] = None) -> None:
+        """Batched :meth:`accumulate` over ``(B, n + F)`` packed voltages.
+
+        ``params`` is a per-bank list of lane-stacked parameter arrays
+        (or ``None`` to reuse the template's snapshot).  Loop entries
+        are not supported on the batch axis — the batch engine falls
+        back to the serial path when any are present.
+        """
+        for k, bank in enumerate(self.banks):
+            p = None if params is None else params[k]
+            if jac is None:
+                bank.plan.add_flows_batch(f, bank.flows(volts_full, p))
+            else:
+                flows, derivs = bank.flows_and_derivs(volts_full, h, p)
+                bank.plan.add_flows_batch(f, flows)
+                if derivs is not None:
+                    bank.plan.add_derivs_batch(jac, derivs)
+
+    def fixed_totals_batch(self, volts_full: np.ndarray,
+                           params: Optional[list] = None) -> np.ndarray:
+        """Batched :meth:`fixed_totals`: ``(B, F)`` per-source currents."""
+        totals = np.zeros((volts_full.shape[0], len(self.fixed_pos)))
+        for k, bank in enumerate(self.banks):
+            p = None if params is None else params[k]
+            bank.plan.add_fixed_flows_batch(totals, bank.flows(volts_full, p))
         return totals

@@ -115,32 +115,35 @@ def batched_currents_and_derivs(volts: np.ndarray, h: float, sign, vt0,
                                 gamma_b, vp_den, ispec, ut, lam):
     """Channel currents and forward-difference partials for a bank.
 
-    ``volts`` is ``(M, 4)`` in terminal order ``(d, g, s, b)``.  Returns
-    ``(ids, derivs)`` with ``derivs[:, k] = d(ids)/d(v_k)`` computed by
-    the same forward difference (step ``h``) the reference per-device
-    loop uses.  The base point and the four perturbed points are stacked
-    on a leading axis and evaluated in a *single* :func:`batched_ids`
-    call — for cell-sized banks the cost is ufunc dispatch, not floating
-    point, so one call over ``(5, M)`` beats five calls over ``(M,)``.
+    ``volts`` is ``(..., M, 4)`` in terminal order ``(d, g, s, b)`` —
+    ``(M, 4)`` for a single circuit, ``(B, M, 4)`` for a batch of B
+    circuits sharing one topology.  Returns ``(ids, derivs)`` with
+    ``derivs[..., k] = d(ids)/d(v_k)`` computed by the same forward
+    difference (step ``h``) the reference per-device loop uses.  The
+    base point and the four perturbed points are stacked on a leading
+    axis and evaluated in a *single* :func:`batched_ids` call — for
+    cell-sized banks the cost is ufunc dispatch, not floating point, so
+    one call over ``(5, ..., M)`` beats five calls over ``(..., M)``.
     """
+    key = (h, volts.ndim)
     try:
-        pert = _PERT_CACHE[h]
+        pert = _PERT_CACHE[key]
     except KeyError:
-        pert = np.zeros((5, 1, 4))
+        pert = np.zeros((5,) + (1,) * (volts.ndim - 1) + (4,))
         for k in range(4):
-            pert[k + 1, 0, k] = h
-        _PERT_CACHE[h] = pert
-    stacked = volts + pert  # (5, M, 4): base point + one step per terminal
-    ids = batched_ids(stacked[:, :, 0], stacked[:, :, 1], stacked[:, :, 2],
-                      stacked[:, :, 3], sign, vt0, gamma_b, vp_den, ispec,
+            pert[(k + 1,) + (0,) * (volts.ndim - 1) + (k,)] = h
+        _PERT_CACHE[key] = pert
+    stacked = volts + pert  # (5, ..., M, 4): base + one step per terminal
+    ids = batched_ids(stacked[..., 0], stacked[..., 1], stacked[..., 2],
+                      stacked[..., 3], sign, vt0, gamma_b, vp_den, ispec,
                       ut, lam)
     base = ids[0]
-    derivs = ((ids[1:] - base) / h).T
+    derivs = np.moveaxis((ids[1:] - base) / h, 0, -1)
     return base, derivs
 
 
-#: (5, 1, 4) perturbation tensors keyed by FD step (see
-#: :func:`batched_currents_and_derivs`).
+#: (5, 1, ..., 4) perturbation tensors keyed by (FD step, volts.ndim)
+#: (see :func:`batched_currents_and_derivs`).
 _PERT_CACHE: dict = {}
 
 

@@ -277,7 +277,13 @@ class _CompanionCaps:
 
 
 def _time_grid(tstop: float, dt: float, breakpoints: Sequence[float]) -> np.ndarray:
-    base = np.arange(0.0, tstop + dt / 2, dt)
+    # Integer-indexed construction: each base point is the single product
+    # k * dt, and the point count comes from one guarded division — not
+    # from float range arithmetic, whose accumulated representation error
+    # for non-binary dt/tstop ratios (dt=1e-11, tstop=1e-9) can land the
+    # final point short of or past tstop and shift the sample count.
+    n_steps = int(np.floor(tstop / dt * (1.0 + 1e-12)))
+    base = np.arange(n_steps + 1, dtype=float) * dt
     base = base[base <= tstop]
     extra = [t for t in breakpoints if 0.0 < t < tstop]
     grid = np.unique(np.concatenate([base, np.asarray(extra, dtype=float),
@@ -298,18 +304,39 @@ def _time_grid(tstop: float, dt: float, breakpoints: Sequence[float]) -> np.ndar
     return grid[keep]
 
 
-def _trap_ringing(i_new: Optional[np.ndarray], i_old: Optional[np.ndarray],
-                  floor: float = 1e-12) -> bool:
+#: Ringing-detector floors: entries below ``RINGING_REL_FLOOR`` times the
+#: trace's own peak companion-current magnitude are numerical noise, and
+#: ``RINGING_ABS_FLOOR`` guards the all-(near-)zero trace.  The floor is
+#: *relative* on purpose: an absolute cutoff (the old 1e-12 A) classified
+#: any trace whose alternating currents sat entirely at floor scale —
+#: femtofarad caps on millivolt swings — as non-ringing.
+RINGING_REL_FLOOR = 1e-6
+RINGING_ABS_FLOOR = 1e-30
+
+
+def _ringing_mask(i_new: np.ndarray, i_old: np.ndarray) -> np.ndarray:
+    """Elementwise ringing mask over the trailing capacitor-entry axis.
+
+    Accepts ``(E,)`` serial vectors and ``(B, E)`` batched stacks alike;
+    the floor reduction is per trace (``axis=-1``), so the batched
+    detector is the serial detector applied row by row — bit for bit.
+    """
+    a_new, a_old = np.abs(i_new), np.abs(i_old)
+    scale = np.maximum(a_new.max(axis=-1, keepdims=True),
+                       a_old.max(axis=-1, keepdims=True))
+    floor = np.maximum(RINGING_REL_FLOOR * scale, RINGING_ABS_FLOOR)
+    mask = (a_new > floor) & (a_old > floor)
+    alternating = (i_new * i_old < 0.0) & (a_new > 0.95 * a_old)
+    return mask & alternating
+
+
+def _trap_ringing(i_new: Optional[np.ndarray],
+                  i_old: Optional[np.ndarray]) -> bool:
     """Detect trapezoidal ringing: sign-alternating, non-decaying
     companion currents (the classic trap artefact on sharp edges)."""
     if i_new is None or i_old is None or i_new.size == 0:
         return False
-    mask = (np.abs(i_new) > floor) & (np.abs(i_old) > floor)
-    if not mask.any():
-        return False
-    alternating = (i_new * i_old < 0.0) & (np.abs(i_new)
-                                           > 0.95 * np.abs(i_old))
-    return bool(np.any(mask & alternating))
+    return bool(np.any(_ringing_mask(i_new, i_old)))
 
 
 def run_transient(circuit: Circuit, tstop: float, dt: float,

@@ -305,3 +305,168 @@ class TestConvergenceFailureContext:
         assert error["context"]["trace_index"] == 11
         assert error["context"]["plaintext"] == 11
         assert error["context"]["chunk"] == 2
+
+
+class TestBlockedMeasurement:
+    """measure_block is the serial measure applied row by row (PR 7)."""
+
+    def test_block_matches_indexed_rows_bitwise(self):
+        chain_a = MeasurementChain(seed=9)
+        chain_b = MeasurementChain(seed=9)
+        rng = np.random.default_rng(5)
+        samples = rng.uniform(0.0, uA(30), size=(7, 40))
+        block = chain_a.measure_block(samples, first_index=13)
+        for i in range(samples.shape[0]):
+            assert np.array_equal(block[i],
+                                  chain_b.measure(samples[i],
+                                                  trace_index=13 + i))
+
+    def test_block_does_not_advance_counter(self):
+        chain_a = MeasurementChain(seed=9)
+        chain_b = MeasurementChain(seed=9)
+        x = np.zeros(20)
+        chain_a.measure_block(np.zeros((3, 20)), first_index=40)
+        assert np.array_equal(chain_a.measure(x), chain_b.measure(x))
+
+    def test_block_validation(self):
+        chain = MeasurementChain()
+        with pytest.raises(TraceError):
+            chain.measure_block(np.zeros(8))
+        with pytest.raises(TraceError):
+            chain.measure_block(np.zeros((2, 8)), first_index=-1)
+        empty = chain.measure_block(np.zeros((0, 8)))
+        assert empty.shape == (0, 8)
+
+
+class TestBatchedAcquisition:
+    """The acquirer's batch knob must never change a byte (PR 7)."""
+
+    @pytest.mark.parametrize("batch", [1, 3, 16, 64])
+    def test_batch_sizes_byte_identical(self, style_setup, batch):
+        # 40 traces: batch=3 and 16 leave ragged final blocks, 64
+        # exceeds the trace count entirely.
+        _, _, netlist, serial = style_setup
+        out = acquire_traces(netlist, KEY, PTS, batch=batch)
+        assert out.tobytes() == serial.tobytes()
+
+    def test_env_var_sets_default_batch(self, monkeypatch):
+        from repro.spice.batch import BATCH_ENV
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+        monkeypatch.setenv(BATCH_ENV, "6")
+        acquirer = TraceAcquirer(netlist, KEY)
+        assert acquirer.batch == 6
+        monkeypatch.delenv(BATCH_ENV)
+        assert TraceAcquirer(netlist, KEY).batch == 1
+
+    def test_pool_batch_overrides_factory(self):
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+        pool = AcquisitionPool(lambda: TraceAcquirer(netlist, KEY),
+                               workers=1, batch=5)
+        pool._ensure_started()
+        assert pool._serial.batch == 5
+        with pytest.raises(AttackError):
+            AcquisitionPool(lambda: TraceAcquirer(netlist, KEY), batch=0)
+
+    def test_invalid_batch_rejected(self):
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+        with pytest.raises(AttackError):
+            TraceAcquirer(netlist, KEY, batch=0)
+
+    def test_campaign_batch_knob_byte_identical(self):
+        library = build_cmos_library()
+        pts = list(range(24))
+        base = AttackCampaign(library, KEY).run(pts)
+        batched = AttackCampaign(library, KEY).run(pts, batch=8)
+        assert np.array_equal(base.traces, batched.traces)
+        assert base.rank == batched.rank
+
+    def test_kill_and_resume_under_batch_matches_serial(self, tmp_path):
+        library = build_cmos_library()
+        serial = AttackCampaign(library, KEY).run(PTS).traces
+        path = tmp_path / "campaign.npz"
+        campaign = AttackCampaign(library, KEY)
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run_checkpointed(
+                _KillAfter(path, chunk_size=8, die_after=2), PTS, batch=4)
+        runner = CheckpointedRun(path, chunk_size=8)
+        resumed = AttackCampaign(library, KEY).run_checkpointed(
+            runner, PTS, batch=4)
+        assert runner.stats.chunks_resumed == 2
+        assert np.array_equal(resumed.traces, serial)
+
+
+class _TransientlyFlaky(TraceAcquirer):
+    """Fails each listed plaintext once, then recovers — the shape of a
+    marginal Newton solve that converges on the serial retry."""
+
+    def __init__(self, *args, fail_once=(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self._remaining = set(fail_once)
+
+    def ideal_samples(self, plaintext):
+        if plaintext in self._remaining:
+            self._remaining.discard(plaintext)
+            from repro.errors import ConvergenceError
+            raise ConvergenceError("transient newton blowup")
+        return super().ideal_samples(plaintext)
+
+
+class TestTraceIsolation:
+    """A ConvergenceError on one trace no longer fails its whole chunk:
+    the trace is retried serially, the chunk's other traces survive,
+    and the isolation is a `trace_failed` event with the index (PR 7)."""
+
+    def _run(self, batch, fail_once=(5,)):
+        from repro.obs import MemorySink, Telemetry
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+        serial = acquire_traces(netlist, KEY, PTS)
+        sink = MemorySink()
+        tele = Telemetry(sinks=[sink])
+        with AcquisitionPool(
+                lambda: _TransientlyFlaky(netlist, KEY,
+                                          fail_once=fail_once),
+                workers=1, chunk_size=8, telemetry=tele,
+                batch=batch) as pool:
+            out = pool.acquire(PTS)
+        events = [r for r in sink.records
+                  if r.get("name") == "sca.acquisition.trace_failed"]
+        return serial, out, events
+
+    @pytest.mark.parametrize("batch", [1, 4])
+    def test_recovered_trace_is_byte_identical(self, batch):
+        serial, out, events = self._run(batch)
+        assert out.tobytes() == serial.tobytes()
+        assert len(events) == 1
+        attrs = events[0]["attrs"]
+        assert attrs["trace_index"] == 5
+        assert attrs["recovered"] is True
+        assert attrs["error"]["error_code"] == "E_CONVERGENCE"
+
+    def test_multiple_isolations_across_chunks(self):
+        serial, out, events = self._run(batch=4, fail_once=(2, 11, 30))
+        assert out.tobytes() == serial.tobytes()
+        assert sorted(e["attrs"]["trace_index"] for e in events) == \
+            [2, 11, 30]
+
+    def test_persistent_failure_still_raises_with_context(self):
+        from repro.errors import ConvergenceError
+
+        library = build_cmos_library()
+        netlist, _ = build_reduced_aes(library)
+
+        class _Dead(TraceAcquirer):
+            def ideal_samples(self, plaintext):
+                if plaintext == 7:
+                    raise ConvergenceError("never converges")
+                return super().ideal_samples(plaintext)
+
+        with AcquisitionPool(lambda: _Dead(netlist, KEY, batch=4),
+                             workers=1, chunk_size=8) as pool:
+            with pytest.raises(ConvergenceError) as err:
+                pool.acquire(PTS)
+        assert err.value.context["trace_index"] == 7
+        assert err.value.context["plaintext"] == 7

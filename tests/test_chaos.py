@@ -73,10 +73,11 @@ class _KillingAcquirer(TraceAcquirer):
 
     kill_switch = None
 
-    def acquire(self, plaintexts, trace_offset=0):
+    def acquire(self, plaintexts, trace_offset=0, **kwargs):
         if self.kill_switch is not None:
             self.kill_switch.poke()
-        return super().acquire(plaintexts, trace_offset=trace_offset)
+        return super().acquire(plaintexts, trace_offset=trace_offset,
+                               **kwargs)
 
 
 def _events(tele, name=None):
