@@ -76,6 +76,15 @@ def main(argv=None) -> int:
                              "'2000' (Newton iterations) or "
                              "'iters=2000,attempts=3,rejections=64,"
                              "steps=200000' (sets REPRO_SOLVE_BUDGET)")
+    parser.add_argument("--assembly", choices=["bank", "loop", "sparse"],
+                        help="MNA assembly strategy: vectorised dense "
+                             "banks (default), per-device loop (oracle), "
+                             "or CSR + splu for large netlists "
+                             "(sets REPRO_SPICE_ASSEMBLY)")
+    parser.add_argument("--op-cache", action="store_true",
+                        help="reuse DC operating points across "
+                             "content-identical solves "
+                             "(sets REPRO_OP_CACHE=1)")
     parser.add_argument("--spice-batch", metavar="N",
                         help="lockstep batch size for transient solves "
                              "and trace acquisition; 1 = serial engine "
@@ -95,6 +104,11 @@ def main(argv=None) -> int:
         from .spice import SolveBudget
         os.environ["REPRO_SOLVE_BUDGET"] = args.solve_budget
         SolveBudget.from_env()  # fail fast on an unparsable spec
+    if args.assembly:
+        os.environ["REPRO_SPICE_ASSEMBLY"] = args.assembly
+    if args.op_cache:
+        from .spice import OP_CACHE_ENV
+        os.environ[OP_CACHE_ENV] = "1"
     if args.spice_batch:
         from .spice import BATCH_ENV, batch_size_from_env
         os.environ[BATCH_ENV] = args.spice_batch

@@ -96,8 +96,12 @@ class PgMcmlCellGenerator(McmlCellGenerator):
     def _net_prefix(self, fn: CellFunction, prefix: str, own: bool) -> str:
         if own and not prefix:
             return ""
-        name = "dlatch" if fn.sequential else fn.name.lower()
-        return f"{prefix}{name}_"
+        # Must mirror the naming in build/_build_latch/_build_dff: each
+        # uses fn.name.lower() ("dlatch"/"dff" for the sequential cells).
+        # Mapping every sequential fn to "dlatch" here used to leave
+        # composite-build DFFs without their sleep devices — the tail
+        # filter in _tail_devices never matched the "dff_" device names.
+        return f"{prefix}{fn.name.lower()}_"
 
     # -- topology implementations ------------------------------------------------
 

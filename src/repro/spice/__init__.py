@@ -32,6 +32,8 @@ from .mosfet import MosfetModel
 from .devices import Mosfet, Resistor, Capacitor, VSource, ISource
 from .circuit import Circuit, GROUND
 from .dc import solve_dc, OperatingPoint
+from .sparse import SparseAssembly
+from .opcache import OP_CACHE_ENV, OperatingPointCache, default_op_cache
 from .deck import DeckInfo, parse_spice_deck, write_spice_deck, write_subckt
 from .erc import (
     ErcFinding,
@@ -92,6 +94,10 @@ __all__ = [
     "GROUND",
     "solve_dc",
     "OperatingPoint",
+    "SparseAssembly",
+    "OP_CACHE_ENV",
+    "OperatingPointCache",
+    "default_op_cache",
     "ErcFinding",
     "ErcReport",
     "check_circuit",

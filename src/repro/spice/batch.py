@@ -99,13 +99,23 @@ class BatchSystem:
     differs (the common case — only the stimulus varies).
     """
 
-    def __init__(self, circuits: Sequence[Circuit], telemetry=None):
+    def __init__(self, circuits: Sequence[Circuit], telemetry=None,
+                 assembly: Optional[str] = None):
         if not circuits:
             raise CircuitError("BatchSystem needs at least one circuit")
         self.circuits = list(circuits)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if assembly is None:
+            # "loop" never reaches here (run_transient_batch falls back
+            # to the serial engine first); a direct caller gets "bank".
+            env = os.environ.get(_ASSEMBLY_ENV, "bank")
+            assembly = "sparse" if env == "sparse" else "bank"
+        if assembly not in ("bank", "sparse"):
+            raise CircuitError(
+                f"batch assembly must be 'bank' or 'sparse', got "
+                f"{assembly!r}; the loop assembly runs serially")
         self.system = System(self.circuits[0], telemetry=self.telemetry,
-                             assembly="bank")
+                             assembly=assembly)
         self._validate_lockstep()
         self.banks = self.system.bank_assembly()
         if self.banks.loop is not None:
@@ -205,6 +215,16 @@ class BatchSystem:
         n = self.system.n
         volts_full = np.concatenate([xs, tails], axis=1)
         f = np.zeros((xs.shape[0], n))
+        if self.system.assembly == "sparse":
+            sp_asm = self.system.sparse_assembly()
+            data = np.zeros((xs.shape[0], sp_asm.nnz)) if with_jac else None
+            sp_asm.accumulate_batch(f, data, volts_full, FD_STEP,
+                                    self.params_for(lane_ids))
+            if gmin > 0.0:
+                f += gmin * xs
+                if data is not None:
+                    data[:, sp_asm.diag_pos] += gmin
+            return f, data
         jac = np.zeros((xs.shape[0], n, n)) if with_jac else None
         self.banks.accumulate_batch(f, jac, volts_full, FD_STEP,
                                     self.params_for(lane_ids))
@@ -277,24 +297,33 @@ class BatchSystem:
                 idx, f, jac, res = idx[good], f[good], jac[good], res[good]
                 if idx.size == 0:
                     continue
-            try:
-                dx = np.linalg.solve(jac, -f[..., None])[..., 0]
-            except np.linalg.LinAlgError:
-                # One singular lane poisons the stacked factorization:
-                # redo lane by lane with the serial solver's exact
-                # Tikhonov-lstsq fallback so healthy lanes stay on the
-                # fast path next iteration.
-                dx = np.empty_like(f)
-                for a in range(idx.size):
-                    try:
-                        dx[a] = np.linalg.solve(jac[a], -f[a])
-                    except np.linalg.LinAlgError:
-                        singular[idx[a]] += 1
-                        self.system.singular_jacobian_events += 1
-                        jac_reg = jac[a].copy()
-                        jac_reg.flat[::n + 1] += 1e-12
-                        dx[a], *_ = np.linalg.lstsq(jac_reg, -f[a],
-                                                    rcond=None)
+            if self.system.assembly == "sparse":
+                # Per-lane splu over the shared canonical pattern: the
+                # one-time ordering amortises across lanes and steps.
+                dx, sing = self.system.sparse_assembly().solve_batch(
+                    jac, -f)
+                if sing.any():
+                    singular[idx] += sing
+                    self.system.singular_jacobian_events += int(sing.sum())
+            else:
+                try:
+                    dx = np.linalg.solve(jac, -f[..., None])[..., 0]
+                except np.linalg.LinAlgError:
+                    # One singular lane poisons the stacked factorization:
+                    # redo lane by lane with the serial solver's exact
+                    # Tikhonov-lstsq fallback so healthy lanes stay on the
+                    # fast path next iteration.
+                    dx = np.empty_like(f)
+                    for a in range(idx.size):
+                        try:
+                            dx[a] = np.linalg.solve(jac[a], -f[a])
+                        except np.linalg.LinAlgError:
+                            singular[idx[a]] += 1
+                            self.system.singular_jacobian_events += 1
+                            jac_reg = jac[a].copy()
+                            jac_reg.flat[::n + 1] += 1e-12
+                            dx[a], *_ = np.linalg.lstsq(jac_reg, -f[a],
+                                                        rcond=None)
             bad = ~np.all(np.isfinite(dx), axis=1)
             if bad.any():
                 failed[idx[bad]] = True
@@ -332,6 +361,22 @@ class _BatchCaps:
         self._s_extra = tpl._s_extra            # (n, E) residual incidence
         n = system.n
         e = len(self.entries)
+        self._sparse = system.assembly == "sparse"
+        if self._s_extra is None:
+            # Sparse mode skips the serial (n, E) incidence at full-core
+            # scale; batch lanes are per-trace testbenches, where it is
+            # affordable and keeps the batched residual a single dgemm.
+            self._s_extra = np.zeros((n, e))
+            for k, (ia, _, ib, _, _) in enumerate(self.entries):
+                if ia >= 0:
+                    self._s_extra[ia, k] += 1.0
+                if ib >= 0:
+                    self._s_extra[ib, k] -= 1.0
+        if self._sparse:
+            self._sp_pos = tpl._sparse_positions()
+            self._sp_ua, self._sp_ub = tpl._ua, tpl._ub
+            self._sp_both = tpl._both
+            self._nnz = system.sparse_assembly().nnz
         cvecs = []
         for ckt in circuits:
             vals = [c for a, b, c in ckt.linear_capacitances()
@@ -341,15 +386,19 @@ class _BatchCaps:
         self.cvec = cvecs[0] if all(np.array_equal(v, cvecs[0])
                                     for v in cvecs[1:]) else np.stack(cvecs)
         # Jacobian incidence (n*n, E): geq @ s_jac.T stamps all lanes.
-        self._s_jac = np.zeros((n * n, e))
-        for k, (ia, _, ib, _, _) in enumerate(self.entries):
-            if ia >= 0:
-                self._s_jac[ia * n + ia, k] += 1.0
-            if ib >= 0:
-                self._s_jac[ib * n + ib, k] += 1.0
-            if ia >= 0 and ib >= 0:
-                self._s_jac[ia * n + ib, k] -= 1.0
-                self._s_jac[ib * n + ia, k] -= 1.0
+        # In sparse mode the stamps land in (A, nnz) data stacks through
+        # the canonical positions instead.
+        self._s_jac = None
+        if not self._sparse:
+            self._s_jac = np.zeros((n * n, e))
+            for k, (ia, _, ib, _, _) in enumerate(self.entries):
+                if ia >= 0:
+                    self._s_jac[ia * n + ia, k] += 1.0
+                if ib >= 0:
+                    self._s_jac[ib * n + ib, k] += 1.0
+                if ia >= 0 and ib >= 0:
+                    self._s_jac[ia * n + ib, k] -= 1.0
+                    self._s_jac[ib * n + ia, k] -= 1.0
         # Fixed-node incidence (F, E) for source-current snapshots.
         nf = len(system.fixed_pos)
         self._s_fixed = np.zeros((nf, e))
@@ -385,12 +434,23 @@ class _BatchCaps:
         """
         a, n = xs_prev.shape[0], self.n
         if not self.entries:
+            if self._sparse:
+                return lambda xs, sel: (np.zeros((xs.shape[0], n)),
+                                        np.zeros((xs.shape[0], self._nnz)))
             return lambda xs, sel: (np.zeros((xs.shape[0], n)),
                                     np.zeros((xs.shape[0], n, n)))
         v_prev = self.v_diff(xs_prev, tails_prev)
         i_prev = self.i_prev[lane_ids]
         geq = self.geq(factors, dts, lane_ids)
-        jac = (geq @ self._s_jac.T).reshape(a, n, n)
+        if self._sparse:
+            w = np.concatenate([geq[:, self._sp_ua], geq[:, self._sp_ub],
+                                -geq[:, self._sp_both],
+                                -geq[:, self._sp_both]], axis=1)
+            rows = np.arange(a)[:, None] * self._nnz + self._sp_pos
+            jac = np.bincount(rows.ravel(), weights=w.ravel(),
+                              minlength=a * self._nnz).reshape(a, self._nnz)
+        else:
+            jac = (geq @ self._s_jac.T).reshape(a, n, n)
         trap = factors == 2.0
         ja, jb = self.ja, self.jb
         s_extra_t = self._s_extra.T

@@ -19,6 +19,8 @@ from ..errors import CircuitError, ConvergenceError
 from ..obs import NULL_TELEMETRY
 from .banks import FD_STEP, BankAssembly
 from .circuit import Circuit, canonical_node
+from .opcache import default_op_cache
+from .sparse import SparseAssembly
 from .recovery import (
     GMIN_LADDER,
     NewtonStats,
@@ -35,7 +37,7 @@ _FD_STEP = FD_STEP
 #: Environment override for the default assembly strategy.
 _ASSEMBLY_ENV = "REPRO_SPICE_ASSEMBLY"
 
-_ASSEMBLY_CHOICES = ("bank", "loop")
+_ASSEMBLY_CHOICES = ("bank", "loop", "sparse")
 
 #: Largest allowed Newton voltage update, volts.
 _DAMP_LIMIT = 0.3
@@ -50,8 +52,11 @@ class System:
     is the main performance lever of the engine.  ``assembly`` selects the
     residual/Jacobian strategy: ``"bank"`` (default) evaluates devices in
     vectorized class banks (:mod:`repro.spice.banks`); ``"loop"`` keeps
-    the reference per-device Python loop.  The ``REPRO_SPICE_ASSEMBLY``
-    environment variable changes the default.
+    the reference per-device Python loop; ``"sparse"`` assembles the same
+    bank deposits into a canonical CSC pattern and factors with SuperLU
+    (:mod:`repro.spice.sparse`) — the only mode that scales to a full
+    synthesized core.  The ``REPRO_SPICE_ASSEMBLY`` environment variable
+    changes the default.
     """
 
     def __init__(self, circuit: Circuit, telemetry=None,
@@ -97,6 +102,7 @@ class System:
             self.dev_fixed_names.append(fixed_names)
         self._banks: Optional[BankAssembly] = None
         self._bank_sig = None
+        self._sparse: Optional[SparseAssembly] = None
 
     # -- assembly ------------------------------------------------------------
 
@@ -114,6 +120,19 @@ class System:
                                        self.fixed_pos)
             self._bank_sig = sig
         return self._banks
+
+    def sparse_assembly(self) -> SparseAssembly:
+        """The sparse pattern view, rebuilt alongside the banks.
+
+        Follows :meth:`bank_assembly`'s identity signature: a
+        ``swap_device`` (fault-injection arming) rebuilds the banks,
+        which invalidates the pattern and its deposit positions here.
+        """
+        banks = self.bank_assembly()
+        if self._sparse is None or self._sparse.banks is not banks:
+            self._sparse = SparseAssembly(self.circuit, banks, self.index,
+                                          self.n)
+        return self._sparse
 
     def fixed_tail(self, fixed: Dict[str, float]) -> np.ndarray:
         """Fixed node voltages in bank order (the tail of ``full_volts``).
@@ -149,6 +168,16 @@ class System:
         """
         if self.assembly == "loop":
             return self._residual_and_jacobian_loop(x, fixed, gmin)
+        if self.assembly == "sparse":
+            sp_asm = self.sparse_assembly()
+            f = np.zeros(self.n)
+            data = np.zeros(sp_asm.nnz)
+            volts_full = self.full_volts(x, fixed, tail)
+            sp_asm.accumulate(f, data, volts_full, x, fixed, _FD_STEP)
+            if gmin > 0.0:
+                f += gmin * x
+                data[sp_asm.diag_pos] += gmin
+            return f, data
         f = np.zeros(self.n)
         jac = np.zeros((self.n, self.n))
         volts_full = self.full_volts(x, fixed, tail)
@@ -260,7 +289,7 @@ class System:
         x = x0.copy()
         vmax = max([0.0] + list(fixed.values())) + 1.0
         vmin = min([0.0] + list(fixed.values())) - 1.0
-        tail = self.fixed_tail(fixed) if self.assembly == "bank" else None
+        tail = self.fixed_tail(fixed) if self.assembly != "loop" else None
         last_res = np.inf
         for iteration in range(maxiter):
             f, jac = self.residual_and_jacobian(x, fixed, gmin, tail=tail)
@@ -279,17 +308,25 @@ class System:
                     f"Newton hit a non-finite residual at iteration "
                     f"{iteration + 1}", iterations=iteration + 1,
                     residual=last_res)
-            try:
-                dx = np.linalg.solve(jac, -f)
-            except np.linalg.LinAlgError:
-                stats.singular_jacobian_events += 1
-                self.singular_jacobian_events += 1
-                # Tikhonov term added in place on a copy: same regularised
-                # matrix as `jac + 1e-12*eye(n)` without materialising an
-                # n*n identity on every singular event.
-                jac_reg = jac.copy()
-                jac_reg.flat[::self.n + 1] += 1e-12
-                dx, *_ = np.linalg.lstsq(jac_reg, -f, rcond=None)
+            if self.assembly == "sparse":
+                # `jac` is the canonical nnz data vector here; splu with
+                # the precomputed ordering, Tikhonov retry inside.
+                dx, singular = self.sparse_assembly().solve(jac, -f)
+                if singular:
+                    stats.singular_jacobian_events += singular
+                    self.singular_jacobian_events += singular
+            else:
+                try:
+                    dx = np.linalg.solve(jac, -f)
+                except np.linalg.LinAlgError:
+                    stats.singular_jacobian_events += 1
+                    self.singular_jacobian_events += 1
+                    # Tikhonov term added in place on a copy: same
+                    # regularised matrix as `jac + 1e-12*eye(n)` without
+                    # materialising an n*n identity per singular event.
+                    jac_reg = jac.copy()
+                    jac_reg.flat[::self.n + 1] += 1e-12
+                    dx, *_ = np.linalg.lstsq(jac_reg, -f, rcond=None)
             if not np.all(np.isfinite(dx)):
                 self._note_solve(stats)
                 raise ConvergenceError(
@@ -371,7 +408,8 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
              system: Optional[System] = None,
              policy: Optional[RecoveryPolicy] = None,
              telemetry=None,
-             budget: Optional[SolveBudget] = None) -> OperatingPoint:
+             budget: Optional[SolveBudget] = None,
+             op_cache=None) -> OperatingPoint:
     """Find the DC operating point of ``circuit`` at source time ``t``.
 
     Tries plain Newton from a midpoint guess first, then climbs the
@@ -389,10 +427,37 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
     bounds the solve; exhaustion raises
     :class:`~repro.errors.BudgetExhaustedError` instead of spinning on a
     stiff circuit.
+
+    ``op_cache`` (default: ``REPRO_OP_CACHE`` via
+    :func:`~repro.spice.opcache.default_op_cache`, off when unset)
+    short-circuits repeated solves of content-identical circuits at the
+    same bias — see :mod:`repro.spice.opcache` for the fingerprint and
+    invalidation contract.  Solves under a custom recovery ``policy``
+    bypass the cache (the policy steers the trajectory but is not part
+    of the key).
     """
     sys_ = system if system is not None else System(circuit,
                                                     telemetry=telemetry)
     tele = telemetry if telemetry is not None else sys_.telemetry
+    if op_cache is None:
+        op_cache = default_op_cache()
+    cache_key = None
+    if op_cache is not None:
+        if policy is not None:
+            op_cache.bypasses += 1
+            tele.counter("spice.opcache.bypasses").inc()
+        else:
+            cache_key = op_cache.fingerprint(circuit, t, guess,
+                                             sys_.assembly)
+            if cache_key is None:
+                op_cache.bypasses += 1
+                tele.counter("spice.opcache.bypasses").inc()
+            else:
+                hit = op_cache.lookup(cache_key)
+                if hit is not None:
+                    tele.counter("spice.opcache.hits").inc()
+                    return hit
+                tele.counter("spice.opcache.misses").inc()
     fixed = circuit.fixed_nodes(t)
     x0 = _initial_guess(sys_, fixed)
     if guess:
@@ -427,5 +492,9 @@ def solve_dc(circuit: Circuit, t: float = 0.0,
         source.name: node_currents.get(source.node, 0.0)
         for source in circuit.vsources
     }
-    return OperatingPoint(voltages, source_currents,
-                          diagnostics=diagnostics)
+    op = OperatingPoint(voltages, source_currents,
+                        diagnostics=diagnostics)
+    if cache_key is not None:
+        op_cache.store(cache_key, op)
+        tele.counter("spice.opcache.stores").inc()
+    return op

@@ -1,0 +1,157 @@
+"""Content-addressed operating-point cache.
+
+A synthesized core instantiates the same handful of cells thousands of
+times, and an acquisition campaign re-solves the same testbench with
+only the stimulus changing — most DC solves the engine runs are exact
+repeats.  This module caches solved operating points keyed by a
+*content fingerprint* of everything that determines the solution and
+the solver's trajectory to it:
+
+* every device, in list order, as ``(class tag, name, terminals,
+  parameters, parasitic capacitances)`` — list order matters because
+  deposit summation order is part of the floating-point result;
+* the fixed-node voltages at the solve time (the bias / corner axis —
+  a different stimulus value at ``t`` is a different key);
+* the warm-start guess and the assembly mode (both steer the Newton
+  trajectory).
+
+Content addressing *is* the invalidation contract: ``swap_device``
+(fault-injection arming, model overrides) changes the device tuple, so
+the poisoned entry simply can never be looked up again.  Devices of
+unknown classes — fault proxies, test doubles — have no stable
+parameter surface to fingerprint, so circuits containing them bypass
+the cache entirely (counted in ``bypasses``).
+
+A cache hit returns a fresh :class:`~repro.spice.dc.OperatingPoint`
+with copied voltage/current dicts, byte-identical to what a cold solve
+would produce (the solver is deterministic given the fingerprinted
+inputs); the stored solve's diagnostics ride along.  The cache is OFF
+by default — enable it with ``REPRO_OP_CACHE=1`` / ``--op-cache`` or by
+passing an explicit cache to :func:`~repro.spice.dc.solve_dc`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .devices import Capacitor, ISource, Mosfet, Resistor
+
+#: Environment switch for the process-default cache ("1"/"true"/"on").
+OP_CACHE_ENV = "REPRO_OP_CACHE"
+
+#: Default entry ceiling; FIFO eviction beyond it keeps the footprint
+#: bounded for long campaigns.
+DEFAULT_MAX_ENTRIES = 4096
+
+_TRUTHY = {"1", "true", "on", "yes"}
+
+
+class OperatingPointCache:
+    """FIFO-bounded map from content fingerprints to operating points."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def counters(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "bypasses": self.bypasses, "stores": self.stores,
+                "entries": len(self._store)}
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._store.clear()
+        self.hits = self.misses = self.bypasses = self.stores = 0
+
+    # -- fingerprinting ------------------------------------------------------
+
+    def fingerprint(self, circuit, t: float,
+                    guess: Optional[Dict[str, float]],
+                    assembly: str) -> Optional[str]:
+        """The content key, or ``None`` when the circuit cannot be
+        fingerprinted (unknown device classes — fault proxies)."""
+        parts = [circuit.name, assembly]
+        for device in circuit.devices:
+            cls = type(device)
+            if cls is Resistor:
+                sig = ("R", device.name, device.terminals,
+                       repr(device.resistance))
+            elif cls is Capacitor:
+                sig = ("C", device.name, device.terminals,
+                       repr(device.capacitance))
+            elif cls is ISource:
+                sig = ("I", device.name, device.terminals,
+                       repr(device.value))
+            elif cls is Mosfet:
+                params = tuple(sorted(
+                    (k, repr(v))
+                    for k, v in device.model.bank_params().items()))
+                caps = tuple((a, b, repr(c))
+                             for a, b, c in device.capacitances())
+                sig = ("M", device.name, device.terminals, params, caps)
+            else:
+                return None
+            parts.append(repr(sig))
+        fixed = circuit.fixed_nodes(t)
+        parts.append(repr(tuple(sorted(
+            (node, repr(v)) for node, v in fixed.items()))))
+        if guess:
+            parts.append(repr(tuple(sorted(
+                (node, repr(v)) for node, v in guess.items()))))
+        else:
+            parts.append("no-guess")
+        digest = hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+        return digest
+
+    # -- storage -------------------------------------------------------------
+
+    def lookup(self, key: str):
+        """The cached :class:`OperatingPoint` (fresh dict copies), or
+        ``None``.  Counts the hit/miss."""
+        stored = self._store.get(key)
+        if stored is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _copy_op(stored)
+
+    def store(self, key: str, op) -> None:
+        self.stores += 1
+        self._store[key] = _copy_op(op)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+
+def _copy_op(op):
+    """A defensively-copied OperatingPoint (shared diagnostics)."""
+    from .dc import OperatingPoint
+    return OperatingPoint(dict(op.voltages), dict(op.source_currents),
+                          diagnostics=op.diagnostics)
+
+
+_DEFAULT_CACHE: Optional[OperatingPointCache] = None
+
+
+def default_op_cache() -> Optional[OperatingPointCache]:
+    """The process-default cache when ``REPRO_OP_CACHE`` enables it.
+
+    The instance persists across calls (that is the point — repeated
+    solves share it); flipping the environment variable off hides it
+    without clearing it.
+    """
+    global _DEFAULT_CACHE
+    if os.environ.get(OP_CACHE_ENV, "").strip().lower() not in _TRUTHY:
+        return None
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = OperatingPointCache()
+    return _DEFAULT_CACHE

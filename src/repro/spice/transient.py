@@ -135,13 +135,42 @@ class _CompanionCaps:
         self._cols_ab = ib_arr[both]
         self._both = both
         # Dense incidence (n, E): the residual deposit collapses to one
-        # matrix-vector product per Newton iteration.
-        self._s_extra = np.zeros((n, len(self.entries)))
-        for k, (ia, _, ib, _, _) in enumerate(self.entries):
-            if ia >= 0:
-                self._s_extra[ia, k] += 1.0
-            if ib >= 0:
-                self._s_extra[ib, k] -= 1.0
+        # matrix-vector product per Newton iteration.  Never built in
+        # sparse mode — at full-core scale an (n, E) dense operator is
+        # exactly the footprint the sparse assembly exists to avoid.
+        self._s_extra: Optional[np.ndarray] = None
+        if system.assembly != "sparse":
+            self._s_extra = np.zeros((n, len(self.entries)))
+            for k, (ia, _, ib, _, _) in enumerate(self.entries):
+                if ia >= 0:
+                    self._s_extra[ia, k] += 1.0
+                if ib >= 0:
+                    self._s_extra[ib, k] -= 1.0
+        # Sparse-mode companion stamp positions, cached per assembly
+        # object (a device swap rebuilds the pattern and invalidates
+        # every cached position — see _sparse_positions).
+        self._sp_for = None
+        self._sp_pos: Optional[np.ndarray] = None
+
+    def _sparse_positions(self) -> np.ndarray:
+        """Canonical data positions of the companion Jacobian stamps.
+
+        The four stamp groups — (a,a) +geq, (b,b) +geq, (a,b) -geq,
+        (b,a) -geq — concatenated in that order; recomputed whenever the
+        System's sparse assembly is rebuilt (``swap_device`` under fault
+        injection changes the pattern, so stale positions would deposit
+        into the wrong entries).
+        """
+        sp_asm = self.system.sparse_assembly()
+        if self._sp_for is not sp_asm:
+            self._sp_pos = np.concatenate([
+                sp_asm.positions(self._rows_a, self._rows_a),
+                sp_asm.positions(self._rows_b, self._rows_b),
+                sp_asm.positions(self._rows_ab, self._cols_ab),
+                sp_asm.positions(self._cols_ab, self._rows_ab),
+            ]) if self.entries else np.zeros(0, dtype=np.int64)
+            self._sp_for = sp_asm
+        return self._sp_pos
 
     def start(self) -> None:
         self._i_prev = np.zeros(len(self.entries))
@@ -158,6 +187,9 @@ class _CompanionCaps:
         if self.system.assembly == "loop":
             return self._make_extra_loop(x_prev, fixed_prev, fixed_now, dt,
                                          method, n)
+        if self.system.assembly == "sparse":
+            return self._make_extra_sparse(x_prev, fixed_prev, fixed_now,
+                                           dt, method, n)
         if not self.entries:
             f0 = np.zeros(n)
             j0 = np.zeros((n, n))
@@ -187,6 +219,45 @@ class _CompanionCaps:
             if trap:
                 i_now = i_now - i_prev
             return s_extra @ i_now, jac
+
+        return extra
+
+    def _make_extra_sparse(self, x_prev: np.ndarray,
+                           fixed_prev: Dict[str, float],
+                           fixed_now: Dict[str, float], dt: float,
+                           method: str, n: int):
+        """Sparse-mode ``extra``: the Jacobian is a constant nnz data
+        vector over the canonical pattern, the residual deposits with
+        bincounts — no (n, E) or (n, n) dense arrays anywhere."""
+        nnz = self.system.sparse_assembly().nnz
+        if not self.entries:
+            f0 = np.zeros(n)
+            d0 = np.zeros(nnz)
+            return lambda x: (f0, d0)
+        v_prev = self._v_diff(x_prev, fixed_prev)
+        i_prev = self._i_prev if self._i_prev is not None else np.zeros(
+            len(self.entries))
+        factor = 1.0 if method == "be" else 2.0
+        geq = factor * self.cvec / dt
+        stamp = np.concatenate([geq[self._ua], geq[self._ub],
+                                -geq[self._both], -geq[self._both]])
+        data = np.bincount(self._sparse_positions(), weights=stamp,
+                           minlength=nnz)
+        tail_now = self.system.fixed_tail(fixed_now)
+        system = self.system
+        ja, jb = self.ja, self.jb
+        rows_a, rows_b = self._rows_a, self._rows_b
+        ua, ub = self._ua, self._ub
+        trap = method == "trap"
+
+        def extra(x: np.ndarray):
+            v = system.full_volts(x, fixed_now, tail_now)
+            i_now = geq * ((v[ja] - v[jb]) - v_prev)
+            if trap:
+                i_now = i_now - i_prev
+            f = np.bincount(rows_a, weights=i_now[ua], minlength=n)
+            f -= np.bincount(rows_b, weights=i_now[ub], minlength=n)
+            return f, data
 
         return extra
 

@@ -16,6 +16,9 @@ paper's flow:
 * :mod:`repro.synth.sbox_unit` — the S-box instruction-set-extension
   macro (four 8×8 LUT S-boxes plus registers and converters) in any of
   the three styles;
+* :mod:`repro.synth.elaborate` — gate-level to transistor-level
+  elaboration: one flat SPICE circuit for a whole mapped block, the
+  input the sparse MNA assembly exists to solve;
 * :mod:`repro.synth.report` — Table 3-style area/delay/cell reports.
 """
 
@@ -23,6 +26,12 @@ from .mapping import TechnologyMapper, MappedBlock, map_lut
 from .sleep import SleepTree, insert_sleep_tree, SLEEP_ROOT_NET
 from .sbox_unit import build_sbox_ise, SBoxISE, simulate_sbox_word, sbox_truth_tables
 from .aes_core import AESCore, build_aes_core, encrypt_with_core
+from .elaborate import (
+    ElaboratedNetlist,
+    attach_core_testbench,
+    elaborate_netlist,
+    initial_point,
+)
 from .report import BlockReport, report_block, format_table
 from .buffering import buffer_high_fanout
 from .cleanup import sweep_dangling
@@ -42,6 +51,10 @@ __all__ = [
     "AESCore",
     "build_aes_core",
     "encrypt_with_core",
+    "ElaboratedNetlist",
+    "attach_core_testbench",
+    "elaborate_netlist",
+    "initial_point",
     "BlockReport",
     "report_block",
     "format_table",

@@ -1,0 +1,488 @@
+"""Gate-level to transistor-level elaboration.
+
+The synthesis flow ends at a :class:`~repro.netlist.graph.GateNetlist`;
+the paper's evaluation, however, is electrical — supply-current traces
+of whole blocks.  This module closes that gap: it walks a mapped
+netlist and instantiates each cell's transistor netlist (via the
+style's cell generator) into one flat :class:`~repro.spice.Circuit`,
+wiring logical nets to the cells' pin nets.
+
+Differential styles (MCML / PG-MCML) map every logical net onto a rail
+pair ``n_<net>_p`` / ``n_<net>_n``.  Pseudo cells never emit devices:
+
+* ``RAILSWAP`` aliases its output rails onto the *swapped* input rails
+  (inversion is free in differential logic);
+* ``TIEH`` / ``TIEL`` alias their output rails onto the constant-level
+  rails — logic high is the ``vdd`` rail, logic low the dedicated
+  ``vlo`` rail (Vdd - swing), which the testbench drives.
+
+PG-MCML sleep distribution stays CMOS single-ended: ``SLEEPBUF``
+instances elaborate as static CMOS buffers, and each gated cell's
+``sleep`` net is wired to its leaf of the
+:class:`~repro.synth.sleep.SleepTree` (or to one global ``sleep`` net
+when the netlist has no tree).
+
+Static CMOS has transistor templates only for INV/BUF/NAND/NOR/MUX2;
+larger cells elaborate as the classic compositions (AND = NAND + INV,
+XOR2 = four NAND2, DFF = the 6-NAND edge-triggered flip-flop, tie
+cells = a resistor to the rail).
+
+The elaborated circuit is deliberately testbench-free; use
+:func:`attach_core_testbench` to drive rails and primary inputs, and
+:func:`initial_point` to seed a transient from settled logic values
+(skipping a full-core DC solve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..cells.cmos import CmosCellGenerator, CmosSizing
+from ..cells.mcml import McmlCellGenerator, McmlSizing
+from ..cells.pgmcml import PgMcmlCellGenerator
+from ..errors import SynthesisError
+from ..netlist.graph import GateNetlist, Instance
+from ..spice import Circuit, DC, OperatingPoint
+from ..spice.stimulus import Stimulus
+from ..tech import Technology, TECH90
+from .sleep import SleepTree
+
+#: Resistance of a tie-cell output resistor, ohms (a hard short would
+#: trip the ERC short-circuit rule; well below any signal impedance).
+TIE_RESISTANCE = 1.0
+
+#: Cells whose differential elaboration is pure rail bookkeeping.
+_ALIAS_CELLS = ("RAILSWAP", "TIEH", "TIEL")
+
+
+@dataclass
+class ElaboratedNetlist:
+    """A flat transistor-level circuit plus its net bindings."""
+
+    circuit: Circuit
+    netlist: GateNetlist
+    style: str
+    vdd_net: str
+    #: differential styles only (bias rails / constant-low rail)
+    vn_net: Optional[str] = None
+    vp_net: Optional[str] = None
+    vlo_net: Optional[str] = None
+    #: single-ended CMOS-level sleep root (PG-MCML)
+    sleep_net: Optional[str] = None
+    #: logic levels of a driven net: (high, low) volts
+    logic_levels: Tuple[float, float] = (0.0, 0.0)
+    #: logical net -> physical rail name(s); differential nets map to a
+    #: (p, n) tuple, single-ended nets to their one rail
+    net_rails: Dict[str, Union[str, Tuple[str, str]]] = field(
+        default_factory=dict)
+    device_count: int = 0
+
+    @property
+    def differential(self) -> bool:
+        return self.style in ("mcml", "pgmcml")
+
+    def rails(self, net: str) -> Union[str, Tuple[str, str]]:
+        """Physical rail name(s) of logical net ``net``."""
+        try:
+            return self.net_rails[net]
+        except KeyError:
+            raise SynthesisError(
+                f"{net!r} is not a net of netlist "
+                f"{self.netlist.name!r}") from None
+
+
+class _Elaborator:
+    def __init__(self, netlist: GateNetlist,
+                 sleep_tree: Optional[SleepTree],
+                 tech: Technology,
+                 mcml_sizing: Optional[McmlSizing],
+                 cmos_sizing: Optional[CmosSizing],
+                 name: Optional[str]):
+        self.nl = netlist
+        self.style = netlist.library.style
+        self.tree = sleep_tree
+        self.tech = tech
+        self.differential = self.style in ("mcml", "pgmcml")
+        self.ckt = Circuit(name or f"{netlist.name}_xtor")
+        self.cmos_gen = CmosCellGenerator(tech, cmos_sizing)
+        if self.style == "pgmcml":
+            self.mcml_gen: Optional[McmlCellGenerator] = \
+                PgMcmlCellGenerator(tech, mcml_sizing)
+        elif self.style == "mcml":
+            self.mcml_gen = McmlCellGenerator(tech, mcml_sizing)
+        else:
+            self.mcml_gen = None
+        self.vdd = "vdd"
+        self.vlo = "vlo"
+        # Rail aliasing (RAILSWAP / tie cells): child rail -> parent rail.
+        self._alias: Dict[str, str] = {}
+        # Nets of the CMOS-level sleep distribution (single-ended even
+        # inside a differential netlist).
+        self._se_nets = set()
+        if self.differential:
+            for inst in netlist.instances.values():
+                if inst.cell.name == "SLEEPBUF":
+                    self._se_nets.update(inst.pins.values())
+
+    # -- rail naming / aliasing ----------------------------------------------
+
+    def _find(self, rail: str) -> str:
+        seen = []
+        while rail in self._alias:
+            seen.append(rail)
+            rail = self._alias[rail]
+        for s in seen:  # path compression
+            self._alias[s] = rail
+        return rail
+
+    def _rail(self, net: str, pol: str) -> str:
+        return self._find(f"n_{net}_{pol}")
+
+    def _se(self, net: str) -> str:
+        return f"n_{net}"
+
+    def rails_of(self, net: str) -> Union[str, Tuple[str, str]]:
+        if not self.differential or net in self._se_nets:
+            return self._se(net)
+        return (self._rail(net, "p"), self._rail(net, "n"))
+
+    def _collect_aliases(self) -> None:
+        """Resolve pseudo cells before any devices are emitted.
+
+        Output rails are fresh names (single driver per net), so the
+        alias graph is a forest; chains of RAILSWAPs terminate at a real
+        driver's rails or at the constant rails.
+        """
+        for inst in self.nl.instances.values():
+            cell = inst.cell.name
+            if cell not in _ALIAS_CELLS:
+                continue
+            y = inst.pins["Y"]
+            if cell == "RAILSWAP":
+                a = inst.pins["A"]
+                self._alias[f"n_{y}_p"] = f"n_{a}_n"
+                self._alias[f"n_{y}_n"] = f"n_{a}_p"
+            elif cell == "TIEH":
+                self._alias[f"n_{y}_p"] = self.vdd
+                self._alias[f"n_{y}_n"] = self.vlo
+            else:  # TIEL
+                self._alias[f"n_{y}_p"] = self.vlo
+                self._alias[f"n_{y}_n"] = self.vdd
+
+    # -- emission helpers ----------------------------------------------------
+
+    def _rewrite(self, n0: int, mapping: Dict[str, str]) -> None:
+        for dev in self.ckt.devices[n0:]:
+            dev.terminals = tuple(mapping.get(t, t) for t in dev.terminals)
+
+    def _emit_cmos(self, cell_name: str, prefix: str,
+                   conns: Dict[str, str]) -> None:
+        """One primitive CMOS gate with pins rewired onto ``conns``."""
+        n0 = len(self.ckt.devices)
+        cc = self.cmos_gen.build(cell_name, circuit=self.ckt, prefix=prefix)
+        mapping = {cc.vdd_net: self.vdd}
+        for pin, local in cc.input_nets.items():
+            mapping[local] = conns[pin]
+        for pin, local in cc.output_nets.items():
+            mapping[local] = conns[pin]
+        self._rewrite(n0, mapping)
+
+    def _sleep_net_for(self, inst_name: str) -> str:
+        if self.tree is not None:
+            try:
+                return self._se(self.tree.leaf_of[inst_name])
+            except KeyError:
+                raise SynthesisError(
+                    f"instance {inst_name!r} is power-gated but has no "
+                    f"sleep-tree leaf") from None
+        return "sleep"
+
+    # -- per-style instance elaboration --------------------------------------
+
+    def _emit_differential(self, inst: Instance) -> None:
+        gen = self.mcml_gen
+        assert gen is not None
+        n0 = len(self.ckt.devices)
+        cc = gen.build(inst.cell.function, circuit=self.ckt,
+                       prefix=f"{inst.name}_")
+        mapping = {cc.vdd_net: self.vdd, cc.vn_net: "vn", cc.vp_net: "vp"}
+        for pin, (lp, ln) in {**cc.input_nets, **cc.output_nets}.items():
+            gp, gn = self.rails_of(inst.pins[pin])
+            mapping[lp] = gp
+            mapping[ln] = gn
+        if cc.sleep_net is not None:
+            mapping[cc.sleep_net] = self._sleep_net_for(inst.name)
+        self._rewrite(n0, mapping)
+
+    def _emit_sleepbuf(self, inst: Instance) -> None:
+        self._emit_cmos("BUF", f"{inst.name}_",
+                        {"A": self._se(inst.pins["A"]),
+                         "Y": self._se(inst.pins["Y"])})
+
+    def _emit_cmos_instance(self, inst: Instance) -> None:
+        cell = inst.cell.name
+        pins = {pin: self._se(net) for pin, net in inst.pins.items()}
+        tag = inst.name
+
+        if cell in ("INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2",
+                    "NOR3", "MUX2"):
+            self._emit_cmos(cell, f"{tag}_", pins)
+        elif cell in ("BUFX4", "SLEEPBUF"):
+            self._emit_cmos("BUF", f"{tag}_", pins)
+        elif cell in ("AND2", "AND3", "AND4", "OR2", "OR3"):
+            inner = ("NAND" if cell.startswith("AND") else "NOR") + cell[-1]
+            mid = f"{tag}_x"
+            self._emit_cmos(inner, f"{tag}_g1_",
+                            {**{p: pins[p] for p in inst.cell.inputs},
+                             "Y": mid})
+            self._emit_cmos("INV", f"{tag}_g2_", {"A": mid, "Y": pins["Y"]})
+        elif cell in ("XOR2", "XNOR2"):
+            self._emit_xor(tag, pins, invert=cell == "XNOR2")
+        elif cell == "DFF":
+            self._emit_dff(tag, pins)
+        elif cell in ("TIEH", "TIEL"):
+            rail = self.vdd if cell == "TIEH" else "0"
+            self.ckt.resistor(f"{tag}_rtie", pins["Y"], rail,
+                              TIE_RESISTANCE)
+            # A sink-less constant output would otherwise be a
+            # single-connection node (validate() rejects those).
+            self.ckt.capacitor(f"{tag}_ctie", pins["Y"], "0", 0.1e-15)
+        else:
+            raise SynthesisError(
+                f"no transistor-level CMOS elaboration for cell "
+                f"{cell!r} (instance {inst.name!r})")
+
+    def _emit_xor(self, tag: str, pins: Dict[str, str],
+                  invert: bool) -> None:
+        """The four-NAND XOR (plus an output inverter for XNOR)."""
+        a, b = pins["A"], pins["B"]
+        m = f"{tag}_m"
+        y = f"{tag}_x" if invert else pins["Y"]
+        self._emit_cmos("NAND2", f"{tag}_g1_", {"A": a, "B": b, "Y": m})
+        self._emit_cmos("NAND2", f"{tag}_g2_",
+                        {"A": a, "B": m, "Y": f"{tag}_u"})
+        self._emit_cmos("NAND2", f"{tag}_g3_",
+                        {"A": m, "B": b, "Y": f"{tag}_v"})
+        self._emit_cmos("NAND2", f"{tag}_g4_",
+                        {"A": f"{tag}_u", "B": f"{tag}_v", "Y": y})
+        if invert:
+            self._emit_cmos("INV", f"{tag}_g5_", {"A": y, "Y": pins["Y"]})
+
+    def _emit_dff(self, tag: str, pins: Dict[str, str]) -> None:
+        """The classic 6-NAND positive-edge D flip-flop (74x74 core).
+
+        Every internal node is statically driven, so the flat circuit
+        stays DC-solvable (no charge-storage latches).
+        """
+        d, ck, q = pins["D"], pins["CK"], pins["Q"]
+        n1, n2, n3, n4 = (f"{tag}_n{i}" for i in range(1, 5))
+        qb = f"{tag}_qb"
+        self._emit_cmos("NAND2", f"{tag}_g1_", {"A": n4, "B": n2, "Y": n1})
+        self._emit_cmos("NAND2", f"{tag}_g2_", {"A": n1, "B": ck, "Y": n2})
+        self._emit_cmos("NAND3", f"{tag}_g3_",
+                        {"A": n2, "B": ck, "C": n4, "Y": n3})
+        self._emit_cmos("NAND2", f"{tag}_g4_", {"A": n3, "B": d, "Y": n4})
+        self._emit_cmos("NAND2", f"{tag}_g5_", {"A": n2, "B": qb, "Y": q})
+        self._emit_cmos("NAND2", f"{tag}_g6_", {"A": q, "B": n3, "Y": qb})
+
+    # -- top level -----------------------------------------------------------
+
+    def run(self, load_caps: bool) -> ElaboratedNetlist:
+        self.nl.validate()
+        if self.differential:
+            self._collect_aliases()
+        for inst in self.nl.instances.values():
+            if self.differential:
+                if inst.cell.name in _ALIAS_CELLS:
+                    continue
+                if inst.cell.name == "SLEEPBUF":
+                    self._emit_sleepbuf(inst)
+                else:
+                    self._emit_differential(inst)
+            else:
+                self._emit_cmos_instance(inst)
+
+        if load_caps:
+            for net_name in self.nl.nets:
+                cap = self.nl.load_cap(net_name)
+                if cap <= 0.0:
+                    continue
+                rails = self.rails_of(net_name)
+                if isinstance(rails, tuple):
+                    self.ckt.capacitor(f"cl_{net_name}_p", rails[0], "0",
+                                       cap)
+                    self.ckt.capacitor(f"cl_{net_name}_n", rails[1], "0",
+                                       cap)
+                else:
+                    self.ckt.capacitor(f"cl_{net_name}", rails, "0", cap)
+
+        sizing = self.mcml_gen.sizing if self.mcml_gen is not None else None
+        if self.differential:
+            levels = (sizing.input_high(self.tech),
+                      sizing.input_low(self.tech))
+        else:
+            levels = (self.tech.vdd, 0.0)
+        sleep_net = None
+        if self.style == "pgmcml":
+            sleep_net = (self._se(self.tree.root_net)
+                         if self.tree is not None else "sleep")
+        return ElaboratedNetlist(
+            circuit=self.ckt, netlist=self.nl, style=self.style,
+            vdd_net=self.vdd,
+            vn_net="vn" if self.differential else None,
+            vp_net="vp" if self.differential else None,
+            vlo_net=self.vlo if self.differential else None,
+            sleep_net=sleep_net,
+            logic_levels=levels,
+            net_rails={n: self.rails_of(n) for n in self.nl.nets},
+            device_count=len(self.ckt.devices))
+
+
+def elaborate_netlist(netlist: GateNetlist,
+                      sleep_tree: Optional[SleepTree] = None,
+                      tech: Optional[Technology] = None,
+                      mcml_sizing: Optional[McmlSizing] = None,
+                      cmos_sizing: Optional[CmosSizing] = None,
+                      name: Optional[str] = None,
+                      load_caps: bool = True) -> ElaboratedNetlist:
+    """Flatten ``netlist`` into one transistor-level circuit.
+
+    ``sleep_tree`` (PG-MCML) wires each gated cell's sleep net to its
+    tree leaf; without it every cell shares one global ``sleep`` net.
+    ``load_caps`` attaches each logical net's
+    :meth:`~repro.netlist.graph.GateNetlist.load_cap` to its rail(s).
+    """
+    return _Elaborator(netlist, sleep_tree, tech or netlist.library.tech,
+                       mcml_sizing, cmos_sizing,
+                       name).run(load_caps)
+
+
+def attach_core_testbench(elab: ElaboratedNetlist,
+                          inputs: Dict[str, Union[bool, Stimulus,
+                                                  Tuple[Stimulus,
+                                                        Stimulus]]],
+                          sleep: Union[bool, Stimulus] = True,
+                          tech: Optional[Technology] = None,
+                          mcml_sizing: Optional[McmlSizing] = None) -> None:
+    """Drive rails and primary inputs of an elaborated core in place.
+
+    ``inputs`` maps primary-input net names to a logic constant, a
+    single-ended stimulus (CMOS / replicated differentially), or an
+    explicit ``(p, n)`` stimulus pair.  ``sleep`` drives the PG-MCML
+    sleep root (``True`` = awake).  Every primary input must be given —
+    a floating differential pair would make the solve singular.
+    """
+    tech = tech or elab.netlist.library.tech
+    sizing = mcml_sizing or McmlSizing()
+    ckt = elab.circuit
+    hi, lo = ((sizing.input_high(tech), sizing.input_low(tech))
+              if elab.differential else (tech.vdd, 0.0))
+
+    ckt.v("vdd", elab.vdd_net, tech.vdd)
+    if elab.differential:
+        ckt.v("vvn", elab.vn_net, sizing.vn)
+        ckt.v("vvp", elab.vp_net, sizing.vp)
+        ckt.v("vvlo", elab.vlo_net, lo)
+    if elab.sleep_net is not None:
+        if isinstance(sleep, bool):
+            stim: Stimulus = DC(tech.vdd if sleep else 0.0)
+        else:
+            stim = sleep
+        ckt.v("vsleep", elab.sleep_net, stim)
+
+    # The sleep root may be a netlist primary input (insert_sleep_tree
+    # registers it); the ``sleep`` parameter is its one driver.
+    sleep_root = None
+    if elab.sleep_net is not None and elab.style == "pgmcml":
+        for pi in elab.netlist.primary_inputs:
+            if elab.rails(pi) == elab.sleep_net:
+                sleep_root = pi
+    missing = [n for n in elab.netlist.primary_inputs
+               if n not in inputs and n != sleep_root]
+    if missing:
+        raise SynthesisError(f"undriven primary inputs: {sorted(missing)}")
+    for net, value in inputs.items():
+        if net == sleep_root:
+            continue
+        rails = elab.rails(net)
+        tag = f"v_{net}"
+        if isinstance(rails, tuple):
+            if isinstance(value, bool):
+                sp: Stimulus = DC(hi if value else lo)
+                sn: Stimulus = DC(lo if value else hi)
+            elif isinstance(value, tuple):
+                sp, sn = value
+            else:
+                raise SynthesisError(
+                    f"differential input {net!r} needs a bool or a "
+                    f"(p, n) stimulus pair, got {value!r}")
+            ckt.v(f"{tag}_p", rails[0], sp)
+            ckt.v(f"{tag}_n", rails[1], sn)
+        else:
+            if isinstance(value, bool):
+                se: Stimulus = DC(tech.vdd if value else 0.0)
+            elif isinstance(value, tuple):
+                raise SynthesisError(
+                    f"single-ended input {net!r} cannot take a "
+                    f"stimulus pair")
+            else:
+                se = value
+            ckt.v(tag, rails, se)
+
+
+def initial_point(elab: ElaboratedNetlist,
+                  values: Dict[str, bool]) -> OperatingPoint:
+    """An approximate operating point from settled logic values.
+
+    ``values`` is a full net -> bool map (e.g.
+    :attr:`~repro.netlist.logicsim.LogicSimulator.values` after
+    ``initialize``).  Logical rails get their logic levels; cell-internal
+    nodes default to the inter-level midpoint.  Intended as the ``ic=``
+    seed of a transient on a core too large for a cold DC solve — the
+    first timesteps relax the interior nodes while the load capacitors
+    hold the seeded rails.
+    """
+    hi, lo = elab.logic_levels
+    mid = (hi + lo) / 2.0
+    voltages = {node: mid for node in elab.circuit.all_nodes()}
+    voltages["0"] = 0.0
+    for net, value in values.items():
+        rails = elab.net_rails.get(net)
+        if rails is None:
+            continue
+        if isinstance(rails, tuple):
+            voltages[rails[0]] = hi if value else lo
+            voltages[rails[1]] = lo if value else hi
+        else:
+            # CMOS / sleep-distribution nets swing rail to rail.
+            voltages[rails] = (elab.netlist.library.tech.vdd
+                               if value else 0.0)
+    if not elab.differential:
+        # The composed 6-NAND DFF stores state in cross-coupled pairs on
+        # circuit-internal nodes; left at the midpoint they relax to the
+        # metastable fixed point instead of the simulated state.  Their
+        # logic values follow from the pins, so seed them too.
+        vdd = elab.netlist.library.tech.vdd
+        for inst in elab.netlist.instances.values():
+            if inst.cell.name != "DFF":
+                continue
+            d = values.get(inst.pins["D"])
+            ck = values.get(inst.pins["CK"])
+            q = values.get(inst.pins["Q"])
+            if d is None or ck is None or q is None:
+                continue
+            n1 = n2 = n3 = n4 = True
+            for _ in range(6):
+                n2 = not (n1 and ck)
+                n3 = not (n2 and ck and n4)
+                n4 = not (n3 and d)
+                n1 = not (n4 and n2)
+            tag = inst.name
+            for node, bit in ((f"{tag}_n1", n1), (f"{tag}_n2", n2),
+                              (f"{tag}_n3", n3), (f"{tag}_n4", n4),
+                              (f"{tag}_qb", not q)):
+                voltages[node] = vdd if bit else 0.0
+    for node, volt in elab.circuit.fixed_nodes(0.0).items():
+        voltages[node] = volt
+    return OperatingPoint(voltages, {})
