@@ -1,0 +1,50 @@
+"""Benchmark (extension): the attack × countermeasure campaign grid.
+
+The matrix target on its smoke grid: CMOS vs. WDDL under first-order
+CPA, second-order CPA, MLPA and TVLA.  The assertions pin the headline
+the grid exists to show — the same attack budget that breaks CMOS does
+not break WDDL — plus the engineering properties (acquisition dedupe,
+no failed cells on a well-formed grid).
+"""
+
+from conftest import run_once
+
+from repro.experiments import matrix
+from repro.sca import TVLA_THRESHOLD
+
+
+def test_matrix_smoke_grid(benchmark):
+    report = run_once(benchmark, matrix.main)
+
+    by_cell = {(c.cell.style, c.cell.attack): c for c in report.cells}
+    assert all(c.ok for c in report.cells)
+
+    # CMOS: first-order CPA recovers the key within the smoke budget.
+    cmos_cpa = by_cell[("cmos", "cpa")]
+    assert cmos_cpa.success_rate == 1.0
+    assert cmos_cpa.mtd is not None
+
+    # WDDL: the identical budget does not disclose the key to the
+    # Hamming-weight CPA — but MLPA's regression basis absorbs the
+    # arbitrary signed rail-imbalance weights and recovers it, the
+    # wrong-model-vs-right-model gap the matrix exists to expose.
+    wddl_cpa = by_cell[("wddl", "cpa")]
+    assert wddl_cpa.success_rate == 0.0
+    assert wddl_cpa.guessing_entropy > 0.0
+    assert by_cell[("wddl", "mlpa")].success_rate == 1.0
+
+    # TVLA still detects both (constant switching hides the key from
+    # CPA; the residual rail imbalance is still t-test visible).
+    assert by_cell[("cmos", "tvla")].max_abs_t > TVLA_THRESHOLD
+    assert by_cell[("wddl", "tvla")].leak_detected
+
+    # Dedupe: cpa/cpa2/mlpa share each style's random-schedule trace
+    # set, so the grid composes fewer sets than it has cells.
+    assert report.acquisitions < len(report.cells)
+    assert report.acquisitions_reused > 0
+
+    benchmark.extra_info["acquisitions"] = report.acquisitions
+    benchmark.extra_info["guessing_entropy"] = {
+        f"{s}/{a}": round(c.guessing_entropy, 1)
+        for (s, a), c in by_cell.items()
+        if c.guessing_entropy is not None}

@@ -49,6 +49,7 @@ def main(argv=None) -> int:
         "fig6": experiments.fig6.main,
         "ablation": experiments.ablation.main,
         "tvla": experiments.tvla.main,
+        "matrix": experiments.matrix.main,
         "related": experiments.related.main,
         "scope": experiments.scope.main,
         "software": experiments.software_attack.main,
@@ -67,6 +68,13 @@ def main(argv=None) -> int:
                         help="record spans, progress, and a final metrics "
                              "snapshot to a JSONL trace file (see "
                              "repro.obs); stdout output is unchanged")
+    parser.add_argument("--grid", metavar="PATH",
+                        help="JSON campaign-grid spec for the matrix "
+                             "target (styles/attacks/noises/corners/"
+                             "budgets; see examples/matrix_smoke.json)")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write the matrix target's full report "
+                             "(cells + frontier) as JSON")
     parser.add_argument("--no-erc", action="store_true",
                         help="skip the electrical-rule preflight at cell "
                              "build / synthesis / campaign start "
@@ -97,6 +105,9 @@ def main(argv=None) -> int:
                              "engine with a note, or fails when "
                              "REPRO_SPICE_BACKEND_STRICT is set")
     args = parser.parse_args(argv)
+
+    if (args.grid or args.report) and args.target not in ("matrix", "all"):
+        parser.error("--grid/--report only apply to the matrix target")
 
     if args.no_erc:
         os.environ["REPRO_ERC"] = "off"
@@ -143,7 +154,11 @@ def main(argv=None) -> int:
         for name in names:
             if len(names) > 1:
                 print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
-            result = targets[name](telemetry=telemetry)
+            if name == "matrix":
+                result = targets[name](grid=args.grid, report=args.report,
+                                       telemetry=telemetry)
+            else:
+                result = targets[name](telemetry=telemetry)
             if args.csv and len(names) == 1:
                 if _csv_writer(name, result, args.csv):
                     print(f"\nwrote {args.csv}")

@@ -19,7 +19,12 @@ generated transistor netlists with :mod:`repro.spice`
 
 from .functions import CellFunction, FUNCTIONS, function
 from .cell import Cell, DelayModel, PowerModel
-from .layout import LayoutModel, SITE_COUNTS_MCML, SITE_COUNTS_CMOS
+from .layout import (
+    LayoutModel,
+    SITE_COUNTS_MCML,
+    SITE_COUNTS_CMOS,
+    SITE_COUNTS_WDDL,
+)
 from .mcml import McmlCellGenerator, McmlSizing
 from .pgmcml import PgMcmlCellGenerator, PowerGateTopology
 from .cmos import CmosCellGenerator
@@ -40,8 +45,10 @@ from .library import (
     build_cmos_library,
     build_mcml_library,
     build_pg_mcml_library,
+    library_at_corner,
     preflight_library,
 )
+from .wddl import WddlCellGenerator, build_wddl_library
 from .io import load_library, save_library, library_to_dict, library_from_dict
 from .liberty import write_liberty
 
@@ -55,6 +62,7 @@ __all__ = [
     "LayoutModel",
     "SITE_COUNTS_MCML",
     "SITE_COUNTS_CMOS",
+    "SITE_COUNTS_WDDL",
     "McmlCellGenerator",
     "McmlSizing",
     "PgMcmlCellGenerator",
@@ -73,6 +81,9 @@ __all__ = [
     "build_cmos_library",
     "build_mcml_library",
     "build_pg_mcml_library",
+    "build_wddl_library",
+    "WddlCellGenerator",
+    "library_at_corner",
     "preflight_library",
     "load_library",
     "save_library",

@@ -15,7 +15,7 @@ from typing import Optional
 from ..errors import CellError
 from .functions import CellFunction
 
-STYLES = ("cmos", "mcml", "pgmcml")
+STYLES = ("cmos", "mcml", "pgmcml", "wddl")
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,13 @@ class PowerModel:
     deviation ``residual_sigma`` (device mismatch — see
     :class:`repro.tech.MismatchModel`).  PG-MCML adds a sleep mode with
     leakage ``sleep_leak`` and a wake time constant.
+
+    WDDL cells are CMOS underneath (static ``leak``) but evaluate
+    exactly one of their two rails every precharge/evaluate cycle:
+    ``energy_toggle`` is the (data-independent) mean evaluation energy,
+    and ``residual_sigma`` is the standard deviation of the *charge*
+    imbalance between the true and false rails — the load-capacitance
+    mismatch that is WDDL's residual leakage channel.
     """
 
     style: str
@@ -79,7 +86,7 @@ class PowerModel:
 
     def static_current(self, asleep: bool = False) -> float:
         """Quiescent supply current in the given mode."""
-        if self.style == "cmos":
+        if self.style in ("cmos", "wddl"):
             return self.leak
         if asleep:
             if not self.has_sleep:

@@ -77,6 +77,20 @@ SITE_COUNTS_CMOS: Dict[str, int] = {
     "TIEL": 2,
 }
 
+#: WDDL dual-rail cell widths in CMOS sites.  Each cell carries two
+#: complementary positive-monotonic CMOS networks (Tiri & Verbauwhede's
+#: secure design flow), so the widths run roughly 2x the positive CMOS
+#: gate plus a little shared-well overhead.
+SITE_COUNTS_WDDL: Dict[str, int] = {
+    "BUF": 8,
+    "AND2": 12,
+    "OR2": 12,
+    "XOR2": 16,
+    "MUX2": 18,
+    "TIEH": 2,
+    "TIEL": 2,
+}
+
 
 @dataclass(frozen=True)
 class LayoutModel:
@@ -91,13 +105,17 @@ class LayoutModel:
             return self.tech.site_width_mcml
         if self.style == "pgmcml":
             return self.tech.site_width_pgmcml
-        if self.style == "cmos":
+        if self.style in ("cmos", "wddl"):
+            # WDDL rows are plain CMOS rows: the dual-rail pair lives in
+            # two adjacent column groups on the standard site grid.
             return self.tech.site_width_cmos
         raise CellError(f"unknown cell style {self.style!r}")
 
     def site_counts(self) -> Dict[str, int]:
         if self.style in ("mcml", "pgmcml"):
             return SITE_COUNTS_MCML
+        if self.style == "wddl":
+            return SITE_COUNTS_WDDL
         return SITE_COUNTS_CMOS
 
     def sites_for(self, cell_name: str) -> int:
@@ -163,6 +181,10 @@ def estimate_sites(fn: CellFunction, style: str) -> int:
         # Static CMOS: ~2 transistors per literal; half a site per device.
         n_inputs = len(fn.inputs)
         return max(2, math.ceil(1.0 + 1.4 * n_inputs))
+    if style == "wddl":
+        # Two complementary CMOS networks sharing the well ties.
+        n_inputs = len(fn.inputs)
+        return max(4, math.ceil(2.0 * (1.0 + 1.4 * n_inputs)))
     raise CellError(f"unknown cell style {style!r}")
 
 
@@ -179,7 +201,8 @@ def library_area_um2(cell_names: Dict[str, int], style: str,
 
 
 def _check_registry() -> None:
-    for name in list(SITE_COUNTS_MCML) + list(SITE_COUNTS_CMOS):
+    for name in (list(SITE_COUNTS_MCML) + list(SITE_COUNTS_CMOS)
+                 + list(SITE_COUNTS_WDDL)):
         if name in ("BUFX4",):
             continue
         function(name)  # raises CellError on unknown function names

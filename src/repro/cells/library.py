@@ -20,7 +20,7 @@ paper) plus the derived quantities the paper states in prose:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CellError
@@ -358,11 +358,57 @@ def characterize_library_cell(library: Library, cell_name: str,
     return cell.with_measurement(DelayModel(intrinsic, drive_res), power)
 
 
+#: Subthreshold slope used to translate a corner's Vt shift into a
+#: leakage ratio (~80 mV/decade at 90 nm).
+SUBTHRESHOLD_SLOPE_V = 0.080
+
+
+def library_at_corner(library: Library, corner) -> Library:
+    """Datasheets shifted to a global process corner.
+
+    ``corner`` is a :class:`repro.tech.corners.Corner`.  Delay scales
+    inversely with the corner's mobility factor; CMOS and WDDL leakage
+    scales exponentially with the threshold shift (subthreshold
+    conduction); MCML/PG-MCML tail currents are pinned by the bias
+    network, so ``iss`` — and with it the style's static signature — is
+    corner-insensitive, which is exactly the §4 robustness claim the
+    campaign matrix's corner axis probes.  Pseudo cells (rail swaps,
+    ties) pass through unchanged.
+    """
+    mean_kp = 0.5 * (corner.kp_scale_n + corner.kp_scale_p)
+    mean_dvt = 0.5 * (corner.dvt_n + corner.dvt_p)
+    if mean_kp <= 0.0:
+        raise CellError(f"corner {corner.name!r} has non-positive mobility")
+    delay_scale = 1.0 / mean_kp
+    leak_scale = 10.0 ** (-mean_dvt / SUBTHRESHOLD_SLOPE_V)
+    cells: Dict[str, Cell] = {}
+    for name, cell in library.cells.items():
+        if cell.pseudo:
+            cells[name] = cell
+            continue
+        dm = DelayModel(cell.delay_model.intrinsic * delay_scale,
+                        cell.delay_model.drive_res * delay_scale)
+        power = cell.power
+        if power.style in ("cmos", "wddl"):
+            power = replace(power, leak=power.leak * leak_scale)
+        elif power.sleep_leak > 0.0:
+            power = replace(power, sleep_leak=min(
+                power.sleep_leak * leak_scale, 0.5 * power.iss))
+        cells[name] = replace(cell, delay_model=dm, power=power,
+                              source="derived")
+    return Library(name=f"{library.name}@{corner.name}",
+                   style=library.style, cells=cells,
+                   tech=corner.technology(library.tech))
+
+
 #: Style-representative functions the library preflight elaborates: a
 #: combinational cell, a stacked cell, and a sequential cell cover every
 #: distinct transistor template the generators emit.
 _PREFLIGHT_MCML = ("BUF", "NAND2", "DLATCH")
 _PREFLIGHT_CMOS = ("INV", "NAND2", "MUX2")
+#: WDDL templates: the buffer, a NAND/NOR pair (AND2), and the AOI22
+#: compound (XOR2) cover every device pattern the generator emits.
+_PREFLIGHT_WDDL = ("BUF", "AND2", "XOR2")
 
 
 def preflight_library(library: Library, telemetry=None) -> List:
@@ -381,6 +427,13 @@ def preflight_library(library: Library, telemetry=None) -> List:
     if library.style == "cmos":
         generator = CmosCellGenerator(library.tech)
         for name in _PREFLIGHT_CMOS:
+            cell = generator.build(name, erc=False)
+            reports.append(generator.erc_check(cell, telemetry=telemetry))
+    elif library.style == "wddl":
+        from .wddl import WddlCellGenerator
+
+        generator = WddlCellGenerator(library.tech)
+        for name in _PREFLIGHT_WDDL:
             cell = generator.build(name, erc=False)
             reports.append(generator.erc_check(cell, telemetry=telemetry))
     else:

@@ -1,0 +1,268 @@
+"""WDDL: wave dynamic differential logic (Tiri & Verbauwhede, DATE'04).
+
+The fourth library style under comparison — the *other* classic
+DPA-countermeasure family.  Where MCML flattens the supply current with
+a constant tail, WDDL flattens the *switching count*: every signal is a
+complementary rail pair ``(s_t, s_f)`` built from positive-monotonic
+static CMOS gates.  Each clock cycle has two phases:
+
+* **precharge** — all primary rails are driven to 0; because every gate
+  is positive monotonic, the all-zero wave propagates and discharges
+  every internal rail (this is the :meth:`LogicSimulator.reset` state);
+* **evaluate** — the true inputs are launched on one rail of each pair;
+  exactly one rail of every pair in the circuit charges, whatever the
+  data, so the number of 0->1 transitions per cycle is constant.
+
+What remains as a side channel is *which* rail of each pair charges:
+the true and false rails never have perfectly equal load capacitance
+(routing mismatch), so the evaluation charge carries a small
+data-dependent imbalance.  That imbalance — not a toggle count — is
+WDDL's residual leakage, and it is what places WDDL between plain CMOS
+and MCML on the attack-resistance frontier the campaign matrix maps.
+
+Transistor level, a WDDL cell is two complementary CMOS networks (e.g.
+AND2 = NAND+INV on the true rails, NOR+INV on the false rails), so the
+generator here composes device primitives from
+:class:`~repro.cells.cmos.CmosCellGenerator` and the ERC preflight runs
+under the plain CMOS rules.  Inversion is a free rail swap, exactly as
+in MCML — the mapper's RAILSWAP pseudo cell applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import CellError
+from ..spice import Circuit
+from ..spice.erc import erc_enabled, erc_preflight
+from ..tech import Technology, TECH90
+from ..units import ps
+from .cell import Cell, DelayModel, PowerModel
+from .cmos import CmosCellGenerator, CmosSizing
+from .functions import CellFunction, function
+from .layout import LayoutModel, SITE_COUNTS_WDDL
+from .library import (
+    CMOS_DRIVE_RES,
+    CMOS_ENERGY_BASE_CAP,
+    CMOS_ENERGY_SITE_CAP,
+    CMOS_INPUT_CAP,
+    CMOS_LEAK_PER_SITE,
+    Library,
+    _railswap_cell,
+    _tie_cell,
+)
+
+#: Per-cell delays (seconds): compound gate + output inverter per rail,
+#: both rails in parallel, on the CMOS reference device sizes.
+WDDL_DELAYS: Dict[str, float] = {
+    "BUF": ps(24.0),
+    "AND2": ps(28.0),
+    "OR2": ps(30.0),
+    "XOR2": ps(34.0),
+    "MUX2": ps(36.0),
+}
+
+#: Sigma of the true/false rail load-capacitance mismatch as a fraction
+#: of the mean evaluation charge — the entire first-order leakage a
+#: WDDL gate has left.  0.1 % models the "fat wire" matched-pair
+#: routing discipline; it places WDDL where the literature found it:
+#: measurably harder than CMOS for first-order CPA (roughly 2-3x the
+#: MTD on the reduced-AES target, sub-quantisation per-gate amplitude)
+#: but still detectable by TVLA and still broken with budget — while
+#: MCML/PG-MCML stay unbroken.
+WDDL_IMBALANCE_FRACTION = 0.001
+
+#: The functionally complete WDDL cell set (AND/OR/XOR/MUX + buffer;
+#: inversion is a free rail swap).
+WDDL_CELL_NAMES: Tuple[str, ...] = ("BUF", "AND2", "OR2", "XOR2", "MUX2")
+
+
+@dataclass
+class WddlCellCircuit:
+    """A generated dual-rail cell netlist plus per-rail pin bindings."""
+
+    circuit: Circuit
+    function: CellFunction
+    #: logical pin -> (true-rail net, false-rail net)
+    input_rails: Dict[str, Tuple[str, str]]
+    output_rails: Dict[str, Tuple[str, str]]
+    vdd_net: str
+
+
+class WddlCellGenerator:
+    """Generates dual-rail WDDL gate netlists from CMOS primitives."""
+
+    style = "wddl"
+
+    def __init__(self, tech: Technology = TECH90,
+                 sizing: Optional[CmosSizing] = None):
+        self.tech = tech
+        self.cmos = CmosCellGenerator(tech, sizing)
+
+    def build(self, fn_name: str, circuit: Optional[Circuit] = None,
+              prefix: str = "", erc: Optional[bool] = None
+              ) -> WddlCellCircuit:
+        fn = function(fn_name)
+        own = circuit is None
+        ckt = circuit or Circuit(f"wddl_{fn_name.lower()}")
+        p = "" if own and not prefix else f"{prefix}{fn_name.lower()}_"
+        vdd = "vdd" if own else f"{p}vdd"
+
+        builders = {
+            "BUF": self._buf,
+            "AND2": self._and2,
+            "OR2": self._or2,
+            "XOR2": self._xor2,
+            "MUX2": self._mux2,
+        }
+        try:
+            builder = builders[fn_name]
+        except KeyError:
+            raise CellError(
+                f"no WDDL template for {fn_name!r}; the dual-rail set is "
+                f"{sorted(builders)} (inversion is a free rail swap)"
+            ) from None
+        rails = {pin: (f"{p}{pin.lower()}_t", f"{p}{pin.lower()}_f")
+                 for pin in fn.inputs}
+        out_rails = builder(ckt, rails, p, vdd)
+        cell = WddlCellCircuit(ckt, fn, rails, out_rails, vdd)
+        if own and (erc if erc is not None else erc_enabled()):
+            self.erc_check(cell)
+        return cell
+
+    def erc_check(self, cell: WddlCellCircuit, telemetry=None):
+        """ERC-preflight under the CMOS rules (that is what WDDL is)."""
+        ports = [net for pair in cell.input_rails.values() for net in pair]
+        ports += [net for pair in cell.output_rails.values() for net in pair]
+        return erc_preflight(cell.circuit, rails=[cell.vdd_net],
+                             style="cmos", ports=ports,
+                             telemetry=telemetry)
+
+    # -- gate-level helpers (device emission via the CMOS generator) ----------
+
+    def _inv(self, ckt, p: str, tag: str, a: str, y: str, vdd: str,
+             scale: float = 1.0) -> None:
+        self.cmos._nmos(ckt, f"{p}mn_{tag}", y, a, "0", scale)
+        self.cmos._pmos(ckt, f"{p}mp_{tag}", y, a, vdd, vdd, scale)
+
+    def _nand2(self, ckt, p: str, tag: str, a: str, b: str, y: str,
+               vdd: str) -> None:
+        mid = f"{p}s_{tag}"
+        self.cmos._nmos(ckt, f"{p}mn0_{tag}", mid, b, "0", 2.0)
+        self.cmos._nmos(ckt, f"{p}mn1_{tag}", y, a, mid, 2.0)
+        self.cmos._pmos(ckt, f"{p}mp0_{tag}", y, a, vdd, vdd)
+        self.cmos._pmos(ckt, f"{p}mp1_{tag}", y, b, vdd, vdd)
+
+    def _nor2(self, ckt, p: str, tag: str, a: str, b: str, y: str,
+              vdd: str) -> None:
+        mid = f"{p}s_{tag}"
+        self.cmos._pmos(ckt, f"{p}mp0_{tag}", mid, a, vdd, vdd, 2.0)
+        self.cmos._pmos(ckt, f"{p}mp1_{tag}", y, b, mid, vdd, 2.0)
+        self.cmos._nmos(ckt, f"{p}mn0_{tag}", y, a, "0")
+        self.cmos._nmos(ckt, f"{p}mn1_{tag}", y, b, "0")
+
+    def _aoi22(self, ckt, p: str, tag: str, a: str, b: str, c: str,
+               d: str, y: str, vdd: str) -> None:
+        """y = NOT(a AND b OR c AND d) — one complex gate per rail."""
+        s1, s2 = f"{p}s1_{tag}", f"{p}s2_{tag}"
+        self.cmos._nmos(ckt, f"{p}mn0_{tag}", s1, b, "0", 2.0)
+        self.cmos._nmos(ckt, f"{p}mn1_{tag}", y, a, s1, 2.0)
+        self.cmos._nmos(ckt, f"{p}mn2_{tag}", s2, d, "0", 2.0)
+        self.cmos._nmos(ckt, f"{p}mn3_{tag}", y, c, s2, 2.0)
+        t = f"{p}t_{tag}"
+        self.cmos._pmos(ckt, f"{p}mp0_{tag}", t, a, vdd, vdd, 2.0)
+        self.cmos._pmos(ckt, f"{p}mp1_{tag}", t, b, vdd, vdd, 2.0)
+        self.cmos._pmos(ckt, f"{p}mp2_{tag}", y, c, t, vdd, 2.0)
+        self.cmos._pmos(ckt, f"{p}mp3_{tag}", y, d, t, vdd, 2.0)
+
+    # -- dual-rail topologies -------------------------------------------------
+
+    def _buf(self, ckt, rails, p: str, vdd: str):
+        (a_t, a_f) = rails["A"]
+        y_t, y_f = f"{p}y_t", f"{p}y_f"
+        for tag, a, y in (("t", a_t, y_t), ("f", a_f, y_f)):
+            mid = f"{p}m_{tag}"
+            self._inv(ckt, p, f"{tag}0", a, mid, vdd)
+            self._inv(ckt, p, f"{tag}1", mid, y, vdd, 2.0)
+        return {"Y": (y_t, y_f)}
+
+    def _and2(self, ckt, rails, p: str, vdd: str):
+        (a_t, a_f), (b_t, b_f) = rails["A"], rails["B"]
+        y_t, y_f = f"{p}y_t", f"{p}y_f"
+        nt, nf = f"{p}n_t", f"{p}n_f"
+        self._nand2(ckt, p, "t", a_t, b_t, nt, vdd)   # true: AND(at, bt)
+        self._inv(ckt, p, "t", nt, y_t, vdd, 2.0)
+        self._nor2(ckt, p, "f", a_f, b_f, nf, vdd)    # false: OR(af, bf)
+        self._inv(ckt, p, "f", nf, y_f, vdd, 2.0)
+        return {"Y": (y_t, y_f)}
+
+    def _or2(self, ckt, rails, p: str, vdd: str):
+        (a_t, a_f), (b_t, b_f) = rails["A"], rails["B"]
+        y_t, y_f = f"{p}y_t", f"{p}y_f"
+        nt, nf = f"{p}n_t", f"{p}n_f"
+        self._nor2(ckt, p, "t", a_t, b_t, nt, vdd)    # true: OR(at, bt)
+        self._inv(ckt, p, "t", nt, y_t, vdd, 2.0)
+        self._nand2(ckt, p, "f", a_f, b_f, nf, vdd)   # false: AND(af, bf)
+        self._inv(ckt, p, "f", nf, y_f, vdd, 2.0)
+        return {"Y": (y_t, y_f)}
+
+    def _xor2(self, ckt, rails, p: str, vdd: str):
+        (a_t, a_f), (b_t, b_f) = rails["A"], rails["B"]
+        y_t, y_f = f"{p}y_t", f"{p}y_f"
+        nt, nf = f"{p}n_t", f"{p}n_f"
+        # true: (at AND bf) OR (af AND bt); false: (at AND bt) OR (af AND bf)
+        self._aoi22(ckt, p, "t", a_t, b_f, a_f, b_t, nt, vdd)
+        self._inv(ckt, p, "t", nt, y_t, vdd, 2.0)
+        self._aoi22(ckt, p, "f", a_t, b_t, a_f, b_f, nf, vdd)
+        self._inv(ckt, p, "f", nf, y_f, vdd, 2.0)
+        return {"Y": (y_t, y_f)}
+
+    def _mux2(self, ckt, rails, p: str, vdd: str):
+        (s_t, s_f) = rails["S"]
+        (d0_t, d0_f), (d1_t, d1_f) = rails["D0"], rails["D1"]
+        y_t, y_f = f"{p}y_t", f"{p}y_f"
+        nt, nf = f"{p}n_t", f"{p}n_f"
+        # true: (sf AND d0t) OR (st AND d1t); false rail mirrors on d*f.
+        self._aoi22(ckt, p, "t", s_f, d0_t, s_t, d1_t, nt, vdd)
+        self._inv(ckt, p, "t", nt, y_t, vdd, 2.0)
+        self._aoi22(ckt, p, "f", s_f, d0_f, s_t, d1_f, nf, vdd)
+        self._inv(ckt, p, "f", nf, y_f, vdd, 2.0)
+        return {"Y": (y_t, y_f)}
+
+
+def build_wddl_library(tech: Technology = TECH90) -> Library:
+    """The WDDL dual-rail library on the CMOS reference process.
+
+    Datasheet arithmetic mirrors :func:`build_cmos_library` with the
+    dual-rail site counts: leakage and evaluation energy scale with the
+    (roughly doubled) cell footprint, the pair input presents both
+    rails' gate capacitance, and ``residual_sigma`` carries the rail
+    imbalance *charge* sigma the power model draws per die.
+    """
+    layout = LayoutModel("wddl", tech)
+    cells: Dict[str, Cell] = {}
+    for name in WDDL_CELL_NAMES:
+        fn = function(name)
+        sites = layout.sites_for(name)
+        energy_cap = CMOS_ENERGY_BASE_CAP + CMOS_ENERGY_SITE_CAP * sites
+        # One rail (half the footprint) charges per evaluate phase.
+        eval_charge = 0.5 * energy_cap * tech.vdd
+        power = PowerModel(
+            style="wddl",
+            leak=CMOS_LEAK_PER_SITE * sites,
+            energy_toggle=eval_charge * tech.vdd,
+            residual_sigma=WDDL_IMBALANCE_FRACTION * eval_charge,
+        )
+        delay = WDDL_DELAYS[name]
+        input_cap = 2.0 * CMOS_INPUT_CAP
+        intrinsic = max(delay - CMOS_DRIVE_RES * input_cap, ps(0.5))
+        cells[name] = Cell(
+            name=name, function=fn, style="wddl", sites=sites,
+            area_um2=layout.area_um2(name), input_cap=input_cap,
+            delay_model=DelayModel(intrinsic, CMOS_DRIVE_RES),
+            power=power)
+    cells["RAILSWAP"] = _railswap_cell("wddl")
+    cells["TIEH"] = _tie_cell("wddl", "TIEH")
+    cells["TIEL"] = _tie_cell("wddl", "TIEL")
+    return Library(name="wddl_90nm", style="wddl", cells=cells, tech=tech)

@@ -23,6 +23,7 @@ from . import (
     fig3,
     fig5,
     fig6,
+    matrix,
     related,
     scope,
     software_attack,
@@ -42,6 +43,7 @@ __all__ = [
     "fig6",
     "ablation",
     "tvla",
+    "matrix",
     "related",
     "scope",
     "software_attack",

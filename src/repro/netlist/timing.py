@@ -51,7 +51,7 @@ def wire_delay(netlist: GateNetlist, placement, net_name: str) -> float:
     if length == 0.0:
         return 0.0
     tech = netlist.library.tech
-    differential = netlist.library.style in ("mcml", "pgmcml")
+    differential = netlist.library.style in ("mcml", "pgmcml", "wddl")
     c_per_m = tech.cwire * (2.0 if differential else 1.0)
     r_total = WIRE_RES_PER_M * length
     c_wire = c_per_m * length

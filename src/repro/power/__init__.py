@@ -27,6 +27,8 @@ from .trace import (
     activity_current,
     differential_baseline,
     trace_matrix,
+    wddl_baseline,
+    wddl_current,
     TraceGrid,
 )
 from .gating import (
@@ -44,6 +46,8 @@ __all__ = [
     "activity_current",
     "differential_baseline",
     "trace_matrix",
+    "wddl_baseline",
+    "wddl_current",
     "TraceGrid",
     "GatingSchedule",
     "gated_block_current",

@@ -28,10 +28,12 @@ class InstancePower:
     style: str
     #: static supply current while powered, amperes
     static: float
-    #: charge per output toggle, coulombs (CMOS only)
+    #: charge per output toggle (CMOS) or per evaluate phase (WDDL),
+    #: coulombs
     toggle_charge: float
     #: data-dependent residual: extra static current when the output is
-    #: high (MCML mismatch term), amperes; zero for CMOS
+    #: high (MCML mismatch term, amperes), or the signed true/false rail
+    #: charge imbalance (WDDL, coulombs); zero for CMOS
     residual: float
     #: sleep-mode leakage (PG-MCML), amperes
     sleep_leak: float
@@ -65,6 +67,17 @@ class BlockPowerModel:
                     toggle_charge=power.energy_toggle / tech.vdd,
                     residual=0.0, sleep_leak=power.leak,
                     has_sleep=False)
+            elif power.style == "wddl":
+                # The per-evaluation charge is data-independent; the
+                # per-die rail imbalance (a signed charge) is the whole
+                # leakage channel — see repro.cells.wddl.
+                self.instances[inst.name] = InstancePower(
+                    name=inst.name, style="wddl",
+                    static=power.leak,
+                    toggle_charge=power.energy_toggle / tech.vdd,
+                    residual=float(rng.normal(0.0, power.residual_sigma)),
+                    sleep_leak=power.leak,
+                    has_sleep=False)
             else:
                 residual = float(rng.normal(0.0, power.residual_sigma))
                 self.instances[inst.name] = InstancePower(
@@ -89,7 +102,7 @@ class BlockPowerModel:
             if asleep:
                 if ip.has_sleep:
                     total += ip.sleep_leak
-                elif ip.style == "cmos":
+                elif ip.style in ("cmos", "wddl"):
                     total += ip.static
                 else:
                     raise TraceError(
@@ -112,7 +125,7 @@ class BlockPowerModel:
         vdd = self.tech.vdd
         total = 0.0
         for ip in self.instances.values():
-            if ip.style == "cmos":
+            if ip.style in ("cmos", "wddl"):
                 total += vdd * (ip.static + ip.toggle_charge * toggle_rate)
             elif ip.has_sleep:
                 total += vdd * (ip.static * awake_fraction

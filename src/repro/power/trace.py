@@ -92,6 +92,73 @@ def _deposit_triangles(samples: np.ndarray, grid: TraceGrid,
                            minlength=samples.size)
 
 
+def wddl_baseline(model: BlockPowerModel, grid: TraceGrid,
+                  include_static: bool = True) -> np.ndarray:
+    """The data-independent part of a WDDL trace.
+
+    Every evaluate phase charges exactly one rail of every pair — that
+    constant switching count is the countermeasure.  So the baseline is
+    the CMOS leakage floor plus one mean-charge packet per instance at
+    its static arrival time, identical for every trace of a campaign.
+    """
+    if model.style != "wddl":
+        raise TraceError(
+            f"wddl_baseline applies to WDDL blocks, not {model.style!r}")
+    samples = np.zeros(grid.n)
+    if include_static:
+        samples += model.static_current()
+    times, charges = [], []
+    for inst_name, arrival in model.arrival_times().items():
+        ip = model.instances.get(inst_name)
+        if ip is None:
+            continue
+        times.append(arrival)
+        charges.append(ip.toggle_charge)
+    _deposit_triangles(samples, grid, np.asarray(times),
+                       np.asarray(charges), CMOS_PULSE_WIDTH)
+    return samples
+
+
+def wddl_current(model: BlockPowerModel, values, grid: TraceGrid,
+                 include_static: bool = True,
+                 baseline: Optional[np.ndarray] = None) -> np.ndarray:
+    """Supply-current samples for one WDDL evaluate phase.
+
+    ``values`` maps instance name -> settled (single-rail) output value:
+    True means the true rail charged this cycle, False the false rail.
+    The data dependence is each instance's rail-imbalance charge, signed
+    by which rail won — added on top of the precomposed
+    :func:`wddl_baseline` at the instance's static arrival time.  There
+    is no transition stream: WDDL evaluates every gate exactly once per
+    precharge/evaluate cycle by construction.
+    """
+    if model.style != "wddl":
+        raise TraceError(
+            f"wddl_current applies to WDDL blocks, not {model.style!r}")
+    if baseline is not None:
+        if baseline.shape != (grid.n,):
+            raise TraceError(
+                f"baseline has {baseline.shape} samples, grid wants "
+                f"({grid.n},)")
+        samples = baseline.copy()
+    else:
+        samples = wddl_baseline(model, grid, include_static)
+    times, charges = [], []
+    for inst_name, arrival in model.arrival_times().items():
+        ip = model.instances.get(inst_name)
+        if ip is None or ip.residual == 0.0:
+            continue
+        v = values.get(inst_name)
+        if v is None:
+            raise TraceError(
+                f"no settled output value for instance {inst_name!r}")
+        times.append(arrival)
+        charges.append(ip.residual if v else -ip.residual)
+    _deposit_triangles(samples, grid, np.asarray(times),
+                       np.asarray(charges), CMOS_PULSE_WIDTH)
+    return samples
+
+
 def differential_baseline(model: BlockPowerModel, grid: TraceGrid,
                           include_static: bool = True) -> np.ndarray:
     """The data-independent part of a differential (MCML-style) trace.
@@ -106,6 +173,8 @@ def differential_baseline(model: BlockPowerModel, grid: TraceGrid,
     """
     if model.style == "cmos":
         raise TraceError("CMOS traces have no data-independent baseline")
+    if model.style == "wddl":
+        raise TraceError("WDDL blocks compose through wddl_baseline")
     samples = np.zeros(grid.n)
     if include_static:
         samples += model.static_current()
@@ -153,6 +222,10 @@ def activity_current(model: BlockPowerModel, trace: SimulationTrace,
     """
     netlist = model.netlist
 
+    if model.style == "wddl":
+        raise TraceError(
+            "WDDL traces are phase-composed from settled values, not a "
+            "transition stream; use wddl_current")
     if model.style == "cmos":
         if baseline is not None:
             raise TraceError("baseline reuse only applies to MCML styles")

@@ -14,7 +14,14 @@ traces through the measurement chain, attack, and score.
 from .leakage import hamming_weight, hamming_distance, hw_model, hd_model
 from .cpa import cpa_attack, correlation_matrix, CPAResult
 from .dpa import dpa_attack, multibit_dpa_attack, DPAResult
+from .ranking import tie_aware_rank, tie_width, rank_and_ties
 from .metrics import key_rank, guessing_entropy, success_rate, mtd
+from .highorder import (
+    MlpaResult,
+    centered_product,
+    mlpa_attack,
+    second_order_cpa,
+)
 from .ttest import TVLAResult, fixed_vs_random_tvla, welch_t, TVLA_THRESHOLD
 from .evolution import CPAEvolution, EvolutionPoint, cpa_evolution
 from .acquisition import (
@@ -25,6 +32,12 @@ from .acquisition import (
     validate_plaintexts,
 )
 from .attack import AttackCampaign, CampaignResult, collect_traces
+from .matrix import (
+    MatrixCell,
+    MatrixReport,
+    MatrixSpec,
+    run_matrix,
+)
 
 __all__ = [
     "hamming_weight",
@@ -37,10 +50,17 @@ __all__ = [
     "dpa_attack",
     "multibit_dpa_attack",
     "DPAResult",
+    "tie_aware_rank",
+    "tie_width",
+    "rank_and_ties",
     "key_rank",
     "guessing_entropy",
     "success_rate",
     "mtd",
+    "MlpaResult",
+    "centered_product",
+    "mlpa_attack",
+    "second_order_cpa",
     "TVLAResult",
     "fixed_vs_random_tvla",
     "welch_t",
@@ -56,4 +76,8 @@ __all__ = [
     "AttackCampaign",
     "CampaignResult",
     "collect_traces",
+    "MatrixCell",
+    "MatrixReport",
+    "MatrixSpec",
+    "run_matrix",
 ]

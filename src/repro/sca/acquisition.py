@@ -50,6 +50,8 @@ from ..power import (
     TraceGrid,
     activity_current,
     differential_baseline,
+    wddl_baseline,
+    wddl_current,
 )
 from ..spice.batch import batch_size_from_env
 from ..units import ns, ps
@@ -148,11 +150,43 @@ class TraceAcquirer:
         self._key_stimuli = [
             (t_apply, f"k{b}", bool((key >> (7 - b)) & 1))
             for b in range(8)]
-        self._baseline = None if self.model.style == "cmos" else \
-            differential_baseline(self.model, self.grid)
+        self._key_inputs = {f"k{b}": bool((key >> (7 - b)) & 1)
+                            for b in range(8)}
+        if self.model.style == "cmos":
+            self._baseline = None
+        elif self.model.style == "wddl":
+            self._baseline = wddl_baseline(self.model, self.grid)
+        else:
+            self._baseline = differential_baseline(self.model, self.grid)
+
+    def _wddl_samples(self, plaintext: int) -> np.ndarray:
+        """One WDDL precharge/evaluate cycle.
+
+        ``reset()`` is the precharge phase — the all-zero wave has
+        discharged every rail pair (positive-monotonic gates propagate
+        it combinationally).  ``initialize()`` is the evaluate phase:
+        the settled single-rail values say which rail of each pair
+        charged, and the waveform composes analytically from the static
+        arrival profile — each gate evaluates exactly once per cycle,
+        so there is no data-dependent transition stream to simulate.
+        """
+        sim = self.simulator
+        sim.reset()
+        inputs = dict(self._key_inputs)
+        inputs.update({f"p{b}": bool((plaintext >> (7 - b)) & 1)
+                       for b in range(8)})
+        sim.initialize(inputs)
+        values = {
+            inst.name: sim.values[inst.pins[inst.cell.outputs[0]]]
+            for inst in self.netlist.instances.values()
+            if not inst.cell.pseudo}
+        return wddl_current(self.model, values, self.grid,
+                            baseline=self._baseline)
 
     def ideal_samples(self, plaintext: int) -> np.ndarray:
         """Pre-instrument current samples for one plaintext."""
+        if self.model.style == "wddl":
+            return self._wddl_samples(plaintext)
         self.simulator.reset()
         stimuli = list(self._key_stimuli)
         stimuli += [(self.t_apply, f"p{b}",

@@ -57,7 +57,7 @@ def build_reduced_aes(library: Library,
     returns the netlist and the 8 output net names.
     """
     if share_outputs is None:
-        share_outputs = library.style in ("mcml", "pgmcml")
+        share_outputs = library.style in ("mcml", "pgmcml", "wddl")
     nl = GateNetlist(f"reduced_aes_{library.style}", library)
     xored: Dict[str, str] = {}
     for bit in range(8):
@@ -116,7 +116,7 @@ class CampaignResult:
         return bool(self.cpa.succeeded)
 
     @property
-    def rank(self) -> int:
+    def rank(self) -> float:
         return self.cpa.rank_of_true_key()
 
     def summary(self) -> str:
@@ -236,7 +236,8 @@ class AttackCampaign:
                 dpa = multibit_dpa_attack(standardize(traces), pts,
                                           true_key=self.key)
             span.set("succeeded", bool(cpa.succeeded))
-            span.set("rank", int(cpa.rank_of_true_key()))
+            span.set("rank", float(cpa.rank_of_true_key()))
+            span.set("tie_width", cpa.best_guess_tie_width())
         return CampaignResult(style=self.library.style, key=self.key,
                               plaintexts=pts, traces=traces, cpa=cpa,
                               dpa=dpa)

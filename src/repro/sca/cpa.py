@@ -16,6 +16,7 @@ import numpy as np
 
 from ..errors import AttackError
 from .leakage import hw_model
+from .ranking import tie_aware_rank, tie_width
 
 
 def correlation_matrix(traces: np.ndarray,
@@ -65,13 +66,26 @@ class CPAResult:
             return None
         return self.best_guess == self.true_key
 
-    def rank_of_true_key(self) -> int:
-        """0 = the true key has the highest peak (attack succeeded)."""
+    def rank_of_true_key(self) -> float:
+        """0.0 = the true key uniquely has the highest peak.
+
+        Tied peaks rank at the midpoint of the tie class: the flat
+        protected-trace outcome (all 256 peaks equal) ranks 127.5 for
+        any true key, instead of leaking the key byte back out through
+        a stable argsort.
+        """
         if self.true_key is None:
             raise AttackError("true key unknown")
-        peaks = self.peak_per_guess
-        order = np.argsort(-peaks, kind="stable")
-        return int(np.where(order == self.true_key)[0][0])
+        return tie_aware_rank(self.peak_per_guess, self.true_key)
+
+    def best_guess_tie_width(self) -> int:
+        """How many guesses share the winning peak.
+
+        ``best_guess`` is an argmax; when this is > 1 that argmax was an
+        arbitrary pick among equals (256 on a perfectly flat trace set)
+        and "best" carries no information.
+        """
+        return tie_width(self.peak_per_guess)
 
     def distinguishability(self) -> float:
         """Peak margin of the true key over the best wrong guess.

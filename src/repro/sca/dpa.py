@@ -16,6 +16,7 @@ import numpy as np
 
 from ..aes.sbox import SBOX
 from ..errors import AttackError
+from .ranking import tie_aware_rank, tie_width
 
 
 @dataclass
@@ -37,11 +38,16 @@ class DPAResult:
             return None
         return self.best_guess == self.true_key
 
-    def rank_of_true_key(self) -> int:
+    def rank_of_true_key(self) -> float:
+        """Tie-aware rank: ties count at their midpoint, so a flat
+        differential set ranks 127.5 regardless of the key byte."""
         if self.true_key is None:
             raise AttackError("true key unknown")
-        order = np.argsort(-self.peak_per_guess, kind="stable")
-        return int(np.where(order == self.true_key)[0][0])
+        return tie_aware_rank(self.peak_per_guess, self.true_key)
+
+    def best_guess_tie_width(self) -> int:
+        """Guesses sharing the winning differential peak (argmax ties)."""
+        return tie_width(self.peak_per_guess)
 
     def __repr__(self) -> str:
         status = ""

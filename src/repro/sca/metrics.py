@@ -14,20 +14,27 @@ import numpy as np
 
 from ..errors import AttackError
 from .cpa import cpa_attack
+from .ranking import tie_aware_rank
 
 
-def key_rank(peaks: Sequence[float], true_key: int) -> int:
-    """Rank of the true key in a per-guess score vector (0 = best)."""
+def key_rank(peaks: Sequence[float], true_key: int) -> float:
+    """Rank of the true key in a per-guess score vector (0.0 = best).
+
+    Tied scores rank at the midpoint of their tie class, so the flat
+    all-equal vector a protected library produces ranks every guess —
+    including the true key — at 127.5 instead of at its own byte value
+    (a stable argsort would report ``true_key`` itself there, biasing
+    guessing entropy by the key).
+    """
     scores = np.asarray(peaks, dtype=float)
     if scores.size != 256:
         raise AttackError("expected one score per key guess (256)")
     if not 0 <= true_key <= 0xFF:
         raise AttackError("true key out of range")
-    order = np.argsort(-scores, kind="stable")
-    return int(np.where(order == true_key)[0][0])
+    return tie_aware_rank(scores, true_key)
 
 
-def guessing_entropy(ranks: Sequence[int]) -> float:
+def guessing_entropy(ranks: Sequence[float]) -> float:
     """Average rank over repeated attack campaigns."""
     ranks_arr = np.asarray(ranks, dtype=float)
     if ranks_arr.size == 0:
@@ -35,9 +42,9 @@ def guessing_entropy(ranks: Sequence[int]) -> float:
     return float(ranks_arr.mean())
 
 
-def success_rate(ranks: Sequence[int], order: int = 1) -> float:
+def success_rate(ranks: Sequence[float], order: int = 1) -> float:
     """Fraction of campaigns where the true key ranks within ``order``."""
-    ranks_arr = np.asarray(ranks, dtype=int)
+    ranks_arr = np.asarray(ranks, dtype=float)
     if ranks_arr.size == 0:
         raise AttackError("no ranks supplied")
     if order < 1:
@@ -63,7 +70,9 @@ def mtd(traces: np.ndarray, plaintexts: Sequence[int], true_key: int,
     if step < 1:
         raise AttackError("step must be positive")
     counts = list(range(step, traces.shape[0] + 1, step))
-    if counts and counts[-1] != traces.shape[0]:
+    if not counts or counts[-1] != traces.shape[0]:
+        # Always evaluate the full trace set: fewer traces than one step
+        # must still run CPA once, not silently report "never disclosed".
         counts.append(traces.shape[0])
     streak = 0
     candidate: Optional[int] = None

@@ -118,6 +118,13 @@ def fixed_vs_random_tvla(netlist, key: int, n_traces: int = 128,
     tele = telemetry if telemetry is not None else NULL_TELEMETRY
     if n_traces < 4:
         raise AttackError("need at least 4 traces (2 per class)")
+    if n_traces % 2 != 0:
+        # An odd count would silently acquire n_traces - 1 while the
+        # checkpoint fingerprint records the requested count — reject it
+        # up front instead of fingerprinting traces that don't exist.
+        raise AttackError(
+            f"n_traces must be even (fixed/random classes are "
+            f"interleaved pairwise); got {n_traces}")
     rng = np.random.default_rng(seed)
     half = n_traces // 2
     fixed_pts = [fixed_plaintext] * half

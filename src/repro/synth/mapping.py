@@ -62,7 +62,9 @@ class TechnologyMapper:
 
     def __init__(self, library: Library):
         self.library = library
-        self.differential = library.style in ("mcml", "pgmcml")
+        # WDDL counts as differential: inversion is a free rail swap on
+        # the complementary pair, exactly as in MCML.
+        self.differential = library.style in ("mcml", "pgmcml", "wddl")
         self._inv_cache: Dict[str, str] = {}
         self.inverter_count = 0
         self.rail_swap_count = 0

@@ -150,7 +150,7 @@ def wirelength_hpwl(netlist: GateNetlist, placement: Placement) -> float:
     Differential styles count each logical net twice (the fat-wire pair
     routes both rails side by side).
     """
-    factor = 2.0 if placement.style in ("mcml", "pgmcml") else 1.0
+    factor = 2.0 if placement.style in ("mcml", "pgmcml", "wddl") else 1.0
     total = 0.0
     for net in netlist.nets.values():
         points: List[Tuple[float, float]] = []

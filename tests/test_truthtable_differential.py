@@ -22,13 +22,16 @@ from repro.cells import (
     CmosCellGenerator,
     McmlCellGenerator,
     PgMcmlCellGenerator,
+    WddlCellGenerator,
     build_cmos_library,
     build_mcml_library,
     build_pg_mcml_library,
+    build_wddl_library,
     function,
     solve_bias,
 )
 from repro.cells.library import PG_MCML_CELL_NAMES
+from repro.cells.wddl import WDDL_CELL_NAMES
 from repro.netlist import GateNetlist, LogicSimulator
 from repro.spice import DC, run_transient
 from repro.tech import TECH90
@@ -63,7 +66,8 @@ def pg_sizing():
 def libraries():
     return {"cmos": build_cmos_library(),
             "mcml": build_mcml_library(),
-            "pgmcml": build_pg_mcml_library()}
+            "pgmcml": build_pg_mcml_library(),
+            "wddl": build_wddl_library()}
 
 
 def input_combos(fn):
@@ -175,6 +179,56 @@ class TestPgMcmlDifferential:
             assert abs(asleep_diffs[out]) < abs(awake_diffs[out]) / 4
         assert abs(asleep_i) < abs(awake_i) / 100, \
             (cell_name, awake_i, asleep_i)
+
+
+def settle_wddl(fn_name, env, precharge=False):
+    """Transient-settled (true, false) rail volts per output."""
+    cell = WddlCellGenerator().build(fn_name)
+    ckt = cell.circuit
+    ckt.v("vdd", cell.vdd_net, VDD)
+    for pin, (t_net, f_net) in cell.input_rails.items():
+        if precharge:
+            vt, vf = 0.0, 0.0
+        else:
+            vt, vf = (VDD, 0.0) if env[pin] else (0.0, VDD)
+        ckt.v(f"v{pin.lower()}t", t_net, DC(vt))
+        ckt.v(f"v{pin.lower()}f", f_net, DC(vf))
+    res = run_transient(ckt, tstop=TSTOP, dt=DT)
+    return {out: (res.voltages[t][-1], res.voltages[f][-1])
+            for out, (t, f) in cell.output_rails.items()}
+
+
+class TestWddlDifferential:
+    """Dual-rail precharge cells: evaluate phase must charge exactly one
+    rail per pair (the one the logic oracle predicts); precharge — both
+    rails of every input low — must propagate the all-low spacer."""
+
+    @pytest.mark.parametrize("cell_name", WDDL_CELL_NAMES)
+    def test_evaluate_agrees_with_logicsim(self, cell_name, libraries):
+        fn = function(cell_name)
+        for env in input_combos(fn):
+            expected = logicsim_eval(libraries["wddl"], cell_name, env)
+            rails = settle_wddl(cell_name, env)
+            for out in fn.outputs:
+                vt, vf = rails[out]
+                for v in (vt, vf):
+                    assert v < 0.2 * VDD or v > 0.8 * VDD, \
+                        (cell_name, env, out, vt, vf)
+                # Exactly one rail high, and it is the predicted one.
+                assert (vt > VDD / 2) != (vf > VDD / 2), \
+                    (cell_name, env, out, vt, vf)
+                assert (vt > VDD / 2) == expected[out], \
+                    (cell_name, env, out, vt, vf, expected[out])
+
+    @pytest.mark.parametrize("cell_name", WDDL_CELL_NAMES)
+    def test_precharge_propagates_all_low(self, cell_name):
+        fn = function(cell_name)
+        env = dict(zip(fn.inputs, itertools.cycle([True])))
+        rails = settle_wddl(cell_name, env, precharge=True)
+        for out in fn.outputs:
+            vt, vf = rails[out]
+            assert vt < 0.2 * VDD and vf < 0.2 * VDD, \
+                (cell_name, out, vt, vf)
 
 
 class TestCmosDifferential:
