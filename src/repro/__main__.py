@@ -11,6 +11,13 @@ Usage::
     python -m repro fig6 --no-erc         # skip the ERC preflight
     python -m repro all --solve-budget iters=2000,attempts=3
     python -m repro table1 --backend ngspice   # external simulator
+
+Job-service verbs (see repro.service.cli)::
+
+    python -m repro serve  --dir runs/svc --workers 2
+    python -m repro submit --dir runs/svc --style pgmcml --budget 96
+    python -m repro jobs   --dir runs/svc
+    python -m repro worker --dir runs/svc --once
 """
 
 from __future__ import annotations
@@ -38,6 +45,13 @@ def _csv_writer(name: str, result, path: str) -> bool:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] in ("serve", "submit", "jobs", "worker"):
+        # The service verbs have their own subcommand grammar; hand the
+        # whole line to repro.service.cli before the artefact parser.
+        from .service.cli import main as service_main
+        return service_main(argv)
+
     from . import experiments
 
     targets: Dict[str, Callable] = {

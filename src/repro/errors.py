@@ -16,17 +16,39 @@ code table).
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Optional
 
 
 def _json_safe(value: Any) -> Any:
     """Best-effort conversion of a context value to JSON-safe types."""
+    if isinstance(value, float):
+        # NaN/Inf serialize as bare literals that strict JSON parsers
+        # reject; null is the convention (see ConvergenceError.residual).
+        return value if math.isfinite(value) else None
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, dict):
         return {str(k): _json_safe(v) for k, v in value.items()}
     if isinstance(value, (list, tuple, set, frozenset)):
         return [_json_safe(v) for v in value]
+    # NumPy scalars (np.int64 trace indices, np.float64 residuals) and
+    # arrays land in error contexts constantly; ``json.dumps`` refuses
+    # both, which used to crash JSONL sinks mid-post-mortem.  Duck-typed
+    # so this module stays import-light: ``item()`` is the NumPy scalar
+    # unwrap, ``tolist()`` the array one.
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist) and hasattr(value, "shape"):
+        try:
+            return _json_safe(tolist())
+        except (TypeError, ValueError):
+            pass
     to_dict = getattr(value, "to_dict", None)
     if callable(to_dict):
         try:
@@ -282,3 +304,65 @@ class CheckpointError(ReproError):
     """A checkpointed experiment run could not be saved or resumed."""
 
     default_error_code = "E_CHECKPOINT"
+
+
+class JobError(ReproError):
+    """The campaign job service failed.
+
+    Base of the job sub-taxonomy (:mod:`repro.service`): ledger
+    corruption that cannot be recovered from, invalid job specs, lease
+    protocol violations, and chunks that exhausted their attempt budget.
+    ``context`` carries the job id / chunk index / attempt counters so a
+    wedged queue can be diagnosed from the JSONL stream alone.
+    """
+
+    default_error_code = "E_JOB"
+
+
+class JobSpecError(JobError):
+    """A submitted campaign job spec failed validation.
+
+    Raised before anything is written to the ledger: a rejected spec
+    must leave no trace in the durable store.
+    """
+
+    default_error_code = "E_JOB_SPEC"
+
+
+class JobLedgerError(JobError):
+    """The durable job ledger is unusable.
+
+    Individual corrupt records are *recovered from* (the replay skips
+    them, conservatively demoting the affected chunk to ``pending`` so
+    it is recomputed — the content-addressed result store turns the
+    recompute into a cache hit).  This error is for damage replay cannot
+    absorb: an unreadable file, or a chunk record naming a job the
+    ledger never registered.
+    """
+
+    default_error_code = "E_JOB_LEDGER"
+
+
+class JobLeaseError(JobError):
+    """A lease operation was invalid.
+
+    A worker heartbeating or completing a chunk it no longer holds
+    (its lease expired and was requeued to another worker) raises this
+    instead of silently double-writing; the job's durable state is
+    owned by whoever holds the live lease.
+    """
+
+    default_error_code = "E_JOB_LEASE"
+
+
+class JobPoisonedError(JobError):
+    """A chunk failed on every attempt and was quarantined.
+
+    Raised when gathering a job with quarantined chunks: the queue
+    stopped retrying after ``max_attempts`` bounded-backoff attempts
+    instead of looping forever, and the chunk needs operator attention
+    (``tools/ledgerctl.py requeue``) or a fixed spec.  ``context``
+    carries the per-chunk attempt histories and last errors.
+    """
+
+    default_error_code = "E_JOB_POISONED"

@@ -241,10 +241,16 @@ class CheckpointedRun:
         if loaded is not None:
             rows, n_done, meta, state = loaded
             if meta != fp:
+                # Both fingerprints ride in the context so the refusal
+                # is diagnosable from a JSONL post-mortem alone: which
+                # noise entropy / scheme / style the snapshot belongs
+                # to, and which one the caller asked to resume.
                 raise CheckpointError(
                     f"checkpoint {self.path} belongs to a different "
                     f"campaign (saved {meta}, expected {fp}); "
-                    f"clear() it to restart")
+                    f"clear() it to restart",
+                    context={"path": self.path, "saved": meta,
+                             "expected": fp})
             if n_done % self.chunk_size != 0 and n_done != len(items):
                 raise CheckpointError(
                     f"checkpoint {self.path} is torn: {n_done} rows is "

@@ -289,3 +289,53 @@ class WorkerKillSwitch:
                 continue
             os.kill(os.getpid(), signal.SIGKILL)
         return
+
+
+#: Ways :func:`corrupt_jsonl_record` can damage a line.
+CORRUPTION_MODES = ("garbage", "truncate", "flip")
+
+
+def corrupt_jsonl_record(path: str, index: int,
+                         mode: str = "garbage") -> str:
+    """Deterministically damage line ``index`` of a JSONL file in place.
+
+    Chaos tooling for append-only stores (the job ledger, obs streams):
+    ``"garbage"`` replaces the line with non-JSON bytes, ``"truncate"``
+    cuts it mid-record (a torn write), and ``"flip"`` alters one
+    character so the json still parses but any embedded checksum (the
+    ledger's crc envelope) no longer matches.  Returns the original
+    line so tests can assert on what was destroyed.  Line numbering
+    counts every physical line, zero-based; negative indices address
+    from the end as usual.
+    """
+    if mode not in CORRUPTION_MODES:
+        raise CircuitError(
+            f"unknown corruption mode {mode!r}; "
+            f"choose from {CORRUPTION_MODES}")
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    try:
+        original = lines[index]
+    except IndexError:
+        raise CircuitError(
+            f"{path} has {len(lines)} lines; cannot corrupt line {index}")
+    stripped = original.rstrip("\n")
+    if mode == "garbage":
+        damaged = "#### not json ####"
+    elif mode == "truncate":
+        damaged = stripped[:max(1, len(stripped) // 2)]
+    else:  # "flip": change one digit-ish character, keep valid json
+        position = len(stripped) // 2
+        for offset, char in enumerate(stripped[position:]):
+            if char.isdigit():
+                replacement = "1" if char == "0" else "0"
+                cut = position + offset
+                damaged = stripped[:cut] + replacement \
+                    + stripped[cut + 1:]
+                break
+        else:
+            damaged = stripped[:-2] + '~"'
+    lines[index] = damaged + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    return stripped

@@ -26,6 +26,7 @@ _REQUIRED: Dict[str, Dict[str, type]] = {
     "span": {"name": str, "span_id": int, "t_start": float,
              "t_end": float, "attrs": dict, "seq": int},
     "event": {"name": str, "t": float, "attrs": dict, "seq": int},
+    "heartbeat": {"worker": str, "t": float, "attrs": dict, "seq": int},
     "progress": {"text": str, "t": float, "seq": int},
     "metrics": {"registry": dict, "t": float, "seq": int},
 }
@@ -85,7 +86,36 @@ def validate_stream(records: Sequence[Dict]) -> Dict[int, Dict]:
     Checks per-record shape, unique span ids, resolvable parent
     references, child time windows nested inside their parents, and
     strictly increasing ``seq`` numbers.
+
+    A stream may interleave records from several emitters (the job
+    service's shared events file: every worker appends with its own
+    ``src`` label and its own seq counter).  Records are partitioned by
+    ``src`` and each partition is validated as an independent
+    sub-stream; span references never cross partitions.  Single-source
+    streams (the common case — no ``src`` field at all) behave exactly
+    as before.
     """
+    groups: Dict[Optional[str], List[Dict]] = {}
+    for record in records:
+        if not isinstance(record, dict):
+            raise SchemaError(f"record is not an object: {record!r}")
+        src = record.get("src")
+        if src is not None and not isinstance(src, str):
+            raise SchemaError(f"src must be a string: {src!r}")
+        groups.setdefault(src, []).append(record)
+    merged: Dict[int, Dict] = {}
+    for group in groups.values():
+        spans = _validate_substream(group)
+        if len(groups) == 1:
+            return spans
+        for span_id, span in spans.items():
+            # Multi-source streams: ids are per-emitter, so qualify
+            # them to keep the merged mapping collision-free.
+            merged[(span.get("src"), span_id)] = span
+    return merged
+
+
+def _validate_substream(records: Sequence[Dict]) -> Dict[int, Dict]:
     spans: Dict[int, Dict] = {}
     last_seq: Optional[int] = None
     for record in records:
@@ -136,8 +166,19 @@ def span_tree(records: Sequence[Dict]) -> List[Dict]:
 
     Each node: ``{"name", "attrs", "children": [...]}`` — timestamps and
     ids are stripped, which is exactly the determinism the equivalence
-    tests compare across serial/thread/fork runs.
+    tests compare across serial/thread/fork runs.  Multi-source streams
+    forest each emitter separately, in first-appearance order.
     """
+    sources: List[Optional[str]] = []
+    for record in records:
+        if isinstance(record, dict) and record.get("src") not in sources:
+            sources.append(record.get("src"))
+    if len(sources) > 1:
+        forest: List[Dict] = []
+        for src in sources:
+            forest.extend(span_tree(
+                [r for r in records if r.get("src") == src]))
+        return forest
     spans = validate_stream(records)
     by_parent: Dict[Optional[int], List[Dict]] = {}
     for span in sorted(spans.values(), key=lambda s: s["seq"]):

@@ -89,6 +89,9 @@ class NullTelemetry:
     def event(self, name: str, **attrs) -> None:
         pass
 
+    def heartbeat(self, worker: str, **attrs) -> None:
+        pass
+
     def progress(self, text: str) -> None:
         pass
 
@@ -188,16 +191,25 @@ class Telemetry:
         Callable rendering progress text for a human (``print`` for the
         CLI default); ``None`` mutes rendering while still recording
         ``progress`` records to the sinks.
+    source:
+        Optional emitter label stamped on every record as ``src``.
+        Service workers use their worker id here: several processes can
+        then append to one shared JSONL stream and
+        :func:`~repro.obs.schema.validate_stream` validates each
+        emitter's records (seq monotonicity, span nesting) as its own
+        sub-stream.
     """
 
     enabled = True
 
     def __init__(self, sinks: Iterable[Sink] = (),
                  registry: Optional[MetricsRegistry] = None,
-                 progress: Optional[Callable[[str], None]] = None):
+                 progress: Optional[Callable[[str], None]] = None,
+                 source: Optional[str] = None):
         self.sinks: List[Sink] = list(sinks)
         self.registry = registry if registry is not None else MetricsRegistry()
         self._progress = progress
+        self.source = source
         self._ids = itertools.count(1)
         self._seq = itertools.count(1)
         self._local = threading.local()
@@ -248,6 +260,22 @@ class Telemetry:
         self._emit({
             "kind": "event",
             "name": name,
+            "span_id": self.current_span_id(),
+            "t": time.monotonic(),
+            "attrs": attrs,
+        })
+
+    def heartbeat(self, worker: str, **attrs) -> None:
+        """A liveness beacon from a long-running worker.
+
+        Distinct from :meth:`event` so stream consumers (the job
+        service's supervisor, the HTTP progress tail) can filter
+        liveness chatter from semantic events cheaply, and so the
+        schema can require the ``worker`` identity on every beacon.
+        """
+        self._emit({
+            "kind": "heartbeat",
+            "worker": worker,
             "span_id": self.current_span_id(),
             "t": time.monotonic(),
             "attrs": attrs,
@@ -355,6 +383,8 @@ class Telemetry:
 
     def _emit(self, record: Dict) -> None:
         record["seq"] = next(self._seq)
+        if self.source is not None:
+            record["src"] = self.source
         for sink in self.sinks:
             sink.emit(record)
 

@@ -159,6 +159,28 @@ class TraceAcquirer:
         else:
             self._baseline = differential_baseline(self.model, self.grid)
 
+    def fingerprint(self) -> Dict[str, object]:
+        """JSON-serialisable identity of this acquirer's trace function.
+
+        Two acquirers with equal fingerprints produce byte-identical
+        traces for equal ``(plaintexts, trace_offset)`` — the property
+        the campaign job service's content-addressed result store and
+        the checkpoint resume guard both key on.  Everything that
+        shapes a trace is present: the netlist identity, the key, the
+        mismatch die, the capture grid, and the measurement chain's own
+        fingerprint (entropy + seeding scheme).
+        """
+        return {
+            "netlist": self.netlist.name,
+            "style": self.model.style,
+            "key": self.key,
+            "mismatch_seed": self.mismatch_seed,
+            "t_apply": float(self.t_apply),
+            "grid": {"t0": float(self.grid.t0), "t1": float(self.grid.t1),
+                     "dt": float(self.grid.dt)},
+            "noise": self.chain.fingerprint(),
+        }
+
     def _wddl_samples(self, plaintext: int) -> np.ndarray:
         """One WDDL precharge/evaluate cycle.
 

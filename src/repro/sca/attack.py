@@ -149,6 +149,20 @@ class AttackCampaign:
             preflight_library(library, telemetry=self.telemetry)
         self.netlist, self.output_nets = build_reduced_aes(library)
 
+    def fingerprint(self) -> Dict[str, object]:
+        """JSON-serialisable identity of this campaign's trace function.
+
+        Embedded in checkpoint snapshots (:meth:`run_checkpointed`) and
+        used by the campaign job service to key its content-addressed
+        result store: equal fingerprints guarantee byte-identical
+        traces for equal plaintext slices.
+        """
+        return {"experiment": "cpa-campaign",
+                "style": self.library.style,
+                "key": self.key,
+                "mismatch_seed": self.mismatch_seed,
+                "noise": self.chain.fingerprint()}
+
     def _acquirer_factory(self, grid: Optional[TraceGrid],
                           batch: Optional[int] = None):
         def factory() -> TraceAcquirer:
@@ -214,13 +228,8 @@ class AttackCampaign:
                 def process(chunk: Sequence[int], start: int) -> np.ndarray:
                     return pool.acquire(chunk, trace_offset=start)
 
-                traces = runner.run(
-                    pts, process,
-                    fingerprint={"experiment": "cpa-campaign",
-                                 "style": self.library.style,
-                                 "key": self.key,
-                                 "mismatch_seed": self.mismatch_seed,
-                                 "noise": self.chain.fingerprint()})
+                traces = runner.run(pts, process,
+                                    fingerprint=self.fingerprint())
             return self._attack(pts, traces, with_dpa)
 
     def _attack(self, pts: List[int], traces: np.ndarray,

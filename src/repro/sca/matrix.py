@@ -88,6 +88,20 @@ def _derive_seed(*parts) -> int:
     return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
 
 
+#: Error codes considered transient for grid-cell retry purposes: an
+#: external backend that died or timed out, and acquisition-pool
+#: failures (rebuild budget exhausted on a loaded host).  A resubmitted
+#: grid with ``retry_failed=True`` re-attempts cells cached with one of
+#: these instead of replaying the stale failure.
+TRANSIENT_ERROR_PREFIXES = ("E_BACKEND", "E_ACQUISITION")
+
+
+def is_transient_error_code(code: Optional[str]) -> bool:
+    """Whether a cached cell failure is worth re-attempting."""
+    return bool(code) and any(code.startswith(prefix)
+                              for prefix in TRANSIENT_ERROR_PREFIXES)
+
+
 @dataclass(frozen=True)
 class MatrixCell:
     """One coordinate of the expanded grid."""
@@ -111,6 +125,50 @@ class MatrixCell:
     def label(self) -> str:
         return (f"{self.style}/{self.attack} @ {self.corner}, "
                 f"noise={self.noise:.2e} A, n={self.budget}")
+
+
+# -- traceset coordinate derivations ------------------------------------------
+#
+# Everything that determines a trace set — plaintexts, noise chain,
+# mismatch die — is a pure function of (base_seed, trace-key
+# coordinates).  These are module-level so the campaign job service
+# (:mod:`repro.service`) can shard a grid's acquisitions across hosts
+# and still produce trace sets byte-identical to an in-process
+# :func:`run_matrix` of the same spec.
+
+def derive_plaintexts(base_seed: int, style: str, corner: str, budget: int,
+                      schedule: str, repeat: int) -> List[int]:
+    """The plaintext schedule for one traceset coordinate.
+
+    ``schedule="tvla"`` interleaves the fixed class (0x00) with fresh
+    random bytes pairwise; anything else is uniform random bytes.
+    """
+    seed = _derive_seed(base_seed, "pts", style, corner, budget,
+                        schedule, repeat)
+    rng = np.random.default_rng(seed)
+    if schedule == "tvla":
+        if budget % 2 != 0:
+            raise AttackError(
+                f"TVLA budget must be even (fixed/random classes are "
+                f"interleaved pairwise); got {budget}")
+        half = budget // 2
+        randoms = [int(x) for x in rng.integers(0, 256, size=half)]
+        interleaved: List[int] = []
+        for r in randoms:
+            interleaved.extend((0x00, r))
+        return interleaved
+    return [int(x) for x in rng.integers(0, 256, size=budget)]
+
+
+def derive_chain_seed(base_seed: int, trace_key: Tuple) -> int:
+    """Measurement-chain entropy for one traceset coordinate."""
+    return _derive_seed(base_seed, "chain", *trace_key)
+
+
+def derive_mismatch_seed(base_seed: int, style: str, corner: str,
+                         repeat: int) -> int:
+    """The die: one Pelgrom mismatch sample per (style, corner, repeat)."""
+    return _derive_seed(base_seed, "die", style, corner, repeat)
 
 
 @dataclass
@@ -334,12 +392,14 @@ class _GridRunner:
     """Shared state for one grid execution: caches + acquisition pool."""
 
     def __init__(self, spec: MatrixSpec, telemetry, workers: int,
-                 backend: str, erc: Optional[bool]):
+                 backend: str, erc: Optional[bool],
+                 retry_failed: bool = False):
         self.spec = spec
         self.tele = telemetry
         self.workers = workers
         self.backend = backend
         self.erc = erc if erc is not None else erc_enabled()
+        self.retry_failed = retry_failed
         self._libraries: Dict[Tuple[str, str], Library] = {}
         self._netlists: Dict[Tuple[str, str], Tuple] = {}
         self._tracesets: Dict[Tuple, Tuple] = {}
@@ -376,15 +436,28 @@ class _GridRunner:
         """(plaintexts, traces) for a cell's coordinates, cached.
 
         Failures are cached too, so every cell sharing a broken trace
-        set reports the same error without re-running the acquisition.
+        set reports the same error without re-running the acquisition —
+        unless ``retry_failed`` is set and the cached failure looks
+        transient (an ``E_BACKEND_*`` subprocess death or an
+        ``E_ACQUISITION`` pool collapse), in which case the acquisition
+        is re-attempted once per :meth:`traceset` call instead of
+        replaying a failure the environment may have recovered from.
         """
         key = cell.trace_key(repeat)
         if key in self._tracesets:
-            self.reused += 1
             kind, payload = self._tracesets[key]
-            if kind == "err":
-                raise payload
-            return payload
+            if kind == "err" and self.retry_failed \
+                    and is_transient_error_code(payload.error_code):
+                del self._tracesets[key]
+                self.tele.event("sca.matrix.retry_failed",
+                                style=cell.style, corner=cell.corner,
+                                repeat=repeat,
+                                error_code=payload.error_code)
+            else:
+                self.reused += 1
+                if kind == "err":
+                    raise payload
+                return payload
         try:
             pts, traces = self._acquire(cell, repeat)
         except ReproError as exc:
@@ -400,11 +473,11 @@ class _GridRunner:
         netlist = self.netlist(cell.style, cell.corner)
         chain = MeasurementChain(
             noise_sigma=cell.noise,
-            seed=_derive_seed(spec.base_seed, "chain", *cell.trace_key(repeat)))
+            seed=derive_chain_seed(spec.base_seed, cell.trace_key(repeat)))
         # A repeat is a fresh die: new Pelgrom mismatch sample, shared by
         # every attack and budget measured on that die at that corner.
-        mismatch_seed = _derive_seed(spec.base_seed, "die", cell.style,
-                                     cell.corner, repeat)
+        mismatch_seed = derive_mismatch_seed(spec.base_seed, cell.style,
+                                             cell.corner, repeat)
 
         def factory() -> TraceAcquirer:
             return TraceAcquirer(netlist, spec.key, chain=chain,
@@ -420,21 +493,9 @@ class _GridRunner:
         return pts, traces
 
     def _plaintexts(self, cell: MatrixCell, repeat: int) -> List[int]:
-        seed = _derive_seed(self.spec.base_seed, "pts", cell.style,
-                            cell.corner, cell.budget, cell.schedule, repeat)
-        rng = np.random.default_rng(seed)
-        if cell.schedule == "tvla":
-            if cell.budget % 2 != 0:
-                raise AttackError(
-                    f"TVLA budget must be even (fixed/random classes are "
-                    f"interleaved pairwise); got {cell.budget}")
-            half = cell.budget // 2
-            randoms = [int(x) for x in rng.integers(0, 256, size=half)]
-            interleaved: List[int] = []
-            for r in randoms:
-                interleaved.extend((0x00, r))
-            return interleaved
-        return [int(x) for x in rng.integers(0, 256, size=cell.budget)]
+        return derive_plaintexts(self.spec.base_seed, cell.style,
+                                 cell.corner, cell.budget, cell.schedule,
+                                 repeat)
 
     # -- per-cell evaluation --------------------------------------------
 
@@ -557,18 +618,23 @@ class _GridRunner:
 
 
 def run_matrix(spec: MatrixSpec, telemetry=None, workers: int = 1,
-               backend: str = "auto",
-               erc: Optional[bool] = None) -> MatrixReport:
+               backend: str = "auto", erc: Optional[bool] = None,
+               retry_failed: bool = False) -> MatrixReport:
     """Expand ``spec`` and run every cell, returning one report.
 
     ``workers``/``backend`` configure each cell's acquisition pool;
-    ``erc`` overrides the REPRO_ERC preflight gate.  Cell order (and
-    every seed) is a pure function of the spec, so two runs of the same
-    grid produce byte-identical trace sets.
+    ``erc`` overrides the REPRO_ERC preflight gate.  ``retry_failed``
+    re-attempts tracesets whose cached failure carries a transient
+    error code (``E_BACKEND_*``/``E_ACQUISITION``) instead of replaying
+    it into every consumer cell — the knob for resubmitting a grid
+    after an environment hiccup.  Cell order (and every seed) is a pure
+    function of the spec, so two runs of the same grid produce
+    byte-identical trace sets.
     """
     tele = telemetry if telemetry is not None else NULL_TELEMETRY
     cells = spec.expand()
-    runner = _GridRunner(spec, tele, workers, backend, erc)
+    runner = _GridRunner(spec, tele, workers, backend, erc,
+                         retry_failed=retry_failed)
     with tele.span("sca.matrix", n_cells=len(cells),
                    styles=",".join(spec.styles),
                    attacks=",".join(spec.attacks),

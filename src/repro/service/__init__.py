@@ -1,0 +1,53 @@
+"""The fault-tolerant campaign job service.
+
+Campaigns used to be one CLI process on one machine: a host crash threw
+away everything not yet in an NPZ checkpoint, and a million-trace TVLA
+sweep had no way to shard across hosts.  This package turns the
+simulator into a **stateless worker behind a durable queue**:
+
+* :class:`~repro.service.spec.CampaignJobSpec` — a JSON-serialisable
+  description of one traceset campaign (style, corner, noise, budget,
+  schedule, die), chunked on the same index-addressed protocol the
+  acquisition pool uses.  Every derived quantity (plaintexts, noise
+  entropy, mismatch die) is a pure function of the spec, shared with
+  :mod:`repro.sca.matrix`, so sharded work is byte-identical to a
+  serial run.
+* :class:`~repro.service.ledger.JobLedger` — a crash-durable, fsync'd,
+  crc-guarded JSONL ledger of job and per-chunk state-machine records
+  (``pending → leased → done/failed``), replayable after any kill.
+* :class:`~repro.service.store.ResultStore` — a content-addressed NPZ
+  store keyed by ``(campaign fingerprint, chunk index)``: duplicate,
+  resubmitted, or crash-replayed work dedupes to a cache hit.
+* :class:`~repro.service.queue.JobQueue` — submit / claim-under-lease /
+  heartbeat / complete / fail, with a supervisor reaper that requeues
+  expired leases under capped exponential backoff and quarantines
+  poison chunks with ``E_JOB_*`` codes after a bounded attempt budget.
+* :class:`~repro.service.worker.ServiceWorker` — the stateless worker
+  loop (any process on any host with the ledger and store paths).
+* :class:`~repro.service.api.JobService` — a stdlib-asyncio HTTP API:
+  submit a spec, poll status, tail progress events from the obs JSONL.
+
+CLI: ``repro serve`` / ``repro submit`` / ``repro jobs`` /
+``repro worker`` (see :mod:`repro.service.cli`).
+"""
+
+from .ledger import ChunkState, JobLedger, LedgerState
+from .queue import JobQueue, Lease
+from .spec import CampaignJobSpec, expand_matrix
+from .store import ResultStore
+from .worker import ServiceWorker, worker_main
+from .api import JobService
+
+__all__ = [
+    "CampaignJobSpec",
+    "ChunkState",
+    "JobLedger",
+    "JobQueue",
+    "JobService",
+    "Lease",
+    "LedgerState",
+    "ResultStore",
+    "ServiceWorker",
+    "expand_matrix",
+    "worker_main",
+]

@@ -1,0 +1,194 @@
+"""The job API: a stdlib-asyncio HTTP front door for the queue.
+
+No web framework — one ``asyncio.start_server`` loop speaking just
+enough HTTP/1.1 for four endpoints:
+
+* ``POST /jobs`` — body is a :class:`~repro.service.spec.CampaignJobSpec`
+  dict; responds ``{"job", "deduped", "n_chunks"}`` (dedupe means the
+  fingerprint matched an existing job);
+* ``GET  /jobs`` — summaries of every job;
+* ``GET  /jobs/<id>`` — one job's state, counts, and chunk detail;
+* ``GET  /jobs/<id>/events?after=<cursor>`` — tail of that job's
+  progress from the shared obs JSONL stream (worker events, heartbeats)
+  with a resume cursor, so a client polls its way through the stream
+  without re-reading it.
+
+The server also runs the **supervisor**: a background task that calls
+:meth:`~repro.service.queue.JobQueue.reap` every ``reap_interval``
+seconds, requeueing chunks whose workers died.  Queue operations are
+short locked file appends, so handlers call them directly on the event
+loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import JobError, JobSpecError, ReproError
+from ..obs import read_jsonl
+from .queue import JobQueue
+from .spec import CampaignJobSpec
+
+_MAX_BODY = 1 << 20
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
+_EVENTS_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/events$")
+
+
+def _record_job(record: Dict) -> Optional[str]:
+    """Which job a telemetry record concerns, if any."""
+    attrs = record.get("attrs")
+    if isinstance(attrs, dict) and isinstance(attrs.get("job"), str):
+        return attrs["job"]
+    return None
+
+
+class JobService:
+    """The HTTP job API plus the lease-reaping supervisor."""
+
+    def __init__(self, queue: JobQueue,
+                 events_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 reap_interval: float = 1.0):
+        self.queue = queue
+        self.events_path = events_path
+        self.host = host
+        self.port = port  #: 0 = pick a free port; read back after start
+        self.reap_interval = float(reap_interval)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._reaper: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = asyncio.ensure_future(self._reap_loop())
+
+    async def stop(self) -> None:
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.reap_interval)
+            try:
+                self.queue.reap()
+            except ReproError:
+                # Supervision must outlive a transiently sick ledger
+                # (e.g. mid-recovery); the next tick retries.
+                continue
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except ReproError as err:
+            status, payload = 500, {"error": err.to_dict()}
+        except (ValueError, asyncio.IncompleteReadError):
+            status, payload = 400, {"error": {"message": "bad request"}}
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  409: "Conflict", 500: "Internal Server Error"}
+        writer.write(
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("ascii") + body)
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _respond(self, reader: asyncio.StreamReader
+                       ) -> Tuple[int, Dict]:
+        request = (await reader.readline()).decode("ascii",
+                                                   "replace").strip()
+        parts = request.split()
+        if len(parts) != 3:
+            return 400, {"error": {"message": f"bad request line "
+                                              f"{request!r}"}}
+        method, target, _version = parts
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length > _MAX_BODY:
+            return 400, {"error": {"message": "body too large"}}
+        body = await reader.readexactly(length) if length else b""
+        url = urlsplit(target)
+        return self._route(method, url.path, parse_qs(url.query), body)
+
+    # -- routes ------------------------------------------------------------
+
+    def _route(self, method: str, path: str, query: Dict,
+               body: bytes) -> Tuple[int, Dict]:
+        if method == "POST" and path == "/jobs":
+            return self._submit(body)
+        if method == "GET" and path == "/jobs":
+            return 200, {"jobs": self.queue.jobs()}
+        match = _JOB_PATH.match(path)
+        if method == "GET" and match:
+            return self._status(match.group(1))
+        match = _EVENTS_PATH.match(path)
+        if method == "GET" and match:
+            return self._events(match.group(1), query)
+        return 404, {"error": {"message": f"no route {method} {path}"}}
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict]:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": {"message": f"body is not JSON: {exc}"}}
+        try:
+            spec = CampaignJobSpec.from_dict(data)
+        except JobSpecError as err:
+            return 400, {"error": err.to_dict()}
+        job_id, deduped = self.queue.submit(spec)
+        return 200, {"job": job_id, "deduped": deduped,
+                     "n_chunks": spec.n_chunks}
+
+    def _status(self, job_id: str) -> Tuple[int, Dict]:
+        try:
+            return 200, self.queue.status(job_id)
+        except JobError as err:
+            return 404, {"error": err.to_dict()}
+
+    def _events(self, job_id: str, query: Dict) -> Tuple[int, Dict]:
+        try:
+            self.queue.status(job_id)
+        except JobError as err:
+            return 404, {"error": err.to_dict()}
+        if self.events_path is None:
+            return 200, {"events": [], "cursor": 0}
+        try:
+            after = int(query.get("after", ["0"])[0])
+        except ValueError:
+            return 400, {"error": {"message": "after must be an int"}}
+        try:
+            records = read_jsonl(self.events_path)
+        except OSError:
+            records = []
+        matching = [r for r in records if _record_job(r) == job_id]
+        return 200, {"events": matching[after:],
+                     "cursor": len(matching)}

@@ -1,0 +1,281 @@
+"""CLI verbs for the campaign job service.
+
+Wired in ahead of the artefact targets by :mod:`repro.__main__`::
+
+    repro serve  --dir runs/svc [--workers 2] [--once]
+    repro submit --dir runs/svc --style pgmcml --budget 96 [...]
+    repro submit --dir runs/svc --spec job.json
+    repro jobs   --dir runs/svc [JOB_ID] [--gather out.npz]
+    repro worker --dir runs/svc --id w1 [--once]
+
+A service *directory* holds the whole deployment: ``ledger.jsonl``
+(durable queue state), ``store/`` (content-addressed results), and
+``events.jsonl`` (the shared obs stream every worker appends to with
+its own ``src`` label).  ``submit`` and ``jobs`` talk HTTP when
+``--url`` is given, else operate on the directory directly — the queue
+is just files, so both views are always consistent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import multiprocessing
+import os
+import sys
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..obs import JsonlSink, Telemetry
+
+SERVICE_COMMANDS = ("serve", "submit", "jobs", "worker")
+
+_SPEC_FIELDS = (
+    ("--style", str, None, "logic style (required unless --spec)"),
+    ("--budget", int, None, "trace budget (required unless --spec)"),
+    ("--key", lambda s: int(s, 0), 0x3C, "key byte under attack"),
+    ("--noise", float, 5e-7, "measurement noise sigma"),
+    ("--corner", str, "tt", "process corner"),
+    ("--schedule", str, "random", "plaintext schedule (random|tvla)"),
+    ("--repeat", int, 0, "die index (mismatch + noise entropy)"),
+    ("--base-seed", int, 1234, "campaign base seed"),
+    ("--chunk-size", int, 32, "traces per chunk (lease granularity)"),
+)
+
+
+def _paths(directory: str):
+    os.makedirs(directory, exist_ok=True)
+    return (os.path.join(directory, "ledger.jsonl"),
+            os.path.join(directory, "store"),
+            os.path.join(directory, "events.jsonl"))
+
+
+def _open_queue(directory: str, lease_ttl: float, max_attempts: int,
+                telemetry=None):
+    from .ledger import JobLedger
+    from .queue import JobQueue
+    from .store import ResultStore
+
+    ledger_path, store_root, _events = _paths(directory)
+    return JobQueue(JobLedger(ledger_path), ResultStore(store_root),
+                    lease_ttl=lease_ttl, max_attempts=max_attempts,
+                    telemetry=telemetry)
+
+
+def _spec_from_args(args) -> "CampaignJobSpec":
+    from .spec import CampaignJobSpec
+
+    if args.spec:
+        return CampaignJobSpec.from_json(args.spec)
+    if args.style is None or args.budget is None:
+        raise ReproError("submit needs --style and --budget "
+                         "(or --spec FILE)")
+    return CampaignJobSpec(
+        style=args.style, budget=args.budget, key=args.key,
+        noise=args.noise, corner=args.corner, schedule=args.schedule,
+        repeat=args.repeat, base_seed=args.base_seed,
+        chunk_size=args.chunk_size)
+
+
+def _http_json(url: str, payload=None):
+    data = None if payload is None \
+        else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        raise ReproError(f"service returned {exc.code}: {body}")
+    except urllib.error.URLError as exc:
+        raise ReproError(f"cannot reach service at {url}: {exc.reason}")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Campaign job service commands.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--dir", required=True, metavar="DIR",
+                       help="service directory (ledger + store + events)")
+        p.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="seconds before an unrenewed lease is reaped")
+        p.add_argument("--max-attempts", type=int, default=4,
+                       help="lease grants before a chunk is quarantined")
+
+    serve = sub.add_parser("serve", help="run the HTTP API + supervisor")
+    common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8631)
+    serve.add_argument("--workers", type=int, default=0,
+                       help="also fork N worker processes")
+    serve.add_argument("--reap-interval", type=float, default=1.0)
+    serve.add_argument("--once", action="store_true",
+                       help="exit once every submitted job is terminal "
+                            "(for scripted runs)")
+
+    submit = sub.add_parser("submit", help="queue one campaign job")
+    common(submit)
+    submit.add_argument("--url", metavar="URL",
+                        help="submit over HTTP instead of directly")
+    submit.add_argument("--spec", metavar="PATH",
+                        help="JSON file with the full job spec")
+    for flag, typ, default, help_text in _SPEC_FIELDS:
+        submit.add_argument(flag, type=typ, default=default,
+                            help=help_text)
+
+    jobs = sub.add_parser("jobs", help="list jobs / show one / gather")
+    common(jobs)
+    jobs.add_argument("job_id", nargs="?", default=None)
+    jobs.add_argument("--url", metavar="URL",
+                      help="query over HTTP instead of directly")
+    jobs.add_argument("--gather", metavar="OUT.npz",
+                      help="assemble a finished job's traces to an NPZ")
+
+    worker = sub.add_parser("worker", help="run one worker process")
+    common(worker)
+    worker.add_argument("--id", dest="worker_id", default=None,
+                        help="worker label (default: worker-<pid>)")
+    worker.add_argument("--once", action="store_true",
+                        help="exit when the queue drains instead of "
+                             "polling forever")
+    return parser
+
+
+# -- verbs -----------------------------------------------------------------
+
+
+def _cmd_submit(args) -> int:
+    spec = _spec_from_args(args)
+    if args.url:
+        reply = _http_json(args.url.rstrip("/") + "/jobs", spec.to_dict())
+    else:
+        queue = _open_queue(args.dir, args.lease_ttl, args.max_attempts)
+        job_id, deduped = queue.submit(spec)
+        queue.ledger.close()
+        reply = {"job": job_id, "deduped": deduped,
+                 "n_chunks": spec.n_chunks}
+    print(json.dumps(reply, sort_keys=True))
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    if args.url:
+        base = args.url.rstrip("/")
+        if args.job_id:
+            reply = _http_json(f"{base}/jobs/{args.job_id}")
+        else:
+            reply = _http_json(f"{base}/jobs")
+        print(json.dumps(reply, sort_keys=True, indent=2))
+        return 0
+    queue = _open_queue(args.dir, args.lease_ttl, args.max_attempts)
+    try:
+        if args.gather:
+            if not args.job_id:
+                raise ReproError("--gather needs a JOB_ID")
+            import numpy as np
+            rows = queue.gather(args.job_id)
+            np.savez(args.gather, rows=rows)
+            print(f"wrote {rows.shape[0]} traces to {args.gather}")
+            return 0
+        reply = queue.status(args.job_id) if args.job_id \
+            else {"jobs": queue.jobs()}
+        print(json.dumps(reply, sort_keys=True, indent=2))
+        return 0
+    finally:
+        queue.ledger.close()
+
+
+def _cmd_worker(args) -> int:
+    from .worker import worker_main
+
+    ledger_path, store_root, events_path = _paths(args.dir)
+    worker_main(ledger_path, store_root,
+                args.worker_id or f"worker-{os.getpid()}",
+                events_path=events_path, lease_ttl=args.lease_ttl,
+                max_attempts=args.max_attempts, drain=args.once)
+    return 0
+
+
+def _spawn_workers(args, count: int) -> List[multiprocessing.Process]:
+    from .worker import worker_main
+
+    ledger_path, store_root, events_path = _paths(args.dir)
+    context = multiprocessing.get_context("fork")
+    workers = []
+    for index in range(count):
+        process = context.Process(
+            target=worker_main,
+            args=(ledger_path, store_root, f"worker-{index}"),
+            kwargs={"events_path": events_path,
+                    "lease_ttl": args.lease_ttl,
+                    "max_attempts": args.max_attempts,
+                    "drain": False},
+            daemon=True, name=f"repro-worker-{index}")
+        process.start()
+        workers.append(process)
+    return workers
+
+
+def _cmd_serve(args) -> int:
+    from .api import JobService
+
+    _ledger, _store, events_path = _paths(args.dir)
+    telemetry = Telemetry(sinks=[JsonlSink(events_path, flush_every=1)],
+                          progress=None, source="service")
+    queue = _open_queue(args.dir, args.lease_ttl, args.max_attempts,
+                        telemetry=telemetry)
+    service = JobService(queue, events_path=events_path, host=args.host,
+                         port=args.port,
+                         reap_interval=args.reap_interval)
+    workers = _spawn_workers(args, args.workers) if args.workers else []
+
+    async def run() -> None:
+        await service.start()
+        print(f"repro service on http://{service.host}:{service.port} "
+              f"(dir {args.dir}, {len(workers)} worker(s))")
+        try:
+            while True:
+                await asyncio.sleep(0.2)
+                if args.once:
+                    jobs = queue.jobs()
+                    if jobs and all(j["state"] in ("done", "quarantined")
+                                    for j in jobs):
+                        return
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for process in workers:
+            process.terminate()
+        for process in workers:
+            process.join(timeout=5)
+        telemetry.flush()
+        telemetry.close()
+        queue.ledger.close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    handlers = {"serve": _cmd_serve, "submit": _cmd_submit,
+                "jobs": _cmd_jobs, "worker": _cmd_worker}
+    try:
+        return handlers[args.command](args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,371 @@
+"""The job queue: submit / claim-under-lease / heartbeat / complete.
+
+All queue state lives in the :class:`~repro.service.ledger.JobLedger`;
+this class is the transaction layer on top — each public operation is
+one locked read-modify-append against the ledger, so any number of
+worker processes, one supervisor, and ``ledgerctl`` can share a queue
+with no daemon in between.
+
+Failure semantics (proven by the chaos suite):
+
+* a claim grants a **lease** with a TTL; the worker heartbeats to renew
+  it.  A worker that dies silently simply stops renewing, and
+  :meth:`JobQueue.reap` requeues the chunk once the TTL passes;
+* every grant counts as an **attempt**; failed/reaped chunks requeue
+  under capped exponential backoff with deterministic jitter (hashed
+  from the chunk coordinates — no RNG, so replays schedule
+  identically);
+* after ``max_attempts`` grants a chunk is **quarantined** (the poison
+  chunk stops burning workers); :meth:`gather` then raises
+  ``E_JOB_POISONED`` with the last error in context;
+* completions and heartbeats from a lease that was reaped raise
+  ``E_JOB_LEASE`` back at the worker, which discards its work —
+  harmless, because the replacement worker produced the identical
+  bytes into the same content address.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import JobError, JobLeaseError, JobPoisonedError
+from ..obs import NULL_TELEMETRY
+from .ledger import ChunkState, JobLedger, JobState
+from .spec import CampaignJobSpec
+from .store import ResultStore, chunk_key
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted chunk: everything a worker needs to run it."""
+
+    job_id: str
+    chunk: int
+    worker: str
+    attempt: int
+    expires: float
+    spec: CampaignJobSpec
+    key: str  #: content address of this chunk's result
+
+    @property
+    def bounds(self) -> Tuple[int, int]:
+        return self.spec.chunk_bounds(self.chunk)
+
+
+class JobQueue:
+    """Transactional queue operations over a shared ledger + store."""
+
+    def __init__(self, ledger: JobLedger, store: ResultStore,
+                 lease_ttl: float = 30.0, max_attempts: int = 4,
+                 backoff_base: float = 0.5, backoff_cap: float = 30.0,
+                 clock=time.time, telemetry=None):
+        self.ledger = ledger
+        self.store = store
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.clock = clock
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+
+    # -- scheduling arithmetic --------------------------------------------
+
+    def backoff(self, job_id: str, chunk: int, attempt: int) -> float:
+        """Capped exponential delay with deterministic jitter.
+
+        The jitter is hashed from the chunk coordinates rather than
+        drawn from an RNG: retries de-synchronise across chunks (no
+        thundering herd after a mass lease expiry) while a replayed
+        supervisor schedules the exact same instants.
+        """
+        delay = min(self.backoff_cap,
+                    self.backoff_base * (2.0 ** max(0, attempt - 1)))
+        jitter = zlib.crc32(f"{job_id}|{chunk}|{attempt}".encode()) \
+            / 2.0 ** 32
+        return delay + 0.5 * jitter * delay
+
+    # -- operations --------------------------------------------------------
+
+    def submit(self, spec: CampaignJobSpec) -> Tuple[str, bool]:
+        """Register a job; returns ``(job_id, deduped)``.
+
+        The job id is the fingerprint hash, so resubmitting an
+        identical spec finds the existing job — its done chunks, its
+        stored results — instead of queueing duplicate work.
+        """
+        job_id = spec.job_id
+        with self.ledger.lock():
+            state = self.ledger.refresh()
+            if job_id in state.jobs:
+                self.telemetry.event("service.submit", job=job_id,
+                                     deduped=True)
+                return job_id, True
+            self.ledger.append({
+                "kind": "job", "job": job_id, "spec": spec.to_dict(),
+                "fingerprint": spec.fingerprint(),
+                "n_chunks": spec.n_chunks, "t": float(self.clock()),
+            })
+        self.telemetry.event("service.submit", job=job_id, deduped=False,
+                             n_chunks=spec.n_chunks)
+        return job_id, False
+
+    def claim(self, worker: str) -> Optional[Lease]:
+        """Grant the next runnable chunk to ``worker``, or ``None``.
+
+        Jobs are served in submission order, chunks in index order;
+        chunks inside their backoff window are skipped.  The grant is
+        one ``lease`` record, so a crash after claim is indistinguishable
+        from a silent worker death: the TTL expires and the reaper
+        requeues.
+        """
+        now = float(self.clock())
+        with self.ledger.lock():
+            state = self.ledger.refresh()
+            for job in sorted(state.jobs.values(),
+                              key=lambda j: (j.submitted, j.job_id)):
+                for index in range(job.n_chunks):
+                    chunk = job.chunks[index]
+                    if chunk.state != "pending" or chunk.not_before > now:
+                        continue
+                    attempt = chunk.attempt + 1
+                    expires = now + self.lease_ttl
+                    self.ledger.append({
+                        "kind": "lease", "job": job.job_id,
+                        "chunk": index, "worker": worker,
+                        "attempt": attempt, "expires": expires,
+                    })
+                    spec = CampaignJobSpec.from_dict(job.spec)
+                    self.telemetry.event(
+                        "service.claim", job=job.job_id, chunk=index,
+                        worker=worker, attempt=attempt)
+                    return Lease(job_id=job.job_id, chunk=index,
+                                 worker=worker, attempt=attempt,
+                                 expires=expires, spec=spec,
+                                 key=chunk_key(job.fingerprint, index))
+        return None
+
+    def _held_chunk(self, lease: Lease, verb: str) -> ChunkState:
+        state = self.ledger.refresh()
+        job = state.jobs.get(lease.job_id)
+        chunk = job.chunks.get(lease.chunk) if job else None
+        if chunk is None or chunk.state != "leased" \
+                or chunk.worker != lease.worker \
+                or chunk.attempt != lease.attempt:
+            raise JobLeaseError(
+                f"cannot {verb} chunk {lease.chunk} of {lease.job_id}: "
+                f"lease for worker {lease.worker!r} (attempt "
+                f"{lease.attempt}) is no longer held",
+                context={"job": lease.job_id, "chunk": lease.chunk,
+                         "worker": lease.worker,
+                         "attempt": lease.attempt,
+                         "current": chunk.to_dict() if chunk else None})
+        return chunk
+
+    def heartbeat(self, lease: Lease) -> float:
+        """Renew a lease; returns the new expiry.
+
+        Raises ``E_JOB_LEASE`` if the lease was reaped — the worker
+        should abandon the chunk (its eventual result is redundant).
+        """
+        now = float(self.clock())
+        with self.ledger.lock():
+            self._held_chunk(lease, "renew")
+            expires = now + self.lease_ttl
+            self.ledger.append({
+                "kind": "renew", "job": lease.job_id,
+                "chunk": lease.chunk, "worker": lease.worker,
+                "expires": expires,
+            })
+        return expires
+
+    def complete(self, lease: Lease, digest: str) -> None:
+        """Commit a chunk: its result is in the store under ``digest``."""
+        with self.ledger.lock():
+            self._held_chunk(lease, "complete")
+            self.ledger.append({
+                "kind": "done", "job": lease.job_id,
+                "chunk": lease.chunk, "worker": lease.worker,
+                "digest": digest,
+            })
+        self.telemetry.event("service.complete", job=lease.job_id,
+                             chunk=lease.chunk, worker=lease.worker)
+
+    def fail(self, lease: Lease, error: Dict) -> str:
+        """Record a failed attempt; returns ``"requeued"`` or
+        ``"quarantined"``.
+
+        ``error`` is a JSON-safe description (typically
+        :meth:`~repro.errors.ReproError.to_dict`).  The chunk requeues
+        under backoff until ``max_attempts`` grants have burned, then
+        quarantines.
+        """
+        now = float(self.clock())
+        with self.ledger.lock():
+            self._held_chunk(lease, "fail")
+            if lease.attempt >= self.max_attempts:
+                self.ledger.append({
+                    "kind": "quarantine", "job": lease.job_id,
+                    "chunk": lease.chunk, "attempt": lease.attempt,
+                    "error": error,
+                })
+                outcome = "quarantined"
+            else:
+                self.ledger.append({
+                    "kind": "failed", "job": lease.job_id,
+                    "chunk": lease.chunk, "attempt": lease.attempt,
+                    "not_before": now + self.backoff(
+                        lease.job_id, lease.chunk, lease.attempt),
+                    "error": error,
+                })
+                outcome = "requeued"
+        self.telemetry.event(f"service.{outcome}", job=lease.job_id,
+                             chunk=lease.chunk, attempt=lease.attempt,
+                             code=error.get("error_code"))
+        return outcome
+
+    def reap(self) -> List[Tuple[str, int, str]]:
+        """Requeue (or quarantine) every expired lease.
+
+        The supervisor calls this periodically.  Returns
+        ``[(job, chunk, outcome), ...]`` for what changed.  An expiry
+        consumes the attempt its lease was granted with, so a poison
+        chunk that kills its worker every time still quarantines after
+        ``max_attempts`` grants.
+        """
+        now = float(self.clock())
+        reaped: List[Tuple[str, int, str]] = []
+        with self.ledger.lock():
+            state = self.ledger.refresh()
+            for job in state.jobs.values():
+                for index, chunk in job.chunks.items():
+                    if chunk.state != "leased" or chunk.expires > now:
+                        continue
+                    error = {"error_code": "E_JOB_LEASE",
+                             "message": "lease expired (worker dead or "
+                                        "stalled)",
+                             "worker": chunk.worker}
+                    if chunk.attempt >= self.max_attempts:
+                        self.ledger.append({
+                            "kind": "quarantine", "job": job.job_id,
+                            "chunk": index, "attempt": chunk.attempt,
+                            "error": error,
+                        })
+                        outcome = "quarantined"
+                    else:
+                        self.ledger.append({
+                            "kind": "requeue", "job": job.job_id,
+                            "chunk": index, "attempt": chunk.attempt,
+                            "not_before": now + self.backoff(
+                                job.job_id, index, chunk.attempt),
+                        })
+                        outcome = "requeued"
+                    reaped.append((job.job_id, index, outcome))
+        for job_id, index, outcome in reaped:
+            self.telemetry.event("service.reap", job=job_id, chunk=index,
+                                 outcome=outcome)
+        return reaped
+
+    def requeue(self, job_id: str, chunk: int,
+                force: bool = False) -> None:
+        """Operator requeue (``ledgerctl``): reset a chunk to pending.
+
+        Resets the attempt budget.  ``force`` also requeues a ``done``
+        chunk (recompute-and-overwrite; safe, the bytes are identical).
+        """
+        with self.ledger.lock():
+            state = self.ledger.refresh()
+            job = state.jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            if chunk not in job.chunks:
+                raise JobError(
+                    f"job {job_id} has no chunk {chunk}",
+                    context={"n_chunks": job.n_chunks})
+            if job.chunks[chunk].state == "done" and not force:
+                raise JobError(
+                    f"chunk {chunk} of {job_id} is done; use force to "
+                    f"recompute")
+            self.ledger.append({
+                "kind": "requeue", "job": job_id, "chunk": chunk,
+                "attempt": 0, "not_before": 0.0, "force": bool(force),
+            })
+
+    # -- inspection --------------------------------------------------------
+
+    def _job(self, job_id: str) -> JobState:
+        state = self.ledger.refresh()
+        job = state.jobs.get(job_id)
+        if job is None:
+            raise JobError(f"unknown job {job_id!r}",
+                           context={"known": sorted(state.jobs)})
+        return job
+
+    def status(self, job_id: str) -> Dict:
+        """One job's state, counts, and per-chunk detail."""
+        with self.ledger.lock():
+            job = self._job(job_id)
+            return {
+                "job": job.job_id,
+                "state": job.state,
+                "n_chunks": job.n_chunks,
+                "counts": job.counts(),
+                "spec": dict(job.spec),
+                "chunks": {str(i): c.to_dict()
+                           for i, c in job.chunks.items()},
+            }
+
+    def jobs(self) -> List[Dict]:
+        """Summaries of every job, in submission order."""
+        with self.ledger.lock():
+            state = self.ledger.refresh()
+            return [{"job": job.job_id, "state": job.state,
+                     "n_chunks": job.n_chunks, "counts": job.counts(),
+                     "submitted": job.submitted}
+                    for job in sorted(state.jobs.values(),
+                                      key=lambda j: (j.submitted,
+                                                     j.job_id))]
+
+    def gather(self, job_id: str) -> np.ndarray:
+        """The job's full trace matrix, rows in campaign order.
+
+        Raises ``E_JOB_POISONED`` if any chunk is quarantined (the last
+        error rides in context) and ``E_JOB`` if the job is incomplete
+        or a stored chunk fails its integrity check.
+        """
+        with self.ledger.lock():
+            job = self._job(job_id)
+            fingerprint = job.fingerprint
+            chunks = {i: c.to_dict() for i, c in job.chunks.items()}
+        poisoned = {i: c for i, c in chunks.items()
+                    if c["state"] == "quarantined"}
+        if poisoned:
+            first = min(poisoned)
+            raise JobPoisonedError(
+                f"job {job_id}: {len(poisoned)} chunk(s) quarantined "
+                f"after repeated failures (first: chunk {first})",
+                context={"job": job_id,
+                         "chunks": sorted(poisoned),
+                         "error": poisoned[first]["error"]})
+        undone = [i for i, c in chunks.items() if c["state"] != "done"]
+        if undone:
+            raise JobError(
+                f"job {job_id} is not complete: {len(undone)} chunk(s) "
+                f"outstanding", context={"job": job_id,
+                                         "chunks": undone[:16]})
+        blocks: List[np.ndarray] = []
+        for index in sorted(chunks):
+            rows = self.store.get(chunk_key(fingerprint, index))
+            if rows is None:
+                raise JobError(
+                    f"job {job_id} chunk {index}: stored result missing "
+                    f"or failed integrity check (requeue it)",
+                    context={"job": job_id, "chunk": index,
+                             "key": chunk_key(fingerprint, index)})
+            blocks.append(rows)
+        return np.vstack(blocks)

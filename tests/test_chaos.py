@@ -517,6 +517,28 @@ class TestFailureTaxonomy:
         assert payload["context"]["arr"] == [1, 2]
         json.dumps(payload)
 
+    def test_numpy_context_values_serialize(self):
+        # Regression: np scalars/arrays land in contexts constantly
+        # (trace indices, residuals) and json.dumps refuses both, which
+        # used to crash JSONL sinks mid-post-mortem.
+        err = ReproError("numpy-laden failure", context={
+            "index": np.int64(7),
+            "residual": np.float64(1.5),
+            "nan": np.float64("nan"),
+            "flag": np.bool_(True),
+            "rows": np.arange(4.0).reshape(2, 2),
+            "nested": {"worst": np.float32(2.5), "ranks": [np.int32(3)]},
+        })
+        payload = err.to_dict()
+        json.dumps(payload)  # must not raise
+        ctx = payload["context"]
+        assert ctx["index"] == 7 and isinstance(ctx["index"], int)
+        assert ctx["residual"] == 1.5 and isinstance(ctx["residual"], float)
+        assert ctx["nan"] is None  # NaN is not JSON
+        assert ctx["flag"] is True
+        assert ctx["rows"] == [[0.0, 1.0], [2.0, 3.0]]
+        assert ctx["nested"] == {"worst": 2.5, "ranks": [3]}
+
     def test_erc_report_round_trips_jsonl(self):
         c = Circuit("bad")
         c.v("vs", "a", 1.0)

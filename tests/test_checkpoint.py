@@ -2,6 +2,7 @@
 retry with backoff, and the acceptance-criterion kill-and-resume
 round-trip on a fig6-style CPA campaign."""
 
+import json
 import os
 
 import numpy as np
@@ -111,8 +112,18 @@ class TestKillAndResume:
         path = tmp_path / "fp.npz"
         CheckpointedRun(path, chunk_size=4).run(list(range(8)), square_chunk)
         other = CheckpointedRun(path, chunk_size=4)
-        with pytest.raises(CheckpointError, match="different"):
+        with pytest.raises(CheckpointError, match="different") as info:
             other.run(list(range(9)), square_chunk)
+        # Both fingerprints ride in the context so the refusal is
+        # diagnosable from a JSONL post-mortem alone.
+        err = info.value
+        assert err.error_code == "E_CHECKPOINT"
+        assert err.context["saved"]["n_items"] == 8
+        assert err.context["expected"]["n_items"] == 9
+        assert err.context["saved"]["items_sha"] \
+            != err.context["expected"]["items_sha"]
+        assert err.context["path"] == str(path)
+        json.dumps(err.to_dict())  # post-mortem is JSONL-ready
 
     def test_extra_fingerprint_keys_participate(self, tmp_path):
         path = tmp_path / "fpx.npz"

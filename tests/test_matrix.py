@@ -12,7 +12,8 @@ import numpy as np
 import pytest
 
 from repro.aes import SBOX
-from repro.errors import AttackError, DeviceError
+from repro.errors import AttackError, DeviceError, ReproError
+from repro.obs import MemorySink, Telemetry
 from repro.sca import (
     MatrixSpec,
     centered_product,
@@ -27,7 +28,7 @@ from repro.sca import (
     tie_aware_rank,
     tie_width,
 )
-from repro.sca.matrix import MatrixCell
+from repro.sca.matrix import MatrixCell, is_transient_error_code
 
 
 def hw(values):
@@ -294,3 +295,69 @@ class TestRunMatrix:
         assert cell.ok
         assert cell.max_abs_t is not None
         assert cell.leak_detected is not None
+
+
+class TestRetryFailed:
+    """The ``retry_failed`` knob: transient acquisition failures are
+    re-attempted instead of replayed into every consumer cell."""
+
+    SPEC = MatrixSpec(styles=("cmos",), attacks=("cpa", "dpa"),
+                      budgets=(16,), repeats=1)
+
+    def test_transient_error_code_predicate(self):
+        assert is_transient_error_code("E_BACKEND_DIED")
+        assert is_transient_error_code("E_BACKEND_PROTOCOL")
+        assert is_transient_error_code("E_ACQUISITION")
+        assert not is_transient_error_code("E_ATTACK")
+        assert not is_transient_error_code("E_CONVERGENCE")
+        assert not is_transient_error_code(None)
+
+    def _flaky(self, monkeypatch, error_code, failures=1):
+        """Make the first ``failures`` acquisitions die with
+        ``error_code``; later ones run for real.  Returns the call
+        counter."""
+        from repro.sca import matrix as matrix_mod
+
+        real = matrix_mod._GridRunner._acquire
+        calls = {"n": 0}
+
+        def acquire(runner, cell, repeat):
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise ReproError("injected acquisition death",
+                                 error_code=error_code)
+            return real(runner, cell, repeat)
+
+        monkeypatch.setattr(matrix_mod._GridRunner, "_acquire", acquire)
+        return calls
+
+    def test_default_replays_the_cached_failure(self, monkeypatch):
+        calls = self._flaky(monkeypatch, "E_BACKEND_DIED")
+        report = run_matrix(self.SPEC, erc=False)
+        assert [c.ok for c in report.cells] == [False, False]
+        assert {c.error_code for c in report.cells} == {"E_BACKEND_DIED"}
+        assert calls["n"] == 1  # second cell consumed the cached failure
+        assert report.acquisitions_reused == 1
+
+    def test_retry_failed_reattempts_transient_failures(self, monkeypatch):
+        calls = self._flaky(monkeypatch, "E_BACKEND_DIED")
+        sink = MemorySink()
+        tele = Telemetry(sinks=[sink])
+        report = run_matrix(self.SPEC, telemetry=tele, erc=False,
+                            retry_failed=True)
+        by_attack = {c.cell.attack: c for c in report.cells}
+        assert not by_attack["cpa"].ok  # the attempt that hit the fault
+        assert by_attack["cpa"].error_code == "E_BACKEND_DIED"
+        assert by_attack["dpa"].ok  # the retry recovered
+        assert calls["n"] == 2
+        retries = [r for r in sink.records
+                   if r.get("kind") == "event"
+                   and r.get("name") == "sca.matrix.retry_failed"]
+        assert len(retries) == 1
+        assert retries[0]["attrs"]["error_code"] == "E_BACKEND_DIED"
+
+    def test_retry_failed_ignores_nontransient_codes(self, monkeypatch):
+        calls = self._flaky(monkeypatch, "E_CONVERGENCE")
+        report = run_matrix(self.SPEC, erc=False, retry_failed=True)
+        assert [c.ok for c in report.cells] == [False, False]
+        assert calls["n"] == 1  # a deterministic failure is not retried

@@ -1,0 +1,131 @@
+"""Operator tooling for the campaign job ledger.
+
+Inspect and repair a service directory without the HTTP API — the queue
+is just files, so this talks to them directly (same locked transactions
+as the workers, so it is safe against a live deployment).
+
+Usage::
+
+    PYTHONPATH=src python tools/ledgerctl.py list     --dir runs/svc
+    PYTHONPATH=src python tools/ledgerctl.py chunks   --dir runs/svc JOB
+    PYTHONPATH=src python tools/ledgerctl.py inspect  --dir runs/svc
+    PYTHONPATH=src python tools/ledgerctl.py requeue  --dir runs/svc \
+        JOB --chunk 3 [--force]
+
+``inspect`` audits the raw ledger: record counts per kind, corrupt
+lines, and every quarantined chunk with its last recorded error —
+the triage view for a poisoned campaign.  ``requeue`` resets a chunk's
+state and attempt budget (``--force`` recomputes even a done chunk;
+safe, the bytes are deterministic).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.service.ledger import JobLedger  # noqa: E402
+from repro.service.queue import JobQueue  # noqa: E402
+from repro.service.store import ResultStore  # noqa: E402
+
+
+def _open_queue(directory: str) -> JobQueue:
+    ledger_path = os.path.join(directory, "ledger.jsonl")
+    if not os.path.exists(ledger_path):
+        raise ReproError(f"no ledger at {ledger_path}")
+    return JobQueue(JobLedger(ledger_path),
+                    ResultStore(os.path.join(directory, "store")))
+
+
+def cmd_list(queue: JobQueue, args) -> int:
+    print(json.dumps({"jobs": queue.jobs()}, sort_keys=True, indent=2))
+    return 0
+
+
+def cmd_chunks(queue: JobQueue, args) -> int:
+    print(json.dumps(queue.status(args.job_id), sort_keys=True, indent=2))
+    return 0
+
+
+def cmd_requeue(queue: JobQueue, args) -> int:
+    queue.requeue(args.job_id, args.chunk, force=args.force)
+    state = queue.status(args.job_id)["chunks"][str(args.chunk)]
+    print(f"requeued chunk {args.chunk} of {args.job_id}: "
+          f"{json.dumps(state, sort_keys=True)}")
+    return 0
+
+
+def cmd_inspect(queue: JobQueue, args) -> int:
+    records, corrupt = queue.ledger.records()
+    kinds = {}
+    for record in records:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+    quarantined = []
+    for job in queue.jobs():
+        if not job["counts"]["quarantined"]:
+            continue
+        detail = queue.status(job["job"])
+        for index, chunk in sorted(detail["chunks"].items(),
+                                   key=lambda kv: int(kv[0])):
+            if chunk["state"] == "quarantined":
+                quarantined.append({"job": job["job"],
+                                    "chunk": int(index),
+                                    "attempt": chunk["attempt"],
+                                    "error": chunk["error"]})
+    report = {"records": kinds, "corrupt_lines": corrupt,
+              "quarantined": quarantined}
+    print(json.dumps(report, sort_keys=True, indent=2))
+    return 1 if (corrupt or quarantined) else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ledgerctl",
+        description="Inspect and repair a campaign job ledger.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--dir", required=True, metavar="DIR",
+                       help="service directory (holding ledger.jsonl)")
+
+    p = sub.add_parser("list", help="summarise every job")
+    common(p)
+    p = sub.add_parser("chunks", help="per-chunk state of one job")
+    common(p)
+    p.add_argument("job_id")
+    p = sub.add_parser("requeue", help="reset a chunk to pending")
+    common(p)
+    p.add_argument("job_id")
+    p.add_argument("--chunk", type=int, required=True)
+    p.add_argument("--force", action="store_true",
+                   help="requeue even a done chunk (recompute)")
+    p = sub.add_parser("inspect",
+                       help="audit the raw ledger; exit 1 if corrupt "
+                            "lines or quarantined chunks exist")
+    common(p)
+
+    args = parser.parse_args(argv)
+    handlers = {"list": cmd_list, "chunks": cmd_chunks,
+                "requeue": cmd_requeue, "inspect": cmd_inspect}
+    try:
+        queue = _open_queue(args.dir)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    try:
+        return handlers[args.command](queue, args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    finally:
+        queue.ledger.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
